@@ -1,0 +1,111 @@
+// Experiment T2/F4 — reproduces Table 2 (adaptive action roster and costs)
+// and Figure 4 (the safe adaptation graph and the minimum adaptation path).
+//
+// Output: the action table, the SAG edge list, the MAP with its cost, and a
+// PASS/FAIL line against the paper's published path "A2, A17, A1, A16, A4"
+// at 50 ms, followed by timings of SAG construction and path planning.
+#include <benchmark/benchmark.h>
+
+#include "util/log.hpp"
+
+#include <cstdio>
+
+#include "actions/planner.hpp"
+#include "config/enumerate.hpp"
+#include "core/paper_scenario.hpp"
+
+namespace {
+
+using namespace sa;
+
+void print_table2_and_fig4() {
+  const core::PaperScenario scenario = core::make_paper_scenario();
+
+  std::printf("=== Table 2: adaptive actions and costs ===\n");
+  std::printf("%-6s %-28s %-10s %s\n", "action", "operation", "cost (ms)", "description");
+  for (const auto& action : scenario.actions->actions()) {
+    std::printf("%-6s %-28s %-10.0f %s\n", action.name.c_str(),
+                action.operation_text(*scenario.registry).c_str(), action.cost,
+                action.description.c_str());
+  }
+
+  const auto safe = config::enumerate_safe_pruned(*scenario.invariants);
+  const actions::SafeAdaptationGraph sag(*scenario.actions, safe);
+  std::printf("\n=== Figure 4: safe adaptation graph ===\n%s", sag.describe().c_str());
+
+  const actions::PathPlanner planner(sag);
+  const auto plan = planner.minimum_path(scenario.source, scenario.target);
+  std::printf("\n=== Minimum adaptation path ===\n");
+  if (plan) {
+    std::printf("MAP: %s (cost %.0f ms)\n", plan->action_names(*scenario.actions).c_str(),
+                plan->total_cost);
+    const bool pass = plan->action_names(*scenario.actions) == "A2, A17, A1, A16, A4" &&
+                      plan->total_cost == 50.0;
+    std::printf("paper reports: A2, A17, A1, A16, A4 (cost 50 ms) -> %s\n",
+                pass ? "PASS (exact match)" : "FAIL");
+    std::printf("\nranked alternatives (failure-handling strategy 2):\n");
+    const auto ranked = planner.ranked_paths(scenario.source, scenario.target, 4);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      std::printf("  #%zu: %s (cost %.0f ms)\n", i + 1,
+                  ranked[i].action_names(*scenario.actions).c_str(), ranked[i].total_cost);
+    }
+  } else {
+    std::printf("NO PATH FOUND -> FAIL\n");
+  }
+  std::printf("\n");
+}
+
+void BM_BuildSag(benchmark::State& state) {
+  const core::PaperScenario scenario = core::make_paper_scenario();
+  const auto safe = config::enumerate_safe_pruned(*scenario.invariants);
+  for (auto _ : state) {
+    actions::SafeAdaptationGraph sag(*scenario.actions, safe);
+    benchmark::DoNotOptimize(sag.edge_count());
+  }
+}
+BENCHMARK(BM_BuildSag);
+
+void BM_DijkstraMap(benchmark::State& state) {
+  const core::PaperScenario scenario = core::make_paper_scenario();
+  const auto safe = config::enumerate_safe_pruned(*scenario.invariants);
+  const actions::SafeAdaptationGraph sag(*scenario.actions, safe);
+  const actions::PathPlanner planner(sag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.minimum_path(scenario.source, scenario.target));
+  }
+}
+BENCHMARK(BM_DijkstraMap);
+
+void BM_RankedPaths(benchmark::State& state) {
+  const core::PaperScenario scenario = core::make_paper_scenario();
+  const auto safe = config::enumerate_safe_pruned(*scenario.invariants);
+  const actions::SafeAdaptationGraph sag(*scenario.actions, safe);
+  const actions::PathPlanner planner(sag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        planner.ranked_paths(scenario.source, scenario.target, state.range(0)));
+  }
+}
+BENCHMARK(BM_RankedPaths)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EndToEndDetectionAndSetupPhase(benchmark::State& state) {
+  // The full §4.2 pipeline: enumerate safe set + build SAG + find MAP.
+  const core::PaperScenario scenario = core::make_paper_scenario();
+  for (auto _ : state) {
+    const auto safe = config::enumerate_safe_pruned(*scenario.invariants);
+    const actions::SafeAdaptationGraph sag(*scenario.actions, safe);
+    const actions::PathPlanner planner(sag);
+    benchmark::DoNotOptimize(planner.minimum_path(scenario.source, scenario.target));
+  }
+}
+BENCHMARK(BM_EndToEndDetectionAndSetupPhase);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sa::util::set_log_level(sa::util::LogLevel::Off);
+  print_table2_and_fig4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Failure handling (§4.4) demonstrated: the hand-held client gets stuck in a
+// long critical communication segment (fail-to-reset). Watch the manager time
+// out, roll the step back, retry, and — once the process heals — complete the
+// adaptation; then a second run where the process never heals, ending with
+// the system parked at a safe configuration.
+//
+// Build & run:  ./build/examples/failure_recovery
+#include <cstdio>
+#include <optional>
+
+#include "core/video_testbed.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+void print_step_log(sa::core::VideoTestbed& testbed) {
+  for (const auto& record : testbed.system().manager().step_log()) {
+    std::printf("  step %u try %u: %-4s -> %s\n", record.ref.step_index, record.ref.attempt,
+                record.action_name.c_str(), record.committed ? "committed" : "ROLLED BACK");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sa;
+
+  std::printf("=== Run 1: transient fail-to-reset, healed after first rollback ===\n");
+  {
+    core::VideoTestbed testbed;
+    testbed.start_stream();
+    testbed.run_for(sim::ms(200));
+    testbed.system().agent(core::kHandheldProcess).set_fail_to_reset(true);
+
+    std::optional<proto::AdaptationResult> result;
+    testbed.system().request_adaptation(
+        testbed.target(), [&result](const proto::AdaptationResult& r) { result = r; });
+
+    // Heal the process as soon as the manager has rolled the first step back.
+    bool healed = false;
+    while (!result && testbed.simulator().step()) {
+      if (!healed && !testbed.system().manager().step_log().empty() &&
+          testbed.system().manager().step_log().front().rolled_back) {
+        std::printf("  (hand-held process recovered; manager retries per strategy 1)\n");
+        testbed.system().agent(core::kHandheldProcess).set_fail_to_reset(false);
+        healed = true;
+      }
+    }
+    print_step_log(testbed);
+    std::printf("outcome: %s, step failures: %zu\n",
+                std::string(proto::to_string(result->outcome)).c_str(), result->step_failures);
+    testbed.stop_stream();
+    testbed.run_for(sim::seconds(1));
+    std::printf("stream: intact=%llu corrupted=%llu undecodable=%llu\n\n",
+                static_cast<unsigned long long>(testbed.total_intact()),
+                static_cast<unsigned long long>(testbed.total_corrupted()),
+                static_cast<unsigned long long>(testbed.total_undecodable()));
+  }
+
+  std::printf("=== Run 2: permanent fail-to-reset, strategy chain exhausted ===\n");
+  {
+    core::VideoTestbed testbed;
+    testbed.start_stream();
+    testbed.run_for(sim::ms(200));
+    testbed.system().agent(core::kHandheldProcess).set_fail_to_reset(true);
+
+    std::optional<proto::AdaptationResult> result;
+    testbed.system().request_adaptation(
+        testbed.target(), [&result](const proto::AdaptationResult& r) { result = r; });
+    while (!result && testbed.simulator().step()) {
+    }
+    print_step_log(testbed);
+    std::printf("outcome: %s\n", std::string(proto::to_string(result->outcome)).c_str());
+    std::printf("parked at: {%s} — %s\n",
+                testbed.installed_configuration().describe(testbed.system().registry()).c_str(),
+                testbed.system().invariants().satisfied(testbed.installed_configuration())
+                    ? "a SAFE configuration (invariants hold)"
+                    : "UNSAFE (bug!)");
+    testbed.stop_stream();
+    testbed.run_for(sim::seconds(1));
+    std::printf("stream: intact=%llu corrupted=%llu undecodable=%llu\n",
+                static_cast<unsigned long long>(testbed.total_intact()),
+                static_cast<unsigned long long>(testbed.total_corrupted()),
+                static_cast<unsigned long long>(testbed.total_undecodable()));
+  }
+  return 0;
+}

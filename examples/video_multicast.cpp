@@ -1,0 +1,62 @@
+// The paper's case study end to end: a video server multicasting a DES-64
+// encoded stream to a hand-held and a laptop client, hardened to DES-128 at
+// run time by the safe adaptation protocol — while the stream keeps flowing.
+//
+// Build & run:  ./build/examples/video_multicast
+#include <cstdio>
+#include <optional>
+
+#include "core/video_testbed.hpp"
+
+int main() {
+  using namespace sa;
+
+  core::VideoTestbed testbed;
+  std::printf("initial composition: server=[E1] handheld=[D1] laptop=[D4]  (DES 64-bit)\n");
+
+  testbed.start_stream();
+  testbed.run_for(sim::ms(500));
+  std::printf("after 500 ms of streaming: %llu intact packets delivered\n",
+              static_cast<unsigned long long>(testbed.total_intact()));
+
+  // Harden security: request the {D5, D3, E2} configuration (DES 128-bit).
+  std::optional<proto::AdaptationResult> result;
+  testbed.system().request_adaptation(
+      testbed.target(), [&result](const proto::AdaptationResult& r) { result = r; });
+  testbed.run_for(sim::seconds(5));
+
+  if (!result) {
+    std::printf("adaptation did not terminate!\n");
+    return 1;
+  }
+  std::printf("\nadaptation finished: %s\n", std::string(proto::to_string(result->outcome)).c_str());
+  std::printf("minimum adaptation path executed:\n");
+  for (const auto& record : testbed.system().manager().step_log()) {
+    std::printf("  %s  (%s, %.2f ms)\n", record.action_name.c_str(),
+                record.committed ? "committed" : "rolled back",
+                (record.finished - record.started) / 1000.0);
+  }
+
+  testbed.run_for(sim::seconds(1));
+  testbed.stop_stream();
+  testbed.run_for(sim::seconds(1));
+
+  std::printf("\nfinal composition: server=%s handheld=%s laptop=%s\n",
+              testbed.server().chain().refract().at("filters").c_str(),
+              testbed.handheld().chain().refract().at("filters").c_str(),
+              testbed.laptop().chain().refract().at("filters").c_str());
+  std::printf("stream integrity across the whole run:\n");
+  std::printf("  intact:      %llu\n", static_cast<unsigned long long>(testbed.total_intact()));
+  std::printf("  corrupted:   %llu\n", static_cast<unsigned long long>(testbed.total_corrupted()));
+  std::printf("  undecodable: %llu\n",
+              static_cast<unsigned long long>(testbed.total_undecodable()));
+  std::printf("  max player gap: handheld %.1f ms, laptop %.1f ms\n",
+              testbed.handheld().player_stats().max_interarrival_gap / 1000.0,
+              testbed.laptop().player_stats().max_interarrival_gap / 1000.0);
+
+  const bool clean = result->outcome == proto::AdaptationOutcome::Success &&
+                     testbed.total_corrupted() == 0 && testbed.total_undecodable() == 0;
+  std::printf("\n%s\n", clean ? "safe adaptation: the stream never glitched."
+                              : "unexpected disruption detected!");
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+#include "actions/action.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sa::actions {
+
+bool AdaptiveAction::applicable_to(const config::Configuration& from) const {
+  const bool has_all_removed = removes.intersect(from) == removes;
+  const bool has_no_added = adds.intersect(from).empty();
+  return has_all_removed && has_no_added;
+}
+
+config::Configuration AdaptiveAction::apply(const config::Configuration& from) const {
+  return from.minus(removes).unite(adds);
+}
+
+std::vector<config::ProcessId> AdaptiveAction::affected_processes(
+    const config::ComponentRegistry& registry, std::size_t component_count) const {
+  std::vector<config::ProcessId> out;
+  const config::Configuration touched = removes.unite(adds);
+  for (const config::ComponentId id : touched.components(component_count)) {
+    out.push_back(registry.process(id));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string AdaptiveAction::operation_text(const config::ComponentRegistry& registry) const {
+  const std::string removed = removes.describe(registry);
+  const std::string added = adds.describe(registry);
+  if (removed.empty()) return "+" + added;
+  if (added.empty()) return "-" + removed;
+  return removed + " -> " + added;
+}
+
+ActionId ActionTable::add(std::string name, std::vector<std::string> removes_names,
+                          std::vector<std::string> adds_names, double cost,
+                          std::string description) {
+  if (removes_names.empty() && adds_names.empty()) {
+    throw std::invalid_argument("action must add or remove at least one component");
+  }
+  if (cost < 0.0) throw std::invalid_argument("action cost must be non-negative");
+  if (find(name)) throw std::invalid_argument("duplicate action name: " + name);
+
+  AdaptiveAction action;
+  action.id = static_cast<ActionId>(actions_.size());
+  action.name = std::move(name);
+  action.description = std::move(description);
+  action.cost = cost;
+  for (const std::string& component : removes_names) {
+    action.removes = action.removes.with(registry_->require(component));
+  }
+  for (const std::string& component : adds_names) {
+    action.adds = action.adds.with(registry_->require(component));
+  }
+  if (!action.removes.intersect(action.adds).empty()) {
+    throw std::invalid_argument("action removes and adds the same component");
+  }
+  actions_.push_back(std::move(action));
+  return actions_.back().id;
+}
+
+std::optional<ActionId> ActionTable::find(const std::string& name) const {
+  for (const AdaptiveAction& action : actions_) {
+    if (action.name == name) return action.id;
+  }
+  return std::nullopt;
+}
+
+ActionId ActionTable::require(const std::string& name) const {
+  const auto id = find(name);
+  if (!id) throw std::out_of_range("unknown action: " + name);
+  return *id;
+}
+
+}  // namespace sa::actions

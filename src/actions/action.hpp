@@ -1,0 +1,71 @@
+// Adaptive actions (paper §3.1): functions from one configuration to another,
+// each with a fixed cost assigned during the analysis phase (§4.1, the A
+// component of P = (S, I, T, R, A)).
+//
+// An action is modelled by the component sets it removes and adds.  It is
+// applicable to a configuration C iff C contains everything it removes and
+// nothing it adds, and applying it yields (C \ removes) ∪ adds.  This uniform
+// shape covers the paper's three adaptation kinds:
+//   insertion    — removes = ∅          (Table 2: A17 "+D5")
+//   removal      — adds = ∅             (Table 2: A16 "-D4")
+//   replacement  — both non-empty       (Table 2: A2 "D1 -> D2")
+// and their multi-component combinations (A6..A15).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "config/invariants.hpp"
+
+namespace sa::actions {
+
+using ActionId = std::uint32_t;
+
+struct AdaptiveAction {
+  ActionId id = 0;
+  std::string name;          ///< e.g. "A2"
+  std::string description;   ///< e.g. "replace D1 with D2"
+  config::Configuration removes;
+  config::Configuration adds;
+  double cost = 0.0;         ///< fixed cost (the paper uses packet delay in ms)
+
+  bool applicable_to(const config::Configuration& from) const;
+  config::Configuration apply(const config::Configuration& from) const;
+
+  /// Processes whose agents must participate: hosts of every component the
+  /// action touches (removed or added).
+  std::vector<config::ProcessId> affected_processes(const config::ComponentRegistry& registry,
+                                                    std::size_t component_count) const;
+
+  /// Table-2 style operation text, e.g. "D1 -> D2", "+D5", "-D4".
+  std::string operation_text(const config::ComponentRegistry& registry) const;
+};
+
+/// The analysis-phase action table T with costs A (paper §4.1).
+class ActionTable {
+ public:
+  explicit ActionTable(const config::ComponentRegistry& registry) : registry_(&registry) {}
+
+  /// Adds a replacement/insertion/removal action described by component
+  /// names. Either list may be empty (but not both). Throws on unknown
+  /// component names, duplicate action names, or negative cost.
+  ActionId add(std::string name, std::vector<std::string> removes_names,
+               std::vector<std::string> adds_names, double cost, std::string description = "");
+
+  std::size_t size() const { return actions_.size(); }
+  const AdaptiveAction& action(ActionId id) const { return actions_.at(id); }
+  const std::vector<AdaptiveAction>& actions() const { return actions_; }
+  const config::ComponentRegistry& registry() const { return *registry_; }
+
+  std::optional<ActionId> find(const std::string& name) const;
+  ActionId require(const std::string& name) const;
+
+ private:
+  const config::ComponentRegistry* registry_;
+  std::vector<AdaptiveAction> actions_;
+};
+
+}  // namespace sa::actions

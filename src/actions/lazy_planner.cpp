@@ -1,0 +1,112 @@
+#include "actions/lazy_planner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+
+namespace sa::actions {
+
+namespace {
+
+/// Number of components on which two configurations disagree.
+std::size_t diff_size(const config::Configuration& a, const config::Configuration& b) {
+  return static_cast<std::size_t>(std::popcount(a.bits() ^ b.bits()));
+}
+
+}  // namespace
+
+LazyPathPlanner::LazyPathPlanner(const ActionTable& table,
+                                 const config::InvariantSet& invariants)
+    : table_(&table), invariants_(&invariants) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const AdaptiveAction& action : table.actions()) {
+    const std::size_t changed = action.removes.count() + action.adds.count();
+    if (changed > 0) best = std::min(best, action.cost / static_cast<double>(changed));
+  }
+  min_cost_per_change_ = best == std::numeric_limits<double>::infinity() ? 0.0 : best;
+}
+
+std::optional<AdaptationPlan> LazyPathPlanner::minimum_path(
+    const config::Configuration& source, const config::Configuration& target) const {
+  stats_ = SearchStats{};
+
+  const auto is_safe = [this](const config::Configuration& config) {
+    ++stats_.safe_checked;
+    return invariants_->satisfied(config);
+  };
+  if (!is_safe(source) || !is_safe(target)) return std::nullopt;
+  if (source == target) return AdaptationPlan{};
+
+  const auto heuristic = [this, &target](const config::Configuration& config) {
+    return static_cast<double>(diff_size(config, target)) * min_cost_per_change_;
+  };
+
+  struct Reached {
+    double g = std::numeric_limits<double>::infinity();
+    config::Configuration parent;
+    ActionId via = 0;
+    bool settled = false;
+  };
+  std::unordered_map<config::Configuration, Reached> reached;
+  reached[source].g = 0.0;
+
+  // (f, g, config): larger g wins ties on f — deeper nodes are closer to done.
+  using Entry = std::tuple<double, double, config::Configuration>;
+  const auto later = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    return std::get<1>(a) < std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> open(later);
+  open.emplace(heuristic(source), 0.0, source);
+
+  while (!open.empty()) {
+    const auto [f, g, config] = open.top();
+    open.pop();
+    Reached& node = reached[config];
+    if (node.settled || g > node.g) continue;
+    node.settled = true;
+    ++stats_.expanded;
+
+    if (config == target) {
+      AdaptationPlan plan;
+      plan.total_cost = g;
+      config::Configuration cursor = target;
+      while (!(cursor == source)) {
+        const Reached& info = reached.at(cursor);
+        PlanStep step;
+        step.from = info.parent;
+        step.to = cursor;
+        step.action = info.via;
+        step.cost = table_->action(info.via).cost;
+        plan.steps.push_back(step);
+        cursor = info.parent;
+      }
+      std::reverse(plan.steps.begin(), plan.steps.end());
+      return plan;
+    }
+
+    for (const AdaptiveAction& action : table_->actions()) {
+      if (!action.applicable_to(config)) continue;
+      const config::Configuration next = action.apply(config);
+      ++stats_.generated;
+      if (!is_safe(next)) continue;
+      const double next_g = g + action.cost;
+      Reached& next_node = reached[next];
+      // Deterministic tie-break: on equal cost prefer the smaller action id,
+      // matching the eager planner's edge-id preference.
+      if (next_g < next_node.g ||
+          (next_g == next_node.g && !next_node.settled && action.id < next_node.via)) {
+        next_node.g = next_g;
+        next_node.parent = config;
+        next_node.via = action.id;
+        open.emplace(next_g + heuristic(next), next_g, next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sa::actions

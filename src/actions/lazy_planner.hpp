@@ -1,0 +1,53 @@
+// Heuristic partial-SAG planning (paper §7, future work).
+//
+// The baseline pipeline materializes the full safe configuration set and SAG
+// before running Dijkstra — exponential in the number of components even when
+// the adaptation only touches a corner of the system.  The paper proposes
+// "heuristic-based algorithms that perform partial exploration of the SAG".
+//
+// LazyPathPlanner implements that idea as A* directly over configurations:
+// successors are generated on demand by applying applicable actions and
+// checking invariants on the fly, so only the region of the SAG between the
+// source and target is ever visited.  The heuristic is admissible (see
+// min_cost_per_component_change), so results are cost-optimal and always
+// agree with the eager planner.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "actions/planner.hpp"
+#include "config/invariants.hpp"
+
+namespace sa::actions {
+
+class LazyPathPlanner {
+ public:
+  LazyPathPlanner(const ActionTable& table, const config::InvariantSet& invariants);
+
+  /// Cost-optimal safe path from `source` to `target`, or nullopt when either
+  /// endpoint is unsafe or no safe path exists. An identical-endpoint request
+  /// yields an empty plan.
+  std::optional<AdaptationPlan> minimum_path(const config::Configuration& source,
+                                             const config::Configuration& target) const;
+
+  struct SearchStats {
+    std::size_t expanded = 0;   ///< configurations popped and settled
+    std::size_t generated = 0;  ///< successor configurations produced
+    std::size_t safe_checked = 0;  ///< invariant evaluations performed
+  };
+  /// Statistics of the most recent minimum_path() call.
+  const SearchStats& last_stats() const { return stats_; }
+
+  /// The admissible per-component-change lower bound used by the heuristic:
+  /// min over actions of cost / (|removes| + |adds|).
+  double min_cost_per_component_change() const { return min_cost_per_change_; }
+
+ private:
+  const ActionTable* table_;
+  const config::InvariantSet* invariants_;
+  double min_cost_per_change_;
+  mutable SearchStats stats_;
+};
+
+}  // namespace sa::actions

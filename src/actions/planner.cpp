@@ -1,0 +1,64 @@
+#include "actions/planner.hpp"
+
+#include <stdexcept>
+
+namespace sa::actions {
+
+config::Configuration AdaptationPlan::source() const {
+  if (steps.empty()) throw std::logic_error("empty plan has no source");
+  return steps.front().from;
+}
+
+config::Configuration AdaptationPlan::target() const {
+  if (steps.empty()) throw std::logic_error("empty plan has no target");
+  return steps.back().to;
+}
+
+std::string AdaptationPlan::action_names(const ActionTable& table) const {
+  std::string out;
+  for (const PlanStep& step : steps) {
+    if (!out.empty()) out += ", ";
+    out += table.action(step.action).name;
+  }
+  return out;
+}
+
+AdaptationPlan PathPlanner::to_plan(const graph::Path& path) const {
+  AdaptationPlan plan;
+  plan.total_cost = path.cost;
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const graph::Edge& edge = sag_->graph().edge(path.edges[i]);
+    PlanStep step;
+    step.from = sag_->configuration(edge.from);
+    step.to = sag_->configuration(edge.to);
+    step.action = static_cast<ActionId>(edge.label);
+    step.cost = edge.cost;
+    plan.steps.push_back(step);
+  }
+  return plan;
+}
+
+std::optional<AdaptationPlan> PathPlanner::minimum_path(const config::Configuration& source,
+                                                        const config::Configuration& target) const {
+  const auto from = sag_->node_of(source);
+  const auto to = sag_->node_of(target);
+  if (!from || !to) return std::nullopt;
+  const auto path = graph::dijkstra(sag_->graph(), *from, *to);
+  if (!path) return std::nullopt;
+  return to_plan(*path);
+}
+
+std::vector<AdaptationPlan> PathPlanner::ranked_paths(const config::Configuration& source,
+                                                      const config::Configuration& target,
+                                                      std::size_t k) const {
+  std::vector<AdaptationPlan> plans;
+  const auto from = sag_->node_of(source);
+  const auto to = sag_->node_of(target);
+  if (!from || !to) return plans;
+  for (const graph::Path& path : graph::k_shortest_paths(sag_->graph(), *from, *to, k)) {
+    plans.push_back(to_plan(path));
+  }
+  return plans;
+}
+
+}  // namespace sa::actions

@@ -1,0 +1,67 @@
+// Path planning over the SAG (paper §4.2 step 3 and §4.4).
+//
+// The planner finds the minimum adaptation path (MAP) with Dijkstra, and —
+// for the failure-handling strategy chain — the k-th minimum path via Yen's
+// algorithm and return-to-source paths from any intermediate configuration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "actions/sag.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace sa::actions {
+
+/// One adaptation step: an ordered configuration pair realized by an action.
+struct PlanStep {
+  config::Configuration from;
+  config::Configuration to;
+  ActionId action = 0;
+  double cost = 0.0;
+
+  bool operator==(const PlanStep&) const = default;
+};
+
+/// A safe adaptation path: consecutive steps from source to target.
+struct AdaptationPlan {
+  std::vector<PlanStep> steps;
+  double total_cost = 0.0;
+
+  bool empty() const { return steps.empty(); }
+  config::Configuration source() const;
+  config::Configuration target() const;
+
+  /// "A2, A17, A1, A16, A4" — the form the paper quotes for the MAP.
+  std::string action_names(const ActionTable& table) const;
+
+  bool operator==(const AdaptationPlan&) const = default;
+};
+
+class PathPlanner {
+ public:
+  explicit PathPlanner(const SafeAdaptationGraph& sag) : sag_(&sag) {}
+
+  /// Minimum adaptation path; nullopt when source/target are not safe
+  /// configurations or no safe path connects them. A request whose source
+  /// equals its target yields an empty plan with cost 0.
+  std::optional<AdaptationPlan> minimum_path(const config::Configuration& source,
+                                             const config::Configuration& target) const;
+
+  /// The k cheapest loopless paths in nondecreasing cost order (k >= 1);
+  /// element 0 is the MAP, element 1 the paper's "second minimum adaptation
+  /// path" fallback, and so on.
+  std::vector<AdaptationPlan> ranked_paths(const config::Configuration& source,
+                                           const config::Configuration& target,
+                                           std::size_t k) const;
+
+  const SafeAdaptationGraph& sag() const { return *sag_; }
+
+ private:
+  AdaptationPlan to_plan(const graph::Path& path) const;
+
+  const SafeAdaptationGraph* sag_;
+};
+
+}  // namespace sa::actions

@@ -1,0 +1,73 @@
+#include "actions/sag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sa::actions {
+
+SafeAdaptationGraph::SafeAdaptationGraph(const ActionTable& table,
+                                         const std::vector<config::Configuration>& safe_configs)
+    : table_(&table) {
+  for (const config::Configuration& config : safe_configs) {
+    if (node_index_.contains(config)) continue;
+    const graph::NodeId node = graph_.add_nodes(1);
+    node_index_.emplace(config, node);
+    nodes_.push_back(config);
+  }
+  for (graph::NodeId from = 0; from < nodes_.size(); ++from) {
+    for (const AdaptiveAction& action : table.actions()) {
+      if (!action.applicable_to(nodes_[from])) continue;
+      const config::Configuration result = action.apply(nodes_[from]);
+      const auto it = node_index_.find(result);
+      if (it == node_index_.end()) continue;  // result is not a safe configuration
+      graph_.add_edge(from, it->second, action.cost, static_cast<std::int64_t>(action.id));
+    }
+  }
+}
+
+std::optional<graph::NodeId> SafeAdaptationGraph::node_of(
+    const config::Configuration& config) const {
+  const auto it = node_index_.find(config);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const AdaptiveAction& SafeAdaptationGraph::action_of_edge(graph::EdgeId edge) const {
+  return table_->action(static_cast<ActionId>(graph_.edge(edge).label));
+}
+
+std::string SafeAdaptationGraph::to_dot(const std::vector<graph::EdgeId>& highlighted_edges) const {
+  const auto& registry = table_->registry();
+  std::ostringstream out;
+  out << "digraph SAG {\n";
+  out << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (graph::NodeId node = 0; node < nodes_.size(); ++node) {
+    out << "  n" << node << " [label=\"" << nodes_[node].to_bit_string(registry.size()) << "\\n"
+        << nodes_[node].describe(registry) << "\"];\n";
+  }
+  for (graph::EdgeId edge = 0; edge < graph_.edge_count(); ++edge) {
+    const graph::Edge& e = graph_.edge(edge);
+    const AdaptiveAction& action = action_of_edge(edge);
+    const bool highlighted = std::find(highlighted_edges.begin(), highlighted_edges.end(),
+                                       edge) != highlighted_edges.end();
+    out << "  n" << e.from << " -> n" << e.to << " [label=\"" << action.name << " ("
+        << e.cost << "ms)\"" << (highlighted ? ", penwidth=3, color=red" : "") << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string SafeAdaptationGraph::describe() const {
+  std::ostringstream out;
+  const auto& registry = table_->registry();
+  out << node_count() << " safe configurations, " << edge_count() << " adaptation steps\n";
+  for (graph::EdgeId edge = 0; edge < graph_.edge_count(); ++edge) {
+    const graph::Edge& e = graph_.edge(edge);
+    const AdaptiveAction& action = action_of_edge(edge);
+    out << "  " << nodes_[e.from].describe(registry) << " --" << action.name << " (" << e.cost
+        << "ms)--> " << nodes_[e.to].describe(registry) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sa::actions

@@ -1,0 +1,55 @@
+// Safe adaptation graph (paper §3.1 and §4.2 step 2).
+//
+// Vertices are safe configurations; an arc (config1, config2) exists iff some
+// adaptive action maps config1 to config2 (both safe), weighted by the
+// action's cost.  Parallel arcs with different actions are kept — the planner
+// needs the cheapest, and the failure handler may fall back to others.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "actions/action.hpp"
+#include "graph/digraph.hpp"
+
+namespace sa::actions {
+
+class SafeAdaptationGraph {
+ public:
+  /// Builds the SAG over `safe_configs` using every applicable action in
+  /// `table`. Configurations are deduplicated; node order follows first
+  /// occurrence in `safe_configs`.
+  SafeAdaptationGraph(const ActionTable& table,
+                      const std::vector<config::Configuration>& safe_configs);
+
+  const graph::Digraph& graph() const { return graph_; }
+  const ActionTable& table() const { return *table_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return graph_.edge_count(); }
+
+  const config::Configuration& configuration(graph::NodeId node) const { return nodes_.at(node); }
+  std::optional<graph::NodeId> node_of(const config::Configuration& config) const;
+
+  /// Action labelling edge `edge`.
+  const AdaptiveAction& action_of_edge(graph::EdgeId edge) const;
+
+  /// Human-readable dump: one line per edge,
+  /// "D4,D1,E1 --A2 (10ms)--> D4,D2,E1".
+  std::string describe() const;
+
+  /// Graphviz rendering of the SAG (paper Figure 4): nodes are labelled with
+  /// the configuration's bit vector and component list, edges with the action
+  /// name and cost. Optionally highlights a path (e.g. the MAP) in bold.
+  std::string to_dot(const std::vector<graph::EdgeId>& highlighted_edges = {}) const;
+
+ private:
+  const ActionTable* table_;
+  std::vector<config::Configuration> nodes_;
+  std::unordered_map<config::Configuration, graph::NodeId> node_index_;
+  graph::Digraph graph_;
+};
+
+}  // namespace sa::actions

@@ -1,0 +1,60 @@
+#include "baselines/naive.hpp"
+
+#include "util/log.hpp"
+
+namespace sa::baselines {
+
+NaiveHotSwapAdapter::NaiveHotSwapAdapter(sim::Simulator& sim,
+                                         const config::ComponentRegistry& registry,
+                                         std::map<config::ProcessId, ProcessBinding> bindings,
+                                         sim::Time per_process_lag)
+    : sim_(&sim), registry_(&registry), bindings_(std::move(bindings)),
+      per_process_lag_(per_process_lag) {}
+
+bool NaiveHotSwapAdapter::adapt(const config::Configuration& from,
+                                const config::Configuration& to) {
+  const std::size_t n = registry_->size();
+  const config::Configuration removed = from.minus(to);
+  const config::Configuration added = to.minus(from);
+
+  // Validate up front that every added component is instantiable.
+  for (const config::ComponentId id : added.components(n)) {
+    const auto it = bindings_.find(registry_->process(id));
+    if (it == bindings_.end() || !it->second.factory ||
+        !it->second.factory(registry_->name(id))) {
+      return false;
+    }
+  }
+
+  sim::Time lag = 0;
+  for (auto& [process, binding] : bindings_) {
+    std::vector<std::string> to_remove;
+    std::vector<std::string> to_add;
+    for (const config::ComponentId id : removed.components(n)) {
+      if (registry_->process(id) == process) to_remove.push_back(registry_->name(id));
+    }
+    for (const config::ComponentId id : added.components(n)) {
+      if (registry_->process(id) == process) to_add.push_back(registry_->name(id));
+    }
+    if (to_remove.empty() && to_add.empty()) continue;
+
+    // Each process swaps when its command arrives — staggered, uncoordinated,
+    // and without waiting for quiescence.
+    components::FilterChain* chain = binding.chain;
+    proto::FilterFactory factory = binding.factory;
+    sim_->schedule_after(lag, [chain, factory, to_remove, to_add] {
+      for (const std::string& name : to_remove) {
+        if (!chain->remove_filter(name)) {
+          SA_WARN("naive-baseline") << chain->name() << ": filter " << name << " absent";
+        }
+      }
+      for (const std::string& name : to_add) {
+        chain->append_filter(factory(name));
+      }
+    });
+    lag += per_process_lag_;
+  }
+  return true;
+}
+
+}  // namespace sa::baselines

@@ -1,0 +1,48 @@
+// Naive hot-swap baseline: recompose immediately, with no coordination, no
+// blocking, and no safe-configuration planning.
+//
+// This is the comparator the paper argues against (§1, §3): the swap happens
+// whenever the command arrives at each process, so packets already encoded
+// under the old scheme meet the new decoders (or vice versa), mid-packet
+// state is discarded, and transient configurations may violate dependency
+// invariants.  The safety benchmarks count the resulting corrupted /
+// undecodable packets.
+#pragma once
+
+#include <map>
+
+#include "components/filter_chain.hpp"
+#include "config/configuration.hpp"
+#include "proto/adaptable_process.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::baselines {
+
+/// What an adapter needs to touch one process's MetaSocket. `stage` orders
+/// processes along the data flow (0 = sender side); the quiescence baseline
+/// uses it to passivate senders before draining receivers.
+struct ProcessBinding {
+  components::FilterChain* chain = nullptr;
+  proto::FilterFactory factory;
+  int stage = 0;
+};
+
+class NaiveHotSwapAdapter {
+ public:
+  NaiveHotSwapAdapter(sim::Simulator& sim, const config::ComponentRegistry& registry,
+                      std::map<config::ProcessId, ProcessBinding> bindings,
+                      sim::Time per_process_lag = sim::ms(3));
+
+  /// Applies the `from` -> `to` component diff: each process performs its
+  /// share the moment its (staggered) command arrives. Returns false if some
+  /// component could not be instantiated or found.
+  bool adapt(const config::Configuration& from, const config::Configuration& to);
+
+ private:
+  sim::Simulator* sim_;
+  const config::ComponentRegistry* registry_;
+  std::map<config::ProcessId, ProcessBinding> bindings_;
+  sim::Time per_process_lag_;
+};
+
+}  // namespace sa::baselines

@@ -1,0 +1,99 @@
+#include "baselines/quiescence.hpp"
+
+#include <climits>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace sa::baselines {
+
+GlobalQuiescenceAdapter::GlobalQuiescenceAdapter(
+    sim::Simulator& sim, const config::ComponentRegistry& registry,
+    std::map<config::ProcessId, ProcessBinding> bindings, sim::Time flush_delay)
+    : sim_(&sim), registry_(&registry), bindings_(std::move(bindings)),
+      flush_delay_(flush_delay) {}
+
+void GlobalQuiescenceAdapter::adapt(const config::Configuration& from,
+                                    const config::Configuration& to,
+                                    std::function<void(bool)> done) {
+  if (in_progress_) throw std::logic_error("global quiescence adaptation already in progress");
+  in_progress_ = true;
+  from_ = from;
+  to_ = to;
+  done_ = std::move(done);
+  quiescent_count_ = 0;
+  started_ = sim_->now();
+
+  // Phase 1 — passivate the sender side: every minimum-stage process stops
+  // initiating new transactions (blocks after its in-flight packet).
+  min_stage_ = INT_MAX;
+  for (const auto& [process, binding] : bindings_) min_stage_ = std::min(min_stage_, binding.stage);
+  std::size_t senders = 0;
+  for (const auto& [process, binding] : bindings_) {
+    if (binding.stage == min_stage_) ++senders;
+  }
+  sender_count_ = senders;
+  for (auto& [process, binding] : bindings_) {
+    if (binding.stage != min_stage_) continue;
+    binding.chain->request_quiescence([this] {
+      if (++quiescent_count_ == sender_count_) quiesce_receivers();
+    }, components::FilterChain::QuiescenceMode::Packet);
+  }
+  if (sender_count_ == 0) quiesce_receivers();
+}
+
+void GlobalQuiescenceAdapter::quiesce_receivers() {
+  // Phase 2 — after in-flight data has reached the receivers, drain and
+  // block every remaining process, involved in the change or not.
+  sim_->schedule_after(flush_delay_, [this] {
+    std::size_t receivers = 0;
+    for (const auto& [process, binding] : bindings_) {
+      if (binding.stage != min_stage_) ++receivers;
+    }
+    if (receivers == 0) {
+      apply_and_resume();
+      return;
+    }
+    quiescent_count_ = 0;
+    receiver_count_ = receivers;
+    for (auto& [process, binding] : bindings_) {
+      if (binding.stage == min_stage_) continue;
+      binding.chain->request_quiescence([this] {
+        if (++quiescent_count_ == receiver_count_) apply_and_resume();
+      }, components::FilterChain::QuiescenceMode::Drain);
+    }
+  });
+}
+
+void GlobalQuiescenceAdapter::apply_and_resume() {
+  const std::size_t n = registry_->size();
+  const config::Configuration removed = from_.minus(to_);
+  const config::Configuration added = to_.minus(from_);
+  bool ok = true;
+  for (auto& [process, binding] : bindings_) {
+    for (const config::ComponentId id : removed.components(n)) {
+      if (registry_->process(id) != process) continue;
+      if (!binding.chain->remove_filter(registry_->name(id))) ok = false;
+    }
+    for (const config::ComponentId id : added.components(n)) {
+      if (registry_->process(id) != process) continue;
+      components::FilterPtr filter =
+          binding.factory ? binding.factory(registry_->name(id)) : nullptr;
+      if (!filter) {
+        ok = false;
+        continue;
+      }
+      binding.chain->append_filter(std::move(filter));
+    }
+  }
+  for (auto& [process, binding] : bindings_) binding.chain->resume();
+  last_blocked_duration_ = sim_->now() - started_;
+  in_progress_ = false;
+  if (done_) {
+    auto handler = std::move(done_);
+    done_ = nullptr;
+    handler(ok);
+  }
+}
+
+}  // namespace sa::baselines

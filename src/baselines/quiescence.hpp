@@ -1,0 +1,57 @@
+// Global-quiescence baseline, in the spirit of Kramer & Magee's "evolving
+// philosophers" change management (paper §6): before ANY structural change,
+// EVERY process in the system — involved in the change or not — is driven to
+// quiescence and blocked; the whole source->target diff is then applied in
+// one shot and everything resumes.
+//
+// This is safe but maximally disruptive: it performs no path planning, takes
+// no advantage of intermediate safe configurations, and blocks uninvolved
+// processes.  The benchmarks contrast its blocking time and packet delay
+// against the paper's staged safe adaptation.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "baselines/naive.hpp"
+#include "config/configuration.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::baselines {
+
+class GlobalQuiescenceAdapter {
+ public:
+  GlobalQuiescenceAdapter(sim::Simulator& sim, const config::ComponentRegistry& registry,
+                          std::map<config::ProcessId, ProcessBinding> bindings,
+                          sim::Time flush_delay = sim::ms(15));
+
+  /// Quiesces every bound process (drain mode), applies the whole diff,
+  /// resumes, then invokes `done(success)`.
+  void adapt(const config::Configuration& from, const config::Configuration& to,
+             std::function<void(bool)> done);
+
+  /// Total wall (virtual) time between the first block request and resume.
+  sim::Time last_blocked_duration() const { return last_blocked_duration_; }
+
+ private:
+  void quiesce_receivers();
+  void apply_and_resume();
+
+  sim::Simulator* sim_;
+  const config::ComponentRegistry* registry_;
+  std::map<config::ProcessId, ProcessBinding> bindings_;
+  sim::Time flush_delay_;
+
+  config::Configuration from_;
+  config::Configuration to_;
+  std::function<void(bool)> done_;
+  std::size_t quiescent_count_ = 0;
+  std::size_t sender_count_ = 0;
+  std::size_t receiver_count_ = 0;
+  int min_stage_ = 0;
+  sim::Time started_ = 0;
+  sim::Time last_blocked_duration_ = 0;
+  bool in_progress_ = false;
+};
+
+}  // namespace sa::baselines

@@ -1,0 +1,5 @@
+#include "components/component.hpp"
+
+// Component is header-only behaviour today; this translation unit anchors the
+// vtable so every library linking sa_components shares one copy.
+namespace sa::components {}

@@ -1,0 +1,61 @@
+// Component model in the style of Adaptive Java (paper §2).
+//
+// Each adaptable component offers three interfaces:
+//   * invocations    — normal imperative operations (domain-specific; e.g.
+//                      Filter::process for filters);
+//   * refractions    — observing internal behaviour and state (refract());
+//   * transmutations — changing internal behaviour (transmute()).
+// The refraction/transmutation split is what the paper calls introspection
+// and intercession; agents use refractions to detect local safe states and
+// transmutations to realize in-actions.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace sa::components {
+
+/// Key/value snapshot of a component's observable state.
+using StateSnapshot = std::map<std::string, std::string>;
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Refraction: observable internal state. The base snapshot carries the
+  /// component name; subclasses merge in their own keys.
+  virtual StateSnapshot refract() const {
+    return {{"name", name_}};
+  }
+
+  /// Transmutation: sets a named behavioural parameter. Returns false when
+  /// the key is unknown or the value is rejected; components must remain in a
+  /// consistent state after a rejected transmutation.
+  virtual bool transmute(const std::string& key, const std::string& value) {
+    (void)key;
+    (void)value;
+    return false;
+  }
+
+  /// State transfer during replacement: invoked on the NEW component with the
+  /// component it replaces, while both are quiescent (the process is blocked
+  /// in its safe state). Implementations may move internal state out of
+  /// `predecessor`. Returns true if any state was adopted; the default —
+  /// correct for stateless components like block-cipher codecs — adopts
+  /// nothing.
+  virtual bool adopt_state(Component& predecessor) {
+    (void)predecessor;
+    return false;
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sa::components

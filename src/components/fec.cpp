@@ -1,0 +1,245 @@
+#include "components/fec.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/log.hpp"
+
+namespace sa::components {
+
+namespace {
+
+constexpr std::string_view kDataPrefix = "fec:";
+constexpr std::string_view kParityPrefix = "fec-parity:";
+
+void xor_into(Payload& accumulator, const Payload& payload) {
+  if (accumulator.size() < payload.size()) accumulator.resize(payload.size(), 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) accumulator[i] ^= payload[i];
+}
+
+std::string data_tag(std::uint64_t group) { return std::string(kDataPrefix) + std::to_string(group); }
+
+std::string parity_tag(std::uint64_t group, std::size_t k) {
+  return std::string(kParityPrefix) + std::to_string(group) + ":" + std::to_string(k);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+/// "fec:<group>" -> group id.
+std::optional<std::uint64_t> parse_data_tag(const std::string& tag) {
+  if (tag.rfind(kDataPrefix, 0) != 0) return std::nullopt;
+  return parse_u64(std::string_view(tag).substr(kDataPrefix.size()));
+}
+
+/// "fec-parity:<group>:<k>" -> (group, k).
+std::optional<std::pair<std::uint64_t, std::size_t>> parse_parity_tag(const std::string& tag) {
+  if (tag.rfind(kParityPrefix, 0) != 0) return std::nullopt;
+  const std::string_view rest = std::string_view(tag).substr(kParityPrefix.size());
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto group = parse_u64(rest.substr(0, colon));
+  const auto k = parse_u64(rest.substr(colon + 1));
+  if (!group || !k) return std::nullopt;
+  return std::make_pair(*group, static_cast<std::size_t>(*k));
+}
+
+}  // namespace
+
+// --- encoder -------------------------------------------------------------------
+
+XorFecEncoderFilter::XorFecEncoderFilter(std::string name, std::size_t group_size,
+                                         sim::Time processing_time)
+    : Filter(std::move(name), processing_time), group_size_(std::max<std::size_t>(2, group_size)) {}
+
+std::optional<Packet> XorFecEncoderFilter::process(Packet packet) {
+  // Single-output view: tags the data packet but cannot carry parity.
+  // The chain always uses process_all(); this exists for direct invocation.
+  auto out = process_all(std::move(packet));
+  if (out.empty()) return std::nullopt;
+  return std::move(out.front());
+}
+
+std::vector<Packet> XorFecEncoderFilter::process_all(Packet packet) {
+  accumulator_.seq_xor ^= packet.sequence;
+  accumulator_.checksum_xor ^= packet.plaintext_checksum;
+  accumulator_.length_xor ^= static_cast<std::uint32_t>(packet.payload.size());
+  xor_into(accumulator_.payload_xor, packet.payload);
+  if (accumulator_.count == 0) accumulator_.common_stack = packet.encoding_stack;
+  ++accumulator_.count;
+  note_processed();
+
+  Packet data = std::move(packet);
+  data.encoding_stack.push_back(data_tag(next_group_));
+
+  std::vector<Packet> out;
+  const std::uint64_t last_sequence = data.sequence;
+  const std::uint64_t last_stream = data.stream_id;
+  out.push_back(std::move(data));
+
+  if (accumulator_.count == group_size_) {
+    Packet parity;
+    parity.stream_id = last_stream;
+    parity.sequence = last_sequence;  // rides next to the group's tail
+    parity.plaintext_checksum = accumulator_.checksum_xor;
+    // Payload layout: [8B seq_xor][4B length_xor][payload_xor...].
+    parity.payload.reserve(12 + accumulator_.payload_xor.size());
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      parity.payload.push_back(static_cast<std::uint8_t>(accumulator_.seq_xor >> shift));
+    }
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      parity.payload.push_back(static_cast<std::uint8_t>(accumulator_.length_xor >> shift));
+    }
+    parity.payload.insert(parity.payload.end(), accumulator_.payload_xor.begin(),
+                          accumulator_.payload_xor.end());
+    parity.encoding_stack = accumulator_.common_stack;
+    parity.encoding_stack.push_back(parity_tag(next_group_, group_size_));
+    out.push_back(std::move(parity));
+
+    ++parity_emitted_;
+    ++next_group_;
+    accumulator_ = Accumulator{};
+  }
+  return out;
+}
+
+StateSnapshot XorFecEncoderFilter::refract() const {
+  auto snapshot = Filter::refract();
+  snapshot["group_size"] = std::to_string(group_size_);
+  snapshot["parity_emitted"] = std::to_string(parity_emitted_);
+  return snapshot;
+}
+
+// --- decoder -------------------------------------------------------------------
+
+XorFecDecoderFilter::XorFecDecoderFilter(std::string name, sim::Time processing_time)
+    : Filter(std::move(name), processing_time) {}
+
+std::optional<Packet> XorFecDecoderFilter::process(Packet packet) {
+  auto out = process_all(std::move(packet));
+  if (out.empty()) return std::nullopt;
+  return std::move(out.front());
+}
+
+void XorFecDecoderFilter::absorb_data(GroupState& group, const Packet& packet) {
+  ++group.received;
+  group.seq_xor ^= packet.sequence;
+  group.checksum_xor ^= packet.plaintext_checksum;
+  group.length_xor ^= static_cast<std::uint32_t>(packet.payload.size());
+  xor_into(group.payload_xor, packet.payload);
+}
+
+std::optional<Packet> XorFecDecoderFilter::try_reconstruct(std::uint64_t group_id,
+                                                           GroupState& group) {
+  if (!group.parity_seen || group.expected == 0) return std::nullopt;
+  if (group.received + 1 != group.expected) {
+    if (group.received >= group.expected) groups_.erase(group_id);  // complete, nothing to do
+    return std::nullopt;
+  }
+  // Exactly one data packet missing: XOR of parity fields with the received
+  // packets' fields yields the lost packet verbatim.
+  Packet rebuilt;
+  rebuilt.sequence = group.parity_seq_xor ^ group.seq_xor;
+  rebuilt.plaintext_checksum = group.parity_checksum_xor ^ group.checksum_xor;
+  const std::uint32_t length = group.parity_length_xor ^ group.length_xor;
+  Payload payload = group.parity_payload_xor;
+  xor_into(payload, group.payload_xor);
+  if (length > payload.size()) {
+    SA_WARN("fec") << name() << ": inconsistent parity for group " << group_id;
+    groups_.erase(group_id);
+    return std::nullopt;
+  }
+  payload.resize(length);
+  rebuilt.payload = std::move(payload);
+  rebuilt.encoding_stack = group.parity_stack;  // the group's common residue
+  ++recovered_;
+  groups_.erase(group_id);
+  return rebuilt;
+}
+
+std::vector<Packet> XorFecDecoderFilter::process_all(Packet packet) {
+  std::vector<Packet> out;
+  if (packet.encoding_stack.empty()) {
+    note_bypassed();
+    out.push_back(std::move(packet));
+    return out;
+  }
+
+  if (const auto data = parse_data_tag(packet.encoding_stack.back())) {
+    packet.encoding_stack.pop_back();
+    GroupState& group = groups_[*data];
+    absorb_data(group, packet);
+    note_processed();
+    // stream_id rides along for reconstruction.
+    const std::uint64_t stream = packet.stream_id;
+    out.push_back(std::move(packet));
+    if (auto rebuilt = try_reconstruct(*data, group)) {
+      rebuilt->stream_id = stream;
+      out.push_back(std::move(*rebuilt));
+    }
+    prune();
+    return out;
+  }
+
+  if (const auto parity = parse_parity_tag(packet.encoding_stack.back())) {
+    const auto [group_id, k] = *parity;
+    if (packet.payload.size() < 12) {
+      note_dropped();
+      return out;
+    }
+    GroupState& group = groups_[group_id];
+    group.expected = k;
+    group.parity_seen = true;
+    group.parity_checksum_xor = packet.plaintext_checksum;
+    group.parity_seq_xor = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      group.parity_seq_xor = (group.parity_seq_xor << 8) | packet.payload[i];
+    }
+    group.parity_length_xor = 0;
+    for (std::size_t i = 8; i < 12; ++i) {
+      group.parity_length_xor = (group.parity_length_xor << 8) | packet.payload[i];
+    }
+    group.parity_payload_xor.assign(packet.payload.begin() + 12, packet.payload.end());
+    group.parity_stack = packet.encoding_stack;
+    group.parity_stack.pop_back();
+    note_processed();
+    const std::uint64_t stream = packet.stream_id;
+    if (auto rebuilt = try_reconstruct(group_id, group)) {
+      rebuilt->stream_id = stream;
+      out.push_back(std::move(*rebuilt));
+    }
+    prune();
+    return out;  // parity itself is always absorbed
+  }
+
+  note_bypassed();
+  out.push_back(std::move(packet));
+  return out;
+}
+
+bool XorFecDecoderFilter::adopt_state(Component& predecessor) {
+  auto* other = dynamic_cast<XorFecDecoderFilter*>(&predecessor);
+  if (!other) return false;
+  groups_ = std::move(other->groups_);
+  other->groups_.clear();
+  return true;
+}
+
+void XorFecDecoderFilter::prune() {
+  // Bound state: keep at most 64 groups; stale (oldest) groups can no longer
+  // be repaired anyway once the stream has moved on.
+  while (groups_.size() > 64) groups_.erase(groups_.begin());
+}
+
+StateSnapshot XorFecDecoderFilter::refract() const {
+  auto snapshot = Filter::refract();
+  snapshot["recovered"] = std::to_string(recovered_);
+  snapshot["open_groups"] = std::to_string(groups_.size());
+  return snapshot;
+}
+
+}  // namespace sa::components

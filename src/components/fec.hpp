@@ -1,0 +1,101 @@
+// XOR forward-error-correction filters — the FEC family the paper lists among
+// MetaSocket filters, used by the adaptive-FEC example and loss experiments.
+//
+// Systematic code: every data packet passes through unchanged (tagged with
+// its group id); after each group of `group_size` data packets the encoder
+// emits one parity packet whose payload XORs the group's sequence numbers,
+// checksums, lengths, and (length-padded) payloads. The decoder absorbs
+// parity packets and, when a group is missing exactly one data packet,
+// reconstructs and emits it.
+//
+// Layering: because group bookkeeping rides on the packet's encoding stack,
+// the FEC pair composes transparently with the DES codecs — place the FEC
+// encoder BEFORE the encryption encoder on the sender ([FEC, E1]) and the FEC
+// decoder AFTER decryption on the receiver ([D1, FEC]); parity payloads are
+// then encrypted/decrypted like any other packet.
+//
+// Decoders are safe without encoders (no parity ever arrives; data packets
+// with no fec tag bypass), mirroring the case study's decoder bypass rule —
+// so a safe insertion order is decoders first, then the encoder, and the
+// dependency invariant is the familiar "FecEncoder -> all FecDecoders".
+#pragma once
+
+#include <map>
+
+#include "components/filter.hpp"
+
+namespace sa::components {
+
+/// Encoder: tags data packets "fec:<group>" and appends a parity packet
+/// (tagged "fec-parity:<group>:<k>") after every complete group.
+class XorFecEncoderFilter final : public Filter {
+ public:
+  XorFecEncoderFilter(std::string name, std::size_t group_size,
+                      sim::Time processing_time = sim::us(30));
+
+  std::optional<Packet> process(Packet packet) override;  ///< single-out view
+  std::vector<Packet> process_all(Packet packet) override;
+
+  std::size_t group_size() const { return group_size_; }
+  std::uint64_t parity_emitted() const { return parity_emitted_; }
+
+  StateSnapshot refract() const override;
+
+ private:
+  struct Accumulator {
+    std::uint64_t seq_xor = 0;
+    std::uint64_t checksum_xor = 0;
+    std::uint32_t length_xor = 0;
+    Payload payload_xor;
+    std::vector<std::string> common_stack;  // stack shared by the group
+    std::size_t count = 0;
+  };
+
+  std::size_t group_size_;
+  std::uint64_t next_group_ = 0;
+  Accumulator accumulator_;
+  std::uint64_t parity_emitted_ = 0;
+};
+
+/// Decoder: strips "fec:<group>" tags, absorbs parity, reconstructs a single
+/// missing packet per group.
+class XorFecDecoderFilter final : public Filter {
+ public:
+  explicit XorFecDecoderFilter(std::string name, sim::Time processing_time = sim::us(30));
+
+  std::optional<Packet> process(Packet packet) override;  ///< single-out view
+  std::vector<Packet> process_all(Packet packet) override;
+
+  std::uint64_t recovered() const { return recovered_; }
+
+  /// Replacement-time state transfer: adopts the predecessor decoder's open
+  /// group bookkeeping so packets buffered across the swap stay repairable.
+  bool adopt_state(Component& predecessor) override;
+
+  StateSnapshot refract() const override;
+
+ private:
+  struct GroupState {
+    std::size_t expected = 0;  // k, learned from the parity packet (0 = unknown)
+    std::size_t received = 0;
+    std::uint64_t seq_xor = 0;
+    std::uint64_t checksum_xor = 0;
+    std::uint32_t length_xor = 0;
+    Payload payload_xor;
+    bool parity_seen = false;
+    std::uint64_t parity_seq_xor = 0;
+    std::uint64_t parity_checksum_xor = 0;
+    std::uint32_t parity_length_xor = 0;
+    Payload parity_payload_xor;
+    std::vector<std::string> parity_stack;
+  };
+
+  void absorb_data(GroupState& group, const Packet& packet);
+  std::optional<Packet> try_reconstruct(std::uint64_t group_id, GroupState& group);
+  void prune();
+
+  std::map<std::uint64_t, GroupState> groups_;
+  std::uint64_t recovered_ = 0;
+};
+
+}  // namespace sa::components

@@ -1,0 +1,118 @@
+// Filters: stream-processing components composed into MetaSocket chains
+// (paper §2, §5).  Encoders, decoders, compressors, FEC, etc. all share this
+// invocation interface; the crypto library provides the DES codec filters the
+// paper's case study uses.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "components/component.hpp"
+#include "components/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::components {
+
+struct FilterStats {
+  std::uint64_t processed = 0;
+  std::uint64_t bypassed = 0;  ///< forwarded untouched per the bypass rule
+  std::uint64_t dropped = 0;
+};
+
+class Filter : public Component {
+ public:
+  Filter(std::string name, sim::Time processing_time = sim::us(50))
+      : Component(std::move(name)), processing_time_(processing_time) {}
+
+  /// Invocation interface: transforms a packet. Returning nullopt drops it.
+  /// Implementations must either transform the packet or leave it bit-exact
+  /// (bypass); they record which via note_processed()/note_bypassed().
+  virtual std::optional<Packet> process(Packet packet) = 0;
+
+  /// General invocation used by FilterChain: one input packet may yield zero
+  /// (absorbed), one (transformed/bypassed), or several (e.g. an FEC encoder
+  /// emitting a parity packet alongside the data) outputs. The default
+  /// adapts process(); only multi-output filters override it.
+  virtual std::vector<Packet> process_all(Packet packet) {
+    std::vector<Packet> out;
+    if (auto result = process(std::move(packet))) out.push_back(std::move(*result));
+    return out;
+  }
+
+  /// Virtual time one packet spends inside this filter.
+  sim::Time processing_time() const { return processing_time_; }
+  void set_processing_time(sim::Time t) { processing_time_ = t; }
+
+  const FilterStats& stats() const { return stats_; }
+
+  StateSnapshot refract() const override;
+
+ protected:
+  void note_processed() { ++stats_.processed; }
+  void note_bypassed() { ++stats_.bypassed; }
+  void note_dropped() { ++stats_.dropped; }
+
+ private:
+  sim::Time processing_time_;
+  FilterStats stats_;
+};
+
+using FilterPtr = std::shared_ptr<Filter>;
+
+/// Identity filter; useful in tests and as chain padding.
+class PassThroughFilter final : public Filter {
+ public:
+  explicit PassThroughFilter(std::string name, sim::Time processing_time = sim::us(10))
+      : Filter(std::move(name), processing_time) {}
+
+  std::optional<Packet> process(Packet packet) override {
+    note_processed();
+    return packet;
+  }
+};
+
+/// Tags packets with a label (a stand-in for compression/FEC encoders when a
+/// test needs a recognizable multi-filter chain).
+class TagFilter final : public Filter {
+ public:
+  TagFilter(std::string name, std::string tag, sim::Time processing_time = sim::us(20))
+      : Filter(std::move(name), processing_time), tag_(std::move(tag)) {}
+
+  std::optional<Packet> process(Packet packet) override {
+    packet.encoding_stack.push_back(tag_);
+    note_processed();
+    return packet;
+  }
+
+  StateSnapshot refract() const override {
+    auto snapshot = Filter::refract();
+    snapshot["tag"] = tag_;
+    return snapshot;
+  }
+
+ private:
+  std::string tag_;
+};
+
+/// Pops a matching tag; bypasses otherwise (paper's bypass rule).
+class UntagFilter final : public Filter {
+ public:
+  UntagFilter(std::string name, std::string tag, sim::Time processing_time = sim::us(20))
+      : Filter(std::move(name), processing_time), tag_(std::move(tag)) {}
+
+  std::optional<Packet> process(Packet packet) override {
+    if (!packet.encoding_stack.empty() && packet.encoding_stack.back() == tag_) {
+      packet.encoding_stack.pop_back();
+      note_processed();
+    } else {
+      note_bypassed();
+    }
+    return packet;
+  }
+
+ private:
+  std::string tag_;
+};
+
+}  // namespace sa::components

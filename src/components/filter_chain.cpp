@@ -1,0 +1,179 @@
+#include "components/filter_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace sa::components {
+
+FilterChain::FilterChain(sim::Simulator& sim, std::string name, sim::Time per_packet_overhead)
+    : Component(std::move(name)), sim_(&sim), per_packet_overhead_(per_packet_overhead) {}
+
+void FilterChain::insert_filter(std::size_t index, FilterPtr filter) {
+  if (!filter) throw std::invalid_argument("insert_filter: null filter");
+  if (has_filter(filter->name())) {
+    throw std::invalid_argument("duplicate filter name in chain: " + filter->name());
+  }
+  index = std::min(index, filters_.size());
+  filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(index), std::move(filter));
+}
+
+FilterPtr FilterChain::remove_filter(const std::string& filter_name) {
+  const auto it = std::find_if(filters_.begin(), filters_.end(),
+                               [&](const FilterPtr& f) { return f->name() == filter_name; });
+  if (it == filters_.end()) return nullptr;
+  FilterPtr removed = *it;
+  filters_.erase(it);
+  return removed;
+}
+
+FilterPtr FilterChain::replace_filter(const std::string& old_name, FilterPtr replacement) {
+  if (!replacement) throw std::invalid_argument("replace_filter: null replacement");
+  const auto it = std::find_if(filters_.begin(), filters_.end(),
+                               [&](const FilterPtr& f) { return f->name() == old_name; });
+  if (it == filters_.end()) return nullptr;
+  FilterPtr old = *it;
+  *it = std::move(replacement);
+  return old;
+}
+
+bool FilterChain::has_filter(const std::string& filter_name) const {
+  return std::any_of(filters_.begin(), filters_.end(),
+                     [&](const FilterPtr& f) { return f->name() == filter_name; });
+}
+
+std::vector<std::string> FilterChain::filter_names() const {
+  std::vector<std::string> names;
+  names.reserve(filters_.size());
+  for (const FilterPtr& filter : filters_) names.push_back(filter->name());
+  return names;
+}
+
+void FilterChain::submit(Packet packet) {
+  ++stats_.submitted;
+  queue_.push_back(Pending{std::move(packet), sim_->now()});
+  maybe_start_next();
+}
+
+void FilterChain::request_quiescence(QuiescenceHandler on_quiescent, QuiescenceMode mode) {
+  if (resetting_) throw std::logic_error("quiescence request already pending on " + name());
+  resetting_ = true;
+  quiescence_mode_ = mode;
+  on_quiescent_ = std::move(on_quiescent);
+  if (!busy_ && (mode == QuiescenceMode::Packet || queue_.empty())) {
+    block_and_notify();
+  }
+}
+
+void FilterChain::block_and_notify() {
+  blocked_ = true;
+  resetting_ = false;
+  if (on_quiescent_) {
+    auto handler = std::move(on_quiescent_);
+    on_quiescent_ = nullptr;
+    handler();
+  }
+}
+
+void FilterChain::cancel_quiescence() {
+  resetting_ = false;
+  on_quiescent_ = nullptr;
+  if (blocked_) resume();
+}
+
+void FilterChain::resume() {
+  blocked_ = false;
+  maybe_start_next();
+}
+
+void FilterChain::maybe_start_next() {
+  if (busy_ || blocked_) return;
+  if (resetting_ &&
+      (quiescence_mode_ == QuiescenceMode::Packet || queue_.empty())) {
+    // Packet mode blocks before taking another packet; Drain mode blocks
+    // only once the queue has been worked off.
+    block_and_notify();
+    return;
+  }
+  if (queue_.empty()) return;
+  busy_ = true;
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+
+  sim::Time duration = per_packet_overhead_;
+  for (const FilterPtr& filter : filters_) duration += filter->processing_time();
+
+  sim_->schedule_after(duration, [this, pending = std::move(pending)]() mutable {
+    finish_packet(std::move(pending.packet), pending.entry_time);
+  });
+}
+
+void FilterChain::finish_packet(Packet packet, sim::Time entry_time) {
+  // The packet traverses every filter in order; each filter may absorb it,
+  // transform it, or fan it out (FEC parity). Filters see the packet only
+  // now, at completion time, which is equivalent to traversal-at-exit and
+  // keeps the event count low.
+  std::vector<Packet> current;
+  current.push_back(std::move(packet));
+  for (const FilterPtr& filter : filters_) {
+    std::vector<Packet> next;
+    for (Packet& in_flight : current) {
+      std::vector<Packet> produced = filter->process_all(std::move(in_flight));
+      for (Packet& out : produced) next.push_back(std::move(out));
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  if (current.empty()) {
+    ++stats_.dropped_by_filters;
+  } else {
+    const sim::Time delay = sim_->now() - entry_time;
+    stats_.total_delay += delay;
+    stats_.max_delay = std::max(stats_.max_delay, delay);
+    if (log_delays_) delay_log_.push_back(delay);
+    for (Packet& out : current) {
+      ++stats_.delivered;
+      if (output_) output_(std::move(out));
+    }
+  }
+
+  busy_ = false;
+  maybe_start_next();
+}
+
+StateSnapshot FilterChain::refract() const {
+  auto snapshot = Component::refract();
+  snapshot["filters"] = [this] {
+    std::string joined;
+    for (const FilterPtr& filter : filters_) {
+      if (!joined.empty()) joined += ",";
+      joined += filter->name();
+    }
+    return joined;
+  }();
+  snapshot["busy"] = busy_ ? "1" : "0";
+  snapshot["blocked"] = blocked_ ? "1" : "0";
+  snapshot["queued"] = std::to_string(queue_.size());
+  snapshot["submitted"] = std::to_string(stats_.submitted);
+  snapshot["delivered"] = std::to_string(stats_.delivered);
+  return snapshot;
+}
+
+bool FilterChain::transmute(const std::string& key, const std::string& value) {
+  if (key == "remove_filter") return remove_filter(value) != nullptr;
+  if (key == "blocked") {
+    if (value == "0") {
+      resume();
+      return true;
+    }
+    if (value == "1") {
+      blocked_ = true;
+      return true;
+    }
+    return false;
+  }
+  return Component::transmute(key, value);
+}
+
+}  // namespace sa::components

@@ -1,0 +1,128 @@
+// FilterChain: this repository's MetaSocket (paper §2).
+//
+// A chain of filters through which packets flow in order.  Its structure can
+// be recomposed at run time (insert / remove / replace a filter) — those are
+// the transmutations the adaptive actions execute.  The chain also implements
+// the *local safe state* machinery of §5.2: an agent requests quiescence, the
+// chain finishes the packet currently being processed (the critical
+// communication segment at this granularity), then blocks itself and notifies
+// the agent.  While blocked, arriving packets queue; resume() drains them.
+//
+// Packets take virtual time to traverse the chain (a fixed overhead plus each
+// filter's processing time), so blocking during adaptation produces the
+// packet-delay costs the paper's Table 2 reports.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "components/filter.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::components {
+
+struct ChainStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_by_filters = 0;
+  sim::Time total_delay = 0;  ///< sum over delivered packets of (exit - entry)
+  sim::Time max_delay = 0;
+};
+
+class FilterChain : public Component {
+ public:
+  using OutputHandler = std::function<void(Packet)>;
+  using QuiescenceHandler = std::function<void()>;
+
+  FilterChain(sim::Simulator& sim, std::string name, sim::Time per_packet_overhead = sim::us(20));
+
+  // --- composition (transmutations) ----------------------------------------
+
+  /// Inserts at `index` (clamped to [0, size]).
+  void insert_filter(std::size_t index, FilterPtr filter);
+  void append_filter(FilterPtr filter) { insert_filter(filters_.size(), std::move(filter)); }
+
+  /// Removes the named filter and returns it; nullptr when absent.
+  FilterPtr remove_filter(const std::string& filter_name);
+
+  /// Replaces `old_name` in place; returns the old filter, or nullptr (and
+  /// performs nothing) when `old_name` is absent.
+  FilterPtr replace_filter(const std::string& old_name, FilterPtr replacement);
+
+  bool has_filter(const std::string& filter_name) const;
+  std::vector<std::string> filter_names() const;
+  std::size_t size() const { return filters_.size(); }
+
+  // --- data path (invocations) ----------------------------------------------
+
+  /// Entry point: queues the packet for processing.
+  void submit(Packet packet);
+
+  /// Exit callback, invoked when a packet leaves the last filter.
+  void set_output(OutputHandler handler) { output_ = std::move(handler); }
+
+  // --- safe-state protocol hooks ---------------------------------------------
+
+  /// Quiescence granularity: Packet blocks after the in-flight packet
+  /// completes (the *local safe state*); Drain additionally waits until the
+  /// input queue is empty (the *global safe condition* for a receiver — every
+  /// packet the sender emitted has been fully processed).
+  enum class QuiescenceMode { Packet, Drain };
+
+  /// Sets the "resetting" flag (§5.2): once quiescent per `mode`, the chain
+  /// blocks and fires `on_quiescent`. Fires immediately if already there.
+  /// Only one outstanding request at a time.
+  void request_quiescence(QuiescenceHandler on_quiescent,
+                          QuiescenceMode mode = QuiescenceMode::Packet);
+
+  /// Abandons a pending quiescence request / unblocks without adapting
+  /// (rollback path).
+  void cancel_quiescence();
+
+  /// True iff no packet is mid-processing (the local safe state).
+  bool quiescent() const { return !busy_; }
+  bool blocked() const { return blocked_; }
+
+  /// Releases a blocked chain and drains the queue.
+  void resume();
+
+  std::size_t queued() const { return queue_.size(); }
+  const ChainStats& stats() const { return stats_; }
+
+  /// When enabled, per-packet delays are appended to delay_log().
+  void set_delay_logging(bool enabled) { log_delays_ = enabled; }
+  const std::vector<sim::Time>& delay_log() const { return delay_log_; }
+
+  StateSnapshot refract() const override;
+  bool transmute(const std::string& key, const std::string& value) override;
+
+ private:
+  void maybe_start_next();
+  void finish_packet(Packet packet, sim::Time entry_time);
+  void block_and_notify();
+
+  sim::Simulator* sim_;
+  sim::Time per_packet_overhead_;
+  std::vector<FilterPtr> filters_;
+  OutputHandler output_;
+
+  struct Pending {
+    Packet packet;
+    sim::Time entry_time;
+  };
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool blocked_ = false;
+  bool resetting_ = false;
+  QuiescenceMode quiescence_mode_ = QuiescenceMode::Packet;
+  QuiescenceHandler on_quiescent_;
+
+  ChainStats stats_;
+  bool log_delays_ = false;
+  std::vector<sim::Time> delay_log_;
+};
+
+}  // namespace sa::components

@@ -1,0 +1,27 @@
+#include "components/packet.hpp"
+
+namespace sa::components {
+
+std::uint64_t payload_checksum(const Payload& payload) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Packet Packet::make(std::uint64_t stream_id, std::uint64_t sequence, Payload payload) {
+  Packet packet;
+  packet.stream_id = stream_id;
+  packet.sequence = sequence;
+  packet.plaintext_checksum = payload_checksum(payload);
+  packet.payload = std::move(payload);
+  return packet;
+}
+
+bool Packet::intact() const {
+  return encoding_stack.empty() && payload_checksum(payload) == plaintext_checksum;
+}
+
+}  // namespace sa::components

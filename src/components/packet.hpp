@@ -1,0 +1,40 @@
+// Packets: the data unit flowing through MetaSocket filter chains.
+//
+// A packet carries an opaque payload plus a small header:
+//   * stream / sequence ids so receivers can detect loss and reordering;
+//   * an `encoding_stack` of codec tags (e.g. "des64") pushed by encoders and
+//     popped by decoders — this is the header a real MetaSocket filter reads
+//     to implement the paper's "bypass" rule;
+//   * a checksum over the ORIGINAL plaintext payload, set at the producer.
+// A receiver that decodes a packet and finds checksum mismatch has observed
+// exactly the corruption an unsafe adaptation causes (e.g. 128-bit data hit
+// by a 64-bit decoder mid-swap).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sa::components {
+
+using Payload = std::vector<std::uint8_t>;
+
+/// FNV-1a over the payload bytes; cheap and adequate for corruption checks.
+std::uint64_t payload_checksum(const Payload& payload);
+
+struct Packet {
+  std::uint64_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  Payload payload;
+  std::vector<std::string> encoding_stack;
+  std::uint64_t plaintext_checksum = 0;
+
+  /// Builds a packet and stamps plaintext_checksum from `payload`.
+  static Packet make(std::uint64_t stream_id, std::uint64_t sequence, Payload payload);
+
+  /// True iff payload currently matches plaintext_checksum AND all encodings
+  /// have been removed — i.e. the packet arrived intact and fully decoded.
+  bool intact() const;
+};
+
+}  // namespace sa::components

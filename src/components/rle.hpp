@@ -1,0 +1,77 @@
+// Run-length-encoding codec filters — the "compression" filter family the
+// paper lists alongside encryption and FEC as MetaSocket stream manipulators.
+//
+// Format: a sequence of (count, byte) pairs, count in [1, 255]. Encoding is
+// applied unconditionally and tagged "rle"; whether it shrinks the payload
+// depends on the content (synthetic video with run-structured payloads
+// compresses well, random payloads expand by ~2x — both are valid workloads
+// for adaptation experiments that trade CPU for bandwidth).
+#pragma once
+
+#include "components/filter.hpp"
+
+namespace sa::components {
+
+inline constexpr const char* kTagRle = "rle";
+
+/// RLE-encodes `input`.
+Payload rle_encode(const Payload& input);
+
+/// Decodes rle_encode output; returns nullopt on malformed input (odd length).
+std::optional<Payload> rle_decode(const Payload& input);
+
+class RleCompressFilter final : public Filter {
+ public:
+  explicit RleCompressFilter(std::string name, sim::Time processing_time = sim::us(40))
+      : Filter(std::move(name), processing_time) {}
+
+  std::optional<Packet> process(Packet packet) override {
+    bytes_in_ += packet.payload.size();
+    packet.payload = rle_encode(packet.payload);
+    bytes_out_ += packet.payload.size();
+    packet.encoding_stack.emplace_back(kTagRle);
+    note_processed();
+    return packet;
+  }
+
+  /// Observed compression ratio (output/input); > 1 means expansion.
+  double ratio() const {
+    return bytes_in_ == 0 ? 1.0
+                          : static_cast<double>(bytes_out_) / static_cast<double>(bytes_in_);
+  }
+
+  StateSnapshot refract() const override {
+    auto snapshot = Filter::refract();
+    snapshot["bytes_in"] = std::to_string(bytes_in_);
+    snapshot["bytes_out"] = std::to_string(bytes_out_);
+    return snapshot;
+  }
+
+ private:
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+class RleDecompressFilter final : public Filter {
+ public:
+  explicit RleDecompressFilter(std::string name, sim::Time processing_time = sim::us(40))
+      : Filter(std::move(name), processing_time) {}
+
+  std::optional<Packet> process(Packet packet) override {
+    if (packet.encoding_stack.empty() || packet.encoding_stack.back() != kTagRle) {
+      note_bypassed();
+      return packet;
+    }
+    auto decoded = rle_decode(packet.payload);
+    if (!decoded) {
+      note_dropped();
+      return std::nullopt;
+    }
+    packet.payload = std::move(*decoded);
+    packet.encoding_stack.pop_back();
+    note_processed();
+    return packet;
+  }
+};
+
+}  // namespace sa::components

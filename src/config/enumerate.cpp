@@ -1,0 +1,207 @@
+#include "config/enumerate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sa::config {
+
+namespace {
+
+/// Union-find over component ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0U);
+  }
+
+  ComponentId find(ComponentId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(ComponentId a, ComponentId b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<ComponentId> parent_;
+};
+
+}  // namespace
+
+std::vector<Configuration> enumerate_safe_exhaustive(const InvariantSet& invariants) {
+  const std::size_t n = invariants.registry().size();
+  std::vector<Configuration> safe;
+  const std::uint64_t limit = n >= 64 ? 0 : (1ULL << n);
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    const Configuration config(bits);
+    if (invariants.satisfied(config)) safe.push_back(config);
+  }
+  return safe;
+}
+
+std::vector<Configuration> enumerate_safe_pruned(const InvariantSet& invariants) {
+  const std::size_t n = invariants.registry().size();
+  const auto& predicates = invariants.invariants();
+
+  // checkpoint[d] = invariants whose highest-referenced component id is d:
+  // once bit d has been assigned, those invariants are fully determined.
+  std::vector<std::vector<std::size_t>> checkpoint(n);
+  std::vector<std::size_t> variable_free;  // invariants referencing no component
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    const auto ids = invariants.referenced_components(i);
+    if (ids.empty()) {
+      variable_free.push_back(i);
+      continue;
+    }
+    const ComponentId highest = *std::max_element(ids.begin(), ids.end());
+    checkpoint[highest].push_back(i);
+  }
+
+  std::vector<Configuration> safe;
+  const auto& registry = invariants.registry();
+
+  // A constant-false invariant (e.g. "false") empties the safe set outright.
+  for (const std::size_t i : variable_free) {
+    const Configuration empty_config;
+    const auto assignment = [&](const std::string& name) {
+      return empty_config.contains(registry.require(name));
+    };
+    if (!predicates[i].predicate->evaluate(assignment)) return safe;
+  }
+
+  // Iterative DFS over bit assignments, lowest component id first.
+  struct Frame {
+    std::uint64_t bits;
+    std::size_t depth;  // number of assigned bits
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.depth == n) {
+      safe.emplace_back(frame.bits);
+      continue;
+    }
+    // Try bit `depth` = 1 first then 0 so that popping yields ascending order.
+    for (const std::uint64_t bit : {1ULL, 0ULL}) {
+      const std::uint64_t bits = frame.bits | (bit << frame.depth);
+      const Configuration partial(bits);
+      const auto assignment = [&](const std::string& name) {
+        return partial.contains(registry.require(name));
+      };
+      bool viable = true;
+      for (const std::size_t i : checkpoint[frame.depth]) {
+        if (!predicates[i].predicate->evaluate(assignment)) {
+          viable = false;
+          break;
+        }
+      }
+      if (viable) stack.push_back(Frame{bits, frame.depth + 1});
+    }
+  }
+  std::sort(safe.begin(), safe.end());
+  return safe;
+}
+
+std::vector<std::vector<ComponentId>> collaborative_sets(const InvariantSet& invariants) {
+  const std::size_t n = invariants.registry().size();
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < invariants.invariants().size(); ++i) {
+    const auto ids = invariants.referenced_components(i);
+    for (std::size_t j = 1; j < ids.size(); ++j) sets.unite(ids[0], ids[j]);
+  }
+  std::vector<std::vector<ComponentId>> grouped(n);
+  for (ComponentId id = 0; id < n; ++id) grouped[sets.find(id)].push_back(id);
+  std::vector<std::vector<ComponentId>> out;
+  for (auto& group : grouped) {
+    if (!group.empty()) out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+namespace {
+
+/// Safe local assignments of `members`: every invariant fully contained in the
+/// member set is evaluated with non-members fixed to false (legitimate because
+/// by construction no invariant straddles two collaborative sets).
+std::vector<std::uint64_t> safe_masks_for_set(const InvariantSet& invariants,
+                                              const std::vector<ComponentId>& members) {
+  const auto& registry = invariants.registry();
+  std::vector<std::size_t> local_invariants;
+  for (std::size_t i = 0; i < invariants.invariants().size(); ++i) {
+    const auto ids = invariants.referenced_components(i);
+    if (ids.empty()) continue;
+    const bool inside = std::all_of(ids.begin(), ids.end(), [&](ComponentId id) {
+      return std::find(members.begin(), members.end(), id) != members.end();
+    });
+    if (inside) local_invariants.push_back(i);
+  }
+
+  std::vector<std::uint64_t> masks;
+  const std::uint64_t limit = 1ULL << members.size();
+  for (std::uint64_t local = 0; local < limit; ++local) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if ((local >> j) & 1U) bits |= 1ULL << members[j];
+    }
+    const Configuration config(bits);
+    const auto assignment = [&](const std::string& name) {
+      return config.contains(registry.require(name));
+    };
+    bool ok = true;
+    for (const std::size_t i : local_invariants) {
+      if (!invariants.invariants()[i].predicate->evaluate(assignment)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) masks.push_back(bits);
+  }
+  return masks;
+}
+
+bool has_constant_false_invariant(const InvariantSet& invariants) {
+  for (std::size_t i = 0; i < invariants.invariants().size(); ++i) {
+    if (!invariants.referenced_components(i).empty()) continue;
+    const auto assignment = [](const std::string&) { return false; };
+    if (!invariants.invariants()[i].predicate->evaluate(assignment)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Configuration> enumerate_safe_decomposed(const InvariantSet& invariants) {
+  if (has_constant_false_invariant(invariants)) return {};
+  std::vector<Configuration> combined{Configuration{}};
+  for (const auto& members : collaborative_sets(invariants)) {
+    const auto masks = safe_masks_for_set(invariants, members);
+    std::vector<Configuration> next;
+    next.reserve(combined.size() * masks.size());
+    for (const Configuration& partial : combined) {
+      for (const std::uint64_t mask : masks) {
+        next.emplace_back(partial.bits() | mask);
+      }
+    }
+    combined = std::move(next);
+    if (combined.empty()) break;
+  }
+  std::sort(combined.begin(), combined.end());
+  return combined;
+}
+
+std::uint64_t count_safe_decomposed(const InvariantSet& invariants) {
+  if (has_constant_false_invariant(invariants)) return 0;
+  std::uint64_t product = 1;
+  for (const auto& members : collaborative_sets(invariants)) {
+    product *= safe_masks_for_set(invariants, members).size();
+    if (product == 0) break;
+  }
+  return product;
+}
+
+}  // namespace sa::config

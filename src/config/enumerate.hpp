@@ -1,0 +1,43 @@
+// Safe-configuration enumeration (paper §4.2 step 1 and §7 scalability).
+//
+// Three strategies, all returning identical sets:
+//   * exhaustive  — check all 2^n configurations against every invariant; the
+//                   baseline the paper describes (exponential in n).
+//   * pruned      — depth-first assignment of component bits; an invariant is
+//                   checked as soon as all of its variables are assigned, and
+//                   the subtree is pruned on violation.
+//   * decomposed  — the paper's §7 proposal: partition components into
+//                   *collaborative sets* (connected via shared invariants),
+//                   enumerate each set independently, and combine; complexity
+//                   drops from 2^n to Σ 2^|set_i| (+ product materialization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/invariants.hpp"
+
+namespace sa::config {
+
+/// All safe configurations, ascending by bit pattern. O(2^n * |I|).
+std::vector<Configuration> enumerate_safe_exhaustive(const InvariantSet& invariants);
+
+/// Same result set via pruned DFS; ascending by bit pattern.
+std::vector<Configuration> enumerate_safe_pruned(const InvariantSet& invariants);
+
+/// Collaborative sets: components connected transitively through invariants
+/// that mention both. Components mentioned by no invariant form singleton
+/// sets. Sets are returned sorted by their smallest member; members ascend.
+std::vector<std::vector<ComponentId>> collaborative_sets(const InvariantSet& invariants);
+
+/// Decomposed enumeration: per-set safe sub-configurations combined via
+/// cartesian product. Equals the exhaustive set (ascending) whenever every
+/// invariant's variables fall within a single collaborative set — which the
+/// construction guarantees.
+std::vector<Configuration> enumerate_safe_decomposed(const InvariantSet& invariants);
+
+/// Count-only variant of the decomposed strategy (no product materialization):
+/// Π per-set-count. Useful when the full set would not fit in memory.
+std::uint64_t count_safe_decomposed(const InvariantSet& invariants);
+
+}  // namespace sa::config

@@ -1,0 +1,55 @@
+// Invariant sets: the paper's dependency relationships I (§3.1, §4.1).
+//
+// An InvariantSet is the conjunction of named dependency-relationship
+// predicates over registered components.  A configuration is *safe* iff it
+// satisfies every invariant when each component present is assigned true and
+// each component absent is assigned false (paper, "Safe Configurations").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "config/registry.hpp"
+#include "expr/ast.hpp"
+#include "expr/parser.hpp"
+
+namespace sa::config {
+
+struct Invariant {
+  std::string name;        ///< human-readable label, e.g. "security constraint"
+  expr::ExprPtr predicate; ///< expression over component names
+};
+
+class InvariantSet {
+ public:
+  explicit InvariantSet(const ComponentRegistry& registry) : registry_(&registry) {}
+
+  /// Adds an invariant; throws std::out_of_range if the expression references
+  /// a component name that is not registered (catches invariant typos at
+  /// analysis time, not during a runtime adaptation).
+  void add(std::string name, expr::ExprPtr predicate);
+
+  /// Convenience: parses `expression_text` with sa::expr::parse.
+  void add(std::string name, std::string_view expression_text);
+
+  const std::vector<Invariant>& invariants() const { return invariants_; }
+  const ComponentRegistry& registry() const { return *registry_; }
+
+  /// True iff `config` satisfies every invariant.
+  bool satisfied(const Configuration& config) const;
+
+  /// Names of invariants violated by `config` (empty iff safe).
+  std::vector<std::string> violations(const Configuration& config) const;
+
+  /// ComponentIds referenced by invariant `index`.
+  std::vector<ComponentId> referenced_components(std::size_t index) const;
+
+ private:
+  const ComponentRegistry* registry_;
+  std::vector<Invariant> invariants_;
+  // Per-invariant resolved variable ids, parallel to invariants_.
+  std::vector<std::vector<ComponentId>> variable_ids_;
+};
+
+}  // namespace sa::config

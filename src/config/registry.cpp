@@ -1,0 +1,42 @@
+#include "config/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sa::config {
+
+ComponentId ComponentRegistry::add(std::string name, ProcessId process, std::string description) {
+  if (name.empty()) throw std::invalid_argument("component name must be non-empty");
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate component name: " + name);
+  }
+  if (components_.size() >= 64) {
+    throw std::invalid_argument("ComponentRegistry supports at most 64 components");
+  }
+  const ComponentId id = static_cast<ComponentId>(components_.size());
+  by_name_.emplace(name, id);
+  components_.push_back(ComponentInfo{std::move(name), process, std::move(description)});
+  return id;
+}
+
+std::optional<ComponentId> ComponentRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+ComponentId ComponentRegistry::require(const std::string& name) const {
+  const auto id = find(name);
+  if (!id) throw std::out_of_range("unknown component: " + name);
+  return *id;
+}
+
+std::vector<ProcessId> ComponentRegistry::processes() const {
+  std::vector<ProcessId> out;
+  for (const auto& component : components_) out.push_back(component.process);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sa::config

@@ -1,0 +1,287 @@
+#include "core/composite.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace sa::core {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0U);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CompositeAdaptationSystem::CompositeAdaptationSystem(CompositeConfig config)
+    : config_(config), network_(sim_, config.seed) {}
+
+CompositeAdaptationSystem::~CompositeAdaptationSystem() = default;
+
+void CompositeAdaptationSystem::add_invariant(std::string name, std::string_view expression) {
+  if (finalized()) throw std::logic_error("cannot add invariants after finalize()");
+  expr::ExprPtr predicate = expr::parse(expression);
+  // Validate component names eagerly, like InvariantSet::add does.
+  for (const std::string& variable : predicate->variables()) registry_.require(variable);
+  pending_invariants_.push_back(PendingInvariant{std::move(name), std::move(predicate)});
+}
+
+void CompositeAdaptationSystem::add_action(std::string name, std::vector<std::string> removes,
+                                           std::vector<std::string> adds, double cost,
+                                           std::string description) {
+  if (finalized()) throw std::logic_error("cannot add actions after finalize()");
+  for (const std::string& component : removes) registry_.require(component);
+  for (const std::string& component : adds) registry_.require(component);
+  pending_actions_.push_back(
+      PendingAction{std::move(name), std::move(removes), std::move(adds), cost,
+                    std::move(description)});
+}
+
+void CompositeAdaptationSystem::attach_process(config::ProcessId process,
+                                               proto::AdaptableProcess& target, int stage) {
+  if (finalized()) throw std::logic_error("cannot attach processes after finalize()");
+  pending_processes_.push_back(PendingProcess{process, &target, stage});
+}
+
+void CompositeAdaptationSystem::finalize() {
+  if (finalized()) throw std::logic_error("finalize() called twice");
+  finalized_ = true;
+  const std::size_t n = registry_.size();
+
+  // Collaborative sets: components connected through an invariant OR an
+  // action collaborate and must be planned together.
+  UnionFind sets(n);
+  for (const PendingInvariant& invariant : pending_invariants_) {
+    const auto variables = invariant.predicate->variables();
+    for (std::size_t i = 1; i < variables.size(); ++i) {
+      sets.unite(registry_.require(variables[0]), registry_.require(variables[i]));
+    }
+  }
+  for (const PendingAction& action : pending_actions_) {
+    std::vector<std::string> all = action.removes;
+    all.insert(all.end(), action.adds.begin(), action.adds.end());
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      sets.unite(registry_.require(all[0]), registry_.require(all[i]));
+    }
+  }
+
+  std::map<std::size_t, std::vector<config::ComponentId>> grouped;
+  for (config::ComponentId id = 0; id < n; ++id) {
+    grouped[sets.find(id)].push_back(id);
+  }
+
+  for (auto& [root, members] : grouped) {
+    auto shard = std::make_unique<Shard>();
+    shard->members = members;  // ascending by construction
+    shard->registry = std::make_unique<config::ComponentRegistry>();
+    for (const config::ComponentId id : members) {
+      const auto& info = registry_.info(id);
+      shard->registry->add(info.name, info.process, info.description);
+    }
+    shard->invariants = std::make_unique<config::InvariantSet>(*shard->registry);
+    for (const PendingInvariant& invariant : pending_invariants_) {
+      const auto variables = invariant.predicate->variables();
+      const bool belongs =
+          variables.empty() ||  // constant invariants constrain every shard
+          std::all_of(variables.begin(), variables.end(), [&](const std::string& name) {
+            return shard->registry->find(name).has_value();
+          });
+      if (belongs) shard->invariants->add(invariant.name, invariant.predicate);
+    }
+    shard->actions = std::make_unique<actions::ActionTable>(*shard->registry);
+    for (const PendingAction& action : pending_actions_) {
+      const std::string* probe =
+          !action.removes.empty() ? &action.removes.front() : &action.adds.front();
+      if (!shard->registry->find(*probe)) continue;
+      shard->actions->add(action.name, action.removes, action.adds, action.cost,
+                          action.description);
+    }
+
+    const sim::NodeId manager_node =
+        network_.add_node("manager-s" + std::to_string(shards_.size()));
+    shard->manager = std::make_unique<proto::AdaptationManager>(
+        network_, manager_node, *shard->invariants, *shard->actions, config_.manager);
+
+    // Agents: one per process hosting a member of this shard.
+    for (const PendingProcess& pending : pending_processes_) {
+      const bool hosts_member =
+          std::any_of(members.begin(), members.end(), [&](config::ComponentId id) {
+            return registry_.process(id) == pending.process;
+          });
+      if (!hosts_member) continue;
+      const sim::NodeId agent_node = network_.add_node(
+          "agent-s" + std::to_string(shards_.size()) + "-p" + std::to_string(pending.process));
+      network_.link_bidirectional(manager_node, agent_node, config_.control_channel);
+      shard->agents.push_back(std::make_unique<proto::AdaptationAgent>(
+          network_, agent_node, manager_node, *pending.target, config_.agent));
+      shard->manager->register_agent(pending.process, agent_node, pending.stage);
+      shard->processes.push_back(pending.process);
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  // Lanes: shards sharing a process must serialize (their agents drive the
+  // same AdaptableProcess); process-disjoint shards may adapt concurrently.
+  UnionFind lanes(shards_.size());
+  for (std::size_t a = 0; a < shards_.size(); ++a) {
+    for (std::size_t b = a + 1; b < shards_.size(); ++b) {
+      const auto& pa = shards_[a]->processes;
+      const auto& pb = shards_[b]->processes;
+      const bool overlap = std::any_of(pa.begin(), pa.end(), [&](config::ProcessId p) {
+        return std::find(pb.begin(), pb.end(), p) != pb.end();
+      });
+      if (overlap) lanes.unite(a, b);
+    }
+  }
+  std::map<std::size_t, std::size_t> lane_index;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t root = lanes.find(i);
+    shards_[i]->lane = lane_index.emplace(root, lane_index.size()).first->second;
+  }
+  lane_count_ = lane_index.size();
+  SA_INFO("composite") << shards_.size() << " collaborative set(s) in " << lane_count_
+                       << " concurrency lane(s)";
+}
+
+const std::vector<config::ComponentId>& CompositeAdaptationSystem::shard_members(
+    std::size_t index) const {
+  return shards_.at(index)->members;
+}
+
+proto::AdaptationManager& CompositeAdaptationSystem::shard_manager(std::size_t index) {
+  return *shards_.at(index)->manager;
+}
+
+config::Configuration CompositeAdaptationSystem::to_local(
+    const Shard& shard, const config::Configuration& global) const {
+  config::Configuration local;
+  for (std::size_t i = 0; i < shard.members.size(); ++i) {
+    if (global.contains(shard.members[i])) local = local.with(static_cast<config::ComponentId>(i));
+  }
+  return local;
+}
+
+config::Configuration CompositeAdaptationSystem::to_global(
+    const Shard& shard, const config::Configuration& local) const {
+  config::Configuration global;
+  for (std::size_t i = 0; i < shard.members.size(); ++i) {
+    if (local.contains(static_cast<config::ComponentId>(i))) {
+      global = global.with(shard.members[i]);
+    }
+  }
+  return global;
+}
+
+void CompositeAdaptationSystem::set_current_configuration(config::Configuration global) {
+  if (shards_.empty()) throw std::logic_error("system not finalized");
+  for (const auto& shard : shards_) {
+    shard->manager->set_current_configuration(to_local(*shard, global));
+  }
+}
+
+config::Configuration CompositeAdaptationSystem::current_configuration() const {
+  config::Configuration global;
+  for (const auto& shard : shards_) {
+    global = global.unite(to_global(*shard, shard->manager->current_configuration()));
+  }
+  return global;
+}
+
+void CompositeAdaptationSystem::request_adaptation(config::Configuration global_target,
+                                                   CompletionHandler handler) {
+  if (shards_.empty()) throw std::logic_error("system not finalized");
+  if (request_in_flight_) {
+    throw std::logic_error("composite adaptation request while another is in flight");
+  }
+  request_in_flight_ = true;
+
+  // Sub-requests per shard whose slice of the target differs from its state.
+  struct LaneWork {
+    std::vector<Shard*> shards;
+  };
+  std::map<std::size_t, LaneWork> lanes;
+  for (const auto& shard : shards_) {
+    const auto local_target = to_local(*shard, global_target);
+    if (local_target == shard->manager->current_configuration()) continue;
+    lanes[shard->lane].shards.push_back(shard.get());
+  }
+
+  auto state = std::make_shared<CompositeResult>();
+  state->started = sim_.now();
+  auto outstanding = std::make_shared<std::size_t>(lanes.size());
+  auto finish_if_done = [this, state, outstanding, handler = std::move(handler)]() {
+    if (*outstanding != 0) return;
+    state->success = std::all_of(
+        state->shard_results.begin(), state->shard_results.end(),
+        [](const proto::AdaptationResult& r) {
+          return r.outcome == proto::AdaptationOutcome::Success;
+        });
+    state->final_config = current_configuration();
+    state->finished = sim_.now();
+    request_in_flight_ = false;
+    if (handler) handler(*state);
+  };
+
+  if (lanes.empty()) {
+    // Nothing to do anywhere: report immediate success.
+    sim_.schedule_after(0, [finish_if_done]() mutable { finish_if_done(); });
+    return;
+  }
+
+  // Each lane runs its shards sequentially; lanes run concurrently. The
+  // stepping function holds only a weak reference to itself — the strong
+  // reference lives in the manager's in-flight completion handler — so the
+  // closure is reclaimed exactly when the lane finishes.
+  for (auto& [lane_id, work] : lanes) {
+    auto queue = std::make_shared<std::vector<Shard*>>(std::move(work.shards));
+    auto index = std::make_shared<std::size_t>(0);
+    auto run_next = std::make_shared<std::function<void()>>();
+    *run_next = [this, queue, index, state, outstanding, finish_if_done,
+                 weak_self = std::weak_ptr<std::function<void()>>(run_next), global_target]() {
+      if (*index >= queue->size()) {
+        --*outstanding;
+        finish_if_done();
+        return;
+      }
+      auto self = weak_self.lock();
+      if (!self) return;
+      Shard* shard = (*queue)[(*index)++];
+      shard->manager->request_adaptation(
+          to_local(*shard, global_target),
+          [state, self](const proto::AdaptationResult& result) {
+            state->shard_results.push_back(result);
+            (*self)();
+          });
+    };
+    (*run_next)();
+  }
+}
+
+CompositeResult CompositeAdaptationSystem::adapt_and_wait(config::Configuration global_target,
+                                                          std::size_t max_events) {
+  std::optional<CompositeResult> result;
+  request_adaptation(global_target, [&result](const CompositeResult& r) { result = r; });
+  std::size_t events = 0;
+  while (!result && events < max_events && sim_.step()) ++events;
+  if (!result) throw std::runtime_error("composite adaptation did not terminate");
+  return *result;
+}
+
+}  // namespace sa::core

@@ -1,0 +1,168 @@
+#include "core/scenario_file.hpp"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace sa::core {
+
+namespace {
+
+/// Splits a scenario line into whitespace-separated tokens, keeping quoted
+/// strings ("...") as single tokens with the quotes stripped.
+std::vector<std::string> tokenize(const std::string& line, std::size_t line_number) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // comment to end of line
+    if (line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string::npos) {
+        throw ScenarioParseError("unterminated quoted string", line_number);
+      }
+      tokens.push_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end])) &&
+           line[end] != '#') {
+      ++end;
+    }
+    tokens.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+/// Parses "key=value" into value if the token has the given key.
+std::optional<std::string> keyed(const std::string& token, std::string_view key) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return std::nullopt;
+  return token.substr(prefix.size());
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> names;
+  for (const std::string& part : util::split(list, ',')) {
+    const auto trimmed = util::trim(part);
+    if (!trimmed.empty()) names.emplace_back(trimmed);
+  }
+  return names;
+}
+
+config::Configuration parse_configuration(const std::string& text,
+                                          const config::ComponentRegistry& registry,
+                                          std::size_t line_number) {
+  const bool is_bits = text.find_first_not_of("01") == std::string::npos &&
+                       text.size() == registry.size() && !text.empty();
+  try {
+    if (is_bits) return config::Configuration::from_bit_string(text, registry.size());
+    config::Configuration config;
+    for (const std::string& name : split_names(text)) {
+      config = config.with(registry.require(name));
+    }
+    return config;
+  } catch (const std::exception& e) {
+    throw ScenarioParseError(e.what(), line_number);
+  }
+}
+
+}  // namespace
+
+ParsedScenario parse_scenario(std::istream& input) {
+  ParsedScenario scenario;
+  scenario.registry = std::make_unique<config::ComponentRegistry>();
+  scenario.invariants = std::make_unique<config::InvariantSet>(*scenario.registry);
+  scenario.actions = std::make_unique<actions::ActionTable>(*scenario.registry);
+
+  std::string line;
+  std::size_t line_number = 0;
+  bool components_frozen = false;
+
+  while (std::getline(input, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line, line_number);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    try {
+      if (directive == "component") {
+        if (components_frozen) {
+          throw ScenarioParseError("components must be declared before invariants/actions",
+                                   line_number);
+        }
+        if (tokens.size() < 3) {
+          throw ScenarioParseError("component needs a name and process=<id>", line_number);
+        }
+        const auto process = keyed(tokens[2], "process");
+        if (!process) throw ScenarioParseError("expected process=<id>", line_number);
+        const std::string description = tokens.size() > 3 ? tokens[3] : "";
+        scenario.registry->add(tokens[1],
+                              static_cast<config::ProcessId>(std::stoul(*process)), description);
+      } else if (directive == "invariant") {
+        components_frozen = true;
+        if (tokens.size() < 3) {
+          throw ScenarioParseError("invariant needs a name and an expression", line_number);
+        }
+        // The expression is everything after the name on the original line.
+        const std::size_t name_pos = line.find('"');
+        const std::size_t name_end = line.find('"', name_pos + 1);
+        if (name_pos == std::string::npos || name_end == std::string::npos) {
+          throw ScenarioParseError("invariant name must be quoted", line_number);
+        }
+        const std::string expression(util::trim(line.substr(name_end + 1)));
+        scenario.invariants->add(tokens[1], expression);
+      } else if (directive == "action") {
+        components_frozen = true;
+        if (tokens.size() < 3) {
+          throw ScenarioParseError("action needs a name and cost=<ms>", line_number);
+        }
+        std::vector<std::string> removes;
+        std::vector<std::string> adds;
+        std::optional<double> cost;
+        std::string description;
+        for (std::size_t t = 2; t < tokens.size(); ++t) {
+          if (const auto value = keyed(tokens[t], "remove")) {
+            removes = split_names(*value);
+          } else if (const auto added = keyed(tokens[t], "add")) {
+            adds = split_names(*added);
+          } else if (const auto c = keyed(tokens[t], "cost")) {
+            cost = std::stod(*c);
+          } else {
+            description = tokens[t];
+          }
+        }
+        if (!cost) throw ScenarioParseError("action needs cost=<ms>", line_number);
+        scenario.actions->add(tokens[1], removes, adds, *cost, description);
+      } else if (directive == "source" || directive == "target") {
+        if (tokens.size() != 2) {
+          throw ScenarioParseError(directive + " needs one configuration", line_number);
+        }
+        const auto config = parse_configuration(tokens[1], *scenario.registry, line_number);
+        (directive == "source" ? scenario.source : scenario.target) = config;
+      } else {
+        throw ScenarioParseError("unknown directive '" + directive + "'", line_number);
+      }
+    } catch (const ScenarioParseError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ScenarioParseError(e.what(), line_number);
+    }
+  }
+  return scenario;
+}
+
+ParsedScenario parse_scenario_text(std::string_view text) {
+  std::istringstream stream{std::string(text)};
+  return parse_scenario(stream);
+}
+
+}  // namespace sa::core

@@ -1,0 +1,60 @@
+// Textual scenario format: the analysis-phase artifacts (components,
+// dependency invariants, adaptive actions with costs, source/target
+// configurations) as a declarative file, so the planning pipeline can be
+// driven without writing C++. Used by the `sa_plan` command-line tool.
+//
+// Line-oriented grammar ('#' starts a comment; blank lines ignored):
+//
+//   component <name> process=<id> ["description"]
+//   invariant "<name>" <dependency expression>
+//   action <name> [remove=<c1,c2>] [add=<c3>] cost=<ms> ["description"]
+//   source <bit-string | comma-separated component names>
+//   target <bit-string | comma-separated component names>
+//
+// Example (the paper's case study lives in examples/paper.scenario):
+//
+//   component E1 process=0 "DES 64-bit encoder"
+//   invariant "security constraint" one(E1, E2)
+//   action A1 remove=E1 add=E2 cost=10 "replace E1 with E2"
+//   source 0100101
+//   target D5,D3,E2
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "actions/action.hpp"
+#include "config/invariants.hpp"
+
+namespace sa::core {
+
+/// Error with the 1-based line number of the offending input.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  ScenarioParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// The registry lives behind a unique_ptr because the invariant set and
+/// action table hold pointers into it: keeping its address stable makes the
+/// whole struct safely movable.
+struct ParsedScenario {
+  std::unique_ptr<config::ComponentRegistry> registry;
+  std::unique_ptr<config::InvariantSet> invariants;
+  std::unique_ptr<actions::ActionTable> actions;
+  std::optional<config::Configuration> source;
+  std::optional<config::Configuration> target;
+};
+
+ParsedScenario parse_scenario(std::istream& input);
+ParsedScenario parse_scenario_text(std::string_view text);
+
+}  // namespace sa::core

@@ -1,0 +1,94 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+namespace sa::core {
+
+SafeAdaptationSystem::SafeAdaptationSystem(SystemConfig config)
+    : config_(config),
+      network_(sim_, config.seed),
+      invariants_(registry_),
+      actions_(registry_) {
+  manager_node_ = network_.add_node("manager");
+}
+
+SafeAdaptationSystem::~SafeAdaptationSystem() = default;
+
+void SafeAdaptationSystem::add_invariant(std::string name, std::string_view expression) {
+  if (finalized()) throw std::logic_error("cannot add invariants after finalize()");
+  invariants_.add(std::move(name), expression);
+}
+
+actions::ActionId SafeAdaptationSystem::add_action(std::string name,
+                                                   std::vector<std::string> removes,
+                                                   std::vector<std::string> adds, double cost,
+                                                   std::string description) {
+  if (finalized()) throw std::logic_error("cannot add actions after finalize()");
+  return actions_.add(std::move(name), std::move(removes), std::move(adds), cost,
+                      std::move(description));
+}
+
+void SafeAdaptationSystem::attach_process(config::ProcessId process,
+                                          proto::AdaptableProcess& target, int stage) {
+  if (finalized()) throw std::logic_error("cannot attach processes after finalize()");
+  pending_.push_back(PendingProcess{process, &target, stage});
+}
+
+void SafeAdaptationSystem::finalize() {
+  if (finalized()) throw std::logic_error("finalize() called twice");
+  manager_ = std::make_unique<proto::AdaptationManager>(network_, manager_node_, invariants_,
+                                                        actions_, config_.manager);
+  for (const PendingProcess& pending : pending_) {
+    const sim::NodeId node =
+        network_.add_node("agent-p" + std::to_string(pending.process));
+    network_.link_bidirectional(manager_node_, node, config_.control_channel);
+    agents_[pending.process] = std::make_unique<proto::AdaptationAgent>(
+        network_, node, manager_node_, *pending.target, config_.agent);
+    agent_nodes_[pending.process] = node;
+    manager_->register_agent(pending.process, node, pending.stage);
+  }
+}
+
+void SafeAdaptationSystem::set_current_configuration(config::Configuration config) {
+  manager().set_current_configuration(config);
+}
+
+const config::Configuration& SafeAdaptationSystem::current_configuration() const {
+  if (!manager_) throw std::logic_error("system not finalized");
+  return manager_->current_configuration();
+}
+
+proto::AdaptationManager& SafeAdaptationSystem::manager() {
+  if (!manager_) throw std::logic_error("system not finalized");
+  return *manager_;
+}
+
+proto::AdaptationAgent& SafeAdaptationSystem::agent(config::ProcessId process) {
+  const auto it = agents_.find(process);
+  if (it == agents_.end()) throw std::out_of_range("no agent for process");
+  return *it->second;
+}
+
+sim::NodeId SafeAdaptationSystem::agent_node(config::ProcessId process) const {
+  const auto it = agent_nodes_.find(process);
+  if (it == agent_nodes_.end()) throw std::out_of_range("no agent for process");
+  return it->second;
+}
+
+void SafeAdaptationSystem::request_adaptation(
+    config::Configuration target, proto::AdaptationManager::CompletionHandler handler) {
+  manager().request_adaptation(target, std::move(handler));
+}
+
+proto::AdaptationResult SafeAdaptationSystem::adapt_and_wait(config::Configuration target,
+                                                             std::size_t max_events) {
+  std::optional<proto::AdaptationResult> result;
+  manager().request_adaptation(target,
+                               [&result](const proto::AdaptationResult& r) { result = r; });
+  std::size_t events = 0;
+  while (!result && events < max_events && sim_.step()) ++events;
+  if (!result) throw std::runtime_error("adaptation did not terminate within event budget");
+  return *result;
+}
+
+}  // namespace sa::core

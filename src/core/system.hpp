@@ -1,0 +1,104 @@
+// SafeAdaptationSystem: the top-level facade a downstream user programs
+// against.
+//
+// It bundles the analysis-phase data structure P = (S, I, T, R, A) with the
+// runtime machinery (simulator, network, manager, agents):
+//
+//   SafeAdaptationSystem system;
+//   system.registry().add("E1", 0);
+//   ...
+//   system.add_invariant("security", "one(E1, E2)");
+//   system.add_action("A1", {"E1"}, {"E2"}, 10);
+//   system.attach_process(0, server_process, /*stage=*/0);
+//   system.finalize();
+//   system.set_current_configuration(source);
+//   auto result = system.adapt_and_wait(target);
+//
+// The facade owns the simulator so single-threaded deterministic runs are the
+// default; callers needing to interleave application traffic drive
+// simulator() themselves and use the asynchronous request_adaptation().
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "proto/agent.hpp"
+#include "proto/manager.hpp"
+#include "sim/network.hpp"
+
+namespace sa::core {
+
+struct SystemConfig {
+  std::uint64_t seed = 42;
+  sim::ChannelConfig control_channel{sim::ms(2), sim::us(500), 0.0, true};
+  proto::ManagerConfig manager;
+  proto::AgentConfig agent;
+};
+
+class SafeAdaptationSystem {
+ public:
+  explicit SafeAdaptationSystem(SystemConfig config = {});
+  ~SafeAdaptationSystem();
+
+  SafeAdaptationSystem(const SafeAdaptationSystem&) = delete;
+  SafeAdaptationSystem& operator=(const SafeAdaptationSystem&) = delete;
+
+  // --- analysis phase (before finalize) -------------------------------------
+  config::ComponentRegistry& registry() { return registry_; }
+  void add_invariant(std::string name, std::string_view expression);
+  actions::ActionId add_action(std::string name, std::vector<std::string> removes,
+                               std::vector<std::string> adds, double cost,
+                               std::string description = "");
+
+  /// Attaches the adaptable process `target` as the owner of `process`.
+  /// Creates the agent node and control channels at finalize() time.
+  void attach_process(config::ProcessId process, proto::AdaptableProcess& target, int stage = 0);
+
+  /// Builds the manager, agents, and control links. Invariants, actions and
+  /// processes are frozen afterwards.
+  void finalize();
+  bool finalized() const { return manager_ != nullptr; }
+
+  // --- runtime ----------------------------------------------------------------
+  void set_current_configuration(config::Configuration config);
+  const config::Configuration& current_configuration() const;
+
+  /// Asynchronous request; completion handler fires from simulator context.
+  void request_adaptation(config::Configuration target, proto::AdaptationManager::CompletionHandler handler);
+
+  /// Convenience: requests and runs the simulator until the request
+  /// terminates (bounded by `max_events` as a runaway guard).
+  proto::AdaptationResult adapt_and_wait(config::Configuration target,
+                                         std::size_t max_events = 2'000'000);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return network_; }
+  proto::AdaptationManager& manager();
+  const config::InvariantSet& invariants() const { return invariants_; }
+  const actions::ActionTable& action_table() const { return actions_; }
+  proto::AdaptationAgent& agent(config::ProcessId process);
+  sim::NodeId manager_node() const { return manager_node_; }
+  sim::NodeId agent_node(config::ProcessId process) const;
+
+ private:
+  SystemConfig config_;
+  sim::Simulator sim_;
+  sim::Network network_;
+  config::ComponentRegistry registry_;
+  config::InvariantSet invariants_;
+  actions::ActionTable actions_;
+
+  struct PendingProcess {
+    config::ProcessId process;
+    proto::AdaptableProcess* target;
+    int stage;
+  };
+  std::vector<PendingProcess> pending_;
+
+  sim::NodeId manager_node_ = 0;
+  std::unique_ptr<proto::AdaptationManager> manager_;
+  std::map<config::ProcessId, sim::NodeId> agent_nodes_;
+  std::map<config::ProcessId, std::unique_ptr<proto::AdaptationAgent>> agents_;
+};
+
+}  // namespace sa::core

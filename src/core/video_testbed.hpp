@@ -1,0 +1,91 @@
+// Fully assembled Figure-3 application: one video server multicasting a
+// DES-encoded synthetic stream to the hand-held and laptop clients, with the
+// adaptation manager and per-process agents wired over control channels.
+//
+// Integration tests, the experiment benches, and the examples all build on
+// this testbed so they measure exactly the same system.
+#pragma once
+
+#include <memory>
+
+#include "core/paper_scenario.hpp"
+#include "core/system.hpp"
+#include "spec/monitor.hpp"
+#include "spec/monitored_process.hpp"
+#include "video/client.hpp"
+#include "video/server.hpp"
+
+namespace sa::core {
+
+struct TestbedConfig {
+  SystemConfig system;
+  video::StreamConfig stream;
+  /// Data-plane channels (server -> clients); UDP-like by default.
+  sim::ChannelConfig data_channel{sim::ms(5), sim::ms(2), 0.0, /*fifo=*/false};
+  crypto::DesKeys keys;
+  /// Slice of Table 2 to register (ablations force a specific action tier).
+  PaperActionSet action_set = PaperActionSet::All;
+  /// When set, each client's local safe state is derived by a §7-style
+  /// SafeStateMonitor instead of plain chain quiescence: a frame's packets
+  /// form a keyed critical communication segment, so decoders are only
+  /// swapped on frame boundaries. (Requires lossless data channels: a frame
+  /// with a lost packet would hold its segment open indefinitely.)
+  bool frame_aligned_clients = false;
+};
+
+class VideoTestbed {
+ public:
+  explicit VideoTestbed(TestbedConfig config = {});
+
+  SafeAdaptationSystem& system() { return *system_; }
+  sim::Simulator& simulator() { return system_->simulator(); }
+  sim::Network& network() { return system_->network(); }
+
+  video::VideoServer& server() { return *server_; }
+  video::VideoClient& handheld() { return *handheld_; }
+  video::VideoClient& laptop() { return *laptop_; }
+
+  config::Configuration source() const { return paper_source(system_->registry()); }
+  config::Configuration target() const { return paper_target(system_->registry()); }
+
+  void start_stream() { server_->start(); }
+  void stop_stream() { server_->stop(); }
+
+  /// Runs the simulator for `duration` of virtual time.
+  void run_for(sim::Time duration) { simulator().run_until(simulator().now() + duration); }
+
+  /// The configuration implied by what is actually installed in the three
+  /// filter chains right now — used to check invariants against reality, not
+  /// just the manager's bookkeeping.
+  config::Configuration installed_configuration() const;
+
+  /// Sum of intact packets across both clients.
+  std::uint64_t total_intact() const;
+  std::uint64_t total_corrupted() const;
+  std::uint64_t total_undecodable() const;
+
+  sim::NodeId server_data_node() const { return server_data_; }
+  sim::NodeId handheld_data_node() const { return handheld_data_; }
+  sim::NodeId laptop_data_node() const { return laptop_data_; }
+
+  /// Frame-boundary safe-state monitors (only when frame_aligned_clients).
+  spec::SafeStateMonitor* handheld_monitor() { return handheld_monitor_.get(); }
+  spec::SafeStateMonitor* laptop_monitor() { return laptop_monitor_.get(); }
+
+ private:
+  TestbedConfig config_;
+  std::unique_ptr<SafeAdaptationSystem> system_;
+  sim::NodeId server_data_ = 0;
+  sim::NodeId handheld_data_ = 0;
+  sim::NodeId laptop_data_ = 0;
+  std::unique_ptr<video::VideoServer> server_;
+  std::unique_ptr<video::VideoClient> handheld_;
+  std::unique_ptr<video::VideoClient> laptop_;
+
+  std::unique_ptr<spec::SafeStateMonitor> handheld_monitor_;
+  std::unique_ptr<spec::SafeStateMonitor> laptop_monitor_;
+  std::unique_ptr<spec::MonitoredProcess> handheld_monitored_;
+  std::unique_ptr<spec::MonitoredProcess> laptop_monitored_;
+};
+
+}  // namespace sa::core

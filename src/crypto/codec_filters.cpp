@@ -1,0 +1,80 @@
+#include "crypto/codec_filters.hpp"
+
+namespace sa::crypto {
+
+std::string_view scheme_tag(Scheme scheme) {
+  return scheme == Scheme::Des64 ? kTagDes64 : kTagDes128;
+}
+
+DesEncoderFilter::DesEncoderFilter(std::string name, Scheme scheme, DesKeys keys,
+                                   sim::Time processing_time)
+    : Filter(std::move(name), processing_time),
+      scheme_(scheme),
+      des64_(keys.key64),
+      des128_(keys.key128a, keys.key128b) {}
+
+std::optional<components::Packet> DesEncoderFilter::process(components::Packet packet) {
+  packet.payload = scheme_ == Scheme::Des64 ? des64_.encrypt(packet.payload)
+                                            : des128_.encrypt(packet.payload);
+  packet.encoding_stack.emplace_back(scheme_tag(scheme_));
+  note_processed();
+  return packet;
+}
+
+components::StateSnapshot DesEncoderFilter::refract() const {
+  auto snapshot = Filter::refract();
+  snapshot["scheme"] = std::string(scheme_tag(scheme_));
+  snapshot["role"] = "encoder";
+  return snapshot;
+}
+
+DesDecoderFilter::DesDecoderFilter(std::string name, bool accept64, bool accept128, DesKeys keys,
+                                   sim::Time processing_time)
+    : Filter(std::move(name), processing_time),
+      accept64_(accept64),
+      accept128_(accept128),
+      des64_(keys.key64),
+      des128_(keys.key128a, keys.key128b) {}
+
+std::optional<components::Packet> DesDecoderFilter::process(components::Packet packet) {
+  if (packet.encoding_stack.empty()) {
+    note_bypassed();
+    return packet;
+  }
+  const std::string& tag = packet.encoding_stack.back();
+  if (tag == kTagDes64 && accept64_) {
+    packet.payload = des64_.decrypt(packet.payload);
+  } else if (tag == kTagDes128 && accept128_) {
+    packet.payload = des128_.decrypt(packet.payload);
+  } else {
+    note_bypassed();
+    return packet;
+  }
+  packet.encoding_stack.pop_back();
+  note_processed();
+  return packet;
+}
+
+components::StateSnapshot DesDecoderFilter::refract() const {
+  auto snapshot = Filter::refract();
+  snapshot["accepts"] = std::string(accept64_ ? kTagDes64 : "") +
+                        (accept64_ && accept128_ ? "," : "") +
+                        std::string(accept128_ ? kTagDes128 : "");
+  snapshot["role"] = "decoder";
+  return snapshot;
+}
+
+components::FilterPtr make_encoder_e1(DesKeys keys) {
+  return std::make_shared<DesEncoderFilter>("E1", Scheme::Des64, keys);
+}
+
+components::FilterPtr make_encoder_e2(DesKeys keys) {
+  return std::make_shared<DesEncoderFilter>("E2", Scheme::Des128, keys);
+}
+
+components::FilterPtr make_decoder(const std::string& name, bool accept64, bool accept128,
+                                   DesKeys keys) {
+  return std::make_shared<DesDecoderFilter>(name, accept64, accept128, keys);
+}
+
+}  // namespace sa::crypto

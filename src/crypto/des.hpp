@@ -1,0 +1,69 @@
+// DES block cipher, implemented from the FIPS 46-3 tables.
+//
+// The paper's case study hardens a video stream from DES 64-bit to DES
+// 128-bit encoding.  We implement single DES for the 64-bit scheme and
+// two-key EDE (encrypt-decrypt-encrypt, as in two-key Triple DES) for the
+// "128-bit" scheme, so both codecs perform real keyed transformations: a
+// decoder holding the wrong keys produces garbage that downstream checksum
+// verification catches — exactly the corruption unsafe adaptation causes.
+//
+// This is a simulation codec, not hardened crypto (ECB mode, no timing
+// defenses); DES itself is long obsolete for security purposes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sa::crypto {
+
+/// 16 48-bit round keys (stored right-aligned in uint64).
+struct DesKeySchedule {
+  std::array<std::uint64_t, 16> subkeys{};
+};
+
+/// Expands a 64-bit key (parity bits ignored per PC-1) into round keys.
+DesKeySchedule des_key_schedule(std::uint64_t key);
+
+std::uint64_t des_encrypt_block(std::uint64_t block, const DesKeySchedule& schedule);
+std::uint64_t des_decrypt_block(std::uint64_t block, const DesKeySchedule& schedule);
+
+/// Two-key EDE: E_{k1}(D_{k2}(E_{k1}(block))) — the "DES 128-bit" scheme.
+std::uint64_t des_ede_encrypt_block(std::uint64_t block, const DesKeySchedule& k1,
+                                    const DesKeySchedule& k2);
+std::uint64_t des_ede_decrypt_block(std::uint64_t block, const DesKeySchedule& k1,
+                                    const DesKeySchedule& k2);
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Byte-stream DES in ECB mode with PKCS#7 padding.
+class Des64Cipher {
+ public:
+  explicit Des64Cipher(std::uint64_t key) : schedule_(des_key_schedule(key)) {}
+
+  Bytes encrypt(const Bytes& plaintext) const;
+
+  /// Decrypts and strips padding. A wrong key produces garbage: if the
+  /// padding is invalid the raw decrypted bytes are returned unstripped, so
+  /// the corruption survives to the integrity check instead of throwing.
+  Bytes decrypt(const Bytes& ciphertext) const;
+
+ private:
+  DesKeySchedule schedule_;
+};
+
+/// Two-key EDE variant ("DES 128-bit" in the paper's case study).
+class Des128Cipher {
+ public:
+  Des128Cipher(std::uint64_t key1, std::uint64_t key2)
+      : k1_(des_key_schedule(key1)), k2_(des_key_schedule(key2)) {}
+
+  Bytes encrypt(const Bytes& plaintext) const;
+  Bytes decrypt(const Bytes& ciphertext) const;
+
+ private:
+  DesKeySchedule k1_;
+  DesKeySchedule k2_;
+};
+
+}  // namespace sa::crypto

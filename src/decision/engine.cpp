@@ -1,0 +1,117 @@
+#include "decision/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace sa::decision {
+
+DecisionEngine::DecisionEngine(sim::Simulator& sim, proto::AdaptationManager& manager,
+                               MetricsProvider provider, EngineConfig config)
+    : sim_(&sim), manager_(&manager), provider_(std::move(provider)), config_(config) {
+  if (!provider_) throw std::invalid_argument("DecisionEngine needs a metrics provider");
+}
+
+void DecisionEngine::add_rule(Rule rule) {
+  if (rule.name.empty() || !rule.condition) {
+    throw std::invalid_argument("rule needs a name and a condition");
+  }
+  for (const RuleState& existing : rules_) {
+    if (existing.rule.name == rule.name) {
+      throw std::invalid_argument("duplicate rule name: " + rule.name);
+    }
+  }
+  rules_.push_back(RuleState{std::move(rule), true, 0});
+  // Highest priority first; stable so insertion order breaks ties.
+  std::stable_sort(rules_.begin(), rules_.end(), [](const RuleState& a, const RuleState& b) {
+    return a.rule.priority > b.rule.priority;
+  });
+}
+
+void DecisionEngine::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void DecisionEngine::stop() {
+  running_ = false;
+  if (tick_ != 0) {
+    sim_->cancel(tick_);
+    tick_ = 0;
+  }
+}
+
+void DecisionEngine::reenable_rule(const std::string& name) {
+  for (RuleState& state : rules_) {
+    if (state.rule.name == name) {
+      state.enabled = true;
+      state.consecutive_failures = 0;
+    }
+  }
+}
+
+bool DecisionEngine::rule_enabled(const std::string& name) const {
+  for (const RuleState& state : rules_) {
+    if (state.rule.name == name) return state.enabled;
+  }
+  return false;
+}
+
+void DecisionEngine::schedule_next() {
+  if (!running_) return;
+  tick_ = sim_->schedule_after(config_.evaluation_interval, [this] {
+    tick_ = 0;
+    evaluate();
+    schedule_next();
+  });
+}
+
+void DecisionEngine::evaluate() {
+  ++stats_.evaluations;
+  const Metrics metrics = provider_();
+
+  for (RuleState& state : rules_) {
+    if (!state.enabled) continue;
+    if (!state.rule.condition(metrics)) continue;
+    if (state.rule.target == manager_->current_configuration()) continue;  // satisfied
+
+    if (request_in_flight_ || manager_->busy()) {
+      ++stats_.suppressed_busy;
+      return;
+    }
+    if (sim_->now() < quiet_until_) {
+      ++stats_.suppressed_cooldown;
+      return;
+    }
+
+    ++stats_.triggers;
+    log_.push_back(TriggerRecord{sim_->now(), state.rule.name, std::nullopt});
+    const std::size_t record_index = log_.size() - 1;
+    const std::string rule_name = state.rule.name;
+    SA_INFO("decision") << "rule '" << rule_name << "' fired; requesting adaptation";
+
+    request_in_flight_ = true;
+    manager_->request_adaptation(
+        state.rule.target, [this, record_index, rule_name](const proto::AdaptationResult& r) {
+          request_in_flight_ = false;
+          quiet_until_ = sim_->now() + config_.cooldown;
+          log_[record_index].outcome = r.outcome;
+          for (RuleState& rs : rules_) {
+            if (rs.rule.name != rule_name) continue;
+            if (r.outcome == proto::AdaptationOutcome::Success) {
+              rs.consecutive_failures = 0;
+            } else if (++rs.consecutive_failures >= config_.max_consecutive_failures) {
+              rs.enabled = false;
+              ++stats_.rules_disabled;
+              SA_WARN("decision") << "rule '" << rule_name << "' disabled after "
+                                  << rs.consecutive_failures << " consecutive failures";
+            }
+          }
+        });
+    return;  // at most one trigger per evaluation
+  }
+}
+
+}  // namespace sa::decision

@@ -1,0 +1,103 @@
+// Decision-making: the third of the paper's four adaptive-software tasks
+// ("Decision-making determines when and how the program should be adapted",
+// §1). The paper's own contribution is task four — process management — and
+// it relies on earlier RAPIDware work for this layer; this module provides a
+// self-contained rule engine so the repository exercises the full loop:
+//
+//   monitoring -> decision-making -> (this paper's) safe adaptation process.
+//
+// A DecisionEngine periodically samples environment metrics (loss rate,
+// battery, threat level, ... — whatever the provider reports), evaluates
+// prioritized condition->target rules, and submits adaptation requests to the
+// AdaptationManager. Guard rails prevent flapping: a cooldown after every
+// completed request, suppression while the manager is busy, and automatic
+// disabling of rules whose requests keep failing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::decision {
+
+/// Snapshot of monitored environment metrics, keyed by name.
+using Metrics = std::map<std::string, double>;
+using MetricsProvider = std::function<Metrics()>;
+
+struct Rule {
+  std::string name;
+  std::function<bool(const Metrics&)> condition;
+  config::Configuration target;
+  int priority = 0;  ///< higher wins when several rules fire at once
+};
+
+struct EngineConfig {
+  sim::Time evaluation_interval = sim::ms(500);
+  sim::Time cooldown = sim::seconds(2);  ///< quiet period after each request
+  int max_consecutive_failures = 3;      ///< then the rule is disabled
+};
+
+struct TriggerRecord {
+  sim::Time time = 0;
+  std::string rule;
+  std::optional<proto::AdaptationOutcome> outcome;  ///< empty while in flight
+};
+
+struct EngineStats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t suppressed_busy = 0;
+  std::uint64_t suppressed_cooldown = 0;
+  std::uint64_t rules_disabled = 0;
+};
+
+class DecisionEngine {
+ public:
+  DecisionEngine(sim::Simulator& sim, proto::AdaptationManager& manager,
+                 MetricsProvider provider, EngineConfig config = {});
+
+  /// Rules may be added at any time; duplicates by name are rejected.
+  void add_rule(Rule rule);
+
+  /// Begins periodic evaluation; idempotent.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Re-enables a rule disabled after repeated failures.
+  void reenable_rule(const std::string& name);
+  bool rule_enabled(const std::string& name) const;
+
+  const EngineStats& stats() const { return stats_; }
+  const std::vector<TriggerRecord>& log() const { return log_; }
+
+ private:
+  struct RuleState {
+    Rule rule;
+    bool enabled = true;
+    int consecutive_failures = 0;
+  };
+
+  void evaluate();
+  void schedule_next();
+
+  sim::Simulator* sim_;
+  proto::AdaptationManager* manager_;
+  MetricsProvider provider_;
+  EngineConfig config_;
+
+  std::vector<RuleState> rules_;
+  bool running_ = false;
+  bool request_in_flight_ = false;
+  sim::EventId tick_ = 0;
+  sim::Time quiet_until_ = 0;
+  EngineStats stats_;
+  std::vector<TriggerRecord> log_;
+};
+
+}  // namespace sa::decision

@@ -1,0 +1,42 @@
+// Recursive-descent parser for the dependency-expression language.
+//
+// Grammar (lowest to highest precedence; `->` is right-associative):
+//
+//   expr    := or ( "->" expr )?
+//   or      := xor ( "|" xor )*
+//   xor     := and ( "^" and )*
+//   and     := unary ( "&" unary )*
+//   unary   := "!" unary | primary
+//   primary := "true" | "false" | ident | "(" expr ")"
+//            | ("one" | "xor1") "(" expr ("," expr)* ")"
+//   ident   := [A-Za-z_][A-Za-z0-9_]*
+//
+// `one(...)` is the paper's ⊗ operator: exactly one operand true.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "expr/ast.hpp"
+
+namespace sa::expr {
+
+/// Error thrown by parse(); `position()` is the byte offset of the offending
+/// token in the input string.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " + std::to_string(position) + ")"),
+        position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses `text` into an expression tree. Throws ParseError on malformed
+/// input, including trailing garbage after a complete expression.
+ExprPtr parse(std::string_view text);
+
+}  // namespace sa::expr

@@ -1,0 +1,43 @@
+#include "graph/digraph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sa::graph {
+
+Digraph::Digraph(std::size_t node_count) : out_edges_(node_count) {}
+
+NodeId Digraph::add_nodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(out_edges_.size());
+  out_edges_.resize(out_edges_.size() + count);
+  return first;
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, double cost, std::int64_t label) {
+  if (from >= node_count() || to >= node_count()) {
+    throw std::out_of_range("Digraph::add_edge: node id out of range");
+  }
+  if (cost < 0.0) {
+    throw std::invalid_argument("Digraph::add_edge: negative cost");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, cost, label});
+  out_edges_[from].push_back(id);
+  return id;
+}
+
+std::span<const EdgeId> Digraph::out_edges(NodeId node) const {
+  return out_edges_.at(node);
+}
+
+std::string Digraph::describe() const {
+  std::ostringstream out;
+  out << node_count() << " nodes, " << edge_count() << " edges\n";
+  for (const Edge& e : edges_) {
+    out << "  " << e.from << " -> " << e.to << " [cost=" << e.cost << ", label=" << e.label
+        << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace sa::graph

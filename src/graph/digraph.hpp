@@ -1,0 +1,53 @@
+// Directed weighted multigraph used for the safe adaptation graph (SAG).
+//
+// Nodes are dense indices (0..node_count-1); each edge carries a non-negative
+// cost and an opaque user label (the adaptive-action id in the SAG).  Parallel
+// edges are allowed — the paper's action table often offers several actions
+// between the same two configurations (e.g. a single-component action vs. a
+// combined pair action), and path planning must pick the cheapest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sa::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double cost = 0.0;
+  std::int64_t label = 0;  ///< opaque user payload (action id in the SAG)
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count);
+
+  /// Adds `count` new nodes, returning the id of the first one.
+  NodeId add_nodes(std::size_t count = 1);
+
+  /// Adds an edge; cost must be >= 0 (shortest-path algorithms assume it).
+  EdgeId add_edge(NodeId from, NodeId to, double cost, std::int64_t label = 0);
+
+  std::size_t node_count() const { return out_edges_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  std::span<const EdgeId> out_edges(NodeId node) const;
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Multi-line "from -> to [cost, label]" dump for debugging and goldens.
+  std::string describe() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+};
+
+}  // namespace sa::graph

@@ -1,0 +1,185 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+#include <tuple>
+
+namespace sa::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+bool is_banned(const std::vector<bool>& banned, std::size_t index) {
+  return index < banned.size() && banned[index];
+}
+
+Path reconstruct(const Digraph& graph, NodeId source, NodeId target,
+                 const std::vector<EdgeId>& parent_edge, double cost) {
+  Path path;
+  path.cost = cost;
+  NodeId node = target;
+  while (node != source) {
+    const EdgeId eid = parent_edge[node];
+    assert(eid != kNoEdge);
+    path.edges.push_back(eid);
+    path.nodes.push_back(node);
+    node = graph.edge(eid).from;
+  }
+  path.nodes.push_back(source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> dijkstra_filtered(const Digraph& graph, NodeId source, NodeId target,
+                                      const std::vector<bool>& banned_edges,
+                                      const std::vector<bool>& banned_nodes) {
+  const std::size_t n = graph.node_count();
+  if (source >= n || target >= n) return std::nullopt;
+  if (is_banned(banned_nodes, source) || is_banned(banned_nodes, target)) return std::nullopt;
+
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+  std::vector<bool> settled(n, false);
+
+  // (cost, tie-break edge id, node): the edge-id tie-break makes equal-cost
+  // path selection deterministic, which keeps SAG goldens stable.
+  using Entry = std::tuple<double, EdgeId, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.emplace(0.0, kNoEdge, source);
+
+  while (!queue.empty()) {
+    const auto [cost, via, node] = queue.top();
+    queue.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    if (node == target) break;
+    for (const EdgeId eid : graph.out_edges(node)) {
+      if (is_banned(banned_edges, eid)) continue;
+      const Edge& e = graph.edge(eid);
+      if (settled[e.to] || is_banned(banned_nodes, e.to)) continue;
+      const double next_cost = cost + e.cost;
+      if (next_cost < dist[e.to] ||
+          (next_cost == dist[e.to] && parent_edge[e.to] != kNoEdge && eid < parent_edge[e.to])) {
+        dist[e.to] = next_cost;
+        parent_edge[e.to] = eid;
+        queue.emplace(next_cost, eid, e.to);
+      }
+    }
+  }
+
+  if (dist[target] == kInf) return std::nullopt;
+  return reconstruct(graph, source, target, parent_edge, dist[target]);
+}
+
+std::optional<Path> dijkstra(const Digraph& graph, NodeId source, NodeId target) {
+  return dijkstra_filtered(graph, source, target, {}, {});
+}
+
+std::optional<Path> bellman_ford(const Digraph& graph, NodeId source, NodeId target) {
+  const std::size_t n = graph.node_count();
+  if (source >= n || target >= n) return std::nullopt;
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+  dist[source] = 0.0;
+  for (std::size_t round = 0; round + 1 < std::max<std::size_t>(n, 1); ++round) {
+    bool changed = false;
+    for (EdgeId eid = 0; eid < graph.edge_count(); ++eid) {
+      const Edge& e = graph.edge(eid);
+      if (dist[e.from] == kInf) continue;
+      const double next_cost = dist[e.from] + e.cost;
+      if (next_cost < dist[e.to]) {
+        dist[e.to] = next_cost;
+        parent_edge[e.to] = eid;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[target] == kInf) return std::nullopt;
+  return reconstruct(graph, source, target, parent_edge, dist[target]);
+}
+
+std::vector<Path> k_shortest_paths(const Digraph& graph, NodeId source, NodeId target,
+                                   std::size_t k) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = dijkstra(graph, source, target);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool ordered by (cost, node sequence) for determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.nodes != b.nodes) return a.nodes < b.nodes;
+    return a.edges < b.edges;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  std::vector<bool> banned_edges(graph.edge_count(), false);
+  std::vector<bool> banned_nodes(graph.node_count(), false);
+
+  while (result.size() < k) {
+    const Path& previous = result.back();
+    // Each node of the previous path (except the last) is a spur candidate.
+    for (std::size_t i = 0; i + 1 < previous.nodes.size(); ++i) {
+      const NodeId spur_node = previous.nodes[i];
+      const std::span root_edges(previous.edges.data(), i);
+
+      std::fill(banned_edges.begin(), banned_edges.end(), false);
+      std::fill(banned_nodes.begin(), banned_nodes.end(), false);
+
+      // Ban the next edge of every accepted path sharing this root.
+      for (const Path& accepted : result) {
+        if (accepted.edges.size() < i) continue;
+        bool same_root = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (accepted.edges[j] != root_edges[j]) {
+            same_root = false;
+            break;
+          }
+        }
+        if (same_root && accepted.edges.size() > i) banned_edges[accepted.edges[i]] = true;
+      }
+      // Ban root nodes (except the spur node) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[previous.nodes[j]] = true;
+
+      auto spur = dijkstra_filtered(graph, spur_node, target, banned_edges, banned_nodes);
+      if (!spur) continue;
+
+      Path total;
+      total.nodes.assign(previous.nodes.begin(), previous.nodes.begin() + i);
+      total.edges.assign(previous.edges.begin(), previous.edges.begin() + i);
+      double root_cost = 0.0;
+      for (const EdgeId eid : total.edges) root_cost += graph.edge(eid).cost;
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(), spur->nodes.end());
+      total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+      total.cost = root_cost + spur->cost;
+      candidates.insert(std::move(total));
+    }
+
+    // Pop the cheapest candidate not yet accepted.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      Path next = *candidates.begin();
+      candidates.erase(candidates.begin());
+      if (std::find(result.begin(), result.end(), next) == result.end()) {
+        result.push_back(std::move(next));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // candidate pool exhausted
+  }
+  return result;
+}
+
+}  // namespace sa::graph

@@ -1,0 +1,45 @@
+// Shortest-path algorithms over Digraph.
+//
+// The detection-and-setup phase of the paper (§4.2 step 3) applies Dijkstra's
+// algorithm to the SAG to find the minimum adaptation path (MAP).  The failure
+// handling strategy (§4.4) then needs the *second* minimum path, the third,
+// and so on — provided here by Yen's k-shortest loopless paths algorithm.
+// Bellman–Ford is included as an independent oracle for property tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sa::graph {
+
+struct Path {
+  std::vector<NodeId> nodes;    ///< node sequence, size = edges.size() + 1
+  std::vector<EdgeId> edges;    ///< edge sequence
+  double cost = 0.0;
+
+  bool operator==(const Path&) const = default;
+};
+
+/// Single-source Dijkstra; returns the min-cost path from `source` to
+/// `target`, or nullopt if unreachable. Ties are broken deterministically by
+/// preferring smaller edge ids so goldens are stable across runs.
+std::optional<Path> dijkstra(const Digraph& graph, NodeId source, NodeId target);
+
+/// Dijkstra that ignores `banned_edges[e]`/`banned_nodes[n]` entries set to
+/// true (vectors may be shorter than the graph; missing entries = allowed).
+/// Used as the subroutine of Yen's algorithm.
+std::optional<Path> dijkstra_filtered(const Digraph& graph, NodeId source, NodeId target,
+                                      const std::vector<bool>& banned_edges,
+                                      const std::vector<bool>& banned_nodes);
+
+/// Bellman–Ford oracle (O(V*E)); same tie-breaking contract as dijkstra().
+std::optional<Path> bellman_ford(const Digraph& graph, NodeId source, NodeId target);
+
+/// Yen's algorithm: up to `k` shortest *loopless* paths in nondecreasing cost
+/// order. Returns fewer than `k` paths if the graph has fewer distinct ones.
+std::vector<Path> k_shortest_paths(const Digraph& graph, NodeId source, NodeId target,
+                                   std::size_t k);
+
+}  // namespace sa::graph

@@ -1,0 +1,248 @@
+#include "proto/agent.hpp"
+
+#include "util/log.hpp"
+
+namespace sa::proto {
+
+std::string_view to_string(AgentState state) {
+  switch (state) {
+    case AgentState::Running: return "running";
+    case AgentState::Resetting: return "resetting";
+    case AgentState::Safe: return "safe";
+    case AgentState::Adapted: return "adapted";
+    case AgentState::Resuming: return "resuming";
+  }
+  return "?";
+}
+
+AdaptationAgent::AdaptationAgent(sim::Network& network, sim::NodeId node, sim::NodeId manager_node,
+                                 AdaptableProcess& process, AgentConfig config)
+    : network_(&network), node_(node), manager_(manager_node), process_(&process),
+      config_(config) {
+  network_->set_handler(node_, [this](sim::NodeId from, sim::MessagePtr message) {
+    on_message(from, std::move(message));
+  });
+}
+
+template <typename Msg>
+void AdaptationAgent::send(const StepRef& step, Msg prototype) {
+  prototype.step = step;
+  network_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
+}
+
+void AdaptationAgent::on_message(sim::NodeId from, sim::MessagePtr message) {
+  if (from != manager_) {
+    SA_WARN("agent") << "node " << node_ << ": message from non-manager node " << from;
+    return;
+  }
+  if (const auto* reset = dynamic_cast<const ResetMsg*>(message.get())) {
+    on_reset(*reset);
+  } else if (const auto* resume = dynamic_cast<const ResumeMsg*>(message.get())) {
+    on_resume(*resume);
+  } else if (const auto* rollback = dynamic_cast<const RollbackMsg*>(message.get())) {
+    on_rollback(*rollback);
+  } else {
+    SA_WARN("agent") << "node " << node_ << ": unexpected message " << message->type_name();
+  }
+}
+
+void AdaptationAgent::on_reset(const ResetMsg& msg) {
+  if (current_step_ && *current_step_ == msg.step && state_ != AgentState::Running) {
+    // Retransmission of the step we are working on: re-acknowledge progress.
+    ++stats_.duplicate_messages;
+    if (state_ == AgentState::Safe) {
+      send<ResetDoneMsg>(msg.step);
+    } else if (state_ == AgentState::Adapted) {
+      send<ResetDoneMsg>(msg.step);
+      send<AdaptDoneMsg>(msg.step);
+    }
+    return;
+  }
+  if (state_ != AgentState::Running) {
+    SA_WARN("agent") << "node " << node_ << ": reset " << msg.step.describe() << " while "
+                     << to_string(state_) << " on " << current_step_->describe() << "; ignored";
+    return;
+  }
+  if (last_completed_ && *last_completed_ == msg.step) {
+    ++stats_.duplicate_messages;
+    ResumeDoneMsg ack;
+    ack.blocked_for = last_blocked_for_;
+    send<ResumeDoneMsg>(msg.step, std::move(ack));
+    return;
+  }
+  if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
+    ++stats_.duplicate_messages;
+    send<RollbackDoneMsg>(msg.step);
+    return;
+  }
+
+  // Fresh step: running -> resetting.
+  ++stats_.resets_handled;
+  current_step_ = msg.step;
+  current_command_ = msg.command;
+  sole_participant_ = msg.sole_participant;
+  prepared_ = false;
+  state_ = AgentState::Resetting;
+  const bool drain = msg.drain;
+  SA_DEBUG("agent") << "node " << node_ << ": reset " << msg.step.describe() << " ["
+                    << current_command_.describe() << (drain ? ", drain" : "") << "]";
+
+  pending_event_ = network_->simulator().schedule_after(config_.pre_action_duration, [this, drain] {
+    pending_event_ = 0;
+    prepared_ = process_->prepare(current_command_);
+    if (!prepared_) {
+      SA_WARN("agent") << "node " << node_ << ": pre-action failed; holding in resetting state";
+      return;  // manager's reset timeout will trigger rollback
+    }
+    if (config_.fail_to_reset) {
+      SA_DEBUG("agent") << "node " << node_ << ": injected fail-to-reset";
+      return;  // never reach the safe state
+    }
+    process_->reach_safe_state(drain, [this] { enter_safe_state(); });
+  });
+}
+
+void AdaptationAgent::enter_safe_state() {
+  state_ = AgentState::Safe;
+  blocked_since_ = network_->simulator().now();
+  send<ResetDoneMsg>(*current_step_);
+  start_in_action();
+}
+
+void AdaptationAgent::start_in_action() {
+  pending_event_ = network_->simulator().schedule_after(config_.in_action_duration, [this] {
+    pending_event_ = 0;
+    if (!process_->apply(current_command_)) {
+      SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
+      return;  // manager's adapt timeout will trigger rollback
+    }
+    ++stats_.adapts_performed;
+    state_ = AgentState::Adapted;
+    send<AdaptDoneMsg>(*current_step_);
+    if (sole_participant_) {
+      // Fig. 1: the only process involved proceeds straight to resuming
+      // without blocking for the manager's resume message.
+      state_ = AgentState::Resuming;
+      pending_event_ = network_->simulator().schedule_after(config_.resume_duration, [this] {
+        pending_event_ = 0;
+        finish_resume(/*proactive=*/true);
+      });
+    }
+  });
+}
+
+void AdaptationAgent::finish_resume(bool proactive) {
+  process_->resume();
+  last_blocked_for_ = network_->simulator().now() - blocked_since_;
+  stats_.total_blocked += last_blocked_for_;
+  last_completed_ = *current_step_;
+  const StepRef step = *current_step_;
+  state_ = AgentState::Running;
+  current_step_.reset();
+  ResumeDoneMsg ack;
+  ack.blocked_for = last_blocked_for_;
+  send<ResumeDoneMsg>(step, std::move(ack));
+  process_->cleanup(current_command_);
+  SA_DEBUG("agent") << "node " << node_ << ": resumed " << step.describe()
+                    << (proactive ? " (sole participant)" : "") << ", blocked "
+                    << last_blocked_for_ << "us";
+}
+
+void AdaptationAgent::on_resume(const ResumeMsg& msg) {
+  if (state_ == AgentState::Adapted && current_step_ && *current_step_ == msg.step) {
+    state_ = AgentState::Resuming;
+    pending_event_ = network_->simulator().schedule_after(config_.resume_duration, [this] {
+      pending_event_ = 0;
+      finish_resume(/*proactive=*/false);
+    });
+    return;
+  }
+  if (state_ == AgentState::Resuming && current_step_ && *current_step_ == msg.step) {
+    ++stats_.duplicate_messages;  // ack already on its way
+    return;
+  }
+  if (state_ == AgentState::Running && last_completed_ && *last_completed_ == msg.step) {
+    ++stats_.duplicate_messages;
+    ResumeDoneMsg ack;
+    ack.blocked_for = last_blocked_for_;
+    send<ResumeDoneMsg>(msg.step, std::move(ack));
+    return;
+  }
+  SA_WARN("agent") << "node " << node_ << ": unexpected resume " << msg.step.describe()
+                   << " while " << to_string(state_);
+}
+
+void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
+  const bool matches_current = current_step_ && *current_step_ == msg.step;
+  switch (state_) {
+    case AgentState::Resetting:
+    case AgentState::Safe: {
+      if (!matches_current) break;
+      // Pre-action or in-action timer may still be pending; cancel it. No
+      // undo is needed: the in-action has not mutated anything yet.
+      if (pending_event_ != 0) {
+        network_->simulator().cancel(pending_event_);
+        pending_event_ = 0;
+      }
+      process_->abort_safe_state();
+      ++stats_.rollbacks_performed;
+      last_rolled_back_ = msg.step;
+      current_step_.reset();
+      state_ = AgentState::Running;
+      send<RollbackDoneMsg>(msg.step);
+      return;
+    }
+    case AgentState::Adapted: {
+      if (!matches_current) break;
+      // Undo the in-action, then unblock. Modeled with the in-action
+      // duration since it performs the symmetric structural change.
+      state_ = AgentState::Resuming;
+      pending_event_ = network_->simulator().schedule_after(config_.in_action_duration, [this,
+                                                                                         msg] {
+        pending_event_ = 0;
+        process_->undo(current_command_);
+        process_->resume();
+        stats_.total_blocked += network_->simulator().now() - blocked_since_;
+        ++stats_.rollbacks_performed;
+        last_rolled_back_ = msg.step;
+        current_step_.reset();
+        state_ = AgentState::Running;
+        send<RollbackDoneMsg>(msg.step);
+      });
+      return;
+    }
+    case AgentState::Resuming:
+      // A rollback racing a resume in flight; ignore — the manager will
+      // observe resume done / retry, and the completed path takes over.
+      SA_WARN("agent") << "node " << node_ << ": rollback during resuming ignored";
+      return;
+    case AgentState::Running: {
+      if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
+        ++stats_.duplicate_messages;
+        send<RollbackDoneMsg>(msg.step);
+        return;
+      }
+      if (last_completed_ && *last_completed_ == msg.step) {
+        // We resumed proactively (sole participant) but the manager timed out
+        // (e.g. lost adapt done) and aborted: compensate by re-quiescing,
+        // undoing the in-action, and resuming the old structure.
+        process_->reach_safe_state(false, [this, msg] {
+          process_->undo(current_command_);
+          process_->resume();
+          ++stats_.rollbacks_performed;
+          last_rolled_back_ = msg.step;
+          last_completed_.reset();
+          send<RollbackDoneMsg>(msg.step);
+        });
+        return;
+      }
+      // Step never reached us (reset lost entirely): nothing to undo.
+      send<RollbackDoneMsg>(msg.step);
+      return;
+    }
+  }
+  SA_WARN("agent") << "node " << node_ << ": unexpected rollback " << msg.step.describe()
+                   << " while " << to_string(state_);
+}
+
+}  // namespace sa::proto

@@ -1,0 +1,94 @@
+// Adaptation agent: the per-process participant in the safe adaptation
+// protocol (paper §4, Figure 1).
+//
+// State machine (solid transitions = normal adaptation, dashed = failure
+// handling / rollback):
+//
+//   running --reset--> resetting --[reset complete]/reset done--> safe(blocked)
+//   safe --[in-action complete]/adapt done--> adapted(blocked)
+//   adapted --resume--> resuming --[resumption complete]/resume done--> running
+//   resetting/safe/adapted --rollback--> running
+//
+// The agent is message-driven and idempotent: retransmitted manager messages
+// re-elicit the acknowledgement appropriate to the agent's progress, which is
+// how loss-of-message failures are survived.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "proto/adaptable_process.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace sa::proto {
+
+enum class AgentState { Running, Resetting, Safe, Adapted, Resuming };
+
+std::string_view to_string(AgentState state);
+
+struct AgentConfig {
+  sim::Time pre_action_duration = sim::ms(1);   ///< component initialization
+  sim::Time in_action_duration = sim::ms(2);    ///< structural change
+  sim::Time resume_duration = sim::us(200);     ///< unblocking
+  /// Failure injection: when set, the agent never reaches its safe state
+  /// (models a process stuck in a long critical communication segment).
+  bool fail_to_reset = false;
+};
+
+struct AgentStats {
+  std::uint64_t resets_handled = 0;
+  std::uint64_t adapts_performed = 0;
+  std::uint64_t rollbacks_performed = 0;
+  std::uint64_t duplicate_messages = 0;
+  sim::Time total_blocked = 0;  ///< cumulative time the process spent blocked
+};
+
+class AdaptationAgent {
+ public:
+  /// Attaches to `node` (whose receive handler it takes over) and drives
+  /// `process` on behalf of the manager at `manager_node`.
+  AdaptationAgent(sim::Network& network, sim::NodeId node, sim::NodeId manager_node,
+                  AdaptableProcess& process, AgentConfig config = {});
+
+  AgentState state() const { return state_; }
+  const AgentStats& stats() const { return stats_; }
+  sim::NodeId node() const { return node_; }
+
+  void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
+
+ private:
+  void on_message(sim::NodeId from, sim::MessagePtr message);
+  void on_reset(const ResetMsg& msg);
+  void on_resume(const ResumeMsg& msg);
+  void on_rollback(const RollbackMsg& msg);
+
+  void enter_safe_state();
+  void start_in_action();
+  void finish_resume(bool proactive);
+
+  template <typename Msg>
+  void send(const StepRef& step, Msg prototype = {});
+
+  sim::Network* network_;
+  sim::NodeId node_;
+  sim::NodeId manager_;
+  AdaptableProcess* process_;
+  AgentConfig config_;
+
+  AgentState state_ = AgentState::Running;
+  std::optional<StepRef> current_step_;
+  LocalCommand current_command_;
+  bool sole_participant_ = false;
+  bool prepared_ = false;
+  sim::EventId pending_event_ = 0;  ///< in-flight pre/in-action timer
+  sim::Time blocked_since_ = 0;
+
+  std::optional<StepRef> last_completed_;   ///< resumed successfully
+  sim::Time last_blocked_for_ = 0;
+  std::optional<StepRef> last_rolled_back_;
+
+  AgentStats stats_;
+};
+
+}  // namespace sa::proto

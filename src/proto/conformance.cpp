@@ -1,0 +1,115 @@
+#include "proto/conformance.hpp"
+
+#include <sstream>
+
+#include "proto/messages.hpp"
+
+namespace sa::proto {
+
+namespace {
+
+struct StepKey {
+  std::uint64_t request = 0;
+  std::uint32_t plan = 0;
+  std::uint32_t index = 0;
+  std::uint32_t attempt = 0;
+  auto operator<=>(const StepKey&) const = default;
+};
+
+StepKey key_of(const StepRef& ref) {
+  return StepKey{ref.request_id, ref.plan, ref.step_index, ref.attempt};
+}
+
+std::string describe(const StepKey& key) {
+  return "req" + std::to_string(key.request) + ".plan" + std::to_string(key.plan) + ".step" +
+         std::to_string(key.index) + ".try" + std::to_string(key.attempt);
+}
+
+struct AgentStepState {
+  bool reset_received = false;
+  bool rollback_received = false;
+  bool adapt_done_seen = false;  // delivered to the manager
+};
+
+struct StepState {
+  bool resume_seen = false;    // any resume delivered to any agent
+  bool rollback_seen = false;  // any rollback delivered to any agent
+  std::map<sim::NodeId, AgentStepState> agents;
+};
+
+}  // namespace
+
+std::vector<ConformanceViolation> ConformanceChecker::check(
+    const std::vector<sim::TraceEntry>& trace) const {
+  std::vector<ConformanceViolation> violations;
+  std::map<StepKey, StepState> steps;
+
+  const auto violate = [&violations](sim::Time time, const std::string& what) {
+    violations.push_back(ConformanceViolation{time, what});
+  };
+
+  for (const sim::TraceEntry& entry : trace) {
+    if (!entry.delivered || !entry.message) continue;
+    const auto* proto = dynamic_cast<const ProtoMessage*>(entry.message.get());
+    if (!proto) continue;  // application traffic
+    const StepKey key = key_of(proto->step);
+    StepState& step = steps[key];
+
+    if (entry.from == manager_) {
+      AgentStepState& agent = step.agents[entry.to];
+      if (dynamic_cast<const ResetMsg*>(proto) != nullptr) {
+        agent.reset_received = true;
+      } else if (dynamic_cast<const ResumeMsg*>(proto) != nullptr) {
+        // §4.3: resume only once every involved agent finished its in-action.
+        // The recipient's own adapt done must already have reached the
+        // manager (control channels are FIFO, so delivery order is evidence).
+        if (!agent.adapt_done_seen) {
+          violate(entry.time, describe(key) + ": resume delivered to agent " +
+                                  std::to_string(entry.to) + " before its adapt done");
+        }
+        step.resume_seen = true;
+        if (step.rollback_seen) {
+          violate(entry.time,
+                  describe(key) + ": step has both rollback and resume (must be exclusive)");
+        }
+      } else if (dynamic_cast<const RollbackMsg*>(proto) != nullptr) {
+        agent.rollback_received = true;
+        step.rollback_seen = true;
+        if (step.resume_seen) {
+          violate(entry.time,
+                  describe(key) + ": rollback after resume violates the §4.4 rule");
+        }
+      }
+      continue;
+    }
+
+    if (entry.to == manager_) {
+      AgentStepState& agent = step.agents[entry.from];
+      const bool is_reset_done = dynamic_cast<const ResetDoneMsg*>(proto) != nullptr;
+      const bool is_adapt_done = dynamic_cast<const AdaptDoneMsg*>(proto) != nullptr;
+      const bool is_resume_done = dynamic_cast<const ResumeDoneMsg*>(proto) != nullptr;
+      const bool is_rollback_done = dynamic_cast<const RollbackDoneMsg*>(proto) != nullptr;
+      if ((is_reset_done || is_adapt_done || is_resume_done) && !agent.reset_received) {
+        // An agent cannot make progress on a step whose reset it never got.
+        std::ostringstream what;
+        what << describe(key) << ": agent " << entry.from << " sent " << entry.type
+             << " without having received a reset";
+        violate(entry.time, what.str());
+      }
+      // resume done implies the in-action completed (a sole participant's
+      // proactive resume done may legitimately subsume a lost adapt done).
+      if (is_adapt_done || is_resume_done) agent.adapt_done_seen = true;
+      if (is_rollback_done && !agent.rollback_received && agent.reset_received) {
+        // rollback done for a step the agent worked on, without a rollback
+        // command, is spontaneous undoing — a violation. (A rollback done for
+        // an unknown step is the legitimate no-op acknowledgement.)
+        violate(entry.time, describe(key) + ": agent " + std::to_string(entry.from) +
+                                " sent rollback done without a rollback command");
+      }
+      continue;
+    }
+  }
+  return violations;
+}
+
+}  // namespace sa::proto

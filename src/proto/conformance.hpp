@@ -1,0 +1,47 @@
+// Trace conformance checking against the paper's protocol automata.
+//
+// The network records every delivered control message; this checker replays
+// that trace and verifies, per (step, attempt, agent), that the observed
+// message sequence is a run of the Figure 1 / Figure 2 state machines:
+//
+//   * an agent acknowledges reset before adapt, adapt before resume;
+//   * the manager never sends resume for a step before every involved agent
+//     reported adapt done;                         (global safe state, §4.3)
+//   * the manager never sends rollback for a step after it sent any resume
+//     for that step;                               (§4.4 rollback rule)
+//   * duplicate deliveries are permitted everywhere (loss handling re-sends),
+//     but out-of-order *first* occurrences are violations.
+//
+// Tests run adaptations under loss/duplication/partition injection and assert
+// an empty violation list — turning the paper's safety argument into a
+// machine-checked property of every execution the suite produces.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sa::proto {
+
+struct ConformanceViolation {
+  sim::Time time = 0;
+  std::string description;
+};
+
+class ConformanceChecker {
+ public:
+  /// `manager_node` identifies the manager; every other endpoint appearing in
+  /// the trace is treated as an agent.
+  explicit ConformanceChecker(sim::NodeId manager_node) : manager_(manager_node) {}
+
+  /// Replays `trace` (delivered entries only) and returns all violations.
+  std::vector<ConformanceViolation> check(const std::vector<sim::TraceEntry>& trace) const;
+
+ private:
+  sim::NodeId manager_;
+};
+
+}  // namespace sa::proto

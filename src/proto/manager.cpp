@@ -1,0 +1,502 @@
+#include "proto/manager.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <set>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace sa::proto {
+
+std::string_view to_string(ManagerPhase phase) {
+  switch (phase) {
+    case ManagerPhase::Running: return "running";
+    case ManagerPhase::Preparing: return "preparing";
+    case ManagerPhase::Adapting: return "adapting";
+    case ManagerPhase::Adapted: return "adapted";
+    case ManagerPhase::Resuming: return "resuming";
+    case ManagerPhase::Resumed: return "resumed";
+    case ManagerPhase::RollingBack: return "rolling-back";
+  }
+  return "?";
+}
+
+std::string_view to_string(AdaptationOutcome outcome) {
+  switch (outcome) {
+    case AdaptationOutcome::Success: return "success";
+    case AdaptationOutcome::NoPathFound: return "no-path-found";
+    case AdaptationOutcome::RolledBackToSource: return "rolled-back-to-source";
+    case AdaptationOutcome::UserInterventionRequired: return "user-intervention-required";
+    case AdaptationOutcome::StalledAfterResume: return "stalled-after-resume";
+  }
+  return "?";
+}
+
+AdaptationManager::AdaptationManager(sim::Network& network, sim::NodeId node,
+                                     const config::InvariantSet& invariants,
+                                     const actions::ActionTable& table, ManagerConfig config)
+    : network_(&network),
+      node_(node),
+      invariants_(&invariants),
+      table_(&table),
+      config_(config) {
+  // Detection-and-setup phase steps 1-2 (§4.2): safe configuration set + SAG.
+  safe_configs_ = config::enumerate_safe_pruned(invariants);
+  sag_ = std::make_unique<actions::SafeAdaptationGraph>(table, safe_configs_);
+  planner_ = std::make_unique<actions::PathPlanner>(*sag_);
+  network_->set_handler(node_, [this](sim::NodeId from, sim::MessagePtr message) {
+    on_message(from, std::move(message));
+  });
+}
+
+AdaptationManager::~AdaptationManager() = default;
+
+void AdaptationManager::register_agent(config::ProcessId process, sim::NodeId agent_node,
+                                       int stage) {
+  agents_[process] = AgentEndpoint{agent_node, stage};
+}
+
+std::optional<config::ProcessId> AdaptationManager::process_of_node(sim::NodeId node) const {
+  for (const auto& [process, endpoint] : agents_) {
+    if (endpoint.node == node) return process;
+  }
+  return std::nullopt;
+}
+
+LocalCommand AdaptationManager::command_for(config::ProcessId process) const {
+  const actions::AdaptiveAction& action = table_->action(plan_.steps[step_index_].action);
+  const auto& registry = table_->registry();
+  LocalCommand command;
+  for (const config::ComponentId id : action.removes.components(registry.size())) {
+    if (registry.process(id) == process) command.remove.push_back(registry.name(id));
+  }
+  for (const config::ComponentId id : action.adds.components(registry.size())) {
+    if (registry.process(id) == process) command.add.push_back(registry.name(id));
+  }
+  return command;
+}
+
+void AdaptationManager::send_to(config::ProcessId process, sim::MessagePtr message) {
+  network_->send(node_, agents_.at(process).node, std::move(message));
+}
+
+void AdaptationManager::request_adaptation(config::Configuration target,
+                                           CompletionHandler handler) {
+  if (busy()) throw std::logic_error("adaptation request while another is in flight");
+  request_id_ = next_request_id_++;
+  source_ = current_;
+  target_ = target;
+  handler_ = std::move(handler);
+  result_ = AdaptationResult{};
+  result_.started = network_->simulator().now();
+  returning_to_source_ = false;
+  alternatives_tried_ = 0;
+  plan_counter_ = 0;
+
+  if (current_ == target) {
+    finish(AdaptationOutcome::Success, "already at target configuration");
+    return;
+  }
+  phase_ = ManagerPhase::Preparing;
+  const auto plan = planner_->minimum_path(current_, target);
+  if (!plan || plan->empty()) {
+    finish(AdaptationOutcome::NoPathFound, "no safe adaptation path from " +
+                                               current_.describe(table_->registry()) + " to " +
+                                               target.describe(table_->registry()));
+    return;
+  }
+  SA_INFO("manager") << "MAP: " << plan->action_names(*table_) << " (cost " << plan->total_cost
+                     << ")";
+  start_plan(*plan);
+}
+
+void AdaptationManager::start_plan(actions::AdaptationPlan plan) {
+  plan_ = std::move(plan);
+  plan_number_ = plan_counter_++;
+  step_index_ = 0;
+  step_attempt_ = 0;
+  execute_current_step();
+}
+
+void AdaptationManager::execute_current_step() {
+  const actions::PlanStep& step = plan_.steps[step_index_];
+  const actions::AdaptiveAction& action = table_->action(step.action);
+  const auto& registry = table_->registry();
+
+  involved_ = action.affected_processes(registry, registry.size());
+  for (const config::ProcessId process : involved_) {
+    if (!agents_.contains(process)) {
+      throw std::logic_error("no agent registered for process " + std::to_string(process));
+    }
+  }
+  // Stage ordering + drain flags: upstream agents quiesce first; agents
+  // beyond the step's minimum involved stage drain their input queues so the
+  // global safe condition (receivers processed everything senders emitted)
+  // holds before any in-action.
+  min_stage_ = agents_.at(involved_.front()).stage;
+  int max_stage = min_stage_;
+  for (const config::ProcessId process : involved_) {
+    min_stage_ = std::min(min_stage_, agents_.at(process).stage);
+    max_stage = std::max(max_stage, agents_.at(process).stage);
+  }
+  drain_flag_.clear();
+  for (const config::ProcessId process : involved_) {
+    drain_flag_[process] = max_stage > min_stage_ && agents_.at(process).stage > min_stage_;
+  }
+
+  reset_acked_.clear();
+  adapt_acked_.clear();
+  resume_acked_.clear();
+  rollback_acked_.clear();
+  resume_sent_ = false;
+  retries_left_ = config_.message_retries;
+  current_stage_ = min_stage_;
+
+  StepRecord record;
+  record.ref = current_ref();
+  record.action_name = action.name;
+  record.started = network_->simulator().now();
+  step_log_.push_back(record);
+
+  phase_ = ManagerPhase::Adapting;
+  SA_INFO("manager") << "step " << record.ref.describe() << ": " << action.name << " ("
+                     << action.operation_text(registry) << "), " << involved_.size()
+                     << " process(es)";
+  send_stage_resets(current_stage_);
+  arm_timer(config_.reset_timeout);
+}
+
+void AdaptationManager::send_stage_resets(int stage) {
+  for (const config::ProcessId process : involved_) {
+    if (agents_.at(process).stage != stage) continue;
+    auto msg = std::make_shared<ResetMsg>();
+    msg->step = current_ref();
+    msg->command = command_for(process);
+    msg->drain = drain_flag_.at(process);
+    msg->sole_participant = involved_.size() == 1;
+    send_to(process, std::move(msg));
+  }
+}
+
+void AdaptationManager::maybe_advance_stage() {
+  // All resets of stages <= current acknowledged?
+  for (const config::ProcessId process : involved_) {
+    if (agents_.at(process).stage <= current_stage_ && !reset_acked_.contains(process)) return;
+  }
+  // Find the next involved stage.
+  int next_stage = INT_MAX;
+  for (const config::ProcessId process : involved_) {
+    const int stage = agents_.at(process).stage;
+    if (stage > current_stage_) next_stage = std::min(next_stage, stage);
+  }
+  if (next_stage == INT_MAX) return;  // no further stages
+  // Let in-flight application data reach the downstream processes before
+  // asking them to drain and block.
+  current_stage_ = next_stage;
+  stage_delay_event_ =
+      network_->simulator().schedule_after(config_.inter_stage_delay, [this, next_stage] {
+        stage_delay_event_ = 0;
+        send_stage_resets(next_stage);
+        arm_timer(config_.reset_timeout);
+      });
+}
+
+void AdaptationManager::on_message(sim::NodeId from, sim::MessagePtr message) {
+  const auto process = process_of_node(from);
+  if (!process) {
+    SA_WARN("manager") << "message from unregistered node " << from;
+    return;
+  }
+  const auto* proto = dynamic_cast<const ProtoMessage*>(message.get());
+  if (!proto) {
+    SA_WARN("manager") << "non-protocol message " << message->type_name();
+    return;
+  }
+  const StepRef expected = current_ref();
+  if (!(proto->step == expected)) {
+    SA_DEBUG("manager") << "stale " << message->type_name() << " " << proto->step.describe()
+                        << " (expected " << expected.describe() << ")";
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ResetDoneMsg*>(message.get())) {
+    on_reset_done(*process, *m);
+  } else if (const auto* m = dynamic_cast<const AdaptDoneMsg*>(message.get())) {
+    on_adapt_done(*process, *m);
+  } else if (const auto* m = dynamic_cast<const ResumeDoneMsg*>(message.get())) {
+    on_resume_done(*process, *m);
+  } else if (const auto* m = dynamic_cast<const RollbackDoneMsg*>(message.get())) {
+    on_rollback_done(*process, *m);
+  }
+}
+
+void AdaptationManager::on_reset_done(config::ProcessId process, const ResetDoneMsg&) {
+  if (phase_ != ManagerPhase::Adapting) return;
+  reset_acked_.insert(process);
+  maybe_advance_stage();
+}
+
+void AdaptationManager::on_adapt_done(config::ProcessId process, const AdaptDoneMsg&) {
+  if (phase_ != ManagerPhase::Adapting) return;
+  reset_acked_.insert(process);  // adapt done implies the reset completed
+  adapt_acked_.insert(process);
+  if (adapt_acked_.size() == involved_.size()) {
+    phase_ = ManagerPhase::Adapted;
+    enter_resuming();
+  }
+}
+
+void AdaptationManager::enter_resuming() {
+  phase_ = ManagerPhase::Resuming;
+  resume_sent_ = true;
+  retries_left_ = config_.message_retries + config_.run_to_completion_retries;
+  for (const config::ProcessId process : involved_) {
+    auto msg = std::make_shared<ResumeMsg>();
+    msg->step = current_ref();
+    send_to(process, std::move(msg));
+  }
+  arm_timer(config_.resume_timeout);
+}
+
+void AdaptationManager::on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg) {
+  if (phase_ == ManagerPhase::Adapting) {
+    // A sole participant resumed proactively and its adapt done was lost:
+    // the resume done subsumes it.
+    reset_acked_.insert(process);
+    adapt_acked_.insert(process);
+    resume_acked_.insert(process);
+    total_blocked_reported_ += msg.blocked_for;
+    if (adapt_acked_.size() == involved_.size()) {
+      phase_ = ManagerPhase::Adapted;
+      enter_resuming();
+      resume_acked_.insert(process);
+      if (resume_acked_.size() == involved_.size()) commit_step();
+    }
+    return;
+  }
+  if (phase_ != ManagerPhase::Resuming) return;
+  if (resume_acked_.insert(process).second) total_blocked_reported_ += msg.blocked_for;
+  if (resume_acked_.size() == involved_.size()) commit_step();
+}
+
+void AdaptationManager::commit_step() {
+  disarm_timer();
+  phase_ = ManagerPhase::Resumed;
+  current_ = plan_.steps[step_index_].to;
+  ++result_.steps_committed;
+  step_log_.back().committed = true;
+  step_log_.back().finished = network_->simulator().now();
+  SA_INFO("manager") << "step " << step_index_ << " committed; now at "
+                     << current_.describe(table_->registry());
+  if (step_index_ + 1 < plan_.steps.size()) {
+    ++step_index_;
+    step_attempt_ = 0;
+    execute_current_step();
+    return;
+  }
+  if (returning_to_source_) {
+    finish(AdaptationOutcome::RolledBackToSource, "returned to source configuration");
+  } else {
+    finish(AdaptationOutcome::Success, "target configuration reached");
+  }
+}
+
+void AdaptationManager::arm_timer(sim::Time timeout) {
+  disarm_timer();
+  timer_ = network_->simulator().schedule_after(timeout, [this] {
+    timer_ = 0;
+    on_timeout();
+  });
+}
+
+void AdaptationManager::disarm_timer() {
+  if (timer_ != 0) {
+    network_->simulator().cancel(timer_);
+    timer_ = 0;
+  }
+  if (stage_delay_event_ != 0) {
+    network_->simulator().cancel(stage_delay_event_);
+    stage_delay_event_ = 0;
+  }
+}
+
+void AdaptationManager::on_timeout() {
+  switch (phase_) {
+    case ManagerPhase::Adapting: {
+      if (retries_left_ > 0) {
+        --retries_left_;
+        ++result_.message_retries;
+        // Retransmit resets to every triggered stage with an agent that has
+        // not yet finished its in-action; agents re-acknowledge idempotently.
+        std::set<int> stages_to_resend;
+        for (const config::ProcessId process : involved_) {
+          if (agents_.at(process).stage <= current_stage_ && !adapt_acked_.contains(process)) {
+            stages_to_resend.insert(agents_.at(process).stage);
+          }
+        }
+        for (const int stage : stages_to_resend) send_stage_resets(stage);
+        maybe_advance_stage();
+        arm_timer(config_.reset_timeout);
+        return;
+      }
+      SA_WARN("manager") << "step " << step_index_ << " timed out before resume; aborting";
+      begin_rollback();
+      return;
+    }
+    case ManagerPhase::Resuming: {
+      if (retries_left_ > 0) {
+        --retries_left_;
+        ++result_.message_retries;
+        const StepRef ref = current_ref();
+        for (const config::ProcessId process : involved_) {
+          if (!resume_acked_.contains(process)) {
+            auto msg = std::make_shared<ResumeMsg>();
+            msg->step = ref;
+            send_to(process, std::move(msg));
+          }
+        }
+        arm_timer(config_.resume_timeout);
+        return;
+      }
+      // §4.4: after the first resume the adaptation must run to completion;
+      // if acknowledgements never arrive the structure is adapted everywhere
+      // (all adapt done collected) so the step is committed, but the operator
+      // is told the protocol stalled.
+      current_ = plan_.steps[step_index_].to;
+      ++result_.steps_committed;
+      step_log_.back().committed = true;
+      step_log_.back().finished = network_->simulator().now();
+      finish(AdaptationOutcome::StalledAfterResume,
+             "resume unacknowledged by " +
+                 std::to_string(involved_.size() - resume_acked_.size()) + " agent(s)");
+      return;
+    }
+    case ManagerPhase::RollingBack: {
+      if (retries_left_ > 0) {
+        --retries_left_;
+        ++result_.message_retries;
+        const StepRef ref = current_ref();
+        for (const config::ProcessId process : involved_) {
+          if (!rollback_acked_.contains(process)) {
+            auto msg = std::make_shared<RollbackMsg>();
+            msg->step = ref;
+            send_to(process, std::move(msg));
+          }
+        }
+        arm_timer(config_.rollback_timeout);
+        return;
+      }
+      finish(AdaptationOutcome::UserInterventionRequired,
+             "rollback unacknowledged; agent states unknown");
+      return;
+    }
+    default:
+      SA_WARN("manager") << "timeout in unexpected phase " << to_string(phase_);
+  }
+}
+
+void AdaptationManager::begin_rollback() {
+  phase_ = ManagerPhase::RollingBack;
+  disarm_timer();
+  rollback_acked_.clear();
+  retries_left_ = config_.message_retries;
+  const StepRef ref = current_ref();
+  for (const config::ProcessId process : involved_) {
+    auto msg = std::make_shared<RollbackMsg>();
+    msg->step = ref;
+    send_to(process, std::move(msg));
+  }
+  arm_timer(config_.rollback_timeout);
+}
+
+void AdaptationManager::on_rollback_done(config::ProcessId process, const RollbackDoneMsg&) {
+  if (phase_ != ManagerPhase::RollingBack) return;
+  rollback_acked_.insert(process);
+  if (rollback_acked_.size() == involved_.size()) step_failed_after_rollback();
+}
+
+void AdaptationManager::step_failed_after_rollback() {
+  disarm_timer();
+  ++result_.step_failures;
+  step_log_.back().rolled_back = true;
+  step_log_.back().finished = network_->simulator().now();
+  try_next_strategy();
+}
+
+void AdaptationManager::try_next_strategy() {
+  // §4.4 strategy chain: (1) retry the step, (2) next-minimum path,
+  // (3) return to source, (4) wait for user intervention.
+  if (static_cast<int>(step_attempt_) < config_.step_retries) {
+    ++step_attempt_;
+    SA_INFO("manager") << "retrying step " << step_index_ << " (attempt " << step_attempt_ << ")";
+    execute_current_step();
+    return;
+  }
+  const config::Configuration active_target = returning_to_source_ ? source_ : target_;
+  ++alternatives_tried_;
+  if (alternatives_tried_ <= config_.max_alternative_paths && !(current_ == active_target)) {
+    const auto plans = planner_->ranked_paths(current_, active_target, alternatives_tried_ + 1);
+    if (plans.size() > alternatives_tried_) {
+      ++result_.plans_tried;
+      SA_INFO("manager") << "trying alternative path #" << alternatives_tried_ << ": "
+                         << plans[alternatives_tried_].action_names(*table_);
+      start_plan(plans[alternatives_tried_]);
+      return;
+    }
+  }
+  if (!returning_to_source_ && config_.allow_return_to_source) {
+    returning_to_source_ = true;
+    alternatives_tried_ = 0;
+    if (current_ == source_) {
+      finish(AdaptationOutcome::RolledBackToSource, "failed before leaving source configuration");
+      return;
+    }
+    const auto plan = planner_->minimum_path(current_, source_);
+    if (plan && !plan->empty()) {
+      ++result_.plans_tried;
+      SA_INFO("manager") << "returning to source via " << plan->action_names(*table_);
+      start_plan(*plan);
+      return;
+    }
+  }
+  finish(AdaptationOutcome::UserInterventionRequired,
+         "all adaptation paths failed; system parked at " +
+             current_.describe(table_->registry()));
+}
+
+void AdaptationManager::enqueue_adaptation(config::Configuration target,
+                                           CompletionHandler handler) {
+  if (!busy() && pending_requests_.empty()) {
+    request_adaptation(target, std::move(handler));
+    return;
+  }
+  pending_requests_.push_back(PendingRequest{target, std::move(handler)});
+}
+
+void AdaptationManager::finish(AdaptationOutcome outcome, std::string detail) {
+  disarm_timer();
+  phase_ = ManagerPhase::Running;
+  result_.outcome = outcome;
+  result_.final_config = current_;
+  result_.finished = network_->simulator().now();
+  result_.detail = std::move(detail);
+  SA_INFO("manager") << "request " << request_id_ << " finished: " << to_string(outcome) << " ("
+                     << result_.detail << ")";
+  if (handler_) {
+    auto handler = std::move(handler_);
+    handler_ = nullptr;
+    handler(result_);
+  }
+  if (!pending_requests_.empty() && !busy()) {
+    // Start the next queued request from a fresh event so the caller's
+    // completion handler never observes a half-started successor.
+    network_->simulator().schedule_after(0, [this] {
+      if (busy() || pending_requests_.empty()) return;
+      PendingRequest next = std::move(pending_requests_.front());
+      pending_requests_.pop_front();
+      request_adaptation(next.target, std::move(next.handler));
+    });
+  }
+}
+
+}  // namespace sa::proto

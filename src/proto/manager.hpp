@@ -1,0 +1,225 @@
+// Centralized adaptation manager (paper §4, Figure 2).
+//
+// The manager owns the analysis-phase data structure P = (S, I, T, R, A):
+// the invariant set I and action table T (with costs A) are supplied at
+// construction; S (the safe configuration set) and the SAG are derived.
+//
+// Detection-and-setup phase: on an adaptation request it enumerates safe
+// configurations, builds the SAG, and finds the minimum adaptation path with
+// Dijkstra (§4.2).  Realization phase: for each step it coordinates the
+// involved agents through reset / adapt / resume rounds, ensuring every
+// in-action executes in a global safe state (§4.3).  Failure handling (§4.4):
+// manager-side timeouts detect loss-of-message and fail-to-reset failures;
+// rollback is initiated only before the first resume is sent, otherwise the
+// step runs to completion; on step failure the strategy chain is
+//   retry the step once -> next-minimum path -> return to source -> user.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actions/planner.hpp"
+#include "config/enumerate.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace sa::proto {
+
+enum class ManagerPhase {
+  Running,      ///< fully operational, no adaptation in progress
+  Preparing,    ///< MAP creation
+  Adapting,     ///< waiting for reset done / adapt done
+  Adapted,      ///< all in-actions complete (transient)
+  Resuming,     ///< waiting for resume done
+  Resumed,      ///< step committed (transient)
+  RollingBack   ///< aborting a failed step
+};
+
+std::string_view to_string(ManagerPhase phase);
+
+enum class AdaptationOutcome {
+  Success,                   ///< target configuration reached
+  NoPathFound,               ///< source or target unsafe, or SAG disconnected
+  RolledBackToSource,        ///< target unreachable; system returned to source
+  UserInterventionRequired,  ///< all strategies failed; system parked at a safe config
+  StalledAfterResume         ///< step committed but some resume unacknowledged
+};
+
+std::string_view to_string(AdaptationOutcome outcome);
+
+struct AdaptationResult {
+  AdaptationOutcome outcome = AdaptationOutcome::Success;
+  config::Configuration final_config;
+  std::size_t steps_committed = 0;
+  std::size_t step_failures = 0;    ///< rollbacks of individual steps
+  std::size_t plans_tried = 1;
+  std::size_t message_retries = 0;  ///< retransmission rounds
+  sim::Time started = 0;
+  sim::Time finished = 0;
+  std::string detail;
+};
+
+struct ManagerConfig {
+  sim::Time reset_timeout = sim::ms(150);     ///< reset sent -> all adapt done
+  sim::Time resume_timeout = sim::ms(100);    ///< resume sent -> all resume done
+  sim::Time rollback_timeout = sim::ms(100);  ///< rollback sent -> all rollback done
+  /// Extra wait between quiescing one stage and resetting the next, covering
+  /// data still in flight toward downstream processes (the global safe
+  /// condition for sender->receiver actions).
+  sim::Time inter_stage_delay = sim::ms(15);
+  int message_retries = 2;          ///< retransmission rounds per phase
+  int run_to_completion_retries = 8;///< extra resume rounds after first resume
+  int step_retries = 1;             ///< §4.4: "retries the same step once more"
+  std::size_t max_alternative_paths = 3;
+  bool allow_return_to_source = true;
+};
+
+/// Per-step record for experiment harnesses.
+struct StepRecord {
+  StepRef ref;
+  std::string action_name;
+  bool committed = false;
+  bool rolled_back = false;
+  sim::Time started = 0;
+  sim::Time finished = 0;
+};
+
+class AdaptationManager {
+ public:
+  using CompletionHandler = std::function<void(const AdaptationResult&)>;
+
+  AdaptationManager(sim::Network& network, sim::NodeId node, const config::InvariantSet& invariants,
+                    const actions::ActionTable& table, ManagerConfig config = {});
+  ~AdaptationManager();
+
+  /// Registers the agent responsible for `process`. `stage` orders resets
+  /// within a step: lower stages (upstream/senders) quiesce first; agents in
+  /// stages above the step's minimum involved stage drain their input before
+  /// blocking (global safe condition).
+  void register_agent(config::ProcessId process, sim::NodeId agent_node, int stage = 0);
+
+  /// Current system configuration; must be set before the first request and
+  /// is updated as steps commit.
+  void set_current_configuration(config::Configuration config) { current_ = config; }
+  const config::Configuration& current_configuration() const { return current_; }
+
+  /// Requests adaptation to `target`. One request at a time; throws
+  /// std::logic_error if one is already in flight. The handler fires (from
+  /// simulator context) when the request terminates.
+  void request_adaptation(config::Configuration target, CompletionHandler handler);
+
+  /// Like request_adaptation, but a request arriving while another is in
+  /// flight waits its turn instead of throwing. Queued requests run in FIFO
+  /// order, each planned from the configuration the previous one left behind.
+  void enqueue_adaptation(config::Configuration target, CompletionHandler handler);
+
+  std::size_t queued_requests() const { return pending_requests_.size(); }
+
+  ManagerPhase phase() const { return phase_; }
+  bool busy() const { return phase_ != ManagerPhase::Running; }
+
+  /// Safe configurations / SAG derived from I and T (exposed for tests and
+  /// the experiment harnesses).
+  const std::vector<config::Configuration>& safe_configurations() const { return safe_configs_; }
+  const actions::SafeAdaptationGraph& sag() const { return *sag_; }
+  const actions::PathPlanner& planner() const { return *planner_; }
+
+  const std::vector<StepRecord>& step_log() const { return step_log_; }
+  sim::Time total_blocked_reported() const { return total_blocked_reported_; }
+
+ private:
+  struct AgentEndpoint {
+    sim::NodeId node = 0;
+    int stage = 0;
+  };
+
+  void on_message(sim::NodeId from, sim::MessagePtr message);
+  void on_reset_done(config::ProcessId process, const ResetDoneMsg& msg);
+  void on_adapt_done(config::ProcessId process, const AdaptDoneMsg& msg);
+  void on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg);
+  void on_rollback_done(config::ProcessId process, const RollbackDoneMsg& msg);
+
+  void start_plan(actions::AdaptationPlan plan);
+  void execute_current_step();
+  void send_stage_resets(int stage);
+  void maybe_advance_stage();
+  void enter_resuming();
+  void commit_step();
+  void arm_timer(sim::Time timeout);
+  void disarm_timer();
+  void on_timeout();
+  void begin_rollback();
+  void step_failed_after_rollback();
+  void try_next_strategy();
+  void finish(AdaptationOutcome outcome, std::string detail);
+
+  std::optional<config::ProcessId> process_of_node(sim::NodeId node) const;
+  LocalCommand command_for(config::ProcessId process) const;
+  void send_to(config::ProcessId process, sim::MessagePtr message);
+
+  sim::Network* network_;
+  sim::NodeId node_;
+  const config::InvariantSet* invariants_;
+  const actions::ActionTable* table_;
+  ManagerConfig config_;
+
+  std::vector<config::Configuration> safe_configs_;
+  std::unique_ptr<actions::SafeAdaptationGraph> sag_;
+  std::unique_ptr<actions::PathPlanner> planner_;
+
+  std::map<config::ProcessId, AgentEndpoint> agents_;
+  config::Configuration current_;
+
+  // --- in-flight request state ---
+  ManagerPhase phase_ = ManagerPhase::Running;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t request_id_ = 0;
+  config::Configuration source_;
+  config::Configuration target_;
+  CompletionHandler handler_;
+  AdaptationResult result_;
+  bool returning_to_source_ = false;
+  std::size_t alternatives_tried_ = 0;
+
+  actions::AdaptationPlan plan_;
+  std::uint32_t plan_number_ = 0;   ///< disambiguates re-planned paths
+  std::uint32_t plan_counter_ = 0;  ///< next plan number within the request
+  std::size_t step_index_ = 0;
+  std::uint32_t step_attempt_ = 0;
+
+  StepRef current_ref() const {
+    return StepRef{request_id_, plan_number_, static_cast<std::uint32_t>(step_index_),
+                   step_attempt_};
+  }
+
+  // per-step bookkeeping
+  std::vector<config::ProcessId> involved_;
+  std::map<config::ProcessId, bool> drain_flag_;
+  int min_stage_ = 0;
+  int current_stage_ = 0;
+  std::set<config::ProcessId> reset_acked_;
+  std::set<config::ProcessId> adapt_acked_;
+  std::set<config::ProcessId> resume_acked_;
+  std::set<config::ProcessId> rollback_acked_;
+  bool resume_sent_ = false;
+  int retries_left_ = 0;
+  sim::EventId timer_ = 0;
+  sim::EventId stage_delay_event_ = 0;
+
+  std::vector<StepRecord> step_log_;
+  sim::Time total_blocked_reported_ = 0;
+
+  struct PendingRequest {
+    config::Configuration target;
+    CompletionHandler handler;
+  };
+  std::deque<PendingRequest> pending_requests_;
+};
+
+}  // namespace sa::proto

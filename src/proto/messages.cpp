@@ -1,0 +1,23 @@
+#include "proto/messages.hpp"
+
+namespace sa::proto {
+
+std::string LocalCommand::describe() const {
+  std::string out;
+  for (const std::string& name : remove) {
+    if (!out.empty()) out += ' ';
+    out += '-' + name;
+  }
+  for (const std::string& name : add) {
+    if (!out.empty()) out += ' ';
+    out += '+' + name;
+  }
+  return out.empty() ? "(no-op)" : out;
+}
+
+std::string StepRef::describe() const {
+  return "req" + std::to_string(request_id) + ".plan" + std::to_string(plan) + ".step" +
+         std::to_string(step_index) + ".try" + std::to_string(attempt);
+}
+
+}  // namespace sa::proto

@@ -1,0 +1,89 @@
+// Protocol messages between the adaptation manager and its agents
+// (paper §4.3, Courier-font message names in Figures 1 and 2).
+//
+// Every message carries the (request, step, attempt) coordinates so agents
+// can deduplicate retransmissions: the manager resends unacknowledged
+// messages on timeout (loss-of-message handling, §4.4), and agents respond
+// idempotently to duplicates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::proto {
+
+/// The local in-action one agent must execute: which components (filters) to
+/// remove from and add to its process's chain. Derived by the manager from
+/// the adaptive action's removes/adds restricted to that agent's process.
+struct LocalCommand {
+  std::vector<std::string> remove;
+  std::vector<std::string> add;
+
+  bool empty() const { return remove.empty() && add.empty(); }
+  std::string describe() const;
+  bool operator==(const LocalCommand&) const = default;
+};
+
+/// Coordinates identifying one adaptation step attempt. The plan number
+/// distinguishes steps of different paths tried within one request (§4.4
+/// strategy 2 re-plans reuse step indices); without it, step 0 of an
+/// alternative path would alias step 0 of the path it replaced and agents
+/// would deduplicate fresh commands as retransmissions.
+struct StepRef {
+  std::uint64_t request_id = 0;  ///< adaptation request
+  std::uint32_t plan = 0;        ///< which path within the request
+  std::uint32_t step_index = 0;  ///< index within the path
+  std::uint32_t attempt = 0;     ///< retry counter for this step
+
+  bool operator==(const StepRef&) const = default;
+  std::string describe() const;
+};
+
+struct ProtoMessage : sim::Message {
+  StepRef step;
+};
+
+/// manager -> agent: reach your safe state, then perform `command`.
+struct ResetMsg final : ProtoMessage {
+  LocalCommand command;
+  bool drain = false;             ///< also satisfy the global safe condition
+  bool sole_participant = false;  ///< Fig. 1: may resume without waiting
+  std::string type_name() const override { return "reset"; }
+};
+
+/// agent -> manager: safe state reached, process blocked.
+struct ResetDoneMsg final : ProtoMessage {
+  std::string type_name() const override { return "reset done"; }
+};
+
+/// agent -> manager: local in-action complete.
+struct AdaptDoneMsg final : ProtoMessage {
+  std::string type_name() const override { return "adapt done"; }
+};
+
+/// manager -> agent: all in-actions complete; resume full operation.
+struct ResumeMsg final : ProtoMessage {
+  std::string type_name() const override { return "resume"; }
+};
+
+/// agent -> manager: full operation resumed.
+struct ResumeDoneMsg final : ProtoMessage {
+  sim::Time blocked_for = 0;  ///< how long the process was blocked (metrics)
+  std::string type_name() const override { return "resume done"; }
+};
+
+/// manager -> agent: abort the step; undo any in-action and resume.
+struct RollbackMsg final : ProtoMessage {
+  std::string type_name() const override { return "rollback"; }
+};
+
+/// agent -> manager: rollback complete, process back to pre-step state.
+struct RollbackDoneMsg final : ProtoMessage {
+  std::string type_name() const override { return "rollback done"; }
+};
+
+}  // namespace sa::proto

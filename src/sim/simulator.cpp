@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace sa::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("cannot schedule event in the past");
+  if (!fn) throw std::invalid_argument("event callback must be non-empty");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+  // Cancelled ids stay in the queue and are skipped when popped; the set
+  // entry is erased at pop time, keeping both structures bounded.
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = event.time;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,73 @@
+// Deterministic discrete-event simulator.
+//
+// All distributed behaviour in this repository — protocol message exchange,
+// packet streaming, manager timeouts — runs on virtual time provided by this
+// scheduler.  Events at equal timestamps fire in scheduling order (stable
+// FIFO tie-break), so a given seed always produces the identical execution,
+// which is what lets the protocol tests assert exact traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace sa::sim {
+
+/// Virtual time in microseconds.
+using Time = std::int64_t;
+
+constexpr Time us(std::int64_t v) { return v; }
+constexpr Time ms(std::int64_t v) { return v * 1000; }
+constexpr Time seconds(std::int64_t v) { return v * 1'000'000; }
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` microseconds from now.
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled. Safe to call from inside event handlers.
+  bool cancel(EventId id);
+
+  /// Runs the next pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains (or `max_events` fire). Returns events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= `deadline`, then advances now to
+  /// `deadline`. Returns events run.
+  std::size_t run_until(Time deadline);
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;  // also the FIFO tie-break: lower id scheduled earlier
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace sa::sim

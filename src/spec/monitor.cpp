@@ -1,0 +1,120 @@
+#include "spec/monitor.hpp"
+
+#include <stdexcept>
+
+namespace sa::spec {
+
+void SafeStateMonitor::declare_segment(SegmentSpec spec) {
+  if (spec.name.empty() || spec.begin_event.empty() || spec.end_event.empty()) {
+    throw std::invalid_argument("segment spec fields must be non-empty");
+  }
+  if (spec.begin_event == spec.end_event) {
+    throw std::invalid_argument("segment begin and end events must differ");
+  }
+  for (const SegmentState& existing : segments_) {
+    if (existing.spec.name == spec.name) {
+      throw std::invalid_argument("duplicate segment name: " + spec.name);
+    }
+  }
+  if (begin_index_.contains(spec.begin_event) || end_index_.contains(spec.begin_event) ||
+      begin_index_.contains(spec.end_event) || end_index_.contains(spec.end_event)) {
+    throw std::invalid_argument("event already bound to another segment");
+  }
+  const std::size_t index = segments_.size();
+  begin_index_.emplace(spec.begin_event, index);
+  end_index_.emplace(spec.end_event, index);
+  segments_.push_back(SegmentState{std::move(spec), {}, 0});
+}
+
+void SafeStateMonitor::add_obligation(std::string name, FormulaPtr formula) {
+  if (!formula) throw std::invalid_argument("null obligation formula");
+  obligations_.push_back(Obligation{std::move(name), std::move(formula), true});
+}
+
+void SafeStateMonitor::add_obligation(std::string name, std::string_view ptltl_text) {
+  add_obligation(std::move(name), parse_ptltl(ptltl_text));
+}
+
+void SafeStateMonitor::on_event(const std::string& event, std::uint64_t key) {
+  ++events_observed_;
+  if (const auto it = begin_index_.find(event); it != begin_index_.end()) {
+    SegmentState& segment = segments_[it->second];
+    if (segment.spec.keyed) {
+      segment.open_keys.insert(key);
+    } else {
+      ++segment.open_depth;
+    }
+  } else if (const auto end = end_index_.find(event); end != end_index_.end()) {
+    SegmentState& segment = segments_[end->second];
+    if (segment.spec.keyed) {
+      segment.open_keys.erase(key);
+    } else if (segment.open_depth > 0) {
+      --segment.open_depth;
+    }
+  }
+  // Obligations see every event: atom `e` is true exactly when the event
+  // being processed is `e`.
+  const auto valuation = [&event](const std::string& name) { return name == event; };
+  for (Obligation& obligation : obligations_) {
+    obligation.satisfied = obligation.formula->step(valuation);
+  }
+  check_safe_transition();
+}
+
+bool SafeStateMonitor::safe() const {
+  for (const SegmentState& segment : segments_) {
+    if (segment.open()) return false;
+  }
+  for (const Obligation& obligation : obligations_) {
+    if (!obligation.satisfied) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SafeStateMonitor::open_obligations() const {
+  std::vector<std::string> reasons;
+  for (const SegmentState& segment : segments_) {
+    if (segment.open()) {
+      const std::uint64_t instances =
+          segment.spec.keyed ? segment.open_keys.size() : segment.open_depth;
+      reasons.push_back("segment '" + segment.spec.name + "' open (" +
+                        std::to_string(instances) + " instance(s))");
+    }
+  }
+  for (const Obligation& obligation : obligations_) {
+    if (!obligation.satisfied) {
+      reasons.push_back("obligation '" + obligation.name + "' unsatisfied");
+    }
+  }
+  return reasons;
+}
+
+void SafeStateMonitor::notify_when_safe(std::function<void()> callback) {
+  if (!callback) return;
+  if (safe()) {
+    callback();
+    return;
+  }
+  waiting_.push_back(std::move(callback));
+}
+
+void SafeStateMonitor::check_safe_transition() {
+  if (waiting_.empty() || !safe()) return;
+  std::vector<std::function<void()>> to_fire;
+  to_fire.swap(waiting_);
+  for (auto& callback : to_fire) callback();
+}
+
+void SafeStateMonitor::reset() {
+  for (SegmentState& segment : segments_) {
+    segment.open_keys.clear();
+    segment.open_depth = 0;
+  }
+  for (Obligation& obligation : obligations_) {
+    obligation.formula->reset();
+    obligation.satisfied = true;
+  }
+  events_observed_ = 0;
+}
+
+}  // namespace sa::spec

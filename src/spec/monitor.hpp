@@ -1,0 +1,98 @@
+// Runtime safe-state monitor (paper §7): derives a component's safe states
+// automatically from declared critical communication segments and/or ptLTL
+// obligations, instead of hand-coding them into the agent.
+//
+// Two specification layers share one event stream:
+//
+//  * Segment declarations — a critical communication segment is the interval
+//    between a `begin` event and its matching `end` event (optionally keyed,
+//    so overlapping instances such as interleaved frames are tracked
+//    independently). The component is in a safe state iff no segment instance
+//    is currently open — the §3.2 condition "the adaptation does not
+//    interrupt any critical communication segments".
+//
+//  * ptLTL obligations — arbitrary past-time formulas over event atoms; each
+//    must currently hold for the state to be safe. At each event, atom
+//    `e` is true iff the event being processed is `e`.
+//
+// Usage:
+//    SafeStateMonitor monitor;
+//    monitor.declare_segment({"frame", "frame_start", "frame_end", true});
+//    monitor.add_obligation("no torn handshake", "!(O(syn) & !O(ack))"); ...
+//    monitor.on_event("frame_start", seq); ... monitor.safe() ...
+//    monitor.notify_when_safe([&]{ ... });   // fires immediately if safe
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "spec/ptltl.hpp"
+
+namespace sa::spec {
+
+struct SegmentSpec {
+  std::string name;         ///< label, e.g. "frame transmission"
+  std::string begin_event;  ///< event opening an instance
+  std::string end_event;    ///< event discharging it
+  bool keyed = false;       ///< track instances per key (else a depth counter)
+};
+
+class SafeStateMonitor {
+ public:
+  /// Declares a critical-communication-segment shape. Throws on duplicate
+  /// names or events already used as a begin/end of another segment.
+  void declare_segment(SegmentSpec spec);
+
+  /// Adds a ptLTL obligation that must hold for the state to be safe.
+  void add_obligation(std::string name, FormulaPtr formula);
+  void add_obligation(std::string name, std::string_view ptltl_text);
+
+  /// Feeds one runtime event. `key` distinguishes concurrent instances of a
+  /// keyed segment (e.g. the frame number).
+  void on_event(const std::string& event, std::uint64_t key = 0);
+
+  /// Safe iff no segment instance is open and every obligation holds.
+  bool safe() const;
+
+  /// Human-readable reasons the state is currently unsafe (empty iff safe).
+  std::vector<std::string> open_obligations() const;
+
+  /// Invokes `callback` as soon as the monitor is (or becomes) safe; one-shot.
+  void notify_when_safe(std::function<void()> callback);
+
+  /// Drops all pending notify_when_safe callbacks (rollback path).
+  void cancel_pending_notifications() { waiting_.clear(); }
+
+  std::uint64_t events_observed() const { return events_observed_; }
+
+  /// Clears all temporal state (obligations keep their formulas).
+  void reset();
+
+ private:
+  struct SegmentState {
+    SegmentSpec spec;
+    std::set<std::uint64_t> open_keys;  // keyed instances
+    std::uint64_t open_depth = 0;       // unkeyed nesting depth
+    bool open() const { return !open_keys.empty() || open_depth > 0; }
+  };
+  struct Obligation {
+    std::string name;
+    FormulaPtr formula;
+    bool satisfied = true;  // vacuously true before the first event
+  };
+
+  void check_safe_transition();
+
+  std::vector<SegmentState> segments_;
+  std::map<std::string, std::size_t> begin_index_;
+  std::map<std::string, std::size_t> end_index_;
+  std::vector<Obligation> obligations_;
+  std::vector<std::function<void()>> waiting_;
+  std::uint64_t events_observed_ = 0;
+};
+
+}  // namespace sa::spec

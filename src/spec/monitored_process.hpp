@@ -1,0 +1,50 @@
+// Glue between the §7 safe-state monitor and the adaptation protocol: an
+// AdaptableProcess decorator whose local safe state is *derived* from a
+// SafeStateMonitor instead of being hand-identified by the developer.
+//
+// reach_safe_state() first waits until the monitor reports no open critical
+// communication segments / unsatisfied obligations, and only then drives the
+// underlying process to its (mechanical) quiescent state. The video example
+// uses this to align adaptation with frame boundaries: a frame's packets form
+// a keyed segment, so a decoder is never swapped mid-frame even though the
+// chain itself is packet-quiescent between any two packets.
+#pragma once
+
+#include "proto/adaptable_process.hpp"
+#include "spec/monitor.hpp"
+
+namespace sa::spec {
+
+class MonitoredProcess : public proto::AdaptableProcess {
+ public:
+  /// Neither reference is owned; both must outlive the decorator.
+  MonitoredProcess(proto::AdaptableProcess& inner, SafeStateMonitor& monitor)
+      : inner_(&inner), monitor_(&monitor) {}
+
+  bool prepare(const proto::LocalCommand& command) override { return inner_->prepare(command); }
+
+  void reach_safe_state(bool drain, std::function<void()> reached) override {
+    monitor_->notify_when_safe(
+        [this, drain, reached = std::move(reached)]() mutable {
+          inner_->reach_safe_state(drain, std::move(reached));
+        });
+  }
+
+  void abort_safe_state() override {
+    monitor_->cancel_pending_notifications();
+    inner_->abort_safe_state();
+  }
+
+  bool apply(const proto::LocalCommand& command) override { return inner_->apply(command); }
+  bool undo(const proto::LocalCommand& command) override { return inner_->undo(command); }
+  void resume() override { inner_->resume(); }
+  void cleanup(const proto::LocalCommand& command) override { inner_->cleanup(command); }
+
+  SafeStateMonitor& monitor() { return *monitor_; }
+
+ private:
+  proto::AdaptableProcess* inner_;
+  SafeStateMonitor* monitor_;
+};
+
+}  // namespace sa::spec

@@ -1,0 +1,361 @@
+#include "spec/ptltl.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace sa::spec {
+
+std::vector<std::string> Formula::atoms() const {
+  std::set<std::string> names;
+  collect_atoms(names);
+  return {names.begin(), names.end()};
+}
+
+namespace {
+
+class ConstantFormula final : public Formula {
+ public:
+  explicit ConstantFormula(bool value) : Formula(FormulaKind::Constant), value_(value) {}
+  bool step(const AtomValuation&) override { return current_ = value_; }
+  void reset() override { current_ = false; }
+  std::string to_string() const override { return value_ ? "true" : "false"; }
+  void collect_atoms(std::set<std::string>&) const override {}
+
+ private:
+  bool value_;
+};
+
+class AtomFormula final : public Formula {
+ public:
+  explicit AtomFormula(std::string name) : Formula(FormulaKind::Atom), name_(std::move(name)) {}
+  bool step(const AtomValuation& atoms) override { return current_ = atoms(name_); }
+  void reset() override { current_ = false; }
+  std::string to_string() const override { return name_; }
+  void collect_atoms(std::set<std::string>& out) const override { out.insert(name_); }
+
+ private:
+  std::string name_;
+};
+
+class UnaryFormula : public Formula {
+ protected:
+  UnaryFormula(FormulaKind kind, FormulaPtr operand)
+      : Formula(kind), operand_(std::move(operand)) {
+    if (!operand_) throw std::invalid_argument("null ptLTL operand");
+  }
+  FormulaPtr operand_;
+
+ public:
+  void collect_atoms(std::set<std::string>& out) const override {
+    operand_->collect_atoms(out);
+  }
+};
+
+class NotFormula final : public UnaryFormula {
+ public:
+  explicit NotFormula(FormulaPtr operand) : UnaryFormula(FormulaKind::Not, std::move(operand)) {}
+  bool step(const AtomValuation& atoms) override { return current_ = !operand_->step(atoms); }
+  void reset() override {
+    current_ = false;
+    operand_->reset();
+  }
+  std::string to_string() const override { return "!(" + operand_->to_string() + ")"; }
+};
+
+class YesterdayFormula final : public UnaryFormula {
+ public:
+  explicit YesterdayFormula(FormulaPtr operand)
+      : UnaryFormula(FormulaKind::Yesterday, std::move(operand)) {}
+  bool step(const AtomValuation& atoms) override {
+    const bool result = previous_;
+    previous_ = operand_->step(atoms);
+    return current_ = result;
+  }
+  void reset() override {
+    current_ = previous_ = false;
+    operand_->reset();
+  }
+  std::string to_string() const override { return "Y(" + operand_->to_string() + ")"; }
+
+ private:
+  bool previous_ = false;
+};
+
+class OnceFormula final : public UnaryFormula {
+ public:
+  explicit OnceFormula(FormulaPtr operand) : UnaryFormula(FormulaKind::Once, std::move(operand)) {}
+  bool step(const AtomValuation& atoms) override {
+    seen_ = seen_ || operand_->step(atoms);
+    return current_ = seen_;
+  }
+  void reset() override {
+    current_ = seen_ = false;
+    operand_->reset();
+  }
+  std::string to_string() const override { return "O(" + operand_->to_string() + ")"; }
+
+ private:
+  bool seen_ = false;
+};
+
+class HistoricallyFormula final : public UnaryFormula {
+ public:
+  explicit HistoricallyFormula(FormulaPtr operand)
+      : UnaryFormula(FormulaKind::Historically, std::move(operand)) {}
+  bool step(const AtomValuation& atoms) override {
+    always_ = always_ && operand_->step(atoms);
+    return current_ = always_;
+  }
+  void reset() override {
+    current_ = false;
+    always_ = true;
+    operand_->reset();
+  }
+  std::string to_string() const override { return "H(" + operand_->to_string() + ")"; }
+
+ private:
+  bool always_ = true;
+};
+
+class BinaryFormula : public Formula {
+ protected:
+  BinaryFormula(FormulaKind kind, FormulaPtr lhs, FormulaPtr rhs)
+      : Formula(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+    if (!lhs_ || !rhs_) throw std::invalid_argument("null ptLTL operand");
+  }
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+
+ public:
+  void collect_atoms(std::set<std::string>& out) const override {
+    lhs_->collect_atoms(out);
+    rhs_->collect_atoms(out);
+  }
+  void reset() override {
+    current_ = false;
+    lhs_->reset();
+    rhs_->reset();
+  }
+};
+
+class AndFormula final : public BinaryFormula {
+ public:
+  AndFormula(FormulaPtr lhs, FormulaPtr rhs)
+      : BinaryFormula(FormulaKind::And, std::move(lhs), std::move(rhs)) {}
+  bool step(const AtomValuation& atoms) override {
+    // Evaluate both sides unconditionally: temporal sub-formulas must observe
+    // every step even when the other side already decides the connective.
+    const bool a = lhs_->step(atoms);
+    const bool b = rhs_->step(atoms);
+    return current_ = a && b;
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " & " + rhs_->to_string() + ")";
+  }
+};
+
+class OrFormula final : public BinaryFormula {
+ public:
+  OrFormula(FormulaPtr lhs, FormulaPtr rhs)
+      : BinaryFormula(FormulaKind::Or, std::move(lhs), std::move(rhs)) {}
+  bool step(const AtomValuation& atoms) override {
+    const bool a = lhs_->step(atoms);
+    const bool b = rhs_->step(atoms);
+    return current_ = a || b;
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " | " + rhs_->to_string() + ")";
+  }
+};
+
+class ImpliesFormula final : public BinaryFormula {
+ public:
+  ImpliesFormula(FormulaPtr lhs, FormulaPtr rhs)
+      : BinaryFormula(FormulaKind::Implies, std::move(lhs), std::move(rhs)) {}
+  bool step(const AtomValuation& atoms) override {
+    const bool a = lhs_->step(atoms);
+    const bool b = rhs_->step(atoms);
+    return current_ = !a || b;
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " -> " + rhs_->to_string() + ")";
+  }
+};
+
+class SinceFormula final : public BinaryFormula {
+ public:
+  SinceFormula(FormulaPtr lhs, FormulaPtr rhs)
+      : BinaryFormula(FormulaKind::Since, std::move(lhs), std::move(rhs)) {}
+  bool step(const AtomValuation& atoms) override {
+    const bool p = lhs_->step(atoms);
+    const bool q = rhs_->step(atoms);
+    // p S q  <=>  q | (p & Y(p S q))
+    holds_ = q || (p && holds_);
+    return current_ = holds_;
+  }
+  void reset() override {
+    BinaryFormula::reset();
+    holds_ = false;
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " S " + rhs_->to_string() + ")";
+  }
+
+ private:
+  bool holds_ = false;
+};
+
+}  // namespace
+
+FormulaPtr constant(bool value) { return std::make_shared<ConstantFormula>(value); }
+FormulaPtr atom(std::string name) {
+  if (name.empty()) throw std::invalid_argument("atom name must be non-empty");
+  return std::make_shared<AtomFormula>(std::move(name));
+}
+FormulaPtr negation(FormulaPtr operand) { return std::make_shared<NotFormula>(std::move(operand)); }
+FormulaPtr conjunction(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<AndFormula>(std::move(lhs), std::move(rhs));
+}
+FormulaPtr disjunction(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<OrFormula>(std::move(lhs), std::move(rhs));
+}
+FormulaPtr implication(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<ImpliesFormula>(std::move(lhs), std::move(rhs));
+}
+FormulaPtr yesterday(FormulaPtr operand) {
+  return std::make_shared<YesterdayFormula>(std::move(operand));
+}
+FormulaPtr once(FormulaPtr operand) { return std::make_shared<OnceFormula>(std::move(operand)); }
+FormulaPtr historically(FormulaPtr operand) {
+  return std::make_shared<HistoricallyFormula>(std::move(operand));
+}
+FormulaPtr since(FormulaPtr lhs, FormulaPtr rhs) {
+  return std::make_shared<SinceFormula>(std::move(lhs), std::move(rhs));
+}
+
+// --- parser -------------------------------------------------------------------
+
+namespace {
+
+class PtltlParser {
+ public:
+  explicit PtltlParser(std::string_view input) : input_(input) {}
+
+  FormulaPtr parse() {
+    FormulaPtr result = parse_formula();
+    skip_whitespace();
+    if (offset_ != input_.size()) {
+      throw std::invalid_argument("trailing input in ptLTL formula at offset " +
+                                  std::to_string(offset_));
+    }
+    return result;
+  }
+
+ private:
+  FormulaPtr parse_formula() {
+    FormulaPtr lhs = parse_or();
+    skip_whitespace();
+    if (match("->")) return implication(std::move(lhs), parse_formula());
+    return lhs;
+  }
+
+  FormulaPtr parse_or() {
+    FormulaPtr lhs = parse_and();
+    for (;;) {
+      skip_whitespace();
+      if (!match("|")) return lhs;
+      lhs = disjunction(std::move(lhs), parse_and());
+    }
+  }
+
+  FormulaPtr parse_and() {
+    FormulaPtr lhs = parse_since();
+    for (;;) {
+      skip_whitespace();
+      if (!match("&")) return lhs;
+      lhs = conjunction(std::move(lhs), parse_since());
+    }
+  }
+
+  FormulaPtr parse_since() {
+    FormulaPtr lhs = parse_unary();
+    for (;;) {
+      skip_whitespace();
+      if (!match_keyword("S")) return lhs;
+      lhs = since(std::move(lhs), parse_unary());
+    }
+  }
+
+  FormulaPtr parse_unary() {
+    skip_whitespace();
+    if (match("!")) return negation(parse_unary());
+    if (match_keyword("Y")) return yesterday(parse_unary());
+    if (match_keyword("O")) return once(parse_unary());
+    if (match_keyword("H")) return historically(parse_unary());
+    return parse_primary();
+  }
+
+  FormulaPtr parse_primary() {
+    skip_whitespace();
+    if (match("(")) {
+      FormulaPtr inner = parse_formula();
+      skip_whitespace();
+      if (!match(")")) {
+        throw std::invalid_argument("expected ')' at offset " + std::to_string(offset_));
+      }
+      return inner;
+    }
+    const std::string name = parse_identifier();
+    if (name == "true") return constant(true);
+    if (name == "false") return constant(false);
+    return atom(name);
+  }
+
+  std::string parse_identifier() {
+    skip_whitespace();
+    const std::size_t start = offset_;
+    while (offset_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[offset_])) || input_[offset_] == '_')) {
+      ++offset_;
+    }
+    if (offset_ == start) {
+      throw std::invalid_argument("expected identifier at offset " + std::to_string(start));
+    }
+    return std::string(input_.substr(start, offset_ - start));
+  }
+
+  /// Matches an operator token literally.
+  bool match(std::string_view token) {
+    if (input_.substr(offset_).substr(0, token.size()) != token) return false;
+    offset_ += token.size();
+    return true;
+  }
+
+  /// Matches a single-letter keyword operator (Y/O/H/S) only when it is not
+  /// the prefix of a longer identifier — "Once_done" is an atom, not "O".
+  bool match_keyword(std::string_view keyword) {
+    if (input_.substr(offset_).substr(0, keyword.size()) != keyword) return false;
+    const std::size_t next = offset_ + keyword.size();
+    if (next < input_.size() &&
+        (std::isalnum(static_cast<unsigned char>(input_[next])) || input_[next] == '_')) {
+      return false;
+    }
+    offset_ = next;
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (offset_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[offset_]))) {
+      ++offset_;
+    }
+  }
+
+  std::string_view input_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse_ptltl(std::string_view text) { return PtltlParser(text).parse(); }
+
+}  // namespace sa::spec

@@ -1,0 +1,92 @@
+// Past-time linear temporal logic (ptLTL) for runtime safe-state detection.
+//
+// Paper §7: "One promising approach is to use a temporal logic formula to
+// specify the set of critical communication segments of a component. The
+// run-time component states can be monitored and the formula can then be
+// dynamically evaluated. If all the obligations of the formula are fulfilled
+// in a state, then the state can be automatically identified as a safe
+// state."
+//
+// Past-time operators admit constant-space incremental evaluation: each node
+// stores one bit of history and is updated once per observation step, so the
+// monitor costs O(|formula|) per event regardless of trace length.
+//
+// Syntax (precedence low -> high; Y/O/H bind like '!'):
+//   formula := or ( "->" formula )?
+//   or      := and ( "|" and )*
+//   and     := since ( "&" since )*
+//   since   := unary ( "S" unary )*        left-assoc: p S q S r = (p S q) S r
+//   unary   := "!" unary | "Y" unary | "O" unary | "H" unary | primary
+//   primary := ident | "true" | "false" | "(" formula ")"
+//
+// Semantics at step i over a trace of atom valuations:
+//   Y p  — p held at step i-1 (false at i = 0)            "yesterday"
+//   O p  — p held at some step <= i                        "once"
+//   H p  — p held at every step <= i                       "historically"
+//   p S q — q held at some past step j and p held at all steps in (j, i]
+//                                                          "since"
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sa::spec {
+
+/// Truth assignment for atoms at the current observation step.
+using AtomValuation = std::function<bool(const std::string&)>;
+
+class Formula;
+using FormulaPtr = std::shared_ptr<Formula>;
+
+enum class FormulaKind { Constant, Atom, Not, And, Or, Implies, Yesterday, Once, Historically, Since };
+
+/// A ptLTL formula node. Stateful: step() must be called exactly once per
+/// observation, in order, on the ROOT only (it recurses). reset() restarts
+/// the trace.
+class Formula {
+ public:
+  virtual ~Formula() = default;
+  FormulaKind kind() const { return kind_; }
+
+  /// Advances one observation step and returns the formula's truth at it.
+  virtual bool step(const AtomValuation& atoms) = 0;
+
+  /// Truth at the most recent step (false before the first step).
+  bool current() const { return current_; }
+
+  /// Clears all temporal state, restarting the trace.
+  virtual void reset() = 0;
+
+  virtual std::string to_string() const = 0;
+  virtual void collect_atoms(std::set<std::string>& out) const = 0;
+  std::vector<std::string> atoms() const;
+
+ protected:
+  explicit Formula(FormulaKind kind) : kind_(kind) {}
+  bool current_ = false;
+
+ private:
+  FormulaKind kind_;
+};
+
+// Factories.
+FormulaPtr constant(bool value);
+FormulaPtr atom(std::string name);
+FormulaPtr negation(FormulaPtr operand);
+FormulaPtr conjunction(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr disjunction(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr implication(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr yesterday(FormulaPtr operand);
+FormulaPtr once(FormulaPtr operand);
+FormulaPtr historically(FormulaPtr operand);
+FormulaPtr since(FormulaPtr lhs, FormulaPtr rhs);
+
+/// Parses the syntax documented above. Throws std::invalid_argument with an
+/// offset-bearing message on malformed input.
+FormulaPtr parse_ptltl(std::string_view text);
+
+}  // namespace sa::spec

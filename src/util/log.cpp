@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace sa::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty => default stderr sink
+
+void default_sink(LogLevel level, std::string_view component, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::scoped_lock lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void reset_log_sink() {
+  std::scoped_lock lock(g_sink_mutex);
+  g_sink = nullptr;
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view component, std::string_view message) {
+  std::scoped_lock lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace sa::util

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (channel loss, jitter, workload
+// generation) draws from an explicitly seeded Rng so that test runs and
+// benchmark runs are exactly reproducible.  The generator is xoshiro256**,
+// seeded through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sa::util {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (p clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive (requires lo <= hi).
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // UniformRandomBitGenerator interface so std::shuffle et al. work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sa::util

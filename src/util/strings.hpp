@@ -1,0 +1,23 @@
+// Small string utilities shared by the expression parser, tracing, and the
+// benchmark table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sa::util {
+
+/// Splits on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace sa::util

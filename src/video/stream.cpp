@@ -1,0 +1,80 @@
+#include "video/stream.hpp"
+
+#include <algorithm>
+
+namespace sa::video {
+
+StreamSource::StreamSource(sim::Simulator& sim, StreamConfig config, std::uint64_t seed)
+    : sim_(&sim), config_(config), rng_(seed) {}
+
+sim::Time StreamSource::packet_interval() const {
+  const std::uint64_t packets_per_second =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(config_.frames_per_second) *
+                                     config_.packets_per_frame);
+  return sim::seconds(1) / static_cast<sim::Time>(packets_per_second);
+}
+
+void StreamSource::start(PacketHandler sink) {
+  sink_ = std::move(sink);
+  if (running_) return;
+  running_ = true;
+  emit_next();
+}
+
+void StreamSource::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sim_->cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void StreamSource::emit_next() {
+  if (!running_) return;
+  components::Payload payload(config_.packet_payload_bytes);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng_.next_u64());
+  components::Packet packet =
+      components::Packet::make(config_.stream_id, next_sequence_++, std::move(payload));
+  if (sink_) sink_(std::move(packet));
+  pending_ = sim_->schedule_after(packet_interval(), [this] {
+    pending_ = 0;
+    emit_next();
+  });
+}
+
+void StreamSink::accept(const components::Packet& packet) {
+  ++stats_.received;
+  if (packet.sequence >= seen_.size()) seen_.resize(packet.sequence + 1, false);
+  if (seen_[packet.sequence]) {
+    ++stats_.duplicates;
+    return;
+  }
+  seen_[packet.sequence] = true;
+  if (stats_.received > 1 && packet.sequence < highest_seen_) ++stats_.reordered;
+  highest_seen_ = std::max(highest_seen_, packet.sequence);
+
+  if (!packet.encoding_stack.empty()) {
+    ++stats_.undecodable;
+    return;
+  }
+  if (components::payload_checksum(packet.payload) != packet.plaintext_checksum) {
+    ++stats_.corrupted;
+    return;
+  }
+  ++stats_.intact;
+  const sim::Time now = sim_->now();
+  if (stats_.last_intact_at >= 0) {
+    stats_.max_interarrival_gap = std::max(stats_.max_interarrival_gap, now - stats_.last_intact_at);
+  }
+  stats_.last_intact_at = now;
+}
+
+std::uint64_t StreamSink::missing(std::uint64_t emitted) const {
+  std::uint64_t present = 0;
+  for (std::uint64_t seq = 0; seq < emitted && seq < seen_.size(); ++seq) {
+    if (seen_[seq]) ++present;
+  }
+  return emitted - present;
+}
+
+}  // namespace sa::video

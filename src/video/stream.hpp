@@ -1,0 +1,88 @@
+// Synthetic video stream: frame generation, packetization, and integrity
+// checking.
+//
+// Substitutes for the paper's web camera + video processor (§5, Figure 3).
+// Frames are pseudo-random payloads split into fixed-size packets; every
+// packet carries a plaintext checksum, so the receiving player can tell
+// intact packets from ones corrupted by key mismatch or an interrupted
+// critical communication segment — the observable difference between safe
+// and unsafe adaptation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "components/packet.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sa::video {
+
+struct StreamConfig {
+  std::uint64_t stream_id = 1;
+  std::uint32_t frames_per_second = 25;
+  std::uint32_t packets_per_frame = 4;
+  std::size_t packet_payload_bytes = 256;
+};
+
+/// Produces the packetized stream on a virtual-time schedule.
+class StreamSource {
+ public:
+  using PacketHandler = std::function<void(components::Packet)>;
+
+  StreamSource(sim::Simulator& sim, StreamConfig config, std::uint64_t seed = 7);
+
+  /// Starts emitting packets to `sink` (one per inter-packet interval).
+  void start(PacketHandler sink);
+  void stop();
+  bool running() const { return running_; }
+
+  std::uint64_t packets_emitted() const { return next_sequence_; }
+  sim::Time packet_interval() const;
+
+ private:
+  void emit_next();
+
+  sim::Simulator* sim_;
+  StreamConfig config_;
+  util::Rng rng_;
+  PacketHandler sink_;
+  bool running_ = false;
+  std::uint64_t next_sequence_ = 0;
+  sim::EventId pending_ = 0;
+};
+
+/// Receiving-side player: consumes decoded packets and keeps integrity and
+/// disruption statistics.
+struct PlayerStats {
+  std::uint64_t received = 0;
+  std::uint64_t intact = 0;
+  std::uint64_t corrupted = 0;       ///< checksum mismatch after full decode
+  std::uint64_t undecodable = 0;     ///< arrived still carrying encoding tags
+  std::uint64_t duplicates = 0;
+  std::uint64_t reordered = 0;
+  sim::Time max_interarrival_gap = 0;  ///< longest silence between intact packets
+  sim::Time last_intact_at = -1;
+};
+
+class StreamSink {
+ public:
+  explicit StreamSink(sim::Simulator& sim) : sim_(&sim) {}
+
+  void accept(const components::Packet& packet);
+
+  const PlayerStats& stats() const { return stats_; }
+
+  /// Sequences never seen, assuming the source emitted [0, emitted) packets.
+  std::uint64_t missing(std::uint64_t emitted) const;
+
+ private:
+  sim::Simulator* sim_;
+  PlayerStats stats_;
+  std::vector<bool> seen_;
+  std::uint64_t highest_seen_ = 0;
+};
+
+}  // namespace sa::video

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "actions/action.hpp"
+#include "actions/sag.hpp"
+#include "config/enumerate.hpp"
+
+namespace sa::actions {
+namespace {
+
+struct Fixture {
+  config::ComponentRegistry registry;
+  config::InvariantSet invariants{registry};
+  ActionTable table{registry};
+
+  Fixture() {
+    registry.add("E1", 0);
+    registry.add("E2", 0);
+    registry.add("D1", 1);
+    registry.add("D2", 1);
+    registry.add("D3", 1);
+    registry.add("D4", 2);
+    registry.add("D5", 2);
+    invariants.add("resource constraint", "one(D1, D2, D3)");
+    invariants.add("security constraint", "one(E1, E2)");
+    invariants.add("E1 dependency", "E1 -> (D1 | D2) & D4");
+    invariants.add("E2 dependency", "E2 -> (D3 | D2) & D5");
+  }
+
+  config::Configuration of(std::initializer_list<const char*> names) const {
+    return config::Configuration::of(registry, names);
+  }
+};
+
+// --- AdaptiveAction -----------------------------------------------------------
+
+TEST(Action, ReplacementApplicability) {
+  Fixture f;
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  const AdaptiveAction& a2 = f.table.action(0);
+
+  EXPECT_TRUE(a2.applicable_to(f.of({"D1", "D4", "E1"})));
+  EXPECT_FALSE(a2.applicable_to(f.of({"D3", "D4", "E1"})));          // D1 absent
+  EXPECT_FALSE(a2.applicable_to(f.of({"D1", "D2", "D4", "E1"})));    // D2 already there
+  EXPECT_EQ(a2.apply(f.of({"D1", "D4", "E1"})), f.of({"D2", "D4", "E1"}));
+}
+
+TEST(Action, InsertionAndRemoval) {
+  Fixture f;
+  f.table.add("A17", {}, {"D5"}, 10);
+  f.table.add("A16", {"D4"}, {}, 10);
+  const AdaptiveAction& insert = f.table.action(0);
+  const AdaptiveAction& remove = f.table.action(1);
+
+  EXPECT_TRUE(insert.applicable_to(f.of({"D4"})));
+  EXPECT_FALSE(insert.applicable_to(f.of({"D4", "D5"})));
+  EXPECT_EQ(insert.apply(f.of({"D4"})), f.of({"D4", "D5"}));
+
+  EXPECT_TRUE(remove.applicable_to(f.of({"D4", "D5"})));
+  EXPECT_FALSE(remove.applicable_to(f.of({"D5"})));
+  EXPECT_EQ(remove.apply(f.of({"D4", "D5"})), f.of({"D5"}));
+}
+
+TEST(Action, AffectedProcesses) {
+  Fixture f;
+  f.table.add("A6", {"D1", "E1"}, {"D2", "E2"}, 100);
+  const auto processes = f.table.action(0).affected_processes(f.registry, f.registry.size());
+  EXPECT_EQ(processes, (std::vector<config::ProcessId>{0, 1}));  // server + hand-held
+}
+
+TEST(Action, OperationText) {
+  Fixture f;
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  f.table.add("A16", {"D4"}, {}, 10);
+  f.table.add("A17", {}, {"D5"}, 10);
+  EXPECT_EQ(f.table.action(0).operation_text(f.registry), "D1 -> D2");
+  EXPECT_EQ(f.table.action(1).operation_text(f.registry), "-D4");
+  EXPECT_EQ(f.table.action(2).operation_text(f.registry), "+D5");
+}
+
+// --- ActionTable ------------------------------------------------------------------
+
+TEST(ActionTable, Validation) {
+  Fixture f;
+  EXPECT_THROW(f.table.add("X", {}, {}, 10), std::invalid_argument);       // no-op
+  EXPECT_THROW(f.table.add("X", {"D1"}, {"D9"}, 10), std::out_of_range);   // unknown
+  EXPECT_THROW(f.table.add("X", {"D1"}, {"D2"}, -1), std::invalid_argument);
+  EXPECT_THROW(f.table.add("X", {"D1"}, {"D1"}, 10), std::invalid_argument);  // same comp
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  EXPECT_THROW(f.table.add("A2", {"D2"}, {"D3"}, 10), std::invalid_argument);  // dup name
+}
+
+TEST(ActionTable, FindAndRequire) {
+  Fixture f;
+  f.table.add("A1", {"E1"}, {"E2"}, 10);
+  EXPECT_EQ(f.table.find("A1"), std::optional<ActionId>(0));
+  EXPECT_FALSE(f.table.find("A99").has_value());
+  EXPECT_EQ(f.table.require("A1"), 0U);
+  EXPECT_THROW(f.table.require("A99"), std::out_of_range);
+}
+
+// --- SafeAdaptationGraph ------------------------------------------------------------
+
+TEST(Sag, NodesAreSafeConfigurations) {
+  Fixture f;
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  const auto safe = config::enumerate_safe_exhaustive(f.invariants);
+  const SafeAdaptationGraph sag(f.table, safe);
+  EXPECT_EQ(sag.node_count(), safe.size());
+  for (const config::Configuration& config : safe) {
+    EXPECT_TRUE(sag.node_of(config).has_value());
+  }
+  EXPECT_FALSE(sag.node_of(f.of({"D1", "D2"})).has_value());
+}
+
+TEST(Sag, EdgeRequiresSafeResult) {
+  Fixture f;
+  // A hypothetical action leading out of the safe set creates no edge:
+  // removing D4 from {D4,D1,E1} violates E1's dependency.
+  f.table.add("A16", {"D4"}, {}, 10);
+  const auto safe = config::enumerate_safe_exhaustive(f.invariants);
+  const SafeAdaptationGraph sag(f.table, safe);
+  const auto from = sag.node_of(f.of({"D4", "D1", "E1"}));
+  ASSERT_TRUE(from.has_value());
+  EXPECT_TRUE(sag.graph().out_edges(*from).empty());
+  // ...but removing D4 from {D5,D4,D2,E2} lands on safe {D5,D2,E2}.
+  const auto from2 = sag.node_of(f.of({"D5", "D4", "D2", "E2"}));
+  ASSERT_TRUE(from2.has_value());
+  ASSERT_EQ(sag.graph().out_edges(*from2).size(), 1U);
+  const graph::Edge& edge = sag.graph().edge(sag.graph().out_edges(*from2)[0]);
+  EXPECT_EQ(sag.configuration(edge.to), f.of({"D5", "D2", "E2"}));
+}
+
+TEST(Sag, DeduplicatesInputConfigurations) {
+  Fixture f;
+  const auto one_config = f.of({"D4", "D1", "E1"});
+  const SafeAdaptationGraph sag(f.table, {one_config, one_config, one_config});
+  EXPECT_EQ(sag.node_count(), 1U);
+}
+
+TEST(Sag, ActionOfEdgeRoundTrips) {
+  Fixture f;
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  const auto safe = config::enumerate_safe_exhaustive(f.invariants);
+  const SafeAdaptationGraph sag(f.table, safe);
+  for (graph::EdgeId e = 0; e < sag.graph().edge_count(); ++e) {
+    EXPECT_EQ(sag.action_of_edge(e).name, "A2");
+  }
+  EXPECT_GT(sag.edge_count(), 0U);
+}
+
+TEST(Sag, DescribeMentionsActionsAndConfigs) {
+  Fixture f;
+  f.table.add("A2", {"D1"}, {"D2"}, 10);
+  const SafeAdaptationGraph sag(f.table, config::enumerate_safe_exhaustive(f.invariants));
+  const std::string text = sag.describe();
+  EXPECT_NE(text.find("A2"), std::string::npos);
+  EXPECT_NE(text.find("D4,D1,E1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sa::actions

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "baselines/naive.hpp"
+#include "baselines/quiescence.hpp"
+#include "core/video_testbed.hpp"
+
+namespace sa::baselines {
+namespace {
+
+using core::VideoTestbed;
+
+std::map<config::ProcessId, ProcessBinding> bindings_of(VideoTestbed& testbed) {
+  const auto factory = core::paper_filter_factory();
+  return {
+      {core::kServerProcess, {&testbed.server().chain(), factory, /*stage=*/0}},
+      {core::kHandheldProcess, {&testbed.handheld().chain(), factory, /*stage=*/1}},
+      {core::kLaptopProcess, {&testbed.laptop().chain(), factory, /*stage=*/1}},
+  };
+}
+
+TEST(NaiveBaseline, AppliesDiffToChains) {
+  VideoTestbed testbed;
+  NaiveHotSwapAdapter naive(testbed.simulator(), testbed.system().registry(),
+                            bindings_of(testbed));
+  ASSERT_TRUE(naive.adapt(testbed.source(), testbed.target()));
+  testbed.run_for(sim::ms(50));
+  EXPECT_EQ(testbed.installed_configuration(), testbed.target());
+}
+
+TEST(NaiveBaseline, RejectsUnknownComponents) {
+  VideoTestbed testbed;
+  auto bindings = bindings_of(testbed);
+  bindings[core::kLaptopProcess].factory = [](const std::string&) { return nullptr; };
+  NaiveHotSwapAdapter naive(testbed.simulator(), testbed.system().registry(),
+                            std::move(bindings));
+  EXPECT_FALSE(naive.adapt(testbed.source(), testbed.target()));
+}
+
+TEST(NaiveBaseline, HotSwapUnderTrafficDisruptsTheStream) {
+  core::TestbedConfig config;
+  config.stream.packets_per_frame = 10;  // 250 packets/s: plenty in flight
+  VideoTestbed testbed(config);
+  testbed.start_stream();
+  testbed.run_for(sim::ms(500));
+
+  // Commands reach the processes 20 ms apart (uncoordinated rollout): the
+  // encoder switches schemes while the clients still run the old decoders.
+  NaiveHotSwapAdapter naive(testbed.simulator(), testbed.system().registry(),
+                            bindings_of(testbed), /*per_process_lag=*/sim::ms(20));
+  ASSERT_TRUE(naive.adapt(testbed.source(), testbed.target()));
+  testbed.run_for(sim::seconds(1));
+  testbed.stop_stream();
+  testbed.run_for(sim::seconds(1));
+
+  // Packets encoded under the old scheme meet the new decoders (and vice
+  // versa): the player observes undecodable or corrupted packets — the
+  // disruption the safe protocol exists to prevent.
+  EXPECT_GT(testbed.total_undecodable() + testbed.total_corrupted(), 0U);
+  // The stream does eventually recover on the new composition.
+  EXPECT_EQ(testbed.installed_configuration(), testbed.target());
+}
+
+TEST(NaiveBaseline, TransientConfigurationsViolateInvariants) {
+  VideoTestbed testbed;
+  testbed.start_stream();
+  testbed.run_for(sim::ms(100));
+
+  NaiveHotSwapAdapter naive(testbed.simulator(), testbed.system().registry(),
+                            bindings_of(testbed), /*per_process_lag=*/sim::ms(3));
+  ASSERT_TRUE(naive.adapt(testbed.source(), testbed.target()));
+
+  // Sample the *installed* configuration while the staggered swaps land.
+  bool violation_seen = false;
+  for (int i = 0; i < 12; ++i) {
+    testbed.run_for(sim::ms(1));
+    if (!testbed.system().invariants().satisfied(testbed.installed_configuration())) {
+      violation_seen = true;
+    }
+  }
+  EXPECT_TRUE(violation_seen);
+  // After the dust settles the final configuration is safe again.
+  testbed.run_for(sim::ms(50));
+  EXPECT_TRUE(testbed.system().invariants().satisfied(testbed.installed_configuration()));
+}
+
+TEST(QuiescenceBaseline, SafeButAdaptsInOneShot) {
+  VideoTestbed testbed;
+  testbed.start_stream();
+  testbed.run_for(sim::ms(500));
+
+  GlobalQuiescenceAdapter gq(testbed.simulator(), testbed.system().registry(),
+                             bindings_of(testbed));
+  std::optional<bool> done;
+  gq.adapt(testbed.source(), testbed.target(), [&done](bool ok) { done = ok; });
+  testbed.run_for(sim::seconds(2));
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(*done);
+  EXPECT_EQ(testbed.installed_configuration(), testbed.target());
+
+  testbed.run_for(sim::seconds(1));
+  testbed.stop_stream();
+  testbed.run_for(sim::seconds(1));
+  // Safe: no corruption...
+  EXPECT_EQ(testbed.total_corrupted(), 0U);
+  EXPECT_EQ(testbed.total_undecodable(), 0U);
+  // ...but the whole system was blocked for a measurable window.
+  EXPECT_GT(gq.last_blocked_duration(), 0);
+}
+
+TEST(QuiescenceBaseline, BlocksProcessesUninvolvedInTheChange) {
+  VideoTestbed testbed;
+  testbed.start_stream();
+  testbed.run_for(sim::ms(500));
+
+  // Change only the hand-held decoder (D1 -> D2). Global quiescence still
+  // stalls the laptop's player; the safe protocol would not touch it.
+  const auto to_d2 = config::Configuration::of(testbed.system().registry(), {"D4", "D2", "E1"});
+  GlobalQuiescenceAdapter gq(testbed.simulator(), testbed.system().registry(),
+                             bindings_of(testbed), /*flush_delay=*/sim::ms(100));
+  const sim::Time laptop_gap_before = testbed.laptop().player_stats().max_interarrival_gap;
+  std::optional<bool> done;
+  gq.adapt(testbed.source(), to_d2, [&done](bool ok) { done = ok; });
+  testbed.run_for(sim::seconds(2));
+  ASSERT_TRUE(done.has_value());
+
+  testbed.run_for(sim::seconds(1));
+  // The laptop—whose composition did not change—saw a silence at least as
+  // long as the global blocking window.
+  EXPECT_GT(testbed.laptop().player_stats().max_interarrival_gap, laptop_gap_before);
+  EXPECT_EQ(testbed.installed_configuration(), to_d2);
+  EXPECT_EQ(testbed.total_corrupted(), 0U);
+  EXPECT_EQ(testbed.total_undecodable(), 0U);
+}
+
+TEST(QuiescenceBaseline, RejectsConcurrentAdaptations) {
+  VideoTestbed testbed;
+  GlobalQuiescenceAdapter gq(testbed.simulator(), testbed.system().registry(),
+                             bindings_of(testbed));
+  gq.adapt(testbed.source(), testbed.target(), nullptr);
+  EXPECT_THROW(gq.adapt(testbed.source(), testbed.target(), nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sa::baselines

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "config/configuration.hpp"
+#include "config/invariants.hpp"
+#include "config/registry.hpp"
+
+namespace sa::config {
+namespace {
+
+ComponentRegistry paper_registry() {
+  ComponentRegistry registry;
+  registry.add("E1", 0);
+  registry.add("E2", 0);
+  registry.add("D1", 1);
+  registry.add("D2", 1);
+  registry.add("D3", 1);
+  registry.add("D4", 2);
+  registry.add("D5", 2);
+  return registry;
+}
+
+// --- ComponentRegistry ---------------------------------------------------------
+
+TEST(Registry, AssignsDenseIds) {
+  const auto registry = paper_registry();
+  EXPECT_EQ(registry.size(), 7U);
+  EXPECT_EQ(registry.require("E1"), 0U);
+  EXPECT_EQ(registry.require("D5"), 6U);
+  EXPECT_EQ(registry.name(3), "D2");
+  EXPECT_EQ(registry.process(0), 0U);
+  EXPECT_EQ(registry.process(4), 1U);
+}
+
+TEST(Registry, FindReturnsNulloptForUnknown) {
+  const auto registry = paper_registry();
+  EXPECT_FALSE(registry.find("nope").has_value());
+  EXPECT_TRUE(registry.find("D3").has_value());
+}
+
+TEST(Registry, RequireThrowsWithName) {
+  const auto registry = paper_registry();
+  try {
+    registry.require("Zed");
+    FAIL();
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("Zed"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsDuplicatesAndEmpty) {
+  ComponentRegistry registry;
+  registry.add("A", 0);
+  EXPECT_THROW(registry.add("A", 1), std::invalid_argument);
+  EXPECT_THROW(registry.add("", 0), std::invalid_argument);
+}
+
+TEST(Registry, CapsAt64Components) {
+  ComponentRegistry registry;
+  for (int i = 0; i < 64; ++i) registry.add("c" + std::to_string(i), 0);
+  EXPECT_THROW(registry.add("c64", 0), std::invalid_argument);
+}
+
+TEST(Registry, ProcessesSortedUnique) {
+  const auto registry = paper_registry();
+  EXPECT_EQ(registry.processes(), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+// --- Configuration ----------------------------------------------------------------
+
+TEST(Configuration, EmptyByDefault) {
+  Configuration config;
+  EXPECT_TRUE(config.empty());
+  EXPECT_EQ(config.count(), 0U);
+}
+
+TEST(Configuration, WithWithoutContains) {
+  Configuration config;
+  config = config.with(3).with(5);
+  EXPECT_TRUE(config.contains(3));
+  EXPECT_TRUE(config.contains(5));
+  EXPECT_FALSE(config.contains(4));
+  EXPECT_EQ(config.count(), 2U);
+  config = config.without(3);
+  EXPECT_FALSE(config.contains(3));
+  EXPECT_EQ(config.count(), 1U);
+}
+
+TEST(Configuration, WithIsIdempotent) {
+  const Configuration config = Configuration().with(2).with(2);
+  EXPECT_EQ(config.count(), 1U);
+}
+
+TEST(Configuration, SetAlgebra) {
+  const Configuration a(0b0110);
+  const Configuration b(0b0011);
+  EXPECT_EQ(a.minus(b).bits(), 0b0100U);
+  EXPECT_EQ(a.intersect(b).bits(), 0b0010U);
+  EXPECT_EQ(a.unite(b).bits(), 0b0111U);
+}
+
+TEST(Configuration, OfNamesBuildsMask) {
+  const auto registry = paper_registry();
+  const Configuration config = Configuration::of(registry, {"D4", "D1", "E1"});
+  EXPECT_TRUE(config.contains(registry.require("D4")));
+  EXPECT_TRUE(config.contains(registry.require("D1")));
+  EXPECT_TRUE(config.contains(registry.require("E1")));
+  EXPECT_EQ(config.count(), 3U);
+}
+
+TEST(Configuration, PaperBitStringRoundTrip) {
+  const auto registry = paper_registry();
+  // Paper source configuration: (D5,D4,D3,D2,D1,E2,E1) = 0100101 = {D4,D1,E1}.
+  const Configuration config = Configuration::from_bit_string("0100101", registry.size());
+  EXPECT_EQ(config, Configuration::of(registry, {"D4", "D1", "E1"}));
+  EXPECT_EQ(config.to_bit_string(registry.size()), "0100101");
+}
+
+TEST(Configuration, FromBitStringValidates) {
+  EXPECT_THROW(Configuration::from_bit_string("01", 3), std::invalid_argument);
+  EXPECT_THROW(Configuration::from_bit_string("01x", 3), std::invalid_argument);
+}
+
+TEST(Configuration, DescribeMatchesPaperOrdering) {
+  const auto registry = paper_registry();
+  const Configuration config = Configuration::from_bit_string("1101001", registry.size());
+  EXPECT_EQ(config.describe(registry), "D5,D4,D2,E1");
+}
+
+TEST(Configuration, ComponentsAscending) {
+  const Configuration config(0b101001);
+  EXPECT_EQ(config.components(6), (std::vector<ComponentId>{0, 3, 5}));
+}
+
+TEST(Configuration, HashAndOrdering) {
+  const Configuration a(1), b(2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<Configuration>{}(a), std::hash<Configuration>{}(b));
+}
+
+// --- InvariantSet -------------------------------------------------------------------
+
+TEST(InvariantSet, SatisfiedAndViolations) {
+  const auto registry = paper_registry();
+  InvariantSet invariants(registry);
+  invariants.add("resource", "one(D1, D2, D3)");
+  invariants.add("security", "one(E1, E2)");
+
+  const Configuration good = Configuration::of(registry, {"D1", "E1"});
+  EXPECT_TRUE(invariants.satisfied(good));
+  EXPECT_TRUE(invariants.violations(good).empty());
+
+  const Configuration bad = Configuration::of(registry, {"D1", "D2"});
+  EXPECT_FALSE(invariants.satisfied(bad));
+  EXPECT_EQ(invariants.violations(bad),
+            (std::vector<std::string>{"resource", "security"}));
+}
+
+TEST(InvariantSet, RejectsUnknownComponentNames) {
+  const auto registry = paper_registry();
+  InvariantSet invariants(registry);
+  EXPECT_THROW(invariants.add("typo", "E1 -> D9"), std::out_of_range);
+}
+
+TEST(InvariantSet, ReferencedComponents) {
+  const auto registry = paper_registry();
+  InvariantSet invariants(registry);
+  invariants.add("dep", "E1 -> (D1 | D2) & D4");
+  const auto ids = invariants.referenced_components(0);
+  EXPECT_EQ(ids.size(), 4U);  // E1, D1, D2, D4 (sorted by name from variables())
+}
+
+TEST(InvariantSet, EmptySetSatisfiedByAnything) {
+  const auto registry = paper_registry();
+  const InvariantSet invariants(registry);
+  EXPECT_TRUE(invariants.satisfied(Configuration(0b1111111)));
+  EXPECT_TRUE(invariants.satisfied(Configuration()));
+}
+
+TEST(InvariantSet, AcceptsPrebuiltExpressions) {
+  const auto registry = paper_registry();
+  InvariantSet invariants(registry);
+  invariants.add("manual", expr::implies(expr::var("E2"), expr::var("D5")));
+  EXPECT_FALSE(invariants.satisfied(Configuration::of(registry, {"E2"})));
+  EXPECT_TRUE(invariants.satisfied(Configuration::of(registry, {"E2", "D5"})));
+}
+
+}  // namespace
+}  // namespace sa::config

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "crypto/des.hpp"
+#include "util/rng.hpp"
+
+namespace sa::crypto {
+namespace {
+
+// --- block-level known-answer tests ---------------------------------------------
+
+TEST(DesBlock, Fips46KnownAnswer) {
+  // The classic worked example (used in countless DES references):
+  // key 133457799BBCDFF1, plaintext 0123456789ABCDEF -> 85E813540F0AB405.
+  const auto schedule = des_key_schedule(0x133457799BBCDFF1ULL);
+  EXPECT_EQ(des_encrypt_block(0x0123456789ABCDEFULL, schedule), 0x85E813540F0AB405ULL);
+  EXPECT_EQ(des_decrypt_block(0x85E813540F0AB405ULL, schedule), 0x0123456789ABCDEFULL);
+}
+
+TEST(DesBlock, NistVectorAllZeroKey) {
+  // With an all-zeros key, encrypting all-zeros gives 8CA64DE9C1B123A7.
+  const auto schedule = des_key_schedule(0);
+  EXPECT_EQ(des_encrypt_block(0, schedule), 0x8CA64DE9C1B123A7ULL);
+}
+
+TEST(DesBlock, RoundTripRandomBlocks) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t block = rng.next_u64();
+    const auto schedule = des_key_schedule(key);
+    EXPECT_EQ(des_decrypt_block(des_encrypt_block(block, schedule), schedule), block);
+  }
+}
+
+TEST(DesBlock, WrongKeyDoesNotDecrypt) {
+  const auto k1 = des_key_schedule(0x133457799BBCDFF1ULL);
+  const auto k2 = des_key_schedule(0x133457799BBCDFF0ULL);  // parity-only change
+  const auto k3 = des_key_schedule(0x0123456789ABCDEFULL);
+  const std::uint64_t block = 0xDEADBEEFCAFEF00DULL;
+  // Parity bits are discarded by PC-1, so k2 == k1 functionally...
+  EXPECT_EQ(des_decrypt_block(des_encrypt_block(block, k1), k2), block);
+  // ...but a genuinely different key produces garbage.
+  EXPECT_NE(des_decrypt_block(des_encrypt_block(block, k1), k3), block);
+}
+
+TEST(DesBlock, ComplementationProperty) {
+  // DES's famous complementation property: E_{~k}(~p) == ~E_k(p).
+  util::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::uint64_t plain = rng.next_u64();
+    const auto schedule = des_key_schedule(key);
+    const auto complemented = des_key_schedule(~key);
+    EXPECT_EQ(des_encrypt_block(~plain, complemented), ~des_encrypt_block(plain, schedule));
+  }
+}
+
+TEST(DesBlock, EdeRoundTripAndDistinctFromSingle) {
+  util::Rng rng(23);
+  const auto k1 = des_key_schedule(rng.next_u64());
+  const auto k2 = des_key_schedule(rng.next_u64());
+  const std::uint64_t block = rng.next_u64();
+  const std::uint64_t cipher = des_ede_encrypt_block(block, k1, k2);
+  EXPECT_EQ(des_ede_decrypt_block(cipher, k1, k2), block);
+  EXPECT_NE(cipher, des_encrypt_block(block, k1));
+}
+
+TEST(DesBlock, EdeWithEqualKeysDegeneratesToSingleDes) {
+  // E_k(D_k(E_k(x))) == E_k(x): the standard 3DES backward-compat property.
+  const auto k = des_key_schedule(0xA5A5A5A55A5A5A5AULL);
+  const std::uint64_t block = 0x0011223344556677ULL;
+  EXPECT_EQ(des_ede_encrypt_block(block, k, k), des_encrypt_block(block, k));
+}
+
+// --- byte-stream ciphers ----------------------------------------------------------
+
+TEST(Des64Cipher, RoundTripVariousLengths) {
+  const Des64Cipher cipher(0x133457799BBCDFF1ULL);
+  util::Rng rng(31);
+  for (const std::size_t length : {0UL, 1UL, 7UL, 8UL, 9UL, 255UL, 256UL, 1000UL}) {
+    Bytes plaintext(length);
+    for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+    const Bytes ciphertext = cipher.encrypt(plaintext);
+    EXPECT_EQ(ciphertext.size() % 8, 0U);
+    EXPECT_GT(ciphertext.size(), plaintext.size());  // padding always added
+    EXPECT_EQ(cipher.decrypt(ciphertext), plaintext) << "length " << length;
+  }
+}
+
+TEST(Des64Cipher, CiphertextDiffersFromPlaintext) {
+  const Des64Cipher cipher(0x133457799BBCDFF1ULL);
+  const Bytes plaintext(64, 0x42);
+  EXPECT_NE(cipher.encrypt(plaintext), plaintext);
+}
+
+TEST(Des64Cipher, WrongKeyYieldsGarbageNotThrow) {
+  const Des64Cipher good(0x133457799BBCDFF1ULL);
+  const Des64Cipher bad(0x0123456789ABCDEFULL);
+  Bytes plaintext(100);
+  for (std::size_t i = 0; i < plaintext.size(); ++i) plaintext[i] = static_cast<std::uint8_t>(i);
+  const Bytes decrypted = bad.decrypt(good.encrypt(plaintext));
+  EXPECT_NE(decrypted, plaintext);  // corruption, observable by checksums
+}
+
+TEST(Des64Cipher, DecryptRejectsUnalignedInput) {
+  const Des64Cipher cipher(1);
+  EXPECT_THROW(cipher.decrypt(Bytes{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Des128Cipher, RoundTrip) {
+  const Des128Cipher cipher(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  Bytes plaintext(123);
+  util::Rng rng(37);
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+  EXPECT_EQ(cipher.decrypt(cipher.encrypt(plaintext)), plaintext);
+}
+
+TEST(Des128Cipher, KeyOrderMatters) {
+  const Des128Cipher a(1, 2);
+  const Des128Cipher b(2, 1);
+  const Bytes plaintext(64, 0x11);
+  EXPECT_NE(a.encrypt(plaintext), b.encrypt(plaintext));
+}
+
+TEST(Des128Cipher, NotInterchangeableWithDes64) {
+  const Des64Cipher des64(0x133457799BBCDFF1ULL);
+  const Des128Cipher des128(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  Bytes plaintext(80, 0x3C);
+  EXPECT_NE(des64.decrypt(des128.encrypt(plaintext)), plaintext);
+  EXPECT_NE(des128.decrypt(des64.encrypt(plaintext)), plaintext);
+}
+
+// Property: ECB determinism — same block, same key, same ciphertext.
+TEST(CipherProperty, Deterministic) {
+  const Des64Cipher cipher(42);
+  const Bytes plaintext{9, 8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_EQ(cipher.encrypt(plaintext), cipher.encrypt(plaintext));
+}
+
+}  // namespace
+}  // namespace sa::crypto

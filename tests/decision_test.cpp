@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "decision/engine.hpp"
+
+namespace sa::decision {
+namespace {
+
+struct StubProcess : proto::AdaptableProcess {
+  bool prepare(const proto::LocalCommand&) override { return true; }
+  void reach_safe_state(bool, std::function<void()> reached) override { reached(); }
+  void abort_safe_state() override {}
+  bool apply(const proto::LocalCommand&) override { return true; }
+  bool undo(const proto::LocalCommand&) override { return true; }
+  void resume() override {}
+};
+
+/// Two-component system: {Plain} <-> {Armored}, plus an unreachable {Broken}.
+struct Fixture : ::testing::Test {
+  core::SafeAdaptationSystem system;
+  StubProcess process;
+  Metrics metrics;  // mutate from tests; provider reads it
+
+  config::Configuration plain, armored, broken;
+  std::unique_ptr<DecisionEngine> engine;
+
+  void SetUp() override {
+    system.registry().add("Plain", 0);
+    system.registry().add("Armored", 0);
+    system.registry().add("Broken", 0);
+    system.add_invariant("exactly one codec", "one(Plain, Armored, Broken)");
+    system.add_action("arm", {"Plain"}, {"Armored"}, 10);
+    system.add_action("disarm", {"Armored"}, {"Plain"}, 10);
+    // No action ever leads to {Broken}: targeting it must fail.
+    system.attach_process(0, process);
+    system.finalize();
+    plain = config::Configuration::of(system.registry(), {"Plain"});
+    armored = config::Configuration::of(system.registry(), {"Armored"});
+    broken = config::Configuration::of(system.registry(), {"Broken"});
+    system.set_current_configuration(plain);
+  }
+
+  void make_engine(EngineConfig config = {}) {
+    engine = std::make_unique<DecisionEngine>(
+        system.simulator(), system.manager(), [this] { return metrics; }, config);
+  }
+
+  Rule threat_rule(int priority = 0, config::Configuration* target = nullptr) {
+    return Rule{"harden",
+                [](const Metrics& m) {
+                  const auto it = m.find("threat");
+                  return it != m.end() && it->second > 0.5;
+                },
+                target ? *target : armored, priority};
+  }
+
+  void run_for(sim::Time duration) {
+    system.simulator().run_until(system.simulator().now() + duration);
+  }
+};
+
+TEST_F(Fixture, FiresWhenConditionHoldsAndAdapts) {
+  make_engine();
+  engine->add_rule(threat_rule());
+  engine->start();
+  run_for(sim::seconds(1));
+  EXPECT_EQ(engine->stats().triggers, 0U);  // condition not met yet
+
+  metrics["threat"] = 0.9;
+  run_for(sim::seconds(2));
+  EXPECT_EQ(engine->stats().triggers, 1U);
+  EXPECT_EQ(system.current_configuration(), armored);
+  ASSERT_EQ(engine->log().size(), 1U);
+  EXPECT_EQ(engine->log()[0].rule, "harden");
+  ASSERT_TRUE(engine->log()[0].outcome.has_value());
+  EXPECT_EQ(*engine->log()[0].outcome, proto::AdaptationOutcome::Success);
+}
+
+TEST_F(Fixture, NoRetriggerOnceAtTarget) {
+  make_engine();
+  engine->add_rule(threat_rule());
+  engine->start();
+  metrics["threat"] = 1.0;
+  run_for(sim::seconds(10));
+  EXPECT_EQ(engine->stats().triggers, 1U);  // satisfied afterwards
+}
+
+TEST_F(Fixture, OppositeRulesImplementHysteresisViaCooldown) {
+  make_engine(EngineConfig{sim::ms(200), sim::seconds(1), 3});
+  engine->add_rule(threat_rule());
+  engine->add_rule(Rule{"relax",
+                        [](const Metrics& m) {
+                          const auto it = m.find("threat");
+                          return it == m.end() || it->second < 0.1;
+                        },
+                        plain, 0});
+  engine->start();
+
+  metrics["threat"] = 1.0;
+  run_for(sim::ms(600));  // a few ticks: adaptation triggers and completes
+  ASSERT_EQ(system.current_configuration(), armored);
+
+  // Flip straight back while the 1s cooldown is still running: the opposite
+  // rule wants to fire but must wait — that's the anti-flapping hysteresis.
+  metrics["threat"] = 0.0;
+  run_for(sim::ms(400));
+  EXPECT_EQ(system.current_configuration(), armored);  // still held back
+  EXPECT_GT(engine->stats().suppressed_cooldown, 0U);
+
+  run_for(sim::seconds(2));  // cooldown expires; the relax rule proceeds
+  EXPECT_EQ(system.current_configuration(), plain);
+  EXPECT_EQ(engine->stats().triggers, 2U);
+}
+
+TEST_F(Fixture, HigherPriorityRuleWins) {
+  make_engine();
+  config::Configuration other = armored;
+  engine->add_rule(Rule{"low", [](const Metrics&) { return true; }, plain, 1});
+  engine->add_rule(Rule{"high", [](const Metrics&) { return true; }, armored, 9});
+  engine->start();
+  run_for(sim::seconds(2));
+  // "low" targets the current configuration (no-op) and "high" outranks it.
+  EXPECT_EQ(system.current_configuration(), armored);
+  ASSERT_FALSE(engine->log().empty());
+  EXPECT_EQ(engine->log()[0].rule, "high");
+}
+
+TEST_F(Fixture, FlappingRuleIsDisabledAfterFailures) {
+  make_engine(EngineConfig{sim::ms(200), sim::ms(100), 2});
+  config::Configuration unreachable = broken;
+  engine->add_rule(Rule{"doomed", [](const Metrics&) { return true; }, unreachable, 0});
+  engine->start();
+  run_for(sim::seconds(5));
+  EXPECT_FALSE(engine->rule_enabled("doomed"));
+  EXPECT_EQ(engine->stats().rules_disabled, 1U);
+  // Exactly max_consecutive_failures triggers happened, then silence.
+  EXPECT_EQ(engine->stats().triggers, 2U);
+  for (const TriggerRecord& record : engine->log()) {
+    ASSERT_TRUE(record.outcome.has_value());
+    EXPECT_EQ(*record.outcome, proto::AdaptationOutcome::NoPathFound);
+  }
+
+  engine->reenable_rule("doomed");
+  EXPECT_TRUE(engine->rule_enabled("doomed"));
+}
+
+TEST_F(Fixture, StopHaltsEvaluation) {
+  make_engine();
+  engine->add_rule(threat_rule());
+  engine->start();
+  run_for(sim::seconds(1));
+  const auto evaluations = engine->stats().evaluations;
+  engine->stop();
+  metrics["threat"] = 1.0;
+  run_for(sim::seconds(2));
+  EXPECT_EQ(engine->stats().evaluations, evaluations);
+  EXPECT_EQ(engine->stats().triggers, 0U);
+}
+
+TEST_F(Fixture, Validation) {
+  make_engine();
+  EXPECT_THROW(engine->add_rule(Rule{"", [](const Metrics&) { return true; }, armored, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(engine->add_rule(Rule{"x", nullptr, armored, 0}), std::invalid_argument);
+  engine->add_rule(threat_rule());
+  EXPECT_THROW(engine->add_rule(threat_rule()), std::invalid_argument);  // duplicate
+  EXPECT_THROW(DecisionEngine(system.simulator(), system.manager(), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sa::decision

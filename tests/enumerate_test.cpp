@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "config/enumerate.hpp"
+#include "util/rng.hpp"
+
+namespace sa::config {
+namespace {
+
+struct PaperFixture {
+  ComponentRegistry registry;
+  InvariantSet invariants{registry};
+
+  PaperFixture() {
+    registry.add("E1", 0);
+    registry.add("E2", 0);
+    registry.add("D1", 1);
+    registry.add("D2", 1);
+    registry.add("D3", 1);
+    registry.add("D4", 2);
+    registry.add("D5", 2);
+    invariants.add("resource constraint", "one(D1, D2, D3)");
+    invariants.add("security constraint", "one(E1, E2)");
+    invariants.add("E1 dependency", "E1 -> (D1 | D2) & D4");
+    invariants.add("E2 dependency", "E2 -> (D3 | D2) & D5");
+  }
+};
+
+// --- Table 1 reproduction -------------------------------------------------------
+
+TEST(Enumerate, PaperTable1ExactSet) {
+  PaperFixture fixture;
+  const auto safe = enumerate_safe_exhaustive(fixture.invariants);
+
+  std::set<std::string> bit_strings;
+  for (const Configuration& config : safe) {
+    bit_strings.insert(config.to_bit_string(fixture.registry.size()));
+  }
+  // The eight rows of Table 1.
+  const std::set<std::string> expected{
+      "0100101", "1100101", "1101001", "1101010",
+      "1110010", "0101001", "1001010", "1010010",
+  };
+  EXPECT_EQ(bit_strings, expected);
+}
+
+TEST(Enumerate, PaperTable1Descriptions) {
+  PaperFixture fixture;
+  const auto safe = enumerate_safe_exhaustive(fixture.invariants);
+  std::set<std::string> names;
+  for (const Configuration& config : safe) names.insert(config.describe(fixture.registry));
+  const std::set<std::string> expected{
+      "D4,D1,E1",    "D5,D4,D1,E1", "D5,D4,D2,E1", "D5,D4,D2,E2",
+      "D5,D4,D3,E2", "D4,D2,E1",    "D5,D2,E2",    "D5,D3,E2",
+  };
+  EXPECT_EQ(names, expected);
+}
+
+// --- strategy agreement --------------------------------------------------------
+
+TEST(Enumerate, PrunedMatchesExhaustiveOnPaperScenario) {
+  PaperFixture fixture;
+  EXPECT_EQ(enumerate_safe_pruned(fixture.invariants),
+            enumerate_safe_exhaustive(fixture.invariants));
+}
+
+TEST(Enumerate, DecomposedMatchesExhaustiveOnPaperScenario) {
+  PaperFixture fixture;
+  EXPECT_EQ(enumerate_safe_decomposed(fixture.invariants),
+            enumerate_safe_exhaustive(fixture.invariants));
+  EXPECT_EQ(count_safe_decomposed(fixture.invariants), 8U);
+}
+
+TEST(Enumerate, EmptyInvariantSetYieldsAllConfigurations) {
+  ComponentRegistry registry;
+  registry.add("A", 0);
+  registry.add("B", 0);
+  const InvariantSet invariants(registry);
+  EXPECT_EQ(enumerate_safe_exhaustive(invariants).size(), 4U);
+  EXPECT_EQ(enumerate_safe_pruned(invariants).size(), 4U);
+  EXPECT_EQ(enumerate_safe_decomposed(invariants).size(), 4U);
+}
+
+TEST(Enumerate, ConstantFalseInvariantEmptiesSet) {
+  ComponentRegistry registry;
+  registry.add("A", 0);
+  InvariantSet invariants(registry);
+  invariants.add("impossible", "false");
+  EXPECT_TRUE(enumerate_safe_exhaustive(invariants).empty());
+  EXPECT_TRUE(enumerate_safe_pruned(invariants).empty());
+  EXPECT_TRUE(enumerate_safe_decomposed(invariants).empty());
+  EXPECT_EQ(count_safe_decomposed(invariants), 0U);
+}
+
+TEST(Enumerate, UnsatisfiableVariableInvariant) {
+  ComponentRegistry registry;
+  registry.add("A", 0);
+  InvariantSet invariants(registry);
+  invariants.add("contradiction", "A & !A");
+  EXPECT_TRUE(enumerate_safe_exhaustive(invariants).empty());
+  EXPECT_TRUE(enumerate_safe_pruned(invariants).empty());
+  EXPECT_TRUE(enumerate_safe_decomposed(invariants).empty());
+}
+
+// --- collaborative sets ----------------------------------------------------------
+
+TEST(CollaborativeSets, PartitionsByInvariantConnectivity) {
+  ComponentRegistry registry;
+  registry.add("A", 0);  // 0
+  registry.add("B", 0);  // 1
+  registry.add("C", 1);  // 2
+  registry.add("D", 1);  // 3
+  registry.add("E", 2);  // 4 — untouched by any invariant
+  InvariantSet invariants(registry);
+  invariants.add("ab", "A -> B");
+  invariants.add("cd", "C -> D");
+  const auto sets = collaborative_sets(invariants);
+  ASSERT_EQ(sets.size(), 3U);
+  EXPECT_EQ(sets[0], (std::vector<ComponentId>{0, 1}));
+  EXPECT_EQ(sets[1], (std::vector<ComponentId>{2, 3}));
+  EXPECT_EQ(sets[2], (std::vector<ComponentId>{4}));
+}
+
+TEST(CollaborativeSets, ChainedInvariantsMergeSets) {
+  ComponentRegistry registry;
+  registry.add("A", 0);
+  registry.add("B", 0);
+  registry.add("C", 0);
+  InvariantSet invariants(registry);
+  invariants.add("ab", "A -> B");
+  invariants.add("bc", "B -> C");
+  const auto sets = collaborative_sets(invariants);
+  ASSERT_EQ(sets.size(), 1U);
+  EXPECT_EQ(sets[0].size(), 3U);
+}
+
+TEST(CollaborativeSets, PaperScenarioIsOneSet) {
+  PaperFixture fixture;
+  // E1's dependency touches D1, D2, D4; E2's touches D2, D3, D5; the one()
+  // constraints tie the rest — everything collapses into a single set.
+  const auto sets = collaborative_sets(fixture.invariants);
+  ASSERT_EQ(sets.size(), 1U);
+  EXPECT_EQ(sets[0].size(), 7U);
+}
+
+// Property: on random invariant sets over <= 10 components, all three
+// strategies produce the same safe sets.
+TEST(EnumerateProperty, StrategiesAgreeOnRandomInvariants) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    ComponentRegistry registry;
+    const std::size_t n = 2 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      registry.add("c" + std::to_string(i), static_cast<ProcessId>(i % 3));
+    }
+    InvariantSet invariants(registry);
+    const std::size_t k = rng.next_below(4);
+    for (std::size_t i = 0; i < k; ++i) {
+      // Random small invariant over up to 3 distinct components.
+      const auto pick = [&] { return "c" + std::to_string(rng.next_below(n)); };
+      std::string text;
+      switch (rng.next_below(4)) {
+        case 0: text = pick() + " -> " + pick(); break;
+        case 1: text = "one(" + pick() + ", " + pick() + ")"; break;
+        case 2: text = pick() + " | " + pick(); break;
+        default: text = "!" + pick() + " | (" + pick() + " & " + pick() + ")"; break;
+      }
+      invariants.add("inv" + std::to_string(i), text);
+    }
+    const auto exhaustive = enumerate_safe_exhaustive(invariants);
+    EXPECT_EQ(enumerate_safe_pruned(invariants), exhaustive) << "trial " << trial;
+    EXPECT_EQ(enumerate_safe_decomposed(invariants), exhaustive) << "trial " << trial;
+    EXPECT_EQ(count_safe_decomposed(invariants), exhaustive.size()) << "trial " << trial;
+    // Every returned configuration truly satisfies the invariants.
+    for (const Configuration& config : exhaustive) {
+      EXPECT_TRUE(invariants.satisfied(config));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa::config

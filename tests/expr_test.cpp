@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "expr/ast.hpp"
+#include "expr/parser.hpp"
+#include "util/rng.hpp"
+
+namespace sa::expr {
+namespace {
+
+Assignment assign(std::map<std::string, bool> values) {
+  return [values = std::move(values)](const std::string& name) {
+    const auto it = values.find(name);
+    return it != values.end() && it->second;
+  };
+}
+
+// --- AST construction and evaluation ----------------------------------------
+
+TEST(Ast, Constants) {
+  EXPECT_TRUE(constant(true)->evaluate(assign({})));
+  EXPECT_FALSE(constant(false)->evaluate(assign({})));
+}
+
+TEST(Ast, VarLooksUpAssignment) {
+  const auto e = var("A");
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", false}})));
+  EXPECT_FALSE(e->evaluate(assign({})));  // unmapped -> false in our helper
+}
+
+TEST(Ast, EmptyVarNameRejected) { EXPECT_THROW(var(""), std::invalid_argument); }
+
+TEST(Ast, NotNegates) {
+  EXPECT_FALSE(negate(constant(true))->evaluate(assign({})));
+  EXPECT_TRUE(negate(constant(false))->evaluate(assign({})));
+}
+
+TEST(Ast, AndOrSemantics) {
+  const auto a = var("A"), b = var("B");
+  const auto both = conjunction({a, b});
+  const auto either = disjunction({a, b});
+  EXPECT_TRUE(both->evaluate(assign({{"A", true}, {"B", true}})));
+  EXPECT_FALSE(both->evaluate(assign({{"A", true}})));
+  EXPECT_TRUE(either->evaluate(assign({{"A", true}})));
+  EXPECT_FALSE(either->evaluate(assign({})));
+}
+
+TEST(Ast, XorIsOddParity) {
+  const auto e = exclusive_or({var("A"), var("B"), var("C")});
+  EXPECT_FALSE(e->evaluate(assign({})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"B", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}, {"B", true}, {"C", true}})));
+}
+
+TEST(Ast, ExactlyOneSemantics) {
+  const auto e = exactly_one({var("A"), var("B"), var("C")});
+  EXPECT_FALSE(e->evaluate(assign({})));
+  EXPECT_TRUE(e->evaluate(assign({{"B", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"C", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"B", true}, {"C", true}})));
+}
+
+TEST(Ast, ImpliesTruthTable) {
+  const auto e = implies(var("A"), var("B"));
+  EXPECT_TRUE(e->evaluate(assign({})));
+  EXPECT_TRUE(e->evaluate(assign({{"B", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}, {"B", true}})));
+}
+
+TEST(Ast, SingleOperandNaryCollapses) {
+  EXPECT_EQ(conjunction({var("A")})->kind(), ExprKind::Var);
+  EXPECT_EQ(disjunction({var("A")})->kind(), ExprKind::Var);
+  EXPECT_EQ(exclusive_or({var("A")})->kind(), ExprKind::Var);
+  // exactly_one keeps its node: one(A) means "A is on" and must stay distinct.
+  EXPECT_EQ(exactly_one({var("A")})->kind(), ExprKind::ExactlyOne);
+}
+
+TEST(Ast, EmptyOperandsRejected) {
+  EXPECT_THROW(conjunction({}), std::invalid_argument);
+  EXPECT_THROW(disjunction({}), std::invalid_argument);
+  EXPECT_THROW(exclusive_or({}), std::invalid_argument);
+  EXPECT_THROW(exactly_one({}), std::invalid_argument);
+}
+
+TEST(Ast, VariablesCollectedSortedAndDeduplicated) {
+  const auto e = conjunction({var("B"), implies(var("A"), var("B")), negate(var("C"))});
+  EXPECT_EQ(e->variables(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(Ast, NamedFactoryComposition) {
+  const auto e = disjunction({conjunction({var("A"), var("B")}), negate(var("C"))});
+  EXPECT_TRUE(e->evaluate(assign({{"C", false}})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}, {"B", true}, {"C", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"C", true}})));
+}
+
+// --- parser -----------------------------------------------------------------
+
+TEST(Parser, ParsesVariable) {
+  const auto e = parse("Encoder_1");
+  EXPECT_EQ(e->kind(), ExprKind::Var);
+  EXPECT_TRUE(e->evaluate(assign({{"Encoder_1", true}})));
+}
+
+TEST(Parser, ParsesLiterals) {
+  EXPECT_TRUE(parse("true")->evaluate(assign({})));
+  EXPECT_FALSE(parse("false")->evaluate(assign({})));
+}
+
+TEST(Parser, PrecedenceAndBeforeOr) {
+  // A | B & C  ==  A | (B & C)
+  const auto e = parse("A | B & C");
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"B", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"B", true}, {"C", true}})));
+}
+
+TEST(Parser, PrecedenceXorBetweenAndOr) {
+  // A ^ B & C == A ^ (B & C);  A | B ^ C == A | (B ^ C)
+  EXPECT_TRUE(parse("A ^ B & C")->evaluate(assign({{"A", true}, {"B", true}})));
+  EXPECT_FALSE(parse("A ^ B & C")->evaluate(assign({{"A", true}, {"B", true}, {"C", true}})));
+  EXPECT_TRUE(parse("A | B ^ C")->evaluate(assign({{"B", true}})));
+}
+
+TEST(Parser, ImpliesIsRightAssociative) {
+  // A -> B -> C == A -> (B -> C): with A=true, B=true, C=false it's false.
+  const auto e = parse("A -> B -> C");
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"B", true}})));
+  // (A -> B) -> C with same assignment would be false too; distinguish with
+  // A=false, B=true, C=false: right-assoc gives true, left-assoc gives false.
+  EXPECT_TRUE(e->evaluate(assign({{"B", true}})));
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const auto e = parse("(A | B) & C");
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}, {"C", true}})));
+}
+
+TEST(Parser, NotBindsTightest) {
+  const auto e = parse("!A & B");
+  EXPECT_TRUE(e->evaluate(assign({{"B", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"B", true}})));
+}
+
+TEST(Parser, DoubleNegation) {
+  EXPECT_TRUE(parse("!!A")->evaluate(assign({{"A", true}})));
+}
+
+TEST(Parser, ExactlyOneFunction) {
+  const auto e = parse("one(D1, D2, D3)");
+  EXPECT_TRUE(e->evaluate(assign({{"D2", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"D1", true}, {"D3", true}})));
+  EXPECT_FALSE(e->evaluate(assign({})));
+}
+
+TEST(Parser, Xor1Alias) {
+  const auto e = parse("xor1(A, B)");
+  EXPECT_EQ(e->kind(), ExprKind::ExactlyOne);
+}
+
+TEST(Parser, OneAsPlainIdentifier) {
+  // "one" not followed by '(' is an ordinary variable name.
+  const auto e = parse("one & two");
+  EXPECT_TRUE(e->evaluate(assign({{"one", true}, {"two", true}})));
+}
+
+TEST(Parser, NestedOne) {
+  const auto e = parse("one(A & B, C)");
+  EXPECT_TRUE(e->evaluate(assign({{"C", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"A", true}, {"B", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"A", true}, {"B", true}, {"C", true}})));
+}
+
+TEST(Parser, PaperInvariantE1) {
+  const auto e = parse("E1 -> (D1 | D2) & D4");
+  EXPECT_TRUE(e->evaluate(assign({{"E1", true}, {"D1", true}, {"D4", true}})));
+  EXPECT_TRUE(e->evaluate(assign({{"E1", true}, {"D2", true}, {"D4", true}})));
+  EXPECT_FALSE(e->evaluate(assign({{"E1", true}, {"D1", true}})));   // no D4
+  EXPECT_FALSE(e->evaluate(assign({{"E1", true}, {"D4", true}})));   // no D1/D2
+  EXPECT_TRUE(e->evaluate(assign({})));                              // vacuous
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+  try {
+    parse("A &");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.position(), 3U);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("A B"), ParseError);      // trailing garbage
+  EXPECT_THROW(parse("(A"), ParseError);       // unclosed paren
+  EXPECT_THROW(parse("A -"), ParseError);      // bare dash
+  EXPECT_THROW(parse("| A"), ParseError);      // leading operator
+  EXPECT_THROW(parse("one(A,)"), ParseError);  // dangling comma
+  EXPECT_THROW(parse("A @ B"), ParseError);    // unknown character
+  EXPECT_THROW(parse("1A"), ParseError);       // identifier cannot start with digit
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  for (const char* text : {
+           "A",
+           "!(A)",
+           "(A & B & C)",
+           "(A | (B & C))",
+           "((A ^ B) -> C)",
+           "one(A, B, C)",
+           "(one(D1, D2, D3) & one(E1, E2))",
+           "(E1 -> ((D1 | D2) & D4))",
+       }) {
+    const auto first = parse(text);
+    const auto second = parse(first->to_string());
+    EXPECT_EQ(first->to_string(), second->to_string()) << text;
+  }
+}
+
+// Property: parsed expression evaluates identically to a hand-built oracle on
+// every assignment of its variables.
+TEST(ParserProperty, ExhaustiveEquivalenceOnPaperInvariants) {
+  struct Case {
+    const char* text;
+    std::function<bool(bool e1, bool e2, bool d1, bool d2, bool d3, bool d4, bool d5)> oracle;
+  };
+  const Case cases[] = {
+      {"one(D1, D2, D3)",
+       [](bool, bool, bool d1, bool d2, bool d3, bool, bool) {
+         return (d1 + d2 + d3) == 1;
+       }},
+      {"one(E1, E2)",
+       [](bool e1, bool e2, bool, bool, bool, bool, bool) { return (e1 + e2) == 1; }},
+      {"E1 -> (D1 | D2) & D4",
+       [](bool e1, bool, bool d1, bool d2, bool, bool d4, bool) {
+         return !e1 || ((d1 || d2) && d4);
+       }},
+      {"E2 -> (D3 | D2) & D5",
+       [](bool, bool e2, bool, bool d2, bool d3, bool, bool d5) {
+         return !e2 || ((d3 || d2) && d5);
+       }},
+  };
+  for (const Case& test_case : cases) {
+    const auto expr = parse(test_case.text);
+    for (int bits = 0; bits < 128; ++bits) {
+      const bool e1 = bits & 1, e2 = bits & 2, d1 = bits & 4, d2 = bits & 8, d3 = bits & 16,
+                 d4 = bits & 32, d5 = bits & 64;
+      const auto assignment = assign({{"E1", e1},
+                                      {"E2", e2},
+                                      {"D1", d1},
+                                      {"D2", d2},
+                                      {"D3", d3},
+                                      {"D4", d4},
+                                      {"D5", d5}});
+      EXPECT_EQ(expr->evaluate(assignment), test_case.oracle(e1, e2, d1, d2, d3, d4, d5))
+          << test_case.text << " bits=" << bits;
+    }
+  }
+}
+
+// Property: random expression trees survive a to_string/parse round trip and
+// evaluate identically before and after, on every assignment of their (at
+// most 4) variables.
+TEST(ParserProperty, RandomTreesRoundTripAndEvaluateIdentically) {
+  util::Rng rng(424242);
+  const std::vector<std::string> names{"A", "B", "C", "D"};
+
+  std::function<ExprPtr(int)> random_tree = [&](int depth) -> ExprPtr {
+    if (depth <= 0 || rng.next_bool(0.3)) {
+      if (rng.next_bool(0.1)) return constant(rng.next_bool(0.5));
+      return var(names[rng.next_below(names.size())]);
+    }
+    switch (rng.next_below(6)) {
+      case 0: return negate(random_tree(depth - 1));
+      case 1: return conjunction({random_tree(depth - 1), random_tree(depth - 1)});
+      case 2: return disjunction({random_tree(depth - 1), random_tree(depth - 1)});
+      case 3: return exclusive_or({random_tree(depth - 1), random_tree(depth - 1)});
+      case 4: return implies(random_tree(depth - 1), random_tree(depth - 1));
+      default:
+        return exactly_one(
+            {random_tree(depth - 1), random_tree(depth - 1), random_tree(depth - 1)});
+    }
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const ExprPtr original = random_tree(4);
+    const ExprPtr reparsed = parse(original->to_string());
+    for (int bits = 0; bits < 16; ++bits) {
+      const auto assignment = assign({{"A", (bits & 1) != 0},
+                                      {"B", (bits & 2) != 0},
+                                      {"C", (bits & 4) != 0},
+                                      {"D", (bits & 8) != 0}});
+      EXPECT_EQ(original->evaluate(assignment), reparsed->evaluate(assignment))
+          << original->to_string() << " bits=" << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa::expr

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/rng.hpp"
+
+namespace sa::graph {
+namespace {
+
+// --- Digraph -----------------------------------------------------------------
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.node_count(), 3U);
+  const NodeId extra = g.add_nodes(2);
+  EXPECT_EQ(extra, 3U);
+  EXPECT_EQ(g.node_count(), 5U);
+  const EdgeId e = g.add_edge(0, 4, 2.5, 42);
+  EXPECT_EQ(g.edge(e).from, 0U);
+  EXPECT_EQ(g.edge(e).to, 4U);
+  EXPECT_EQ(g.edge(e).cost, 2.5);
+  EXPECT_EQ(g.edge(e).label, 42);
+}
+
+TEST(Digraph, RejectsBadEdges) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0, 1);
+  g.add_edge(0, 1, 2.0, 2);
+  EXPECT_EQ(g.out_edges(0).size(), 2U);
+}
+
+TEST(Digraph, SelfLoopAllowed) {
+  Digraph g(1);
+  g.add_edge(0, 0, 1.0);
+  EXPECT_EQ(g.edge_count(), 1U);
+}
+
+// --- Dijkstra -----------------------------------------------------------------
+
+TEST(Dijkstra, TrivialSourceEqualsTarget) {
+  Digraph g(2);
+  const auto path = dijkstra(g, 0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->cost, 0.0);
+  EXPECT_TRUE(path->edges.empty());
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0}));
+}
+
+TEST(Dijkstra, UnreachableReturnsNullopt) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(dijkstra(g, 0, 2).has_value());
+  EXPECT_FALSE(dijkstra(g, 2, 0).has_value());
+}
+
+TEST(Dijkstra, DirectionalityRespected) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_TRUE(dijkstra(g, 0, 1).has_value());
+  EXPECT_FALSE(dijkstra(g, 1, 0).has_value());
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  const auto path = dijkstra(g, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->cost, 2.0);
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Dijkstra, PrefersCheapParallelEdge) {
+  Digraph g(2);
+  g.add_edge(0, 1, 9.0, 100);
+  const EdgeId cheap = g.add_edge(0, 1, 2.0, 200);
+  const auto path = dijkstra(g, 0, 1);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->edges.size(), 1U);
+  EXPECT_EQ(path->edges[0], cheap);
+}
+
+TEST(Dijkstra, ZeroCostEdgesHandled) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const auto path = dijkstra(g, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->cost, 0.0);
+  EXPECT_EQ(path->nodes.size(), 3U);
+}
+
+TEST(Dijkstra, FilteredAvoidsBannedNodeAndEdge) {
+  Digraph g(4);
+  const EdgeId direct = g.add_edge(0, 3, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+
+  std::vector<bool> banned_edges(g.edge_count(), false);
+  banned_edges[direct] = true;
+  auto path = dijkstra_filtered(g, 0, 3, banned_edges, {});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->cost, 2.0);
+
+  std::vector<bool> banned_nodes(g.node_count(), false);
+  banned_nodes[1] = true;
+  path = dijkstra_filtered(g, 0, 3, banned_edges, banned_nodes);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->cost, 4.0);
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0, 2, 3}));
+}
+
+// Property: Dijkstra agrees with Bellman-Ford on random graphs.
+TEST(DijkstraProperty, MatchesBellmanFordOnRandomGraphs) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.next_below(12);
+    Digraph g(n);
+    const std::size_t m = rng.next_below(3 * n) + 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      g.add_edge(static_cast<NodeId>(rng.next_below(n)), static_cast<NodeId>(rng.next_below(n)),
+                 static_cast<double>(rng.next_below(20)), static_cast<std::int64_t>(i));
+    }
+    const NodeId s = static_cast<NodeId>(rng.next_below(n));
+    const NodeId t = static_cast<NodeId>(rng.next_below(n));
+    const auto a = dijkstra(g, s, t);
+    const auto b = bellman_ford(g, s, t);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "trial " << trial;
+    if (a) {
+      EXPECT_DOUBLE_EQ(a->cost, b->cost) << "trial " << trial;
+      // Both paths must be valid and consistent.
+      double recomputed = 0;
+      for (const EdgeId e : a->edges) recomputed += g.edge(e).cost;
+      EXPECT_DOUBLE_EQ(recomputed, a->cost);
+      EXPECT_EQ(a->nodes.front(), s);
+      EXPECT_EQ(a->nodes.back(), t);
+      for (std::size_t i = 0; i < a->edges.size(); ++i) {
+        EXPECT_EQ(g.edge(a->edges[i]).from, a->nodes[i]);
+        EXPECT_EQ(g.edge(a->edges[i]).to, a->nodes[i + 1]);
+      }
+    }
+  }
+}
+
+// --- Yen's k shortest paths ------------------------------------------------------
+
+TEST(KShortest, SimpleDiamondRanksPaths) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);  // 0-1-3 cost 2
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);  // 0-2-3 cost 4
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(0, 3, 10.0);  // direct cost 10
+
+  const auto paths = k_shortest_paths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3U);
+  EXPECT_EQ(paths[0].cost, 2.0);
+  EXPECT_EQ(paths[1].cost, 4.0);
+  EXPECT_EQ(paths[2].cost, 10.0);
+}
+
+TEST(KShortest, KZeroReturnsEmpty) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 1, 0).empty());
+}
+
+TEST(KShortest, UnreachableReturnsEmpty) {
+  Digraph g(2);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 1, 3).empty());
+}
+
+TEST(KShortest, ParallelEdgesYieldDistinctPaths) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0, 1);
+  g.add_edge(0, 1, 2.0, 2);
+  const auto paths = k_shortest_paths(g, 0, 1, 5);
+  ASSERT_EQ(paths.size(), 2U);
+  EXPECT_EQ(paths[0].cost, 1.0);
+  EXPECT_EQ(paths[1].cost, 2.0);
+}
+
+TEST(KShortest, FirstPathMatchesDijkstra) {
+  Digraph g(5);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 4, 3.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto paths = k_shortest_paths(g, 0, 4, 1);
+  const auto best = dijkstra(g, 0, 4);
+  ASSERT_EQ(paths.size(), 1U);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(paths[0], *best);
+}
+
+// Properties on random graphs: nondecreasing costs, loopless, distinct, valid.
+TEST(KShortestProperty, RandomGraphs) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 3 + rng.next_below(8);
+    Digraph g(n);
+    const std::size_t m = n + rng.next_below(2 * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      NodeId a = static_cast<NodeId>(rng.next_below(n));
+      NodeId b = static_cast<NodeId>(rng.next_below(n));
+      if (a == b) continue;
+      g.add_edge(a, b, 1.0 + static_cast<double>(rng.next_below(9)));
+    }
+    const auto paths = k_shortest_paths(g, 0, static_cast<NodeId>(n - 1), 6);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      // Valid endpoints and chaining.
+      EXPECT_EQ(paths[i].nodes.front(), 0U);
+      EXPECT_EQ(paths[i].nodes.back(), n - 1);
+      double cost = 0;
+      for (std::size_t j = 0; j < paths[i].edges.size(); ++j) {
+        const Edge& e = g.edge(paths[i].edges[j]);
+        EXPECT_EQ(e.from, paths[i].nodes[j]);
+        EXPECT_EQ(e.to, paths[i].nodes[j + 1]);
+        cost += e.cost;
+      }
+      EXPECT_DOUBLE_EQ(cost, paths[i].cost);
+      // Loopless: nodes unique.
+      std::set<NodeId> unique(paths[i].nodes.begin(), paths[i].nodes.end());
+      EXPECT_EQ(unique.size(), paths[i].nodes.size());
+      // Ordered and distinct.
+      if (i > 0) {
+        EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+        EXPECT_NE(paths[i], paths[i - 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa::graph

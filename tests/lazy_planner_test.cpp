@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "actions/lazy_planner.hpp"
+#include "actions/sag.hpp"
+#include "config/enumerate.hpp"
+#include "util/rng.hpp"
+
+namespace sa::actions {
+namespace {
+
+/// Paper scenario (rebuilt locally to keep this test at the sa_actions layer).
+struct Fixture {
+  config::ComponentRegistry registry;
+  config::InvariantSet invariants{registry};
+  ActionTable table{registry};
+
+  Fixture() {
+    registry.add("E1", 0);
+    registry.add("E2", 0);
+    registry.add("D1", 1);
+    registry.add("D2", 1);
+    registry.add("D3", 1);
+    registry.add("D4", 2);
+    registry.add("D5", 2);
+    invariants.add("resource constraint", "one(D1, D2, D3)");
+    invariants.add("security constraint", "one(E1, E2)");
+    invariants.add("E1 dependency", "E1 -> (D1 | D2) & D4");
+    invariants.add("E2 dependency", "E2 -> (D3 | D2) & D5");
+    table.add("A1", {"E1"}, {"E2"}, 10);
+    table.add("A2", {"D1"}, {"D2"}, 10);
+    table.add("A3", {"D1"}, {"D3"}, 10);
+    table.add("A4", {"D2"}, {"D3"}, 10);
+    table.add("A5", {"D4"}, {"D5"}, 10);
+    table.add("A6", {"D1", "E1"}, {"D2", "E2"}, 100);
+    table.add("A7", {"D1", "E1"}, {"D3", "E2"}, 100);
+    table.add("A8", {"D2", "E1"}, {"D3", "E2"}, 100);
+    table.add("A9", {"D4", "E1"}, {"D5", "E2"}, 100);
+    table.add("A10", {"D1", "D4"}, {"D2", "D5"}, 50);
+    table.add("A11", {"D1", "D4"}, {"D3", "D5"}, 50);
+    table.add("A12", {"D2", "D4"}, {"D3", "D5"}, 50);
+    table.add("A13", {"D1", "D4", "E1"}, {"D2", "D5", "E2"}, 150);
+    table.add("A14", {"D1", "D4", "E1"}, {"D3", "D5", "E2"}, 150);
+    table.add("A15", {"D2", "D4", "E1"}, {"D3", "D5", "E2"}, 150);
+    table.add("A16", {"D4"}, {}, 10);
+    table.add("A17", {}, {"D5"}, 10);
+  }
+
+  config::Configuration source() const {
+    return config::Configuration::from_bit_string("0100101", registry.size());
+  }
+  config::Configuration target() const {
+    return config::Configuration::from_bit_string("1010010", registry.size());
+  }
+};
+
+TEST(LazyPlanner, FindsTheMapWithoutBuildingTheSag) {
+  Fixture f;
+  const LazyPathPlanner lazy(f.table, f.invariants);
+  const auto plan = lazy.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 50.0);
+  EXPECT_EQ(plan->steps.size(), 5U);
+  EXPECT_EQ(plan->source(), f.source());
+  EXPECT_EQ(plan->target(), f.target());
+  // Path is valid and safe throughout.
+  for (const PlanStep& step : plan->steps) {
+    const AdaptiveAction& action = f.table.action(step.action);
+    EXPECT_TRUE(action.applicable_to(step.from));
+    EXPECT_EQ(action.apply(step.from), step.to);
+    EXPECT_TRUE(f.invariants.satisfied(step.to));
+  }
+}
+
+TEST(LazyPlanner, AgreesWithEagerPlannerOnCost) {
+  Fixture f;
+  const auto safe = config::enumerate_safe_exhaustive(f.invariants);
+  const SafeAdaptationGraph sag(f.table, safe);
+  const PathPlanner eager(sag);
+  const LazyPathPlanner lazy(f.table, f.invariants);
+
+  // Every ordered pair of safe configurations.
+  for (const auto& from : safe) {
+    for (const auto& to : safe) {
+      const auto eager_plan = eager.minimum_path(from, to);
+      const auto lazy_plan = lazy.minimum_path(from, to);
+      ASSERT_EQ(eager_plan.has_value(), lazy_plan.has_value())
+          << from.describe(f.registry) << " -> " << to.describe(f.registry);
+      if (eager_plan) {
+        EXPECT_DOUBLE_EQ(eager_plan->total_cost, lazy_plan->total_cost)
+            << from.describe(f.registry) << " -> " << to.describe(f.registry);
+      }
+    }
+  }
+}
+
+TEST(LazyPlanner, UnsafeEndpointsRejected) {
+  Fixture f;
+  const LazyPathPlanner lazy(f.table, f.invariants);
+  const auto unsafe = config::Configuration::of(f.registry, {"D1", "D2"});
+  EXPECT_FALSE(lazy.minimum_path(unsafe, f.target()).has_value());
+  EXPECT_FALSE(lazy.minimum_path(f.source(), unsafe).has_value());
+}
+
+TEST(LazyPlanner, IdenticalEndpointsYieldEmptyPlan) {
+  Fixture f;
+  const LazyPathPlanner lazy(f.table, f.invariants);
+  const auto plan = lazy.minimum_path(f.source(), f.source());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(LazyPlanner, UnreachableTargetReturnsNullopt) {
+  Fixture f;
+  const LazyPathPlanner lazy(f.table, f.invariants);
+  // The SAG has no arc back into D1 configurations (nothing re-installs D1).
+  EXPECT_FALSE(lazy.minimum_path(f.target(), f.source()).has_value());
+}
+
+TEST(LazyPlanner, HeuristicIsAdmissibleLowerBound) {
+  Fixture f;
+  const LazyPathPlanner lazy(f.table, f.invariants);
+  // Cheapest cost-per-changed-component in Table 2: a replacement like A1
+  // changes 2 components for 10 ms -> 5 ms per component change.
+  EXPECT_DOUBLE_EQ(lazy.min_cost_per_component_change(), 5.0);
+  const auto plan = lazy.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  // h(source) = diff(source, target) * 10 = 5 * 10 = 50 <= actual 50.
+  EXPECT_GE(plan->total_cost, 5 * lazy.min_cost_per_component_change());
+}
+
+TEST(LazyPlanner, ExploresOnlyTheRelevantRegion) {
+  // 8 independent 2-component clusters => 256 safe configurations, but an
+  // adaptation of ONE cluster should not visit the whole space.
+  config::ComponentRegistry registry;
+  config::InvariantSet invariants{registry};
+  ActionTable table{registry};
+  for (int c = 0; c < 8; ++c) {
+    const std::string s = std::to_string(c);
+    registry.add("A" + s, static_cast<config::ProcessId>(c));
+    registry.add("B" + s, static_cast<config::ProcessId>(c));
+  }
+  for (int c = 0; c < 8; ++c) {
+    const std::string s = std::to_string(c);
+    invariants.add("one" + s, "one(A" + s + ", B" + s + ")");
+    table.add("swap" + s, {"A" + s}, {"B" + s}, 10);
+  }
+  config::Configuration source;
+  for (int c = 0; c < 8; ++c) source = source.with(registry.require("A" + std::to_string(c)));
+  const config::Configuration target =
+      source.without(registry.require("A0")).with(registry.require("B0"));
+
+  const LazyPathPlanner lazy(table, invariants);
+  const auto plan = lazy.minimum_path(source, target);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->steps.size(), 1U);
+  // The full safe set has 2^8 = 256 configurations; A* should settle only a
+  // handful on the way to a one-action target.
+  EXPECT_LT(lazy.last_stats().expanded, 20U);
+}
+
+// Property: lazy and eager planners agree on random scenarios.
+TEST(LazyPlannerProperty, MatchesEagerOnRandomScenarios) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    config::ComponentRegistry registry;
+    const std::size_t n = 3 + rng.next_below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      registry.add("c" + std::to_string(i), static_cast<config::ProcessId>(i % 2));
+    }
+    config::InvariantSet invariants{registry};
+    if (rng.next_bool(0.7)) {
+      invariants.add("inv", "c0 -> c1");
+    }
+    ActionTable table{registry};
+    const std::size_t actions = 2 + rng.next_below(2 * n);
+    for (std::size_t i = 0; i < actions; ++i) {
+      const std::string from = "c" + std::to_string(rng.next_below(n));
+      const std::string to = "c" + std::to_string(rng.next_below(n));
+      const double cost = 1.0 + static_cast<double>(rng.next_below(20));
+      try {
+        if (from == to) {
+          table.add("act" + std::to_string(i), {}, {from}, cost);
+        } else {
+          table.add("act" + std::to_string(i), {from}, {to}, cost);
+        }
+      } catch (const std::invalid_argument&) {
+        // duplicate action name shape; skip
+      }
+    }
+    const auto safe = config::enumerate_safe_exhaustive(invariants);
+    if (safe.empty()) continue;
+    const SafeAdaptationGraph sag(table, safe);
+    const PathPlanner eager(sag);
+    const LazyPathPlanner lazy(table, invariants);
+    for (int probe = 0; probe < 10; ++probe) {
+      const auto& from = safe[rng.next_below(safe.size())];
+      const auto& to = safe[rng.next_below(safe.size())];
+      const auto eager_plan = eager.minimum_path(from, to);
+      const auto lazy_plan = lazy.minimum_path(from, to);
+      ASSERT_EQ(eager_plan.has_value(), lazy_plan.has_value()) << "trial " << trial;
+      if (eager_plan) {
+        EXPECT_DOUBLE_EQ(eager_plan->total_cost, lazy_plan->total_cost) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa::actions

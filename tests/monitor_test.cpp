@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "proto/adaptable_process.hpp"
+#include "spec/monitor.hpp"
+#include "spec/monitored_process.hpp"
+
+namespace sa::spec {
+namespace {
+
+// --- segment tracking ----------------------------------------------------------
+
+TEST(Monitor, SafeWhenNothingDeclared) {
+  SafeStateMonitor monitor;
+  EXPECT_TRUE(monitor.safe());
+  monitor.on_event("anything");
+  EXPECT_TRUE(monitor.safe());
+}
+
+TEST(Monitor, UnkeyedSegmentOpensAndCloses) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"packet", "pkt_start", "pkt_end", false});
+  EXPECT_TRUE(monitor.safe());
+  monitor.on_event("pkt_start");
+  EXPECT_FALSE(monitor.safe());
+  monitor.on_event("pkt_end");
+  EXPECT_TRUE(monitor.safe());
+}
+
+TEST(Monitor, UnkeyedSegmentNests) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"session", "open", "close", false});
+  monitor.on_event("open");
+  monitor.on_event("open");
+  monitor.on_event("close");
+  EXPECT_FALSE(monitor.safe());  // one level still open
+  monitor.on_event("close");
+  EXPECT_TRUE(monitor.safe());
+  // Spurious extra close does not underflow.
+  monitor.on_event("close");
+  EXPECT_TRUE(monitor.safe());
+}
+
+TEST(Monitor, KeyedSegmentsTrackInstancesIndependently) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "frame_start", "frame_end", true});
+  monitor.on_event("frame_start", 1);
+  monitor.on_event("frame_start", 2);
+  monitor.on_event("frame_end", 1);
+  EXPECT_FALSE(monitor.safe());  // frame 2 still in flight
+  const auto reasons = monitor.open_obligations();
+  ASSERT_EQ(reasons.size(), 1U);
+  EXPECT_NE(reasons[0].find("frame"), std::string::npos);
+  EXPECT_NE(reasons[0].find("1 instance"), std::string::npos);
+  monitor.on_event("frame_end", 2);
+  EXPECT_TRUE(monitor.safe());
+}
+
+TEST(Monitor, UnrelatedEventsIgnoredBySegments) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "frame_start", "frame_end", true});
+  monitor.on_event("heartbeat");
+  EXPECT_TRUE(monitor.safe());
+  EXPECT_EQ(monitor.events_observed(), 1U);
+}
+
+TEST(Monitor, DeclarationValidation) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"a", "x", "y", false});
+  EXPECT_THROW(monitor.declare_segment({"a", "p", "q", false}), std::invalid_argument);
+  EXPECT_THROW(monitor.declare_segment({"b", "x", "z", false}), std::invalid_argument);
+  EXPECT_THROW(monitor.declare_segment({"c", "w", "y", false}), std::invalid_argument);
+  EXPECT_THROW(monitor.declare_segment({"d", "same", "same", false}), std::invalid_argument);
+  EXPECT_THROW(monitor.declare_segment({"", "m", "n", false}), std::invalid_argument);
+}
+
+// --- ptLTL obligations -----------------------------------------------------------
+
+TEST(Monitor, ObligationMustHoldForSafety) {
+  SafeStateMonitor monitor;
+  // "every request answered": unsafe between req and resp.
+  monitor.add_obligation("request answered", "!(O req & !O resp)");
+  EXPECT_TRUE(monitor.safe());
+  monitor.on_event("req");
+  EXPECT_FALSE(monitor.safe());
+  EXPECT_EQ(monitor.open_obligations(),
+            (std::vector<std::string>{"obligation 'request answered' unsatisfied"}));
+  monitor.on_event("resp");
+  EXPECT_TRUE(monitor.safe());
+}
+
+TEST(Monitor, SegmentsAndObligationsCompose) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"packet", "pkt_start", "pkt_end", false});
+  monitor.add_obligation("handshake done", "O hello");
+  monitor.on_event("pkt_start");
+  monitor.on_event("pkt_end");
+  EXPECT_FALSE(monitor.safe());  // no hello yet
+  monitor.on_event("hello");
+  EXPECT_TRUE(monitor.safe());
+  monitor.on_event("pkt_start");
+  EXPECT_FALSE(monitor.safe());  // segment reopened
+}
+
+// --- notifications -----------------------------------------------------------------
+
+TEST(Monitor, NotifyFiresImmediatelyWhenAlreadySafe) {
+  SafeStateMonitor monitor;
+  int fired = 0;
+  monitor.notify_when_safe([&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Monitor, NotifyDeferredUntilSafeTransition) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "fs", "fe", true});
+  monitor.on_event("fs", 7);
+  int fired = 0;
+  monitor.notify_when_safe([&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  monitor.on_event("fe", 7);
+  EXPECT_EQ(fired, 1);
+  // One-shot: later unsafe/safe cycles do not re-fire.
+  monitor.on_event("fs", 8);
+  monitor.on_event("fe", 8);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Monitor, CancelPendingNotifications) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "fs", "fe", true});
+  monitor.on_event("fs", 1);
+  int fired = 0;
+  monitor.notify_when_safe([&] { ++fired; });
+  monitor.cancel_pending_notifications();
+  monitor.on_event("fe", 1);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Monitor, ResetClearsEverything) {
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "fs", "fe", true});
+  monitor.add_obligation("answered", "!(O req & !O resp)");
+  monitor.on_event("fs", 1);
+  monitor.on_event("req");
+  EXPECT_FALSE(monitor.safe());
+  monitor.reset();
+  EXPECT_TRUE(monitor.safe());
+  EXPECT_EQ(monitor.events_observed(), 0U);
+}
+
+// --- MonitoredProcess integration ----------------------------------------------------
+
+struct RecordingProcess : proto::AdaptableProcess {
+  int reach_calls = 0, aborts = 0, applies = 0, resumes = 0;
+  std::function<void()> pending;
+  bool prepare(const proto::LocalCommand&) override { return true; }
+  void reach_safe_state(bool, std::function<void()> reached) override {
+    ++reach_calls;
+    reached();
+  }
+  void abort_safe_state() override { ++aborts; }
+  bool apply(const proto::LocalCommand&) override {
+    ++applies;
+    return true;
+  }
+  bool undo(const proto::LocalCommand&) override { return true; }
+  void resume() override { ++resumes; }
+};
+
+TEST(MonitoredProcess, DelaysQuiescenceUntilMonitorSafe) {
+  RecordingProcess inner;
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "fs", "fe", true});
+  MonitoredProcess process(inner, monitor);
+
+  monitor.on_event("fs", 3);  // mid-frame
+  bool reached = false;
+  process.reach_safe_state(false, [&] { reached = true; });
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(inner.reach_calls, 0);  // not even asked to quiesce yet
+
+  monitor.on_event("fe", 3);  // frame boundary
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(inner.reach_calls, 1);
+}
+
+TEST(MonitoredProcess, ImmediateWhenMonitorAlreadySafe) {
+  RecordingProcess inner;
+  SafeStateMonitor monitor;
+  MonitoredProcess process(inner, monitor);
+  bool reached = false;
+  process.reach_safe_state(true, [&] { reached = true; });
+  EXPECT_TRUE(reached);
+}
+
+TEST(MonitoredProcess, AbortCancelsPendingWait) {
+  RecordingProcess inner;
+  SafeStateMonitor monitor;
+  monitor.declare_segment({"frame", "fs", "fe", true});
+  MonitoredProcess process(inner, monitor);
+
+  monitor.on_event("fs", 1);
+  bool reached = false;
+  process.reach_safe_state(false, [&] { reached = true; });
+  process.abort_safe_state();
+  monitor.on_event("fe", 1);
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(inner.aborts, 1);
+}
+
+TEST(MonitoredProcess, DelegatesOtherOperations) {
+  RecordingProcess inner;
+  SafeStateMonitor monitor;
+  MonitoredProcess process(inner, monitor);
+  proto::LocalCommand command;
+  EXPECT_TRUE(process.prepare(command));
+  EXPECT_TRUE(process.apply(command));
+  process.resume();
+  EXPECT_EQ(inner.applies, 1);
+  EXPECT_EQ(inner.resumes, 1);
+}
+
+}  // namespace
+}  // namespace sa::spec

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "actions/planner.hpp"
+#include "config/enumerate.hpp"
+
+namespace sa::actions {
+namespace {
+
+/// Full paper scenario (Table 2 action set) rebuilt locally so this test only
+/// depends on sa_actions/sa_config.
+struct Fixture {
+  config::ComponentRegistry registry;
+  config::InvariantSet invariants{registry};
+  ActionTable table{registry};
+  std::vector<config::Configuration> safe;
+
+  Fixture() {
+    registry.add("E1", 0);
+    registry.add("E2", 0);
+    registry.add("D1", 1);
+    registry.add("D2", 1);
+    registry.add("D3", 1);
+    registry.add("D4", 2);
+    registry.add("D5", 2);
+    invariants.add("resource constraint", "one(D1, D2, D3)");
+    invariants.add("security constraint", "one(E1, E2)");
+    invariants.add("E1 dependency", "E1 -> (D1 | D2) & D4");
+    invariants.add("E2 dependency", "E2 -> (D3 | D2) & D5");
+
+    table.add("A1", {"E1"}, {"E2"}, 10);
+    table.add("A2", {"D1"}, {"D2"}, 10);
+    table.add("A3", {"D1"}, {"D3"}, 10);
+    table.add("A4", {"D2"}, {"D3"}, 10);
+    table.add("A5", {"D4"}, {"D5"}, 10);
+    table.add("A6", {"D1", "E1"}, {"D2", "E2"}, 100);
+    table.add("A7", {"D1", "E1"}, {"D3", "E2"}, 100);
+    table.add("A8", {"D2", "E1"}, {"D3", "E2"}, 100);
+    table.add("A9", {"D4", "E1"}, {"D5", "E2"}, 100);
+    table.add("A10", {"D1", "D4"}, {"D2", "D5"}, 50);
+    table.add("A11", {"D1", "D4"}, {"D3", "D5"}, 50);
+    table.add("A12", {"D2", "D4"}, {"D3", "D5"}, 50);
+    table.add("A13", {"D1", "D4", "E1"}, {"D2", "D5", "E2"}, 150);
+    table.add("A14", {"D1", "D4", "E1"}, {"D3", "D5", "E2"}, 150);
+    table.add("A15", {"D2", "D4", "E1"}, {"D3", "D5", "E2"}, 150);
+    table.add("A16", {"D4"}, {}, 10);
+    table.add("A17", {}, {"D5"}, 10);
+
+    safe = config::enumerate_safe_exhaustive(invariants);
+  }
+
+  config::Configuration source() const {
+    return config::Configuration::from_bit_string("0100101", registry.size());
+  }
+  config::Configuration target() const {
+    return config::Configuration::from_bit_string("1010010", registry.size());
+  }
+};
+
+TEST(Planner, PaperMinimumAdaptationPath) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+
+  const auto plan = planner.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  // §5.1: "the shortest path, which in this example, has cost 50 ms:
+  // A2, A17, A1, A16, A4."
+  EXPECT_DOUBLE_EQ(plan->total_cost, 50.0);
+  EXPECT_EQ(plan->action_names(f.table), "A2, A17, A1, A16, A4");
+  EXPECT_EQ(plan->source(), f.source());
+  EXPECT_EQ(plan->target(), f.target());
+  EXPECT_EQ(plan->steps.size(), 5U);
+}
+
+TEST(Planner, StepsChainConfigurations) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plan = planner.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  for (std::size_t i = 0; i + 1 < plan->steps.size(); ++i) {
+    EXPECT_EQ(plan->steps[i].to, plan->steps[i + 1].from);
+  }
+  for (const PlanStep& step : plan->steps) {
+    const AdaptiveAction& action = f.table.action(step.action);
+    EXPECT_TRUE(action.applicable_to(step.from));
+    EXPECT_EQ(action.apply(step.from), step.to);
+    EXPECT_DOUBLE_EQ(step.cost, action.cost);
+  }
+}
+
+TEST(Planner, EveryIntermediateConfigurationIsSafe) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plan = planner.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  for (const PlanStep& step : plan->steps) {
+    EXPECT_TRUE(f.invariants.satisfied(step.from));
+    EXPECT_TRUE(f.invariants.satisfied(step.to));
+  }
+}
+
+TEST(Planner, UnsafeEndpointsRejected) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const config::Configuration unsafe = config::Configuration::of(f.registry, {"D1", "D2"});
+  EXPECT_FALSE(planner.minimum_path(unsafe, f.target()).has_value());
+  EXPECT_FALSE(planner.minimum_path(f.source(), unsafe).has_value());
+}
+
+TEST(Planner, RankedPathsOrderedAndDistinct) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plans = planner.ranked_paths(f.source(), f.target(), 5);
+  ASSERT_GE(plans.size(), 2U);
+  EXPECT_DOUBLE_EQ(plans[0].total_cost, 50.0);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_GE(plans[i].total_cost, plans[i - 1].total_cost);
+    EXPECT_NE(plans[i].steps, plans[i - 1].steps);
+  }
+}
+
+TEST(Planner, SecondMinimumPathDiffersFromMap) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plans = planner.ranked_paths(f.source(), f.target(), 2);
+  ASSERT_EQ(plans.size(), 2U);
+  // The 50ms cost is achieved by more than one action sequence (e.g.
+  // A17, A2, A1, A16, A4 permutes the first two steps), so the second path
+  // may tie on cost — but it must be a different sequence.
+  EXPECT_GE(plans[1].total_cost, 50.0);
+  EXPECT_NE(plans[1].steps, plans[0].steps);
+}
+
+TEST(Planner, ReturnToSourcePathExists) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  // From any intermediate configuration of the MAP there must be a way back
+  // to the source — the paper's strategy (3) relies on it. Note the action
+  // table is asymmetric (e.g. nothing reinstalls D1), so "back" may be
+  // impossible from some nodes; verify the planner reports it truthfully.
+  const auto plan = planner.minimum_path(f.source(), f.target());
+  ASSERT_TRUE(plan.has_value());
+  for (const PlanStep& step : plan->steps) {
+    const auto back = planner.minimum_path(step.to, f.source());
+    if (back) {
+      EXPECT_EQ(back->source(), step.to);
+      EXPECT_EQ(back->target(), f.source());
+    }
+  }
+}
+
+TEST(Planner, EmptyPlanForIdenticalEndpoints) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plan = planner.minimum_path(f.source(), f.source());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 0.0);
+}
+
+TEST(Planner, ActionNamesEmptyForEmptyPlan) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  const PathPlanner planner(sag);
+  const auto plan = planner.minimum_path(f.source(), f.source());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->action_names(f.table), "");
+  EXPECT_THROW(plan->source(), std::logic_error);
+}
+
+TEST(Planner, PaperFigure4GraphShape) {
+  Fixture f;
+  const SafeAdaptationGraph sag(f.table, f.safe);
+  EXPECT_EQ(sag.node_count(), 8U);  // Table 1's eight safe configurations
+
+  // Spot-check edges the paper draws in Figure 4.
+  const PathPlanner planner(sag);
+  struct ExpectedEdge {
+    const char* from;
+    const char* to;
+    const char* action;
+  };
+  const ExpectedEdge expected[] = {
+      {"0100101", "0101001", "A2"},   // (D4,D1,E1) --A2--> (D4,D2,E1)
+      {"0100101", "1100101", "A17"},  // +D5
+      {"0101001", "1101001", "A17"},  // +D5
+      {"1101001", "1101010", "A1"},   // E1 -> E2
+      {"1101010", "1001010", "A16"},  // -D4
+      {"1001010", "1010010", "A4"},   // D2 -> D3
+      {"0100101", "1010010", "A14"},  // (D1,D4,E1) -> (D3,D5,E2)
+      {"1100101", "1110010", "A7"},   // (D1,E1) -> (D3,E2)
+      {"1101010", "1110010", "A4"},
+      {"1110010", "1010010", "A16"},
+  };
+  for (const ExpectedEdge& e : expected) {
+    const auto from =
+        sag.node_of(config::Configuration::from_bit_string(e.from, f.registry.size()));
+    const auto to = sag.node_of(config::Configuration::from_bit_string(e.to, f.registry.size()));
+    ASSERT_TRUE(from && to) << e.from << " -> " << e.to;
+    bool found = false;
+    for (const graph::EdgeId edge : sag.graph().out_edges(*from)) {
+      if (sag.graph().edge(edge).to == *to && sag.action_of_edge(edge).name == e.action) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << e.from << " --" << e.action << "--> " << e.to;
+  }
+}
+
+}  // namespace
+}  // namespace sa::actions

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "spec/ptltl.hpp"
+
+namespace sa::spec {
+namespace {
+
+/// Runs `formula` over a trace of atom sets and returns the truth at each step.
+std::vector<bool> run(const FormulaPtr& formula,
+                      const std::vector<std::map<std::string, bool>>& trace) {
+  formula->reset();
+  std::vector<bool> out;
+  for (const auto& step : trace) {
+    out.push_back(formula->step([&step](const std::string& name) {
+      const auto it = step.find(name);
+      return it != step.end() && it->second;
+    }));
+  }
+  return out;
+}
+
+using Trace = std::vector<std::map<std::string, bool>>;
+
+TEST(Ptltl, AtomTracksValuation) {
+  const auto f = parse_ptltl("p");
+  EXPECT_EQ(run(f, Trace{{{"p", true}}, {{"p", false}}, {{"p", true}}}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Ptltl, ConstantsAndNegation) {
+  EXPECT_EQ(run(parse_ptltl("true"), Trace{{}, {}}), (std::vector<bool>{true, true}));
+  EXPECT_EQ(run(parse_ptltl("false"), Trace{{}}), (std::vector<bool>{false}));
+  EXPECT_EQ(run(parse_ptltl("!p"), Trace{{{"p", true}}, {}}), (std::vector<bool>{false, true}));
+}
+
+TEST(Ptltl, YesterdayShiftsByOne) {
+  const auto f = parse_ptltl("Y p");
+  EXPECT_EQ(run(f, Trace{{{"p", true}}, {{"p", false}}, {{"p", true}}, {}}),
+            (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(Ptltl, OnceLatches) {
+  const auto f = parse_ptltl("O p");
+  EXPECT_EQ(run(f, Trace{{}, {{"p", true}}, {}, {}}),
+            (std::vector<bool>{false, true, true, true}));
+}
+
+TEST(Ptltl, HistoricallyFailsForever) {
+  const auto f = parse_ptltl("H p");
+  EXPECT_EQ(run(f, Trace{{{"p", true}}, {{"p", true}}, {}, {{"p", true}}}),
+            (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(Ptltl, SinceSemantics) {
+  // p S q: q happened, and p has held ever since (inclusive of q's step... at
+  // the step of q itself it holds regardless of p).
+  const auto f = parse_ptltl("p S q");
+  EXPECT_EQ(run(f, Trace{
+                     {{"q", true}},              // q now -> true
+                     {{"p", true}},              // p since q -> true
+                     {{"p", true}},              // still -> true
+                     {},                         // p broke -> false
+                     {{"p", true}},              // no new q -> false
+                 }),
+            (std::vector<bool>{true, true, true, false, false}));
+}
+
+TEST(Ptltl, SinceReactivatesOnNewQ) {
+  const auto f = parse_ptltl("p S q");
+  EXPECT_EQ(run(f, Trace{{}, {{"q", true}}, {}, {{"q", true}, {"p", true}}}),
+            (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(Ptltl, RequestResponseObligation) {
+  // "every request has been answered": !(O req & !(O resp)) is weaker than
+  // needed; the canonical pattern is !req S resp | H !req — here we check the
+  // practical encoding !(O(req) & !O(resp)) used by the monitor docs.
+  const auto f = parse_ptltl("!(O req & !O resp)");
+  EXPECT_EQ(run(f, Trace{{}, {{"req", true}}, {}, {{"resp", true}}, {}}),
+            (std::vector<bool>{true, false, false, true, true}));
+}
+
+TEST(Ptltl, OperatorPrecedence) {
+  // "Y p & q" parses as "(Y p) & q", not "Y (p & q)".
+  const auto f = parse_ptltl("Y p & q");
+  EXPECT_EQ(run(f, Trace{{{"p", true}, {"q", true}}, {{"q", true}}}),
+            (std::vector<bool>{false, true}));
+}
+
+TEST(Ptltl, SinceBindsTighterThanAnd) {
+  // "a & b S c" = "a & (b S c)".
+  const auto f = parse_ptltl("a & b S c");
+  EXPECT_EQ(f->to_string(), "(a & (b S c))");
+}
+
+TEST(Ptltl, ImplicationIsRightAssociative) {
+  const auto f = parse_ptltl("a -> b -> c");
+  EXPECT_EQ(f->to_string(), "(a -> (b -> c))");
+}
+
+TEST(Ptltl, KeywordsRequireWordBoundary) {
+  // Identifiers starting with operator letters are atoms, not operators.
+  const auto f = parse_ptltl("Once_done & Y Happened");
+  const auto atoms = f->atoms();
+  EXPECT_EQ(atoms, (std::vector<std::string>{"Happened", "Once_done"}));
+}
+
+TEST(Ptltl, NestedTemporalOperators) {
+  // O(H p): "there was a point up to which p had always held" — true from the
+  // first step where p held (H p true at step 0 iff p at step 0).
+  const auto f = parse_ptltl("O(H p)");
+  EXPECT_EQ(run(f, Trace{{{"p", true}}, {}, {}}), (std::vector<bool>{true, true, true}));
+  f->reset();
+  EXPECT_EQ(run(f, Trace{{}, {{"p", true}}}), (std::vector<bool>{false, false}));
+}
+
+TEST(Ptltl, ResetClearsAllState) {
+  const auto f = parse_ptltl("O p");
+  run(f, Trace{{{"p", true}}});
+  EXPECT_TRUE(f->current());
+  f->reset();
+  EXPECT_FALSE(f->current());
+  EXPECT_EQ(run(f, Trace{{}}), (std::vector<bool>{false}));
+}
+
+TEST(Ptltl, ToStringRoundTrips) {
+  for (const char* text :
+       {"p", "!(p)", "(p & q)", "(p | q)", "(p -> q)", "Y(p)", "O(p)", "H(p)", "(p S q)",
+        "((p S q) & H(r))"}) {
+    const auto once_parsed = parse_ptltl(text);
+    const auto reparsed = parse_ptltl(once_parsed->to_string());
+    EXPECT_EQ(once_parsed->to_string(), reparsed->to_string()) << text;
+  }
+}
+
+TEST(Ptltl, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_ptltl(""), std::invalid_argument);
+  EXPECT_THROW(parse_ptltl("p &"), std::invalid_argument);
+  EXPECT_THROW(parse_ptltl("(p"), std::invalid_argument);
+  EXPECT_THROW(parse_ptltl("p q"), std::invalid_argument);
+  EXPECT_THROW(parse_ptltl("S p"), std::invalid_argument);
+}
+
+TEST(Ptltl, TemporalSubformulasSeeEveryStepDespiteShortCircuitableConnectives) {
+  // "p | O q": even when p is true (deciding the |), O q must keep observing.
+  const auto f = parse_ptltl("p | O q");
+  EXPECT_EQ(run(f, Trace{{{"p", true}, {"q", true}}, {}, {}}),
+            (std::vector<bool>{true, true, true}));
+}
+
+// Property: recursive Since law  p S q  <=>  q | (p & Y(p S q)).
+TEST(PtltlProperty, SinceExpansionLaw) {
+  const auto direct = parse_ptltl("p S q");
+  const auto expanded = parse_ptltl("q | (p & Y(p S q))");
+  // Exhaust all 4-step traces over {p, q}.
+  for (int code = 0; code < 256; ++code) {
+    Trace trace;
+    for (int step = 0; step < 4; ++step) {
+      const int bits = (code >> (2 * step)) & 3;
+      trace.push_back({{"p", (bits & 1) != 0}, {"q", (bits & 2) != 0}});
+    }
+    EXPECT_EQ(run(direct, trace), run(expanded, trace)) << "trace code " << code;
+  }
+}
+
+// Property: H p == !O(!p).
+TEST(PtltlProperty, HistoricallyOnceDuality) {
+  const auto h = parse_ptltl("H p");
+  const auto dual = parse_ptltl("!O(!p)");
+  for (int code = 0; code < 64; ++code) {
+    Trace trace;
+    for (int step = 0; step < 6; ++step) {
+      trace.push_back({{"p", ((code >> step) & 1) != 0}});
+    }
+    EXPECT_EQ(run(h, trace), run(dual, trace)) << "trace code " << code;
+  }
+}
+
+}  // namespace
+}  // namespace sa::spec

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sa::util {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0U);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);  // all values hit
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(23);
+  std::shuffle(values.begin(), values.end(), rng);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split(",a,,b,", ','), (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foo", "foobar"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+// --- logging ---------------------------------------------------------------------
+
+TEST(Log, SinkReceivesMessagesAtOrAboveLevel) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel level, std::string_view component, std::string_view message) {
+    captured.push_back(std::string(to_string(level)) + "/" + std::string(component) + "/" +
+                       std::string(message));
+  });
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::Info);
+  SA_DEBUG("test") << "hidden";
+  SA_INFO("test") << "visible " << 42;
+  SA_ERROR("other") << "bad";
+  set_log_level(previous);
+  reset_log_sink();
+
+  ASSERT_EQ(captured.size(), 2U);
+  EXPECT_EQ(captured[0], "INFO/test/visible 42");
+  EXPECT_EQ(captured[1], "ERROR/other/bad");
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::Off), "OFF");
+}
+
+}  // namespace
+}  // namespace sa::util

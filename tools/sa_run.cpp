@@ -1,0 +1,138 @@
+// sa_run — the realization phase as a command-line tool.
+//
+// Loads a scenario file, attaches a generic adaptable process per declared
+// process id, and executes the source -> target adaptation through the full
+// manager/agent protocol on the simulator, printing the per-step timeline.
+// Failure injection flags reproduce the §4.4 experiments on any scenario:
+//
+//   sa_run <scenario-file> [--loss P] [--dup P] [--fail-process ID]
+//
+//   --loss P          control-channel loss probability (0..1)
+//   --dup P           control-channel duplication probability (0..1)
+//   --fail-process N  process N never reaches its safe state (fail-to-reset)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/scenario_file.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+struct StubProcess : sa::proto::AdaptableProcess {
+  bool prepare(const sa::proto::LocalCommand&) override { return true; }
+  void reach_safe_state(bool, std::function<void()> reached) override { reached(); }
+  void abort_safe_state() override {}
+  bool apply(const sa::proto::LocalCommand&) override { return true; }
+  bool undo(const sa::proto::LocalCommand&) override { return true; }
+  void resume() override {}
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario-file> [--loss P] [--dup P] [--fail-process ID]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sa;
+
+  const char* path = nullptr;
+  double loss = 0.0;
+  double dup = 0.0;
+  std::optional<config::ProcessId> fail_process;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      loss = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dup") == 0 && i + 1 < argc) {
+      dup = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fail-process") == 0 && i + 1 < argc) {
+      fail_process = static_cast<config::ProcessId>(std::stoul(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) return usage(argv[0]);
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  core::ParsedScenario scenario;
+  try {
+    scenario = core::parse_scenario(file);
+  } catch (const core::ScenarioParseError& e) {
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return 1;
+  }
+  if (!scenario.source || !scenario.target) {
+    std::fprintf(stderr, "%s: scenario must declare both source and target\n", path);
+    return 1;
+  }
+
+  // Rebuild the scenario inside a SafeAdaptationSystem (the facade owns its
+  // own registry) and attach one stub process per declared process id.
+  core::SystemConfig system_config;
+  system_config.control_channel.loss_probability = loss;
+  system_config.control_channel.duplicate_probability = dup;
+  if (loss > 0 || dup > 0) system_config.manager.message_retries = 8;
+  core::SafeAdaptationSystem system(system_config);
+  for (config::ComponentId id = 0; id < scenario.registry->size(); ++id) {
+    const auto& info = scenario.registry->info(id);
+    system.registry().add(info.name, info.process, info.description);
+  }
+  for (const auto& invariant : scenario.invariants->invariants()) {
+    system.add_invariant(invariant.name, invariant.predicate->to_string());
+  }
+  const std::size_t n = scenario.registry->size();
+  for (const auto& action : scenario.actions->actions()) {
+    std::vector<std::string> removes;
+    std::vector<std::string> adds;
+    for (const auto id : action.removes.components(n)) removes.push_back(scenario.registry->name(id));
+    for (const auto id : action.adds.components(n)) adds.push_back(scenario.registry->name(id));
+    system.add_action(action.name, removes, adds, action.cost, action.description);
+  }
+
+  std::map<config::ProcessId, std::unique_ptr<StubProcess>> processes;
+  for (const config::ProcessId process : scenario.registry->processes()) {
+    auto stub = std::make_unique<StubProcess>();
+    system.attach_process(process, *stub, static_cast<int>(process));
+    processes.emplace(process, std::move(stub));
+  }
+  system.finalize();
+  system.set_current_configuration(*scenario.source);
+  if (fail_process) system.agent(*fail_process).set_fail_to_reset(true);
+
+  std::printf("adapting {%s} -> {%s}%s\n",
+              scenario.source->describe(system.registry()).c_str(),
+              scenario.target->describe(system.registry()).c_str(),
+              fail_process ? " (with injected fail-to-reset)" : "");
+
+  const auto result = system.adapt_and_wait(*scenario.target, 10'000'000);
+
+  std::printf("%-10s %-6s %-8s %-12s %s\n", "time (ms)", "step", "action", "duration(ms)",
+              "fate");
+  for (const auto& record : system.manager().step_log()) {
+    std::printf("%-10.2f %u.%u.%u  %-8s %-12.2f %s\n", record.started / 1000.0,
+                record.ref.plan, record.ref.step_index, record.ref.attempt,
+                record.action_name.c_str(), (record.finished - record.started) / 1000.0,
+                record.committed ? "committed" : "rolled back");
+  }
+  std::printf("\noutcome: %s (%s)\n", std::string(proto::to_string(result.outcome)).c_str(),
+              result.detail.c_str());
+  std::printf("final configuration: {%s}%s\n",
+              result.final_config.describe(system.registry()).c_str(),
+              system.invariants().satisfied(result.final_config) ? " [safe]" : " [UNSAFE!]");
+  std::printf("steps committed: %zu, step failures: %zu, retransmission rounds: %zu, "
+              "virtual time: %.1f ms\n",
+              result.steps_committed, result.step_failures, result.message_retries,
+              (result.finished - result.started) / 1000.0);
+  return result.outcome == proto::AdaptationOutcome::Success ? 0 : 1;
+}
