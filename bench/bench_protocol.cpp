@@ -15,6 +15,7 @@
 
 #include "core/paper_scenario.hpp"
 #include "core/system.hpp"
+#include "sim/network.hpp"
 
 namespace {
 

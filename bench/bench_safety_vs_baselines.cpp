@@ -20,6 +20,7 @@
 #include "baselines/naive.hpp"
 #include "baselines/quiescence.hpp"
 #include "core/video_testbed.hpp"
+#include "sim/network.hpp"
 
 namespace {
 

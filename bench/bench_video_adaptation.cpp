@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/video_testbed.hpp"
+#include "sim/network.hpp"
 
 namespace {
 

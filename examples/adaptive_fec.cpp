@@ -10,6 +10,7 @@
 
 #include "components/fec.hpp"
 #include "core/system.hpp"
+#include "sim/network.hpp"
 #include "video/client.hpp"
 #include "video/server.hpp"
 
@@ -49,11 +50,11 @@ int main() {
 
   video::StreamConfig stream;
   stream.packets_per_frame = 8;  // 200 packets/s
-  video::VideoServer server(net, server_data, stream, factory);
+  video::VideoServer server(system.simulator(), net, server_data, stream, factory);
   server.subscribe(handheld_data);
   server.subscribe(laptop_data);
-  video::VideoClient handheld(net, handheld_data, "handheld", factory);
-  video::VideoClient laptop(net, laptop_data, "laptop", factory);
+  video::VideoClient handheld(system.simulator(), net, handheld_data, "handheld", factory);
+  video::VideoClient laptop(system.simulator(), net, laptop_data, "laptop", factory);
 
   system.attach_process(0, server.process(), /*stage=*/0);
   system.attach_process(1, handheld.process(), /*stage=*/1);

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "core/video_testbed.hpp"
+#include "sim/network.hpp"
 #include "decision/engine.hpp"
 
 int main() {

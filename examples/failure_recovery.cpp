@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "core/video_testbed.hpp"
+#include "sim/network.hpp"
 #include "util/log.hpp"
 
 namespace {

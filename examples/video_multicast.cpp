@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "core/video_testbed.hpp"
+#include "sim/network.hpp"
 
 int main() {
   using namespace sa;

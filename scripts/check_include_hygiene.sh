@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Layering check: everything above the simulator must program against the
+# runtime interfaces (runtime/clock.hpp, runtime/transport.hpp, ...), never
+# against the concrete simulator. The only non-sim code allowed to include
+# sim/ headers directly is the SimRuntime adapter (src/runtime/sim_runtime.*).
+#
+# Tests, benches, examples, and tools may still include sim/ headers: they
+# exercise the deterministic backend on purpose.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+layers=(src/proto src/components src/video src/core src/decision src/baselines
+        src/crypto src/spec src/actions src/config src/expr src/graph src/util)
+
+status=0
+for layer in "${layers[@]}"; do
+  [ -d "$layer" ] || continue
+  matches=$(grep -rn '#include "sim/' "$layer" || true)
+  if [ -n "$matches" ]; then
+    echo "ERROR: $layer includes sim/ headers directly (use the runtime interfaces):"
+    echo "$matches"
+    status=1
+  fi
+done
+
+# The runtime interface headers themselves must not depend on the simulator;
+# only the SimRuntime adapter translation units may.
+matches=$(grep -rln '#include "sim/' src/runtime | grep -v 'sim_runtime' || true)
+if [ -n "$matches" ]; then
+  echo "ERROR: runtime interface files include sim/ headers:"
+  echo "$matches"
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "include hygiene OK: no direct sim/ includes outside src/sim and the SimRuntime adapter"
+fi
+exit "$status"

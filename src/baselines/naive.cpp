@@ -4,11 +4,11 @@
 
 namespace sa::baselines {
 
-NaiveHotSwapAdapter::NaiveHotSwapAdapter(sim::Simulator& sim,
+NaiveHotSwapAdapter::NaiveHotSwapAdapter(runtime::Clock& clock,
                                          const config::ComponentRegistry& registry,
                                          std::map<config::ProcessId, ProcessBinding> bindings,
-                                         sim::Time per_process_lag)
-    : sim_(&sim), registry_(&registry), bindings_(std::move(bindings)),
+                                         runtime::Time per_process_lag)
+    : clock_(&clock), registry_(&registry), bindings_(std::move(bindings)),
       per_process_lag_(per_process_lag) {}
 
 bool NaiveHotSwapAdapter::adapt(const config::Configuration& from,
@@ -26,7 +26,7 @@ bool NaiveHotSwapAdapter::adapt(const config::Configuration& from,
     }
   }
 
-  sim::Time lag = 0;
+  runtime::Time lag = 0;
   for (auto& [process, binding] : bindings_) {
     std::vector<std::string> to_remove;
     std::vector<std::string> to_add;
@@ -42,7 +42,7 @@ bool NaiveHotSwapAdapter::adapt(const config::Configuration& from,
     // and without waiting for quiescence.
     components::FilterChain* chain = binding.chain;
     proto::FilterFactory factory = binding.factory;
-    sim_->schedule_after(lag, [chain, factory, to_remove, to_add] {
+    clock_->schedule_after(lag, [chain, factory, to_remove, to_add] {
       for (const std::string& name : to_remove) {
         if (!chain->remove_filter(name)) {
           SA_WARN("naive-baseline") << chain->name() << ": filter " << name << " absent";

@@ -14,7 +14,7 @@
 #include "components/filter_chain.hpp"
 #include "config/configuration.hpp"
 #include "proto/adaptable_process.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/clock.hpp"
 
 namespace sa::baselines {
 
@@ -29,9 +29,9 @@ struct ProcessBinding {
 
 class NaiveHotSwapAdapter {
  public:
-  NaiveHotSwapAdapter(sim::Simulator& sim, const config::ComponentRegistry& registry,
+  NaiveHotSwapAdapter(runtime::Clock& clock, const config::ComponentRegistry& registry,
                       std::map<config::ProcessId, ProcessBinding> bindings,
-                      sim::Time per_process_lag = sim::ms(3));
+                      runtime::Time per_process_lag = runtime::ms(3));
 
   /// Applies the `from` -> `to` component diff: each process performs its
   /// share the moment its (staggered) command arrives. Returns false if some
@@ -39,10 +39,10 @@ class NaiveHotSwapAdapter {
   bool adapt(const config::Configuration& from, const config::Configuration& to);
 
  private:
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
   const config::ComponentRegistry* registry_;
   std::map<config::ProcessId, ProcessBinding> bindings_;
-  sim::Time per_process_lag_;
+  runtime::Time per_process_lag_;
 };
 
 }  // namespace sa::baselines

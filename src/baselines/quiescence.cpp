@@ -8,9 +8,9 @@
 namespace sa::baselines {
 
 GlobalQuiescenceAdapter::GlobalQuiescenceAdapter(
-    sim::Simulator& sim, const config::ComponentRegistry& registry,
-    std::map<config::ProcessId, ProcessBinding> bindings, sim::Time flush_delay)
-    : sim_(&sim), registry_(&registry), bindings_(std::move(bindings)),
+    runtime::Clock& clock, const config::ComponentRegistry& registry,
+    std::map<config::ProcessId, ProcessBinding> bindings, runtime::Time flush_delay)
+    : clock_(&clock), registry_(&registry), bindings_(std::move(bindings)),
       flush_delay_(flush_delay) {}
 
 void GlobalQuiescenceAdapter::adapt(const config::Configuration& from,
@@ -22,7 +22,7 @@ void GlobalQuiescenceAdapter::adapt(const config::Configuration& from,
   to_ = to;
   done_ = std::move(done);
   quiescent_count_ = 0;
-  started_ = sim_->now();
+  started_ = clock_->now();
 
   // Phase 1 — passivate the sender side: every minimum-stage process stops
   // initiating new transactions (blocks after its in-flight packet).
@@ -45,7 +45,7 @@ void GlobalQuiescenceAdapter::adapt(const config::Configuration& from,
 void GlobalQuiescenceAdapter::quiesce_receivers() {
   // Phase 2 — after in-flight data has reached the receivers, drain and
   // block every remaining process, involved in the change or not.
-  sim_->schedule_after(flush_delay_, [this] {
+  clock_->schedule_after(flush_delay_, [this] {
     std::size_t receivers = 0;
     for (const auto& [process, binding] : bindings_) {
       if (binding.stage != min_stage_) ++receivers;
@@ -87,7 +87,7 @@ void GlobalQuiescenceAdapter::apply_and_resume() {
     }
   }
   for (auto& [process, binding] : bindings_) binding.chain->resume();
-  last_blocked_duration_ = sim_->now() - started_;
+  last_blocked_duration_ = clock_->now() - started_;
   in_progress_ = false;
   if (done_) {
     auto handler = std::move(done_);

@@ -15,15 +15,15 @@
 
 #include "baselines/naive.hpp"
 #include "config/configuration.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/clock.hpp"
 
 namespace sa::baselines {
 
 class GlobalQuiescenceAdapter {
  public:
-  GlobalQuiescenceAdapter(sim::Simulator& sim, const config::ComponentRegistry& registry,
+  GlobalQuiescenceAdapter(runtime::Clock& clock, const config::ComponentRegistry& registry,
                           std::map<config::ProcessId, ProcessBinding> bindings,
-                          sim::Time flush_delay = sim::ms(15));
+                          runtime::Time flush_delay = runtime::ms(15));
 
   /// Quiesces every bound process (drain mode), applies the whole diff,
   /// resumes, then invokes `done(success)`.
@@ -31,16 +31,16 @@ class GlobalQuiescenceAdapter {
              std::function<void(bool)> done);
 
   /// Total wall (virtual) time between the first block request and resume.
-  sim::Time last_blocked_duration() const { return last_blocked_duration_; }
+  runtime::Time last_blocked_duration() const { return last_blocked_duration_; }
 
  private:
   void quiesce_receivers();
   void apply_and_resume();
 
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
   const config::ComponentRegistry* registry_;
   std::map<config::ProcessId, ProcessBinding> bindings_;
-  sim::Time flush_delay_;
+  runtime::Time flush_delay_;
 
   config::Configuration from_;
   config::Configuration to_;
@@ -49,8 +49,8 @@ class GlobalQuiescenceAdapter {
   std::size_t sender_count_ = 0;
   std::size_t receiver_count_ = 0;
   int min_stage_ = 0;
-  sim::Time started_ = 0;
-  sim::Time last_blocked_duration_ = 0;
+  runtime::Time started_ = 0;
+  runtime::Time last_blocked_duration_ = 0;
   bool in_progress_ = false;
 };
 

@@ -53,7 +53,7 @@ std::optional<std::pair<std::uint64_t, std::size_t>> parse_parity_tag(const std:
 // --- encoder -------------------------------------------------------------------
 
 XorFecEncoderFilter::XorFecEncoderFilter(std::string name, std::size_t group_size,
-                                         sim::Time processing_time)
+                                         runtime::Time processing_time)
     : Filter(std::move(name), processing_time), group_size_(std::max<std::size_t>(2, group_size)) {}
 
 std::optional<Packet> XorFecEncoderFilter::process(Packet packet) {
@@ -116,7 +116,7 @@ StateSnapshot XorFecEncoderFilter::refract() const {
 
 // --- decoder -------------------------------------------------------------------
 
-XorFecDecoderFilter::XorFecDecoderFilter(std::string name, sim::Time processing_time)
+XorFecDecoderFilter::XorFecDecoderFilter(std::string name, runtime::Time processing_time)
     : Filter(std::move(name), processing_time) {}
 
 std::optional<Packet> XorFecDecoderFilter::process(Packet packet) {

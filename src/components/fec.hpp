@@ -31,7 +31,7 @@ namespace sa::components {
 class XorFecEncoderFilter final : public Filter {
  public:
   XorFecEncoderFilter(std::string name, std::size_t group_size,
-                      sim::Time processing_time = sim::us(30));
+                      runtime::Time processing_time = runtime::us(30));
 
   std::optional<Packet> process(Packet packet) override;  ///< single-out view
   std::vector<Packet> process_all(Packet packet) override;
@@ -61,7 +61,7 @@ class XorFecEncoderFilter final : public Filter {
 /// missing packet per group.
 class XorFecDecoderFilter final : public Filter {
  public:
-  explicit XorFecDecoderFilter(std::string name, sim::Time processing_time = sim::us(30));
+  explicit XorFecDecoderFilter(std::string name, runtime::Time processing_time = runtime::us(30));
 
   std::optional<Packet> process(Packet packet) override;  ///< single-out view
   std::vector<Packet> process_all(Packet packet) override;

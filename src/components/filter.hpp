@@ -10,7 +10,7 @@
 
 #include "components/component.hpp"
 #include "components/packet.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/time.hpp"
 
 namespace sa::components {
 
@@ -22,7 +22,7 @@ struct FilterStats {
 
 class Filter : public Component {
  public:
-  Filter(std::string name, sim::Time processing_time = sim::us(50))
+  Filter(std::string name, runtime::Time processing_time = runtime::us(50))
       : Component(std::move(name)), processing_time_(processing_time) {}
 
   /// Invocation interface: transforms a packet. Returning nullopt drops it.
@@ -41,8 +41,8 @@ class Filter : public Component {
   }
 
   /// Virtual time one packet spends inside this filter.
-  sim::Time processing_time() const { return processing_time_; }
-  void set_processing_time(sim::Time t) { processing_time_ = t; }
+  runtime::Time processing_time() const { return processing_time_; }
+  void set_processing_time(runtime::Time t) { processing_time_ = t; }
 
   const FilterStats& stats() const { return stats_; }
 
@@ -54,7 +54,7 @@ class Filter : public Component {
   void note_dropped() { ++stats_.dropped; }
 
  private:
-  sim::Time processing_time_;
+  runtime::Time processing_time_;
   FilterStats stats_;
 };
 
@@ -63,7 +63,7 @@ using FilterPtr = std::shared_ptr<Filter>;
 /// Identity filter; useful in tests and as chain padding.
 class PassThroughFilter final : public Filter {
  public:
-  explicit PassThroughFilter(std::string name, sim::Time processing_time = sim::us(10))
+  explicit PassThroughFilter(std::string name, runtime::Time processing_time = runtime::us(10))
       : Filter(std::move(name), processing_time) {}
 
   std::optional<Packet> process(Packet packet) override {
@@ -76,7 +76,7 @@ class PassThroughFilter final : public Filter {
 /// test needs a recognizable multi-filter chain).
 class TagFilter final : public Filter {
  public:
-  TagFilter(std::string name, std::string tag, sim::Time processing_time = sim::us(20))
+  TagFilter(std::string name, std::string tag, runtime::Time processing_time = runtime::us(20))
       : Filter(std::move(name), processing_time), tag_(std::move(tag)) {}
 
   std::optional<Packet> process(Packet packet) override {
@@ -98,7 +98,7 @@ class TagFilter final : public Filter {
 /// Pops a matching tag; bypasses otherwise (paper's bypass rule).
 class UntagFilter final : public Filter {
  public:
-  UntagFilter(std::string name, std::string tag, sim::Time processing_time = sim::us(20))
+  UntagFilter(std::string name, std::string tag, runtime::Time processing_time = runtime::us(20))
       : Filter(std::move(name), processing_time), tag_(std::move(tag)) {}
 
   std::optional<Packet> process(Packet packet) override {

@@ -7,8 +7,8 @@
 
 namespace sa::components {
 
-FilterChain::FilterChain(sim::Simulator& sim, std::string name, sim::Time per_packet_overhead)
-    : Component(std::move(name)), sim_(&sim), per_packet_overhead_(per_packet_overhead) {}
+FilterChain::FilterChain(runtime::Clock& clock, std::string name, runtime::Time per_packet_overhead)
+    : Component(std::move(name)), clock_(&clock), per_packet_overhead_(per_packet_overhead) {}
 
 void FilterChain::insert_filter(std::size_t index, FilterPtr filter) {
   if (!filter) throw std::invalid_argument("insert_filter: null filter");
@@ -52,7 +52,7 @@ std::vector<std::string> FilterChain::filter_names() const {
 
 void FilterChain::submit(Packet packet) {
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(packet), sim_->now()});
+  queue_.push_back(Pending{std::move(packet), clock_->now()});
   maybe_start_next();
 }
 
@@ -101,15 +101,15 @@ void FilterChain::maybe_start_next() {
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
 
-  sim::Time duration = per_packet_overhead_;
+  runtime::Time duration = per_packet_overhead_;
   for (const FilterPtr& filter : filters_) duration += filter->processing_time();
 
-  sim_->schedule_after(duration, [this, pending = std::move(pending)]() mutable {
+  clock_->schedule_after(duration, [this, pending = std::move(pending)]() mutable {
     finish_packet(std::move(pending.packet), pending.entry_time);
   });
 }
 
-void FilterChain::finish_packet(Packet packet, sim::Time entry_time) {
+void FilterChain::finish_packet(Packet packet, runtime::Time entry_time) {
   // The packet traverses every filter in order; each filter may absorb it,
   // transform it, or fan it out (FEC parity). Filters see the packet only
   // now, at completion time, which is equivalent to traversal-at-exit and
@@ -128,7 +128,7 @@ void FilterChain::finish_packet(Packet packet, sim::Time entry_time) {
   if (current.empty()) {
     ++stats_.dropped_by_filters;
   } else {
-    const sim::Time delay = sim_->now() - entry_time;
+    const runtime::Time delay = clock_->now() - entry_time;
     stats_.total_delay += delay;
     stats_.max_delay = std::max(stats_.max_delay, delay);
     if (log_delays_) delay_log_.push_back(delay);

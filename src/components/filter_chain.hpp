@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "components/filter.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/clock.hpp"
 
 namespace sa::components {
 
@@ -28,8 +28,8 @@ struct ChainStats {
   std::uint64_t submitted = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_by_filters = 0;
-  sim::Time total_delay = 0;  ///< sum over delivered packets of (exit - entry)
-  sim::Time max_delay = 0;
+  runtime::Time total_delay = 0;  ///< sum over delivered packets of (exit - entry)
+  runtime::Time max_delay = 0;
 };
 
 class FilterChain : public Component {
@@ -37,7 +37,7 @@ class FilterChain : public Component {
   using OutputHandler = std::function<void(Packet)>;
   using QuiescenceHandler = std::function<void()>;
 
-  FilterChain(sim::Simulator& sim, std::string name, sim::Time per_packet_overhead = sim::us(20));
+  FilterChain(runtime::Clock& clock, std::string name, runtime::Time per_packet_overhead = runtime::us(20));
 
   // --- composition (transmutations) ----------------------------------------
 
@@ -94,24 +94,24 @@ class FilterChain : public Component {
 
   /// When enabled, per-packet delays are appended to delay_log().
   void set_delay_logging(bool enabled) { log_delays_ = enabled; }
-  const std::vector<sim::Time>& delay_log() const { return delay_log_; }
+  const std::vector<runtime::Time>& delay_log() const { return delay_log_; }
 
   StateSnapshot refract() const override;
   bool transmute(const std::string& key, const std::string& value) override;
 
  private:
   void maybe_start_next();
-  void finish_packet(Packet packet, sim::Time entry_time);
+  void finish_packet(Packet packet, runtime::Time entry_time);
   void block_and_notify();
 
-  sim::Simulator* sim_;
-  sim::Time per_packet_overhead_;
+  runtime::Clock* clock_;
+  runtime::Time per_packet_overhead_;
   std::vector<FilterPtr> filters_;
   OutputHandler output_;
 
   struct Pending {
     Packet packet;
-    sim::Time entry_time;
+    runtime::Time entry_time;
   };
   std::deque<Pending> queue_;
   bool busy_ = false;
@@ -122,7 +122,7 @@ class FilterChain : public Component {
 
   ChainStats stats_;
   bool log_delays_ = false;
-  std::vector<sim::Time> delay_log_;
+  std::vector<runtime::Time> delay_log_;
 };
 
 }  // namespace sa::components

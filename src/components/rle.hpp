@@ -22,7 +22,7 @@ std::optional<Payload> rle_decode(const Payload& input);
 
 class RleCompressFilter final : public Filter {
  public:
-  explicit RleCompressFilter(std::string name, sim::Time processing_time = sim::us(40))
+  explicit RleCompressFilter(std::string name, runtime::Time processing_time = runtime::us(40))
       : Filter(std::move(name), processing_time) {}
 
   std::optional<Packet> process(Packet packet) override {
@@ -54,7 +54,7 @@ class RleCompressFilter final : public Filter {
 
 class RleDecompressFilter final : public Filter {
  public:
-  explicit RleDecompressFilter(std::string name, sim::Time processing_time = sim::us(40))
+  explicit RleDecompressFilter(std::string name, runtime::Time processing_time = runtime::us(40))
       : Filter(std::move(name), processing_time) {}
 
   std::optional<Packet> process(Packet packet) override {

@@ -1,9 +1,11 @@
 #include "core/composite.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/sim_runtime.hpp"
 #include "util/log.hpp"
 
 namespace sa::core {
@@ -31,7 +33,24 @@ class UnionFind {
 }  // namespace
 
 CompositeAdaptationSystem::CompositeAdaptationSystem(CompositeConfig config)
-    : config_(config), network_(sim_, config.seed) {}
+    : config_(config),
+      owned_runtime_(std::make_unique<runtime::SimRuntime>(config.seed)),
+      runtime_(owned_runtime_.get()) {}
+
+CompositeAdaptationSystem::CompositeAdaptationSystem(runtime::Runtime& rt, CompositeConfig config)
+    : config_(config), runtime_(&rt) {}
+
+sim::Simulator& CompositeAdaptationSystem::simulator() {
+  auto* backend = dynamic_cast<runtime::SimRuntime*>(runtime_);
+  if (!backend) throw std::logic_error("simulator() requires the sim runtime backend");
+  return backend->simulator();
+}
+
+sim::Network& CompositeAdaptationSystem::network() {
+  auto* backend = dynamic_cast<runtime::SimRuntime*>(runtime_);
+  if (!backend) throw std::logic_error("network() requires the sim runtime backend");
+  return backend->network();
+}
 
 CompositeAdaptationSystem::~CompositeAdaptationSystem() = default;
 
@@ -114,10 +133,10 @@ void CompositeAdaptationSystem::finalize() {
                           action.description);
     }
 
-    const sim::NodeId manager_node =
-        network_.add_node("manager-s" + std::to_string(shards_.size()));
+    const runtime::NodeId manager_node =
+        runtime_->transport().add_node("manager-s" + std::to_string(shards_.size()));
     shard->manager = std::make_unique<proto::AdaptationManager>(
-        network_, manager_node, *shard->invariants, *shard->actions, config_.manager);
+        *runtime_, manager_node, *shard->invariants, *shard->actions, config_.manager);
 
     // Agents: one per process hosting a member of this shard.
     for (const PendingProcess& pending : pending_processes_) {
@@ -126,11 +145,13 @@ void CompositeAdaptationSystem::finalize() {
             return registry_.process(id) == pending.process;
           });
       if (!hosts_member) continue;
-      const sim::NodeId agent_node = network_.add_node(
+      const runtime::NodeId agent_node = runtime_->transport().add_node(
           "agent-s" + std::to_string(shards_.size()) + "-p" + std::to_string(pending.process));
-      network_.link_bidirectional(manager_node, agent_node, config_.control_channel);
+      runtime_->transport().connect_bidirectional(manager_node, agent_node,
+                                                  config_.control_channel);
       shard->agents.push_back(std::make_unique<proto::AdaptationAgent>(
-          network_, agent_node, manager_node, *pending.target, config_.agent));
+          runtime_->clock(), runtime_->transport(), agent_node, manager_node, *pending.target,
+          config_.agent));
       shard->manager->register_agent(pending.process, agent_node, pending.stage);
       shard->processes.push_back(pending.process);
     }
@@ -224,7 +245,7 @@ void CompositeAdaptationSystem::request_adaptation(config::Configuration global_
   }
 
   auto state = std::make_shared<CompositeResult>();
-  state->started = sim_.now();
+  state->started = runtime_->clock().now();
   auto outstanding = std::make_shared<std::size_t>(lanes.size());
   auto finish_if_done = [this, state, outstanding, handler = std::move(handler)]() {
     if (*outstanding != 0) return;
@@ -234,14 +255,14 @@ void CompositeAdaptationSystem::request_adaptation(config::Configuration global_
           return r.outcome == proto::AdaptationOutcome::Success;
         });
     state->final_config = current_configuration();
-    state->finished = sim_.now();
+    state->finished = runtime_->clock().now();
     request_in_flight_ = false;
     if (handler) handler(*state);
   };
 
   if (lanes.empty()) {
     // Nothing to do anywhere: report immediate success.
-    sim_.schedule_after(0, [finish_if_done]() mutable { finish_if_done(); });
+    runtime_->executor().post([finish_if_done]() mutable { finish_if_done(); });
     return;
   }
 
@@ -276,10 +297,21 @@ void CompositeAdaptationSystem::request_adaptation(config::Configuration global_
 
 CompositeResult CompositeAdaptationSystem::adapt_and_wait(config::Configuration global_target,
                                                           std::size_t max_events) {
+  // The completion handler may fire on a runtime thread, so the result slot
+  // is guarded for the threaded backend; on the simulator this is free.
+  std::mutex mutex;
   std::optional<CompositeResult> result;
-  request_adaptation(global_target, [&result](const CompositeResult& r) { result = r; });
-  std::size_t events = 0;
-  while (!result && events < max_events && sim_.step()) ++events;
+  request_adaptation(global_target, [&](const CompositeResult& r) {
+    std::lock_guard lock(mutex);
+    result = r;
+  });
+  runtime_->wait_until(
+      [&] {
+        std::lock_guard lock(mutex);
+        return result.has_value();
+      },
+      max_events);
+  std::lock_guard lock(mutex);
   if (!result) throw std::runtime_error("composite adaptation did not terminate");
   return *result;
 }

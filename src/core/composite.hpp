@@ -24,13 +24,22 @@
 
 #include "proto/agent.hpp"
 #include "proto/manager.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sa::sim {
+class Simulator;
+class Network;
+}  // namespace sa::sim
+
+namespace sa::runtime {
+class SimRuntime;
+}  // namespace sa::runtime
 
 namespace sa::core {
 
 struct CompositeConfig {
   std::uint64_t seed = 42;
-  sim::ChannelConfig control_channel{sim::ms(2), sim::us(500), 0.0, true};
+  runtime::ChannelConfig control_channel{runtime::ms(2), runtime::us(500), 0.0, true};
   proto::ManagerConfig manager;
   proto::AgentConfig agent;
 };
@@ -39,13 +48,16 @@ struct CompositeResult {
   bool success = false;  ///< every involved shard reached its sub-target
   std::vector<proto::AdaptationResult> shard_results;  ///< involved shards only
   config::Configuration final_config;                  ///< stitched, global
-  sim::Time started = 0;
-  sim::Time finished = 0;
+  runtime::Time started = 0;
+  runtime::Time finished = 0;
 };
 
 class CompositeAdaptationSystem {
  public:
+  /// Default: owns a deterministic SimRuntime seeded from `config.seed`.
   explicit CompositeAdaptationSystem(CompositeConfig config = {});
+  /// Runs over a caller-owned runtime backend; it must outlive the system.
+  explicit CompositeAdaptationSystem(runtime::Runtime& rt, CompositeConfig config = {});
   ~CompositeAdaptationSystem();
 
   CompositeAdaptationSystem(const CompositeAdaptationSystem&) = delete;
@@ -76,8 +88,12 @@ class CompositeAdaptationSystem {
   CompositeResult adapt_and_wait(config::Configuration global_target,
                                  std::size_t max_events = 5'000'000);
 
-  sim::Simulator& simulator() { return sim_; }
-  sim::Network& network() { return network_; }
+  runtime::Runtime& runtime() { return *runtime_; }
+
+  /// Deterministic-backend escape hatches; throw std::logic_error when the
+  /// system runs over a non-simulated runtime.
+  sim::Simulator& simulator();
+  sim::Network& network();
   proto::AdaptationManager& shard_manager(std::size_t index);
 
  private:
@@ -96,8 +112,8 @@ class CompositeAdaptationSystem {
   config::Configuration to_global(const Shard& shard, const config::Configuration& local) const;
 
   CompositeConfig config_;
-  sim::Simulator sim_;
-  sim::Network network_;
+  std::unique_ptr<runtime::SimRuntime> owned_runtime_;  ///< default backend
+  runtime::Runtime* runtime_;
   config::ComponentRegistry registry_;
   bool finalized_ = false;
 

@@ -1,15 +1,39 @@
 #include "core/system.hpp"
 
+#include <mutex>
 #include <stdexcept>
+
+#include "runtime/sim_runtime.hpp"
 
 namespace sa::core {
 
 SafeAdaptationSystem::SafeAdaptationSystem(SystemConfig config)
     : config_(config),
-      network_(sim_, config.seed),
+      owned_runtime_(std::make_unique<runtime::SimRuntime>(config.seed)),
+      runtime_(owned_runtime_.get()),
       invariants_(registry_),
       actions_(registry_) {
-  manager_node_ = network_.add_node("manager");
+  manager_node_ = runtime_->transport().add_node("manager");
+}
+
+SafeAdaptationSystem::SafeAdaptationSystem(runtime::Runtime& rt, SystemConfig config)
+    : config_(config),
+      runtime_(&rt),
+      invariants_(registry_),
+      actions_(registry_) {
+  manager_node_ = runtime_->transport().add_node("manager");
+}
+
+sim::Simulator& SafeAdaptationSystem::simulator() {
+  auto* backend = dynamic_cast<runtime::SimRuntime*>(runtime_);
+  if (!backend) throw std::logic_error("simulator() requires the sim runtime backend");
+  return backend->simulator();
+}
+
+sim::Network& SafeAdaptationSystem::network() {
+  auto* backend = dynamic_cast<runtime::SimRuntime*>(runtime_);
+  if (!backend) throw std::logic_error("network() requires the sim runtime backend");
+  return backend->network();
 }
 
 SafeAdaptationSystem::~SafeAdaptationSystem() = default;
@@ -36,14 +60,15 @@ void SafeAdaptationSystem::attach_process(config::ProcessId process,
 
 void SafeAdaptationSystem::finalize() {
   if (finalized()) throw std::logic_error("finalize() called twice");
-  manager_ = std::make_unique<proto::AdaptationManager>(network_, manager_node_, invariants_,
+  manager_ = std::make_unique<proto::AdaptationManager>(*runtime_, manager_node_, invariants_,
                                                         actions_, config_.manager);
   for (const PendingProcess& pending : pending_) {
-    const sim::NodeId node =
-        network_.add_node("agent-p" + std::to_string(pending.process));
-    network_.link_bidirectional(manager_node_, node, config_.control_channel);
+    const runtime::NodeId node =
+        runtime_->transport().add_node("agent-p" + std::to_string(pending.process));
+    runtime_->transport().connect_bidirectional(manager_node_, node, config_.control_channel);
     agents_[pending.process] = std::make_unique<proto::AdaptationAgent>(
-        network_, node, manager_node_, *pending.target, config_.agent);
+        runtime_->clock(), runtime_->transport(), node, manager_node_, *pending.target,
+        config_.agent);
     agent_nodes_[pending.process] = node;
     manager_->register_agent(pending.process, node, pending.stage);
   }
@@ -69,7 +94,7 @@ proto::AdaptationAgent& SafeAdaptationSystem::agent(config::ProcessId process) {
   return *it->second;
 }
 
-sim::NodeId SafeAdaptationSystem::agent_node(config::ProcessId process) const {
+runtime::NodeId SafeAdaptationSystem::agent_node(config::ProcessId process) const {
   const auto it = agent_nodes_.find(process);
   if (it == agent_nodes_.end()) throw std::out_of_range("no agent for process");
   return it->second;
@@ -82,11 +107,21 @@ void SafeAdaptationSystem::request_adaptation(
 
 proto::AdaptationResult SafeAdaptationSystem::adapt_and_wait(config::Configuration target,
                                                              std::size_t max_events) {
+  // The completion handler may fire on a runtime thread, so the result slot
+  // is guarded for the threaded backend; on the simulator this is free.
+  std::mutex mutex;
   std::optional<proto::AdaptationResult> result;
-  manager().request_adaptation(target,
-                               [&result](const proto::AdaptationResult& r) { result = r; });
-  std::size_t events = 0;
-  while (!result && events < max_events && sim_.step()) ++events;
+  manager().request_adaptation(target, [&](const proto::AdaptationResult& r) {
+    std::lock_guard lock(mutex);
+    result = r;
+  });
+  runtime_->wait_until(
+      [&] {
+        std::lock_guard lock(mutex);
+        return result.has_value();
+      },
+      max_events);
+  std::lock_guard lock(mutex);
   if (!result) throw std::runtime_error("adaptation did not terminate within event budget");
   return *result;
 }

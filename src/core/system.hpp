@@ -24,20 +24,33 @@
 
 #include "proto/agent.hpp"
 #include "proto/manager.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sa::sim {
+class Simulator;
+class Network;
+}  // namespace sa::sim
+
+namespace sa::runtime {
+class SimRuntime;
+}  // namespace sa::runtime
 
 namespace sa::core {
 
 struct SystemConfig {
   std::uint64_t seed = 42;
-  sim::ChannelConfig control_channel{sim::ms(2), sim::us(500), 0.0, true};
+  runtime::ChannelConfig control_channel{runtime::ms(2), runtime::us(500), 0.0, true};
   proto::ManagerConfig manager;
   proto::AgentConfig agent;
 };
 
 class SafeAdaptationSystem {
  public:
+  /// Default: owns a deterministic SimRuntime seeded from `config.seed`.
   explicit SafeAdaptationSystem(SystemConfig config = {});
+  /// Runs over a caller-owned runtime backend (e.g. ThreadedRuntime); the
+  /// runtime must outlive the system.
+  explicit SafeAdaptationSystem(runtime::Runtime& rt, SystemConfig config = {});
   ~SafeAdaptationSystem();
 
   SafeAdaptationSystem(const SafeAdaptationSystem&) = delete;
@@ -66,24 +79,29 @@ class SafeAdaptationSystem {
   /// Asynchronous request; completion handler fires from simulator context.
   void request_adaptation(config::Configuration target, proto::AdaptationManager::CompletionHandler handler);
 
-  /// Convenience: requests and runs the simulator until the request
-  /// terminates (bounded by `max_events` as a runaway guard).
+  /// Convenience: requests and drives the runtime until the request
+  /// terminates (`max_events` bounds simulated backends as a runaway guard;
+  /// the threaded backend uses its real-time cap instead).
   proto::AdaptationResult adapt_and_wait(config::Configuration target,
                                          std::size_t max_events = 2'000'000);
 
-  sim::Simulator& simulator() { return sim_; }
-  sim::Network& network() { return network_; }
+  runtime::Runtime& runtime() { return *runtime_; }
+
+  /// Deterministic-backend escape hatches; throw std::logic_error when the
+  /// system runs over a non-simulated runtime.
+  sim::Simulator& simulator();
+  sim::Network& network();
   proto::AdaptationManager& manager();
   const config::InvariantSet& invariants() const { return invariants_; }
   const actions::ActionTable& action_table() const { return actions_; }
   proto::AdaptationAgent& agent(config::ProcessId process);
-  sim::NodeId manager_node() const { return manager_node_; }
-  sim::NodeId agent_node(config::ProcessId process) const;
+  runtime::NodeId manager_node() const { return manager_node_; }
+  runtime::NodeId agent_node(config::ProcessId process) const;
 
  private:
   SystemConfig config_;
-  sim::Simulator sim_;
-  sim::Network network_;
+  std::unique_ptr<runtime::SimRuntime> owned_runtime_;  ///< default backend
+  runtime::Runtime* runtime_;
   config::ComponentRegistry registry_;
   config::InvariantSet invariants_;
   actions::ActionTable actions_;
@@ -95,9 +113,9 @@ class SafeAdaptationSystem {
   };
   std::vector<PendingProcess> pending_;
 
-  sim::NodeId manager_node_ = 0;
+  runtime::NodeId manager_node_ = 0;
   std::unique_ptr<proto::AdaptationManager> manager_;
-  std::map<config::ProcessId, sim::NodeId> agent_nodes_;
+  std::map<config::ProcessId, runtime::NodeId> agent_nodes_;
   std::map<config::ProcessId, std::unique_ptr<proto::AdaptationAgent>> agents_;
 };
 

@@ -8,19 +8,21 @@ VideoTestbed::VideoTestbed(TestbedConfig config) : config_(config) {
   system_ = std::make_unique<SafeAdaptationSystem>(config_.system);
   configure_paper_system(*system_, config_.action_set);
 
-  sim::Network& net = system_->network();
+  runtime::Clock& clock = system_->runtime().clock();
+  runtime::Transport& net = system_->runtime().transport();
   server_data_ = net.add_node("server-data");
   handheld_data_ = net.add_node("handheld-data");
   laptop_data_ = net.add_node("laptop-data");
-  net.link(server_data_, handheld_data_, config_.data_channel);
-  net.link(server_data_, laptop_data_, config_.data_channel);
+  net.connect(server_data_, handheld_data_, config_.data_channel);
+  net.connect(server_data_, laptop_data_, config_.data_channel);
 
   const auto factory = paper_filter_factory(config_.keys);
-  server_ = std::make_unique<video::VideoServer>(net, server_data_, config_.stream, factory);
+  server_ =
+      std::make_unique<video::VideoServer>(clock, net, server_data_, config_.stream, factory);
   server_->subscribe(handheld_data_);
   server_->subscribe(laptop_data_);
-  handheld_ = std::make_unique<video::VideoClient>(net, handheld_data_, "handheld", factory);
-  laptop_ = std::make_unique<video::VideoClient>(net, laptop_data_, "laptop", factory);
+  handheld_ = std::make_unique<video::VideoClient>(clock, net, handheld_data_, "handheld", factory);
+  laptop_ = std::make_unique<video::VideoClient>(clock, net, laptop_data_, "laptop", factory);
 
   // Initial composition = the paper's source configuration {D4, D1, E1}.
   server_->chain().append_filter(factory("E1"));

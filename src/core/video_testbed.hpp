@@ -21,7 +21,7 @@ struct TestbedConfig {
   SystemConfig system;
   video::StreamConfig stream;
   /// Data-plane channels (server -> clients); UDP-like by default.
-  sim::ChannelConfig data_channel{sim::ms(5), sim::ms(2), 0.0, /*fifo=*/false};
+  runtime::ChannelConfig data_channel{runtime::ms(5), runtime::ms(2), 0.0, /*fifo=*/false};
   crypto::DesKeys keys;
   /// Slice of Table 2 to register (ablations force a specific action tier).
   PaperActionSet action_set = PaperActionSet::All;
@@ -38,6 +38,7 @@ class VideoTestbed {
   explicit VideoTestbed(TestbedConfig config = {});
 
   SafeAdaptationSystem& system() { return *system_; }
+  runtime::Runtime& runtime() { return system_->runtime(); }
   sim::Simulator& simulator() { return system_->simulator(); }
   sim::Network& network() { return system_->network(); }
 
@@ -51,8 +52,9 @@ class VideoTestbed {
   void start_stream() { server_->start(); }
   void stop_stream() { server_->stop(); }
 
-  /// Runs the simulator for `duration` of virtual time.
-  void run_for(sim::Time duration) { simulator().run_until(simulator().now() + duration); }
+  /// Runs the backend for `duration`: virtual time on the simulator, real
+  /// time on the threaded runtime.
+  void run_for(runtime::Time duration) { runtime().advance(duration); }
 
   /// The configuration implied by what is actually installed in the three
   /// filter chains right now — used to check invariants against reality, not
@@ -64,9 +66,9 @@ class VideoTestbed {
   std::uint64_t total_corrupted() const;
   std::uint64_t total_undecodable() const;
 
-  sim::NodeId server_data_node() const { return server_data_; }
-  sim::NodeId handheld_data_node() const { return handheld_data_; }
-  sim::NodeId laptop_data_node() const { return laptop_data_; }
+  runtime::NodeId server_data_node() const { return server_data_; }
+  runtime::NodeId handheld_data_node() const { return handheld_data_; }
+  runtime::NodeId laptop_data_node() const { return laptop_data_; }
 
   /// Frame-boundary safe-state monitors (only when frame_aligned_clients).
   spec::SafeStateMonitor* handheld_monitor() { return handheld_monitor_.get(); }
@@ -75,9 +77,9 @@ class VideoTestbed {
  private:
   TestbedConfig config_;
   std::unique_ptr<SafeAdaptationSystem> system_;
-  sim::NodeId server_data_ = 0;
-  sim::NodeId handheld_data_ = 0;
-  sim::NodeId laptop_data_ = 0;
+  runtime::NodeId server_data_ = 0;
+  runtime::NodeId handheld_data_ = 0;
+  runtime::NodeId laptop_data_ = 0;
   std::unique_ptr<video::VideoServer> server_;
   std::unique_ptr<video::VideoClient> handheld_;
   std::unique_ptr<video::VideoClient> laptop_;

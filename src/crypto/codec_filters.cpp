@@ -7,7 +7,7 @@ std::string_view scheme_tag(Scheme scheme) {
 }
 
 DesEncoderFilter::DesEncoderFilter(std::string name, Scheme scheme, DesKeys keys,
-                                   sim::Time processing_time)
+                                   runtime::Time processing_time)
     : Filter(std::move(name), processing_time),
       scheme_(scheme),
       des64_(keys.key64),
@@ -29,7 +29,7 @@ components::StateSnapshot DesEncoderFilter::refract() const {
 }
 
 DesDecoderFilter::DesDecoderFilter(std::string name, bool accept64, bool accept128, DesKeys keys,
-                                   sim::Time processing_time)
+                                   runtime::Time processing_time)
     : Filter(std::move(name), processing_time),
       accept64_(accept64),
       accept128_(accept128),

@@ -41,7 +41,7 @@ struct DesKeys {
 class DesEncoderFilter final : public components::Filter {
  public:
   DesEncoderFilter(std::string name, Scheme scheme, DesKeys keys = {},
-                   sim::Time processing_time = sim::us(80));
+                   runtime::Time processing_time = runtime::us(80));
 
   Scheme scheme() const { return scheme_; }
   std::optional<components::Packet> process(components::Packet packet) override;
@@ -60,7 +60,7 @@ class DesDecoderFilter final : public components::Filter {
   /// `accept64` / `accept128` select the accepted schemes; the paper's D2 is
   /// the decoder with both set.
   DesDecoderFilter(std::string name, bool accept64, bool accept128, DesKeys keys = {},
-                   sim::Time processing_time = sim::us(80));
+                   runtime::Time processing_time = runtime::us(80));
 
   bool accepts64() const { return accept64_; }
   bool accepts128() const { return accept128_; }

@@ -7,9 +7,9 @@
 
 namespace sa::decision {
 
-DecisionEngine::DecisionEngine(sim::Simulator& sim, proto::AdaptationManager& manager,
+DecisionEngine::DecisionEngine(runtime::Clock& clock, proto::AdaptationManager& manager,
                                MetricsProvider provider, EngineConfig config)
-    : sim_(&sim), manager_(&manager), provider_(std::move(provider)), config_(config) {
+    : clock_(&clock), manager_(&manager), provider_(std::move(provider)), config_(config) {
   if (!provider_) throw std::invalid_argument("DecisionEngine needs a metrics provider");
 }
 
@@ -38,7 +38,7 @@ void DecisionEngine::start() {
 void DecisionEngine::stop() {
   running_ = false;
   if (tick_ != 0) {
-    sim_->cancel(tick_);
+    clock_->cancel(tick_);
     tick_ = 0;
   }
 }
@@ -61,7 +61,7 @@ bool DecisionEngine::rule_enabled(const std::string& name) const {
 
 void DecisionEngine::schedule_next() {
   if (!running_) return;
-  tick_ = sim_->schedule_after(config_.evaluation_interval, [this] {
+  tick_ = clock_->schedule_after(config_.evaluation_interval, [this] {
     tick_ = 0;
     evaluate();
     schedule_next();
@@ -81,13 +81,13 @@ void DecisionEngine::evaluate() {
       ++stats_.suppressed_busy;
       return;
     }
-    if (sim_->now() < quiet_until_) {
+    if (clock_->now() < quiet_until_) {
       ++stats_.suppressed_cooldown;
       return;
     }
 
     ++stats_.triggers;
-    log_.push_back(TriggerRecord{sim_->now(), state.rule.name, std::nullopt});
+    log_.push_back(TriggerRecord{clock_->now(), state.rule.name, std::nullopt});
     const std::size_t record_index = log_.size() - 1;
     const std::string rule_name = state.rule.name;
     SA_INFO("decision") << "rule '" << rule_name << "' fired; requesting adaptation";
@@ -96,7 +96,7 @@ void DecisionEngine::evaluate() {
     manager_->request_adaptation(
         state.rule.target, [this, record_index, rule_name](const proto::AdaptationResult& r) {
           request_in_flight_ = false;
-          quiet_until_ = sim_->now() + config_.cooldown;
+          quiet_until_ = clock_->now() + config_.cooldown;
           log_[record_index].outcome = r.outcome;
           for (RuleState& rs : rules_) {
             if (rs.rule.name != rule_name) continue;

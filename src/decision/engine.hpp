@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "proto/manager.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/clock.hpp"
 
 namespace sa::decision {
 
@@ -37,13 +37,13 @@ struct Rule {
 };
 
 struct EngineConfig {
-  sim::Time evaluation_interval = sim::ms(500);
-  sim::Time cooldown = sim::seconds(2);  ///< quiet period after each request
+  runtime::Time evaluation_interval = runtime::ms(500);
+  runtime::Time cooldown = runtime::seconds(2);  ///< quiet period after each request
   int max_consecutive_failures = 3;      ///< then the rule is disabled
 };
 
 struct TriggerRecord {
-  sim::Time time = 0;
+  runtime::Time time = 0;
   std::string rule;
   std::optional<proto::AdaptationOutcome> outcome;  ///< empty while in flight
 };
@@ -58,7 +58,7 @@ struct EngineStats {
 
 class DecisionEngine {
  public:
-  DecisionEngine(sim::Simulator& sim, proto::AdaptationManager& manager,
+  DecisionEngine(runtime::Clock& clock, proto::AdaptationManager& manager,
                  MetricsProvider provider, EngineConfig config = {});
 
   /// Rules may be added at any time; duplicates by name are rejected.
@@ -86,7 +86,7 @@ class DecisionEngine {
   void evaluate();
   void schedule_next();
 
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
   proto::AdaptationManager* manager_;
   MetricsProvider provider_;
   EngineConfig config_;
@@ -94,8 +94,8 @@ class DecisionEngine {
   std::vector<RuleState> rules_;
   bool running_ = false;
   bool request_in_flight_ = false;
-  sim::EventId tick_ = 0;
-  sim::Time quiet_until_ = 0;
+  runtime::TimerId tick_ = 0;
+  runtime::Time quiet_until_ = 0;
   EngineStats stats_;
   std::vector<TriggerRecord> log_;
 };

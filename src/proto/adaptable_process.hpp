@@ -14,7 +14,6 @@
 
 #include "components/filter_chain.hpp"
 #include "proto/messages.hpp"
-#include "sim/simulator.hpp"
 
 namespace sa::proto {
 

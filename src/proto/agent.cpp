@@ -15,11 +15,12 @@ std::string_view to_string(AgentState state) {
   return "?";
 }
 
-AdaptationAgent::AdaptationAgent(sim::Network& network, sim::NodeId node, sim::NodeId manager_node,
+AdaptationAgent::AdaptationAgent(runtime::Clock& clock, runtime::Transport& transport,
+                                 runtime::NodeId node, runtime::NodeId manager_node,
                                  AdaptableProcess& process, AgentConfig config)
-    : network_(&network), node_(node), manager_(manager_node), process_(&process),
-      config_(config) {
-  network_->set_handler(node_, [this](sim::NodeId from, sim::MessagePtr message) {
+    : clock_(&clock), transport_(&transport), node_(node), manager_(manager_node),
+      process_(&process), config_(config) {
+  transport_->set_handler(node_, [this](runtime::NodeId from, runtime::MessagePtr message) {
     on_message(from, std::move(message));
   });
 }
@@ -27,10 +28,11 @@ AdaptationAgent::AdaptationAgent(sim::Network& network, sim::NodeId node, sim::N
 template <typename Msg>
 void AdaptationAgent::send(const StepRef& step, Msg prototype) {
   prototype.step = step;
-  network_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
+  transport_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
 }
 
-void AdaptationAgent::on_message(sim::NodeId from, sim::MessagePtr message) {
+void AdaptationAgent::on_message(runtime::NodeId from, runtime::MessagePtr message) {
+  std::lock_guard lock(mutex_);
   if (from != manager_) {
     SA_WARN("agent") << "node " << node_ << ": message from non-manager node " << from;
     return;
@@ -87,7 +89,8 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
   SA_DEBUG("agent") << "node " << node_ << ": reset " << msg.step.describe() << " ["
                     << current_command_.describe() << (drain ? ", drain" : "") << "]";
 
-  pending_event_ = network_->simulator().schedule_after(config_.pre_action_duration, [this, drain] {
+  pending_event_ = clock_->schedule_after(config_.pre_action_duration, [this, drain] {
+    std::lock_guard lock(mutex_);
     pending_event_ = 0;
     prepared_ = process_->prepare(current_command_);
     if (!prepared_) {
@@ -103,14 +106,16 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
 }
 
 void AdaptationAgent::enter_safe_state() {
+  std::lock_guard lock(mutex_);
   state_ = AgentState::Safe;
-  blocked_since_ = network_->simulator().now();
+  blocked_since_ = clock_->now();
   send<ResetDoneMsg>(*current_step_);
   start_in_action();
 }
 
 void AdaptationAgent::start_in_action() {
-  pending_event_ = network_->simulator().schedule_after(config_.in_action_duration, [this] {
+  pending_event_ = clock_->schedule_after(config_.in_action_duration, [this] {
+    std::lock_guard lock(mutex_);
     pending_event_ = 0;
     if (!process_->apply(current_command_)) {
       SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
@@ -123,7 +128,8 @@ void AdaptationAgent::start_in_action() {
       // Fig. 1: the only process involved proceeds straight to resuming
       // without blocking for the manager's resume message.
       state_ = AgentState::Resuming;
-      pending_event_ = network_->simulator().schedule_after(config_.resume_duration, [this] {
+      pending_event_ = clock_->schedule_after(config_.resume_duration, [this] {
+        std::lock_guard lock(mutex_);
         pending_event_ = 0;
         finish_resume(/*proactive=*/true);
       });
@@ -133,7 +139,7 @@ void AdaptationAgent::start_in_action() {
 
 void AdaptationAgent::finish_resume(bool proactive) {
   process_->resume();
-  last_blocked_for_ = network_->simulator().now() - blocked_since_;
+  last_blocked_for_ = clock_->now() - blocked_since_;
   stats_.total_blocked += last_blocked_for_;
   last_completed_ = *current_step_;
   const StepRef step = *current_step_;
@@ -151,7 +157,8 @@ void AdaptationAgent::finish_resume(bool proactive) {
 void AdaptationAgent::on_resume(const ResumeMsg& msg) {
   if (state_ == AgentState::Adapted && current_step_ && *current_step_ == msg.step) {
     state_ = AgentState::Resuming;
-    pending_event_ = network_->simulator().schedule_after(config_.resume_duration, [this] {
+    pending_event_ = clock_->schedule_after(config_.resume_duration, [this] {
+      std::lock_guard lock(mutex_);
       pending_event_ = 0;
       finish_resume(/*proactive=*/false);
     });
@@ -181,7 +188,7 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       // Pre-action or in-action timer may still be pending; cancel it. No
       // undo is needed: the in-action has not mutated anything yet.
       if (pending_event_ != 0) {
-        network_->simulator().cancel(pending_event_);
+        clock_->cancel(pending_event_);
         pending_event_ = 0;
       }
       process_->abort_safe_state();
@@ -197,12 +204,12 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       // Undo the in-action, then unblock. Modeled with the in-action
       // duration since it performs the symmetric structural change.
       state_ = AgentState::Resuming;
-      pending_event_ = network_->simulator().schedule_after(config_.in_action_duration, [this,
-                                                                                         msg] {
+      pending_event_ = clock_->schedule_after(config_.in_action_duration, [this, msg] {
+        std::lock_guard lock(mutex_);
         pending_event_ = 0;
         process_->undo(current_command_);
         process_->resume();
-        stats_.total_blocked += network_->simulator().now() - blocked_since_;
+        stats_.total_blocked += clock_->now() - blocked_since_;
         ++stats_.rollbacks_performed;
         last_rolled_back_ = msg.step;
         current_step_.reset();
@@ -227,6 +234,7 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
         // (e.g. lost adapt done) and aborted: compensate by re-quiescing,
         // undoing the in-action, and resuming the old structure.
         process_->reach_safe_state(false, [this, msg] {
+          std::lock_guard lock(mutex_);
           process_->undo(current_command_);
           process_->resume();
           ++stats_.rollbacks_performed;

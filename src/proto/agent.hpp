@@ -14,12 +14,13 @@
 // how loss-of-message failures are survived.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "proto/adaptable_process.hpp"
 #include "proto/messages.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 
 namespace sa::proto {
 
@@ -28,9 +29,9 @@ enum class AgentState { Running, Resetting, Safe, Adapted, Resuming };
 std::string_view to_string(AgentState state);
 
 struct AgentConfig {
-  sim::Time pre_action_duration = sim::ms(1);   ///< component initialization
-  sim::Time in_action_duration = sim::ms(2);    ///< structural change
-  sim::Time resume_duration = sim::us(200);     ///< unblocking
+  runtime::Time pre_action_duration = runtime::ms(1);   ///< component initialization
+  runtime::Time in_action_duration = runtime::ms(2);    ///< structural change
+  runtime::Time resume_duration = runtime::us(200);     ///< unblocking
   /// Failure injection: when set, the agent never reaches its safe state
   /// (models a process stuck in a long critical communication segment).
   bool fail_to_reset = false;
@@ -41,24 +42,27 @@ struct AgentStats {
   std::uint64_t adapts_performed = 0;
   std::uint64_t rollbacks_performed = 0;
   std::uint64_t duplicate_messages = 0;
-  sim::Time total_blocked = 0;  ///< cumulative time the process spent blocked
+  runtime::Time total_blocked = 0;  ///< cumulative time the process spent blocked
 };
 
 class AdaptationAgent {
  public:
   /// Attaches to `node` (whose receive handler it takes over) and drives
-  /// `process` on behalf of the manager at `manager_node`.
-  AdaptationAgent(sim::Network& network, sim::NodeId node, sim::NodeId manager_node,
-                  AdaptableProcess& process, AgentConfig config = {});
+  /// `process` on behalf of the manager at `manager_node`. Timers come from
+  /// `clock`, messages travel over `transport`; on the threaded backend both
+  /// may call back concurrently, so every entry point locks `mutex_`.
+  AdaptationAgent(runtime::Clock& clock, runtime::Transport& transport, runtime::NodeId node,
+                  runtime::NodeId manager_node, AdaptableProcess& process,
+                  AgentConfig config = {});
 
   AgentState state() const { return state_; }
   const AgentStats& stats() const { return stats_; }
-  sim::NodeId node() const { return node_; }
+  runtime::NodeId node() const { return node_; }
 
   void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
 
  private:
-  void on_message(sim::NodeId from, sim::MessagePtr message);
+  void on_message(runtime::NodeId from, runtime::MessagePtr message);
   void on_reset(const ResetMsg& msg);
   void on_resume(const ResumeMsg& msg);
   void on_rollback(const RollbackMsg& msg);
@@ -70,9 +74,10 @@ class AdaptationAgent {
   template <typename Msg>
   void send(const StepRef& step, Msg prototype = {});
 
-  sim::Network* network_;
-  sim::NodeId node_;
-  sim::NodeId manager_;
+  runtime::Clock* clock_;
+  runtime::Transport* transport_;
+  runtime::NodeId node_;
+  runtime::NodeId manager_;
   AdaptableProcess* process_;
   AgentConfig config_;
 
@@ -81,14 +86,19 @@ class AdaptationAgent {
   LocalCommand current_command_;
   bool sole_participant_ = false;
   bool prepared_ = false;
-  sim::EventId pending_event_ = 0;  ///< in-flight pre/in-action timer
-  sim::Time blocked_since_ = 0;
+  runtime::TimerId pending_event_ = 0;  ///< in-flight pre/in-action timer
+  runtime::Time blocked_since_ = 0;
 
   std::optional<StepRef> last_completed_;   ///< resumed successfully
-  sim::Time last_blocked_for_ = 0;
+  runtime::Time last_blocked_for_ = 0;
   std::optional<StepRef> last_rolled_back_;
 
   AgentStats stats_;
+
+  /// Serializes message handlers, timer callbacks, and process callbacks.
+  /// Recursive: a callback may synchronously re-enter (e.g. reach_safe_state
+  /// completing inline while the reset handler still holds the lock).
+  mutable std::recursive_mutex mutex_;
 };
 
 }  // namespace sa::proto

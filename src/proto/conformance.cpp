@@ -34,21 +34,21 @@ struct AgentStepState {
 struct StepState {
   bool resume_seen = false;    // any resume delivered to any agent
   bool rollback_seen = false;  // any rollback delivered to any agent
-  std::map<sim::NodeId, AgentStepState> agents;
+  std::map<runtime::NodeId, AgentStepState> agents;
 };
 
 }  // namespace
 
 std::vector<ConformanceViolation> ConformanceChecker::check(
-    const std::vector<sim::TraceEntry>& trace) const {
+    const std::vector<runtime::TraceEntry>& trace) const {
   std::vector<ConformanceViolation> violations;
   std::map<StepKey, StepState> steps;
 
-  const auto violate = [&violations](sim::Time time, const std::string& what) {
+  const auto violate = [&violations](runtime::Time time, const std::string& what) {
     violations.push_back(ConformanceViolation{time, what});
   };
 
-  for (const sim::TraceEntry& entry : trace) {
+  for (const runtime::TraceEntry& entry : trace) {
     if (!entry.delivered || !entry.message) continue;
     const auto* proto = dynamic_cast<const ProtoMessage*>(entry.message.get());
     if (!proto) continue;  // application traffic

@@ -22,12 +22,12 @@
 #include <string>
 #include <vector>
 
-#include "sim/network.hpp"
+#include "runtime/transport.hpp"
 
 namespace sa::proto {
 
 struct ConformanceViolation {
-  sim::Time time = 0;
+  runtime::Time time = 0;
   std::string description;
 };
 
@@ -35,13 +35,13 @@ class ConformanceChecker {
  public:
   /// `manager_node` identifies the manager; every other endpoint appearing in
   /// the trace is treated as an agent.
-  explicit ConformanceChecker(sim::NodeId manager_node) : manager_(manager_node) {}
+  explicit ConformanceChecker(runtime::NodeId manager_node) : manager_(manager_node) {}
 
   /// Replays `trace` (delivered entries only) and returns all violations.
-  std::vector<ConformanceViolation> check(const std::vector<sim::TraceEntry>& trace) const;
+  std::vector<ConformanceViolation> check(const std::vector<runtime::TraceEntry>& trace) const;
 
  private:
-  sim::NodeId manager_;
+  runtime::NodeId manager_;
 };
 
 }  // namespace sa::proto

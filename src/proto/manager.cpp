@@ -33,10 +33,12 @@ std::string_view to_string(AdaptationOutcome outcome) {
   return "?";
 }
 
-AdaptationManager::AdaptationManager(sim::Network& network, sim::NodeId node,
+AdaptationManager::AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
                                      const config::InvariantSet& invariants,
                                      const actions::ActionTable& table, ManagerConfig config)
-    : network_(&network),
+    : clock_(&rt.clock()),
+      executor_(&rt.executor()),
+      transport_(&rt.transport()),
       node_(node),
       invariants_(&invariants),
       table_(&table),
@@ -45,19 +47,20 @@ AdaptationManager::AdaptationManager(sim::Network& network, sim::NodeId node,
   safe_configs_ = config::enumerate_safe_pruned(invariants);
   sag_ = std::make_unique<actions::SafeAdaptationGraph>(table, safe_configs_);
   planner_ = std::make_unique<actions::PathPlanner>(*sag_);
-  network_->set_handler(node_, [this](sim::NodeId from, sim::MessagePtr message) {
+  transport_->set_handler(node_, [this](runtime::NodeId from, runtime::MessagePtr message) {
     on_message(from, std::move(message));
   });
 }
 
 AdaptationManager::~AdaptationManager() = default;
 
-void AdaptationManager::register_agent(config::ProcessId process, sim::NodeId agent_node,
+void AdaptationManager::register_agent(config::ProcessId process, runtime::NodeId agent_node,
                                        int stage) {
+  std::lock_guard lock(mutex_);
   agents_[process] = AgentEndpoint{agent_node, stage};
 }
 
-std::optional<config::ProcessId> AdaptationManager::process_of_node(sim::NodeId node) const {
+std::optional<config::ProcessId> AdaptationManager::process_of_node(runtime::NodeId node) const {
   for (const auto& [process, endpoint] : agents_) {
     if (endpoint.node == node) return process;
   }
@@ -77,19 +80,20 @@ LocalCommand AdaptationManager::command_for(config::ProcessId process) const {
   return command;
 }
 
-void AdaptationManager::send_to(config::ProcessId process, sim::MessagePtr message) {
-  network_->send(node_, agents_.at(process).node, std::move(message));
+void AdaptationManager::send_to(config::ProcessId process, runtime::MessagePtr message) {
+  transport_->send(node_, agents_.at(process).node, std::move(message));
 }
 
 void AdaptationManager::request_adaptation(config::Configuration target,
                                            CompletionHandler handler) {
+  std::lock_guard lock(mutex_);
   if (busy()) throw std::logic_error("adaptation request while another is in flight");
   request_id_ = next_request_id_++;
   source_ = current_;
   target_ = target;
   handler_ = std::move(handler);
   result_ = AdaptationResult{};
-  result_.started = network_->simulator().now();
+  result_.started = clock_->now();
   returning_to_source_ = false;
   alternatives_tried_ = 0;
   plan_counter_ = 0;
@@ -156,7 +160,7 @@ void AdaptationManager::execute_current_step() {
   StepRecord record;
   record.ref = current_ref();
   record.action_name = action.name;
-  record.started = network_->simulator().now();
+  record.started = clock_->now();
   step_log_.push_back(record);
 
   phase_ = ManagerPhase::Adapting;
@@ -195,14 +199,16 @@ void AdaptationManager::maybe_advance_stage() {
   // asking them to drain and block.
   current_stage_ = next_stage;
   stage_delay_event_ =
-      network_->simulator().schedule_after(config_.inter_stage_delay, [this, next_stage] {
+      clock_->schedule_after(config_.inter_stage_delay, [this, next_stage] {
+        std::lock_guard lock(mutex_);
         stage_delay_event_ = 0;
         send_stage_resets(next_stage);
         arm_timer(config_.reset_timeout);
       });
 }
 
-void AdaptationManager::on_message(sim::NodeId from, sim::MessagePtr message) {
+void AdaptationManager::on_message(runtime::NodeId from, runtime::MessagePtr message) {
+  std::lock_guard lock(mutex_);
   const auto process = process_of_node(from);
   if (!process) {
     SA_WARN("manager") << "message from unregistered node " << from;
@@ -285,7 +291,7 @@ void AdaptationManager::commit_step() {
   current_ = plan_.steps[step_index_].to;
   ++result_.steps_committed;
   step_log_.back().committed = true;
-  step_log_.back().finished = network_->simulator().now();
+  step_log_.back().finished = clock_->now();
   SA_INFO("manager") << "step " << step_index_ << " committed; now at "
                      << current_.describe(table_->registry());
   if (step_index_ + 1 < plan_.steps.size()) {
@@ -301,9 +307,10 @@ void AdaptationManager::commit_step() {
   }
 }
 
-void AdaptationManager::arm_timer(sim::Time timeout) {
+void AdaptationManager::arm_timer(runtime::Time timeout) {
   disarm_timer();
-  timer_ = network_->simulator().schedule_after(timeout, [this] {
+  timer_ = clock_->schedule_after(timeout, [this] {
+    std::lock_guard lock(mutex_);
     timer_ = 0;
     on_timeout();
   });
@@ -311,11 +318,11 @@ void AdaptationManager::arm_timer(sim::Time timeout) {
 
 void AdaptationManager::disarm_timer() {
   if (timer_ != 0) {
-    network_->simulator().cancel(timer_);
+    clock_->cancel(timer_);
     timer_ = 0;
   }
   if (stage_delay_event_ != 0) {
-    network_->simulator().cancel(stage_delay_event_);
+    clock_->cancel(stage_delay_event_);
     stage_delay_event_ = 0;
   }
 }
@@ -365,7 +372,7 @@ void AdaptationManager::on_timeout() {
       current_ = plan_.steps[step_index_].to;
       ++result_.steps_committed;
       step_log_.back().committed = true;
-      step_log_.back().finished = network_->simulator().now();
+      step_log_.back().finished = clock_->now();
       finish(AdaptationOutcome::StalledAfterResume,
              "resume unacknowledged by " +
                  std::to_string(involved_.size() - resume_acked_.size()) + " agent(s)");
@@ -419,7 +426,7 @@ void AdaptationManager::step_failed_after_rollback() {
   disarm_timer();
   ++result_.step_failures;
   step_log_.back().rolled_back = true;
-  step_log_.back().finished = network_->simulator().now();
+  step_log_.back().finished = clock_->now();
   try_next_strategy();
 }
 
@@ -466,6 +473,7 @@ void AdaptationManager::try_next_strategy() {
 
 void AdaptationManager::enqueue_adaptation(config::Configuration target,
                                            CompletionHandler handler) {
+  std::lock_guard lock(mutex_);
   if (!busy() && pending_requests_.empty()) {
     request_adaptation(target, std::move(handler));
     return;
@@ -478,7 +486,7 @@ void AdaptationManager::finish(AdaptationOutcome outcome, std::string detail) {
   phase_ = ManagerPhase::Running;
   result_.outcome = outcome;
   result_.final_config = current_;
-  result_.finished = network_->simulator().now();
+  result_.finished = clock_->now();
   result_.detail = std::move(detail);
   SA_INFO("manager") << "request " << request_id_ << " finished: " << to_string(outcome) << " ("
                      << result_.detail << ")";
@@ -488,9 +496,10 @@ void AdaptationManager::finish(AdaptationOutcome outcome, std::string detail) {
     handler(result_);
   }
   if (!pending_requests_.empty() && !busy()) {
-    // Start the next queued request from a fresh event so the caller's
+    // Start the next queued request from a fresh task so the caller's
     // completion handler never observes a half-started successor.
-    network_->simulator().schedule_after(0, [this] {
+    executor_->post([this] {
+      std::lock_guard lock(mutex_);
       if (busy() || pending_requests_.empty()) return;
       PendingRequest next = std::move(pending_requests_.front());
       pending_requests_.pop_front();

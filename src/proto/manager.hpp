@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -27,7 +28,7 @@
 #include "actions/planner.hpp"
 #include "config/enumerate.hpp"
 #include "proto/messages.hpp"
-#include "sim/network.hpp"
+#include "runtime/runtime.hpp"
 
 namespace sa::proto {
 
@@ -60,19 +61,19 @@ struct AdaptationResult {
   std::size_t step_failures = 0;    ///< rollbacks of individual steps
   std::size_t plans_tried = 1;
   std::size_t message_retries = 0;  ///< retransmission rounds
-  sim::Time started = 0;
-  sim::Time finished = 0;
+  runtime::Time started = 0;
+  runtime::Time finished = 0;
   std::string detail;
 };
 
 struct ManagerConfig {
-  sim::Time reset_timeout = sim::ms(150);     ///< reset sent -> all adapt done
-  sim::Time resume_timeout = sim::ms(100);    ///< resume sent -> all resume done
-  sim::Time rollback_timeout = sim::ms(100);  ///< rollback sent -> all rollback done
+  runtime::Time reset_timeout = runtime::ms(150);     ///< reset sent -> all adapt done
+  runtime::Time resume_timeout = runtime::ms(100);    ///< resume sent -> all resume done
+  runtime::Time rollback_timeout = runtime::ms(100);  ///< rollback sent -> all rollback done
   /// Extra wait between quiescing one stage and resetting the next, covering
   /// data still in flight toward downstream processes (the global safe
   /// condition for sender->receiver actions).
-  sim::Time inter_stage_delay = sim::ms(15);
+  runtime::Time inter_stage_delay = runtime::ms(15);
   int message_retries = 2;          ///< retransmission rounds per phase
   int run_to_completion_retries = 8;///< extra resume rounds after first resume
   int step_retries = 1;             ///< §4.4: "retries the same step once more"
@@ -86,23 +87,27 @@ struct StepRecord {
   std::string action_name;
   bool committed = false;
   bool rolled_back = false;
-  sim::Time started = 0;
-  sim::Time finished = 0;
+  runtime::Time started = 0;
+  runtime::Time finished = 0;
 };
 
 class AdaptationManager {
  public:
   using CompletionHandler = std::function<void(const AdaptationResult&)>;
 
-  AdaptationManager(sim::Network& network, sim::NodeId node, const config::InvariantSet& invariants,
-                    const actions::ActionTable& table, ManagerConfig config = {});
+  /// The manager draws timers from `rt.clock()`, defers queued-request
+  /// startup through `rt.executor()`, and talks to agents over
+  /// `rt.transport()`. Works identically over SimRuntime and ThreadedRuntime.
+  AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
+                    const config::InvariantSet& invariants, const actions::ActionTable& table,
+                    ManagerConfig config = {});
   ~AdaptationManager();
 
   /// Registers the agent responsible for `process`. `stage` orders resets
   /// within a step: lower stages (upstream/senders) quiesce first; agents in
   /// stages above the step's minimum involved stage drain their input before
   /// blocking (global safe condition).
-  void register_agent(config::ProcessId process, sim::NodeId agent_node, int stage = 0);
+  void register_agent(config::ProcessId process, runtime::NodeId agent_node, int stage = 0);
 
   /// Current system configuration; must be set before the first request and
   /// is updated as steps commit.
@@ -119,10 +124,16 @@ class AdaptationManager {
   /// order, each planned from the configuration the previous one left behind.
   void enqueue_adaptation(config::Configuration target, CompletionHandler handler);
 
-  std::size_t queued_requests() const { return pending_requests_.size(); }
+  std::size_t queued_requests() const {
+    std::lock_guard lock(mutex_);
+    return pending_requests_.size();
+  }
 
-  ManagerPhase phase() const { return phase_; }
-  bool busy() const { return phase_ != ManagerPhase::Running; }
+  ManagerPhase phase() const {
+    std::lock_guard lock(mutex_);
+    return phase_;
+  }
+  bool busy() const { return phase() != ManagerPhase::Running; }
 
   /// Safe configurations / SAG derived from I and T (exposed for tests and
   /// the experiment harnesses).
@@ -131,15 +142,15 @@ class AdaptationManager {
   const actions::PathPlanner& planner() const { return *planner_; }
 
   const std::vector<StepRecord>& step_log() const { return step_log_; }
-  sim::Time total_blocked_reported() const { return total_blocked_reported_; }
+  runtime::Time total_blocked_reported() const { return total_blocked_reported_; }
 
  private:
   struct AgentEndpoint {
-    sim::NodeId node = 0;
+    runtime::NodeId node = 0;
     int stage = 0;
   };
 
-  void on_message(sim::NodeId from, sim::MessagePtr message);
+  void on_message(runtime::NodeId from, runtime::MessagePtr message);
   void on_reset_done(config::ProcessId process, const ResetDoneMsg& msg);
   void on_adapt_done(config::ProcessId process, const AdaptDoneMsg& msg);
   void on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg);
@@ -151,7 +162,7 @@ class AdaptationManager {
   void maybe_advance_stage();
   void enter_resuming();
   void commit_step();
-  void arm_timer(sim::Time timeout);
+  void arm_timer(runtime::Time timeout);
   void disarm_timer();
   void on_timeout();
   void begin_rollback();
@@ -159,12 +170,14 @@ class AdaptationManager {
   void try_next_strategy();
   void finish(AdaptationOutcome outcome, std::string detail);
 
-  std::optional<config::ProcessId> process_of_node(sim::NodeId node) const;
+  std::optional<config::ProcessId> process_of_node(runtime::NodeId node) const;
   LocalCommand command_for(config::ProcessId process) const;
-  void send_to(config::ProcessId process, sim::MessagePtr message);
+  void send_to(config::ProcessId process, runtime::MessagePtr message);
 
-  sim::Network* network_;
-  sim::NodeId node_;
+  runtime::Clock* clock_;
+  runtime::Executor* executor_;
+  runtime::Transport* transport_;
+  runtime::NodeId node_;
   const config::InvariantSet* invariants_;
   const actions::ActionTable* table_;
   ManagerConfig config_;
@@ -209,17 +222,22 @@ class AdaptationManager {
   std::set<config::ProcessId> rollback_acked_;
   bool resume_sent_ = false;
   int retries_left_ = 0;
-  sim::EventId timer_ = 0;
-  sim::EventId stage_delay_event_ = 0;
+  runtime::TimerId timer_ = 0;
+  runtime::TimerId stage_delay_event_ = 0;
 
   std::vector<StepRecord> step_log_;
-  sim::Time total_blocked_reported_ = 0;
+  runtime::Time total_blocked_reported_ = 0;
 
   struct PendingRequest {
     config::Configuration target;
     CompletionHandler handler;
   };
   std::deque<PendingRequest> pending_requests_;
+
+  /// Serializes message handlers, timer callbacks, and request submission.
+  /// Recursive: finish() invokes the completion handler under the lock, and
+  /// that handler commonly enqueues the next request.
+  mutable std::recursive_mutex mutex_;
 };
 
 }  // namespace sa::proto

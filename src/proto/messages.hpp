@@ -11,8 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/message.hpp"
+#include "runtime/time.hpp"
 
 namespace sa::proto {
 
@@ -43,7 +43,7 @@ struct StepRef {
   std::string describe() const;
 };
 
-struct ProtoMessage : sim::Message {
+struct ProtoMessage : runtime::Message {
   StepRef step;
 };
 
@@ -72,7 +72,7 @@ struct ResumeMsg final : ProtoMessage {
 
 /// agent -> manager: full operation resumed.
 struct ResumeDoneMsg final : ProtoMessage {
-  sim::Time blocked_for = 0;  ///< how long the process was blocked (metrics)
+  runtime::Time blocked_for = 0;  ///< how long the process was blocked (metrics)
   std::string type_name() const override { return "resume done"; }
 };
 

@@ -1,0 +1,31 @@
+// Clock: the scheduling interface every layer above sa_graph programs
+// against. Backends: sa::sim::Simulator (deterministic virtual time) and
+// ThreadedRuntime's steady-clock timer wheel (real time).
+#pragma once
+
+#include <functional>
+
+#include "runtime/time.hpp"
+
+namespace sa::runtime {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual Time now() const = 0;
+
+  /// Schedules `fn` at absolute time `t` (>= now()). Returns an id usable
+  /// with cancel().
+  virtual TimerId schedule_at(Time t, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` `delay` microseconds from now().
+  virtual TimerId schedule_after(Time delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; returns false if it already fired or was
+  /// cancelled. Safe to call from inside timer callbacks.
+  virtual bool cancel(TimerId id) = 0;
+};
+
+}  // namespace sa::runtime

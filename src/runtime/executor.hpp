@@ -1,0 +1,21 @@
+// Executor: deferred task posting with deterministic FIFO semantics — tasks
+// begin execution in the order they were posted. The simulator backend maps
+// post() onto schedule_after(0), so a posted task runs as a fresh event after
+// everything already queued at the current timestamp; the threaded backend
+// drains a FIFO queue on its worker pool.
+#pragma once
+
+#include <functional>
+
+namespace sa::runtime {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueues `fn`. Tasks start in posting order (FIFO); the call never runs
+  /// `fn` synchronously.
+  virtual void post(std::function<void()> fn) = 0;
+};
+
+}  // namespace sa::runtime

@@ -1,0 +1,23 @@
+// Base class for everything sent through a Transport. Concrete protocol and
+// application messages derive from it; receivers downcast via dynamic_cast
+// or the type tag.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace sa::runtime {
+
+struct Message {
+  virtual ~Message() = default;
+  /// Short type tag for traces, e.g. "reset", "video-packet".
+  virtual std::string type_name() const = 0;
+  /// Wire size used by bandwidth-limited channels; the default models a
+  /// small control message.
+  virtual std::size_t size_bytes() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace sa::runtime

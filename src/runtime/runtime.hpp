@@ -1,0 +1,45 @@
+// Runtime: bundles the three backend interfaces (Clock, Executor, Transport)
+// a distributed mechanism needs, plus the minimal driving hooks harness code
+// uses to make progress without knowing which backend it is on.
+//
+// Backends:
+//   * SimRuntime      — thin adapter over sa::sim::{Simulator, Network};
+//                       single-threaded, deterministic, virtual time.
+//   * ThreadedRuntime — steady-clock timers, a worker pool with per-endpoint
+//                       FIFO mailboxes, in-process queue transport.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+#include "runtime/clock.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/transport.hpp"
+
+namespace sa::runtime {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual Clock& clock() = 0;
+  virtual Executor& executor() = 0;
+  virtual Transport& transport() = 0;
+
+  /// "sim" or "threaded"; shows up in logs and experiment records.
+  virtual std::string_view backend_name() const = 0;
+
+  /// Makes `duration` microseconds of progress: the simulator runs events up
+  /// to now+duration, the threaded backend sleeps while its threads work.
+  virtual void advance(Time duration) = 0;
+
+  /// Drives the backend until `done()` returns true. The simulator steps
+  /// events (at most `max_events`, returning early when the queue drains);
+  /// the threaded backend polls with a generous real-time cap. Returns the
+  /// final value of done().
+  virtual bool wait_until(const std::function<bool()>& done,
+                          std::size_t max_events = SIZE_MAX) = 0;
+};
+
+}  // namespace sa::runtime

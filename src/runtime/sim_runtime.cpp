@@ -1,0 +1,21 @@
+#include "runtime/sim_runtime.hpp"
+
+namespace sa::runtime {
+
+SimRuntime::SimRuntime(std::uint64_t seed)
+    : owned_sim_(std::make_unique<sim::Simulator>()),
+      owned_network_(std::make_unique<sim::Network>(*owned_sim_, seed)),
+      sim_(owned_sim_.get()),
+      network_(owned_network_.get()),
+      executor_(*sim_) {}
+
+SimRuntime::SimRuntime(sim::Simulator& sim, sim::Network& network)
+    : sim_(&sim), network_(&network), executor_(*sim_) {}
+
+bool SimRuntime::wait_until(const std::function<bool()>& done, std::size_t max_events) {
+  std::size_t events = 0;
+  while (!done() && events < max_events && sim_->step()) ++events;
+  return done();
+}
+
+}  // namespace sa::runtime

@@ -1,0 +1,61 @@
+// SimRuntime: the deterministic backend — a thin adapter bundling the
+// discrete-event Simulator (as Clock) and the simulated Network (as
+// Transport) behind the Runtime interface.
+//
+// This is the ONLY translation unit family outside src/sim/ that includes the
+// sim headers directly (enforced by scripts/check_include_hygiene.sh); every
+// protocol/component/video/decision/baseline layer sees the interfaces only.
+// The adapter adds no buffering, reordering, or extra events, so executions
+// through SimRuntime are byte-identical to executions against the Simulator
+// and Network directly — the exact-reproduction tests rely on this.
+#pragma once
+
+#include <memory>
+
+#include "runtime/runtime.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sa::runtime {
+
+/// Executor over the simulator: post() == schedule_after(0), which the
+/// simulator's stable FIFO tie-break turns into deterministic FIFO ordering.
+class SimExecutor final : public Executor {
+ public:
+  explicit SimExecutor(sim::Simulator& sim) : sim_(&sim) {}
+  void post(std::function<void()> fn) override { sim_->schedule_after(0, std::move(fn)); }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+class SimRuntime final : public Runtime {
+ public:
+  /// Owning: creates a fresh Simulator and Network seeded with `seed`.
+  explicit SimRuntime(std::uint64_t seed = 42);
+
+  /// Non-owning: wraps an existing simulator/network pair (tests that drive
+  /// the simulator directly).
+  SimRuntime(sim::Simulator& sim, sim::Network& network);
+
+  sim::Simulator& simulator() { return *sim_; }
+  sim::Network& network() { return *network_; }
+
+  Clock& clock() override { return *sim_; }
+  Executor& executor() override { return executor_; }
+  Transport& transport() override { return *network_; }
+  std::string_view backend_name() const override { return "sim"; }
+
+  void advance(Time duration) override { sim_->run_until(sim_->now() + duration); }
+
+  bool wait_until(const std::function<bool()>& done, std::size_t max_events) override;
+
+ private:
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  std::unique_ptr<sim::Network> owned_network_;
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  SimExecutor executor_;
+};
+
+}  // namespace sa::runtime

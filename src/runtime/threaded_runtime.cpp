@@ -1,0 +1,343 @@
+#include "runtime/threaded_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sa::runtime {
+
+// --- ThreadedClock -----------------------------------------------------------
+
+ThreadedClock::ThreadedClock()
+    : epoch_(std::chrono::steady_clock::now()), thread_([this] { run(); }) {}
+
+ThreadedClock::~ThreadedClock() { stop(); }
+
+Time ThreadedClock::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TimerId ThreadedClock::schedule_at(Time t, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("timer callback must be non-empty");
+  std::lock_guard lock(mutex_);
+  // Real time keeps moving while the caller computes deadlines, so a "past"
+  // deadline is not an error here: it fires as soon as possible.
+  const TimerId id = next_id_++;
+  timers_.emplace(std::make_pair(t, id), std::move(fn));
+  deadline_of_.emplace(id, t);
+  cv_.notify_all();
+  return id;
+}
+
+TimerId ThreadedClock::schedule_after(Time delay, std::function<void()> fn) {
+  return schedule_at(now() + std::max<Time>(delay, 0), std::move(fn));
+}
+
+bool ThreadedClock::cancel(TimerId id) {
+  std::lock_guard lock(mutex_);
+  const auto it = deadline_of_.find(id);
+  if (it == deadline_of_.end()) return false;
+  timers_.erase(std::make_pair(it->second, id));
+  deadline_of_.erase(it);
+  cv_.notify_all();
+  return true;
+}
+
+void ThreadedClock::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    timers_.clear();
+    deadline_of_.clear();
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadedClock::run() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (timers_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const auto next = timers_.begin();
+    const Time deadline = next->first.first;
+    if (now() < deadline) {
+      cv_.wait_until(lock, epoch_ + std::chrono::microseconds(deadline));
+      continue;  // re-evaluate: an earlier timer or a cancel may have landed
+    }
+    auto fn = std::move(next->second);
+    deadline_of_.erase(next->first.second);
+    timers_.erase(next);
+    lock.unlock();
+    fn();  // entities serialize themselves; see header
+    lock.lock();
+  }
+}
+
+// --- ThreadedExecutor --------------------------------------------------------
+
+ThreadedExecutor::ThreadedExecutor(std::size_t workers) {
+  workers_.reserve(std::max<std::size_t>(workers, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(workers, 1); ++i) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+ThreadedExecutor::~ThreadedExecutor() { stop(); }
+
+void ThreadedExecutor::post(std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("posted task must be non-empty");
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;  // shutting down: new work is dropped
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadedExecutor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadedExecutor::run() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    auto fn = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+// --- ThreadedTransport -------------------------------------------------------
+
+ThreadedTransport::ThreadedTransport(Clock& clock, Executor& executor, std::uint64_t seed)
+    : clock_(&clock), executor_(&executor), rng_(seed) {}
+
+NodeId ThreadedTransport::add_node(std::string name, ReceiveHandler handler) {
+  std::lock_guard lock(mutex_);
+  const NodeId id = static_cast<NodeId>(endpoints_.size());
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->name = std::move(name);
+  endpoint->handler = std::move(handler);
+  endpoints_.push_back(std::move(endpoint));
+  return id;
+}
+
+void ThreadedTransport::set_handler(NodeId node, ReceiveHandler handler) {
+  std::lock_guard lock(mutex_);
+  endpoints_.at(node)->handler = std::move(handler);
+}
+
+const std::string& ThreadedTransport::node_name(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  return endpoints_.at(node)->name;
+}
+
+std::size_t ThreadedTransport::node_count() const {
+  std::lock_guard lock(mutex_);
+  return endpoints_.size();
+}
+
+void ThreadedTransport::connect(NodeId from, NodeId to, ChannelConfig config) {
+  std::lock_guard lock(mutex_);
+  if (from >= endpoints_.size() || to >= endpoints_.size()) {
+    throw std::out_of_range("ThreadedTransport::connect: unknown node");
+  }
+  channels_[{from, to}] = ChannelState{config, {}, false, 0, 0};
+}
+
+void ThreadedTransport::connect_bidirectional(NodeId a, NodeId b, ChannelConfig config) {
+  connect(a, b, config);
+  connect(b, a, config);
+}
+
+bool ThreadedTransport::has_channel(NodeId from, NodeId to) const {
+  std::lock_guard lock(mutex_);
+  return channels_.contains({from, to});
+}
+
+bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
+  Time arrival = 0;
+  Time copy_arrival = -1;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = channels_.find({from, to});
+    if (it == channels_.end()) {
+      throw std::out_of_range("no channel " + endpoints_.at(from)->name + " -> " +
+                              endpoints_.at(to)->name);
+    }
+    ChannelState& ch = it->second;
+    ++ch.stats.sent;
+    const bool dropped_partition = ch.partitioned;
+    const bool dropped_loss = !dropped_partition && ch.config.loss_probability > 0.0 &&
+                              rng_.next_bool(ch.config.loss_probability);
+    if (dropped_partition || dropped_loss) {
+      if (dropped_partition) {
+        ++ch.stats.dropped_partition;
+      } else {
+        ++ch.stats.dropped_loss;
+      }
+      if (tracing_.load(std::memory_order_relaxed)) {
+        trace_.push_back(TraceEntry{clock_->now(), from, to, message->type_name(), false, nullptr});
+      }
+      return false;
+    }
+
+    // Same arrival-time math as the simulated channel: optional bandwidth
+    // serialization, latency + jitter, and a FIFO clamp per channel.
+    Time send_complete = clock_->now();
+    if (ch.config.bytes_per_second > 0) {
+      const Time start = std::max(send_complete, ch.link_free_at);
+      const Time transmission =
+          static_cast<Time>((static_cast<__int128>(message->size_bytes()) * 1'000'000) /
+                            ch.config.bytes_per_second);
+      send_complete = start + transmission;
+      ch.link_free_at = send_complete;
+    }
+    Time delay = ch.config.latency;
+    if (ch.config.jitter > 0) {
+      delay += static_cast<Time>(rng_.next_below(static_cast<std::uint64_t>(ch.config.jitter) + 1));
+    }
+    arrival = send_complete + delay;
+    if (ch.config.fifo && arrival < ch.last_delivery) arrival = ch.last_delivery;
+    ch.last_delivery = arrival;
+    ++ch.stats.delivered;
+
+    if (ch.config.duplicate_probability > 0.0 && rng_.next_bool(ch.config.duplicate_probability)) {
+      copy_arrival =
+          arrival + 1 +
+          (ch.config.jitter > 0
+               ? static_cast<Time>(rng_.next_below(static_cast<std::uint64_t>(ch.config.jitter) + 1))
+               : ch.config.latency);
+      if (ch.config.fifo && copy_arrival < ch.last_delivery) copy_arrival = ch.last_delivery;
+      ch.last_delivery = std::max(ch.last_delivery, copy_arrival);
+      ++ch.stats.duplicated;
+    }
+  }
+
+  clock_->schedule_at(arrival, [this, to, from, message] { enqueue_delivery(to, from, message); });
+  if (copy_arrival >= 0) {
+    clock_->schedule_at(copy_arrival,
+                        [this, to, from, message] { enqueue_delivery(to, from, message); });
+  }
+  return true;
+}
+
+void ThreadedTransport::enqueue_delivery(NodeId to, NodeId from, MessagePtr message) {
+  bool start_drain = false;
+  {
+    std::lock_guard lock(mutex_);
+    Endpoint& endpoint = *endpoints_.at(to);
+    endpoint.mailbox.push_back(Delivery{from, std::move(message)});
+    if (!endpoint.draining) {
+      endpoint.draining = true;
+      start_drain = true;
+    }
+  }
+  if (start_drain) executor_->post([this, to] { drain_mailbox(to); });
+}
+
+void ThreadedTransport::drain_mailbox(NodeId node) {
+  while (true) {
+    Delivery delivery;
+    ReceiveHandler handler;
+    {
+      std::lock_guard lock(mutex_);
+      Endpoint& endpoint = *endpoints_.at(node);
+      if (endpoint.mailbox.empty()) {
+        endpoint.draining = false;
+        return;
+      }
+      delivery = std::move(endpoint.mailbox.front());
+      endpoint.mailbox.pop_front();
+      handler = endpoint.handler;
+      if (tracing_.load(std::memory_order_relaxed)) {
+        trace_.push_back(TraceEntry{clock_->now(), delivery.from, node,
+                                    delivery.message->type_name(), true, delivery.message});
+      }
+    }
+    if (handler) handler(delivery.from, std::move(delivery.message));
+  }
+}
+
+void ThreadedTransport::partition_node(NodeId node, bool partitioned) {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, channel] : channels_) {
+    if (key.first == node || key.second == node) channel.partitioned = partitioned;
+  }
+}
+
+void ThreadedTransport::partition_pair(NodeId a, NodeId b, bool partitioned) {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, channel] : channels_) {
+    if ((key.first == a && key.second == b) || (key.first == b && key.second == a)) {
+      channel.partitioned = partitioned;
+    }
+  }
+}
+
+void ThreadedTransport::set_loss(NodeId from, NodeId to, double probability) {
+  std::lock_guard lock(mutex_);
+  channels_.at({from, to}).config.loss_probability = probability;
+}
+
+ChannelStats ThreadedTransport::channel_stats(NodeId from, NodeId to) const {
+  std::lock_guard lock(mutex_);
+  return channels_.at({from, to}).stats;
+}
+
+void ThreadedTransport::set_tracing(bool enabled) {
+  std::lock_guard lock(mutex_);
+  tracing_.store(enabled, std::memory_order_relaxed);
+}
+
+void ThreadedTransport::clear_trace() {
+  std::lock_guard lock(mutex_);
+  trace_.clear();
+}
+
+// --- ThreadedRuntime ---------------------------------------------------------
+
+ThreadedRuntime::ThreadedRuntime(Options options)
+    : options_(options),
+      executor_(options.workers),
+      transport_(clock_, executor_, options.seed) {}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void ThreadedRuntime::shutdown() {
+  clock_.stop();      // no further timer fires => no new transport deliveries
+  executor_.stop();   // drain queued mailbox work, then join the pool
+}
+
+void ThreadedRuntime::advance(Time duration) {
+  std::this_thread::sleep_for(std::chrono::microseconds(std::max<Time>(duration, 0)));
+}
+
+bool ThreadedRuntime::wait_until(const std::function<bool()>& done, std::size_t /*max_events*/) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(options_.wait_cap);
+  while (!done() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.wait_poll_interval));
+  }
+  return done();
+}
+
+}  // namespace sa::runtime

@@ -1,0 +1,181 @@
+// ThreadedRuntime: the real-time backend. Runs the same protocol logic the
+// simulator runs, but on actual OS threads:
+//
+//   * Clock     — a steady_clock timer thread firing callbacks in deadline
+//                 order (FIFO tie-break on schedule order, like the sim);
+//   * Executor  — a worker pool draining one global FIFO task queue, so
+//                 tasks *start* in posting order;
+//   * Transport — an in-process queue transport: sends compute an arrival
+//                 deadline (latency + jitter + bandwidth serialization, with
+//                 the same per-channel FIFO clamp as the simulated network),
+//                 a timer enqueues the message into the destination
+//                 endpoint's mailbox at that deadline, and mailboxes drain
+//                 on the worker pool one-at-a-time per endpoint, so each
+//                 endpoint's handler runs serialized and in arrival order.
+//
+// Loss, duplication, and partition injection use the same knobs and the same
+// Rng family as the simulated network, so failure experiments port across
+// backends unchanged. Entities whose handlers share state across endpoints
+// and timers (manager, agents) serialize themselves with their own mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace sa::runtime {
+
+class ThreadedClock final : public Clock {
+ public:
+  ThreadedClock();
+  ~ThreadedClock() override;
+
+  Time now() const override;
+  TimerId schedule_at(Time t, std::function<void()> fn) override;
+  TimerId schedule_after(Time delay, std::function<void()> fn) override;
+  bool cancel(TimerId id) override;
+
+  /// Stops the timer thread; pending timers are dropped. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Deadline-ordered pending timers; the id key gives the FIFO tie-break.
+  std::map<std::pair<Time, TimerId>, std::function<void()>> timers_;
+  std::map<TimerId, Time> deadline_of_;  ///< id -> deadline, for cancel()
+  TimerId next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(std::size_t workers);
+  ~ThreadedExecutor() override;
+
+  void post(std::function<void()> fn) override;
+
+  /// Finishes queued tasks, then joins the workers. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+class ThreadedTransport final : public Transport {
+ public:
+  ThreadedTransport(Clock& clock, Executor& executor, std::uint64_t seed);
+
+  NodeId add_node(std::string name, ReceiveHandler handler = nullptr) override;
+  void set_handler(NodeId node, ReceiveHandler handler) override;
+  const std::string& node_name(NodeId node) const override;
+  std::size_t node_count() const override;
+
+  void connect(NodeId from, NodeId to, ChannelConfig config = {}) override;
+  void connect_bidirectional(NodeId a, NodeId b, ChannelConfig config = {}) override;
+  bool has_channel(NodeId from, NodeId to) const override;
+
+  bool send(NodeId from, NodeId to, MessagePtr message) override;
+
+  void partition_node(NodeId node, bool partitioned) override;
+  void partition_pair(NodeId a, NodeId b, bool partitioned) override;
+  void set_loss(NodeId from, NodeId to, double probability) override;
+
+  ChannelStats channel_stats(NodeId from, NodeId to) const override;
+
+  void set_tracing(bool enabled) override;
+  /// Only safe to read once the system is quiescent (no sends in flight).
+  const std::vector<TraceEntry>& trace() const override { return trace_; }
+  void clear_trace() override;
+
+ private:
+  struct ChannelState {
+    ChannelConfig config;
+    ChannelStats stats;
+    bool partitioned = false;
+    Time last_delivery = 0;  // FIFO clamp
+    Time link_free_at = 0;   // bandwidth serialization
+  };
+  struct Delivery {
+    NodeId from;
+    MessagePtr message;
+  };
+  struct Endpoint {
+    std::string name;
+    ReceiveHandler handler;
+    std::deque<Delivery> mailbox;
+    bool draining = false;
+  };
+
+  void enqueue_delivery(NodeId to, NodeId from, MessagePtr message);
+  void drain_mailbox(NodeId node);
+
+  Clock* clock_;
+  Executor* executor_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+  std::atomic<bool> tracing_{false};
+  std::vector<TraceEntry> trace_;
+};
+
+struct ThreadedRuntimeOptions {
+  std::size_t workers = 4;
+  std::uint64_t seed = 42;
+  /// wait_until() gives up after this much real time.
+  Time wait_cap = seconds(60);
+  Time wait_poll_interval = us(200);
+};
+
+class ThreadedRuntime final : public Runtime {
+ public:
+  using Options = ThreadedRuntimeOptions;
+
+  explicit ThreadedRuntime(Options options = {});
+  ~ThreadedRuntime() override;
+
+  Clock& clock() override { return clock_; }
+  Executor& executor() override { return executor_; }
+  Transport& transport() override { return transport_; }
+  std::string_view backend_name() const override { return "threaded"; }
+
+  /// Sleeps; the timer thread and workers make progress meanwhile.
+  void advance(Time duration) override;
+
+  /// Polls `done` until true or the real-time cap expires. `max_events` is
+  /// meaningless on this backend and ignored.
+  bool wait_until(const std::function<bool()>& done,
+                  std::size_t max_events = SIZE_MAX) override;
+
+  /// Stops timers first (no new deliveries), then drains the worker pool.
+  /// Called by the destructor; call earlier for a deterministic quiesce.
+  void shutdown();
+
+ private:
+  Options options_;
+  ThreadedClock clock_;
+  ThreadedExecutor executor_;
+  ThreadedTransport transport_;
+};
+
+}  // namespace sa::runtime

@@ -1,0 +1,25 @@
+// Time base shared by every runtime backend.
+//
+// All protocol timeouts, filter processing times, and trace timestamps are
+// expressed in these units regardless of whether they are driven by the
+// deterministic simulator (virtual time) or the threaded backend (steady
+// clock since runtime start).
+#pragma once
+
+#include <cstdint>
+
+namespace sa::runtime {
+
+/// Time in microseconds. Virtual under SimRuntime; microseconds since
+/// runtime construction under ThreadedRuntime.
+using Time = std::int64_t;
+
+constexpr Time us(std::int64_t v) { return v; }
+constexpr Time ms(std::int64_t v) { return v * 1000; }
+constexpr Time seconds(std::int64_t v) { return v * 1'000'000; }
+
+/// Identifier of a scheduled timer; 0 is never a valid id, so callers can use
+/// it as the "no timer armed" sentinel.
+using TimerId = std::uint64_t;
+
+}  // namespace sa::runtime

@@ -1,0 +1,95 @@
+// Transport: named endpoints connected by directed channels with
+// configurable latency, jitter, loss, duplication, and partitions.
+//
+// This is the abstraction the protocol (manager/agent), the video testbed,
+// and the experiment harnesses send messages through. Backends:
+// sa::sim::Network (virtual-time discrete-event delivery) and
+// ThreadedRuntime's in-process queue transport (real threads, per-endpoint
+// FIFO mailboxes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/time.hpp"
+
+namespace sa::runtime {
+
+using NodeId = std::uint32_t;
+
+/// A handler invoked when a message reaches an endpoint: (sender, message).
+using ReceiveHandler = std::function<void(NodeId, MessagePtr)>;
+
+struct ChannelConfig {
+  Time latency = ms(1);     ///< base one-way delay
+  Time jitter = 0;          ///< uniform extra delay in [0, jitter]
+  double loss_probability = 0.0;
+  bool fifo = true;         ///< enforce in-order delivery despite jitter
+  /// Probability that an accepted message is delivered twice (retransmission
+  /// artifacts); protocol participants must deduplicate.
+  double duplicate_probability = 0.0;
+  /// Link capacity in bytes/second; 0 = unlimited. Transmissions serialize:
+  /// a message must finish its size_bytes()/bandwidth transmission before the
+  /// next one starts, so sustained overload builds queueing delay.
+  std::uint64_t bytes_per_second = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+};
+
+/// Trace record of a delivered (or dropped) message, for protocol tests and
+/// conformance checking. `message` keeps the payload alive so checkers can
+/// downcast to concrete message types.
+struct TraceEntry {
+  Time time = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string type;
+  bool delivered = true;
+  MessagePtr message;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers an endpoint; `name` appears in traces. Handler may be bound
+  /// later via set_handler (endpoints are often created before their owners).
+  virtual NodeId add_node(std::string name, ReceiveHandler handler = nullptr) = 0;
+  virtual void set_handler(NodeId node, ReceiveHandler handler) = 0;
+  virtual const std::string& node_name(NodeId node) const = 0;
+  virtual std::size_t node_count() const = 0;
+
+  /// Creates (or reconfigures) the directed channel from -> to.
+  virtual void connect(NodeId from, NodeId to, ChannelConfig config = {}) = 0;
+  /// Both directions with the same config.
+  virtual void connect_bidirectional(NodeId a, NodeId b, ChannelConfig config = {}) = 0;
+  virtual bool has_channel(NodeId from, NodeId to) const = 0;
+
+  /// Sends over the from->to channel; throws std::out_of_range when no such
+  /// channel exists. Returns false if the channel dropped the message.
+  virtual bool send(NodeId from, NodeId to, MessagePtr message) = 0;
+
+  // --- fault-injection knobs -------------------------------------------------
+  virtual void partition_node(NodeId node, bool partitioned) = 0;
+  virtual void partition_pair(NodeId a, NodeId b, bool partitioned) = 0;
+  virtual void set_loss(NodeId from, NodeId to, double probability) = 0;
+
+  virtual ChannelStats channel_stats(NodeId from, NodeId to) const = 0;
+
+  /// Enables trace recording; entries accumulate in trace(). Under the
+  /// threaded backend, read trace() only once the system is quiescent.
+  virtual void set_tracing(bool enabled) = 0;
+  virtual const std::vector<TraceEntry>& trace() const = 0;
+  virtual void clear_trace() = 0;
+};
+
+}  // namespace sa::runtime

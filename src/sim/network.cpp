@@ -84,6 +84,24 @@ void Network::link_bidirectional(NodeId a, NodeId b, ChannelConfig config) {
   link(b, a, config);
 }
 
+void Network::connect(NodeId from, NodeId to, ChannelConfig config) { link(from, to, config); }
+
+void Network::connect_bidirectional(NodeId a, NodeId b, ChannelConfig config) {
+  link_bidirectional(a, b, config);
+}
+
+void Network::set_loss(NodeId from, NodeId to, double probability) {
+  channel(from, to).set_loss_probability(probability);
+}
+
+ChannelStats Network::channel_stats(NodeId from, NodeId to) const {
+  const auto it = channels_.find({from, to});
+  if (it == channels_.end()) {
+    throw std::out_of_range("no channel " + names_.at(from) + " -> " + names_.at(to));
+  }
+  return it->second->stats();
+}
+
 Channel& Network::channel(NodeId from, NodeId to) {
   const auto it = channels_.find({from, to});
   if (it == channels_.end()) {

@@ -6,57 +6,32 @@
 // FIFO-ordered (a TCP-like manager/agent control connection) or unordered and
 // lossy (UDP-like data multicast); partitions model the paper's "long-term
 // network failure" that triggers loss-of-message handling.
+//
+// The Network IS the sim backend's runtime::Transport: protocol and
+// application layers talk to that interface and reach this implementation
+// through the SimRuntime adapter. Message, channel, and trace types are the
+// runtime layer's, re-exported here under sa::sim for source compatibility.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "runtime/transport.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace sa::sim {
 
-using NodeId = std::uint32_t;
-
-/// Base class for everything sent through the network. Concrete protocol and
-/// application messages derive from it; receivers downcast via dynamic_cast
-/// or the type tag.
-struct Message {
-  virtual ~Message() = default;
-  /// Short type tag for traces, e.g. "reset", "video-packet".
-  virtual std::string type_name() const = 0;
-  /// Wire size used by bandwidth-limited channels; the default models a
-  /// small control message.
-  virtual std::size_t size_bytes() const { return 64; }
-};
-
-using MessagePtr = std::shared_ptr<const Message>;
-
-struct ChannelConfig {
-  Time latency = ms(1);     ///< base one-way delay
-  Time jitter = 0;          ///< uniform extra delay in [0, jitter]
-  double loss_probability = 0.0;
-  bool fifo = true;         ///< enforce in-order delivery despite jitter
-  /// Probability that an accepted message is delivered twice (retransmission
-  /// artifacts); protocol participants must deduplicate.
-  double duplicate_probability = 0.0;
-  /// Link capacity in bytes/second; 0 = unlimited. Transmissions serialize:
-  /// a message must finish its size_bytes()/bandwidth transmission before the
-  /// next one starts, so sustained overload builds queueing delay.
-  std::uint64_t bytes_per_second = 0;
-};
-
-struct ChannelStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t duplicated = 0;
-  std::uint64_t dropped_loss = 0;
-  std::uint64_t dropped_partition = 0;
-};
+using NodeId = runtime::NodeId;
+using Message = runtime::Message;
+using MessagePtr = runtime::MessagePtr;
+using ReceiveHandler = runtime::ReceiveHandler;
+using ChannelConfig = runtime::ChannelConfig;
+using ChannelStats = runtime::ChannelStats;
+using TraceEntry = runtime::TraceEntry;
 
 class Channel {
  public:
@@ -90,31 +65,16 @@ class Channel {
   Time link_free_at_ = 0;    // bandwidth serialization
 };
 
-/// A handler invoked when a message reaches a node: (sender, message).
-using ReceiveHandler = std::function<void(NodeId, MessagePtr)>;
-
-/// Trace record of a delivered (or dropped) message, for protocol tests and
-/// conformance checking. `message` keeps the payload alive so checkers can
-/// downcast to concrete message types.
-struct TraceEntry {
-  Time time = 0;
-  NodeId from = 0;
-  NodeId to = 0;
-  std::string type;
-  bool delivered = true;
-  MessagePtr message;
-};
-
-class Network {
+class Network final : public runtime::Transport {
  public:
   Network(Simulator& sim, std::uint64_t seed = 42) : sim_(&sim), rng_(seed) {}
 
   /// Registers a node; `name` appears in traces. Handler may be bound later
   /// via set_handler (nodes are often constructed before their owners).
-  NodeId add_node(std::string name, ReceiveHandler handler = nullptr);
-  void set_handler(NodeId node, ReceiveHandler handler);
-  const std::string& node_name(NodeId node) const { return names_.at(node); }
-  std::size_t node_count() const { return names_.size(); }
+  NodeId add_node(std::string name, ReceiveHandler handler = nullptr) override;
+  void set_handler(NodeId node, ReceiveHandler handler) override;
+  const std::string& node_name(NodeId node) const override { return names_.at(node); }
+  std::size_t node_count() const override { return names_.size(); }
 
   /// Creates (or reconfigures) the directed channel from -> to.
   Channel& link(NodeId from, NodeId to, ChannelConfig config = {});
@@ -122,21 +82,28 @@ class Network {
   /// Both directions with the same config.
   void link_bidirectional(NodeId a, NodeId b, ChannelConfig config = {});
 
+  /// Transport interface spellings of link()/link_bidirectional().
+  void connect(NodeId from, NodeId to, ChannelConfig config = {}) override;
+  void connect_bidirectional(NodeId a, NodeId b, ChannelConfig config = {}) override;
+
   Channel& channel(NodeId from, NodeId to);
-  bool has_channel(NodeId from, NodeId to) const;
+  bool has_channel(NodeId from, NodeId to) const override;
 
   /// Sends over the from->to channel; throws std::out_of_range when no such
   /// channel exists. Returns false if the channel dropped the message.
-  bool send(NodeId from, NodeId to, MessagePtr message);
+  bool send(NodeId from, NodeId to, MessagePtr message) override;
 
   /// Failure injection helpers for the loss-of-message experiments.
-  void partition_node(NodeId node, bool partitioned);
-  void partition_pair(NodeId a, NodeId b, bool partitioned);
+  void partition_node(NodeId node, bool partitioned) override;
+  void partition_pair(NodeId a, NodeId b, bool partitioned) override;
+  void set_loss(NodeId from, NodeId to, double probability) override;
+
+  ChannelStats channel_stats(NodeId from, NodeId to) const override;
 
   /// Enables trace recording; entries accumulate in trace().
-  void set_tracing(bool enabled) { tracing_ = enabled; }
-  const std::vector<TraceEntry>& trace() const { return trace_; }
-  void clear_trace() { trace_.clear(); }
+  void set_tracing(bool enabled) override { tracing_ = enabled; }
+  const std::vector<TraceEntry>& trace() const override { return trace_; }
+  void clear_trace() override { trace_.clear(); }
 
   Simulator& simulator() { return *sim_; }
   util::Rng& rng() { return rng_; }

@@ -9,6 +9,7 @@ EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("event callback must be non-empty");
   const EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(fn)});
+  alive_.insert(id);
   return id;
 }
 
@@ -17,10 +18,14 @@ EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  // Only live events are cancelable: an id that already fired (including one
+  // that fired earlier at this very timestamp) reports false and leaves no
+  // residue behind.
+  if (alive_.erase(id) == 0) return false;
+  cancelled_.insert(id);
   // Cancelled ids stay in the queue and are skipped when popped; the set
   // entry is erased at pop time, keeping both structures bounded.
+  return true;
 }
 
 bool Simulator::step() {
@@ -31,6 +36,7 @@ bool Simulator::step() {
       cancelled_.erase(it);
       continue;
     }
+    alive_.erase(event.id);
     now_ = event.time;
     event.fn();
     return true;

@@ -1,43 +1,49 @@
 // Deterministic discrete-event simulator.
 //
-// All distributed behaviour in this repository — protocol message exchange,
-// packet streaming, manager timeouts — runs on virtual time provided by this
-// scheduler.  Events at equal timestamps fire in scheduling order (stable
-// FIFO tie-break), so a given seed always produces the identical execution,
-// which is what lets the protocol tests assert exact traces.
+// All simulated distributed behaviour in this repository — protocol message
+// exchange, packet streaming, manager timeouts — runs on virtual time
+// provided by this scheduler.  Events at equal timestamps fire in scheduling
+// order (stable FIFO tie-break), so a given seed always produces the
+// identical execution, which is what lets the protocol tests assert exact
+// traces.
+//
+// The simulator IS the sim backend's runtime::Clock: layers above sa_graph
+// program against that interface and receive this implementation through the
+// SimRuntime adapter.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "runtime/clock.hpp"
+
 namespace sa::sim {
 
-/// Virtual time in microseconds.
-using Time = std::int64_t;
+/// Virtual time in microseconds (shared time base with the runtime layer).
+using Time = runtime::Time;
 
-constexpr Time us(std::int64_t v) { return v; }
-constexpr Time ms(std::int64_t v) { return v * 1000; }
-constexpr Time seconds(std::int64_t v) { return v * 1'000'000; }
+using runtime::us;
+using runtime::ms;
+using runtime::seconds;
 
-using EventId = std::uint64_t;
+using EventId = runtime::TimerId;
 
-class Simulator {
+class Simulator final : public runtime::Clock {
  public:
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (>= now). Returns an id
   /// usable with cancel().
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, std::function<void()> fn) override;
 
   /// Schedules `fn` `delay` microseconds from now.
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  EventId schedule_after(Time delay, std::function<void()> fn) override;
 
   /// Cancels a pending event; returns false if it already fired or was
   /// cancelled. Safe to call from inside event handlers.
-  bool cancel(EventId id);
+  bool cancel(EventId id) override;
 
   /// Runs the next pending event; returns false when the queue is empty.
   bool step();
@@ -49,7 +55,7 @@ class Simulator {
   /// `deadline`. Returns events run.
   std::size_t run_until(Time deadline);
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return alive_.size(); }
 
  private:
   struct Event {
@@ -67,7 +73,8 @@ class Simulator {
   Time now_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> alive_;      ///< scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< cancelled, still in queue_
 };
 
 }  // namespace sa::sim

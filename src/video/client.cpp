@@ -4,16 +4,17 @@
 
 namespace sa::video {
 
-VideoClient::VideoClient(sim::Network& network, sim::NodeId data_node, std::string name,
+VideoClient::VideoClient(runtime::Clock& clock, runtime::Transport& transport,
+                         runtime::NodeId data_node, std::string name,
                          proto::FilterFactory factory)
-    : chain_(network.simulator(), name + "-metasocket"),
+    : chain_(clock, name + "-metasocket"),
       process_(chain_, std::move(factory)),
-      sink_(network.simulator()) {
+      sink_(clock) {
   chain_.set_output([this](components::Packet packet) {
     if (observer_) observer_(packet);
     sink_.accept(packet);
   });
-  network.set_handler(data_node, [this](sim::NodeId, sim::MessagePtr message) {
+  transport.set_handler(data_node, [this](runtime::NodeId, runtime::MessagePtr message) {
     if (const auto* packet_msg = dynamic_cast<const PacketMsg*>(message.get())) {
       chain_.submit(packet_msg->packet);
     }

@@ -5,7 +5,7 @@
 
 #include "components/filter_chain.hpp"
 #include "proto/adaptable_process.hpp"
-#include "sim/network.hpp"
+#include "runtime/transport.hpp"
 #include "video/stream.hpp"
 
 namespace sa::video {
@@ -13,8 +13,8 @@ namespace sa::video {
 class VideoClient {
  public:
   /// Takes over `data_node`'s receive handler.
-  VideoClient(sim::Network& network, sim::NodeId data_node, std::string name,
-              proto::FilterFactory factory = nullptr);
+  VideoClient(runtime::Clock& clock, runtime::Transport& transport, runtime::NodeId data_node,
+              std::string name, proto::FilterFactory factory = nullptr);
 
   components::FilterChain& chain() { return chain_; }
   proto::AdaptableProcess& process() { return process_; }

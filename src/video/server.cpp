@@ -2,23 +2,24 @@
 
 namespace sa::video {
 
-VideoServer::VideoServer(sim::Network& network, sim::NodeId data_node, StreamConfig config,
+VideoServer::VideoServer(runtime::Clock& clock, runtime::Transport& transport,
+                         runtime::NodeId data_node, StreamConfig config,
                          proto::FilterFactory factory)
-    : network_(&network),
+    : transport_(&transport),
       data_node_(data_node),
-      chain_(network.simulator(), "server-metasocket"),
+      chain_(clock, "server-metasocket"),
       process_(chain_, std::move(factory)),
-      source_(network.simulator(), config) {
+      source_(clock, config) {
   chain_.set_output([this](components::Packet packet) {
     auto msg = std::make_shared<PacketMsg>();
     msg->packet = std::move(packet);
-    for (const sim::NodeId subscriber : subscribers_) {
-      network_->send(data_node_, subscriber, msg);
+    for (const runtime::NodeId subscriber : subscribers_) {
+      transport_->send(data_node_, subscriber, msg);
     }
   });
 }
 
-void VideoServer::subscribe(sim::NodeId client_data_node) {
+void VideoServer::subscribe(runtime::NodeId client_data_node) {
   subscribers_.push_back(client_data_node);
 }
 

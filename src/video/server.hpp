@@ -11,13 +11,13 @@
 
 #include "components/filter_chain.hpp"
 #include "proto/adaptable_process.hpp"
-#include "sim/network.hpp"
+#include "runtime/transport.hpp"
 #include "video/stream.hpp"
 
 namespace sa::video {
 
 /// Network message wrapping one stream packet.
-struct PacketMsg final : sim::Message {
+struct PacketMsg final : runtime::Message {
   components::Packet packet;
   std::string type_name() const override { return "video-packet"; }
   std::size_t size_bytes() const override {
@@ -27,13 +27,13 @@ struct PacketMsg final : sim::Message {
 
 class VideoServer {
  public:
-  /// `data_node` must already exist in `network`; data channels to client
+  /// `data_node` must already exist in `transport`; data channels to client
   /// nodes are created by the caller before subscribe().
-  VideoServer(sim::Network& network, sim::NodeId data_node, StreamConfig config = {},
-              proto::FilterFactory factory = nullptr);
+  VideoServer(runtime::Clock& clock, runtime::Transport& transport, runtime::NodeId data_node,
+              StreamConfig config = {}, proto::FilterFactory factory = nullptr);
 
   /// Adds a client data node to the multicast set.
-  void subscribe(sim::NodeId client_data_node);
+  void subscribe(runtime::NodeId client_data_node);
 
   void start() { source_.start([this](components::Packet p) { chain_.submit(std::move(p)); }); }
   void stop() { source_.stop(); }
@@ -45,12 +45,12 @@ class VideoServer {
   std::uint64_t packets_emitted() const { return source_.packets_emitted(); }
 
  private:
-  sim::Network* network_;
-  sim::NodeId data_node_;
+  runtime::Transport* transport_;
+  runtime::NodeId data_node_;
   components::FilterChain chain_;
   proto::FilterChainProcess process_;
   StreamSource source_;
-  std::vector<sim::NodeId> subscribers_;
+  std::vector<runtime::NodeId> subscribers_;
 };
 
 }  // namespace sa::video

@@ -4,14 +4,14 @@
 
 namespace sa::video {
 
-StreamSource::StreamSource(sim::Simulator& sim, StreamConfig config, std::uint64_t seed)
-    : sim_(&sim), config_(config), rng_(seed) {}
+StreamSource::StreamSource(runtime::Clock& clock, StreamConfig config, std::uint64_t seed)
+    : clock_(&clock), config_(config), rng_(seed) {}
 
-sim::Time StreamSource::packet_interval() const {
+runtime::Time StreamSource::packet_interval() const {
   const std::uint64_t packets_per_second =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(config_.frames_per_second) *
                                      config_.packets_per_frame);
-  return sim::seconds(1) / static_cast<sim::Time>(packets_per_second);
+  return runtime::seconds(1) / static_cast<runtime::Time>(packets_per_second);
 }
 
 void StreamSource::start(PacketHandler sink) {
@@ -24,7 +24,7 @@ void StreamSource::start(PacketHandler sink) {
 void StreamSource::stop() {
   running_ = false;
   if (pending_ != 0) {
-    sim_->cancel(pending_);
+    clock_->cancel(pending_);
     pending_ = 0;
   }
 }
@@ -36,7 +36,7 @@ void StreamSource::emit_next() {
   components::Packet packet =
       components::Packet::make(config_.stream_id, next_sequence_++, std::move(payload));
   if (sink_) sink_(std::move(packet));
-  pending_ = sim_->schedule_after(packet_interval(), [this] {
+  pending_ = clock_->schedule_after(packet_interval(), [this] {
     pending_ = 0;
     emit_next();
   });
@@ -62,7 +62,7 @@ void StreamSink::accept(const components::Packet& packet) {
     return;
   }
   ++stats_.intact;
-  const sim::Time now = sim_->now();
+  const runtime::Time now = clock_->now();
   if (stats_.last_intact_at >= 0) {
     stats_.max_interarrival_gap = std::max(stats_.max_interarrival_gap, now - stats_.last_intact_at);
   }

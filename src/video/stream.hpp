@@ -14,8 +14,7 @@
 #include <vector>
 
 #include "components/packet.hpp"
-#include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/clock.hpp"
 #include "util/rng.hpp"
 
 namespace sa::video {
@@ -32,7 +31,7 @@ class StreamSource {
  public:
   using PacketHandler = std::function<void(components::Packet)>;
 
-  StreamSource(sim::Simulator& sim, StreamConfig config, std::uint64_t seed = 7);
+  StreamSource(runtime::Clock& clock, StreamConfig config, std::uint64_t seed = 7);
 
   /// Starts emitting packets to `sink` (one per inter-packet interval).
   void start(PacketHandler sink);
@@ -40,18 +39,18 @@ class StreamSource {
   bool running() const { return running_; }
 
   std::uint64_t packets_emitted() const { return next_sequence_; }
-  sim::Time packet_interval() const;
+  runtime::Time packet_interval() const;
 
  private:
   void emit_next();
 
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
   StreamConfig config_;
   util::Rng rng_;
   PacketHandler sink_;
   bool running_ = false;
   std::uint64_t next_sequence_ = 0;
-  sim::EventId pending_ = 0;
+  runtime::TimerId pending_ = 0;
 };
 
 /// Receiving-side player: consumes decoded packets and keeps integrity and
@@ -63,13 +62,13 @@ struct PlayerStats {
   std::uint64_t undecodable = 0;     ///< arrived still carrying encoding tags
   std::uint64_t duplicates = 0;
   std::uint64_t reordered = 0;
-  sim::Time max_interarrival_gap = 0;  ///< longest silence between intact packets
-  sim::Time last_intact_at = -1;
+  runtime::Time max_interarrival_gap = 0;  ///< longest silence between intact packets
+  runtime::Time last_intact_at = -1;
 };
 
 class StreamSink {
  public:
-  explicit StreamSink(sim::Simulator& sim) : sim_(&sim) {}
+  explicit StreamSink(runtime::Clock& clock) : clock_(&clock) {}
 
   void accept(const components::Packet& packet);
 
@@ -79,7 +78,7 @@ class StreamSink {
   std::uint64_t missing(std::uint64_t emitted) const;
 
  private:
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
   PlayerStats stats_;
   std::vector<bool> seen_;
   std::uint64_t highest_seen_ = 0;

@@ -5,6 +5,7 @@
 #include "baselines/naive.hpp"
 #include "baselines/quiescence.hpp"
 #include "core/video_testbed.hpp"
+#include "sim/simulator.hpp"
 
 namespace sa::baselines {
 namespace {

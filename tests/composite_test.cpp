@@ -4,6 +4,7 @@
 
 #include "core/composite.hpp"
 #include "core/paper_scenario.hpp"
+#include "sim/network.hpp"
 
 namespace sa::core {
 namespace {

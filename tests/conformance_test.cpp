@@ -8,6 +8,7 @@
 #include "core/paper_scenario.hpp"
 #include "core/system.hpp"
 #include "proto/conformance.hpp"
+#include "sim/network.hpp"
 #include "util/rng.hpp"
 
 namespace sa::proto {

@@ -2,6 +2,7 @@
 
 #include "core/system.hpp"
 #include "decision/engine.hpp"
+#include "sim/simulator.hpp"
 
 namespace sa::decision {
 namespace {
@@ -114,7 +115,6 @@ TEST_F(Fixture, OppositeRulesImplementHysteresisViaCooldown) {
 
 TEST_F(Fixture, HigherPriorityRuleWins) {
   make_engine();
-  config::Configuration other = armored;
   engine->add_rule(Rule{"low", [](const Metrics&) { return true; }, plain, 1});
   engine->add_rule(Rule{"high", [](const Metrics&) { return true; }, armored, 9});
   engine->start();

@@ -3,6 +3,7 @@
 #include "proto/adaptable_process.hpp"
 #include "spec/monitor.hpp"
 #include "spec/monitored_process.hpp"
+#include "sim/simulator.hpp"
 
 namespace sa::spec {
 namespace {

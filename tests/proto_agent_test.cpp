@@ -5,6 +5,7 @@
 
 #include "proto/agent.hpp"
 #include "proto/messages.hpp"
+#include "sim/network.hpp"
 
 namespace sa::proto {
 namespace {
@@ -65,7 +66,7 @@ struct AgentFixture : ::testing::Test {
   }
 
   void start_agent() {
-    agent = std::make_unique<AdaptationAgent>(net, agent_node, manager, process, config);
+    agent = std::make_unique<AdaptationAgent>(sim, net, agent_node, manager, process, config);
   }
 
   StepRef step(std::uint32_t attempt = 0) { return StepRef{1, 0, 0, attempt}; }

@@ -8,6 +8,7 @@
 #include "core/paper_scenario.hpp"
 #include "core/system.hpp"
 #include "proto/manager.hpp"
+#include "sim/network.hpp"
 
 namespace sa::proto {
 namespace {

@@ -75,6 +75,42 @@ TEST(Simulator, CancelFromInsideHandler) {
   EXPECT_FALSE(second_fired);
 }
 
+TEST(Simulator, CancelAlreadyFiredIdFromHandlerAtSameTimestamp) {
+  // Two events share a timestamp; the second tries to cancel the first from
+  // inside its handler. The first has already executed (FIFO tie-break), so
+  // the cancel must report false and must not disturb later events.
+  Simulator sim;
+  bool first_fired = false;
+  bool later_fired = false;
+  bool cancel_result = true;
+  const EventId first = sim.schedule_at(ms(10), [&] { first_fired = true; });
+  sim.schedule_at(ms(10), [&] { cancel_result = sim.cancel(first); });
+  sim.schedule_at(ms(20), [&] { later_fired = true; });
+  sim.run();
+  EXPECT_TRUE(first_fired);
+  EXPECT_FALSE(cancel_result);
+  EXPECT_TRUE(later_fired);
+}
+
+TEST(Simulator, FifoTieBreakSurvivesInterleavedScheduleAndCancel) {
+  // Schedule ten same-timestamp events, cancel the odd ones (interleaved with
+  // fresh schedules at the same timestamp): survivors must still fire in
+  // their original schedule order, with the late additions after them.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(ms(5), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 10; i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+    sim.schedule_at(ms(5), [&order, i] { order.push_back(100 + i); });
+  }
+  sim.run();
+  EXPECT_EQ(order,
+            (std::vector<int>{0, 2, 4, 6, 8, 101, 103, 105, 107, 109}));
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   std::vector<Time> fired;

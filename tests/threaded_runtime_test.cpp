@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/paper_scenario.hpp"
+#include "core/system.hpp"
+#include "proto/conformance.hpp"
+#include "proto/manager.hpp"
+#include "runtime/threaded_runtime.hpp"
+
+namespace sa::runtime {
+namespace {
+
+// --- Clock ------------------------------------------------------------------
+
+TEST(ThreadedClock, TimersFireInDeadlineOrder) {
+  ThreadedClock clock;
+  std::mutex mutex;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  const auto record = [&](int id) {
+    std::lock_guard lock(mutex);
+    order.push_back(id);
+    ++fired;
+  };
+  clock.schedule_after(ms(30), [&] { record(3); });
+  clock.schedule_after(ms(10), [&] { record(1); });
+  clock.schedule_after(ms(20), [&] { record(2); });
+  while (fired.load() < 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  clock.stop();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadedClock, CancelPreventsFiringAndReportsUnknownIds) {
+  ThreadedClock clock;
+  std::atomic<bool> cancelled_fired{false};
+  std::atomic<bool> sentinel_fired{false};
+  const TimerId id = clock.schedule_after(ms(20), [&] { cancelled_fired = true; });
+  EXPECT_TRUE(clock.cancel(id));
+  EXPECT_FALSE(clock.cancel(id));  // already cancelled
+  EXPECT_FALSE(clock.cancel(0));   // never issued
+  clock.schedule_after(ms(40), [&] { sentinel_fired = true; });
+  while (!sentinel_fired.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  clock.stop();
+  EXPECT_FALSE(cancelled_fired.load());
+}
+
+TEST(ThreadedClock, EqualDeadlinesFireInScheduleOrder) {
+  ThreadedClock clock;
+  std::mutex mutex;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  const Time deadline = clock.now() + ms(25);
+  for (int i = 0; i < 8; ++i) {
+    clock.schedule_at(deadline, [&, i] {
+      std::lock_guard lock(mutex);
+      order.push_back(i);
+      ++fired;
+    });
+  }
+  while (fired.load() < 8) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  clock.stop();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// --- Executor ---------------------------------------------------------------
+
+TEST(ThreadedExecutor, SingleWorkerRunsTasksInPostingOrder) {
+  std::vector<int> order;
+  {
+    ThreadedExecutor executor(1);
+    for (int i = 0; i < 32; ++i) {
+      executor.post([&order, i] { order.push_back(i); });
+    }
+    executor.stop();  // drains the queue before joining
+  }
+  std::vector<int> expected(32);
+  for (int i = 0; i < 32; ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+}
+
+// --- Transport --------------------------------------------------------------
+
+struct PingMsg final : Message {
+  int value = 0;
+  std::string type_name() const override { return "ping"; }
+};
+
+TEST(ThreadedTransport, DeliversInSendOrderOverFifoChannel) {
+  ThreadedRuntime rt({.workers = 4, .seed = 7});
+  Transport& net = rt.transport();
+  const NodeId a = net.add_node("a");
+  std::mutex mutex;
+  std::vector<int> received;
+  std::atomic<int> count{0};
+  const NodeId b = net.add_node("b", [&](NodeId, MessagePtr message) {
+    const auto& ping = dynamic_cast<const PingMsg&>(*message);
+    std::lock_guard lock(mutex);
+    received.push_back(ping.value);
+    ++count;
+  });
+  net.connect(a, b, ChannelConfig{ms(1), /*jitter=*/us(500), 0.0, /*fifo=*/true});
+  for (int i = 0; i < 24; ++i) {
+    auto msg = std::make_shared<PingMsg>();
+    msg->value = i;
+    EXPECT_TRUE(net.send(a, b, msg));
+  }
+  EXPECT_TRUE(rt.wait_until([&] { return count.load() == 24; }));
+  rt.shutdown();
+  std::vector<int> expected(24);
+  for (int i = 0; i < 24; ++i) expected[i] = i;
+  EXPECT_EQ(received, expected);
+  const ChannelStats stats = net.channel_stats(a, b);
+  EXPECT_EQ(stats.sent, 24U);
+  EXPECT_EQ(stats.delivered, 24U);
+}
+
+TEST(ThreadedTransport, LossAndPartitionDropMessages) {
+  ThreadedRuntime rt;
+  Transport& net = rt.transport();
+  const NodeId a = net.add_node("a");
+  std::atomic<int> count{0};
+  const NodeId b = net.add_node("b", [&](NodeId, MessagePtr) { ++count; });
+  net.connect(a, b, ChannelConfig{us(100), 0, /*loss=*/1.0, true});
+  EXPECT_FALSE(net.send(a, b, std::make_shared<PingMsg>()));
+  net.set_loss(a, b, 0.0);
+  net.partition_pair(a, b, true);
+  EXPECT_FALSE(net.send(a, b, std::make_shared<PingMsg>()));
+  net.partition_pair(a, b, false);
+  EXPECT_TRUE(net.send(a, b, std::make_shared<PingMsg>()));
+  EXPECT_TRUE(rt.wait_until([&] { return count.load() == 1; }));
+  rt.shutdown();
+  const ChannelStats stats = net.channel_stats(a, b);
+  EXPECT_EQ(stats.dropped_loss, 1U);
+  EXPECT_EQ(stats.dropped_partition, 1U);
+  EXPECT_EQ(stats.delivered, 1U);
+}
+
+// --- End-to-end: the paper's 5-step MAP on real threads ---------------------
+
+struct StubProcess : proto::AdaptableProcess {
+  std::atomic<int> applies{0};
+  std::atomic<int> resumes{0};
+  bool prepare(const proto::LocalCommand&) override { return true; }
+  void reach_safe_state(bool, std::function<void()> reached) override { reached(); }
+  void abort_safe_state() override {}
+  bool apply(const proto::LocalCommand&) override {
+    ++applies;
+    return true;
+  }
+  bool undo(const proto::LocalCommand&) override { return true; }
+  void resume() override { ++resumes; }
+};
+
+TEST(ThreadedRuntimeSmoke, PaperMapRunsEndToEndOnRealThreads) {
+  ThreadedRuntime rt({.workers = 4, .seed = 42});
+  core::SafeAdaptationSystem system(rt);
+  core::configure_paper_system(system);
+  StubProcess server, handheld, laptop;
+  system.attach_process(core::kServerProcess, server, /*stage=*/0);
+  system.attach_process(core::kHandheldProcess, handheld, /*stage=*/1);
+  system.attach_process(core::kLaptopProcess, laptop, /*stage=*/1);
+  system.finalize();
+  system.set_current_configuration(core::paper_source(system.registry()));
+  rt.transport().set_tracing(true);
+
+  const auto result = system.adapt_and_wait(core::paper_target(system.registry()));
+
+  EXPECT_EQ(result.outcome, proto::AdaptationOutcome::Success);
+  EXPECT_EQ(result.final_config, core::paper_target(system.registry()));
+  EXPECT_EQ(result.steps_committed, 5U);
+  EXPECT_EQ(result.step_failures, 0U);
+
+  // Same MAP the simulator produces: planning is deterministic and
+  // backend-independent.
+  std::vector<std::string> actions;
+  for (const proto::StepRecord& record : system.manager().step_log()) {
+    EXPECT_TRUE(record.committed);
+    actions.push_back(record.action_name);
+  }
+  EXPECT_EQ(actions, (std::vector<std::string>{"A2", "A17", "A1", "A16", "A4"}));
+  EXPECT_EQ(server.applies.load(), 1);
+  EXPECT_EQ(handheld.applies.load(), 2);
+  EXPECT_EQ(laptop.applies.load(), 2);
+
+  // Quiesce, then conformance-check the real-thread trace against the
+  // Figure 1 / Figure 2 automata — the same checker the simulator runs.
+  rt.shutdown();
+  const auto violations =
+      proto::ConformanceChecker(system.manager_node()).check(rt.transport().trace());
+  for (const auto& violation : violations) {
+    ADD_FAILURE() << "conformance violation at t=" << violation.time << ": "
+                  << violation.description;
+  }
+  EXPECT_FALSE(rt.transport().trace().empty());
+}
+
+}  // namespace
+}  // namespace sa::runtime

@@ -5,6 +5,7 @@
 
 #include "core/video_testbed.hpp"
 #include "video/stream.hpp"
+#include "sim/simulator.hpp"
 
 namespace sa::core {
 namespace {
