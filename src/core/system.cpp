@@ -1,6 +1,8 @@
 #include "core/system.hpp"
 
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "runtime/sim_runtime.hpp"
@@ -108,22 +110,29 @@ void SafeAdaptationSystem::request_adaptation(
 proto::AdaptationResult SafeAdaptationSystem::adapt_and_wait(config::Configuration target,
                                                              std::size_t max_events) {
   // The completion handler may fire on a runtime thread, so the result slot
-  // is guarded for the threaded backend; on the simulator this is free.
-  std::mutex mutex;
-  std::optional<proto::AdaptationResult> result;
-  manager().request_adaptation(target, [&](const proto::AdaptationResult& r) {
-    std::lock_guard lock(mutex);
-    result = r;
+  // is guarded for the threaded backend; on the simulator this is free. The
+  // handler co-owns the slot: if wait_until gives up (threaded real-time cap)
+  // this function throws while the manager still holds the handler, and a
+  // late completion must write into the shared block, not through dangling
+  // references into our dead stack frame.
+  struct WaitState {
+    std::mutex mutex;
+    std::optional<proto::AdaptationResult> result;
+  };
+  auto state = std::make_shared<WaitState>();
+  manager().request_adaptation(target, [state](const proto::AdaptationResult& r) {
+    std::lock_guard lock(state->mutex);
+    state->result = r;
   });
   runtime_->wait_until(
       [&] {
-        std::lock_guard lock(mutex);
-        return result.has_value();
+        std::lock_guard lock(state->mutex);
+        return state->result.has_value();
       },
       max_events);
-  std::lock_guard lock(mutex);
-  if (!result) throw std::runtime_error("adaptation did not terminate within event budget");
-  return *result;
+  std::lock_guard lock(state->mutex);
+  if (!state->result) throw std::runtime_error("adaptation did not terminate within event budget");
+  return *state->result;
 }
 
 }  // namespace sa::core

@@ -31,6 +31,24 @@ void AdaptationAgent::send(const StepRef& step, Msg prototype) {
   transport_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
 }
 
+void AdaptationAgent::schedule_pending(runtime::Time delay, std::function<void()> body) {
+  const std::uint64_t gen = ++pending_gen_;
+  pending_event_ = clock_->schedule_after(delay, [this, gen, body = std::move(body)] {
+    std::lock_guard lock(mutex_);
+    if (gen != pending_gen_) return;  // cancelled or superseded after dequeue
+    pending_event_ = 0;
+    body();
+  });
+}
+
+void AdaptationAgent::cancel_pending() {
+  if (pending_event_ != 0) {
+    clock_->cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  ++pending_gen_;  // invalidate a fire that cancel() was too late to stop
+}
+
 void AdaptationAgent::on_message(runtime::NodeId from, runtime::MessagePtr message) {
   std::lock_guard lock(mutex_);
   if (from != manager_) {
@@ -89,9 +107,7 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
   SA_DEBUG("agent") << "node " << node_ << ": reset " << msg.step.describe() << " ["
                     << current_command_.describe() << (drain ? ", drain" : "") << "]";
 
-  pending_event_ = clock_->schedule_after(config_.pre_action_duration, [this, drain] {
-    std::lock_guard lock(mutex_);
-    pending_event_ = 0;
+  schedule_pending(config_.pre_action_duration, [this, drain] {
     prepared_ = process_->prepare(current_command_);
     if (!prepared_) {
       SA_WARN("agent") << "node " << node_ << ": pre-action failed; holding in resetting state";
@@ -114,9 +130,7 @@ void AdaptationAgent::enter_safe_state() {
 }
 
 void AdaptationAgent::start_in_action() {
-  pending_event_ = clock_->schedule_after(config_.in_action_duration, [this] {
-    std::lock_guard lock(mutex_);
-    pending_event_ = 0;
+  schedule_pending(config_.in_action_duration, [this] {
     if (!process_->apply(current_command_)) {
       SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
       return;  // manager's adapt timeout will trigger rollback
@@ -128,11 +142,7 @@ void AdaptationAgent::start_in_action() {
       // Fig. 1: the only process involved proceeds straight to resuming
       // without blocking for the manager's resume message.
       state_ = AgentState::Resuming;
-      pending_event_ = clock_->schedule_after(config_.resume_duration, [this] {
-        std::lock_guard lock(mutex_);
-        pending_event_ = 0;
-        finish_resume(/*proactive=*/true);
-      });
+      schedule_pending(config_.resume_duration, [this] { finish_resume(/*proactive=*/true); });
     }
   });
 }
@@ -157,11 +167,7 @@ void AdaptationAgent::finish_resume(bool proactive) {
 void AdaptationAgent::on_resume(const ResumeMsg& msg) {
   if (state_ == AgentState::Adapted && current_step_ && *current_step_ == msg.step) {
     state_ = AgentState::Resuming;
-    pending_event_ = clock_->schedule_after(config_.resume_duration, [this] {
-      std::lock_guard lock(mutex_);
-      pending_event_ = 0;
-      finish_resume(/*proactive=*/false);
-    });
+    schedule_pending(config_.resume_duration, [this] { finish_resume(/*proactive=*/false); });
     return;
   }
   if (state_ == AgentState::Resuming && current_step_ && *current_step_ == msg.step) {
@@ -187,10 +193,7 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       if (!matches_current) break;
       // Pre-action or in-action timer may still be pending; cancel it. No
       // undo is needed: the in-action has not mutated anything yet.
-      if (pending_event_ != 0) {
-        clock_->cancel(pending_event_);
-        pending_event_ = 0;
-      }
+      cancel_pending();
       process_->abort_safe_state();
       ++stats_.rollbacks_performed;
       last_rolled_back_ = msg.step;
@@ -204,9 +207,7 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       // Undo the in-action, then unblock. Modeled with the in-action
       // duration since it performs the symmetric structural change.
       state_ = AgentState::Resuming;
-      pending_event_ = clock_->schedule_after(config_.in_action_duration, [this, msg] {
-        std::lock_guard lock(mutex_);
-        pending_event_ = 0;
+      schedule_pending(config_.in_action_duration, [this, msg] {
         process_->undo(current_command_);
         process_->resume();
         stats_.total_blocked += clock_->now() - blocked_since_;

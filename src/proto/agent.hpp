@@ -14,6 +14,8 @@
 // how loss-of-message failures are survived.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -55,8 +57,16 @@ class AdaptationAgent {
                   runtime::NodeId manager_node, AdaptableProcess& process,
                   AgentConfig config = {});
 
-  AgentState state() const { return state_; }
-  const AgentStats& stats() const { return stats_; }
+  /// Copies taken under the entity lock: runtime threads mutate this state,
+  /// so polling during a threaded run must not read it unlocked.
+  AgentState state() const {
+    std::lock_guard lock(mutex_);
+    return state_;
+  }
+  AgentStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
   runtime::NodeId node() const { return node_; }
 
   void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
@@ -70,6 +80,13 @@ class AdaptationAgent {
   void enter_safe_state();
   void start_in_action();
   void finish_resume(bool proactive);
+
+  /// Schedules `body` as the agent's single pending pre/in/resume action.
+  /// The callback captures the current generation and bails on mismatch, so
+  /// a fire that raced a failed cancel_pending() on the threaded backend
+  /// cannot mutate state that belongs to a newer step. Call under mutex_.
+  void schedule_pending(runtime::Time delay, std::function<void()> body);
+  void cancel_pending();
 
   template <typename Msg>
   void send(const StepRef& step, Msg prototype = {});
@@ -87,6 +104,7 @@ class AdaptationAgent {
   bool sole_participant_ = false;
   bool prepared_ = false;
   runtime::TimerId pending_event_ = 0;  ///< in-flight pre/in-action timer
+  std::uint64_t pending_gen_ = 0;       ///< see schedule_pending()
   runtime::Time blocked_since_ = 0;
 
   std::optional<StepRef> last_completed_;   ///< resumed successfully

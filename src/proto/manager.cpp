@@ -198,9 +198,11 @@ void AdaptationManager::maybe_advance_stage() {
   // Let in-flight application data reach the downstream processes before
   // asking them to drain and block.
   current_stage_ = next_stage;
+  const std::uint64_t gen = ++stage_delay_gen_;
   stage_delay_event_ =
-      clock_->schedule_after(config_.inter_stage_delay, [this, next_stage] {
+      clock_->schedule_after(config_.inter_stage_delay, [this, next_stage, gen] {
         std::lock_guard lock(mutex_);
+        if (gen != stage_delay_gen_) return;  // disarmed after dequeue
         stage_delay_event_ = 0;
         send_stage_resets(next_stage);
         arm_timer(config_.reset_timeout);
@@ -309,8 +311,15 @@ void AdaptationManager::commit_step() {
 
 void AdaptationManager::arm_timer(runtime::Time timeout) {
   disarm_timer();
-  timer_ = clock_->schedule_after(timeout, [this] {
+  // The generation guard defuses stale fires on the threaded backend: once
+  // the timer thread has dequeued the callback, cancel() returns false and
+  // the callback will still run, but it then observes a newer generation and
+  // bails instead of clobbering a re-armed timer_ or firing in the wrong
+  // phase. On the simulator cancel() always wins, so the guard never trips.
+  const std::uint64_t gen = ++timer_gen_;
+  timer_ = clock_->schedule_after(timeout, [this, gen] {
     std::lock_guard lock(mutex_);
+    if (gen != timer_gen_) return;  // superseded or disarmed after dequeue
     timer_ = 0;
     on_timeout();
   });
@@ -321,10 +330,12 @@ void AdaptationManager::disarm_timer() {
     clock_->cancel(timer_);
     timer_ = 0;
   }
+  ++timer_gen_;  // invalidate a fire that cancel() was too late to stop
   if (stage_delay_event_ != 0) {
     clock_->cancel(stage_delay_event_);
     stage_delay_event_ = 0;
   }
+  ++stage_delay_gen_;
 }
 
 void AdaptationManager::on_timeout() {

@@ -141,8 +141,17 @@ class AdaptationManager {
   const actions::SafeAdaptationGraph& sag() const { return *sag_; }
   const actions::PathPlanner& planner() const { return *planner_; }
 
-  const std::vector<StepRecord>& step_log() const { return step_log_; }
-  runtime::Time total_blocked_reported() const { return total_blocked_reported_; }
+  /// Copies taken under the entity lock: runtime threads append/mutate these
+  /// mid-adaptation, so references would race when polled during a threaded
+  /// run (e.g. inside a wait_until predicate).
+  std::vector<StepRecord> step_log() const {
+    std::lock_guard lock(mutex_);
+    return step_log_;
+  }
+  runtime::Time total_blocked_reported() const {
+    std::lock_guard lock(mutex_);
+    return total_blocked_reported_;
+  }
 
  private:
   struct AgentEndpoint {
@@ -224,6 +233,11 @@ class AdaptationManager {
   int retries_left_ = 0;
   runtime::TimerId timer_ = 0;
   runtime::TimerId stage_delay_event_ = 0;
+  /// Bumped on every arm/disarm; timer callbacks capture the value at arm
+  /// time and bail on mismatch, so a fire that raced a failed cancel() on the
+  /// threaded backend cannot act in the wrong phase.
+  std::uint64_t timer_gen_ = 0;
+  std::uint64_t stage_delay_gen_ = 0;
 
   std::vector<StepRecord> step_log_;
   runtime::Time total_blocked_reported_ = 0;

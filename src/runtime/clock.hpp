@@ -17,10 +17,11 @@ class Clock {
   virtual Time now() const = 0;
 
   /// Schedules `fn` at absolute time `t` (>= now()). Returns an id usable
-  /// with cancel().
+  /// with cancel(), or 0 if the backend is shutting down and dropped `fn`.
   virtual TimerId schedule_at(Time t, std::function<void()> fn) = 0;
 
-  /// Schedules `fn` `delay` microseconds from now().
+  /// Schedules `fn` `delay` microseconds from now(). Same shutdown semantics
+  /// as schedule_at().
   virtual TimerId schedule_after(Time delay, std::function<void()> fn) = 0;
 
   /// Cancels a pending timer; returns false if it already fired or was

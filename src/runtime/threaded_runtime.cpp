@@ -22,6 +22,10 @@ Time ThreadedClock::now() const {
 TimerId ThreadedClock::schedule_at(Time t, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("timer callback must be non-empty");
   std::lock_guard lock(mutex_);
+  // Match ThreadedExecutor::post's shutdown semantics: work arriving after
+  // stop() (e.g. from a worker still draining a mailbox) is dropped rather
+  // than inserted as a timer that can never fire.
+  if (stopping_) return 0;
   // Real time keeps moving while the caller computes deadlines, so a "past"
   // deadline is not an error here: it fires as soon as possible.
   const TimerId id = next_id_++;
@@ -174,8 +178,6 @@ bool ThreadedTransport::has_channel(NodeId from, NodeId to) const {
 }
 
 bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
-  Time arrival = 0;
-  Time copy_arrival = -1;
   {
     std::lock_guard lock(mutex_);
     const auto it = channels_.find({from, to});
@@ -215,11 +217,12 @@ bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
     if (ch.config.jitter > 0) {
       delay += static_cast<Time>(rng_.next_below(static_cast<std::uint64_t>(ch.config.jitter) + 1));
     }
-    arrival = send_complete + delay;
+    Time arrival = send_complete + delay;
     if (ch.config.fifo && arrival < ch.last_delivery) arrival = ch.last_delivery;
     ch.last_delivery = arrival;
     ++ch.stats.delivered;
 
+    Time copy_arrival = -1;
     if (ch.config.duplicate_probability > 0.0 && rng_.next_bool(ch.config.duplicate_probability)) {
       copy_arrival =
           arrival + 1 +
@@ -230,12 +233,17 @@ bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
       ch.last_delivery = std::max(ch.last_delivery, copy_arrival);
       ++ch.stats.duplicated;
     }
-  }
 
-  clock_->schedule_at(arrival, [this, to, from, message] { enqueue_delivery(to, from, message); });
-  if (copy_arrival >= 0) {
-    clock_->schedule_at(copy_arrival,
-                        [this, to, from, message] { enqueue_delivery(to, from, message); });
+    // Schedule while still holding mutex_: two racing sends on a FIFO channel
+    // can be clamped to the same arrival time, and only the (deadline, id)
+    // tie-break keeps them ordered — so the clock must hand out ids in clamp
+    // order. ThreadedClock::schedule_at takes only its own lock, so there is
+    // no lock-order cycle (the timer thread calls back without holding it).
+    clock_->schedule_at(arrival, [this, to, from, message] { enqueue_delivery(to, from, message); });
+    if (copy_arrival >= 0) {
+      clock_->schedule_at(copy_arrival,
+                          [this, to, from, message] { enqueue_delivery(to, from, message); });
+    }
   }
   return true;
 }

@@ -44,7 +44,8 @@ class ThreadedClock final : public Clock {
   TimerId schedule_after(Time delay, std::function<void()> fn) override;
   bool cancel(TimerId id) override;
 
-  /// Stops the timer thread; pending timers are dropped. Idempotent.
+  /// Stops the timer thread; pending timers are dropped, and later
+  /// schedule calls drop their callback and return 0. Idempotent.
   void stop();
 
  private:

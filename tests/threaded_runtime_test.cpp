@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/paper_scenario.hpp"
@@ -68,6 +69,18 @@ TEST(ThreadedClock, EqualDeadlinesFireInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
+TEST(ThreadedClock, ScheduleAfterStopDropsTimerAndReturnsZero) {
+  ThreadedClock clock;
+  clock.stop();
+  std::atomic<bool> fired{false};
+  // Matches ThreadedExecutor::post: late work is dropped, and the caller can
+  // tell (id 0) rather than holding an id that will never fire or cancel.
+  EXPECT_EQ(clock.schedule_after(ms(1), [&] { fired = true; }), 0U);
+  EXPECT_EQ(clock.schedule_at(clock.now(), [&] { fired = true; }), 0U);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(fired.load());
+}
+
 // --- Executor ---------------------------------------------------------------
 
 TEST(ThreadedExecutor, SingleWorkerRunsTasksInPostingOrder) {
@@ -118,6 +131,51 @@ TEST(ThreadedTransport, DeliversInSendOrderOverFifoChannel) {
   const ChannelStats stats = net.channel_stats(a, b);
   EXPECT_EQ(stats.sent, 24U);
   EXPECT_EQ(stats.delivered, 24U);
+}
+
+TEST(ThreadedTransport, FifoOrderSurvivesConcurrentSenders) {
+  ThreadedRuntime rt({.workers = 4, .seed = 11});
+  Transport& net = rt.transport();
+  const NodeId a = net.add_node("a");
+  std::mutex mutex;
+  std::vector<int> received;
+  std::atomic<int> count{0};
+  const NodeId b = net.add_node("b", [&](NodeId, MessagePtr message) {
+    const auto& ping = dynamic_cast<const PingMsg&>(*message);
+    std::lock_guard lock(mutex);
+    received.push_back(ping.value);
+    ++count;
+  });
+  // Zero latency maximizes FIFO-clamp collisions: concurrent senders get
+  // equal arrival times and only the schedule-order tie-break separates them.
+  net.connect(a, b, ChannelConfig{0, 0, 0.0, /*fifo=*/true});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto msg = std::make_shared<PingMsg>();
+        msg->value = t * kPerThread + i;
+        net.send(a, b, msg);
+      }
+    });
+  }
+  for (std::thread& sender : senders) sender.join();
+  EXPECT_TRUE(rt.wait_until([&] { return count.load() == kThreads * kPerThread; }));
+  rt.shutdown();
+
+  // The channel serializes racing sends in clamp order, so each sender's own
+  // messages must arrive in the order it sent them.
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<int> last_seen(kThreads, -1);
+  for (const int value : received) {
+    const int thread = value / kPerThread;
+    EXPECT_LT(last_seen[thread], value % kPerThread)
+        << "per-sender order violated for sender " << thread;
+    last_seen[thread] = value % kPerThread;
+  }
 }
 
 TEST(ThreadedTransport, LossAndPartitionDropMessages) {
