@@ -9,6 +9,8 @@
 // system parked at a safe configuration.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -163,7 +165,5 @@ int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_loss_sweep();
   print_fail_to_reset_outcomes();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "failure_recovery");
 }

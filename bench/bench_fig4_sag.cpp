@@ -6,6 +6,8 @@
 // at 50 ms, followed by timings of SAG construction and path planning.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -105,7 +107,5 @@ BENCHMARK(BM_EndToEndDetectionAndSetupPhase);
 int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_table2_and_fig4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "fig4_sag");
 }

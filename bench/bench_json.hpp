@@ -1,0 +1,90 @@
+// Shared machine-readable output for the benchmark executables.
+//
+// Every bench calls run_and_report(argc, argv, "<name>") instead of the
+// Initialize + RunSpecifiedBenchmarks pair. Benchmarks still print the usual
+// console table, and every run is additionally written to BENCH_<name>.json
+// in the working directory: one entry per benchmark with its full name
+// (including parameter suffixes like "/10"), iteration count, real/cpu
+// wall-clock, and any user counters the bench attached (derived metrics such
+// as retries per run). CI runs the benches with a small repetition budget and
+// uploads these files as artifacts so regressions are diffable across
+// commits.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sa::benchio {
+
+namespace detail {
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Prints the normal console table and keeps a copy of every run for the
+/// JSON file written after the run completes.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    collected_.insert(collected_.end(), runs.begin(), runs.end());
+  }
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+}  // namespace detail
+
+inline int run_and_report(int argc, char** argv, const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  detail::TeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"name\": \"" << detail::json_escape(name) << "\",\n  \"benchmarks\": [";
+  bool first = true;
+  for (const auto& run : reporter.collected()) {
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << detail::json_escape(run.benchmark_name()) << "\""
+        << ", \"iterations\": " << run.iterations
+        << ", \"real_time\": " << run.GetAdjustedRealTime()
+        << ", \"cpu_time\": " << run.GetAdjustedCPUTime()
+        << ", \"time_unit\": \"" << benchmark::GetTimeUnitString(run.time_unit) << "\"";
+    if (!run.counters.empty()) {
+      out << ", \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [counter_name, counter] : run.counters) {
+        out << (first_counter ? "" : ", ") << "\"" << detail::json_escape(counter_name)
+            << "\": " << static_cast<double>(counter);
+        first_counter = false;
+      }
+      out << "}";
+    }
+    out << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  std::fprintf(stderr, "benchmark report: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace sa::benchio

@@ -8,6 +8,8 @@
 // the processes the step's action touches.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -116,12 +118,24 @@ void BM_AdaptationUnderControlLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptationUnderControlLoss)->Arg(0)->Arg(10)->Arg(20);
 
+// Guards the disabled-logging fast path: a record below the global level must
+// not copy the component string or construct a stringstream, so protocol hot
+// paths can keep SA_DEBUG statements without paying for them. Expect a few ns
+// per statement; a regression to ~100ns means the lazy path broke.
+void BM_DisabledLogging(benchmark::State& state) {
+  util::set_log_level(util::LogLevel::Off);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    SA_DEBUG("bench-component-with-a-longer-name") << "value=" << x << " and more text " << 3.14;
+    benchmark::DoNotOptimize(x++);
+  }
+}
+BENCHMARK(BM_DisabledLogging);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_protocol_trace();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "protocol");
 }

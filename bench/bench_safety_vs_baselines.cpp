@@ -12,6 +12,8 @@
 // produces a larger worst-case player gap than the staged safe protocol.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -136,7 +138,5 @@ BENCHMARK(BM_GlobalQuiescenceRun)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_comparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "safety_vs_baselines");
 }

@@ -13,6 +13,8 @@
 // near-linear in the number of clusters.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -288,7 +290,5 @@ int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_scaling_table();
   print_composite_realization();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "scalability");
 }

@@ -6,6 +6,8 @@
 // timings of the three enumeration strategies.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <cstdio>
@@ -76,7 +78,5 @@ BENCHMARK(BM_InvariantCheckSingleConfiguration);
 int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   print_table1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "table1");
 }

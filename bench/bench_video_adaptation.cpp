@@ -9,6 +9,8 @@
 // more packet delay than single-component actions; the MAP avoids them.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "util/log.hpp"
 
 #include <algorithm>
@@ -173,7 +175,5 @@ int main(int argc, char** argv) {
   sa::util::set_log_level(sa::util::LogLevel::Off);
   run_map_on_live_stream();
   compare_single_vs_pair_action();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sa::benchio::run_and_report(argc, argv, "video_adaptation");
 }

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a JSONL protocol trace produced by `sa_run --trace-out`.
+
+Stdlib-only; CI runs it against the paper scenario's trace. Checks:
+
+  * every line is a JSON object with integer `seq`, `t`, and a known `kind`
+  * `seq` is dense from 0 in file order
+  * timestamps are non-negative and non-decreasing (the simulator's virtual
+    clock never runs backwards; the recorder appends in execution order)
+  * message-level events carry distinct `from`/`to` endpoints and a `name`
+  * timer events carry a label in `name`
+  * `manager_phase` events chain (each `detail` equals the previous `name`)
+    and only use transitions of the Fig. 2 manager automaton
+  * `agent_state` events chain per track and only use transitions of the
+    Fig. 1 process automaton
+
+Usage: check_trace.py TRACE.jsonl
+"""
+
+import json
+import sys
+
+KINDS = {
+    "adaptation_requested", "plan_computed", "step_started", "step_committed",
+    "step_rolled_back", "adaptation_finished", "manager_phase", "agent_state",
+    "message_sent", "message_delivered", "message_dropped", "message_duplicated",
+    "timer_armed", "timer_fired", "timer_cancelled",
+}
+MESSAGE_KINDS = {"message_sent", "message_delivered", "message_dropped", "message_duplicated"}
+TIMER_KINDS = {"timer_armed", "timer_fired", "timer_cancelled"}
+
+# Fig. 2: the adaptation manager's phases.
+MANAGER_TRANSITIONS = {
+    "running": {"preparing"},
+    "preparing": {"adapting", "running"},
+    "adapting": {"adapted", "rolling-back"},
+    "adapted": {"resuming"},
+    "resuming": {"resumed", "running"},
+    "resumed": {"adapting", "running"},
+    "rolling-back": {"running", "adapting"},
+}
+
+# Fig. 1: each adaptable process's states.
+AGENT_TRANSITIONS = {
+    "running": {"resetting"},
+    "resetting": {"safe", "running"},
+    "safe": {"adapted", "running"},
+    "adapted": {"resuming"},
+    "resuming": {"running"},
+}
+
+
+def fail(line_no, message):
+    print(f"check_trace: line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    manager_phase = "running"
+    agent_state = {}  # track -> state
+    last_t = 0
+    counts = {}
+
+    with open(sys.argv[1], encoding="utf-8") as trace:
+        line_no = 0
+        for line_no, line in enumerate(trace, start=1):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(line_no, f"invalid JSON: {error}")
+            if not isinstance(event, dict):
+                fail(line_no, "event is not a JSON object")
+
+            seq, t, kind = event.get("seq"), event.get("t"), event.get("kind")
+            if seq != line_no - 1:
+                fail(line_no, f"seq {seq} is not dense (expected {line_no - 1})")
+            if not isinstance(t, int) or t < 0:
+                fail(line_no, f"bad timestamp {t!r}")
+            if t < last_t:
+                fail(line_no, f"timestamp went backwards ({t} < {last_t})")
+            last_t = t
+            if kind not in KINDS:
+                fail(line_no, f"unknown kind {kind!r}")
+            counts[kind] = counts.get(kind, 0) + 1
+
+            if kind in MESSAGE_KINDS:
+                src, dst = event.get("from"), event.get("to")
+                if not isinstance(src, int) or not isinstance(dst, int):
+                    fail(line_no, "message event without integer from/to")
+                if src == dst:
+                    fail(line_no, f"message event with from == to == {src}")
+                if not event.get("name"):
+                    fail(line_no, "message event without a message type name")
+
+            if kind in TIMER_KINDS and not event.get("name"):
+                fail(line_no, "timer event without a label")
+
+            if kind == "manager_phase":
+                prev, new = event.get("detail"), event.get("name")
+                if prev != manager_phase:
+                    fail(line_no, f"manager phase chain broken: trace says "
+                                  f"{prev!r} -> {new!r} but current phase is "
+                                  f"{manager_phase!r}")
+                if new not in MANAGER_TRANSITIONS.get(prev, ()):
+                    fail(line_no, f"illegal Fig. 2 transition {prev!r} -> {new!r}")
+                manager_phase = new
+
+            if kind == "agent_state":
+                track = event.get("track")
+                if not isinstance(track, int) or track < 0:
+                    fail(line_no, f"agent_state event with bad track {track!r}")
+                prev, new = event.get("detail"), event.get("name")
+                current = agent_state.get(track, "running")
+                if prev != current:
+                    fail(line_no, f"agent {track} state chain broken: trace says "
+                                  f"{prev!r} -> {new!r} but current state is {current!r}")
+                if new not in AGENT_TRANSITIONS.get(prev, ()):
+                    fail(line_no, f"illegal Fig. 1 transition {prev!r} -> {new!r}")
+                agent_state[track] = new
+
+    if line_no == 0:
+        print("check_trace: empty trace", file=sys.stderr)
+        return 1
+    if manager_phase != "running":
+        print(f"check_trace: trace ends with manager phase {manager_phase!r}, "
+              f"expected 'running'", file=sys.stderr)
+        return 1
+    for track, state in sorted(agent_state.items()):
+        if state != "running":
+            print(f"check_trace: trace ends with agent {track} in state {state!r}, "
+                  f"expected 'running'", file=sys.stderr)
+            return 1
+
+    summary = ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
+    print(f"check_trace: OK — {line_no} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,12 @@ sim::Network& SafeAdaptationSystem::network() {
   return backend->network();
 }
 
-SafeAdaptationSystem::~SafeAdaptationSystem() = default;
+SafeAdaptationSystem::~SafeAdaptationSystem() {
+  // A caller-owned runtime (threaded backend) outlives this system: detach
+  // the transport observer so late deliveries cannot reach the recorder and
+  // registry that are about to be destroyed.
+  if (finalized()) runtime_->transport().set_observer(nullptr, nullptr);
+}
 
 void SafeAdaptationSystem::add_invariant(std::string name, std::string_view expression) {
   if (finalized()) throw std::logic_error("cannot add invariants after finalize()");
@@ -64,6 +69,9 @@ void SafeAdaptationSystem::finalize() {
   if (finalized()) throw std::logic_error("finalize() called twice");
   manager_ = std::make_unique<proto::AdaptationManager>(*runtime_, manager_node_, invariants_,
                                                         actions_, config_.manager);
+  tracer_.set_track_name(obs::kManagerTrack, "manager");
+  tracer_.set_node_track(manager_node_, obs::kManagerTrack);
+  manager_->set_observability(&tracer_, &metrics_);
   for (const PendingProcess& pending : pending_) {
     const runtime::NodeId node =
         runtime_->transport().add_node("agent-p" + std::to_string(pending.process));
@@ -73,7 +81,12 @@ void SafeAdaptationSystem::finalize() {
         config_.agent);
     agent_nodes_[pending.process] = node;
     manager_->register_agent(pending.process, node, pending.stage);
+    const auto track = static_cast<std::int64_t>(pending.process);
+    tracer_.set_track_name(track, runtime_->transport().node_name(node));
+    tracer_.set_node_track(node, track);
+    agents_[pending.process]->set_observability(&tracer_, &metrics_, track);
   }
+  runtime_->transport().set_observer(&tracer_, &metrics_);
 }
 
 void SafeAdaptationSystem::set_current_configuration(config::Configuration config) {

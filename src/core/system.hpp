@@ -22,6 +22,8 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "proto/agent.hpp"
 #include "proto/manager.hpp"
 #include "runtime/runtime.hpp"
@@ -87,6 +89,17 @@ class SafeAdaptationSystem {
 
   runtime::Runtime& runtime() { return *runtime_; }
 
+  // --- observability ----------------------------------------------------------
+  /// Protocol-aware trace recorder wired through the manager, every agent,
+  /// and the transport at finalize() time. Disabled by default; call
+  /// `tracer().set_enabled(true)` (before or after finalize) to capture
+  /// events, then hand the recorder to an obs::export function.
+  obs::TraceRecorder& tracer() { return tracer_; }
+  /// Protocol metrics (latency/blocking histograms, message and outcome
+  /// counters). Always on — counters are cheap — and exportable with
+  /// obs::write_prometheus.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Deterministic-backend escape hatches; throw std::logic_error when the
   /// system runs over a non-simulated runtime.
   sim::Simulator& simulator();
@@ -105,6 +118,11 @@ class SafeAdaptationSystem {
   config::ComponentRegistry registry_;
   config::InvariantSet invariants_;
   actions::ActionTable actions_;
+
+  /// Declared before the manager/agents (which hold raw pointers into them)
+  /// so destruction runs protocol entities first, observability last.
+  obs::TraceRecorder tracer_;
+  obs::MetricsRegistry metrics_;
 
   struct PendingProcess {
     config::ProcessId process;

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sa::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += v;
+  ++count_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return HistogramSnapshot{bounds_, counts_, sum_, count_};
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+std::vector<double> default_time_buckets_us() {
+  return {100,    250,    500,     1'000,   2'500,     5'000,    10'000,
+          25'000, 50'000, 100'000, 250'000, 1'000'000, 5'000'000};
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(std::string_view name, std::string_view type,
+                                                    std::string_view help) {
+  const auto it = families_.find(name);
+  if (it != families_.end()) {
+    if (it->second.type != type) {
+      throw std::logic_error("metric family " + std::string(name) + " registered as " +
+                             it->second.type + ", requested as " + std::string(type));
+    }
+    return it->second;
+  }
+  Family& family = families_[std::string(name)];
+  family.type = std::string(type);
+  family.help = std::string(help);
+  return family;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Series& series = family_of(name, "counter", help).series[render_labels(labels)];
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Series& series = family_of(name, "gauge", help).series[render_labels(labels)];
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
+                                      Labels labels, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Series& series = family_of(name, "histogram", help).series[render_labels(labels)];
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *series.histogram;
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.type = family.type;
+    fs.help = family.help;
+    for (const auto& [labels, series] : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = labels;
+      if (series.counter) ss.value = static_cast<double>(series.counter->value());
+      if (series.gauge) ss.value = series.gauge->value();
+      if (series.histogram) ss.histogram = series.histogram->snapshot();
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+double MetricsRegistry::histogram_family_sum(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0;
+  double total = 0;
+  for (const auto& [labels, series] : it->second.series) {
+    if (series.histogram) total += series.histogram->sum();
+  }
+  return total;
+}
+
+}  // namespace sa::obs

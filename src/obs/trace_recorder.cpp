@@ -1,0 +1,83 @@
+#include "obs/trace_recorder.hpp"
+
+namespace sa::obs {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::AdaptationRequested: return "adaptation_requested";
+    case EventKind::PlanComputed: return "plan_computed";
+    case EventKind::StepStarted: return "step_started";
+    case EventKind::StepCommitted: return "step_committed";
+    case EventKind::StepRolledBack: return "step_rolled_back";
+    case EventKind::AdaptationFinished: return "adaptation_finished";
+    case EventKind::ManagerPhase: return "manager_phase";
+    case EventKind::AgentState: return "agent_state";
+    case EventKind::MessageSent: return "message_sent";
+    case EventKind::MessageDelivered: return "message_delivered";
+    case EventKind::MessageDropped: return "message_dropped";
+    case EventKind::MessageDuplicated: return "message_duplicated";
+    case EventKind::TimerArmed: return "timer_armed";
+    case EventKind::TimerFired: return "timer_fired";
+    case EventKind::TimerCancelled: return "timer_cancelled";
+  }
+  return "?";
+}
+
+bool is_message_event(EventKind kind) {
+  switch (kind) {
+    case EventKind::MessageSent:
+    case EventKind::MessageDelivered:
+    case EventKind::MessageDropped:
+    case EventKind::MessageDuplicated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void TraceRecorder::record(Event event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::set_track_name(std::int64_t track, std::string name) {
+  std::lock_guard lock(mutex_);
+  tracks_[track] = std::move(name);
+}
+
+void TraceRecorder::set_node_track(runtime::NodeId node, std::int64_t track) {
+  std::lock_guard lock(mutex_);
+  node_tracks_[node] = track;
+}
+
+std::vector<Event> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::map<std::int64_t, std::string> TraceRecorder::track_names() const {
+  std::lock_guard lock(mutex_);
+  return tracks_;
+}
+
+std::optional<std::int64_t> TraceRecorder::node_track(runtime::NodeId node) const {
+  std::lock_guard lock(mutex_);
+  const auto it = node_tracks_.find(node);
+  if (it == node_tracks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace sa::obs

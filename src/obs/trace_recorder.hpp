@@ -1,0 +1,62 @@
+// TraceRecorder: the append-only, thread-safe event log behind system.tracer().
+//
+// Instrumentation sites (manager, agents, transports) hold a raw pointer and
+// guard every record with enabled() — a relaxed atomic load — so a disabled
+// recorder costs one branch per site and allocates nothing. When enabled,
+// record() assigns a dense sequence number under the recorder mutex; on the
+// deterministic backend, append order (and therefore the exported byte
+// stream) is identical across same-seed runs.
+//
+// Tracks give span exporters a stable row per protocol entity: the manager
+// registers kManagerTrack, each agent registers its process id, and endpoint
+// NodeIds map onto tracks so message events can be attributed to the
+// endpoint that produced them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace sa::obs {
+
+class TraceRecorder {
+ public:
+  /// Recording gate; construction leaves it off so instrumentation is free
+  /// until a caller (sa_run --trace-out, a test) opts in.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends `event` (assigning its seq) when enabled; drops it otherwise.
+  void record(Event event);
+
+  /// Names a track for span exports ("manager", "agent-p0", ...).
+  void set_track_name(std::int64_t track, std::string name);
+  /// Associates a transport endpoint with a track, so message events recorded
+  /// by the transports can be attributed to protocol entities at export time.
+  void set_node_track(runtime::NodeId node, std::int64_t track);
+
+  /// Copies taken under the recorder lock — safe while runtime threads are
+  /// still appending, though a stable full trace requires quiescence.
+  std::vector<Event> events() const;
+  std::map<std::int64_t, std::string> track_names() const;
+  std::optional<std::int64_t> node_track(runtime::NodeId node) const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> events_;
+  std::map<std::int64_t, std::string> tracks_;
+  std::map<runtime::NodeId, std::int64_t> node_tracks_;
+};
+
+}  // namespace sa::obs

@@ -1,8 +1,18 @@
 #include "proto/agent.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace sa::proto {
+
+namespace {
+
+obs::StepCoords coords_of(const StepRef& ref) {
+  return obs::StepCoords{ref.request_id, ref.plan, ref.step_index, ref.attempt};
+}
+
+}  // namespace
 
 std::string_view to_string(AgentState state) {
   switch (state) {
@@ -31,12 +41,69 @@ void AdaptationAgent::send(const StepRef& step, Msg prototype) {
   transport_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
 }
 
-void AdaptationAgent::schedule_pending(runtime::Time delay, std::function<void()> body) {
+void AdaptationAgent::set_observability(obs::TraceRecorder* recorder,
+                                        obs::MetricsRegistry* metrics, std::int64_t track) {
+  std::lock_guard lock(mutex_);
+  recorder_ = recorder;
+  metrics_ = metrics;
+  track_ = track;
+}
+
+bool AdaptationAgent::tracing_enabled() const { return recorder_->enabled(); }
+
+void AdaptationAgent::trace_event(obs::Event event) {
+  event.time = clock_->now();
+  event.track = track_;
+  recorder_->record(std::move(event));
+}
+
+void AdaptationAgent::set_state(AgentState next) {
+  if (state_ == next) return;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::AgentState;
+    e.name = std::string(to_string(next));
+    e.detail = std::string(to_string(state_));
+    if (current_step_) e.coords = coords_of(*current_step_);
+    trace_event(std::move(e));
+  }
+  state_ = next;
+}
+
+void AdaptationAgent::note_duplicate(const char* type) {
+  ++stats_.duplicate_messages;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("sa_duplicate_protocol_messages_total", {{"type", type}},
+                  "Retransmitted / duplicated protocol messages seen by agents")
+        .inc();
+  }
+}
+
+void AdaptationAgent::schedule_pending(runtime::Time delay, const char* label,
+                                       std::function<void()> body) {
+  pending_label_ = label;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::TimerArmed;
+    if (current_step_) e.coords = coords_of(*current_step_);
+    e.name = label;
+    e.value = static_cast<double>(delay);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
   const std::uint64_t gen = ++pending_gen_;
-  pending_event_ = clock_->schedule_after(delay, [this, gen, body = std::move(body)] {
+  pending_event_ = clock_->schedule_after(delay, [this, gen, label, body = std::move(body)] {
     std::lock_guard lock(mutex_);
     if (gen != pending_gen_) return;  // cancelled or superseded after dequeue
     pending_event_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerFired;
+      if (current_step_) e.coords = coords_of(*current_step_);
+      e.name = label;
+      trace_event(std::move(e));
+    }
     body();
   });
 }
@@ -45,6 +112,13 @@ void AdaptationAgent::cancel_pending() {
   if (pending_event_ != 0) {
     clock_->cancel(pending_event_);
     pending_event_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerCancelled;
+      if (current_step_) e.coords = coords_of(*current_step_);
+      e.name = pending_label_;
+      trace_event(std::move(e));
+    }
   }
   ++pending_gen_;  // invalidate a fire that cancel() was too late to stop
 }
@@ -69,7 +143,7 @@ void AdaptationAgent::on_message(runtime::NodeId from, runtime::MessagePtr messa
 void AdaptationAgent::on_reset(const ResetMsg& msg) {
   if (current_step_ && *current_step_ == msg.step && state_ != AgentState::Running) {
     // Retransmission of the step we are working on: re-acknowledge progress.
-    ++stats_.duplicate_messages;
+    note_duplicate("reset");
     if (state_ == AgentState::Safe) {
       send<ResetDoneMsg>(msg.step);
     } else if (state_ == AgentState::Adapted) {
@@ -84,14 +158,14 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
     return;
   }
   if (last_completed_ && *last_completed_ == msg.step) {
-    ++stats_.duplicate_messages;
+    note_duplicate("reset");
     ResumeDoneMsg ack;
     ack.blocked_for = last_blocked_for_;
     send<ResumeDoneMsg>(msg.step, std::move(ack));
     return;
   }
   if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
-    ++stats_.duplicate_messages;
+    note_duplicate("reset");
     send<RollbackDoneMsg>(msg.step);
     return;
   }
@@ -102,12 +176,12 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
   current_command_ = msg.command;
   sole_participant_ = msg.sole_participant;
   prepared_ = false;
-  state_ = AgentState::Resetting;
+  set_state(AgentState::Resetting);
   const bool drain = msg.drain;
   SA_DEBUG("agent") << "node " << node_ << ": reset " << msg.step.describe() << " ["
                     << current_command_.describe() << (drain ? ", drain" : "") << "]";
 
-  schedule_pending(config_.pre_action_duration, [this, drain] {
+  schedule_pending(config_.pre_action_duration, "pre-action", [this, drain] {
     prepared_ = process_->prepare(current_command_);
     if (!prepared_) {
       SA_WARN("agent") << "node " << node_ << ": pre-action failed; holding in resetting state";
@@ -123,26 +197,27 @@ void AdaptationAgent::on_reset(const ResetMsg& msg) {
 
 void AdaptationAgent::enter_safe_state() {
   std::lock_guard lock(mutex_);
-  state_ = AgentState::Safe;
+  set_state(AgentState::Safe);
   blocked_since_ = clock_->now();
   send<ResetDoneMsg>(*current_step_);
   start_in_action();
 }
 
 void AdaptationAgent::start_in_action() {
-  schedule_pending(config_.in_action_duration, [this] {
+  schedule_pending(config_.in_action_duration, "in-action", [this] {
     if (!process_->apply(current_command_)) {
       SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
       return;  // manager's adapt timeout will trigger rollback
     }
     ++stats_.adapts_performed;
-    state_ = AgentState::Adapted;
+    set_state(AgentState::Adapted);
     send<AdaptDoneMsg>(*current_step_);
     if (sole_participant_) {
       // Fig. 1: the only process involved proceeds straight to resuming
       // without blocking for the manager's resume message.
-      state_ = AgentState::Resuming;
-      schedule_pending(config_.resume_duration, [this] { finish_resume(/*proactive=*/true); });
+      set_state(AgentState::Resuming);
+      schedule_pending(config_.resume_duration, "resume",
+                       [this] { finish_resume(/*proactive=*/true); });
     }
   });
 }
@@ -153,7 +228,7 @@ void AdaptationAgent::finish_resume(bool proactive) {
   stats_.total_blocked += last_blocked_for_;
   last_completed_ = *current_step_;
   const StepRef step = *current_step_;
-  state_ = AgentState::Running;
+  set_state(AgentState::Running);
   current_step_.reset();
   ResumeDoneMsg ack;
   ack.blocked_for = last_blocked_for_;
@@ -166,16 +241,17 @@ void AdaptationAgent::finish_resume(bool proactive) {
 
 void AdaptationAgent::on_resume(const ResumeMsg& msg) {
   if (state_ == AgentState::Adapted && current_step_ && *current_step_ == msg.step) {
-    state_ = AgentState::Resuming;
-    schedule_pending(config_.resume_duration, [this] { finish_resume(/*proactive=*/false); });
+    set_state(AgentState::Resuming);
+    schedule_pending(config_.resume_duration, "resume",
+                     [this] { finish_resume(/*proactive=*/false); });
     return;
   }
   if (state_ == AgentState::Resuming && current_step_ && *current_step_ == msg.step) {
-    ++stats_.duplicate_messages;  // ack already on its way
+    note_duplicate("resume");  // ack already on its way
     return;
   }
   if (state_ == AgentState::Running && last_completed_ && *last_completed_ == msg.step) {
-    ++stats_.duplicate_messages;
+    note_duplicate("resume");
     ResumeDoneMsg ack;
     ack.blocked_for = last_blocked_for_;
     send<ResumeDoneMsg>(msg.step, std::move(ack));
@@ -197,8 +273,8 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       process_->abort_safe_state();
       ++stats_.rollbacks_performed;
       last_rolled_back_ = msg.step;
+      set_state(AgentState::Running);
       current_step_.reset();
-      state_ = AgentState::Running;
       send<RollbackDoneMsg>(msg.step);
       return;
     }
@@ -206,15 +282,15 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       if (!matches_current) break;
       // Undo the in-action, then unblock. Modeled with the in-action
       // duration since it performs the symmetric structural change.
-      state_ = AgentState::Resuming;
-      schedule_pending(config_.in_action_duration, [this, msg] {
+      set_state(AgentState::Resuming);
+      schedule_pending(config_.in_action_duration, "rollback-undo", [this, msg] {
         process_->undo(current_command_);
         process_->resume();
         stats_.total_blocked += clock_->now() - blocked_since_;
         ++stats_.rollbacks_performed;
         last_rolled_back_ = msg.step;
+        set_state(AgentState::Running);
         current_step_.reset();
-        state_ = AgentState::Running;
         send<RollbackDoneMsg>(msg.step);
       });
       return;
@@ -226,7 +302,7 @@ void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
       return;
     case AgentState::Running: {
       if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
-        ++stats_.duplicate_messages;
+        note_duplicate("rollback");
         send<RollbackDoneMsg>(msg.step);
         return;
       }

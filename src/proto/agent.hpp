@@ -20,9 +20,15 @@
 #include <optional>
 #include <string>
 
+#include "obs/event.hpp"
 #include "proto/adaptable_process.hpp"
 #include "proto/messages.hpp"
 #include "runtime/runtime.hpp"
+
+namespace sa::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace sa::obs
 
 namespace sa::proto {
 
@@ -71,6 +77,13 @@ class AdaptationAgent {
 
   void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
 
+  /// Wires the observability layer in: Fig. 1 state transitions and the
+  /// agent's pre/in/resume action timers flow into `recorder` (when enabled),
+  /// duplicate-message counters into `metrics`. `track` identifies this
+  /// agent's span track (normally the process id). Null pointers detach.
+  void set_observability(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics,
+                         std::int64_t track);
+
  private:
   void on_message(runtime::NodeId from, runtime::MessagePtr message);
   void on_reset(const ResetMsg& msg);
@@ -81,15 +94,26 @@ class AdaptationAgent {
   void start_in_action();
   void finish_resume(bool proactive);
 
-  /// Schedules `body` as the agent's single pending pre/in/resume action.
-  /// The callback captures the current generation and bails on mismatch, so
-  /// a fire that raced a failed cancel_pending() on the threaded backend
-  /// cannot mutate state that belongs to a newer step. Call under mutex_.
-  void schedule_pending(runtime::Time delay, std::function<void()> body);
+  /// Schedules `body` as the agent's single pending pre/in/resume action;
+  /// `label` names the action in timer trace events. The callback captures
+  /// the current generation and bails on mismatch, so a fire that raced a
+  /// failed cancel_pending() on the threaded backend cannot mutate state
+  /// that belongs to a newer step. Call under mutex_.
+  void schedule_pending(runtime::Time delay, const char* label, std::function<void()> body);
   void cancel_pending();
 
   template <typename Msg>
   void send(const StepRef& step, Msg prototype = {});
+
+  // --- observability (no-ops until set_observability is called) --------------
+  bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
+  bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
+  /// Stamps this agent's track and the current clock time, then records.
+  void trace_event(obs::Event event);
+  /// Records the Fig. 1 transition and updates state_ (no-op if unchanged).
+  void set_state(AgentState next);
+  /// Duplicate protocol message: bumps stats_ and the per-type counter.
+  void note_duplicate(const char* type);
 
   runtime::Clock* clock_;
   runtime::Transport* transport_;
@@ -104,8 +128,13 @@ class AdaptationAgent {
   bool sole_participant_ = false;
   bool prepared_ = false;
   runtime::TimerId pending_event_ = 0;  ///< in-flight pre/in-action timer
+  const char* pending_label_ = "";      ///< purpose of the pending timer
   std::uint64_t pending_gen_ = 0;       ///< see schedule_pending()
   runtime::Time blocked_since_ = 0;
+
+  obs::TraceRecorder* recorder_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::int64_t track_ = obs::kNoTrack;
 
   std::optional<StepRef> last_completed_;   ///< resumed successfully
   runtime::Time last_blocked_for_ = 0;

@@ -5,9 +5,19 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
 
 namespace sa::proto {
+
+namespace {
+
+obs::StepCoords coords_of(const StepRef& ref) {
+  return obs::StepCoords{ref.request_id, ref.plan, ref.step_index, ref.attempt};
+}
+
+}  // namespace
 
 std::string_view to_string(ManagerPhase phase) {
   switch (phase) {
@@ -54,6 +64,45 @@ AdaptationManager::AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
 
 AdaptationManager::~AdaptationManager() = default;
 
+void AdaptationManager::set_observability(obs::TraceRecorder* recorder,
+                                          obs::MetricsRegistry* metrics) {
+  std::lock_guard lock(mutex_);
+  recorder_ = recorder;
+  metrics_ = metrics;
+}
+
+bool AdaptationManager::tracing_enabled() const { return recorder_->enabled(); }
+
+void AdaptationManager::trace_event(obs::Event event) {
+  event.time = clock_->now();
+  if (event.track == obs::kNoTrack) event.track = obs::kManagerTrack;
+  recorder_->record(std::move(event));
+}
+
+void AdaptationManager::set_phase(ManagerPhase next) {
+  if (phase_ == next) return;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::ManagerPhase;
+    e.name = std::string(to_string(next));
+    e.detail = std::string(to_string(phase_));
+    e.coords.request = request_id_;
+    trace_event(std::move(e));
+  }
+  phase_ = next;
+}
+
+void AdaptationManager::observe_blocked(config::ProcessId process, runtime::Time blocked) {
+  total_blocked_reported_ += blocked;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->histogram("sa_blocked_time_us", obs::default_time_buckets_us(),
+                    {{"process", std::to_string(process)}},
+                    "Per-step blocked time reported by each process")
+        .observe(static_cast<double>(blocked));
+  }
+}
+
 void AdaptationManager::register_agent(config::ProcessId process, runtime::NodeId agent_node,
                                        int stage) {
   std::lock_guard lock(mutex_);
@@ -98,11 +147,19 @@ void AdaptationManager::request_adaptation(config::Configuration target,
   alternatives_tried_ = 0;
   plan_counter_ = 0;
 
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::AdaptationRequested;
+    e.coords.request = request_id_;
+    e.name = "adaptation";
+    e.detail = current_.describe(table_->registry()) + " -> " + target.describe(table_->registry());
+    trace_event(std::move(e));
+  }
   if (current_ == target) {
     finish(AdaptationOutcome::Success, "already at target configuration");
     return;
   }
-  phase_ = ManagerPhase::Preparing;
+  set_phase(ManagerPhase::Preparing);
   const auto plan = planner_->minimum_path(current_, target);
   if (!plan || plan->empty()) {
     finish(AdaptationOutcome::NoPathFound, "no safe adaptation path from " +
@@ -120,6 +177,26 @@ void AdaptationManager::start_plan(actions::AdaptationPlan plan) {
   plan_number_ = plan_counter_++;
   step_index_ = 0;
   step_attempt_ = 0;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::PlanComputed;
+    e.coords = obs::StepCoords{request_id_, plan_number_, 0, 0};
+    e.name = "map";
+    e.detail = plan_.action_names(*table_);
+    e.value = plan_.total_cost;
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->histogram("sa_plan_length", {1, 2, 3, 4, 5, 6, 8, 10, 15, 20}, {},
+                    "Steps per computed adaptation path")
+        .observe(static_cast<double>(plan_.steps.size()));
+    metrics_
+        ->histogram("sa_plan_cost", {1, 2, 5, 10, 20, 50, 100, 200, 500}, {},
+                    "Total action cost per computed adaptation path")
+        .observe(plan_.total_cost);
+  }
   execute_current_step();
 }
 
@@ -163,12 +240,22 @@ void AdaptationManager::execute_current_step() {
   record.started = clock_->now();
   step_log_.push_back(record);
 
-  phase_ = ManagerPhase::Adapting;
+  set_phase(ManagerPhase::Adapting);
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::StepStarted;
+    e.coords = coords_of(record.ref);
+    e.name = action.name;
+    e.detail = action.operation_text(registry);
+    e.value = static_cast<double>(involved_.size());
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
   SA_INFO("manager") << "step " << record.ref.describe() << ": " << action.name << " ("
                      << action.operation_text(registry) << "), " << involved_.size()
                      << " process(es)";
   send_stage_resets(current_stage_);
-  arm_timer(config_.reset_timeout);
+  arm_timer(config_.reset_timeout, "reset-timeout");
 }
 
 void AdaptationManager::send_stage_resets(int stage) {
@@ -198,14 +285,30 @@ void AdaptationManager::maybe_advance_stage() {
   // Let in-flight application data reach the downstream processes before
   // asking them to drain and block.
   current_stage_ = next_stage;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::TimerArmed;
+    e.coords = coords_of(current_ref());
+    e.name = "inter-stage-delay";
+    e.value = static_cast<double>(config_.inter_stage_delay);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
   const std::uint64_t gen = ++stage_delay_gen_;
   stage_delay_event_ =
       clock_->schedule_after(config_.inter_stage_delay, [this, next_stage, gen] {
         std::lock_guard lock(mutex_);
         if (gen != stage_delay_gen_) return;  // disarmed after dequeue
         stage_delay_event_ = 0;
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::TimerFired;
+          e.coords = coords_of(current_ref());
+          e.name = "inter-stage-delay";
+          trace_event(std::move(e));
+        }
         send_stage_resets(next_stage);
-        arm_timer(config_.reset_timeout);
+        arm_timer(config_.reset_timeout, "reset-timeout");
       });
 }
 
@@ -240,7 +343,14 @@ void AdaptationManager::on_message(runtime::NodeId from, runtime::MessagePtr mes
 
 void AdaptationManager::on_reset_done(config::ProcessId process, const ResetDoneMsg&) {
   if (phase_ != ManagerPhase::Adapting) return;
-  reset_acked_.insert(process);
+  if (reset_acked_.insert(process).second && metrics_ != nullptr && !step_log_.empty()) {
+    // Reset latency: reset sent (step start) -> reset done received.
+    metrics_
+        ->histogram("sa_reset_latency_us", obs::default_time_buckets_us(),
+                    {{"process", std::to_string(process)}},
+                    "Reset round-trip latency per process")
+        .observe(static_cast<double>(clock_->now() - step_log_.back().started));
+  }
   maybe_advance_stage();
 }
 
@@ -249,13 +359,13 @@ void AdaptationManager::on_adapt_done(config::ProcessId process, const AdaptDone
   reset_acked_.insert(process);  // adapt done implies the reset completed
   adapt_acked_.insert(process);
   if (adapt_acked_.size() == involved_.size()) {
-    phase_ = ManagerPhase::Adapted;
+    set_phase(ManagerPhase::Adapted);
     enter_resuming();
   }
 }
 
 void AdaptationManager::enter_resuming() {
-  phase_ = ManagerPhase::Resuming;
+  set_phase(ManagerPhase::Resuming);
   resume_sent_ = true;
   retries_left_ = config_.message_retries + config_.run_to_completion_retries;
   for (const config::ProcessId process : involved_) {
@@ -263,7 +373,7 @@ void AdaptationManager::enter_resuming() {
     msg->step = current_ref();
     send_to(process, std::move(msg));
   }
-  arm_timer(config_.resume_timeout);
+  arm_timer(config_.resume_timeout, "resume-timeout");
 }
 
 void AdaptationManager::on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg) {
@@ -273,9 +383,9 @@ void AdaptationManager::on_resume_done(config::ProcessId process, const ResumeDo
     reset_acked_.insert(process);
     adapt_acked_.insert(process);
     resume_acked_.insert(process);
-    total_blocked_reported_ += msg.blocked_for;
+    observe_blocked(process, msg.blocked_for);
     if (adapt_acked_.size() == involved_.size()) {
-      phase_ = ManagerPhase::Adapted;
+      set_phase(ManagerPhase::Adapted);
       enter_resuming();
       resume_acked_.insert(process);
       if (resume_acked_.size() == involved_.size()) commit_step();
@@ -283,17 +393,33 @@ void AdaptationManager::on_resume_done(config::ProcessId process, const ResumeDo
     return;
   }
   if (phase_ != ManagerPhase::Resuming) return;
-  if (resume_acked_.insert(process).second) total_blocked_reported_ += msg.blocked_for;
+  if (resume_acked_.insert(process).second) observe_blocked(process, msg.blocked_for);
   if (resume_acked_.size() == involved_.size()) commit_step();
 }
 
 void AdaptationManager::commit_step() {
   disarm_timer();
-  phase_ = ManagerPhase::Resumed;
+  set_phase(ManagerPhase::Resumed);
   current_ = plan_.steps[step_index_].to;
   ++result_.steps_committed;
   step_log_.back().committed = true;
   step_log_.back().finished = clock_->now();
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::StepCommitted;
+    e.coords = coords_of(step_log_.back().ref);
+    e.name = step_log_.back().action_name;
+    e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("sa_steps_total", {{"fate", "committed"}}, "Adaptation steps by fate").inc();
+    metrics_
+        ->histogram("sa_step_duration_us", obs::default_time_buckets_us(), {},
+                    "Wall time from reset sent to step committed")
+        .observe(static_cast<double>(step_log_.back().finished - step_log_.back().started));
+  }
   SA_INFO("manager") << "step " << step_index_ << " committed; now at "
                      << current_.describe(table_->registry());
   if (step_index_ + 1 < plan_.steps.size()) {
@@ -309,18 +435,35 @@ void AdaptationManager::commit_step() {
   }
 }
 
-void AdaptationManager::arm_timer(runtime::Time timeout) {
+void AdaptationManager::arm_timer(runtime::Time timeout, const char* label) {
   disarm_timer();
+  timer_label_ = label;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::TimerArmed;
+    e.coords = coords_of(current_ref());
+    e.name = label;
+    e.value = static_cast<double>(timeout);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
   // The generation guard defuses stale fires on the threaded backend: once
   // the timer thread has dequeued the callback, cancel() returns false and
   // the callback will still run, but it then observes a newer generation and
   // bails instead of clobbering a re-armed timer_ or firing in the wrong
   // phase. On the simulator cancel() always wins, so the guard never trips.
   const std::uint64_t gen = ++timer_gen_;
-  timer_ = clock_->schedule_after(timeout, [this, gen] {
+  timer_ = clock_->schedule_after(timeout, [this, gen, label] {
     std::lock_guard lock(mutex_);
     if (gen != timer_gen_) return;  // superseded or disarmed after dequeue
     timer_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerFired;
+      e.coords = coords_of(current_ref());
+      e.name = label;
+      trace_event(std::move(e));
+    }
     on_timeout();
   });
 }
@@ -329,11 +472,25 @@ void AdaptationManager::disarm_timer() {
   if (timer_ != 0) {
     clock_->cancel(timer_);
     timer_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerCancelled;
+      e.coords = coords_of(current_ref());
+      e.name = timer_label_;
+      trace_event(std::move(e));
+    }
   }
   ++timer_gen_;  // invalidate a fire that cancel() was too late to stop
   if (stage_delay_event_ != 0) {
     clock_->cancel(stage_delay_event_);
     stage_delay_event_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerCancelled;
+      e.coords = coords_of(current_ref());
+      e.name = "inter-stage-delay";
+      trace_event(std::move(e));
+    }
   }
   ++stage_delay_gen_;
 }
@@ -344,6 +501,12 @@ void AdaptationManager::on_timeout() {
       if (retries_left_ > 0) {
         --retries_left_;
         ++result_.message_retries;
+        if (metrics_ != nullptr) {
+          metrics_
+              ->counter("sa_retransmissions_total", {{"phase", "adapting"}},
+                        "Retransmission rounds by protocol phase")
+              .inc();
+        }
         // Retransmit resets to every triggered stage with an agent that has
         // not yet finished its in-action; agents re-acknowledge idempotently.
         std::set<int> stages_to_resend;
@@ -354,7 +517,7 @@ void AdaptationManager::on_timeout() {
         }
         for (const int stage : stages_to_resend) send_stage_resets(stage);
         maybe_advance_stage();
-        arm_timer(config_.reset_timeout);
+        arm_timer(config_.reset_timeout, "reset-timeout");
         return;
       }
       SA_WARN("manager") << "step " << step_index_ << " timed out before resume; aborting";
@@ -365,6 +528,12 @@ void AdaptationManager::on_timeout() {
       if (retries_left_ > 0) {
         --retries_left_;
         ++result_.message_retries;
+        if (metrics_ != nullptr) {
+          metrics_
+              ->counter("sa_retransmissions_total", {{"phase", "resuming"}},
+                        "Retransmission rounds by protocol phase")
+              .inc();
+        }
         const StepRef ref = current_ref();
         for (const config::ProcessId process : involved_) {
           if (!resume_acked_.contains(process)) {
@@ -373,7 +542,7 @@ void AdaptationManager::on_timeout() {
             send_to(process, std::move(msg));
           }
         }
-        arm_timer(config_.resume_timeout);
+        arm_timer(config_.resume_timeout, "resume-timeout");
         return;
       }
       // §4.4: after the first resume the adaptation must run to completion;
@@ -384,6 +553,20 @@ void AdaptationManager::on_timeout() {
       ++result_.steps_committed;
       step_log_.back().committed = true;
       step_log_.back().finished = clock_->now();
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::StepCommitted;
+        e.coords = coords_of(step_log_.back().ref);
+        e.name = step_log_.back().action_name;
+        e.detail = "stalled";
+        e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
+        e.has_value = true;
+        trace_event(std::move(e));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("sa_steps_total", {{"fate", "committed"}}, "Adaptation steps by fate")
+            .inc();
+      }
       finish(AdaptationOutcome::StalledAfterResume,
              "resume unacknowledged by " +
                  std::to_string(involved_.size() - resume_acked_.size()) + " agent(s)");
@@ -393,6 +576,12 @@ void AdaptationManager::on_timeout() {
       if (retries_left_ > 0) {
         --retries_left_;
         ++result_.message_retries;
+        if (metrics_ != nullptr) {
+          metrics_
+              ->counter("sa_retransmissions_total", {{"phase", "rolling-back"}},
+                        "Retransmission rounds by protocol phase")
+              .inc();
+        }
         const StepRef ref = current_ref();
         for (const config::ProcessId process : involved_) {
           if (!rollback_acked_.contains(process)) {
@@ -401,7 +590,7 @@ void AdaptationManager::on_timeout() {
             send_to(process, std::move(msg));
           }
         }
-        arm_timer(config_.rollback_timeout);
+        arm_timer(config_.rollback_timeout, "rollback-timeout");
         return;
       }
       finish(AdaptationOutcome::UserInterventionRequired,
@@ -414,7 +603,7 @@ void AdaptationManager::on_timeout() {
 }
 
 void AdaptationManager::begin_rollback() {
-  phase_ = ManagerPhase::RollingBack;
+  set_phase(ManagerPhase::RollingBack);
   disarm_timer();
   rollback_acked_.clear();
   retries_left_ = config_.message_retries;
@@ -424,7 +613,7 @@ void AdaptationManager::begin_rollback() {
     msg->step = ref;
     send_to(process, std::move(msg));
   }
-  arm_timer(config_.rollback_timeout);
+  arm_timer(config_.rollback_timeout, "rollback-timeout");
 }
 
 void AdaptationManager::on_rollback_done(config::ProcessId process, const RollbackDoneMsg&) {
@@ -438,6 +627,19 @@ void AdaptationManager::step_failed_after_rollback() {
   ++result_.step_failures;
   step_log_.back().rolled_back = true;
   step_log_.back().finished = clock_->now();
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::StepRolledBack;
+    e.coords = coords_of(step_log_.back().ref);
+    e.name = step_log_.back().action_name;
+    e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("sa_steps_total", {{"fate", "rolled_back"}}, "Adaptation steps by fate")
+        .inc();
+  }
   try_next_strategy();
 }
 
@@ -494,11 +696,31 @@ void AdaptationManager::enqueue_adaptation(config::Configuration target,
 
 void AdaptationManager::finish(AdaptationOutcome outcome, std::string detail) {
   disarm_timer();
-  phase_ = ManagerPhase::Running;
+  set_phase(ManagerPhase::Running);
   result_.outcome = outcome;
   result_.final_config = current_;
   result_.finished = clock_->now();
   result_.detail = std::move(detail);
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::AdaptationFinished;
+    e.coords.request = request_id_;
+    e.name = std::string(to_string(outcome));
+    e.detail = result_.detail;
+    e.value = static_cast<double>(result_.finished - result_.started);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("sa_adaptations_total", {{"outcome", std::string(to_string(outcome))}},
+                  "Completed adaptation requests by outcome")
+        .inc();
+    metrics_
+        ->histogram("sa_adaptation_latency_us", obs::default_time_buckets_us(), {},
+                    "End-to-end adaptation latency (request to completion)")
+        .observe(static_cast<double>(result_.finished - result_.started));
+  }
   SA_INFO("manager") << "request " << request_id_ << " finished: " << to_string(outcome) << " ("
                      << result_.detail << ")";
   if (handler_) {

@@ -27,8 +27,14 @@
 
 #include "actions/planner.hpp"
 #include "config/enumerate.hpp"
+#include "obs/event.hpp"
 #include "proto/messages.hpp"
 #include "runtime/runtime.hpp"
+
+namespace sa::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace sa::obs
 
 namespace sa::proto {
 
@@ -103,6 +109,12 @@ class AdaptationManager {
                     ManagerConfig config = {});
   ~AdaptationManager();
 
+  /// Wires the observability layer in: adaptation/step spans, Fig. 2 phase
+  /// transitions, and protocol-timer events flow into `recorder` (when it is
+  /// enabled); latency/blocking histograms and outcome counters into
+  /// `metrics`. Null pointers detach. Normally called by the system facade.
+  void set_observability(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics);
+
   /// Registers the agent responsible for `process`. `stage` orders resets
   /// within a step: lower stages (upstream/senders) quiesce first; agents in
   /// stages above the step's minimum involved stage drain their input before
@@ -171,7 +183,7 @@ class AdaptationManager {
   void maybe_advance_stage();
   void enter_resuming();
   void commit_step();
-  void arm_timer(runtime::Time timeout);
+  void arm_timer(runtime::Time timeout, const char* label);
   void disarm_timer();
   void on_timeout();
   void begin_rollback();
@@ -182,6 +194,17 @@ class AdaptationManager {
   std::optional<config::ProcessId> process_of_node(runtime::NodeId node) const;
   LocalCommand command_for(config::ProcessId process) const;
   void send_to(config::ProcessId process, runtime::MessagePtr message);
+
+  // --- observability (no-ops until set_observability is called) --------------
+  bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
+  bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
+  /// Stamps the manager track and the current clock time, then records.
+  void trace_event(obs::Event event);
+  /// Records the Fig. 2 transition and updates phase_ (no-op if unchanged).
+  void set_phase(ManagerPhase next);
+  /// Accrues a process's reported blocked time into the total and the
+  /// per-process sa_blocked_time_us histogram.
+  void observe_blocked(config::ProcessId process, runtime::Time blocked);
 
   runtime::Clock* clock_;
   runtime::Executor* executor_;
@@ -232,6 +255,7 @@ class AdaptationManager {
   bool resume_sent_ = false;
   int retries_left_ = 0;
   runtime::TimerId timer_ = 0;
+  const char* timer_label_ = "";  ///< purpose of the armed timer, for events
   runtime::TimerId stage_delay_event_ = 0;
   /// Bumped on every arm/disarm; timer callbacks capture the value at arm
   /// time and bail on mismatch, so a fire that raced a failed cancel() on the
@@ -241,6 +265,9 @@ class AdaptationManager {
 
   std::vector<StepRecord> step_log_;
   runtime::Time total_blocked_reported_ = 0;
+
+  obs::TraceRecorder* recorder_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   struct PendingRequest {
     config::Configuration target;

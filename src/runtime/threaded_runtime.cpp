@@ -199,6 +199,8 @@ bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
       if (tracing_.load(std::memory_order_relaxed)) {
         trace_.push_back(TraceEntry{clock_->now(), from, to, message->type_name(), false, nullptr});
       }
+      observer_.on_dropped(clock_->now(), from, to, message->type_name(),
+                           dropped_partition ? "partition" : "loss");
       return false;
     }
 
@@ -233,6 +235,9 @@ bool ThreadedTransport::send(NodeId from, NodeId to, MessagePtr message) {
       ch.last_delivery = std::max(ch.last_delivery, copy_arrival);
       ++ch.stats.duplicated;
     }
+
+    observer_.on_sent(clock_->now(), from, to, message->type_name());
+    if (copy_arrival >= 0) observer_.on_duplicated(clock_->now(), from, to, message->type_name());
 
     // Schedule while still holding mutex_: two racing sends on a FIFO channel
     // can be clamped to the same arrival time, and only the (deadline, id)
@@ -280,6 +285,7 @@ void ThreadedTransport::drain_mailbox(NodeId node) {
         trace_.push_back(TraceEntry{clock_->now(), delivery.from, node,
                                     delivery.message->type_name(), true, delivery.message});
       }
+      observer_.on_delivered(clock_->now(), delivery.from, node, delivery.message->type_name());
     }
     if (handler) handler(delivery.from, std::move(delivery.message));
   }
@@ -319,6 +325,11 @@ void ThreadedTransport::set_tracing(bool enabled) {
 void ThreadedTransport::clear_trace() {
   std::lock_guard lock(mutex_);
   trace_.clear();
+}
+
+void ThreadedTransport::set_observer(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics) {
+  std::lock_guard lock(mutex_);
+  observer_.attach(recorder, metrics);
 }
 
 // --- ThreadedRuntime ---------------------------------------------------------

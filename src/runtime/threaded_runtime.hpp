@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/message_observer.hpp"
 #include "runtime/runtime.hpp"
 #include "util/rng.hpp"
 
@@ -108,6 +109,8 @@ class ThreadedTransport final : public Transport {
   const std::vector<TraceEntry>& trace() const override { return trace_; }
   void clear_trace() override;
 
+  void set_observer(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics) override;
+
  private:
   struct ChannelState {
     ChannelConfig config;
@@ -138,6 +141,7 @@ class ThreadedTransport final : public Transport {
   std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
   std::atomic<bool> tracing_{false};
   std::vector<TraceEntry> trace_;
+  obs::MessageObserver observer_;  ///< guarded by mutex_
 };
 
 struct ThreadedRuntimeOptions {

@@ -16,6 +16,11 @@
 #include "runtime/message.hpp"
 #include "runtime/time.hpp"
 
+namespace sa::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace sa::obs
+
 namespace sa::runtime {
 
 using NodeId = std::uint32_t;
@@ -90,6 +95,12 @@ class Transport {
   virtual void set_tracing(bool enabled) = 0;
   virtual const std::vector<TraceEntry>& trace() const = 0;
   virtual void clear_trace() = 0;
+
+  /// Wires the observability layer into this transport: every send / deliver
+  /// / drop / duplicate becomes a typed event (when the recorder is enabled)
+  /// and a labeled sa_messages_total increment. Null pointers detach. The
+  /// default does nothing so transports without instrumentation keep working.
+  virtual void set_observer(obs::TraceRecorder* /*recorder*/, obs::MetricsRegistry* /*metrics*/) {}
 };
 
 }  // namespace sa::runtime

@@ -117,15 +117,25 @@ bool Network::has_channel(NodeId from, NodeId to) const {
 bool Network::send(NodeId from, NodeId to, MessagePtr message) {
   Channel& ch = channel(from, to);
   const std::string type = message->type_name();
+  const ChannelStats before = ch.stats();
   const bool accepted = ch.send(std::move(message), [this, to](NodeId sender, MessagePtr msg) {
+    const std::string delivered_type = msg->type_name();
     if (tracing_) {
-      trace_.push_back(TraceEntry{sim_->now(), sender, to, msg->type_name(), true, msg});
+      trace_.push_back(TraceEntry{sim_->now(), sender, to, delivered_type, true, msg});
     }
+    observer_.on_delivered(sim_->now(), sender, to, delivered_type);
     if (handlers_.at(to)) handlers_[to](sender, std::move(msg));
   });
-  if (!accepted) {
+  const ChannelStats& after = ch.stats();
+  if (accepted) {
+    observer_.on_sent(sim_->now(), from, to, type);
+    if (after.duplicated > before.duplicated) observer_.on_duplicated(sim_->now(), from, to, type);
+  } else {
     SA_DEBUG("network") << names_[from] << " -> " << names_[to] << " dropped " << type;
     if (tracing_) trace_.push_back(TraceEntry{sim_->now(), from, to, type, false, nullptr});
+    observer_.on_dropped(sim_->now(), from, to, type,
+                         after.dropped_partition > before.dropped_partition ? "partition"
+                                                                            : "loss");
   }
   return accepted;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/message_observer.hpp"
 #include "runtime/transport.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -105,6 +106,10 @@ class Network final : public runtime::Transport {
   const std::vector<TraceEntry>& trace() const override { return trace_; }
   void clear_trace() override { trace_.clear(); }
 
+  void set_observer(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics) override {
+    observer_.attach(recorder, metrics);
+  }
+
   Simulator& simulator() { return *sim_; }
   util::Rng& rng() { return rng_; }
 
@@ -116,6 +121,7 @@ class Network final : public runtime::Transport {
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Channel>> channels_;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
+  obs::MessageObserver observer_;
 };
 
 }  // namespace sa::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -33,6 +34,13 @@ void emit(LogLevel level, std::string_view component, std::string_view message);
 
 /// Streaming log record: `LogRecord(LogLevel::Info, "manager") << "x=" << x;`
 /// The message is emitted when the record goes out of scope.
+///
+/// A disabled record (level below the global threshold) does no work at all:
+/// the component stays a borrowed string_view (callers pass literals that
+/// outlive the statement) and the ostringstream is only constructed on the
+/// first streamed value, so `SA_DEBUG(...) << ...` costs two stores and a
+/// branch when debug logging is off. bench_protocol guards this with
+/// BM_DisabledLogging.
 class LogRecord {
  public:
   LogRecord(LogLevel level, std::string_view component)
@@ -40,20 +48,23 @@ class LogRecord {
   LogRecord(const LogRecord&) = delete;
   LogRecord& operator=(const LogRecord&) = delete;
   ~LogRecord() {
-    if (enabled_) detail::emit(level_, component_, stream_.str());
+    if (enabled_) detail::emit(level_, component_, stream_ ? stream_->str() : std::string());
   }
 
   template <typename T>
   LogRecord& operator<<(const T& value) {
-    if (enabled_) stream_ << value;
+    if (enabled_) {
+      if (!stream_) stream_.emplace();
+      *stream_ << value;
+    }
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::string component_;
+  std::string_view component_;
   bool enabled_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> stream_;  ///< constructed on first <<
 };
 
 }  // namespace sa::util

@@ -1,6 +1,7 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 
 namespace sa::util {
 
@@ -39,6 +40,22 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+  return value;
 }
 
 }  // namespace sa::util

@@ -117,6 +117,34 @@ TEST(Strings, StartsWith) {
   EXPECT_TRUE(starts_with("anything", ""));
 }
 
+TEST(Strings, ParseDoubleAcceptsPlainNumbers) {
+  EXPECT_EQ(parse_double("0"), 0.0);
+  EXPECT_EQ(parse_double("0.25"), 0.25);
+  EXPECT_EQ(parse_double("1"), 1.0);
+  EXPECT_EQ(parse_double("-2.5"), -2.5);
+}
+
+TEST(Strings, ParseDoubleRejectsJunk) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("0.5x"));
+  EXPECT_FALSE(parse_double("1.0 "));
+  EXPECT_FALSE(parse_double(" 1.0"));
+}
+
+TEST(Strings, ParseU64AcceptsDigits) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+}
+
+TEST(Strings, ParseU64RejectsJunk) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("3.5"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("99999999999999999999999"));  // overflow
+}
+
 // --- logging ---------------------------------------------------------------------
 
 TEST(Log, SinkReceivesMessagesAtOrAboveLevel) {

@@ -6,10 +6,15 @@
 // Failure injection flags reproduce the §4.4 experiments on any scenario:
 //
 //   sa_run <scenario-file> [--loss P] [--dup P] [--fail-process ID]
+//          [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]
 //
 //   --loss P          control-channel loss probability (0..1)
 //   --dup P           control-channel duplication probability (0..1)
 //   --fail-process N  process N never reaches its safe state (fail-to-reset)
+//   --trace-out FILE  record the protocol event trace and write it to FILE
+//   --trace-format F  jsonl (default; line-delimited events) or chrome
+//                     (trace_event JSON for chrome://tracing / Perfetto)
+//   --metrics-out F   write protocol metrics in Prometheus text format
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +23,8 @@
 
 #include "core/scenario_file.hpp"
 #include "core/system.hpp"
+#include "obs/export.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -32,7 +39,15 @@ struct StubProcess : sa::proto::AdaptableProcess {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <scenario-file> [--loss P] [--dup P] [--fail-process ID]\n", argv0);
+               "usage: %s <scenario-file> [--loss P] [--dup P] [--fail-process ID]\n"
+               "       [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]\n",
+               argv0);
+  return 2;
+}
+
+int bad_flag(const char* flag, const char* value, const char* expected) {
+  std::fprintf(stderr, "sa_run: invalid value '%s' for %s (expected %s)\n", value, flag,
+               expected);
   return 2;
 }
 
@@ -45,13 +60,38 @@ int main(int argc, char** argv) {
   double loss = 0.0;
   double dup = 0.0;
   std::optional<config::ProcessId> fail_process;
+  const char* trace_out = nullptr;
+  std::string trace_format = "jsonl";
+  const char* metrics_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
-      loss = std::stod(argv[++i]);
+      const char* value = argv[++i];
+      const auto parsed = util::parse_double(value);
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+        return bad_flag("--loss", value, "a probability in [0, 1]");
+      }
+      loss = *parsed;
     } else if (std::strcmp(argv[i], "--dup") == 0 && i + 1 < argc) {
-      dup = std::stod(argv[++i]);
+      const char* value = argv[++i];
+      const auto parsed = util::parse_double(value);
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
+        return bad_flag("--dup", value, "a probability in [0, 1]");
+      }
+      dup = *parsed;
     } else if (std::strcmp(argv[i], "--fail-process") == 0 && i + 1 < argc) {
-      fail_process = static_cast<config::ProcessId>(std::stoul(argv[++i]));
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed) return bad_flag("--fail-process", value, "a process id");
+      fail_process = static_cast<config::ProcessId>(*parsed);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 && i + 1 < argc) {
+      trace_format = argv[++i];
+      if (trace_format != "jsonl" && trace_format != "chrome") {
+        return bad_flag("--trace-format", trace_format.c_str(), "jsonl or chrome");
+      }
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -106,6 +146,7 @@ int main(int argc, char** argv) {
     system.attach_process(process, *stub, static_cast<int>(process));
     processes.emplace(process, std::move(stub));
   }
+  if (trace_out) system.tracer().set_enabled(true);
   system.finalize();
   system.set_current_configuration(*scenario.source);
   if (fail_process) system.agent(*fail_process).set_fail_to_reset(true);
@@ -134,5 +175,29 @@ int main(int argc, char** argv) {
               "virtual time: %.1f ms\n",
               result.steps_committed, result.step_failures, result.message_retries,
               (result.finished - result.started) / 1000.0);
+
+  if (trace_out) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out);
+      return 1;
+    }
+    if (trace_format == "chrome") {
+      obs::write_chrome_trace(system.tracer(), out);
+    } else {
+      obs::write_jsonl(system.tracer(), out);
+    }
+    std::printf("trace: %zu events -> %s (%s)\n", system.tracer().size(), trace_out,
+                trace_format.c_str());
+  }
+  if (metrics_out) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out);
+      return 1;
+    }
+    obs::write_prometheus(system.metrics(), out);
+    std::printf("metrics -> %s\n", metrics_out);
+  }
   return result.outcome == proto::AdaptationOutcome::Success ? 0 : 1;
 }
