@@ -11,7 +11,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 layers=(src/proto src/components src/video src/core src/decision src/baselines
-        src/crypto src/spec src/actions src/config src/expr src/graph src/util)
+        src/crypto src/spec src/actions src/config src/expr src/graph src/util
+        src/check)
 
 status=0
 for layer in "${layers[@]}"; do

@@ -1,0 +1,475 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/rng.hpp"
+
+namespace sa::check {
+
+namespace {
+
+Counterexample make_counterexample(const std::vector<Choice>& path,
+                                   const std::vector<Violation>& violations) {
+  Counterexample ce;
+  ce.schedule = path;
+  for (const Violation& v : violations) ce.violations.push_back(v.description);
+  return ce;
+}
+
+struct DfsContext {
+  const ExploreOptions* options = nullptr;
+  ExploreResult* result = nullptr;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<Choice> path;
+  bool stop = false;    ///< counterexample found or state cap hit
+  bool capped = false;  ///< some branch was cut by a budget
+};
+
+void record_leaf(const Model& model, DfsContext& ctx) {
+  Model leaf = model;  // finalize() mutates; keep the tree node pristine
+  leaf.finalize();
+  if (!leaf.violations().empty()) {
+    ctx.result->counterexample = make_counterexample(ctx.path, leaf.violations());
+    ctx.stop = true;
+    return;
+  }
+  ++ctx.result->stats.runs_completed;
+  ++ctx.result->stats.outcomes[std::string(to_string(leaf.outcome()->outcome))];
+}
+
+void dfs(const Model& model, int depth, DfsContext& ctx) {
+  const std::vector<Choice> choices = model.choices();
+  if (choices.empty()) {
+    record_leaf(model, ctx);
+    return;
+  }
+  if (depth >= ctx.options->max_depth) {
+    ++ctx.result->stats.depth_capped;
+    ctx.capped = true;
+    return;
+  }
+  for (const Choice& choice : choices) {
+    Model next = model;
+    next.apply(choice);
+    ++ctx.result->stats.states_explored;
+    ctx.result->stats.max_depth_reached =
+        std::max(ctx.result->stats.max_depth_reached, depth + 1);
+    ctx.path.push_back(choice);
+    if (!next.violations().empty()) {
+      ctx.result->counterexample = make_counterexample(ctx.path, next.violations());
+      ctx.stop = true;
+      ctx.path.pop_back();
+      return;
+    }
+    if (!ctx.visited.insert(next.fingerprint()).second) {
+      ++ctx.result->stats.states_deduped;
+      ctx.path.pop_back();
+      continue;
+    }
+    if (ctx.visited.size() >= ctx.options->max_states) {
+      ctx.capped = true;
+      ctx.stop = true;
+      ctx.path.pop_back();
+      return;
+    }
+    dfs(next, depth + 1, ctx);
+    ctx.path.pop_back();
+    if (ctx.stop) return;
+  }
+}
+
+}  // namespace
+
+Model make_model(const Scenario& scenario, const ExploreOptions& options) {
+  Model model(scenario,
+              Model::Limits{options.drop_budget, options.dup_budget, options.reorder},
+              options.fault);
+  for (const config::ProcessId process : options.fail_to_reset) {
+    model.set_fail_to_reset(process, true);
+  }
+  model.start();
+  return model;
+}
+
+ExploreResult explore_dfs(const Scenario& scenario, const ExploreOptions& options) {
+  ExploreResult result;
+  DfsContext ctx;
+  ctx.options = &options;
+  ctx.result = &result;
+  const Model root = make_model(scenario, options);
+  ctx.visited.insert(root.fingerprint());
+  if (!root.violations().empty()) {
+    result.counterexample = make_counterexample({}, root.violations());
+  } else {
+    dfs(root, 0, ctx);
+  }
+  result.complete = !ctx.capped && !result.counterexample.has_value();
+  return result;
+}
+
+ExploreResult explore_random(const Scenario& scenario, const ExploreOptions& options,
+                             std::uint64_t seed, std::size_t runs) {
+  // Safety cap well above any legal run length: every walk terminates on its
+  // own (timers re-arm only across bounded retry rounds), this only guards
+  // against a pathological regression looping forever.
+  constexpr std::size_t kMaxWalkLength = 1'000'000;
+  ExploreResult result;
+  for (std::size_t run = 0; run < runs; ++run) {
+    util::Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
+    Model model = make_model(scenario, options);
+    std::vector<Choice> path;
+    while (path.size() < kMaxWalkLength) {
+      const std::vector<Choice> choices = model.choices();
+      if (choices.empty()) break;
+      const Choice choice = choices[rng.next_below(choices.size())];
+      model.apply(choice);
+      path.push_back(choice);
+      ++result.stats.states_explored;
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, static_cast<int>(path.size()));
+      if (!model.violations().empty()) {
+        result.counterexample = make_counterexample(path, model.violations());
+        return result;
+      }
+    }
+    if (!model.choices().empty()) {  // walk-length cap hit
+      ++result.stats.depth_capped;
+      continue;
+    }
+    model.finalize();
+    if (!model.violations().empty()) {
+      result.counterexample = make_counterexample(path, model.violations());
+      return result;
+    }
+    ++result.stats.runs_completed;
+    ++result.stats.outcomes[std::string(to_string(model.outcome()->outcome))];
+  }
+  return result;
+}
+
+ReplayResult replay(const Scenario& scenario, const ExploreOptions& options,
+                    const std::vector<Choice>& schedule) {
+  Model model = make_model(scenario, options);
+  ReplayResult result;
+  for (const Choice& choice : schedule) {
+    if (!model.apply(choice)) {
+      result.schedule_valid = false;
+      break;
+    }
+  }
+  // Counterexample schedules stop at the violating choice; only a schedule
+  // that actually drained the run gets the end-of-run checks.
+  if (result.schedule_valid && model.choices().empty()) model.finalize();
+  result.violations = model.violations();
+  result.outcome = model.outcome();
+  result.transitions = model.transitions();
+  return result;
+}
+
+// --- ManagerFault names -----------------------------------------------------
+
+const char* to_string(proto::ManagerFault fault) {
+  switch (fault) {
+    case proto::ManagerFault::None: return "none";
+    case proto::ManagerFault::ResumeBeforeLastAdaptDone: return "resume-before-last-adapt-done";
+    case proto::ManagerFault::RollbackAfterResume: return "rollback-after-resume";
+  }
+  return "?";
+}
+
+proto::ManagerFault fault_from_string(std::string_view name) {
+  if (name == "none") return proto::ManagerFault::None;
+  if (name == "resume-before-last-adapt-done" || name == "resume-early") {
+    return proto::ManagerFault::ResumeBeforeLastAdaptDone;
+  }
+  if (name == "rollback-after-resume") return proto::ManagerFault::RollbackAfterResume;
+  throw std::invalid_argument("unknown fault: " + std::string(name));
+}
+
+// --- JSON schedule files ----------------------------------------------------
+
+std::string to_json(const ScheduleFile& file) {
+  std::string json;
+  json += "{\n  \"scenario\": \"";
+  json += obs::json_escape(file.scenario);
+  json += "\",\n  \"options\": {";
+  json += "\"max_depth\": " + std::to_string(file.options.max_depth);
+  json += ", \"max_states\": " + std::to_string(file.options.max_states);
+  json += ", \"drop_budget\": " + std::to_string(file.options.drop_budget);
+  json += ", \"dup_budget\": " + std::to_string(file.options.dup_budget);
+  json += std::string(", \"reorder\": ") + (file.options.reorder ? "true" : "false");
+  json += std::string(", \"fault\": \"") + to_string(file.options.fault) + "\"";
+  json += ", \"fail_to_reset\": [";
+  for (std::size_t i = 0; i < file.options.fail_to_reset.size(); ++i) {
+    if (i != 0) json += ", ";
+    json += std::to_string(file.options.fail_to_reset[i]);
+  }
+  json += "]},\n  \"schedule\": [";
+  for (std::size_t i = 0; i < file.schedule.size(); ++i) {
+    if (i != 0) json += ", ";
+    json += "{\"kind\": \"";
+    json += to_string(file.schedule[i].kind);
+    json += "\", \"seq\": ";
+    json += std::to_string(file.schedule[i].seq);
+    json += "}";
+  }
+  json += "],\n  \"violations\": [";
+  for (std::size_t i = 0; i < file.violations.size(); ++i) {
+    if (i != 0) json += ", ";
+    json += "\"";
+    json += obs::json_escape(file.violations[i]);
+    json += "\"";
+  }
+  json += "]\n}\n";
+  return json;
+}
+
+namespace {
+
+/// Minimal JSON reader — just enough for schedule files. Throws
+/// std::runtime_error with a byte offset on malformed input.
+class JsonParser {
+ public:
+  struct Value {
+    enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    const Value* find(const std::string& key) const {
+      for (const auto& [k, v] : object) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    }
+  };
+
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("schedule JSON: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value v;
+      v.type = Value::Type::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      Value v;
+      v.type = Value::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      Value v;
+      v.type = Value::Type::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return Value{};
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value v;
+    v.type = Value::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.type = Value::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Schedule files never emit non-ASCII; pass the sequence through.
+          out += "\\u";
+          break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ScheduleFile schedule_from_json(const std::string& text) {
+  using Value = JsonParser::Value;
+  const Value root = JsonParser(text).parse();
+  if (root.type != Value::Type::Object) throw std::runtime_error("schedule JSON: not an object");
+
+  ScheduleFile file;
+  if (const Value* scenario = root.find("scenario")) file.scenario = scenario->string;
+  if (file.scenario.empty()) throw std::runtime_error("schedule JSON: missing scenario");
+
+  if (const Value* options = root.find("options")) {
+    auto number = [options](const char* key, auto fallback) {
+      const Value* v = options->find(key);
+      return v != nullptr ? static_cast<decltype(fallback)>(v->number) : fallback;
+    };
+    file.options.max_depth = number("max_depth", file.options.max_depth);
+    file.options.max_states = number("max_states", file.options.max_states);
+    file.options.drop_budget = number("drop_budget", file.options.drop_budget);
+    file.options.dup_budget = number("dup_budget", file.options.dup_budget);
+    if (const Value* reorder = options->find("reorder")) file.options.reorder = reorder->boolean;
+    if (const Value* fault = options->find("fault")) {
+      file.options.fault = fault_from_string(fault->string);
+    }
+    if (const Value* fail = options->find("fail_to_reset")) {
+      for (const Value& v : fail->array) {
+        file.options.fail_to_reset.push_back(static_cast<config::ProcessId>(v.number));
+      }
+    }
+  }
+
+  if (const Value* schedule = root.find("schedule")) {
+    for (const Value& entry : schedule->array) {
+      Choice choice;
+      const Value* kind = entry.find("kind");
+      const Value* seq = entry.find("seq");
+      if (kind == nullptr || seq == nullptr) {
+        throw std::runtime_error("schedule JSON: schedule entry missing kind/seq");
+      }
+      if (kind->string == "deliver") {
+        choice.kind = Choice::Kind::Deliver;
+      } else if (kind->string == "drop") {
+        choice.kind = Choice::Kind::Drop;
+      } else if (kind->string == "duplicate") {
+        choice.kind = Choice::Kind::Duplicate;
+      } else if (kind->string == "fire") {
+        choice.kind = Choice::Kind::Fire;
+      } else {
+        throw std::runtime_error("schedule JSON: unknown choice kind " + kind->string);
+      }
+      choice.seq = static_cast<std::uint64_t>(seq->number);
+      file.schedule.push_back(choice);
+    }
+  }
+
+  if (const Value* violations = root.find("violations")) {
+    for (const Value& v : violations->array) file.violations.push_back(v.string);
+  }
+  return file;
+}
+
+}  // namespace sa::check

@@ -1,0 +1,103 @@
+// Bounded interleaving explorer: model-checks the paper's safety argument
+// over schedules of the sans-I/O protocol cores.
+//
+// Two search modes over the Model's choice tree:
+//
+//   * explore_dfs     depth-first over every enabled choice (delivery order,
+//                     drops, duplicates, timer-vs-message races) with
+//                     hashed-state deduplication and depth/state budgets.
+//                     With generous budgets and a small scenario the search
+//                     is exhaustive (result.complete == true).
+//   * explore_random  seeded random walks to quiescence — cheap probing of
+//                     schedules deeper than the DFS bound.
+//
+// The first safety violation found stops the search and is returned as a
+// replayable Counterexample: the exact (kind, seq) choice schedule, which
+// `replay` re-executes deterministically and which round-trips through JSON
+// (schedule_to_json / schedule_from_json) for CI artifacts and bug reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/model.hpp"
+#include "check/scenario.hpp"
+
+namespace sa::check {
+
+struct ExploreOptions {
+  int max_depth = 80;              ///< choices per run (DFS recursion bound)
+  std::size_t max_states = 200'000;  ///< distinct fingerprints before giving up
+  int drop_budget = 0;
+  int dup_budget = 0;
+  bool reorder = false;
+  proto::ManagerFault fault = proto::ManagerFault::None;
+  /// Agents that never reach their safe state (drives the §4.4 chain).
+  std::vector<config::ProcessId> fail_to_reset;
+};
+
+struct ExploreStats {
+  std::size_t states_explored = 0;  ///< choice applications
+  std::size_t states_deduped = 0;   ///< branches cut by fingerprint match
+  std::size_t runs_completed = 0;   ///< quiescent leaves reached
+  std::size_t depth_capped = 0;     ///< branches cut by max_depth
+  int max_depth_reached = 0;
+  std::map<std::string, std::size_t> outcomes;  ///< outcome name -> leaf count
+};
+
+struct Counterexample {
+  std::vector<Choice> schedule;
+  std::vector<std::string> violations;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::optional<Counterexample> counterexample;
+  /// True iff the search covered every schedule within its budgets: no
+  /// depth-capped branch, no state-cap abort (DFS only; random walks and
+  /// violation-aborted searches are never complete).
+  bool complete = false;
+};
+
+Model make_model(const Scenario& scenario, const ExploreOptions& options);
+
+ExploreResult explore_dfs(const Scenario& scenario, const ExploreOptions& options);
+
+ExploreResult explore_random(const Scenario& scenario, const ExploreOptions& options,
+                             std::uint64_t seed, std::size_t runs);
+
+struct ReplayResult {
+  std::vector<Violation> violations;
+  std::optional<proto::AdaptationResult> outcome;
+  std::vector<TransitionRec> transitions;
+  /// False if some schedule entry was not enabled (schedule and scenario /
+  /// options diverged); violations up to that point are still reported.
+  bool schedule_valid = true;
+};
+
+/// Re-executes `schedule` against a fresh model. Deterministic: the same
+/// scenario, options, and schedule always reproduce the same violations.
+ReplayResult replay(const Scenario& scenario, const ExploreOptions& options,
+                    const std::vector<Choice>& schedule);
+
+/// Self-contained, serializable description of one explorer schedule —
+/// everything replay needs plus the violations it reproduces.
+struct ScheduleFile {
+  std::string scenario;  ///< name for make_scenario
+  ExploreOptions options;
+  std::vector<Choice> schedule;
+  std::vector<std::string> violations;
+};
+
+std::string to_json(const ScheduleFile& file);
+/// Throws std::runtime_error on malformed input.
+ScheduleFile schedule_from_json(const std::string& text);
+
+const char* to_string(proto::ManagerFault fault);
+/// Throws std::invalid_argument on unknown names.
+proto::ManagerFault fault_from_string(std::string_view name);
+
+}  // namespace sa::check

@@ -1,0 +1,422 @@
+#include "check/model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <tuple>
+#include <utility>
+
+namespace sa::check {
+
+namespace {
+
+/// boost::hash_combine-style mixer, same spirit as the cores' fingerprints.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+void mix_string(std::uint64_t& h, const std::string& s) { mix(h, std::hash<std::string>{}(s)); }
+
+void mix_step(std::uint64_t& h, const proto::StepRef& ref) {
+  mix(h, ref.request_id);
+  mix(h, ref.plan);
+  mix(h, ref.step_index);
+  mix(h, ref.attempt);
+}
+
+/// Structural hash of a protocol message: type, step coordinates, and the
+/// payload fields that influence receiver behaviour. Timing payloads
+/// (ResumeDone::blocked_for) are excluded on purpose — they never steer
+/// control flow, and including them would make every state unique.
+std::uint64_t message_fingerprint(const runtime::MessagePtr& message) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
+  if (proto_msg == nullptr) return h;
+  mix_step(h, proto_msg->step);
+  if (const auto* reset = dynamic_cast<const proto::ResetMsg*>(message.get())) {
+    mix(h, 1);
+    mix(h, static_cast<std::uint64_t>(reset->drain));
+    mix(h, static_cast<std::uint64_t>(reset->sole_participant));
+    for (const auto& name : reset->command.remove) mix_string(h, name);
+    for (const auto& name : reset->command.add) mix_string(h, name);
+  } else if (dynamic_cast<const proto::ResetDoneMsg*>(message.get()) != nullptr) {
+    mix(h, 2);
+  } else if (dynamic_cast<const proto::AdaptDoneMsg*>(message.get()) != nullptr) {
+    mix(h, 3);
+  } else if (dynamic_cast<const proto::ResumeMsg*>(message.get()) != nullptr) {
+    mix(h, 4);
+  } else if (dynamic_cast<const proto::ResumeDoneMsg*>(message.get()) != nullptr) {
+    mix(h, 5);
+  } else if (dynamic_cast<const proto::RollbackMsg*>(message.get()) != nullptr) {
+    mix(h, 6);
+  } else if (dynamic_cast<const proto::RollbackDoneMsg*>(message.get()) != nullptr) {
+    mix(h, 7);
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Choice::Kind kind) {
+  switch (kind) {
+    case Choice::Kind::Deliver: return "deliver";
+    case Choice::Kind::Drop: return "drop";
+    case Choice::Kind::Duplicate: return "duplicate";
+    case Choice::Kind::Fire: return "fire";
+  }
+  return "?";
+}
+
+bool Model::StepKey::operator<(const StepKey& other) const {
+  return std::tuple(ref.request_id, ref.plan, ref.step_index, ref.attempt) <
+         std::tuple(other.ref.request_id, other.ref.plan, other.ref.step_index,
+                    other.ref.attempt);
+}
+
+Model::Model(const Scenario& scenario, Limits limits, proto::ManagerFault fault)
+    : scenario_(&scenario), limits_(limits),
+      manager_(*scenario.invariants, *scenario.actions, *scenario.planner,
+               scenario.manager_config),
+      drops_left_(limits.drop_budget), dups_left_(limits.dup_budget) {
+  manager_.inject_fault(fault);
+  manager_.set_current_configuration(scenario.source);
+  for (const auto& [process, stage] : scenario.stages) {
+    manager_.register_agent(process, stage);
+    agents_.emplace(process, AgentEntity(scenario.agent_config));
+  }
+}
+
+void Model::set_fail_to_reset(config::ProcessId process, bool fail) {
+  agents_.at(process).core.set_fail_to_reset(fail);
+}
+
+void Model::start() {
+  apply_manager_outputs(
+      manager_.step(proto::ManagerInput{now_, proto::ManagerInput::AdaptCommand{scenario_->target}}));
+}
+
+bool Model::deliverable(const InFlight& m) const {
+  if (limits_.reorder) return true;
+  // FIFO per directed channel: deliverable iff no older in-flight message
+  // shares the channel. in_flight_ is kept in creation order.
+  for (const InFlight& other : in_flight_) {
+    if (other.seq == m.seq) return true;  // m itself is the oldest
+    if (other.to_manager == m.to_manager && other.agent == m.agent) return false;
+  }
+  return true;
+}
+
+std::vector<Choice> Model::choices() const {
+  std::vector<Choice> result;
+  for (const InFlight& m : in_flight_) {
+    if (!deliverable(m)) continue;
+    result.push_back(Choice{Choice::Kind::Deliver, m.seq});
+    if (drops_left_ > 0) result.push_back(Choice{Choice::Kind::Drop, m.seq});
+    if (dups_left_ > 0) result.push_back(Choice{Choice::Kind::Duplicate, m.seq});
+  }
+  auto add_timer = [&result](const TimerSlot& slot) {
+    if (slot.armed) result.push_back(Choice{Choice::Kind::Fire, slot.seq});
+  };
+  add_timer(mgr_protocol_);
+  add_timer(mgr_stage_);
+  for (const auto& [process, entity] : agents_) add_timer(entity.timer);
+  return result;
+}
+
+std::optional<Choice> Model::sim_choice() const {
+  std::optional<Choice> best;
+  runtime::Time best_time = 0;
+  std::uint64_t best_seq = 0;
+  auto consider = [&](Choice::Kind kind, std::uint64_t seq, runtime::Time due) {
+    if (!best || due < best_time || (due == best_time && seq < best_seq)) {
+      best = Choice{kind, seq};
+      best_time = due;
+      best_seq = seq;
+    }
+  };
+  for (const InFlight& m : in_flight_) {
+    if (deliverable(m)) consider(Choice::Kind::Deliver, m.seq, m.deliver_at);
+  }
+  auto consider_timer = [&consider](const TimerSlot& slot) {
+    if (slot.armed) consider(Choice::Kind::Fire, slot.seq, slot.deadline);
+  };
+  consider_timer(mgr_protocol_);
+  consider_timer(mgr_stage_);
+  for (const auto& [process, entity] : agents_) consider_timer(entity.timer);
+  return best;
+}
+
+bool Model::apply(const Choice& choice) {
+  if (choice.kind == Choice::Kind::Fire) {
+    auto fire = [this, &choice](TimerSlot& slot) {
+      if (!slot.armed || slot.seq != choice.seq) return false;
+      slot.armed = false;
+      now_ = std::max(now_, slot.deadline);
+      return true;
+    };
+    if (fire(mgr_protocol_)) {
+      apply_manager_outputs(manager_.step(proto::ManagerInput{
+          now_, proto::ManagerInput::TimerFired{proto::ManagerTimer::Protocol}}));
+      return true;
+    }
+    if (fire(mgr_stage_)) {
+      apply_manager_outputs(manager_.step(proto::ManagerInput{
+          now_, proto::ManagerInput::TimerFired{proto::ManagerTimer::StageDelay}}));
+      return true;
+    }
+    for (auto& [process, entity] : agents_) {
+      if (fire(entity.timer)) {
+        apply_agent_outputs(process, entity.core.step(proto::AgentInput{
+                                         now_, proto::AgentInput::TimerFired{}}));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+                               [&choice](const InFlight& m) { return m.seq == choice.seq; });
+  if (it == in_flight_.end() || !deliverable(*it)) return false;
+  switch (choice.kind) {
+    case Choice::Kind::Deliver: {
+      const InFlight m = *it;
+      in_flight_.erase(it);
+      now_ = std::max(now_, m.deliver_at);
+      deliver(m);
+      return true;
+    }
+    case Choice::Kind::Drop:
+      if (drops_left_ <= 0) return false;
+      --drops_left_;
+      in_flight_.erase(it);
+      return true;
+    case Choice::Kind::Duplicate: {
+      if (dups_left_ <= 0) return false;
+      --dups_left_;
+      InFlight copy = *it;  // shares the immutable message payload
+      copy.seq = next_seq_++;
+      copy.deliver_at = now_ + scenario_->latency;
+      in_flight_.push_back(std::move(copy));
+      return true;
+    }
+    case Choice::Kind::Fire: break;  // handled above
+  }
+  return false;
+}
+
+void Model::deliver(const InFlight& m) {
+  if (m.to_manager) {
+    note_manager_delivery(m.agent, m.message);
+    apply_manager_outputs(manager_.step(
+        proto::ManagerInput{now_, proto::ManagerInput::MessageDelivered{m.agent, m.message}}));
+  } else {
+    apply_agent_outputs(m.agent,
+                        agents_.at(m.agent).core.step(proto::AgentInput{
+                            now_, proto::AgentInput::MessageDelivered{m.message}}));
+  }
+}
+
+void Model::check_manager_send(config::ProcessId to, const runtime::MessagePtr& message) {
+  const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
+  if (proto_msg == nullptr) return;
+  const StepKey key{proto_msg->step};
+  if (dynamic_cast<const proto::ResetMsg*>(message.get()) != nullptr) {
+    reset_sent_[key].insert(to);
+    return;
+  }
+  if (dynamic_cast<const proto::ResumeMsg*>(message.get()) != nullptr) {
+    // Each check fires once — per destination / per step — so retransmission
+    // rounds don't repeat an already-reported violation.
+    if (resume_sent_to_[key].insert(to).second && reset_sent_[key].count(to) == 0) {
+      violation("resume for step " + proto_msg->step.describe() + " sent to process " +
+                std::to_string(to) + " before its reset (§4.3)");
+    }
+    if (resume_sent_steps_.insert(key).second) {
+      const auto& delivered = adapt_delivered_[key];
+      for (const config::ProcessId process : reset_sent_[key]) {
+        if (delivered.count(process) == 0) {
+          violation("resume for step " + proto_msg->step.describe() +
+                    " sent before adapt done from process " + std::to_string(process) +
+                    " was delivered (§4.3 global safe state)");
+        }
+      }
+    }
+    return;
+  }
+  if (dynamic_cast<const proto::RollbackMsg*>(message.get()) != nullptr) {
+    if (rollback_sent_to_[key].insert(to).second &&
+        resume_sent_steps_.count(key) != 0) {
+      violation("rollback for step " + proto_msg->step.describe() +
+                " sent after its resume (§4.4 run-to-completion)");
+    }
+  }
+}
+
+void Model::note_manager_delivery(config::ProcessId from, const runtime::MessagePtr& message) {
+  const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
+  if (proto_msg == nullptr) return;
+  const StepKey key{proto_msg->step};
+  // A resume done subsumes the adapt done it implies (the manager treats it
+  // as both acknowledgements when the adapt done itself was lost).
+  if (dynamic_cast<const proto::AdaptDoneMsg*>(message.get()) != nullptr ||
+      dynamic_cast<const proto::ResumeDoneMsg*>(message.get()) != nullptr) {
+    adapt_delivered_[key].insert(from);
+  }
+}
+
+void Model::apply_manager_outputs(const std::vector<proto::Output>& outputs) {
+  for (const proto::Output& out : outputs) {
+    switch (out.kind) {
+      case proto::OutputKind::Send:
+        check_manager_send(out.process, out.message);
+        in_flight_.push_back(InFlight{false, out.process, out.message, next_seq_++,
+                                      now_ + scenario_->latency});
+        break;
+      case proto::OutputKind::ArmTimer: {
+        TimerSlot& slot =
+            out.timer == proto::ManagerTimer::Protocol ? mgr_protocol_ : mgr_stage_;
+        slot.armed = true;
+        slot.deadline = now_ + out.delay;
+        slot.seq = next_seq_++;
+        break;
+      }
+      case proto::OutputKind::DisarmTimer:
+        (out.timer == proto::ManagerTimer::Protocol ? mgr_protocol_ : mgr_stage_).armed = false;
+        break;
+      case proto::OutputKind::Transition:
+        transitions_.push_back(TransitionRec{"manager", std::string(to_string(out.phase_from)),
+                                             std::string(to_string(out.phase_to))});
+        break;
+      case proto::OutputKind::StepCommitted:
+        if (!scenario_->invariants->satisfied(out.config)) {
+          std::string names;
+          for (const auto& name : scenario_->invariants->violations(out.config)) {
+            if (!names.empty()) names += ", ";
+            names += name;
+          }
+          violation("step " + out.ref.describe() + " committed unsafe configuration " +
+                    out.config.describe(*scenario_->registry) + " (violates: " + names + ")");
+        }
+        break;
+      case proto::OutputKind::Outcome:
+        outcome_ = out.result;
+        if (out.result.outcome == proto::AdaptationOutcome::Success &&
+            !(out.result.final_config == scenario_->target)) {
+          violation("success outcome but final configuration " +
+                    out.result.final_config.describe(*scenario_->registry) +
+                    " differs from the target");
+        }
+        break;
+      default:
+        break;  // spans, notes, and metrics hints carry no model state
+    }
+  }
+}
+
+void Model::dispatch_agent_local(config::ProcessId process, proto::AgentLocalEvent event) {
+  apply_agent_outputs(process,
+                      agents_.at(process).core.step(proto::AgentInput{now_, event}));
+}
+
+void Model::apply_agent_outputs(config::ProcessId process,
+                                const std::vector<proto::Output>& outputs) {
+  AgentEntity& entity = agents_.at(process);
+  for (const proto::Output& out : outputs) {
+    switch (out.kind) {
+      case proto::OutputKind::Send:
+        in_flight_.push_back(
+            InFlight{true, process, out.message, next_seq_++, now_ + scenario_->latency});
+        break;
+      case proto::OutputKind::ArmTimer:
+        entity.timer.armed = true;
+        entity.timer.deadline = now_ + out.delay;
+        entity.timer.seq = next_seq_++;
+        break;
+      case proto::OutputKind::DisarmTimer:
+        entity.timer.armed = false;
+        break;
+      case proto::OutputKind::Transition:
+        transitions_.push_back(TransitionRec{"agent" + std::to_string(process),
+                                             std::string(to_string(out.state_from)),
+                                             std::string(to_string(out.state_to))});
+        break;
+      case proto::OutputKind::ProcessPrepare:
+        dispatch_agent_local(process, proto::AgentLocalEvent::PrepareSucceeded);
+        break;
+      case proto::OutputKind::ProcessReachSafe:
+        entity.blocked = true;
+        dispatch_agent_local(process, proto::AgentLocalEvent::SafeStateReached);
+        break;
+      case proto::OutputKind::ProcessAbortSafe:
+        entity.blocked = false;
+        break;
+      case proto::OutputKind::ProcessApply:
+        if (!entity.blocked) {
+          violation("in-action for step " + out.ref.describe() + " executed on process " +
+                    std::to_string(process) + " outside its safe state");
+        }
+        dispatch_agent_local(process, proto::AgentLocalEvent::ApplySucceeded);
+        break;
+      case proto::OutputKind::ProcessUndo:
+        if (!entity.blocked) {
+          violation("undo for step " + out.ref.describe() + " executed on process " +
+                    std::to_string(process) + " outside its safe state");
+        }
+        break;
+      case proto::OutputKind::ProcessResume:
+        entity.blocked = false;
+        break;
+      default:
+        break;  // cleanup and duplicate notes carry no model state
+    }
+  }
+}
+
+void Model::finalize() {
+  if (!outcome_) {
+    violation("run quiesced without a terminal adaptation outcome (deadlock)");
+    return;
+  }
+  if (outcome_->outcome != proto::AdaptationOutcome::Success) return;
+  for (const auto& [process, entity] : agents_) {
+    if (entity.blocked) {
+      violation("process " + std::to_string(process) +
+                " still blocked after a successful adaptation");
+    }
+    if (entity.core.state() != proto::AgentState::Running) {
+      violation("agent on process " + std::to_string(process) + " left in state " +
+                std::string(to_string(entity.core.state())) +
+                " after a successful adaptation");
+    }
+  }
+}
+
+void Model::violation(std::string description) {
+  violations_.push_back(Violation{std::move(description)});
+}
+
+std::uint64_t Model::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  manager_.fingerprint(h);
+  mix(h, mgr_protocol_.armed);
+  mix(h, mgr_stage_.armed);
+  for (const auto& [process, entity] : agents_) {
+    mix(h, process);
+    entity.core.fingerprint(h);
+    mix(h, entity.blocked);
+    mix(h, entity.timer.armed);
+  }
+  for (const InFlight& m : in_flight_) {
+    mix(h, m.to_manager);
+    mix(h, m.agent);
+    mix(h, message_fingerprint(m.message));
+  }
+  mix(h, static_cast<std::uint64_t>(drops_left_));
+  mix(h, static_cast<std::uint64_t>(dups_left_));
+  mix(h, outcome_.has_value());
+  // P2/P3 bookkeeping is intentionally not mixed in: for the current step it
+  // is a function of the manager core's own per-step state (involved set,
+  // acks, resume flag), and completed steps can never influence future sends.
+  return h;
+}
+
+}  // namespace sa::check

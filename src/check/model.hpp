@@ -1,0 +1,184 @@
+// Virtual-world model of one adaptation run: the sans-I/O ManagerCore plus
+// one AgentCore per process, wired through an in-memory network and timer set
+// instead of a runtime backend.
+//
+// The Model is a copyable value — the explorer forks it at every branch
+// point. At each state it exposes the set of enabled Choices (deliver / drop
+// / duplicate an in-flight message, fire an armed timer); applying a choice
+// feeds the corresponding Input to the owning core and executes the returned
+// Outputs against the virtual network, the virtual timers, and an inline
+// process model (prepare/apply always succeed and complete synchronously, as
+// with the NullProcess used by the runtime conformance tests).
+//
+// Safety properties are checked as outputs are applied, from the explorer's
+// own send/delivery bookkeeping rather than the cores' internal state:
+//
+//   P1  every committed configuration satisfies the invariant set (§4.3's
+//       "adaptation moves along safe configurations");
+//   P2  the manager never sends `resume` for a step before (a) every involved
+//       process was sent `reset` and (b) every involved process's
+//       `adapt done` (or subsuming `resume done`) was *delivered* (§4.3);
+//   P3  no `rollback` is sent for a step after its `resume` went out (§4.4
+//       run-to-completion rule);
+//   P4  in-actions and undos only execute while the process is blocked in its
+//       safe state — blocked processes stay blocked until resume/rollback;
+//   P5  a quiescent run has a terminal AdaptationOutcome (no deadlock), and a
+//       Success outcome means the target configuration was reached with every
+//       process unblocked and every agent back in `running`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "proto/core/agent_core.hpp"
+#include "proto/core/io.hpp"
+#include "proto/core/manager_core.hpp"
+#include "proto/messages.hpp"
+
+namespace sa::check {
+
+/// One schedulable event the explorer may pick next. Messages and timers are
+/// identified by their creation sequence number, which is deterministic given
+/// the schedule prefix — a (kind, seq) list therefore replays exactly.
+struct Choice {
+  enum class Kind : std::uint8_t { Deliver, Drop, Duplicate, Fire };
+  Kind kind = Kind::Deliver;
+  std::uint64_t seq = 0;
+
+  bool operator==(const Choice&) const = default;
+};
+
+const char* to_string(Choice::Kind kind);
+
+struct Violation {
+  std::string description;
+};
+
+/// One automaton transition, in global emission order — the unit the
+/// replay-equivalence test compares against a real SimRuntime execution.
+struct TransitionRec {
+  std::string entity;  ///< "manager" or "agent<process>"
+  std::string from;
+  std::string to;
+
+  bool operator==(const TransitionRec&) const = default;
+};
+
+class Model {
+ public:
+  struct Limits {
+    int drop_budget = 0;  ///< messages the adversary may destroy
+    int dup_budget = 0;   ///< messages the adversary may duplicate
+    /// When false (default) each directed manager<->agent channel is FIFO:
+    /// only its oldest in-flight message is deliverable. When true any
+    /// in-flight message is deliverable (full reordering).
+    bool reorder = false;
+  };
+
+  /// `scenario` must outlive the model (and all copies); the cores keep
+  /// pointers into its analysis data.
+  Model(const Scenario& scenario, Limits limits,
+        proto::ManagerFault fault = proto::ManagerFault::None);
+
+  /// Pre-start failure injection: the agent on `process` never reaches its
+  /// safe state (drives the §4.4 rollback / re-plan chain).
+  void set_fail_to_reset(config::ProcessId process, bool fail);
+
+  /// Issues the scenario's single adaptation request (source -> target).
+  void start();
+
+  /// Enabled choices at this state, in deterministic order.
+  std::vector<Choice> choices() const;
+
+  /// The choice the deterministic simulator would take: the enabled
+  /// deliver/fire event with the smallest (due time, creation seq) — drops
+  /// and duplicates never happen by themselves. Empty at quiescence.
+  std::optional<Choice> sim_choice() const;
+
+  /// Applies one choice; returns false if it is not currently enabled
+  /// (stale seq — a replay against a diverged model). Any property
+  /// violations it causes are appended to violations().
+  bool apply(const Choice& choice);
+
+  /// End-of-run checks (P5); call once no choices remain.
+  void finalize();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  const std::optional<proto::AdaptationResult>& outcome() const { return outcome_; }
+  const std::vector<TransitionRec>& transitions() const { return transitions_; }
+  runtime::Time now() const { return now_; }
+  std::size_t messages_in_flight() const { return in_flight_.size(); }
+
+  /// Hash of all protocol-relevant state: both cores, process blocked flags,
+  /// channel contents, armed timers, and remaining adversary budgets.
+  /// Timestamps are deliberately excluded — the cores' control flow never
+  /// depends on them, so states differing only in time are equivalent.
+  std::uint64_t fingerprint() const;
+
+ private:
+  struct InFlight {
+    bool to_manager = false;          ///< direction; `agent` is the other endpoint
+    config::ProcessId agent = 0;
+    runtime::MessagePtr message;
+    std::uint64_t seq = 0;
+    runtime::Time deliver_at = 0;
+  };
+
+  struct TimerSlot {
+    bool armed = false;
+    runtime::Time deadline = 0;
+    std::uint64_t seq = 0;  ///< creation seq of the current arm
+  };
+
+  struct AgentEntity {
+    proto::AgentCore core;
+    TimerSlot timer;
+    bool blocked = false;  ///< virtual process state (P4)
+    explicit AgentEntity(proto::AgentConfig config) : core(config) {}
+  };
+
+  bool deliverable(const InFlight& m) const;
+  void deliver(const InFlight& m);
+  void apply_manager_outputs(const std::vector<proto::Output>& outputs);
+  void apply_agent_outputs(config::ProcessId process, const std::vector<proto::Output>& outputs);
+  void dispatch_agent_local(config::ProcessId process, proto::AgentLocalEvent event);
+  void check_manager_send(config::ProcessId to, const runtime::MessagePtr& message);
+  void note_manager_delivery(config::ProcessId from, const runtime::MessagePtr& message);
+  void violation(std::string description);
+
+  const Scenario* scenario_;
+  Limits limits_;
+
+  proto::ManagerCore manager_;
+  TimerSlot mgr_protocol_;
+  TimerSlot mgr_stage_;
+  std::map<config::ProcessId, AgentEntity> agents_;
+
+  std::vector<InFlight> in_flight_;  ///< ascending seq (push order)
+  runtime::Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  int drops_left_ = 0;
+  int dups_left_ = 0;
+
+  // --- property bookkeeping (P2/P3), keyed by exact step attempt ------------
+  struct StepKey {
+    proto::StepRef ref;
+    bool operator<(const StepKey& other) const;
+  };
+  std::map<StepKey, std::set<config::ProcessId>> reset_sent_;
+  std::map<StepKey, std::set<config::ProcessId>> adapt_delivered_;
+  std::map<StepKey, std::set<config::ProcessId>> resume_sent_to_;
+  std::map<StepKey, std::set<config::ProcessId>> rollback_sent_to_;
+  std::set<StepKey> resume_sent_steps_;
+
+  std::vector<Violation> violations_;
+  std::optional<proto::AdaptationResult> outcome_;
+  std::vector<TransitionRec> transitions_;
+};
+
+}  // namespace sa::check

@@ -93,7 +93,7 @@ void SafeAdaptationSystem::set_current_configuration(config::Configuration confi
   manager().set_current_configuration(config);
 }
 
-const config::Configuration& SafeAdaptationSystem::current_configuration() const {
+config::Configuration SafeAdaptationSystem::current_configuration() const {
   if (!manager_) throw std::logic_error("system not finalized");
   return manager_->current_configuration();
 }

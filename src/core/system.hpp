@@ -76,7 +76,7 @@ class SafeAdaptationSystem {
 
   // --- runtime ----------------------------------------------------------------
   void set_current_configuration(config::Configuration config);
-  const config::Configuration& current_configuration() const;
+  config::Configuration current_configuration() const;
 
   /// Asynchronous request; completion handler fires from simulator context.
   void request_adaptation(config::Configuration target, proto::AdaptationManager::CompletionHandler handler);

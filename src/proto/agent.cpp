@@ -1,5 +1,7 @@
 #include "proto/agent.hpp"
 
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/log.hpp"
@@ -14,31 +16,14 @@ obs::StepCoords coords_of(const StepRef& ref) {
 
 }  // namespace
 
-std::string_view to_string(AgentState state) {
-  switch (state) {
-    case AgentState::Running: return "running";
-    case AgentState::Resetting: return "resetting";
-    case AgentState::Safe: return "safe";
-    case AgentState::Adapted: return "adapted";
-    case AgentState::Resuming: return "resuming";
-  }
-  return "?";
-}
-
 AdaptationAgent::AdaptationAgent(runtime::Clock& clock, runtime::Transport& transport,
                                  runtime::NodeId node, runtime::NodeId manager_node,
                                  AdaptableProcess& process, AgentConfig config)
     : clock_(&clock), transport_(&transport), node_(node), manager_(manager_node),
-      process_(&process), config_(config) {
+      process_(&process), core_(config) {
   transport_->set_handler(node_, [this](runtime::NodeId from, runtime::MessagePtr message) {
     on_message(from, std::move(message));
   });
-}
-
-template <typename Msg>
-void AdaptationAgent::send(const StepRef& step, Msg prototype) {
-  prototype.step = step;
-  transport_->send(node_, manager_, std::make_shared<Msg>(std::move(prototype)));
 }
 
 void AdaptationAgent::set_observability(obs::TraceRecorder* recorder,
@@ -57,277 +42,149 @@ void AdaptationAgent::trace_event(obs::Event event) {
   recorder_->record(std::move(event));
 }
 
-void AdaptationAgent::set_state(AgentState next) {
-  if (state_ == next) return;
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::AgentState;
-    e.name = std::string(to_string(next));
-    e.detail = std::string(to_string(state_));
-    if (current_step_) e.coords = coords_of(*current_step_);
-    trace_event(std::move(e));
-  }
-  state_ = next;
-}
-
-void AdaptationAgent::note_duplicate(const char* type) {
-  ++stats_.duplicate_messages;
-  if (metrics_ != nullptr) {
-    metrics_
-        ->counter("sa_duplicate_protocol_messages_total", {{"type", type}},
-                  "Retransmitted / duplicated protocol messages seen by agents")
-        .inc();
-  }
-}
-
-void AdaptationAgent::schedule_pending(runtime::Time delay, const char* label,
-                                       std::function<void()> body) {
-  pending_label_ = label;
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::TimerArmed;
-    if (current_step_) e.coords = coords_of(*current_step_);
-    e.name = label;
-    e.value = static_cast<double>(delay);
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  const std::uint64_t gen = ++pending_gen_;
-  pending_event_ = clock_->schedule_after(delay, [this, gen, label, body = std::move(body)] {
-    std::lock_guard lock(mutex_);
-    if (gen != pending_gen_) return;  // cancelled or superseded after dequeue
-    pending_event_ = 0;
-    if (tracing()) {
-      obs::Event e;
-      e.kind = obs::EventKind::TimerFired;
-      if (current_step_) e.coords = coords_of(*current_step_);
-      e.name = label;
-      trace_event(std::move(e));
-    }
-    body();
-  });
-}
-
-void AdaptationAgent::cancel_pending() {
-  if (pending_event_ != 0) {
-    clock_->cancel(pending_event_);
-    pending_event_ = 0;
-    if (tracing()) {
-      obs::Event e;
-      e.kind = obs::EventKind::TimerCancelled;
-      if (current_step_) e.coords = coords_of(*current_step_);
-      e.name = pending_label_;
-      trace_event(std::move(e));
-    }
-  }
-  ++pending_gen_;  // invalidate a fire that cancel() was too late to stop
-}
-
 void AdaptationAgent::on_message(runtime::NodeId from, runtime::MessagePtr message) {
   std::lock_guard lock(mutex_);
   if (from != manager_) {
     SA_WARN("agent") << "node " << node_ << ": message from non-manager node " << from;
     return;
   }
-  if (const auto* reset = dynamic_cast<const ResetMsg*>(message.get())) {
-    on_reset(*reset);
-  } else if (const auto* resume = dynamic_cast<const ResumeMsg*>(message.get())) {
-    on_resume(*resume);
-  } else if (const auto* rollback = dynamic_cast<const RollbackMsg*>(message.get())) {
-    on_rollback(*rollback);
-  } else {
+  if (dynamic_cast<const ResetMsg*>(message.get()) == nullptr &&
+      dynamic_cast<const ResumeMsg*>(message.get()) == nullptr &&
+      dynamic_cast<const RollbackMsg*>(message.get()) == nullptr) {
     SA_WARN("agent") << "node " << node_ << ": unexpected message " << message->type_name();
+    return;
   }
+  dispatch(AgentInput::MessageDelivered{std::move(message)});
 }
 
-void AdaptationAgent::on_reset(const ResetMsg& msg) {
-  if (current_step_ && *current_step_ == msg.step && state_ != AgentState::Running) {
-    // Retransmission of the step we are working on: re-acknowledge progress.
-    note_duplicate("reset");
-    if (state_ == AgentState::Safe) {
-      send<ResetDoneMsg>(msg.step);
-    } else if (state_ == AgentState::Adapted) {
-      send<ResetDoneMsg>(msg.step);
-      send<AdaptDoneMsg>(msg.step);
-    }
-    return;
-  }
-  if (state_ != AgentState::Running) {
-    SA_WARN("agent") << "node " << node_ << ": reset " << msg.step.describe() << " while "
-                     << to_string(state_) << " on " << current_step_->describe() << "; ignored";
-    return;
-  }
-  if (last_completed_ && *last_completed_ == msg.step) {
-    note_duplicate("reset");
-    ResumeDoneMsg ack;
-    ack.blocked_for = last_blocked_for_;
-    send<ResumeDoneMsg>(msg.step, std::move(ack));
-    return;
-  }
-  if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
-    note_duplicate("reset");
-    send<RollbackDoneMsg>(msg.step);
-    return;
-  }
-
-  // Fresh step: running -> resetting.
-  ++stats_.resets_handled;
-  current_step_ = msg.step;
-  current_command_ = msg.command;
-  sole_participant_ = msg.sole_participant;
-  prepared_ = false;
-  set_state(AgentState::Resetting);
-  const bool drain = msg.drain;
-  SA_DEBUG("agent") << "node " << node_ << ": reset " << msg.step.describe() << " ["
-                    << current_command_.describe() << (drain ? ", drain" : "") << "]";
-
-  schedule_pending(config_.pre_action_duration, "pre-action", [this, drain] {
-    prepared_ = process_->prepare(current_command_);
-    if (!prepared_) {
-      SA_WARN("agent") << "node " << node_ << ": pre-action failed; holding in resetting state";
-      return;  // manager's reset timeout will trigger rollback
-    }
-    if (config_.fail_to_reset) {
-      SA_DEBUG("agent") << "node " << node_ << ": injected fail-to-reset";
-      return;  // never reach the safe state
-    }
-    process_->reach_safe_state(drain, [this] { enter_safe_state(); });
-  });
+void AdaptationAgent::dispatch(AgentInput::MessageDelivered delivered) {
+  apply(core_.step(AgentInput{clock_->now(), std::move(delivered)}));
 }
 
-void AdaptationAgent::enter_safe_state() {
-  std::lock_guard lock(mutex_);
-  set_state(AgentState::Safe);
-  blocked_since_ = clock_->now();
-  send<ResetDoneMsg>(*current_step_);
-  start_in_action();
+void AdaptationAgent::dispatch(AgentInput::TimerFired fired) {
+  apply(core_.step(AgentInput{clock_->now(), fired}));
 }
 
-void AdaptationAgent::start_in_action() {
-  schedule_pending(config_.in_action_duration, "in-action", [this] {
-    if (!process_->apply(current_command_)) {
-      SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
-      return;  // manager's adapt timeout will trigger rollback
-    }
-    ++stats_.adapts_performed;
-    set_state(AgentState::Adapted);
-    send<AdaptDoneMsg>(*current_step_);
-    if (sole_participant_) {
-      // Fig. 1: the only process involved proceeds straight to resuming
-      // without blocking for the manager's resume message.
-      set_state(AgentState::Resuming);
-      schedule_pending(config_.resume_duration, "resume",
-                       [this] { finish_resume(/*proactive=*/true); });
-    }
-  });
+void AdaptationAgent::dispatch(AgentLocalEvent event) {
+  apply(core_.step(AgentInput{clock_->now(), event}));
 }
 
-void AdaptationAgent::finish_resume(bool proactive) {
-  process_->resume();
-  last_blocked_for_ = clock_->now() - blocked_since_;
-  stats_.total_blocked += last_blocked_for_;
-  last_completed_ = *current_step_;
-  const StepRef step = *current_step_;
-  set_state(AgentState::Running);
-  current_step_.reset();
-  ResumeDoneMsg ack;
-  ack.blocked_for = last_blocked_for_;
-  send<ResumeDoneMsg>(step, std::move(ack));
-  process_->cleanup(current_command_);
-  SA_DEBUG("agent") << "node " << node_ << ": resumed " << step.describe()
-                    << (proactive ? " (sole participant)" : "") << ", blocked "
-                    << last_blocked_for_ << "us";
-}
-
-void AdaptationAgent::on_resume(const ResumeMsg& msg) {
-  if (state_ == AgentState::Adapted && current_step_ && *current_step_ == msg.step) {
-    set_state(AgentState::Resuming);
-    schedule_pending(config_.resume_duration, "resume",
-                     [this] { finish_resume(/*proactive=*/false); });
-    return;
-  }
-  if (state_ == AgentState::Resuming && current_step_ && *current_step_ == msg.step) {
-    note_duplicate("resume");  // ack already on its way
-    return;
-  }
-  if (state_ == AgentState::Running && last_completed_ && *last_completed_ == msg.step) {
-    note_duplicate("resume");
-    ResumeDoneMsg ack;
-    ack.blocked_for = last_blocked_for_;
-    send<ResumeDoneMsg>(msg.step, std::move(ack));
-    return;
-  }
-  SA_WARN("agent") << "node " << node_ << ": unexpected resume " << msg.step.describe()
-                   << " while " << to_string(state_);
-}
-
-void AdaptationAgent::on_rollback(const RollbackMsg& msg) {
-  const bool matches_current = current_step_ && *current_step_ == msg.step;
-  switch (state_) {
-    case AgentState::Resetting:
-    case AgentState::Safe: {
-      if (!matches_current) break;
-      // Pre-action or in-action timer may still be pending; cancel it. No
-      // undo is needed: the in-action has not mutated anything yet.
-      cancel_pending();
-      process_->abort_safe_state();
-      ++stats_.rollbacks_performed;
-      last_rolled_back_ = msg.step;
-      set_state(AgentState::Running);
-      current_step_.reset();
-      send<RollbackDoneMsg>(msg.step);
-      return;
-    }
-    case AgentState::Adapted: {
-      if (!matches_current) break;
-      // Undo the in-action, then unblock. Modeled with the in-action
-      // duration since it performs the symmetric structural change.
-      set_state(AgentState::Resuming);
-      schedule_pending(config_.in_action_duration, "rollback-undo", [this, msg] {
-        process_->undo(current_command_);
-        process_->resume();
-        stats_.total_blocked += clock_->now() - blocked_since_;
-        ++stats_.rollbacks_performed;
-        last_rolled_back_ = msg.step;
-        set_state(AgentState::Running);
-        current_step_.reset();
-        send<RollbackDoneMsg>(msg.step);
-      });
-      return;
-    }
-    case AgentState::Resuming:
-      // A rollback racing a resume in flight; ignore — the manager will
-      // observe resume done / retry, and the completed path takes over.
-      SA_WARN("agent") << "node " << node_ << ": rollback during resuming ignored";
-      return;
-    case AgentState::Running: {
-      if (last_rolled_back_ && *last_rolled_back_ == msg.step) {
-        note_duplicate("rollback");
-        send<RollbackDoneMsg>(msg.step);
-        return;
-      }
-      if (last_completed_ && *last_completed_ == msg.step) {
-        // We resumed proactively (sole participant) but the manager timed out
-        // (e.g. lost adapt done) and aborted: compensate by re-quiescing,
-        // undoing the in-action, and resuming the old structure.
-        process_->reach_safe_state(false, [this, msg] {
+void AdaptationAgent::apply(const std::vector<Output>& outputs) {
+  for (const Output& out : outputs) {
+    switch (out.kind) {
+      case OutputKind::Send:
+        transport_->send(node_, manager_, out.message);
+        break;
+      case OutputKind::ArmTimer:
+        apply_arm_timer(out);
+        break;
+      case OutputKind::DisarmTimer:
+        apply_disarm_timer(out);
+        break;
+      case OutputKind::Transition:
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::AgentState;
+          e.name = std::string(to_string(out.state_to));
+          e.detail = std::string(to_string(out.state_from));
+          e.coords = coords_of(out.ref);
+          trace_event(std::move(e));
+        }
+        break;
+      case OutputKind::DuplicateMessage:
+        if (metrics_ != nullptr) {
+          metrics_
+              ->counter("sa_duplicate_protocol_messages_total", {{"type", out.label}},
+                        "Retransmitted / duplicated protocol messages seen by agents")
+              .inc();
+        }
+        break;
+      case OutputKind::ProcessPrepare:
+        if (process_->prepare(out.command)) {
+          dispatch(AgentLocalEvent::PrepareSucceeded);
+        } else {
+          SA_WARN("agent") << "node " << node_
+                           << ": pre-action failed; holding in resetting state";
+          dispatch(AgentLocalEvent::PrepareFailed);
+        }
+        break;
+      case OutputKind::ProcessReachSafe:
+        process_->reach_safe_state(out.flag, [this] {
           std::lock_guard lock(mutex_);
-          process_->undo(current_command_);
-          process_->resume();
-          ++stats_.rollbacks_performed;
-          last_rolled_back_ = msg.step;
-          last_completed_.reset();
-          send<RollbackDoneMsg>(msg.step);
+          dispatch(AgentLocalEvent::SafeStateReached);
         });
-        return;
-      }
-      // Step never reached us (reset lost entirely): nothing to undo.
-      send<RollbackDoneMsg>(msg.step);
-      return;
+        break;
+      case OutputKind::ProcessAbortSafe:
+        process_->abort_safe_state();
+        break;
+      case OutputKind::ProcessApply:
+        if (process_->apply(out.command)) {
+          dispatch(AgentLocalEvent::ApplySucceeded);
+        } else {
+          SA_WARN("agent") << "node " << node_ << ": in-action failed; holding in safe state";
+          dispatch(AgentLocalEvent::ApplyFailed);
+        }
+        break;
+      case OutputKind::ProcessUndo:
+        process_->undo(out.command);
+        break;
+      case OutputKind::ProcessResume:
+        process_->resume();
+        break;
+      case OutputKind::ProcessCleanup:
+        process_->cleanup(out.command);
+        break;
+      default:
+        break;  // manager-only kinds never appear in agent output
     }
   }
-  SA_WARN("agent") << "node " << node_ << ": unexpected rollback " << msg.step.describe()
-                   << " while " << to_string(state_);
+}
+
+void AdaptationAgent::apply_arm_timer(const Output& out) {
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::TimerArmed;
+    e.coords = coords_of(out.ref);
+    e.name = out.label;
+    e.value = static_cast<double>(out.delay);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  // The generation guard defuses stale fires on the threaded backend: once
+  // the timer thread has dequeued the callback, cancel() returns false and
+  // the callback will still run, but it then observes a newer generation and
+  // bails instead of acting for a step it no longer belongs to. On the
+  // simulator cancel() always wins, so the guard never trips.
+  const char* label = out.label;
+  const std::uint64_t gen = ++pending_gen_;
+  pending_event_ = clock_->schedule_after(out.delay, [this, gen, label] {
+    std::lock_guard lock(mutex_);
+    if (gen != pending_gen_) return;  // cancelled or superseded after dequeue
+    pending_event_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerFired;
+      if (core_.current_step()) e.coords = coords_of(*core_.current_step());
+      e.name = label;
+      trace_event(std::move(e));
+    }
+    dispatch(AgentInput::TimerFired{});
+  });
+}
+
+void AdaptationAgent::apply_disarm_timer(const Output& out) {
+  if (pending_event_ != 0) {
+    clock_->cancel(pending_event_);
+    pending_event_ = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerCancelled;
+      e.coords = coords_of(out.ref);
+      e.name = out.label;
+      trace_event(std::move(e));
+    }
+  }
+  ++pending_gen_;  // invalidate a fire that cancel() was too late to stop
 }
 
 }  // namespace sa::proto

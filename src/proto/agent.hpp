@@ -1,27 +1,29 @@
-// Adaptation agent: the per-process participant in the safe adaptation
-// protocol (paper §4, Figure 1).
+// Runtime driver for the per-process adaptation agent (paper §4, Figure 1).
 //
-// State machine (solid transitions = normal adaptation, dashed = failure
-// handling / rollback):
+// The complete Fig. 1 automaton lives in the sans-I/O AgentCore
+// (proto/core/agent_core.hpp):
 //
 //   running --reset--> resetting --[reset complete]/reset done--> safe(blocked)
 //   safe --[in-action complete]/adapt done--> adapted(blocked)
 //   adapted --resume--> resuming --[resumption complete]/resume done--> running
 //   resetting/safe/adapted --rollback--> running
 //
-// The agent is message-driven and idempotent: retransmitted manager messages
-// re-elicit the acknowledgement appropriate to the agent's progress, which is
-// how loss-of-message failures are survived.
+// This class is the thin I/O shell: it feeds transport deliveries and timer
+// fires into the core, executes the core's Outputs (sends, timers, trace
+// events) and performs the requested AdaptableProcess operations, reporting
+// their completions back as local events. The agent remains message-driven
+// and idempotent: retransmitted manager messages re-elicit the
+// acknowledgement appropriate to the agent's progress, which is how
+// loss-of-message failures are survived.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <mutex>
-#include <optional>
 #include <string>
 
 #include "obs/event.hpp"
 #include "proto/adaptable_process.hpp"
+#include "proto/core/agent_core.hpp"
 #include "proto/messages.hpp"
 #include "runtime/runtime.hpp"
 
@@ -31,27 +33,6 @@ class TraceRecorder;
 }  // namespace sa::obs
 
 namespace sa::proto {
-
-enum class AgentState { Running, Resetting, Safe, Adapted, Resuming };
-
-std::string_view to_string(AgentState state);
-
-struct AgentConfig {
-  runtime::Time pre_action_duration = runtime::ms(1);   ///< component initialization
-  runtime::Time in_action_duration = runtime::ms(2);    ///< structural change
-  runtime::Time resume_duration = runtime::us(200);     ///< unblocking
-  /// Failure injection: when set, the agent never reaches its safe state
-  /// (models a process stuck in a long critical communication segment).
-  bool fail_to_reset = false;
-};
-
-struct AgentStats {
-  std::uint64_t resets_handled = 0;
-  std::uint64_t adapts_performed = 0;
-  std::uint64_t rollbacks_performed = 0;
-  std::uint64_t duplicate_messages = 0;
-  runtime::Time total_blocked = 0;  ///< cumulative time the process spent blocked
-};
 
 class AdaptationAgent {
  public:
@@ -67,15 +48,18 @@ class AdaptationAgent {
   /// so polling during a threaded run must not read it unlocked.
   AgentState state() const {
     std::lock_guard lock(mutex_);
-    return state_;
+    return core_.state();
   }
   AgentStats stats() const {
     std::lock_guard lock(mutex_);
-    return stats_;
+    return core_.stats();
   }
   runtime::NodeId node() const { return node_; }
 
-  void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
+  void set_fail_to_reset(bool fail) {
+    std::lock_guard lock(mutex_);
+    core_.set_fail_to_reset(fail);
+  }
 
   /// Wires the observability layer in: Fig. 1 state transitions and the
   /// agent's pre/in/resume action timers flow into `recorder` (when enabled),
@@ -86,61 +70,38 @@ class AdaptationAgent {
 
  private:
   void on_message(runtime::NodeId from, runtime::MessagePtr message);
-  void on_reset(const ResetMsg& msg);
-  void on_resume(const ResumeMsg& msg);
-  void on_rollback(const RollbackMsg& msg);
-
-  void enter_safe_state();
-  void start_in_action();
-  void finish_resume(bool proactive);
-
-  /// Schedules `body` as the agent's single pending pre/in/resume action;
-  /// `label` names the action in timer trace events. The callback captures
-  /// the current generation and bails on mismatch, so a fire that raced a
-  /// failed cancel_pending() on the threaded backend cannot mutate state
-  /// that belongs to a newer step. Call under mutex_.
-  void schedule_pending(runtime::Time delay, const char* label, std::function<void()> body);
-  void cancel_pending();
-
-  template <typename Msg>
-  void send(const StepRef& step, Msg prototype = {});
+  /// Feeds one input to the core and executes its outputs. Call under mutex_.
+  void dispatch(AgentInput::MessageDelivered delivered);
+  void dispatch(AgentInput::TimerFired fired);
+  void dispatch(AgentLocalEvent event);
+  void apply(const std::vector<Output>& outputs);
+  void apply_arm_timer(const Output& out);
+  void apply_disarm_timer(const Output& out);
 
   // --- observability (no-ops until set_observability is called) --------------
   bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
   bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
   /// Stamps this agent's track and the current clock time, then records.
   void trace_event(obs::Event event);
-  /// Records the Fig. 1 transition and updates state_ (no-op if unchanged).
-  void set_state(AgentState next);
-  /// Duplicate protocol message: bumps stats_ and the per-type counter.
-  void note_duplicate(const char* type);
 
   runtime::Clock* clock_;
   runtime::Transport* transport_;
   runtime::NodeId node_;
   runtime::NodeId manager_;
   AdaptableProcess* process_;
-  AgentConfig config_;
 
-  AgentState state_ = AgentState::Running;
-  std::optional<StepRef> current_step_;
-  LocalCommand current_command_;
-  bool sole_participant_ = false;
-  bool prepared_ = false;
-  runtime::TimerId pending_event_ = 0;  ///< in-flight pre/in-action timer
-  const char* pending_label_ = "";      ///< purpose of the pending timer
-  std::uint64_t pending_gen_ = 0;       ///< see schedule_pending()
-  runtime::Time blocked_since_ = 0;
+  AgentCore core_;
+
+  // --- real timer backing the core's single pending-action slot ---
+  runtime::TimerId pending_event_ = 0;
+  /// Bumped on every arm/disarm; timer callbacks capture the value at arm
+  /// time and bail on mismatch, so a fire that raced a failed cancel() on
+  /// the threaded backend cannot mutate state belonging to a newer step.
+  std::uint64_t pending_gen_ = 0;
 
   obs::TraceRecorder* recorder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::int64_t track_ = obs::kNoTrack;
-
-  std::optional<StepRef> last_completed_;   ///< resumed successfully
-  runtime::Time last_blocked_for_ = 0;
-  std::optional<StepRef> last_rolled_back_;
-
-  AgentStats stats_;
 
   /// Serializes message handlers, timer callbacks, and process callbacks.
   /// Recursive: a callback may synchronously re-enter (e.g. reach_safe_state

@@ -1,0 +1,108 @@
+// Sans-I/O core of the per-process adaptation agent (paper §4, Figure 1).
+//
+// The complete Fig. 1 automaton — reset/quiesce, in-action, proactive or
+// commanded resume, rollback/compensation, and idempotent re-acknowledgement
+// of retransmitted manager messages — as a pure, copyable state machine.
+// Interaction with the local AdaptableProcess is expressed as Process*
+// Outputs; the driver performs the real call and reports the completion back
+// as an AgentLocalEvent (reset complete / in-action complete / ...), so the
+// core never blocks, locks, or reads a clock. Time arrives as data on each
+// Input and is used only to attribute blocked-time durations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/core/io.hpp"
+#include "proto/core/states.hpp"
+#include "proto/messages.hpp"
+
+namespace sa::proto {
+
+struct AgentConfig {
+  runtime::Time pre_action_duration = runtime::ms(1);   ///< component initialization
+  runtime::Time in_action_duration = runtime::ms(2);    ///< structural change
+  runtime::Time resume_duration = runtime::us(200);     ///< unblocking
+  /// Failure injection: when set, the agent never reaches its safe state
+  /// (models a process stuck in a long critical communication segment).
+  bool fail_to_reset = false;
+};
+
+struct AgentStats {
+  std::uint64_t resets_handled = 0;
+  std::uint64_t adapts_performed = 0;
+  std::uint64_t rollbacks_performed = 0;
+  std::uint64_t duplicate_messages = 0;
+  runtime::Time total_blocked = 0;  ///< cumulative time the process spent blocked
+};
+
+class AgentCore {
+ public:
+  explicit AgentCore(AgentConfig config = {}) : config_(config) {}
+
+  AgentState state() const { return state_; }
+  const AgentStats& stats() const { return stats_; }
+  const std::optional<StepRef>& current_step() const { return current_step_; }
+
+  void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
+
+  /// Consumes one input and returns the ordered side effects it caused.
+  /// Every Send is addressed to the manager; every Process* operation to the
+  /// agent's own AdaptableProcess.
+  std::vector<Output> step(const AgentInput& input);
+
+  /// Mixes all protocol-relevant state (not timestamps) into `h`.
+  void fingerprint(std::uint64_t& h) const;
+
+ private:
+  /// What the agent's single pending-action timer slot is waiting for.
+  enum class Pending : std::uint8_t { PreAction, InAction, Resume, RollbackUndo };
+  /// Why the core asked the process to reach its safe state.
+  enum class SafeWait : std::uint8_t { None, Reset, Compensate };
+
+  void on_message(const runtime::MessagePtr& message);
+  void on_reset(const ResetMsg& msg);
+  void on_resume(const ResumeMsg& msg);
+  void on_rollback(const RollbackMsg& msg);
+  void on_timer_fired();
+  void on_local(AgentLocalEvent event);
+  void enter_safe_state();
+  void finish_resume();
+
+  void set_state(AgentState next);
+  void arm_pending(Pending kind, runtime::Time delay, const char* label);
+  void cancel_pending();
+  template <typename Msg>
+  void send(const StepRef& step, Msg prototype = {});
+  void note_duplicate(const char* type);
+  Output& emit(OutputKind kind);
+
+  AgentConfig config_;
+
+  AgentState state_ = AgentState::Running;
+  std::optional<StepRef> current_step_;
+  LocalCommand current_command_;
+  bool sole_participant_ = false;
+  bool prepared_ = false;
+  bool drain_ = false;  ///< drain flag of the step being reset
+
+  bool pending_armed_ = false;
+  Pending pending_kind_ = Pending::PreAction;
+  const char* pending_label_ = "";
+
+  SafeWait safe_wait_ = SafeWait::None;
+  StepRef compensate_step_;  ///< step being compensated (SafeWait::Compensate)
+
+  runtime::Time blocked_since_ = 0;
+  std::optional<StepRef> last_completed_;  ///< resumed successfully
+  runtime::Time last_blocked_for_ = 0;
+  std::optional<StepRef> last_rolled_back_;
+
+  AgentStats stats_;
+
+  runtime::Time now_ = 0;    ///< timestamp of the input being processed
+  std::vector<Output> out_;  ///< effects of the input being processed
+};
+
+}  // namespace sa::proto

@@ -1,0 +1,147 @@
+// The sans-I/O core's effect vocabulary.
+//
+// ManagerCore and AgentCore are pure state machines: they consume Inputs
+// (message deliveries, timer fires, adaptation commands, local completions)
+// and return ordered Output lists describing every side effect the protocol
+// wants — sends, timer arms/disarms, automaton transitions, process
+// operations, commits, and terminal outcomes. The runtime drivers translate
+// Outputs into runtime::Transport sends, runtime::Clock timers, process
+// calls, and observability events; the interleaving explorer translates the
+// same Outputs into virtual network/timer state and checks safety properties
+// against them. Neither core touches a Clock, Transport, mutex, or the obs
+// layer: time enters as plain data on each Input, so the cores are copyable
+// values that behave identically under the simulator, the threaded backend,
+// and the model checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "config/configuration.hpp"
+#include "proto/core/states.hpp"
+#include "proto/messages.hpp"
+#include "runtime/message.hpp"
+#include "runtime/time.hpp"
+
+namespace sa::proto {
+
+/// Everything the manager can learn about one finished adaptation request.
+struct AdaptationResult {
+  AdaptationOutcome outcome = AdaptationOutcome::Success;
+  config::Configuration final_config;
+  std::size_t steps_committed = 0;
+  std::size_t step_failures = 0;    ///< rollbacks of individual steps
+  std::size_t plans_tried = 1;
+  std::size_t message_retries = 0;  ///< retransmission rounds
+  runtime::Time started = 0;
+  runtime::Time finished = 0;
+  std::string detail;
+};
+
+/// The manager owns two logical timer slots: the protocol timer (reset /
+/// resume / rollback timeout, one at a time) and the inter-stage delay.
+enum class ManagerTimer : std::uint8_t { Protocol, StageDelay };
+
+/// The agent owns a single pending-action slot (pre-action, in-action,
+/// resume, or rollback-undo — never more than one at a time).
+enum class AgentTimer : std::uint8_t { Pending };
+
+/// Local completions an agent driver reports back to its core after
+/// executing a ProcessOp (reset complete / in-action complete / ...).
+enum class AgentLocalEvent : std::uint8_t {
+  PrepareSucceeded,  ///< pre-action built the staged components
+  PrepareFailed,     ///< pre-action failed; hold for the manager's timeout
+  SafeStateReached,  ///< the process quiesced and is now blocked
+  ApplySucceeded,    ///< in-action performed the structural change
+  ApplyFailed,       ///< in-action failed; hold for the manager's timeout
+};
+
+struct ManagerInput {
+  struct AdaptCommand {
+    config::Configuration target;
+  };
+  struct MessageDelivered {
+    config::ProcessId from = 0;
+    runtime::MessagePtr message;
+  };
+  struct TimerFired {
+    ManagerTimer timer = ManagerTimer::Protocol;
+  };
+
+  runtime::Time now = 0;
+  std::variant<AdaptCommand, MessageDelivered, TimerFired> event;
+};
+
+struct AgentInput {
+  struct MessageDelivered {  ///< always from the manager
+    runtime::MessagePtr message;
+  };
+  struct TimerFired {};  ///< the single pending slot
+
+  runtime::Time now = 0;
+  std::variant<MessageDelivered, TimerFired, AgentLocalEvent> event;
+};
+
+enum class OutputKind : std::uint8_t {
+  // --- transport / timer effects (both cores) -------------------------------
+  Send,         ///< manager: message -> `process`; agent: message -> manager
+  ArmTimer,     ///< start `timer` for `delay`, labelled `label`
+  DisarmTimer,  ///< cancel `timer` (emitted only when logically armed)
+
+  // --- automaton bookkeeping ------------------------------------------------
+  Transition,     ///< phase_from->phase_to (manager) or state_from->state_to
+  StepStarted,    ///< per-step span opens; name/detail describe the action
+  StepCommitted,  ///< configuration advanced to `config`; `flag` = stalled
+  StepRolledBack, ///< step abandoned after rollback completed
+  Outcome,        ///< request terminated; `result` carries the verdict
+
+  // --- request-level notes (manager) ----------------------------------------
+  AdaptationRequested,  ///< request accepted (detail = "source -> target")
+  PlanComputed,         ///< MAP / alternative path ready (value = cost)
+  Retransmission,       ///< a timeout round re-sent messages (label = phase)
+  ResetAcked,           ///< first reset done from `process` (latency metric)
+  BlockedObserved,      ///< agent reported `blocked` µs of blocking
+
+  // --- process operations (agent core -> its AdaptableProcess) --------------
+  ProcessPrepare,    ///< pre-action: prepare(command); report Prepare* back
+  ProcessReachSafe,  ///< reach_safe_state(flag = drain); report SafeStateReached
+  ProcessAbortSafe,  ///< abort_safe_state()
+  ProcessApply,      ///< in-action: apply(command); report Apply* back
+  ProcessUndo,       ///< undo(command) (rollback of a successful in-action)
+  ProcessResume,     ///< resume full operation
+  ProcessCleanup,    ///< post-action: cleanup(command)
+
+  // --- agent notes ----------------------------------------------------------
+  DuplicateMessage,  ///< retransmitted manager message absorbed (label = type)
+};
+
+/// One side effect requested by a core, in emission order. A single flat
+/// struct (rather than a variant) keeps construction sites terse and lets
+/// drivers switch on `kind` while ignoring fields a kind does not use.
+struct Output {
+  OutputKind kind{};
+  StepRef ref;                    ///< step coordinates at emission time
+  std::uint64_t request_id = 0;   ///< owning request (Transition/Outcome/notes)
+  config::ProcessId process = 0;  ///< Send destination / note subject
+  runtime::MessagePtr message;    ///< Send payload
+  ManagerTimer timer = ManagerTimer::Protocol;  ///< Arm/DisarmTimer slot
+  runtime::Time delay = 0;        ///< ArmTimer timeout
+  const char* label = "";         ///< timer label / retransmission phase / dup type
+  std::string name;               ///< action name (Step*), outcome name
+  std::string detail;             ///< human-readable description for traces
+  double value = 0;               ///< plan cost, involved count, ...
+  bool has_value = false;
+  double extra = 0;               ///< secondary number (e.g. plan length)
+  config::Configuration config;   ///< StepCommitted: the new configuration
+  LocalCommand command;           ///< Process* operand
+  bool flag = false;              ///< drain (ProcessReachSafe), stalled (Commit)
+  ManagerPhase phase_from = ManagerPhase::Running;  ///< Transition (manager)
+  ManagerPhase phase_to = ManagerPhase::Running;
+  AgentState state_from = AgentState::Running;      ///< Transition (agent)
+  AgentState state_to = AgentState::Running;
+  runtime::Time blocked = 0;      ///< BlockedObserved µs
+  AdaptationResult result;        ///< Outcome payload
+};
+
+}  // namespace sa::proto

@@ -1,0 +1,531 @@
+#include "proto/core/manager_core.hpp"
+
+#include <climits>
+#include <stdexcept>
+
+namespace sa::proto {
+
+namespace {
+
+inline void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+inline void mix_str(std::uint64_t& h, const char* s) {
+  for (; *s != '\0'; ++s) mix(h, static_cast<std::uint64_t>(*s));
+}
+
+}  // namespace
+
+ManagerCore::ManagerCore(const config::InvariantSet& invariants,
+                         const actions::ActionTable& table, const actions::PathPlanner& planner,
+                         ManagerConfig config)
+    : invariants_(&invariants), table_(&table), planner_(&planner), config_(config) {}
+
+Output& ManagerCore::emit(OutputKind kind) {
+  Output& out = out_.emplace_back();
+  out.kind = kind;
+  out.ref = current_ref();
+  out.request_id = request_id_;
+  return out;
+}
+
+std::vector<Output> ManagerCore::step(const ManagerInput& input) {
+  out_.clear();
+  now_ = input.now;
+  if (const auto* cmd = std::get_if<ManagerInput::AdaptCommand>(&input.event)) {
+    if (busy()) throw std::logic_error("adaptation request while another is in flight");
+    handle_request(cmd->target);
+  } else if (const auto* msg = std::get_if<ManagerInput::MessageDelivered>(&input.event)) {
+    handle_message(msg->from, msg->message);
+  } else if (const auto* fired = std::get_if<ManagerInput::TimerFired>(&input.event)) {
+    if (fired->timer == ManagerTimer::Protocol) {
+      if (!protocol_timer_armed_) return std::move(out_);  // stale fire
+      protocol_timer_armed_ = false;
+      on_timeout(ManagerTimer::Protocol);
+    } else {
+      if (!stage_delay_armed_) return std::move(out_);
+      stage_delay_armed_ = false;
+      send_stage_resets(stage_delay_stage_);
+      arm_timer(config_.reset_timeout, "reset-timeout");
+    }
+  }
+  return std::move(out_);
+}
+
+void ManagerCore::set_phase(ManagerPhase next) {
+  if (phase_ == next) return;
+  Output& out = emit(OutputKind::Transition);
+  out.phase_from = phase_;
+  out.phase_to = next;
+  phase_ = next;
+}
+
+void ManagerCore::send(config::ProcessId to, runtime::MessagePtr message) {
+  Output& out = emit(OutputKind::Send);
+  out.process = to;
+  out.message = std::move(message);
+}
+
+void ManagerCore::arm_timer(runtime::Time timeout, const char* label) {
+  disarm_timer();
+  protocol_timer_label_ = label;
+  protocol_timer_armed_ = true;
+  Output& out = emit(OutputKind::ArmTimer);
+  out.timer = ManagerTimer::Protocol;
+  out.delay = timeout;
+  out.label = label;
+}
+
+void ManagerCore::disarm_timer() {
+  if (protocol_timer_armed_) {
+    protocol_timer_armed_ = false;
+    Output& out = emit(OutputKind::DisarmTimer);
+    out.timer = ManagerTimer::Protocol;
+    out.label = protocol_timer_label_;
+  }
+  if (stage_delay_armed_) {
+    stage_delay_armed_ = false;
+    Output& out = emit(OutputKind::DisarmTimer);
+    out.timer = ManagerTimer::StageDelay;
+    out.label = "inter-stage-delay";
+  }
+}
+
+LocalCommand ManagerCore::command_for(config::ProcessId process) const {
+  const actions::AdaptiveAction& action = table_->action(plan_.steps[step_index_].action);
+  const auto& registry = table_->registry();
+  LocalCommand command;
+  for (const config::ComponentId id : action.removes.components(registry.size())) {
+    if (registry.process(id) == process) command.remove.push_back(registry.name(id));
+  }
+  for (const config::ComponentId id : action.adds.components(registry.size())) {
+    if (registry.process(id) == process) command.add.push_back(registry.name(id));
+  }
+  return command;
+}
+
+void ManagerCore::handle_request(const config::Configuration& target) {
+  request_id_ = next_request_id_++;
+  source_ = current_;
+  target_ = target;
+  result_ = AdaptationResult{};
+  result_.started = now_;
+  returning_to_source_ = false;
+  alternatives_tried_ = 0;
+  plan_counter_ = 0;
+
+  Output& out = emit(OutputKind::AdaptationRequested);
+  out.name = "adaptation";
+  out.detail =
+      current_.describe(table_->registry()) + " -> " + target.describe(table_->registry());
+
+  if (current_ == target_) {
+    finish(AdaptationOutcome::Success, "already at target configuration");
+    return;
+  }
+  set_phase(ManagerPhase::Preparing);
+  const auto plan = planner_->minimum_path(current_, target_);
+  if (!plan || plan->empty()) {
+    finish(AdaptationOutcome::NoPathFound, "no safe adaptation path from " +
+                                               current_.describe(table_->registry()) + " to " +
+                                               target_.describe(table_->registry()));
+    return;
+  }
+  start_plan(*plan);
+}
+
+void ManagerCore::start_plan(actions::AdaptationPlan plan) {
+  plan_ = std::move(plan);
+  plan_number_ = plan_counter_++;
+  step_index_ = 0;
+  step_attempt_ = 0;
+  Output& out = emit(OutputKind::PlanComputed);
+  out.name = "map";
+  out.detail = plan_.action_names(*table_);
+  out.value = plan_.total_cost;
+  out.has_value = true;
+  out.extra = static_cast<double>(plan_.steps.size());
+  execute_current_step();
+}
+
+void ManagerCore::execute_current_step() {
+  const actions::PlanStep& plan_step = plan_.steps[step_index_];
+  const actions::AdaptiveAction& action = table_->action(plan_step.action);
+  const auto& registry = table_->registry();
+
+  involved_ = action.affected_processes(registry, registry.size());
+  for (const config::ProcessId process : involved_) {
+    if (!stages_.contains(process)) {
+      throw std::logic_error("no agent registered for process " + std::to_string(process));
+    }
+  }
+  // Stage ordering + drain flags: upstream agents quiesce first; agents
+  // beyond the step's minimum involved stage drain their input queues so the
+  // global safe condition (receivers processed everything senders emitted)
+  // holds before any in-action.
+  min_stage_ = stages_.at(involved_.front());
+  int max_stage = min_stage_;
+  for (const config::ProcessId process : involved_) {
+    min_stage_ = std::min(min_stage_, stages_.at(process));
+    max_stage = std::max(max_stage, stages_.at(process));
+  }
+  drain_flag_.clear();
+  for (const config::ProcessId process : involved_) {
+    drain_flag_[process] = max_stage > min_stage_ && stages_.at(process) > min_stage_;
+  }
+
+  reset_acked_.clear();
+  adapt_acked_.clear();
+  resume_acked_.clear();
+  rollback_acked_.clear();
+  resume_sent_ = false;
+  retries_left_ = config_.message_retries;
+  current_stage_ = min_stage_;
+
+  set_phase(ManagerPhase::Adapting);
+  Output& out = emit(OutputKind::StepStarted);
+  out.name = action.name;
+  out.detail = action.operation_text(registry);
+  out.value = static_cast<double>(involved_.size());
+  out.has_value = true;
+  send_stage_resets(current_stage_);
+  arm_timer(config_.reset_timeout, "reset-timeout");
+}
+
+void ManagerCore::send_stage_resets(int stage) {
+  for (const config::ProcessId process : involved_) {
+    if (stages_.at(process) != stage) continue;
+    auto msg = std::make_shared<ResetMsg>();
+    msg->step = current_ref();
+    msg->command = command_for(process);
+    msg->drain = drain_flag_.at(process);
+    msg->sole_participant = involved_.size() == 1;
+    send(process, std::move(msg));
+  }
+}
+
+void ManagerCore::maybe_advance_stage() {
+  // All resets of stages <= current acknowledged?
+  for (const config::ProcessId process : involved_) {
+    if (stages_.at(process) <= current_stage_ && !reset_acked_.contains(process)) return;
+  }
+  // Find the next involved stage.
+  int next_stage = INT_MAX;
+  for (const config::ProcessId process : involved_) {
+    const int stage = stages_.at(process);
+    if (stage > current_stage_) next_stage = std::min(next_stage, stage);
+  }
+  if (next_stage == INT_MAX) return;  // no further stages
+  // Let in-flight application data reach the downstream processes before
+  // asking them to drain and block.
+  current_stage_ = next_stage;
+  stage_delay_stage_ = next_stage;
+  stage_delay_armed_ = true;
+  Output& out = emit(OutputKind::ArmTimer);
+  out.timer = ManagerTimer::StageDelay;
+  out.delay = config_.inter_stage_delay;
+  out.label = "inter-stage-delay";
+}
+
+void ManagerCore::handle_message(config::ProcessId from, const runtime::MessagePtr& message) {
+  const auto* proto = dynamic_cast<const ProtoMessage*>(message.get());
+  if (!proto) return;  // the driver warns about non-protocol traffic
+  if (!(proto->step == current_ref())) return;  // stale step attempt
+  if (dynamic_cast<const ResetDoneMsg*>(proto) != nullptr) {
+    on_reset_done(from);
+  } else if (dynamic_cast<const AdaptDoneMsg*>(proto) != nullptr) {
+    on_adapt_done(from);
+  } else if (const auto* m = dynamic_cast<const ResumeDoneMsg*>(proto)) {
+    on_resume_done(from, *m);
+  } else if (dynamic_cast<const RollbackDoneMsg*>(proto) != nullptr) {
+    on_rollback_done(from);
+  }
+}
+
+void ManagerCore::on_reset_done(config::ProcessId process) {
+  if (phase_ != ManagerPhase::Adapting) return;
+  if (reset_acked_.insert(process).second) {
+    Output& out = emit(OutputKind::ResetAcked);
+    out.process = process;
+  }
+  maybe_advance_stage();
+}
+
+std::size_t ManagerCore::adapt_quorum() const {
+  // Test-only mutation: claim the global safe state one ack early (§4.3
+  // violation) so the explorer can prove it has teeth.
+  if (fault_ == ManagerFault::ResumeBeforeLastAdaptDone && involved_.size() >= 2) {
+    return involved_.size() - 1;
+  }
+  return involved_.size();
+}
+
+void ManagerCore::on_adapt_done(config::ProcessId process) {
+  if (phase_ != ManagerPhase::Adapting) return;
+  reset_acked_.insert(process);  // adapt done implies the reset completed
+  adapt_acked_.insert(process);
+  if (adapt_acked_.size() >= adapt_quorum()) {
+    set_phase(ManagerPhase::Adapted);
+    enter_resuming();
+  }
+}
+
+void ManagerCore::enter_resuming() {
+  set_phase(ManagerPhase::Resuming);
+  resume_sent_ = true;
+  retries_left_ = config_.message_retries + config_.run_to_completion_retries;
+  for (const config::ProcessId process : involved_) {
+    auto msg = std::make_shared<ResumeMsg>();
+    msg->step = current_ref();
+    send(process, std::move(msg));
+  }
+  arm_timer(config_.resume_timeout, "resume-timeout");
+}
+
+void ManagerCore::on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg) {
+  if (phase_ == ManagerPhase::Adapting) {
+    // A sole participant resumed proactively and its adapt done was lost:
+    // the resume done subsumes it.
+    reset_acked_.insert(process);
+    adapt_acked_.insert(process);
+    resume_acked_.insert(process);
+    Output& blocked = emit(OutputKind::BlockedObserved);
+    blocked.process = process;
+    blocked.blocked = msg.blocked_for;
+    if (adapt_acked_.size() == involved_.size()) {
+      set_phase(ManagerPhase::Adapted);
+      enter_resuming();
+      resume_acked_.insert(process);
+      if (resume_acked_.size() == involved_.size()) commit_step();
+    }
+    return;
+  }
+  if (phase_ != ManagerPhase::Resuming) return;
+  if (resume_acked_.insert(process).second) {
+    Output& blocked = emit(OutputKind::BlockedObserved);
+    blocked.process = process;
+    blocked.blocked = msg.blocked_for;
+  }
+  if (resume_acked_.size() == involved_.size()) commit_step();
+}
+
+void ManagerCore::commit_step() {
+  disarm_timer();
+  set_phase(ManagerPhase::Resumed);
+  current_ = plan_.steps[step_index_].to;
+  ++result_.steps_committed;
+  Output& out = emit(OutputKind::StepCommitted);
+  out.name = table_->action(plan_.steps[step_index_].action).name;
+  out.config = current_;
+  if (step_index_ + 1 < plan_.steps.size()) {
+    ++step_index_;
+    step_attempt_ = 0;
+    execute_current_step();
+    return;
+  }
+  if (returning_to_source_) {
+    finish(AdaptationOutcome::RolledBackToSource, "returned to source configuration");
+  } else {
+    finish(AdaptationOutcome::Success, "target configuration reached");
+  }
+}
+
+template <typename Msg>
+void ManagerCore::retransmit_unacked(const char* phase_label,
+                                     const std::set<config::ProcessId>& acked,
+                                     runtime::Time timeout, const char* timer_label) {
+  --retries_left_;
+  ++result_.message_retries;
+  Output& note = emit(OutputKind::Retransmission);
+  note.label = phase_label;
+  const StepRef ref = current_ref();
+  for (const config::ProcessId process : involved_) {
+    if (!acked.contains(process)) {
+      auto msg = std::make_shared<Msg>();
+      msg->step = ref;
+      send(process, std::move(msg));
+    }
+  }
+  arm_timer(timeout, timer_label);
+}
+
+void ManagerCore::on_timeout(ManagerTimer /*timer*/) {
+  switch (phase_) {
+    case ManagerPhase::Adapting: {
+      if (retries_left_ > 0) {
+        --retries_left_;
+        ++result_.message_retries;
+        Output& note = emit(OutputKind::Retransmission);
+        note.label = "adapting";
+        // Retransmit resets to every triggered stage with an agent that has
+        // not yet finished its in-action; agents re-acknowledge idempotently.
+        std::set<int> stages_to_resend;
+        for (const config::ProcessId process : involved_) {
+          if (stages_.at(process) <= current_stage_ && !adapt_acked_.contains(process)) {
+            stages_to_resend.insert(stages_.at(process));
+          }
+        }
+        for (const int stage : stages_to_resend) send_stage_resets(stage);
+        maybe_advance_stage();
+        arm_timer(config_.reset_timeout, "reset-timeout");
+        return;
+      }
+      begin_rollback();
+      return;
+    }
+    case ManagerPhase::Resuming: {
+      if (retries_left_ > 0) {
+        retransmit_unacked<ResumeMsg>("resuming", resume_acked_, config_.resume_timeout,
+                                      "resume-timeout");
+        return;
+      }
+      if (fault_ == ManagerFault::RollbackAfterResume) {
+        begin_rollback();  // test-only §4.4 violation
+        return;
+      }
+      // §4.4: after the first resume the adaptation must run to completion;
+      // if acknowledgements never arrive the structure is adapted everywhere
+      // (all adapt done collected) so the step is committed, but the operator
+      // is told the protocol stalled.
+      current_ = plan_.steps[step_index_].to;
+      ++result_.steps_committed;
+      Output& out = emit(OutputKind::StepCommitted);
+      out.name = table_->action(plan_.steps[step_index_].action).name;
+      out.config = current_;
+      out.flag = true;  // stalled
+      finish(AdaptationOutcome::StalledAfterResume,
+             "resume unacknowledged by " +
+                 std::to_string(involved_.size() - resume_acked_.size()) + " agent(s)");
+      return;
+    }
+    case ManagerPhase::RollingBack: {
+      if (retries_left_ > 0) {
+        retransmit_unacked<RollbackMsg>("rolling-back", rollback_acked_,
+                                        config_.rollback_timeout, "rollback-timeout");
+        return;
+      }
+      finish(AdaptationOutcome::UserInterventionRequired,
+             "rollback unacknowledged; agent states unknown");
+      return;
+    }
+    default:
+      break;  // timeout in an unexpected phase; the driver logs it
+  }
+}
+
+void ManagerCore::begin_rollback() {
+  set_phase(ManagerPhase::RollingBack);
+  disarm_timer();
+  rollback_acked_.clear();
+  retries_left_ = config_.message_retries;
+  const StepRef ref = current_ref();
+  for (const config::ProcessId process : involved_) {
+    auto msg = std::make_shared<RollbackMsg>();
+    msg->step = ref;
+    send(process, std::move(msg));
+  }
+  arm_timer(config_.rollback_timeout, "rollback-timeout");
+}
+
+void ManagerCore::on_rollback_done(config::ProcessId process) {
+  if (phase_ != ManagerPhase::RollingBack) return;
+  rollback_acked_.insert(process);
+  if (rollback_acked_.size() == involved_.size()) step_failed_after_rollback();
+}
+
+void ManagerCore::step_failed_after_rollback() {
+  disarm_timer();
+  ++result_.step_failures;
+  Output& out = emit(OutputKind::StepRolledBack);
+  out.name = table_->action(plan_.steps[step_index_].action).name;
+  try_next_strategy();
+}
+
+void ManagerCore::try_next_strategy() {
+  // §4.4 strategy chain: (1) retry the step, (2) next-minimum path,
+  // (3) return to source, (4) wait for user intervention.
+  if (static_cast<int>(step_attempt_) < config_.step_retries) {
+    ++step_attempt_;
+    execute_current_step();
+    return;
+  }
+  const config::Configuration active_target = returning_to_source_ ? source_ : target_;
+  ++alternatives_tried_;
+  if (alternatives_tried_ <= config_.max_alternative_paths && !(current_ == active_target)) {
+    const auto plans = planner_->ranked_paths(current_, active_target, alternatives_tried_ + 1);
+    if (plans.size() > alternatives_tried_) {
+      ++result_.plans_tried;
+      start_plan(plans[alternatives_tried_]);
+      return;
+    }
+  }
+  if (!returning_to_source_ && config_.allow_return_to_source) {
+    returning_to_source_ = true;
+    alternatives_tried_ = 0;
+    if (current_ == source_) {
+      finish(AdaptationOutcome::RolledBackToSource, "failed before leaving source configuration");
+      return;
+    }
+    const auto plan = planner_->minimum_path(current_, source_);
+    if (plan && !plan->empty()) {
+      ++result_.plans_tried;
+      start_plan(*plan);
+      return;
+    }
+  }
+  finish(AdaptationOutcome::UserInterventionRequired,
+         "all adaptation paths failed; system parked at " +
+             current_.describe(table_->registry()));
+}
+
+void ManagerCore::finish(AdaptationOutcome outcome, std::string detail) {
+  disarm_timer();
+  set_phase(ManagerPhase::Running);
+  result_.outcome = outcome;
+  result_.final_config = current_;
+  result_.finished = now_;
+  result_.detail = std::move(detail);
+  Output& out = emit(OutputKind::Outcome);
+  out.name = std::string(to_string(outcome));
+  out.detail = result_.detail;
+  out.config = result_.final_config;
+  out.result = result_;
+}
+
+void ManagerCore::fingerprint(std::uint64_t& h) const {
+  mix(h, static_cast<std::uint64_t>(phase_));
+  mix(h, request_id_);
+  mix(h, current_.bits());
+  mix(h, source_.bits());
+  mix(h, target_.bits());
+  mix(h, returning_to_source_ ? 1 : 0);
+  mix(h, alternatives_tried_);
+  mix(h, plan_number_);
+  mix(h, plan_counter_);
+  mix(h, step_index_);
+  mix(h, step_attempt_);
+  for (const actions::PlanStep& s : plan_.steps) {
+    mix(h, s.action);
+    mix(h, s.to.bits());
+  }
+  for (const config::ProcessId p : involved_) mix(h, p);
+  for (const auto& [p, drain] : drain_flag_) {
+    mix(h, p);
+    mix(h, drain ? 1 : 0);
+  }
+  mix(h, static_cast<std::uint64_t>(current_stage_));
+  mix(h, static_cast<std::uint64_t>(min_stage_));
+  for (const config::ProcessId p : reset_acked_) mix(h, p + 11);
+  for (const config::ProcessId p : adapt_acked_) mix(h, p + 31);
+  for (const config::ProcessId p : resume_acked_) mix(h, p + 53);
+  for (const config::ProcessId p : rollback_acked_) mix(h, p + 71);
+  mix(h, resume_sent_ ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(retries_left_));
+  mix(h, protocol_timer_armed_ ? 1 : 0);
+  if (protocol_timer_armed_) mix_str(h, protocol_timer_label_);
+  mix(h, stage_delay_armed_ ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(stage_delay_stage_));
+}
+
+}  // namespace sa::proto

@@ -1,0 +1,179 @@
+// Sans-I/O core of the centralized adaptation manager (paper §4, Figure 2).
+//
+// Pure, deterministic, copyable value state: the complete Fig. 2 automaton —
+// MAP planning, staged reset fan-out, the reset/resume/rollback timeout and
+// retransmission machinery, the §4.4 failure-strategy chain — with every side
+// effect expressed as an Output instead of performed. The runtime driver
+// (proto/manager.hpp) executes Outputs against a real Clock/Transport; the
+// bounded interleaving explorer (src/check) executes the same Outputs against
+// a virtual network and model-checks the safety argument over all schedules.
+//
+// Determinism contract: step() depends only on the core's value state and the
+// Input (including its `now` timestamp). The core never reads a clock, never
+// sends, never locks, and never records observability events.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actions/planner.hpp"
+#include "config/enumerate.hpp"
+#include "proto/core/io.hpp"
+#include "proto/core/states.hpp"
+#include "proto/messages.hpp"
+
+namespace sa::proto {
+
+struct ManagerConfig {
+  runtime::Time reset_timeout = runtime::ms(150);     ///< reset sent -> all adapt done
+  runtime::Time resume_timeout = runtime::ms(100);    ///< resume sent -> all resume done
+  runtime::Time rollback_timeout = runtime::ms(100);  ///< rollback sent -> all rollback done
+  /// Extra wait between quiescing one stage and resetting the next, covering
+  /// data still in flight toward downstream processes (the global safe
+  /// condition for sender->receiver actions).
+  runtime::Time inter_stage_delay = runtime::ms(15);
+  int message_retries = 2;          ///< retransmission rounds per phase
+  int run_to_completion_retries = 8;///< extra resume rounds after first resume
+  int step_retries = 1;             ///< §4.4: "retries the same step once more"
+  std::size_t max_alternative_paths = 3;
+  bool allow_return_to_source = true;
+};
+
+/// Test-only protocol mutations. The explorer's mutation check enables one of
+/// these to prove a broken core is caught with a replayable counterexample;
+/// production drivers never set them.
+enum class ManagerFault : std::uint8_t {
+  None,
+  /// Send `resume` as soon as all but one adapt done arrived — a direct
+  /// violation of the global-safe-state rule (§4.3).
+  ResumeBeforeLastAdaptDone,
+  /// Issue a rollback even after a resume was sent for the step, violating
+  /// the §4.4 run-to-completion rule.
+  RollbackAfterResume,
+};
+
+class ManagerCore {
+ public:
+  /// `invariants`, `table`, and `planner` are shared immutable analysis data
+  /// and must outlive the core; everything else is owned value state, so
+  /// copies of a core evolve independently (the explorer forks them freely).
+  ManagerCore(const config::InvariantSet& invariants, const actions::ActionTable& table,
+              const actions::PathPlanner& planner, ManagerConfig config);
+
+  void register_agent(config::ProcessId process, int stage) { stages_[process] = stage; }
+
+  void set_current_configuration(config::Configuration config) { current_ = config; }
+  const config::Configuration& current_configuration() const { return current_; }
+
+  ManagerPhase phase() const { return phase_; }
+  bool busy() const { return phase_ != ManagerPhase::Running; }
+  StepRef current_ref() const {
+    return StepRef{request_id_, plan_number_, static_cast<std::uint32_t>(step_index_),
+                   step_attempt_};
+  }
+  std::uint64_t request_id() const { return request_id_; }
+
+  /// Consumes one input and returns the ordered side effects it caused.
+  /// Calling step(AdaptCommand) while busy() is a logic error (the driver
+  /// guards and throws; the explorer never does it).
+  std::vector<Output> step(const ManagerInput& input);
+
+  // --- introspection for the explorer and tests -----------------------------
+  const std::vector<config::ProcessId>& involved() const { return involved_; }
+  const std::set<config::ProcessId>& adapt_acked() const { return adapt_acked_; }
+  const std::set<config::ProcessId>& resume_acked() const { return resume_acked_; }
+  bool resume_sent() const { return resume_sent_; }
+
+  /// Mixes all protocol-relevant state (not timestamps) into `h` — the
+  /// explorer's hashed-state deduplication key.
+  void fingerprint(std::uint64_t& h) const;
+
+  /// Test-only: injects a deliberate protocol bug (see ManagerFault).
+  void inject_fault(ManagerFault fault) { fault_ = fault; }
+
+ private:
+  // Ported 1:1 from the pre-refactor driver; each method appends Outputs in
+  // exactly the order the old code performed the matching side effects, which
+  // is what keeps same-seed simulator traces byte-identical.
+  void handle_request(const config::Configuration& target);
+  void handle_message(config::ProcessId from, const runtime::MessagePtr& message);
+  void on_reset_done(config::ProcessId process);
+  void on_adapt_done(config::ProcessId process);
+  void on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg);
+  void on_rollback_done(config::ProcessId process);
+  void start_plan(actions::AdaptationPlan plan);
+  void execute_current_step();
+  void send_stage_resets(int stage);
+  void maybe_advance_stage();
+  void enter_resuming();
+  void commit_step();
+  void on_timeout(ManagerTimer timer);
+  /// Shared timeout arm for the resuming/rolling-back phases: re-send
+  /// `make_message()` to every process not yet in `acked`, re-arm `timeout`.
+  template <typename Msg>
+  void retransmit_unacked(const char* phase_label, const std::set<config::ProcessId>& acked,
+                          runtime::Time timeout, const char* timer_label);
+  void begin_rollback();
+  void step_failed_after_rollback();
+  void try_next_strategy();
+  void finish(AdaptationOutcome outcome, std::string detail);
+  std::size_t adapt_quorum() const;  ///< acks needed before resume (fault hook)
+
+  LocalCommand command_for(config::ProcessId process) const;
+  void send(config::ProcessId to, runtime::MessagePtr message);
+  void set_phase(ManagerPhase next);
+  void arm_timer(runtime::Time timeout, const char* label);
+  void disarm_timer();
+  Output& emit(OutputKind kind);
+
+  const config::InvariantSet* invariants_;
+  const actions::ActionTable* table_;
+  const actions::PathPlanner* planner_;
+  ManagerConfig config_;
+  ManagerFault fault_ = ManagerFault::None;
+
+  std::map<config::ProcessId, int> stages_;
+  config::Configuration current_;
+
+  // --- in-flight request state ---
+  ManagerPhase phase_ = ManagerPhase::Running;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t request_id_ = 0;
+  config::Configuration source_;
+  config::Configuration target_;
+  AdaptationResult result_;
+  bool returning_to_source_ = false;
+  std::size_t alternatives_tried_ = 0;
+
+  actions::AdaptationPlan plan_;
+  std::uint32_t plan_number_ = 0;   ///< disambiguates re-planned paths
+  std::uint32_t plan_counter_ = 0;  ///< next plan number within the request
+  std::size_t step_index_ = 0;
+  std::uint32_t step_attempt_ = 0;
+
+  // per-step bookkeeping
+  std::vector<config::ProcessId> involved_;
+  std::map<config::ProcessId, bool> drain_flag_;
+  int min_stage_ = 0;
+  int current_stage_ = 0;
+  std::set<config::ProcessId> reset_acked_;
+  std::set<config::ProcessId> adapt_acked_;
+  std::set<config::ProcessId> resume_acked_;
+  std::set<config::ProcessId> rollback_acked_;
+  bool resume_sent_ = false;
+  int retries_left_ = 0;
+
+  // logical timer slots (the driver maps these onto real TimerIds)
+  bool protocol_timer_armed_ = false;
+  const char* protocol_timer_label_ = "";
+  bool stage_delay_armed_ = false;
+  int stage_delay_stage_ = 0;  ///< stage whose resets go out when it fires
+
+  runtime::Time now_ = 0;            ///< timestamp of the input being processed
+  std::vector<Output> out_;          ///< effects of the input being processed
+};
+
+}  // namespace sa::proto

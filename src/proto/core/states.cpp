@@ -1,0 +1,40 @@
+#include "proto/core/states.hpp"
+
+namespace sa::proto {
+
+std::string_view to_string(ManagerPhase phase) {
+  switch (phase) {
+    case ManagerPhase::Running: return "running";
+    case ManagerPhase::Preparing: return "preparing";
+    case ManagerPhase::Adapting: return "adapting";
+    case ManagerPhase::Adapted: return "adapted";
+    case ManagerPhase::Resuming: return "resuming";
+    case ManagerPhase::Resumed: return "resumed";
+    case ManagerPhase::RollingBack: return "rolling-back";
+  }
+  return "?";
+}
+
+std::string_view to_string(AgentState state) {
+  switch (state) {
+    case AgentState::Running: return "running";
+    case AgentState::Resetting: return "resetting";
+    case AgentState::Safe: return "safe";
+    case AgentState::Adapted: return "adapted";
+    case AgentState::Resuming: return "resuming";
+  }
+  return "?";
+}
+
+std::string_view to_string(AdaptationOutcome outcome) {
+  switch (outcome) {
+    case AdaptationOutcome::Success: return "success";
+    case AdaptationOutcome::NoPathFound: return "no-path-found";
+    case AdaptationOutcome::RolledBackToSource: return "rolled-back-to-source";
+    case AdaptationOutcome::UserInterventionRequired: return "user-intervention-required";
+    case AdaptationOutcome::StalledAfterResume: return "stalled-after-resume";
+  }
+  return "?";
+}
+
+}  // namespace sa::proto

@@ -1,0 +1,44 @@
+// The protocol's state vocabulary — the single home of the Figure 1 / Figure 2
+// automata states, the terminal adaptation outcomes, and their names.
+//
+// Everything that talks about manager phases or agent states (the sans-I/O
+// cores, the runtime drivers, the observability exporters, the interleaving
+// explorer, tools) includes this header, so a state name is rendered the same
+// way everywhere and a new state cannot be added in one place but not the
+// others.
+#pragma once
+
+#include <string_view>
+
+namespace sa::proto {
+
+/// Figure 2: the manager's phases over one adaptation request.
+enum class ManagerPhase {
+  Running,      ///< fully operational, no adaptation in progress
+  Preparing,    ///< MAP creation
+  Adapting,     ///< waiting for reset done / adapt done
+  Adapted,      ///< all in-actions complete (transient)
+  Resuming,     ///< waiting for resume done
+  Resumed,      ///< step committed (transient)
+  RollingBack   ///< aborting a failed step
+};
+
+std::string_view to_string(ManagerPhase phase);
+
+/// Figure 1: the per-process agent automaton.
+enum class AgentState { Running, Resetting, Safe, Adapted, Resuming };
+
+std::string_view to_string(AgentState state);
+
+/// Terminal fates of one adaptation request (§4.4 strategy chain).
+enum class AdaptationOutcome {
+  Success,                   ///< target configuration reached
+  NoPathFound,               ///< source or target unsafe, or SAG disconnected
+  RolledBackToSource,        ///< target unreachable; system returned to source
+  UserInterventionRequired,  ///< all strategies failed; system parked at a safe config
+  StalledAfterResume         ///< step committed but some resume unacknowledged
+};
+
+std::string_view to_string(AdaptationOutcome outcome);
+
+}  // namespace sa::proto

@@ -1,9 +1,7 @@
 #include "proto/manager.hpp"
 
-#include <algorithm>
-#include <climits>
-#include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
@@ -19,30 +17,6 @@ obs::StepCoords coords_of(const StepRef& ref) {
 
 }  // namespace
 
-std::string_view to_string(ManagerPhase phase) {
-  switch (phase) {
-    case ManagerPhase::Running: return "running";
-    case ManagerPhase::Preparing: return "preparing";
-    case ManagerPhase::Adapting: return "adapting";
-    case ManagerPhase::Adapted: return "adapted";
-    case ManagerPhase::Resuming: return "resuming";
-    case ManagerPhase::Resumed: return "resumed";
-    case ManagerPhase::RollingBack: return "rolling-back";
-  }
-  return "?";
-}
-
-std::string_view to_string(AdaptationOutcome outcome) {
-  switch (outcome) {
-    case AdaptationOutcome::Success: return "success";
-    case AdaptationOutcome::NoPathFound: return "no-path-found";
-    case AdaptationOutcome::RolledBackToSource: return "rolled-back-to-source";
-    case AdaptationOutcome::UserInterventionRequired: return "user-intervention-required";
-    case AdaptationOutcome::StalledAfterResume: return "stalled-after-resume";
-  }
-  return "?";
-}
-
 AdaptationManager::AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
                                      const config::InvariantSet& invariants,
                                      const actions::ActionTable& table, ManagerConfig config)
@@ -50,13 +24,12 @@ AdaptationManager::AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
       executor_(&rt.executor()),
       transport_(&rt.transport()),
       node_(node),
-      invariants_(&invariants),
       table_(&table),
-      config_(config) {
-  // Detection-and-setup phase steps 1-2 (§4.2): safe configuration set + SAG.
-  safe_configs_ = config::enumerate_safe_pruned(invariants);
-  sag_ = std::make_unique<actions::SafeAdaptationGraph>(table, safe_configs_);
-  planner_ = std::make_unique<actions::PathPlanner>(*sag_);
+      // Detection-and-setup phase steps 1-2 (§4.2): safe configuration set + SAG.
+      safe_configs_(config::enumerate_safe_pruned(invariants)),
+      sag_(std::make_unique<actions::SafeAdaptationGraph>(table, safe_configs_)),
+      planner_(std::make_unique<actions::PathPlanner>(*sag_)),
+      core_(invariants, table, *planner_, config) {
   transport_->set_handler(node_, [this](runtime::NodeId from, runtime::MessagePtr message) {
     on_message(from, std::move(message));
   });
@@ -79,19 +52,6 @@ void AdaptationManager::trace_event(obs::Event event) {
   recorder_->record(std::move(event));
 }
 
-void AdaptationManager::set_phase(ManagerPhase next) {
-  if (phase_ == next) return;
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::ManagerPhase;
-    e.name = std::string(to_string(next));
-    e.detail = std::string(to_string(phase_));
-    e.coords.request = request_id_;
-    trace_event(std::move(e));
-  }
-  phase_ = next;
-}
-
 void AdaptationManager::observe_blocked(config::ProcessId process, runtime::Time blocked) {
   total_blocked_reported_ += blocked;
   if (metrics_ != nullptr) {
@@ -107,6 +67,7 @@ void AdaptationManager::register_agent(config::ProcessId process, runtime::NodeI
                                        int stage) {
   std::lock_guard lock(mutex_);
   agents_[process] = AgentEndpoint{agent_node, stage};
+  core_.register_agent(process, stage);
 }
 
 std::optional<config::ProcessId> AdaptationManager::process_of_node(runtime::NodeId node) const {
@@ -116,200 +77,22 @@ std::optional<config::ProcessId> AdaptationManager::process_of_node(runtime::Nod
   return std::nullopt;
 }
 
-LocalCommand AdaptationManager::command_for(config::ProcessId process) const {
-  const actions::AdaptiveAction& action = table_->action(plan_.steps[step_index_].action);
-  const auto& registry = table_->registry();
-  LocalCommand command;
-  for (const config::ComponentId id : action.removes.components(registry.size())) {
-    if (registry.process(id) == process) command.remove.push_back(registry.name(id));
-  }
-  for (const config::ComponentId id : action.adds.components(registry.size())) {
-    if (registry.process(id) == process) command.add.push_back(registry.name(id));
-  }
-  return command;
-}
-
-void AdaptationManager::send_to(config::ProcessId process, runtime::MessagePtr message) {
-  transport_->send(node_, agents_.at(process).node, std::move(message));
-}
-
 void AdaptationManager::request_adaptation(config::Configuration target,
                                            CompletionHandler handler) {
   std::lock_guard lock(mutex_);
-  if (busy()) throw std::logic_error("adaptation request while another is in flight");
-  request_id_ = next_request_id_++;
-  source_ = current_;
-  target_ = target;
+  if (core_.busy()) throw std::logic_error("adaptation request while another is in flight");
   handler_ = std::move(handler);
-  result_ = AdaptationResult{};
-  result_.started = clock_->now();
-  returning_to_source_ = false;
-  alternatives_tried_ = 0;
-  plan_counter_ = 0;
+  dispatch(ManagerInput::AdaptCommand{std::move(target)});
+}
 
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::AdaptationRequested;
-    e.coords.request = request_id_;
-    e.name = "adaptation";
-    e.detail = current_.describe(table_->registry()) + " -> " + target.describe(table_->registry());
-    trace_event(std::move(e));
-  }
-  if (current_ == target) {
-    finish(AdaptationOutcome::Success, "already at target configuration");
+void AdaptationManager::enqueue_adaptation(config::Configuration target,
+                                           CompletionHandler handler) {
+  std::lock_guard lock(mutex_);
+  if (!core_.busy() && pending_requests_.empty()) {
+    request_adaptation(std::move(target), std::move(handler));
     return;
   }
-  set_phase(ManagerPhase::Preparing);
-  const auto plan = planner_->minimum_path(current_, target);
-  if (!plan || plan->empty()) {
-    finish(AdaptationOutcome::NoPathFound, "no safe adaptation path from " +
-                                               current_.describe(table_->registry()) + " to " +
-                                               target.describe(table_->registry()));
-    return;
-  }
-  SA_INFO("manager") << "MAP: " << plan->action_names(*table_) << " (cost " << plan->total_cost
-                     << ")";
-  start_plan(*plan);
-}
-
-void AdaptationManager::start_plan(actions::AdaptationPlan plan) {
-  plan_ = std::move(plan);
-  plan_number_ = plan_counter_++;
-  step_index_ = 0;
-  step_attempt_ = 0;
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::PlanComputed;
-    e.coords = obs::StepCoords{request_id_, plan_number_, 0, 0};
-    e.name = "map";
-    e.detail = plan_.action_names(*table_);
-    e.value = plan_.total_cost;
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  if (metrics_ != nullptr) {
-    metrics_
-        ->histogram("sa_plan_length", {1, 2, 3, 4, 5, 6, 8, 10, 15, 20}, {},
-                    "Steps per computed adaptation path")
-        .observe(static_cast<double>(plan_.steps.size()));
-    metrics_
-        ->histogram("sa_plan_cost", {1, 2, 5, 10, 20, 50, 100, 200, 500}, {},
-                    "Total action cost per computed adaptation path")
-        .observe(plan_.total_cost);
-  }
-  execute_current_step();
-}
-
-void AdaptationManager::execute_current_step() {
-  const actions::PlanStep& step = plan_.steps[step_index_];
-  const actions::AdaptiveAction& action = table_->action(step.action);
-  const auto& registry = table_->registry();
-
-  involved_ = action.affected_processes(registry, registry.size());
-  for (const config::ProcessId process : involved_) {
-    if (!agents_.contains(process)) {
-      throw std::logic_error("no agent registered for process " + std::to_string(process));
-    }
-  }
-  // Stage ordering + drain flags: upstream agents quiesce first; agents
-  // beyond the step's minimum involved stage drain their input queues so the
-  // global safe condition (receivers processed everything senders emitted)
-  // holds before any in-action.
-  min_stage_ = agents_.at(involved_.front()).stage;
-  int max_stage = min_stage_;
-  for (const config::ProcessId process : involved_) {
-    min_stage_ = std::min(min_stage_, agents_.at(process).stage);
-    max_stage = std::max(max_stage, agents_.at(process).stage);
-  }
-  drain_flag_.clear();
-  for (const config::ProcessId process : involved_) {
-    drain_flag_[process] = max_stage > min_stage_ && agents_.at(process).stage > min_stage_;
-  }
-
-  reset_acked_.clear();
-  adapt_acked_.clear();
-  resume_acked_.clear();
-  rollback_acked_.clear();
-  resume_sent_ = false;
-  retries_left_ = config_.message_retries;
-  current_stage_ = min_stage_;
-
-  StepRecord record;
-  record.ref = current_ref();
-  record.action_name = action.name;
-  record.started = clock_->now();
-  step_log_.push_back(record);
-
-  set_phase(ManagerPhase::Adapting);
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::StepStarted;
-    e.coords = coords_of(record.ref);
-    e.name = action.name;
-    e.detail = action.operation_text(registry);
-    e.value = static_cast<double>(involved_.size());
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  SA_INFO("manager") << "step " << record.ref.describe() << ": " << action.name << " ("
-                     << action.operation_text(registry) << "), " << involved_.size()
-                     << " process(es)";
-  send_stage_resets(current_stage_);
-  arm_timer(config_.reset_timeout, "reset-timeout");
-}
-
-void AdaptationManager::send_stage_resets(int stage) {
-  for (const config::ProcessId process : involved_) {
-    if (agents_.at(process).stage != stage) continue;
-    auto msg = std::make_shared<ResetMsg>();
-    msg->step = current_ref();
-    msg->command = command_for(process);
-    msg->drain = drain_flag_.at(process);
-    msg->sole_participant = involved_.size() == 1;
-    send_to(process, std::move(msg));
-  }
-}
-
-void AdaptationManager::maybe_advance_stage() {
-  // All resets of stages <= current acknowledged?
-  for (const config::ProcessId process : involved_) {
-    if (agents_.at(process).stage <= current_stage_ && !reset_acked_.contains(process)) return;
-  }
-  // Find the next involved stage.
-  int next_stage = INT_MAX;
-  for (const config::ProcessId process : involved_) {
-    const int stage = agents_.at(process).stage;
-    if (stage > current_stage_) next_stage = std::min(next_stage, stage);
-  }
-  if (next_stage == INT_MAX) return;  // no further stages
-  // Let in-flight application data reach the downstream processes before
-  // asking them to drain and block.
-  current_stage_ = next_stage;
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::TimerArmed;
-    e.coords = coords_of(current_ref());
-    e.name = "inter-stage-delay";
-    e.value = static_cast<double>(config_.inter_stage_delay);
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  const std::uint64_t gen = ++stage_delay_gen_;
-  stage_delay_event_ =
-      clock_->schedule_after(config_.inter_stage_delay, [this, next_stage, gen] {
-        std::lock_guard lock(mutex_);
-        if (gen != stage_delay_gen_) return;  // disarmed after dequeue
-        stage_delay_event_ = 0;
-        if (tracing()) {
-          obs::Event e;
-          e.kind = obs::EventKind::TimerFired;
-          e.coords = coords_of(current_ref());
-          e.name = "inter-stage-delay";
-          trace_event(std::move(e));
-        }
-        send_stage_resets(next_stage);
-        arm_timer(config_.reset_timeout, "reset-timeout");
-      });
+  pending_requests_.push_back(PendingRequest{std::move(target), std::move(handler)});
 }
 
 void AdaptationManager::on_message(runtime::NodeId from, runtime::MessagePtr message) {
@@ -324,419 +107,288 @@ void AdaptationManager::on_message(runtime::NodeId from, runtime::MessagePtr mes
     SA_WARN("manager") << "non-protocol message " << message->type_name();
     return;
   }
-  const StepRef expected = current_ref();
-  if (!(proto->step == expected)) {
+  if (!(proto->step == core_.current_ref())) {
     SA_DEBUG("manager") << "stale " << message->type_name() << " " << proto->step.describe()
-                        << " (expected " << expected.describe() << ")";
+                        << " (expected " << core_.current_ref().describe() << ")";
     return;
   }
-  if (const auto* m = dynamic_cast<const ResetDoneMsg*>(message.get())) {
-    on_reset_done(*process, *m);
-  } else if (const auto* m = dynamic_cast<const AdaptDoneMsg*>(message.get())) {
-    on_adapt_done(*process, *m);
-  } else if (const auto* m = dynamic_cast<const ResumeDoneMsg*>(message.get())) {
-    on_resume_done(*process, *m);
-  } else if (const auto* m = dynamic_cast<const RollbackDoneMsg*>(message.get())) {
-    on_rollback_done(*process, *m);
-  }
+  dispatch(ManagerInput::MessageDelivered{*process, std::move(message)});
 }
 
-void AdaptationManager::on_reset_done(config::ProcessId process, const ResetDoneMsg&) {
-  if (phase_ != ManagerPhase::Adapting) return;
-  if (reset_acked_.insert(process).second && metrics_ != nullptr && !step_log_.empty()) {
-    // Reset latency: reset sent (step start) -> reset done received.
-    metrics_
-        ->histogram("sa_reset_latency_us", obs::default_time_buckets_us(),
-                    {{"process", std::to_string(process)}},
-                    "Reset round-trip latency per process")
-        .observe(static_cast<double>(clock_->now() - step_log_.back().started));
-  }
-  maybe_advance_stage();
+void AdaptationManager::dispatch(ManagerInput::AdaptCommand cmd) {
+  apply(core_.step(ManagerInput{clock_->now(), std::move(cmd)}));
 }
 
-void AdaptationManager::on_adapt_done(config::ProcessId process, const AdaptDoneMsg&) {
-  if (phase_ != ManagerPhase::Adapting) return;
-  reset_acked_.insert(process);  // adapt done implies the reset completed
-  adapt_acked_.insert(process);
-  if (adapt_acked_.size() == involved_.size()) {
-    set_phase(ManagerPhase::Adapted);
-    enter_resuming();
-  }
+void AdaptationManager::dispatch(ManagerInput::MessageDelivered delivered) {
+  apply(core_.step(ManagerInput{clock_->now(), std::move(delivered)}));
 }
 
-void AdaptationManager::enter_resuming() {
-  set_phase(ManagerPhase::Resuming);
-  resume_sent_ = true;
-  retries_left_ = config_.message_retries + config_.run_to_completion_retries;
-  for (const config::ProcessId process : involved_) {
-    auto msg = std::make_shared<ResumeMsg>();
-    msg->step = current_ref();
-    send_to(process, std::move(msg));
-  }
-  arm_timer(config_.resume_timeout, "resume-timeout");
+void AdaptationManager::dispatch(ManagerInput::TimerFired fired) {
+  apply(core_.step(ManagerInput{clock_->now(), fired}));
 }
 
-void AdaptationManager::on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg) {
-  if (phase_ == ManagerPhase::Adapting) {
-    // A sole participant resumed proactively and its adapt done was lost:
-    // the resume done subsumes it.
-    reset_acked_.insert(process);
-    adapt_acked_.insert(process);
-    resume_acked_.insert(process);
-    observe_blocked(process, msg.blocked_for);
-    if (adapt_acked_.size() == involved_.size()) {
-      set_phase(ManagerPhase::Adapted);
-      enter_resuming();
-      resume_acked_.insert(process);
-      if (resume_acked_.size() == involved_.size()) commit_step();
+void AdaptationManager::apply(const std::vector<Output>& outputs) {
+  for (const Output& out : outputs) {
+    switch (out.kind) {
+      case OutputKind::Send:
+        transport_->send(node_, agents_.at(out.process).node, out.message);
+        break;
+      case OutputKind::ArmTimer:
+        apply_arm_timer(out);
+        break;
+      case OutputKind::DisarmTimer:
+        apply_disarm_timer(out);
+        break;
+      case OutputKind::Transition:
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::ManagerPhase;
+          e.name = std::string(to_string(out.phase_to));
+          e.detail = std::string(to_string(out.phase_from));
+          e.coords.request = out.request_id;
+          trace_event(std::move(e));
+        }
+        break;
+      case OutputKind::StepStarted: {
+        StepRecord record;
+        record.ref = out.ref;
+        record.action_name = out.name;
+        record.started = clock_->now();
+        step_log_.push_back(record);
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::StepStarted;
+          e.coords = coords_of(out.ref);
+          e.name = out.name;
+          e.detail = out.detail;
+          e.value = out.value;
+          e.has_value = true;
+          trace_event(std::move(e));
+        }
+        SA_INFO("manager") << "step " << out.ref.describe() << ": " << out.name << " ("
+                           << out.detail << "), " << static_cast<std::size_t>(out.value)
+                           << " process(es)";
+        break;
+      }
+      case OutputKind::StepCommitted: {
+        step_log_.back().committed = true;
+        step_log_.back().finished = clock_->now();
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::StepCommitted;
+          e.coords = coords_of(out.ref);
+          e.name = out.name;
+          if (out.flag) e.detail = "stalled";
+          e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
+          e.has_value = true;
+          trace_event(std::move(e));
+        }
+        if (metrics_ != nullptr) {
+          metrics_->counter("sa_steps_total", {{"fate", "committed"}}, "Adaptation steps by fate")
+              .inc();
+          if (!out.flag) {
+            metrics_
+                ->histogram("sa_step_duration_us", obs::default_time_buckets_us(), {},
+                            "Wall time from reset sent to step committed")
+                .observe(
+                    static_cast<double>(step_log_.back().finished - step_log_.back().started));
+          }
+        }
+        if (!out.flag) {
+          SA_INFO("manager") << "step " << out.ref.step_index << " committed; now at "
+                             << out.config.describe(table_->registry());
+        }
+        break;
+      }
+      case OutputKind::StepRolledBack:
+        step_log_.back().rolled_back = true;
+        step_log_.back().finished = clock_->now();
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::StepRolledBack;
+          e.coords = coords_of(out.ref);
+          e.name = out.name;
+          e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
+          e.has_value = true;
+          trace_event(std::move(e));
+        }
+        if (metrics_ != nullptr) {
+          metrics_->counter("sa_steps_total", {{"fate", "rolled_back"}}, "Adaptation steps by fate")
+              .inc();
+        }
+        break;
+      case OutputKind::Outcome:
+        apply_outcome(out);
+        break;
+      case OutputKind::AdaptationRequested:
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::AdaptationRequested;
+          e.coords.request = out.request_id;
+          e.name = out.name;
+          e.detail = out.detail;
+          trace_event(std::move(e));
+        }
+        break;
+      case OutputKind::PlanComputed:
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::PlanComputed;
+          e.coords = coords_of(out.ref);
+          e.name = out.name;
+          e.detail = out.detail;
+          e.value = out.value;
+          e.has_value = true;
+          trace_event(std::move(e));
+        }
+        if (metrics_ != nullptr) {
+          metrics_
+              ->histogram("sa_plan_length", {1, 2, 3, 4, 5, 6, 8, 10, 15, 20}, {},
+                          "Steps per computed adaptation path")
+              .observe(out.extra);
+          metrics_
+              ->histogram("sa_plan_cost", {1, 2, 5, 10, 20, 50, 100, 200, 500}, {},
+                          "Total action cost per computed adaptation path")
+              .observe(out.value);
+        }
+        SA_INFO("manager") << (out.ref.plan == 0 ? "MAP: " : "replanned path: ") << out.detail
+                           << " (cost " << out.value << ")";
+        break;
+      case OutputKind::Retransmission:
+        if (metrics_ != nullptr) {
+          metrics_
+              ->counter("sa_retransmissions_total", {{"phase", out.label}},
+                        "Retransmission rounds by protocol phase")
+              .inc();
+        }
+        break;
+      case OutputKind::ResetAcked:
+        if (metrics_ != nullptr && !step_log_.empty()) {
+          // Reset latency: reset sent (step start) -> reset done received.
+          metrics_
+              ->histogram("sa_reset_latency_us", obs::default_time_buckets_us(),
+                          {{"process", std::to_string(out.process)}},
+                          "Reset round-trip latency per process")
+              .observe(static_cast<double>(clock_->now() - step_log_.back().started));
+        }
+        break;
+      case OutputKind::BlockedObserved:
+        observe_blocked(out.process, out.blocked);
+        break;
+      default:
+        break;  // agent-only kinds never appear in manager output
     }
-    return;
-  }
-  if (phase_ != ManagerPhase::Resuming) return;
-  if (resume_acked_.insert(process).second) observe_blocked(process, msg.blocked_for);
-  if (resume_acked_.size() == involved_.size()) commit_step();
-}
-
-void AdaptationManager::commit_step() {
-  disarm_timer();
-  set_phase(ManagerPhase::Resumed);
-  current_ = plan_.steps[step_index_].to;
-  ++result_.steps_committed;
-  step_log_.back().committed = true;
-  step_log_.back().finished = clock_->now();
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::StepCommitted;
-    e.coords = coords_of(step_log_.back().ref);
-    e.name = step_log_.back().action_name;
-    e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  if (metrics_ != nullptr) {
-    metrics_->counter("sa_steps_total", {{"fate", "committed"}}, "Adaptation steps by fate").inc();
-    metrics_
-        ->histogram("sa_step_duration_us", obs::default_time_buckets_us(), {},
-                    "Wall time from reset sent to step committed")
-        .observe(static_cast<double>(step_log_.back().finished - step_log_.back().started));
-  }
-  SA_INFO("manager") << "step " << step_index_ << " committed; now at "
-                     << current_.describe(table_->registry());
-  if (step_index_ + 1 < plan_.steps.size()) {
-    ++step_index_;
-    step_attempt_ = 0;
-    execute_current_step();
-    return;
-  }
-  if (returning_to_source_) {
-    finish(AdaptationOutcome::RolledBackToSource, "returned to source configuration");
-  } else {
-    finish(AdaptationOutcome::Success, "target configuration reached");
   }
 }
 
-void AdaptationManager::arm_timer(runtime::Time timeout, const char* label) {
-  disarm_timer();
-  timer_label_ = label;
+void AdaptationManager::apply_arm_timer(const Output& out) {
   if (tracing()) {
     obs::Event e;
     e.kind = obs::EventKind::TimerArmed;
-    e.coords = coords_of(current_ref());
-    e.name = label;
-    e.value = static_cast<double>(timeout);
+    e.coords = coords_of(out.ref);
+    e.name = out.label;
+    e.value = static_cast<double>(out.delay);
     e.has_value = true;
     trace_event(std::move(e));
   }
   // The generation guard defuses stale fires on the threaded backend: once
   // the timer thread has dequeued the callback, cancel() returns false and
   // the callback will still run, but it then observes a newer generation and
-  // bails instead of clobbering a re-armed timer_ or firing in the wrong
+  // bails instead of clobbering a re-armed timer or firing in the wrong
   // phase. On the simulator cancel() always wins, so the guard never trips.
-  const std::uint64_t gen = ++timer_gen_;
-  timer_ = clock_->schedule_after(timeout, [this, gen, label] {
-    std::lock_guard lock(mutex_);
-    if (gen != timer_gen_) return;  // superseded or disarmed after dequeue
-    timer_ = 0;
-    if (tracing()) {
-      obs::Event e;
-      e.kind = obs::EventKind::TimerFired;
-      e.coords = coords_of(current_ref());
-      e.name = label;
-      trace_event(std::move(e));
-    }
-    on_timeout();
-  });
-}
-
-void AdaptationManager::disarm_timer() {
-  if (timer_ != 0) {
-    clock_->cancel(timer_);
-    timer_ = 0;
-    if (tracing()) {
-      obs::Event e;
-      e.kind = obs::EventKind::TimerCancelled;
-      e.coords = coords_of(current_ref());
-      e.name = timer_label_;
-      trace_event(std::move(e));
-    }
-  }
-  ++timer_gen_;  // invalidate a fire that cancel() was too late to stop
-  if (stage_delay_event_ != 0) {
-    clock_->cancel(stage_delay_event_);
-    stage_delay_event_ = 0;
-    if (tracing()) {
-      obs::Event e;
-      e.kind = obs::EventKind::TimerCancelled;
-      e.coords = coords_of(current_ref());
-      e.name = "inter-stage-delay";
-      trace_event(std::move(e));
-    }
-  }
-  ++stage_delay_gen_;
-}
-
-void AdaptationManager::on_timeout() {
-  switch (phase_) {
-    case ManagerPhase::Adapting: {
-      if (retries_left_ > 0) {
-        --retries_left_;
-        ++result_.message_retries;
-        if (metrics_ != nullptr) {
-          metrics_
-              ->counter("sa_retransmissions_total", {{"phase", "adapting"}},
-                        "Retransmission rounds by protocol phase")
-              .inc();
-        }
-        // Retransmit resets to every triggered stage with an agent that has
-        // not yet finished its in-action; agents re-acknowledge idempotently.
-        std::set<int> stages_to_resend;
-        for (const config::ProcessId process : involved_) {
-          if (agents_.at(process).stage <= current_stage_ && !adapt_acked_.contains(process)) {
-            stages_to_resend.insert(agents_.at(process).stage);
-          }
-        }
-        for (const int stage : stages_to_resend) send_stage_resets(stage);
-        maybe_advance_stage();
-        arm_timer(config_.reset_timeout, "reset-timeout");
-        return;
-      }
-      SA_WARN("manager") << "step " << step_index_ << " timed out before resume; aborting";
-      begin_rollback();
-      return;
-    }
-    case ManagerPhase::Resuming: {
-      if (retries_left_ > 0) {
-        --retries_left_;
-        ++result_.message_retries;
-        if (metrics_ != nullptr) {
-          metrics_
-              ->counter("sa_retransmissions_total", {{"phase", "resuming"}},
-                        "Retransmission rounds by protocol phase")
-              .inc();
-        }
-        const StepRef ref = current_ref();
-        for (const config::ProcessId process : involved_) {
-          if (!resume_acked_.contains(process)) {
-            auto msg = std::make_shared<ResumeMsg>();
-            msg->step = ref;
-            send_to(process, std::move(msg));
-          }
-        }
-        arm_timer(config_.resume_timeout, "resume-timeout");
-        return;
-      }
-      // §4.4: after the first resume the adaptation must run to completion;
-      // if acknowledgements never arrive the structure is adapted everywhere
-      // (all adapt done collected) so the step is committed, but the operator
-      // is told the protocol stalled.
-      current_ = plan_.steps[step_index_].to;
-      ++result_.steps_committed;
-      step_log_.back().committed = true;
-      step_log_.back().finished = clock_->now();
+  const char* label = out.label;
+  if (out.timer == ManagerTimer::Protocol) {
+    const std::uint64_t gen = ++timer_gen_;
+    timer_ = clock_->schedule_after(out.delay, [this, gen, label] {
+      std::lock_guard lock(mutex_);
+      if (gen != timer_gen_) return;  // superseded or disarmed after dequeue
+      timer_ = 0;
       if (tracing()) {
         obs::Event e;
-        e.kind = obs::EventKind::StepCommitted;
-        e.coords = coords_of(step_log_.back().ref);
-        e.name = step_log_.back().action_name;
-        e.detail = "stalled";
-        e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
-        e.has_value = true;
+        e.kind = obs::EventKind::TimerFired;
+        e.coords = coords_of(core_.current_ref());
+        e.name = label;
         trace_event(std::move(e));
       }
-      if (metrics_ != nullptr) {
-        metrics_->counter("sa_steps_total", {{"fate", "committed"}}, "Adaptation steps by fate")
-            .inc();
+      dispatch(ManagerInput::TimerFired{ManagerTimer::Protocol});
+    });
+  } else {
+    const std::uint64_t gen = ++stage_delay_gen_;
+    stage_delay_event_ = clock_->schedule_after(out.delay, [this, gen, label] {
+      std::lock_guard lock(mutex_);
+      if (gen != stage_delay_gen_) return;  // disarmed after dequeue
+      stage_delay_event_ = 0;
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::TimerFired;
+        e.coords = coords_of(core_.current_ref());
+        e.name = label;
+        trace_event(std::move(e));
       }
-      finish(AdaptationOutcome::StalledAfterResume,
-             "resume unacknowledged by " +
-                 std::to_string(involved_.size() - resume_acked_.size()) + " agent(s)");
-      return;
-    }
-    case ManagerPhase::RollingBack: {
-      if (retries_left_ > 0) {
-        --retries_left_;
-        ++result_.message_retries;
-        if (metrics_ != nullptr) {
-          metrics_
-              ->counter("sa_retransmissions_total", {{"phase", "rolling-back"}},
-                        "Retransmission rounds by protocol phase")
-              .inc();
-        }
-        const StepRef ref = current_ref();
-        for (const config::ProcessId process : involved_) {
-          if (!rollback_acked_.contains(process)) {
-            auto msg = std::make_shared<RollbackMsg>();
-            msg->step = ref;
-            send_to(process, std::move(msg));
-          }
-        }
-        arm_timer(config_.rollback_timeout, "rollback-timeout");
-        return;
-      }
-      finish(AdaptationOutcome::UserInterventionRequired,
-             "rollback unacknowledged; agent states unknown");
-      return;
-    }
-    default:
-      SA_WARN("manager") << "timeout in unexpected phase " << to_string(phase_);
+      dispatch(ManagerInput::TimerFired{ManagerTimer::StageDelay});
+    });
   }
 }
 
-void AdaptationManager::begin_rollback() {
-  set_phase(ManagerPhase::RollingBack);
-  disarm_timer();
-  rollback_acked_.clear();
-  retries_left_ = config_.message_retries;
-  const StepRef ref = current_ref();
-  for (const config::ProcessId process : involved_) {
-    auto msg = std::make_shared<RollbackMsg>();
-    msg->step = ref;
-    send_to(process, std::move(msg));
-  }
-  arm_timer(config_.rollback_timeout, "rollback-timeout");
-}
-
-void AdaptationManager::on_rollback_done(config::ProcessId process, const RollbackDoneMsg&) {
-  if (phase_ != ManagerPhase::RollingBack) return;
-  rollback_acked_.insert(process);
-  if (rollback_acked_.size() == involved_.size()) step_failed_after_rollback();
-}
-
-void AdaptationManager::step_failed_after_rollback() {
-  disarm_timer();
-  ++result_.step_failures;
-  step_log_.back().rolled_back = true;
-  step_log_.back().finished = clock_->now();
-  if (tracing()) {
-    obs::Event e;
-    e.kind = obs::EventKind::StepRolledBack;
-    e.coords = coords_of(step_log_.back().ref);
-    e.name = step_log_.back().action_name;
-    e.value = static_cast<double>(step_log_.back().finished - step_log_.back().started);
-    e.has_value = true;
-    trace_event(std::move(e));
-  }
-  if (metrics_ != nullptr) {
-    metrics_->counter("sa_steps_total", {{"fate", "rolled_back"}}, "Adaptation steps by fate")
-        .inc();
-  }
-  try_next_strategy();
-}
-
-void AdaptationManager::try_next_strategy() {
-  // §4.4 strategy chain: (1) retry the step, (2) next-minimum path,
-  // (3) return to source, (4) wait for user intervention.
-  if (static_cast<int>(step_attempt_) < config_.step_retries) {
-    ++step_attempt_;
-    SA_INFO("manager") << "retrying step " << step_index_ << " (attempt " << step_attempt_ << ")";
-    execute_current_step();
-    return;
-  }
-  const config::Configuration active_target = returning_to_source_ ? source_ : target_;
-  ++alternatives_tried_;
-  if (alternatives_tried_ <= config_.max_alternative_paths && !(current_ == active_target)) {
-    const auto plans = planner_->ranked_paths(current_, active_target, alternatives_tried_ + 1);
-    if (plans.size() > alternatives_tried_) {
-      ++result_.plans_tried;
-      SA_INFO("manager") << "trying alternative path #" << alternatives_tried_ << ": "
-                         << plans[alternatives_tried_].action_names(*table_);
-      start_plan(plans[alternatives_tried_]);
-      return;
+void AdaptationManager::apply_disarm_timer(const Output& out) {
+  runtime::TimerId& id = out.timer == ManagerTimer::Protocol ? timer_ : stage_delay_event_;
+  if (id != 0) {
+    clock_->cancel(id);
+    id = 0;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::TimerCancelled;
+      e.coords = coords_of(out.ref);
+      e.name = out.label;
+      trace_event(std::move(e));
     }
   }
-  if (!returning_to_source_ && config_.allow_return_to_source) {
-    returning_to_source_ = true;
-    alternatives_tried_ = 0;
-    if (current_ == source_) {
-      finish(AdaptationOutcome::RolledBackToSource, "failed before leaving source configuration");
-      return;
-    }
-    const auto plan = planner_->minimum_path(current_, source_);
-    if (plan && !plan->empty()) {
-      ++result_.plans_tried;
-      SA_INFO("manager") << "returning to source via " << plan->action_names(*table_);
-      start_plan(*plan);
-      return;
-    }
+  // Invalidate a fire that cancel() was too late to stop.
+  if (out.timer == ManagerTimer::Protocol) {
+    ++timer_gen_;
+  } else {
+    ++stage_delay_gen_;
   }
-  finish(AdaptationOutcome::UserInterventionRequired,
-         "all adaptation paths failed; system parked at " +
-             current_.describe(table_->registry()));
 }
 
-void AdaptationManager::enqueue_adaptation(config::Configuration target,
-                                           CompletionHandler handler) {
-  std::lock_guard lock(mutex_);
-  if (!busy() && pending_requests_.empty()) {
-    request_adaptation(target, std::move(handler));
-    return;
-  }
-  pending_requests_.push_back(PendingRequest{target, std::move(handler)});
-}
-
-void AdaptationManager::finish(AdaptationOutcome outcome, std::string detail) {
-  disarm_timer();
-  set_phase(ManagerPhase::Running);
-  result_.outcome = outcome;
-  result_.final_config = current_;
-  result_.finished = clock_->now();
-  result_.detail = std::move(detail);
+void AdaptationManager::apply_outcome(const Output& out) {
+  const AdaptationResult& result = out.result;
   if (tracing()) {
     obs::Event e;
     e.kind = obs::EventKind::AdaptationFinished;
-    e.coords.request = request_id_;
-    e.name = std::string(to_string(outcome));
-    e.detail = result_.detail;
-    e.value = static_cast<double>(result_.finished - result_.started);
+    e.coords.request = out.request_id;
+    e.name = out.name;
+    e.detail = result.detail;
+    e.value = static_cast<double>(result.finished - result.started);
     e.has_value = true;
     trace_event(std::move(e));
   }
   if (metrics_ != nullptr) {
     metrics_
-        ->counter("sa_adaptations_total", {{"outcome", std::string(to_string(outcome))}},
+        ->counter("sa_adaptations_total", {{"outcome", std::string(to_string(result.outcome))}},
                   "Completed adaptation requests by outcome")
         .inc();
     metrics_
         ->histogram("sa_adaptation_latency_us", obs::default_time_buckets_us(), {},
                     "End-to-end adaptation latency (request to completion)")
-        .observe(static_cast<double>(result_.finished - result_.started));
+        .observe(static_cast<double>(result.finished - result.started));
   }
-  SA_INFO("manager") << "request " << request_id_ << " finished: " << to_string(outcome) << " ("
-                     << result_.detail << ")";
+  SA_INFO("manager") << "request " << out.request_id << " finished: "
+                     << to_string(result.outcome) << " (" << result.detail << ")";
   if (handler_) {
     auto handler = std::move(handler_);
     handler_ = nullptr;
-    handler(result_);
+    handler(result);
   }
-  if (!pending_requests_.empty() && !busy()) {
+  if (!pending_requests_.empty() && !core_.busy()) {
     // Start the next queued request from a fresh task so the caller's
     // completion handler never observes a half-started successor.
     executor_->post([this] {
       std::lock_guard lock(mutex_);
-      if (busy() || pending_requests_.empty()) return;
+      if (core_.busy() || pending_requests_.empty()) return;
       PendingRequest next = std::move(pending_requests_.front());
       pending_requests_.pop_front();
-      request_adaptation(next.target, std::move(next.handler));
+      request_adaptation(std::move(next.target), std::move(next.handler));
     });
   }
 }

@@ -1,18 +1,14 @@
-// Centralized adaptation manager (paper §4, Figure 2).
+// Runtime driver for the centralized adaptation manager (paper §4, Figure 2).
 //
-// The manager owns the analysis-phase data structure P = (S, I, T, R, A):
-// the invariant set I and action table T (with costs A) are supplied at
-// construction; S (the safe configuration set) and the SAG are derived.
-//
-// Detection-and-setup phase: on an adaptation request it enumerates safe
-// configurations, builds the SAG, and finds the minimum adaptation path with
-// Dijkstra (§4.2).  Realization phase: for each step it coordinates the
-// involved agents through reset / adapt / resume rounds, ensuring every
-// in-action executes in a global safe state (§4.3).  Failure handling (§4.4):
-// manager-side timeouts detect loss-of-message and fail-to-reset failures;
-// rollback is initiated only before the first resume is sent, otherwise the
-// step runs to completion; on step failure the strategy chain is
-//   retry the step once -> next-minimum path -> return to source -> user.
+// All protocol logic — MAP planning, staged reset fan-out, the timeout /
+// retransmission machinery, the §4.4 failure-strategy chain — lives in the
+// sans-I/O ManagerCore (proto/core/manager_core.hpp). This class is the thin
+// I/O shell around it: it owns the derived analysis data (safe configuration
+// set, SAG, planner), translates transport deliveries and timer fires into
+// core Inputs, and executes the core's Outputs in order against the real
+// Clock / Transport / observability layer. Works identically over SimRuntime
+// and ThreadedRuntime; on the threaded backend every entry point locks and
+// timer callbacks carry generation guards against stale fires.
 #pragma once
 
 #include <deque>
@@ -21,13 +17,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "actions/planner.hpp"
 #include "config/enumerate.hpp"
 #include "obs/event.hpp"
+#include "proto/core/manager_core.hpp"
 #include "proto/messages.hpp"
 #include "runtime/runtime.hpp"
 
@@ -37,55 +33,6 @@ class TraceRecorder;
 }  // namespace sa::obs
 
 namespace sa::proto {
-
-enum class ManagerPhase {
-  Running,      ///< fully operational, no adaptation in progress
-  Preparing,    ///< MAP creation
-  Adapting,     ///< waiting for reset done / adapt done
-  Adapted,      ///< all in-actions complete (transient)
-  Resuming,     ///< waiting for resume done
-  Resumed,      ///< step committed (transient)
-  RollingBack   ///< aborting a failed step
-};
-
-std::string_view to_string(ManagerPhase phase);
-
-enum class AdaptationOutcome {
-  Success,                   ///< target configuration reached
-  NoPathFound,               ///< source or target unsafe, or SAG disconnected
-  RolledBackToSource,        ///< target unreachable; system returned to source
-  UserInterventionRequired,  ///< all strategies failed; system parked at a safe config
-  StalledAfterResume         ///< step committed but some resume unacknowledged
-};
-
-std::string_view to_string(AdaptationOutcome outcome);
-
-struct AdaptationResult {
-  AdaptationOutcome outcome = AdaptationOutcome::Success;
-  config::Configuration final_config;
-  std::size_t steps_committed = 0;
-  std::size_t step_failures = 0;    ///< rollbacks of individual steps
-  std::size_t plans_tried = 1;
-  std::size_t message_retries = 0;  ///< retransmission rounds
-  runtime::Time started = 0;
-  runtime::Time finished = 0;
-  std::string detail;
-};
-
-struct ManagerConfig {
-  runtime::Time reset_timeout = runtime::ms(150);     ///< reset sent -> all adapt done
-  runtime::Time resume_timeout = runtime::ms(100);    ///< resume sent -> all resume done
-  runtime::Time rollback_timeout = runtime::ms(100);  ///< rollback sent -> all rollback done
-  /// Extra wait between quiescing one stage and resetting the next, covering
-  /// data still in flight toward downstream processes (the global safe
-  /// condition for sender->receiver actions).
-  runtime::Time inter_stage_delay = runtime::ms(15);
-  int message_retries = 2;          ///< retransmission rounds per phase
-  int run_to_completion_retries = 8;///< extra resume rounds after first resume
-  int step_retries = 1;             ///< §4.4: "retries the same step once more"
-  std::size_t max_alternative_paths = 3;
-  bool allow_return_to_source = true;
-};
 
 /// Per-step record for experiment harnesses.
 struct StepRecord {
@@ -123,8 +70,14 @@ class AdaptationManager {
 
   /// Current system configuration; must be set before the first request and
   /// is updated as steps commit.
-  void set_current_configuration(config::Configuration config) { current_ = config; }
-  const config::Configuration& current_configuration() const { return current_; }
+  void set_current_configuration(config::Configuration config) {
+    std::lock_guard lock(mutex_);
+    core_.set_current_configuration(config);
+  }
+  config::Configuration current_configuration() const {
+    std::lock_guard lock(mutex_);
+    return core_.current_configuration();
+  }
 
   /// Requests adaptation to `target`. One request at a time; throws
   /// std::logic_error if one is already in flight. The handler fires (from
@@ -143,7 +96,7 @@ class AdaptationManager {
 
   ManagerPhase phase() const {
     std::lock_guard lock(mutex_);
-    return phase_;
+    return core_.phase();
   }
   bool busy() const { return phase() != ManagerPhase::Running; }
 
@@ -172,36 +125,22 @@ class AdaptationManager {
   };
 
   void on_message(runtime::NodeId from, runtime::MessagePtr message);
-  void on_reset_done(config::ProcessId process, const ResetDoneMsg& msg);
-  void on_adapt_done(config::ProcessId process, const AdaptDoneMsg& msg);
-  void on_resume_done(config::ProcessId process, const ResumeDoneMsg& msg);
-  void on_rollback_done(config::ProcessId process, const RollbackDoneMsg& msg);
-
-  void start_plan(actions::AdaptationPlan plan);
-  void execute_current_step();
-  void send_stage_resets(int stage);
-  void maybe_advance_stage();
-  void enter_resuming();
-  void commit_step();
-  void arm_timer(runtime::Time timeout, const char* label);
-  void disarm_timer();
-  void on_timeout();
-  void begin_rollback();
-  void step_failed_after_rollback();
-  void try_next_strategy();
-  void finish(AdaptationOutcome outcome, std::string detail);
+  /// Feeds one input to the core and executes its outputs. Call under mutex_.
+  void dispatch(ManagerInput::AdaptCommand cmd);
+  void dispatch(ManagerInput::MessageDelivered delivered);
+  void dispatch(ManagerInput::TimerFired fired);
+  void apply(const std::vector<Output>& outputs);
+  void apply_arm_timer(const Output& out);
+  void apply_disarm_timer(const Output& out);
+  void apply_outcome(const Output& out);
 
   std::optional<config::ProcessId> process_of_node(runtime::NodeId node) const;
-  LocalCommand command_for(config::ProcessId process) const;
-  void send_to(config::ProcessId process, runtime::MessagePtr message);
 
   // --- observability (no-ops until set_observability is called) --------------
   bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
   bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
   /// Stamps the manager track and the current clock time, then records.
   void trace_event(obs::Event event);
-  /// Records the Fig. 2 transition and updates phase_ (no-op if unchanged).
-  void set_phase(ManagerPhase next);
   /// Accrues a process's reported blocked time into the total and the
   /// per-process sa_blocked_time_us histogram.
   void observe_blocked(config::ProcessId process, runtime::Time blocked);
@@ -210,52 +149,18 @@ class AdaptationManager {
   runtime::Executor* executor_;
   runtime::Transport* transport_;
   runtime::NodeId node_;
-  const config::InvariantSet* invariants_;
   const actions::ActionTable* table_;
-  ManagerConfig config_;
 
   std::vector<config::Configuration> safe_configs_;
   std::unique_ptr<actions::SafeAdaptationGraph> sag_;
   std::unique_ptr<actions::PathPlanner> planner_;
 
+  ManagerCore core_;
   std::map<config::ProcessId, AgentEndpoint> agents_;
-  config::Configuration current_;
-
-  // --- in-flight request state ---
-  ManagerPhase phase_ = ManagerPhase::Running;
-  std::uint64_t next_request_id_ = 1;
-  std::uint64_t request_id_ = 0;
-  config::Configuration source_;
-  config::Configuration target_;
   CompletionHandler handler_;
-  AdaptationResult result_;
-  bool returning_to_source_ = false;
-  std::size_t alternatives_tried_ = 0;
 
-  actions::AdaptationPlan plan_;
-  std::uint32_t plan_number_ = 0;   ///< disambiguates re-planned paths
-  std::uint32_t plan_counter_ = 0;  ///< next plan number within the request
-  std::size_t step_index_ = 0;
-  std::uint32_t step_attempt_ = 0;
-
-  StepRef current_ref() const {
-    return StepRef{request_id_, plan_number_, static_cast<std::uint32_t>(step_index_),
-                   step_attempt_};
-  }
-
-  // per-step bookkeeping
-  std::vector<config::ProcessId> involved_;
-  std::map<config::ProcessId, bool> drain_flag_;
-  int min_stage_ = 0;
-  int current_stage_ = 0;
-  std::set<config::ProcessId> reset_acked_;
-  std::set<config::ProcessId> adapt_acked_;
-  std::set<config::ProcessId> resume_acked_;
-  std::set<config::ProcessId> rollback_acked_;
-  bool resume_sent_ = false;
-  int retries_left_ = 0;
+  // --- real timers backing the core's two logical slots ---
   runtime::TimerId timer_ = 0;
-  const char* timer_label_ = "";  ///< purpose of the armed timer, for events
   runtime::TimerId stage_delay_event_ = 0;
   /// Bumped on every arm/disarm; timer callbacks capture the value at arm
   /// time and bail on mismatch, so a fire that raced a failed cancel() on the
@@ -276,8 +181,8 @@ class AdaptationManager {
   std::deque<PendingRequest> pending_requests_;
 
   /// Serializes message handlers, timer callbacks, and request submission.
-  /// Recursive: finish() invokes the completion handler under the lock, and
-  /// that handler commonly enqueues the next request.
+  /// Recursive: an Outcome output invokes the completion handler under the
+  /// lock, and that handler commonly enqueues the next request.
   mutable std::recursive_mutex mutex_;
 };
 

@@ -1,0 +1,183 @@
+// Bounded interleaving explorer (src/check): clean scenarios stay clean under
+// exhaustive / bounded / randomized search, deliberately broken cores are
+// caught, and every counterexample replays deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/explorer.hpp"
+#include "check/model.hpp"
+#include "check/scenario.hpp"
+
+namespace sa::check {
+namespace {
+
+void expect_clean(const ExploreResult& result) {
+  if (result.counterexample) {
+    for (const std::string& v : result.counterexample->violations) {
+      ADD_FAILURE() << "unexpected violation: " << v;
+    }
+  }
+}
+
+TEST(Explorer, TinyScenarioExhaustiveDfsIsClean) {
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 2'000'000;
+  const ExploreResult result = explore_dfs(scenario, options);
+  expect_clean(result);
+  // Every schedule fits the budgets, so this is a proof over the whole
+  // space: delivery orders and timer races, including the full §4.4 chain.
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.stats.runs_completed, 0U);
+  EXPECT_EQ(result.stats.depth_capped, 0U);
+  EXPECT_TRUE(result.stats.outcomes.count("success"));
+  EXPECT_TRUE(result.stats.outcomes.count("rolled-back-to-source"));
+  EXPECT_TRUE(result.stats.outcomes.count("user-intervention-required"));
+}
+
+TEST(Explorer, TinyScenarioWithMessageDropIsClean) {
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 150'000;
+  options.drop_budget = 1;
+  expect_clean(explore_dfs(scenario, options));
+}
+
+TEST(Explorer, PairScenarioBoundedDfsIsClean) {
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 24;
+  options.max_states = 300'000;
+  const ExploreResult result = explore_dfs(scenario, options);
+  expect_clean(result);
+  EXPECT_GT(result.stats.states_explored, 0U);
+}
+
+TEST(Explorer, PairScenarioWithReorderingIsClean) {
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 20;
+  options.max_states = 200'000;
+  options.reorder = true;
+  options.dup_budget = 1;
+  expect_clean(explore_dfs(scenario, options));
+}
+
+TEST(Explorer, RandomWalksOnAllScenariosAreClean) {
+  ExploreOptions options;
+  options.drop_budget = 2;
+  options.dup_budget = 2;
+  for (const char* name : {"tiny", "pair", "paper"}) {
+    const Scenario scenario = make_scenario(name);
+    const ExploreResult result = explore_random(scenario, options, /*seed=*/17, /*runs=*/300);
+    expect_clean(result);
+    EXPECT_EQ(result.stats.runs_completed, 300U) << name;
+  }
+}
+
+TEST(Explorer, FailingAgentDrivesFailureChainCleanly) {
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 500'000;
+  options.fail_to_reset = {0};
+  const ExploreResult result = explore_dfs(scenario, options);
+  expect_clean(result);
+  // The agent never quiesces, so no run can succeed — every leaf must still
+  // end in a legal failure outcome.
+  EXPECT_GT(result.stats.runs_completed, 0U);
+  EXPECT_EQ(result.stats.outcomes.count("success"), 0U);
+}
+
+TEST(Explorer, SimPolicyDrainsToSuccess) {
+  const Scenario scenario = make_tiny_scenario();
+  Model model = make_model(scenario, ExploreOptions{});
+  int guard = 0;
+  while (const auto choice = model.sim_choice()) {
+    ASSERT_TRUE(model.apply(*choice));
+    ASSERT_LT(++guard, 10'000);
+  }
+  model.finalize();
+  EXPECT_TRUE(model.violations().empty());
+  ASSERT_TRUE(model.outcome().has_value());
+  EXPECT_EQ(model.outcome()->outcome, proto::AdaptationOutcome::Success);
+}
+
+// --- mutation checks: a broken manager core must be caught -------------------
+
+TEST(Explorer, ResumeBeforeLastAdaptDoneIsCaughtAndReplays) {
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 40;
+  options.fault = proto::ManagerFault::ResumeBeforeLastAdaptDone;
+  const ExploreResult result = explore_dfs(scenario, options);
+  ASSERT_TRUE(result.counterexample.has_value());
+  ASSERT_FALSE(result.counterexample->violations.empty());
+  EXPECT_NE(result.counterexample->violations.front().find("§4.3"), std::string::npos);
+
+  const ReplayResult replayed = replay(scenario, options, result.counterexample->schedule);
+  EXPECT_TRUE(replayed.schedule_valid);
+  ASSERT_EQ(replayed.violations.size(), result.counterexample->violations.size());
+  for (std::size_t i = 0; i < replayed.violations.size(); ++i) {
+    EXPECT_EQ(replayed.violations[i].description, result.counterexample->violations[i]);
+  }
+}
+
+TEST(Explorer, RollbackAfterResumeIsCaughtAndReplays) {
+  Scenario scenario = make_tiny_scenario();
+  // One retransmission round per phase: a single dropped resume done already
+  // exhausts the resume phase, which is where the mutated core misbehaves.
+  scenario.manager_config.message_retries = 0;
+  scenario.manager_config.run_to_completion_retries = 0;
+  ExploreOptions options;
+  options.max_depth = 60;
+  options.max_states = 500'000;
+  options.drop_budget = 1;
+  options.fault = proto::ManagerFault::RollbackAfterResume;
+  const ExploreResult result = explore_dfs(scenario, options);
+  ASSERT_TRUE(result.counterexample.has_value());
+  ASSERT_FALSE(result.counterexample->violations.empty());
+  EXPECT_NE(result.counterexample->violations.front().find("§4.4"), std::string::npos);
+
+  const ReplayResult replayed = replay(scenario, options, result.counterexample->schedule);
+  EXPECT_TRUE(replayed.schedule_valid);
+  ASSERT_FALSE(replayed.violations.empty());
+  EXPECT_EQ(replayed.violations.front().description, result.counterexample->violations.front());
+}
+
+TEST(Explorer, CounterexampleJsonRoundTrips) {
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 40;
+  options.fault = proto::ManagerFault::ResumeBeforeLastAdaptDone;
+  const ExploreResult result = explore_dfs(scenario, options);
+  ASSERT_TRUE(result.counterexample.has_value());
+
+  ScheduleFile file;
+  file.scenario = scenario.name;
+  file.options = options;
+  file.schedule = result.counterexample->schedule;
+  file.violations = result.counterexample->violations;
+
+  const ScheduleFile parsed = schedule_from_json(to_json(file));
+  EXPECT_EQ(parsed.scenario, file.scenario);
+  EXPECT_EQ(parsed.options.max_depth, options.max_depth);
+  EXPECT_EQ(parsed.options.drop_budget, options.drop_budget);
+  EXPECT_EQ(parsed.options.fault, options.fault);
+  ASSERT_EQ(parsed.schedule.size(), file.schedule.size());
+  EXPECT_EQ(parsed.schedule, file.schedule);
+  EXPECT_EQ(parsed.violations, file.violations);
+
+  // The parsed file is self-contained: replaying it reproduces the violation.
+  const Scenario fresh = make_scenario(parsed.scenario);
+  const ReplayResult replayed = replay(fresh, parsed.options, parsed.schedule);
+  EXPECT_TRUE(replayed.schedule_valid);
+  ASSERT_FALSE(replayed.violations.empty());
+  EXPECT_EQ(replayed.violations.front().description, file.violations.front());
+}
+
+}  // namespace
+}  // namespace sa::check

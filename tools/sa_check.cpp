@@ -1,0 +1,184 @@
+// sa_check: bounded interleaving explorer for the adaptation protocol.
+//
+// Model-checks the paper's safety argument (§4.3 global safe state, §4.4
+// failure handling) over schedules of the sans-I/O Manager/Agent cores:
+// message reordering across channels, bounded drops and duplicates, and
+// timer-vs-message races. On a violation it prints — and optionally writes —
+// a replayable counterexample schedule as JSON.
+//
+//   sa_check --scenario tiny --mode dfs --depth 200          # exhaustive
+//   sa_check --scenario paper --depth 24 --drops 1           # bounded
+//   sa_check --scenario pair --fault resume-early --json-out ce.json
+//   sa_check --replay ce.json                                # reproduce
+//
+// Exit codes: 0 no violation, 1 violation found, 2 usage/setup error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "check/model.hpp"
+#include "check/scenario.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --scenario tiny|pair|paper   protocol instance to check (default tiny)\n"
+      << "  --mode dfs|random            search strategy (default dfs)\n"
+      << "  --depth N                    max choices per run (default 80)\n"
+      << "  --max-states N               DFS state budget (default 200000)\n"
+      << "  --runs N                     random walks (default 200, random mode)\n"
+      << "  --seed S                     base seed for random walks (default 1)\n"
+      << "  --drops N                    adversary message-drop budget (default 0)\n"
+      << "  --dups N                     adversary duplication budget (default 0)\n"
+      << "  --reorder                    allow cross-message reordering per channel\n"
+      << "  --fault NAME                 inject a manager mutation (none |\n"
+      << "                               resume-before-last-adapt-done | rollback-after-resume)\n"
+      << "  --fail-process P             agent on P never reaches its safe state\n"
+      << "  --json-out FILE              write the counterexample schedule as JSON\n"
+      << "  --replay FILE                re-execute a counterexample schedule file\n";
+  return 2;
+}
+
+void print_stats(const sa::check::ExploreResult& result) {
+  const sa::check::ExploreStats& stats = result.stats;
+  std::cout << "states explored:   " << stats.states_explored << "\n"
+            << "states deduped:    " << stats.states_deduped << "\n"
+            << "runs completed:    " << stats.runs_completed << "\n"
+            << "depth-capped runs: " << stats.depth_capped << "\n"
+            << "max depth reached: " << stats.max_depth_reached << "\n"
+            << "exhaustive:        " << (result.complete ? "yes" : "no (bounded)") << "\n";
+  for (const auto& [outcome, count] : stats.outcomes) {
+    std::cout << "outcome " << outcome << ": " << count << "\n";
+  }
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "sa_check: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const sa::check::ScheduleFile file = sa::check::schedule_from_json(buffer.str());
+  const sa::check::Scenario scenario = sa::check::make_scenario(file.scenario);
+  const sa::check::ReplayResult result =
+      sa::check::replay(scenario, file.options, file.schedule);
+  if (!result.schedule_valid) {
+    std::cerr << "sa_check: schedule diverged from the model (stale file?)\n";
+    return 2;
+  }
+  std::cout << "replayed " << file.schedule.size() << " choices on scenario '"
+            << file.scenario << "'\n";
+  for (const sa::check::Violation& v : result.violations) {
+    std::cout << "violation: " << v.description << "\n";
+  }
+  if (result.outcome) {
+    std::cout << "outcome: " << sa::proto::to_string(result.outcome->outcome) << "\n";
+  }
+  return result.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "tiny";
+  std::string mode = "dfs";
+  sa::check::ExploreOptions options;
+  std::size_t runs = 200;
+  std::uint64_t seed = 1;
+  std::optional<std::string> json_out;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--scenario") {
+        scenario_name = value();
+      } else if (arg == "--mode") {
+        mode = value();
+      } else if (arg == "--depth") {
+        options.max_depth = std::stoi(value());
+      } else if (arg == "--max-states") {
+        options.max_states = std::stoull(value());
+      } else if (arg == "--runs") {
+        runs = std::stoull(value());
+      } else if (arg == "--seed") {
+        seed = std::stoull(value());
+      } else if (arg == "--drops") {
+        options.drop_budget = std::stoi(value());
+      } else if (arg == "--dups") {
+        options.dup_budget = std::stoi(value());
+      } else if (arg == "--reorder") {
+        options.reorder = true;
+      } else if (arg == "--fault") {
+        options.fault = sa::check::fault_from_string(value());
+      } else if (arg == "--fail-process") {
+        options.fail_to_reset.push_back(
+            static_cast<sa::config::ProcessId>(std::stoul(value())));
+      } else if (arg == "--json-out") {
+        json_out = value();
+      } else if (arg == "--replay") {
+        return run_replay(value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::cerr << "sa_check: unknown option " << arg << "\n";
+        return usage(argv[0]);
+      }
+    }
+
+    const sa::check::Scenario scenario = sa::check::make_scenario(scenario_name);
+    sa::check::ExploreResult result;
+    if (mode == "dfs") {
+      result = sa::check::explore_dfs(scenario, options);
+    } else if (mode == "random") {
+      result = sa::check::explore_random(scenario, options, seed, runs);
+    } else {
+      std::cerr << "sa_check: unknown mode " << mode << "\n";
+      return usage(argv[0]);
+    }
+
+    std::cout << "scenario: " << scenario_name << "  mode: " << mode
+              << "  fault: " << sa::check::to_string(options.fault) << "\n";
+    print_stats(result);
+
+    if (!result.counterexample) {
+      std::cout << "no safety violation found\n";
+      return 0;
+    }
+
+    std::cout << "VIOLATION after " << result.counterexample->schedule.size()
+              << " choices:\n";
+    for (const std::string& v : result.counterexample->violations) {
+      std::cout << "  " << v << "\n";
+    }
+    sa::check::ScheduleFile file;
+    file.scenario = scenario_name;
+    file.options = options;
+    file.schedule = result.counterexample->schedule;
+    file.violations = result.counterexample->violations;
+    const std::string json = sa::check::to_json(file);
+    std::cout << "counterexample schedule:\n" << json;
+    if (json_out) {
+      std::ofstream out(*json_out);
+      out << json;
+      std::cout << "written to " << *json_out << "\n";
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "sa_check: " << e.what() << "\n";
+    return 2;
+  }
+}
