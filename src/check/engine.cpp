@@ -1,0 +1,466 @@
+#include "check/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/fingerprint_set.hpp"
+#include "util/rng.hpp"
+
+namespace sa::check {
+
+namespace {
+
+/// Upper bound on proto::AdaptationOutcome enumerators; leaf outcomes are
+/// counted in a flat array indexed by the enum and stringified once at merge
+/// time instead of hitting a map<string, size_t> per leaf.
+constexpr std::size_t kOutcomeSlots = 8;
+
+int effective_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Immutable reversed schedule: each frame holds the chain of choices that
+/// produced it. Shared between a parent's children (shared_ptr refcounts are
+/// atomic), so extending a schedule is O(1) instead of copying the prefix.
+struct PathNode {
+  Choice choice;
+  std::shared_ptr<const PathNode> parent;
+};
+using PathPtr = std::shared_ptr<const PathNode>;
+
+std::vector<Choice> unwind(const PathPtr& tip) {
+  std::vector<Choice> schedule;
+  for (const PathNode* node = tip.get(); node != nullptr; node = node->parent.get()) {
+    schedule.push_back(node->choice);
+  }
+  std::reverse(schedule.begin(), schedule.end());
+  return schedule;
+}
+
+/// Canonical order on counterexample schedules: shorter first, then
+/// lexicographic on (kind, seq). Used to pick one witness deterministically
+/// when parallel workers find violations concurrently.
+bool schedule_less(const std::vector<Choice>& a, const std::vector<Choice>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind) return a[i].kind < b[i].kind;
+    if (a[i].seq != b[i].seq) return a[i].seq < b[i].seq;
+  }
+  return false;
+}
+
+struct Frame {
+  Model model;
+  PathPtr path;
+  int depth = 0;
+};
+
+struct WorkerStats {
+  std::size_t states_explored = 0;
+  std::size_t states_deduped = 0;
+  std::size_t runs_completed = 0;
+  std::size_t depth_capped = 0;
+  int max_depth_reached = 0;
+  std::array<std::size_t, kOutcomeSlots> outcomes{};
+};
+
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<Frame> frames;
+};
+
+class FrontierEngine {
+ public:
+  FrontierEngine(const ExploreOptions& options, int threads)
+      : options_(&options),
+        visited_(options.max_states,
+                 threads == 1 ? 1 : static_cast<std::size_t>(threads) * 2),
+        queues_(static_cast<std::size_t>(threads)),
+        stats_(static_cast<std::size_t>(threads)) {}
+
+  util::ShardedFingerprintSet& visited() { return visited_; }
+
+  /// Seeds the deques from `root` and runs the pool to completion.
+  void run(Frame&& root, int threads) {
+    if (threads == 1) {
+      run_sequential(std::move(root));
+      return;
+    }
+    seed_breadth_first(std::move(root), threads);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([this, t] { worker_loop(t); });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  void merge_into(ExploreResult& result) {
+    for (const WorkerStats& ws : stats_) {
+      result.stats.states_explored += ws.states_explored;
+      result.stats.states_deduped += ws.states_deduped;
+      result.stats.runs_completed += ws.runs_completed;
+      result.stats.depth_capped += ws.depth_capped;
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, ws.max_depth_reached);
+      for (std::size_t i = 0; i < kOutcomeSlots; ++i) {
+        if (ws.outcomes[i] == 0) continue;
+        result.stats.outcomes[std::string(
+            to_string(static_cast<proto::AdaptationOutcome>(i)))] += ws.outcomes[i];
+      }
+    }
+    if (counterexample_) result.counterexample = std::move(counterexample_);
+    result.complete =
+        !capped_.load(std::memory_order_relaxed) && !result.counterexample.has_value();
+  }
+
+ private:
+  /// Expands one frame: quiescent leaves are finalized in place, depth-capped
+  /// frames are counted and dropped, and otherwise each enabled choice is
+  /// applied to a fork of the model with per-edge accounting (explored count,
+  /// violation check, dedup insert, state-cap check).
+  ///
+  /// Surviving children are appended to `out` in REVERSE choice order, so
+  /// popping a LIFO stack visits the first choice's subtree first. Children
+  /// are constructed in place inside `out` (a deduped child is popped right
+  /// back off) and the final child steals the parent's model: expanding a
+  /// node with k children costs k-1 model copies and no extra moves.
+  void expand_children(Frame&& frame, WorkerStats& ws, std::vector<Choice>& scratch,
+                       std::vector<Frame>& out) {
+    frame.model.choices(scratch);
+    if (scratch.empty()) {
+      frame.model.finalize();
+      if (!frame.model.violations().empty()) {
+        record_violation(frame.path, nullptr, frame.model.violations());
+      } else {
+        ++ws.runs_completed;
+        const auto idx = static_cast<std::size_t>(frame.model.outcome()->outcome);
+        assert(idx < kOutcomeSlots);
+        ++ws.outcomes[idx];
+      }
+      return;
+    }
+    if (frame.depth >= options_->max_depth) {
+      ++ws.depth_capped;
+      capped_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const int child_depth = frame.depth + 1;
+    for (std::size_t i = scratch.size(); i > 0; --i) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      const Choice choice = scratch[i - 1];
+      if (i == 1) {
+        out.emplace_back(std::move(frame.model), frame.path, child_depth);
+      } else {
+        out.emplace_back(frame.model, frame.path, child_depth);
+      }
+      Frame& child = out.back();
+      child.model.apply(choice);
+      ++ws.states_explored;
+      ws.max_depth_reached = std::max(ws.max_depth_reached, child_depth);
+      if (!child.model.violations().empty()) {
+        record_violation(frame.path, &choice, child.model.violations());
+        out.pop_back();
+        return;
+      }
+      if (!visited_.insert(child.model.fingerprint())) {
+        ++ws.states_deduped;
+        out.pop_back();
+        continue;
+      }
+      if (visited_.size() >= options_->max_states) {
+        capped_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_release);
+        out.pop_back();
+        return;
+      }
+      child.path = std::make_shared<const PathNode>(PathNode{choice, frame.path});
+    }
+  }
+
+  /// Single-threaded fast path: a plain vector as the DFS stack, no locks, no
+  /// atomics on the hot path, frames expanded in depth-first preorder.
+  void run_sequential(Frame&& root) {
+    WorkerStats& ws = stats_[0];
+    std::vector<Choice> scratch;
+    std::vector<Frame> stack;
+    stack.reserve(256);
+    stack.push_back(std::move(root));
+    while (!stack.empty() && !stop_.load(std::memory_order_relaxed)) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      expand_children(std::move(frame), ws, scratch, stack);
+    }
+  }
+
+  /// Expands a breadth-first prefix of the tree until there are a few frames
+  /// per worker, then deals the frontier round-robin across the deques.
+  void seed_breadth_first(Frame&& root, int threads) {
+    const std::size_t target = static_cast<std::size_t>(threads) * 8;
+    std::deque<Frame> frontier;
+    frontier.push_back(std::move(root));
+    std::vector<Choice> scratch;
+    std::vector<Frame> buffer;
+    while (!frontier.empty() && frontier.size() < target &&
+           !stop_.load(std::memory_order_relaxed)) {
+      Frame frame = std::move(frontier.front());
+      frontier.pop_front();
+      buffer.clear();
+      expand_children(std::move(frame), stats_[0], scratch, buffer);
+      // buffer is in reverse choice order; append backward to keep the
+      // frontier in breadth-first choice order.
+      for (std::size_t i = buffer.size(); i > 0; --i) {
+        frontier.push_back(std::move(buffer[i - 1]));
+      }
+    }
+    pending_.store(frontier.size(), std::memory_order_relaxed);
+    std::size_t next_queue = 0;
+    while (!frontier.empty()) {
+      queues_[next_queue].frames.push_back(std::move(frontier.front()));
+      frontier.pop_front();
+      next_queue = (next_queue + 1) % queues_.size();
+    }
+  }
+
+  std::optional<Frame> try_pop(int worker) {
+    {
+      WorkerQueue& own = queues_[static_cast<std::size_t>(worker)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.frames.empty()) {
+        std::optional<Frame> frame(std::move(own.frames.back()));
+        own.frames.pop_back();
+        return frame;
+      }
+    }
+    const int n = static_cast<int>(queues_.size());
+    for (int step = 1; step < n; ++step) {
+      WorkerQueue& victim = queues_[static_cast<std::size_t>((worker + step) % n)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.frames.empty()) {
+        std::optional<Frame> frame(std::move(victim.frames.front()));
+        victim.frames.pop_front();
+        return frame;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void worker_loop(int worker) {
+    WorkerStats& ws = stats_[static_cast<std::size_t>(worker)];
+    WorkerQueue& own = queues_[static_cast<std::size_t>(worker)];
+    std::vector<Choice> scratch;
+    std::vector<Frame> buffer;
+    while (!stop_.load(std::memory_order_relaxed) &&
+           pending_.load(std::memory_order_acquire) != 0) {
+      std::optional<Frame> frame = try_pop(worker);
+      if (!frame) {
+        // Nothing local, nothing to steal: sleep until a producer pushes or
+        // the search drains. The timeout bounds termination latency when a
+        // notify races the wait.
+        std::unique_lock<std::mutex> lock(idle_mu_);
+        sleepers_.fetch_add(1, std::memory_order_relaxed);
+        idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      buffer.clear();
+      expand_children(std::move(*frame), ws, scratch, buffer);
+      if (!buffer.empty()) {
+        pending_.fetch_add(buffer.size(), std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(own.mu);
+          // buffer is in reverse choice order, so pushing forward puts the
+          // first choice's child on top of the LIFO and local expansion stays
+          // depth-first preorder.
+          for (Frame& child : buffer) {
+            own.frames.push_back(std::move(child));
+          }
+        }
+        if (sleepers_.load(std::memory_order_relaxed) > 0) idle_cv_.notify_all();
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        idle_cv_.notify_all();
+      }
+    }
+  }
+
+  void record_violation(const PathPtr& path, const Choice* last,
+                        const std::vector<Violation>& violations) {
+    std::vector<Choice> schedule = unwind(path);
+    if (last != nullptr) schedule.push_back(*last);
+    std::lock_guard<std::mutex> lock(ce_mu_);
+    if (!counterexample_ || schedule_less(schedule, counterexample_->schedule)) {
+      Counterexample ce;
+      ce.schedule = std::move(schedule);
+      for (const Violation& v : violations) ce.violations.push_back(v.description);
+      counterexample_ = std::move(ce);
+    }
+    stop_.store(true, std::memory_order_release);
+  }
+
+  const ExploreOptions* options_;
+  util::ShardedFingerprintSet visited_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<WorkerStats> stats_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> capped_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::mutex ce_mu_;
+  std::optional<Counterexample> counterexample_;
+};
+
+}  // namespace
+
+ExploreResult frontier_search(const Scenario& scenario, const ExploreOptions& options) {
+  const int threads = effective_threads(options.threads);
+  ExploreResult result;
+  Model root = make_model(scenario, options);
+  root.set_record_transitions(false);
+  FrontierEngine engine(options, threads);
+  engine.visited().insert(root.fingerprint());
+  if (!root.violations().empty()) {
+    Counterexample ce;
+    for (const Violation& v : root.violations()) ce.violations.push_back(v.description);
+    result.counterexample = std::move(ce);
+    return result;
+  }
+  engine.run(Frame{std::move(root), nullptr, 0}, threads);
+  engine.merge_into(result);
+  return result;
+}
+
+ExploreResult random_search(const Scenario& scenario, const ExploreOptions& options,
+                            std::uint64_t seed, std::size_t runs) {
+  // Safety cap well above any legal run length: every walk terminates on its
+  // own (timers re-arm only across bounded retry rounds), this only guards
+  // against a pathological regression looping forever.
+  constexpr std::size_t kMaxWalkLength = 1'000'000;
+
+  /// Everything one walk contributes to the result, held back until the merge
+  /// so stats accumulate in run order regardless of which worker ran what.
+  struct RunDelta {
+    std::size_t explored = 0;
+    int max_depth = 0;
+    bool length_capped = false;
+    bool completed = false;
+    std::size_t outcome = 0;  ///< AdaptationOutcome index, valid iff completed
+    bool violated = false;
+    std::vector<Choice> schedule;        ///< valid iff violated
+    std::vector<std::string> violations;  ///< valid iff violated
+  };
+
+  std::vector<RunDelta> deltas(runs);
+  std::atomic<std::size_t> next{0};
+  // Lowest run index with a violation: runs above it can never reach the
+  // merged result (the merge stops there), so workers skip them.
+  std::atomic<std::size_t> first_violation{runs};
+
+  auto body = [&] {
+    std::vector<Choice> scratch;
+    for (;;) {
+      const std::size_t run = next.fetch_add(1, std::memory_order_relaxed);
+      if (run >= runs) return;
+      if (run > first_violation.load(std::memory_order_acquire)) continue;
+      RunDelta& delta = deltas[run];
+      util::Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
+      Model model = make_model(scenario, options);
+      model.set_record_transitions(false);
+      std::vector<Choice> path;
+      bool violated = false;
+      while (path.size() < kMaxWalkLength) {
+        model.choices(scratch);
+        if (scratch.empty()) break;
+        const Choice choice = scratch[rng.next_below(scratch.size())];
+        model.apply(choice);
+        path.push_back(choice);
+        ++delta.explored;
+        delta.max_depth = std::max(delta.max_depth, static_cast<int>(path.size()));
+        if (!model.violations().empty()) {
+          violated = true;
+          break;
+        }
+      }
+      if (!violated) {
+        model.choices(scratch);
+        if (!scratch.empty()) {  // walk-length cap hit
+          delta.length_capped = true;
+          continue;
+        }
+        model.finalize();
+        violated = !model.violations().empty();
+      }
+      if (violated) {
+        delta.violated = true;
+        delta.schedule = std::move(path);
+        for (const Violation& v : model.violations()) {
+          delta.violations.push_back(v.description);
+        }
+        std::size_t current = first_violation.load(std::memory_order_relaxed);
+        while (run < current &&
+               !first_violation.compare_exchange_weak(current, run,
+                                                      std::memory_order_acq_rel)) {
+        }
+        continue;
+      }
+      delta.completed = true;
+      delta.outcome = static_cast<std::size_t>(model.outcome()->outcome);
+    }
+  };
+
+  const int threads =
+      std::min<int>(effective_threads(options.threads),
+                    static_cast<int>(std::max<std::size_t>(runs, 1)));
+  if (threads <= 1) {
+    body();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(body);
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Merge in run order, stopping at the first violating run — exactly the
+  // sequential engine's early return, so results match for any thread count.
+  ExploreResult result;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const RunDelta& delta = deltas[run];
+    result.stats.states_explored += delta.explored;
+    result.stats.max_depth_reached =
+        std::max(result.stats.max_depth_reached, delta.max_depth);
+    if (delta.violated) {
+      result.counterexample = Counterexample{delta.schedule, delta.violations};
+      break;
+    }
+    if (delta.length_capped) {
+      ++result.stats.depth_capped;
+      continue;
+    }
+    if (delta.completed) {
+      ++result.stats.runs_completed;
+      ++result.stats.outcomes[std::string(
+          to_string(static_cast<proto::AdaptationOutcome>(delta.outcome)))];
+    }
+  }
+  return result;
+}
+
+}  // namespace sa::check

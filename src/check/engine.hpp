@@ -1,0 +1,48 @@
+// High-throughput exploration engine behind explore_dfs / explore_random.
+//
+// The frontier search runs a fixed pool of workers over explicit stack frames
+// (Model + schedule chain + depth) instead of recursion:
+//
+//   * each worker owns a mutex-guarded deque; the owner pushes and pops at
+//     the back (LIFO — depth-first, keeps the frontier small), idle workers
+//     steal from the front of a victim's deque (FIFO — steals the shallowest
+//     frame, i.e. the largest remaining subtree);
+//   * the pool is seeded by expanding a breadth-first prefix of the tree
+//     until there are a few frames per worker to spread across the deques;
+//   * visited-state deduplication goes through a sharded open-addressing
+//     fingerprint set (util/fingerprint_set.hpp) pre-reserved from
+//     max_states, so inserts are allocation-free and a lock covers only
+//     1/Nth of the space;
+//   * a frame is expanded by applying each enabled choice to a fork of its
+//     model; the last child steals the parent's model, so a node with k
+//     children costs k-1 copies, and a quiescent leaf is finalized in place
+//     (no defensive copy).
+//
+// Determinism: with threads == 1 frames expand in depth-first preorder and
+// results are bit-identical run to run. With N threads the expansion order is
+// nondeterministic, but on a search that completes without hitting a budget
+// every unique state is still expanded exactly once, so the verdict and the
+// dedup-invariant totals (states_explored, states_deduped, runs_completed,
+// outcomes) are identical for any thread count; max_depth_reached and the
+// totals of budget-capped searches are not guaranteed. When violations are
+// found concurrently the canonically least schedule (shortest, then
+// lexicographic) among them is returned.
+#pragma once
+
+#include <cstdint>
+
+#include "check/explorer.hpp"
+
+namespace sa::check {
+
+/// Work-stealing frontier search over the Model's choice tree.
+ExploreResult frontier_search(const Scenario& scenario, const ExploreOptions& options);
+
+/// Seeded random walks to quiescence, distributed over the worker pool. Runs
+/// keep their sequential identity (run r always uses seed + r * odd), and
+/// per-run stat deltas are merged in run order up to the first violating run
+/// — bit-identical to the sequential engine for every thread count.
+ExploreResult random_search(const Scenario& scenario, const ExploreOptions& options,
+                            std::uint64_t seed, std::size_t runs);
+
+}  // namespace sa::check

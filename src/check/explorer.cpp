@@ -1,89 +1,13 @@
 #include "check/explorer.hpp"
 
-#include <algorithm>
 #include <cctype>
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
+#include "check/engine.hpp"
 #include "obs/export.hpp"
-#include "util/rng.hpp"
 
 namespace sa::check {
-
-namespace {
-
-Counterexample make_counterexample(const std::vector<Choice>& path,
-                                   const std::vector<Violation>& violations) {
-  Counterexample ce;
-  ce.schedule = path;
-  for (const Violation& v : violations) ce.violations.push_back(v.description);
-  return ce;
-}
-
-struct DfsContext {
-  const ExploreOptions* options = nullptr;
-  ExploreResult* result = nullptr;
-  std::unordered_set<std::uint64_t> visited;
-  std::vector<Choice> path;
-  bool stop = false;    ///< counterexample found or state cap hit
-  bool capped = false;  ///< some branch was cut by a budget
-};
-
-void record_leaf(const Model& model, DfsContext& ctx) {
-  Model leaf = model;  // finalize() mutates; keep the tree node pristine
-  leaf.finalize();
-  if (!leaf.violations().empty()) {
-    ctx.result->counterexample = make_counterexample(ctx.path, leaf.violations());
-    ctx.stop = true;
-    return;
-  }
-  ++ctx.result->stats.runs_completed;
-  ++ctx.result->stats.outcomes[std::string(to_string(leaf.outcome()->outcome))];
-}
-
-void dfs(const Model& model, int depth, DfsContext& ctx) {
-  const std::vector<Choice> choices = model.choices();
-  if (choices.empty()) {
-    record_leaf(model, ctx);
-    return;
-  }
-  if (depth >= ctx.options->max_depth) {
-    ++ctx.result->stats.depth_capped;
-    ctx.capped = true;
-    return;
-  }
-  for (const Choice& choice : choices) {
-    Model next = model;
-    next.apply(choice);
-    ++ctx.result->stats.states_explored;
-    ctx.result->stats.max_depth_reached =
-        std::max(ctx.result->stats.max_depth_reached, depth + 1);
-    ctx.path.push_back(choice);
-    if (!next.violations().empty()) {
-      ctx.result->counterexample = make_counterexample(ctx.path, next.violations());
-      ctx.stop = true;
-      ctx.path.pop_back();
-      return;
-    }
-    if (!ctx.visited.insert(next.fingerprint()).second) {
-      ++ctx.result->stats.states_deduped;
-      ctx.path.pop_back();
-      continue;
-    }
-    if (ctx.visited.size() >= ctx.options->max_states) {
-      ctx.capped = true;
-      ctx.stop = true;
-      ctx.path.pop_back();
-      return;
-    }
-    dfs(next, depth + 1, ctx);
-    ctx.path.pop_back();
-    if (ctx.stop) return;
-  }
-}
-
-}  // namespace
 
 Model make_model(const Scenario& scenario, const ExploreOptions& options) {
   Model model(scenario,
@@ -97,59 +21,12 @@ Model make_model(const Scenario& scenario, const ExploreOptions& options) {
 }
 
 ExploreResult explore_dfs(const Scenario& scenario, const ExploreOptions& options) {
-  ExploreResult result;
-  DfsContext ctx;
-  ctx.options = &options;
-  ctx.result = &result;
-  const Model root = make_model(scenario, options);
-  ctx.visited.insert(root.fingerprint());
-  if (!root.violations().empty()) {
-    result.counterexample = make_counterexample({}, root.violations());
-  } else {
-    dfs(root, 0, ctx);
-  }
-  result.complete = !ctx.capped && !result.counterexample.has_value();
-  return result;
+  return frontier_search(scenario, options);
 }
 
 ExploreResult explore_random(const Scenario& scenario, const ExploreOptions& options,
                              std::uint64_t seed, std::size_t runs) {
-  // Safety cap well above any legal run length: every walk terminates on its
-  // own (timers re-arm only across bounded retry rounds), this only guards
-  // against a pathological regression looping forever.
-  constexpr std::size_t kMaxWalkLength = 1'000'000;
-  ExploreResult result;
-  for (std::size_t run = 0; run < runs; ++run) {
-    util::Rng rng(seed + run * 0x9e3779b97f4a7c15ULL);
-    Model model = make_model(scenario, options);
-    std::vector<Choice> path;
-    while (path.size() < kMaxWalkLength) {
-      const std::vector<Choice> choices = model.choices();
-      if (choices.empty()) break;
-      const Choice choice = choices[rng.next_below(choices.size())];
-      model.apply(choice);
-      path.push_back(choice);
-      ++result.stats.states_explored;
-      result.stats.max_depth_reached =
-          std::max(result.stats.max_depth_reached, static_cast<int>(path.size()));
-      if (!model.violations().empty()) {
-        result.counterexample = make_counterexample(path, model.violations());
-        return result;
-      }
-    }
-    if (!model.choices().empty()) {  // walk-length cap hit
-      ++result.stats.depth_capped;
-      continue;
-    }
-    model.finalize();
-    if (!model.violations().empty()) {
-      result.counterexample = make_counterexample(path, model.violations());
-      return result;
-    }
-    ++result.stats.runs_completed;
-    ++result.stats.outcomes[std::string(to_string(model.outcome()->outcome))];
-  }
-  return result;
+  return random_search(scenario, options, seed, runs);
 }
 
 ReplayResult replay(const Scenario& scenario, const ExploreOptions& options,
@@ -204,6 +81,7 @@ std::string to_json(const ScheduleFile& file) {
   json += ", \"dup_budget\": " + std::to_string(file.options.dup_budget);
   json += std::string(", \"reorder\": ") + (file.options.reorder ? "true" : "false");
   json += std::string(", \"fault\": \"") + to_string(file.options.fault) + "\"";
+  json += ", \"threads\": " + std::to_string(file.options.threads);
   json += ", \"fail_to_reset\": [";
   for (std::size_t i = 0; i < file.options.fail_to_reset.size(); ++i) {
     if (i != 0) json += ", ";
@@ -431,6 +309,7 @@ ScheduleFile schedule_from_json(const std::string& text) {
     file.options.max_states = number("max_states", file.options.max_states);
     file.options.drop_budget = number("drop_budget", file.options.drop_budget);
     file.options.dup_budget = number("dup_budget", file.options.dup_budget);
+    file.options.threads = number("threads", file.options.threads);
     if (const Value* reorder = options->find("reorder")) file.options.reorder = reorder->boolean;
     if (const Value* fault = options->find("fault")) {
       file.options.fault = fault_from_string(fault->string);

@@ -37,6 +37,11 @@ struct ExploreOptions {
   proto::ManagerFault fault = proto::ManagerFault::None;
   /// Agents that never reach their safe state (drives the §4.4 chain).
   std::vector<config::ProcessId> fail_to_reset;
+  /// Worker threads for the search engine (src/check/engine.hpp). 1 = fully
+  /// deterministic sequential order; <= 0 = one per hardware thread. On a
+  /// search that completes within its budgets the verdict and the
+  /// dedup-invariant stats are identical for every thread count.
+  int threads = 1;
 };
 
 struct ExploreStats {

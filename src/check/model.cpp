@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <functional>
-#include <tuple>
+#include <stdexcept>
 #include <utility>
 
 namespace sa::check {
@@ -32,24 +32,22 @@ std::uint64_t message_fingerprint(const runtime::MessagePtr& message) {
   const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
   if (proto_msg == nullptr) return h;
   mix_step(h, proto_msg->step);
-  if (const auto* reset = dynamic_cast<const proto::ResetMsg*>(message.get())) {
-    mix(h, 1);
-    mix(h, static_cast<std::uint64_t>(reset->drain));
-    mix(h, static_cast<std::uint64_t>(reset->sole_participant));
-    for (const auto& name : reset->command.remove) mix_string(h, name);
-    for (const auto& name : reset->command.add) mix_string(h, name);
-  } else if (dynamic_cast<const proto::ResetDoneMsg*>(message.get()) != nullptr) {
-    mix(h, 2);
-  } else if (dynamic_cast<const proto::AdaptDoneMsg*>(message.get()) != nullptr) {
-    mix(h, 3);
-  } else if (dynamic_cast<const proto::ResumeMsg*>(message.get()) != nullptr) {
-    mix(h, 4);
-  } else if (dynamic_cast<const proto::ResumeDoneMsg*>(message.get()) != nullptr) {
-    mix(h, 5);
-  } else if (dynamic_cast<const proto::RollbackMsg*>(message.get()) != nullptr) {
-    mix(h, 6);
-  } else if (dynamic_cast<const proto::RollbackDoneMsg*>(message.get()) != nullptr) {
-    mix(h, 7);
+  switch (proto_msg->kind()) {
+    case proto::MsgKind::Reset: {
+      const auto& reset = static_cast<const proto::ResetMsg&>(*proto_msg);
+      mix(h, 1);
+      mix(h, static_cast<std::uint64_t>(reset.drain));
+      mix(h, static_cast<std::uint64_t>(reset.sole_participant));
+      for (const auto& name : reset.command.remove) mix_string(h, name);
+      for (const auto& name : reset.command.add) mix_string(h, name);
+      break;
+    }
+    case proto::MsgKind::ResetDone: mix(h, 2); break;
+    case proto::MsgKind::AdaptDone: mix(h, 3); break;
+    case proto::MsgKind::Resume: mix(h, 4); break;
+    case proto::MsgKind::ResumeDone: mix(h, 5); break;
+    case proto::MsgKind::Rollback: mix(h, 6); break;
+    case proto::MsgKind::RollbackDone: mix(h, 7); break;
   }
   return h;
 }
@@ -66,12 +64,6 @@ const char* to_string(Choice::Kind kind) {
   return "?";
 }
 
-bool Model::StepKey::operator<(const StepKey& other) const {
-  return std::tuple(ref.request_id, ref.plan, ref.step_index, ref.attempt) <
-         std::tuple(other.ref.request_id, other.ref.plan, other.ref.step_index,
-                    other.ref.attempt);
-}
-
 Model::Model(const Scenario& scenario, Limits limits, proto::ManagerFault fault)
     : scenario_(&scenario), limits_(limits),
       manager_(*scenario.invariants, *scenario.actions, *scenario.planner,
@@ -79,14 +71,29 @@ Model::Model(const Scenario& scenario, Limits limits, proto::ManagerFault fault)
       drops_left_(limits.drop_budget), dups_left_(limits.dup_budget) {
   manager_.inject_fault(fault);
   manager_.set_current_configuration(scenario.source);
-  for (const auto& [process, stage] : scenario.stages) {
+  agents_.reserve(scenario.stages.size());
+  for (const auto& [process, stage] : scenario.stages) {  // std::map: ascending
+    if (process >= 64) {
+      throw std::invalid_argument("Model: process ids must be < 64 (bitmask bookkeeping)");
+    }
     manager_.register_agent(process, stage);
-    agents_.emplace(process, AgentEntity(scenario.agent_config));
+    agents_.emplace_back(process, AgentEntity(scenario.agent_config));
   }
 }
 
+Model::AgentEntity& Model::agent_at(config::ProcessId process) {
+  for (auto& [id, entity] : agents_) {
+    if (id == process) return entity;
+  }
+  throw std::out_of_range("Model: unknown process " + std::to_string(process));
+}
+
+const Model::AgentEntity& Model::agent_at(config::ProcessId process) const {
+  return const_cast<Model*>(this)->agent_at(process);
+}
+
 void Model::set_fail_to_reset(config::ProcessId process, bool fail) {
-  agents_.at(process).core.set_fail_to_reset(fail);
+  agent_at(process).core.set_fail_to_reset(fail);
 }
 
 void Model::start() {
@@ -107,19 +114,24 @@ bool Model::deliverable(const InFlight& m) const {
 
 std::vector<Choice> Model::choices() const {
   std::vector<Choice> result;
+  choices(result);
+  return result;
+}
+
+void Model::choices(std::vector<Choice>& out) const {
+  out.clear();
   for (const InFlight& m : in_flight_) {
     if (!deliverable(m)) continue;
-    result.push_back(Choice{Choice::Kind::Deliver, m.seq});
-    if (drops_left_ > 0) result.push_back(Choice{Choice::Kind::Drop, m.seq});
-    if (dups_left_ > 0) result.push_back(Choice{Choice::Kind::Duplicate, m.seq});
+    out.push_back(Choice{Choice::Kind::Deliver, m.seq});
+    if (drops_left_ > 0) out.push_back(Choice{Choice::Kind::Drop, m.seq});
+    if (dups_left_ > 0) out.push_back(Choice{Choice::Kind::Duplicate, m.seq});
   }
-  auto add_timer = [&result](const TimerSlot& slot) {
-    if (slot.armed) result.push_back(Choice{Choice::Kind::Fire, slot.seq});
+  auto add_timer = [&out](const TimerSlot& slot) {
+    if (slot.armed) out.push_back(Choice{Choice::Kind::Fire, slot.seq});
   };
   add_timer(mgr_protocol_);
   add_timer(mgr_stage_);
   for (const auto& [process, entity] : agents_) add_timer(entity.timer);
-  return result;
 }
 
 std::optional<Choice> Model::sim_choice() const {
@@ -192,7 +204,7 @@ bool Model::apply(const Choice& choice) {
     case Choice::Kind::Duplicate: {
       if (dups_left_ <= 0) return false;
       --dups_left_;
-      InFlight copy = *it;  // shares the immutable message payload
+      InFlight copy = *it;  // shares the immutable message payload (and its hash)
       copy.seq = next_seq_++;
       copy.deliver_at = now_ + scenario_->latency;
       in_flight_.push_back(std::move(copy));
@@ -210,56 +222,69 @@ void Model::deliver(const InFlight& m) {
         proto::ManagerInput{now_, proto::ManagerInput::MessageDelivered{m.agent, m.message}}));
   } else {
     apply_agent_outputs(m.agent,
-                        agents_.at(m.agent).core.step(proto::AgentInput{
+                        agent_at(m.agent).core.step(proto::AgentInput{
                             now_, proto::AgentInput::MessageDelivered{m.message}}));
   }
+}
+
+Model::StepBook& Model::book_for(const proto::StepRef& ref) {
+  // Newest-first: nearly every lookup targets the current step attempt.
+  for (std::size_t i = books_.size(); i > 0; --i) {
+    if (books_[i - 1].ref == ref) return books_[i - 1];
+  }
+  StepBook& book = books_.emplace_back();
+  book.ref = ref;
+  return book;
 }
 
 void Model::check_manager_send(config::ProcessId to, const runtime::MessagePtr& message) {
   const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
   if (proto_msg == nullptr) return;
-  const StepKey key{proto_msg->step};
-  if (dynamic_cast<const proto::ResetMsg*>(message.get()) != nullptr) {
-    reset_sent_[key].insert(to);
-    return;
-  }
-  if (dynamic_cast<const proto::ResumeMsg*>(message.get()) != nullptr) {
-    // Each check fires once — per destination / per step — so retransmission
-    // rounds don't repeat an already-reported violation.
-    if (resume_sent_to_[key].insert(to).second && reset_sent_[key].count(to) == 0) {
-      violation("resume for step " + proto_msg->step.describe() + " sent to process " +
-                std::to_string(to) + " before its reset (§4.3)");
-    }
-    if (resume_sent_steps_.insert(key).second) {
-      const auto& delivered = adapt_delivered_[key];
-      for (const config::ProcessId process : reset_sent_[key]) {
-        if (delivered.count(process) == 0) {
-          violation("resume for step " + proto_msg->step.describe() +
-                    " sent before adapt done from process " + std::to_string(process) +
-                    " was delivered (§4.3 global safe state)");
+  switch (proto_msg->kind()) {
+    case proto::MsgKind::Reset:
+      book_for(proto_msg->step).reset_sent.insert(to);
+      return;
+    case proto::MsgKind::Resume: {
+      StepBook& book = book_for(proto_msg->step);
+      // Each check fires once — per destination / per step — so retransmission
+      // rounds don't repeat an already-reported violation.
+      if (book.resume_sent_to.insert(to) && !book.reset_sent.contains(to)) {
+        violation("resume for step " + proto_msg->step.describe() + " sent to process " +
+                  std::to_string(to) + " before its reset (§4.3)");
+      }
+      if (!book.resume_announced) {
+        book.resume_announced = true;
+        for (const config::ProcessId process : book.reset_sent) {
+          if (!book.adapt_delivered.contains(process)) {
+            violation("resume for step " + proto_msg->step.describe() +
+                      " sent before adapt done from process " + std::to_string(process) +
+                      " was delivered (§4.3 global safe state)");
+          }
         }
       }
+      return;
     }
-    return;
-  }
-  if (dynamic_cast<const proto::RollbackMsg*>(message.get()) != nullptr) {
-    if (rollback_sent_to_[key].insert(to).second &&
-        resume_sent_steps_.count(key) != 0) {
-      violation("rollback for step " + proto_msg->step.describe() +
-                " sent after its resume (§4.4 run-to-completion)");
+    case proto::MsgKind::Rollback: {
+      StepBook& book = book_for(proto_msg->step);
+      if (book.rollback_sent_to.insert(to) && book.resume_announced) {
+        violation("rollback for step " + proto_msg->step.describe() +
+                  " sent after its resume (§4.4 run-to-completion)");
+      }
+      return;
     }
+    default:
+      return;
   }
 }
 
 void Model::note_manager_delivery(config::ProcessId from, const runtime::MessagePtr& message) {
   const auto* proto_msg = dynamic_cast<const proto::ProtoMessage*>(message.get());
   if (proto_msg == nullptr) return;
-  const StepKey key{proto_msg->step};
   // A resume done subsumes the adapt done it implies (the manager treats it
   // as both acknowledgements when the adapt done itself was lost).
-  if (dynamic_cast<const proto::AdaptDoneMsg*>(message.get()) != nullptr ||
-      dynamic_cast<const proto::ResumeDoneMsg*>(message.get()) != nullptr) {
-    adapt_delivered_[key].insert(from);
+  if (proto_msg->kind() == proto::MsgKind::AdaptDone ||
+      proto_msg->kind() == proto::MsgKind::ResumeDone) {
+    book_for(proto_msg->step).adapt_delivered.insert(from);
   }
 }
 
@@ -269,7 +294,8 @@ void Model::apply_manager_outputs(const std::vector<proto::Output>& outputs) {
       case proto::OutputKind::Send:
         check_manager_send(out.process, out.message);
         in_flight_.push_back(InFlight{false, out.process, out.message, next_seq_++,
-                                      now_ + scenario_->latency});
+                                      now_ + scenario_->latency,
+                                      message_fingerprint(out.message)});
         break;
       case proto::OutputKind::ArmTimer: {
         TimerSlot& slot =
@@ -283,8 +309,10 @@ void Model::apply_manager_outputs(const std::vector<proto::Output>& outputs) {
         (out.timer == proto::ManagerTimer::Protocol ? mgr_protocol_ : mgr_stage_).armed = false;
         break;
       case proto::OutputKind::Transition:
-        transitions_.push_back(TransitionRec{"manager", std::string(to_string(out.phase_from)),
-                                             std::string(to_string(out.phase_to))});
+        if (record_transitions_) {
+          transitions_.push_back(TransitionRec{"manager", std::string(to_string(out.phase_from)),
+                                               std::string(to_string(out.phase_to))});
+        }
         break;
       case proto::OutputKind::StepCommitted:
         if (!scenario_->invariants->satisfied(out.config)) {
@@ -314,17 +342,18 @@ void Model::apply_manager_outputs(const std::vector<proto::Output>& outputs) {
 
 void Model::dispatch_agent_local(config::ProcessId process, proto::AgentLocalEvent event) {
   apply_agent_outputs(process,
-                      agents_.at(process).core.step(proto::AgentInput{now_, event}));
+                      agent_at(process).core.step(proto::AgentInput{now_, event}));
 }
 
 void Model::apply_agent_outputs(config::ProcessId process,
                                 const std::vector<proto::Output>& outputs) {
-  AgentEntity& entity = agents_.at(process);
+  AgentEntity& entity = agent_at(process);
   for (const proto::Output& out : outputs) {
     switch (out.kind) {
       case proto::OutputKind::Send:
         in_flight_.push_back(
-            InFlight{true, process, out.message, next_seq_++, now_ + scenario_->latency});
+            InFlight{true, process, out.message, next_seq_++, now_ + scenario_->latency,
+                     message_fingerprint(out.message)});
         break;
       case proto::OutputKind::ArmTimer:
         entity.timer.armed = true;
@@ -335,9 +364,11 @@ void Model::apply_agent_outputs(config::ProcessId process,
         entity.timer.armed = false;
         break;
       case proto::OutputKind::Transition:
-        transitions_.push_back(TransitionRec{"agent" + std::to_string(process),
-                                             std::string(to_string(out.state_from)),
-                                             std::string(to_string(out.state_to))});
+        if (record_transitions_) {
+          transitions_.push_back(TransitionRec{"agent" + std::to_string(process),
+                                               std::string(to_string(out.state_from)),
+                                               std::string(to_string(out.state_to))});
+        }
         break;
       case proto::OutputKind::ProcessPrepare:
         dispatch_agent_local(process, proto::AgentLocalEvent::PrepareSucceeded);
@@ -408,7 +439,7 @@ std::uint64_t Model::fingerprint() const {
   for (const InFlight& m : in_flight_) {
     mix(h, m.to_manager);
     mix(h, m.agent);
-    mix(h, message_fingerprint(m.message));
+    mix(h, m.msg_fp);
   }
   mix(h, static_cast<std::uint64_t>(drops_left_));
   mix(h, static_cast<std::uint64_t>(dups_left_));

@@ -28,10 +28,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/scenario.hpp"
@@ -39,6 +38,8 @@
 #include "proto/core/io.hpp"
 #include "proto/core/manager_core.hpp"
 #include "proto/messages.hpp"
+#include "util/bitset64.hpp"
+#include "util/small_vector.hpp"
 
 namespace sa::check {
 
@@ -81,7 +82,9 @@ class Model {
   };
 
   /// `scenario` must outlive the model (and all copies); the cores keep
-  /// pointers into its analysis data.
+  /// pointers into its analysis data. Throws std::invalid_argument if the
+  /// scenario uses a process id >= 64 (the property bookkeeping is
+  /// bitmask-backed).
   Model(const Scenario& scenario, Limits limits,
         proto::ManagerFault fault = proto::ManagerFault::None);
 
@@ -94,6 +97,11 @@ class Model {
 
   /// Enabled choices at this state, in deterministic order.
   std::vector<Choice> choices() const;
+
+  /// Allocation-lean variant: clears and refills `out`. The explorer calls
+  /// this once per expanded state with a per-worker scratch buffer, so the
+  /// hot loop does not allocate a fresh vector per state.
+  void choices(std::vector<Choice>& out) const;
 
   /// The choice the deterministic simulator would take: the enabled
   /// deliver/fire event with the smallest (due time, creation seq) — drops
@@ -114,6 +122,11 @@ class Model {
   runtime::Time now() const { return now_; }
   std::size_t messages_in_flight() const { return in_flight_.size(); }
 
+  /// Transition records exist for replay/conformance comparisons; the
+  /// explorer turns them off, because copying a growing vector of strings at
+  /// every fork dominated fork cost. Default on.
+  void set_record_transitions(bool record) { record_transitions_ = record; }
+
   /// Hash of all protocol-relevant state: both cores, process blocked flags,
   /// channel contents, armed timers, and remaining adversary budgets.
   /// Timestamps are deliberately excluded — the cores' control flow never
@@ -127,6 +140,10 @@ class Model {
     runtime::MessagePtr message;
     std::uint64_t seq = 0;
     runtime::Time deliver_at = 0;
+    /// Structural hash of `message`, computed once when the message enters
+    /// the network. fingerprint() runs at every explored state and used to
+    /// re-derive this through a dynamic_cast chain per in-flight message.
+    std::uint64_t msg_fp = 0;
   };
 
   struct TimerSlot {
@@ -142,6 +159,8 @@ class Model {
     explicit AgentEntity(proto::AgentConfig config) : core(config) {}
   };
 
+  AgentEntity& agent_at(config::ProcessId process);
+  const AgentEntity& agent_at(config::ProcessId process) const;
   bool deliverable(const InFlight& m) const;
   void deliver(const InFlight& m);
   void apply_manager_outputs(const std::vector<proto::Output>& outputs);
@@ -157,24 +176,32 @@ class Model {
   proto::ManagerCore manager_;
   TimerSlot mgr_protocol_;
   TimerSlot mgr_stage_;
-  std::map<config::ProcessId, AgentEntity> agents_;
+  /// Sorted by process id. Flat (not a std::map) because the explorer copies
+  /// the whole model at every fork; lookups are linear over a handful of
+  /// agents.
+  std::vector<std::pair<config::ProcessId, AgentEntity>> agents_;
 
-  std::vector<InFlight> in_flight_;  ///< ascending seq (push order)
+  util::SmallVector<InFlight, 8> in_flight_;  ///< ascending seq (push order)
   runtime::Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   int drops_left_ = 0;
   int dups_left_ = 0;
+  bool record_transitions_ = true;
 
   // --- property bookkeeping (P2/P3), keyed by exact step attempt ------------
-  struct StepKey {
+  // One flat record per step attempt instead of five StepKey-keyed node-based
+  // maps: a run touches a bounded handful of step attempts, and the explorer
+  // copies this bookkeeping at every fork.
+  struct StepBook {
     proto::StepRef ref;
-    bool operator<(const StepKey& other) const;
+    util::IdSet64 reset_sent;
+    util::IdSet64 adapt_delivered;  ///< adapt done (or subsuming resume done)
+    util::IdSet64 resume_sent_to;
+    util::IdSet64 rollback_sent_to;
+    bool resume_announced = false;  ///< a resume for this step went out
   };
-  std::map<StepKey, std::set<config::ProcessId>> reset_sent_;
-  std::map<StepKey, std::set<config::ProcessId>> adapt_delivered_;
-  std::map<StepKey, std::set<config::ProcessId>> resume_sent_to_;
-  std::map<StepKey, std::set<config::ProcessId>> rollback_sent_to_;
-  std::set<StepKey> resume_sent_steps_;
+  StepBook& book_for(const proto::StepRef& ref);
+  util::SmallVector<StepBook, 4> books_;
 
   std::vector<Violation> violations_;
   std::optional<proto::AdaptationResult> outcome_;

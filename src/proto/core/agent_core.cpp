@@ -74,6 +74,9 @@ void AgentCore::note_duplicate(const char* type) {
 
 std::vector<Output> AgentCore::step(const AgentInput& input) {
   out_.clear();
+  // out_ leaves by move every step, so it re-starts with zero capacity; one
+  // up-front block avoids a realloc cascade of ~300-byte Outputs per input.
+  out_.reserve(8);
   now_ = input.now;
   if (const auto* msg = std::get_if<AgentInput::MessageDelivered>(&input.event)) {
     on_message(msg->message);
@@ -86,14 +89,21 @@ std::vector<Output> AgentCore::step(const AgentInput& input) {
 }
 
 void AgentCore::on_message(const runtime::MessagePtr& message) {
-  if (const auto* reset = dynamic_cast<const ResetMsg*>(message.get())) {
-    on_reset(*reset);
-  } else if (const auto* resume = dynamic_cast<const ResumeMsg*>(message.get())) {
-    on_resume(*resume);
-  } else if (const auto* rollback = dynamic_cast<const RollbackMsg*>(message.get())) {
-    on_rollback(*rollback);
+  const auto* proto = dynamic_cast<const ProtoMessage*>(message.get());
+  if (proto == nullptr) return;  // non-protocol traffic is the driver's business
+  switch (proto->kind()) {
+    case MsgKind::Reset:
+      on_reset(static_cast<const ResetMsg&>(*proto));
+      break;
+    case MsgKind::Resume:
+      on_resume(static_cast<const ResumeMsg&>(*proto));
+      break;
+    case MsgKind::Rollback:
+      on_rollback(static_cast<const RollbackMsg&>(*proto));
+      break;
+    default:
+      break;  // agent-bound traffic only; the driver logs anything else
   }
-  // Unknown message types are the driver's business (it logs a warning).
 }
 
 void AgentCore::on_reset(const ResetMsg& msg) {

@@ -1,5 +1,6 @@
 #include "proto/core/manager_core.hpp"
 
+#include <algorithm>
 #include <climits>
 #include <stdexcept>
 
@@ -22,6 +23,31 @@ ManagerCore::ManagerCore(const config::InvariantSet& invariants,
                          ManagerConfig config)
     : invariants_(&invariants), table_(&table), planner_(&planner), config_(config) {}
 
+void ManagerCore::register_agent(config::ProcessId process, int stage) {
+  const auto it = std::lower_bound(
+      stages_.begin(), stages_.end(), process,
+      [](const auto& entry, config::ProcessId p) { return entry.first < p; });
+  if (it != stages_.end() && it->first == process) {
+    it->second = stage;
+  } else {
+    stages_.insert(it, {process, stage});
+  }
+}
+
+int ManagerCore::stage_of(config::ProcessId process) const {
+  for (const auto& [p, stage] : stages_) {
+    if (p == process) return stage;
+  }
+  throw std::logic_error("no agent registered for process " + std::to_string(process));
+}
+
+bool ManagerCore::has_agent(config::ProcessId process) const {
+  for (const auto& [p, stage] : stages_) {
+    if (p == process) return true;
+  }
+  return false;
+}
+
 Output& ManagerCore::emit(OutputKind kind) {
   Output& out = out_.emplace_back();
   out.kind = kind;
@@ -32,6 +58,9 @@ Output& ManagerCore::emit(OutputKind kind) {
 
 std::vector<Output> ManagerCore::step(const ManagerInput& input) {
   out_.clear();
+  // out_ leaves by move every step, so it re-starts with zero capacity; one
+  // up-front block avoids a realloc cascade of ~300-byte Outputs per input.
+  out_.reserve(8);
   now_ = input.now;
   if (const auto* cmd = std::get_if<ManagerInput::AdaptCommand>(&input.event)) {
     if (busy()) throw std::logic_error("adaptation request while another is in flight");
@@ -156,7 +185,7 @@ void ManagerCore::execute_current_step() {
 
   involved_ = action.affected_processes(registry, registry.size());
   for (const config::ProcessId process : involved_) {
-    if (!stages_.contains(process)) {
+    if (!has_agent(process)) {
       throw std::logic_error("no agent registered for process " + std::to_string(process));
     }
   }
@@ -164,15 +193,15 @@ void ManagerCore::execute_current_step() {
   // beyond the step's minimum involved stage drain their input queues so the
   // global safe condition (receivers processed everything senders emitted)
   // holds before any in-action.
-  min_stage_ = stages_.at(involved_.front());
+  min_stage_ = stage_of(involved_.front());
   int max_stage = min_stage_;
   for (const config::ProcessId process : involved_) {
-    min_stage_ = std::min(min_stage_, stages_.at(process));
-    max_stage = std::max(max_stage, stages_.at(process));
+    min_stage_ = std::min(min_stage_, stage_of(process));
+    max_stage = std::max(max_stage, stage_of(process));
   }
-  drain_flag_.clear();
+  drain_set_.clear();
   for (const config::ProcessId process : involved_) {
-    drain_flag_[process] = max_stage > min_stage_ && stages_.at(process) > min_stage_;
+    if (max_stage > min_stage_ && stage_of(process) > min_stage_) drain_set_.insert(process);
   }
 
   reset_acked_.clear();
@@ -195,11 +224,11 @@ void ManagerCore::execute_current_step() {
 
 void ManagerCore::send_stage_resets(int stage) {
   for (const config::ProcessId process : involved_) {
-    if (stages_.at(process) != stage) continue;
+    if (stage_of(process) != stage) continue;
     auto msg = std::make_shared<ResetMsg>();
     msg->step = current_ref();
     msg->command = command_for(process);
-    msg->drain = drain_flag_.at(process);
+    msg->drain = drain_set_.contains(process);
     msg->sole_participant = involved_.size() == 1;
     send(process, std::move(msg));
   }
@@ -208,12 +237,12 @@ void ManagerCore::send_stage_resets(int stage) {
 void ManagerCore::maybe_advance_stage() {
   // All resets of stages <= current acknowledged?
   for (const config::ProcessId process : involved_) {
-    if (stages_.at(process) <= current_stage_ && !reset_acked_.contains(process)) return;
+    if (stage_of(process) <= current_stage_ && !reset_acked_.contains(process)) return;
   }
   // Find the next involved stage.
   int next_stage = INT_MAX;
   for (const config::ProcessId process : involved_) {
-    const int stage = stages_.at(process);
+    const int stage = stage_of(process);
     if (stage > current_stage_) next_stage = std::min(next_stage, stage);
   }
   if (next_stage == INT_MAX) return;  // no further stages
@@ -232,20 +261,27 @@ void ManagerCore::handle_message(config::ProcessId from, const runtime::MessageP
   const auto* proto = dynamic_cast<const ProtoMessage*>(message.get());
   if (!proto) return;  // the driver warns about non-protocol traffic
   if (!(proto->step == current_ref())) return;  // stale step attempt
-  if (dynamic_cast<const ResetDoneMsg*>(proto) != nullptr) {
-    on_reset_done(from);
-  } else if (dynamic_cast<const AdaptDoneMsg*>(proto) != nullptr) {
-    on_adapt_done(from);
-  } else if (const auto* m = dynamic_cast<const ResumeDoneMsg*>(proto)) {
-    on_resume_done(from, *m);
-  } else if (dynamic_cast<const RollbackDoneMsg*>(proto) != nullptr) {
-    on_rollback_done(from);
+  switch (proto->kind()) {
+    case MsgKind::ResetDone:
+      on_reset_done(from);
+      break;
+    case MsgKind::AdaptDone:
+      on_adapt_done(from);
+      break;
+    case MsgKind::ResumeDone:
+      on_resume_done(from, static_cast<const ResumeDoneMsg&>(*proto));
+      break;
+    case MsgKind::RollbackDone:
+      on_rollback_done(from);
+      break;
+    default:
+      break;  // manager-bound traffic only; the driver logs anything else
   }
 }
 
 void ManagerCore::on_reset_done(config::ProcessId process) {
   if (phase_ != ManagerPhase::Adapting) return;
-  if (reset_acked_.insert(process).second) {
+  if (reset_acked_.insert(process)) {
     Output& out = emit(OutputKind::ResetAcked);
     out.process = process;
   }
@@ -302,7 +338,7 @@ void ManagerCore::on_resume_done(config::ProcessId process, const ResumeDoneMsg&
     return;
   }
   if (phase_ != ManagerPhase::Resuming) return;
-  if (resume_acked_.insert(process).second) {
+  if (resume_acked_.insert(process)) {
     Output& blocked = emit(OutputKind::BlockedObserved);
     blocked.process = process;
     blocked.blocked = msg.blocked_for;
@@ -332,8 +368,7 @@ void ManagerCore::commit_step() {
 }
 
 template <typename Msg>
-void ManagerCore::retransmit_unacked(const char* phase_label,
-                                     const std::set<config::ProcessId>& acked,
+void ManagerCore::retransmit_unacked(const char* phase_label, const util::IdSet64& acked,
                                      runtime::Time timeout, const char* timer_label) {
   --retries_left_;
   ++result_.message_retries;
@@ -360,12 +395,18 @@ void ManagerCore::on_timeout(ManagerTimer /*timer*/) {
         note.label = "adapting";
         // Retransmit resets to every triggered stage with an agent that has
         // not yet finished its in-action; agents re-acknowledge idempotently.
-        std::set<int> stages_to_resend;
+        // Stages of involved processes are the registration stages, small
+        // non-negative ints in practice — collect ascending and dedup flat.
+        std::vector<int> stages_to_resend;
         for (const config::ProcessId process : involved_) {
-          if (stages_.at(process) <= current_stage_ && !adapt_acked_.contains(process)) {
-            stages_to_resend.insert(stages_.at(process));
+          const int stage = stage_of(process);
+          if (stage <= current_stage_ && !adapt_acked_.contains(process)) {
+            stages_to_resend.push_back(stage);
           }
         }
+        std::sort(stages_to_resend.begin(), stages_to_resend.end());
+        stages_to_resend.erase(std::unique(stages_to_resend.begin(), stages_to_resend.end()),
+                               stages_to_resend.end());
         for (const int stage : stages_to_resend) send_stage_resets(stage);
         maybe_advance_stage();
         arm_timer(config_.reset_timeout, "reset-timeout");
@@ -510,16 +551,14 @@ void ManagerCore::fingerprint(std::uint64_t& h) const {
     mix(h, s.to.bits());
   }
   for (const config::ProcessId p : involved_) mix(h, p);
-  for (const auto& [p, drain] : drain_flag_) {
-    mix(h, p);
-    mix(h, drain ? 1 : 0);
-  }
+  mix(h, drain_set_.mask());
   mix(h, static_cast<std::uint64_t>(current_stage_));
   mix(h, static_cast<std::uint64_t>(min_stage_));
-  for (const config::ProcessId p : reset_acked_) mix(h, p + 11);
-  for (const config::ProcessId p : adapt_acked_) mix(h, p + 31);
-  for (const config::ProcessId p : resume_acked_) mix(h, p + 53);
-  for (const config::ProcessId p : rollback_acked_) mix(h, p + 71);
+  // Bitmask sets hash in O(1): the mask is the canonical set value.
+  mix(h, reset_acked_.mask());
+  mix(h, adapt_acked_.mask());
+  mix(h, resume_acked_.mask());
+  mix(h, rollback_acked_.mask());
   mix(h, resume_sent_ ? 1 : 0);
   mix(h, static_cast<std::uint64_t>(retries_left_));
   mix(h, protocol_timer_armed_ ? 1 : 0);

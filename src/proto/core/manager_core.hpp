@@ -14,9 +14,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "actions/planner.hpp"
@@ -24,6 +23,7 @@
 #include "proto/core/io.hpp"
 #include "proto/core/states.hpp"
 #include "proto/messages.hpp"
+#include "util/bitset64.hpp"
 
 namespace sa::proto {
 
@@ -63,7 +63,7 @@ class ManagerCore {
   ManagerCore(const config::InvariantSet& invariants, const actions::ActionTable& table,
               const actions::PathPlanner& planner, ManagerConfig config);
 
-  void register_agent(config::ProcessId process, int stage) { stages_[process] = stage; }
+  void register_agent(config::ProcessId process, int stage);
 
   void set_current_configuration(config::Configuration config) { current_ = config; }
   const config::Configuration& current_configuration() const { return current_; }
@@ -83,8 +83,8 @@ class ManagerCore {
 
   // --- introspection for the explorer and tests -----------------------------
   const std::vector<config::ProcessId>& involved() const { return involved_; }
-  const std::set<config::ProcessId>& adapt_acked() const { return adapt_acked_; }
-  const std::set<config::ProcessId>& resume_acked() const { return resume_acked_; }
+  const util::IdSet64& adapt_acked() const { return adapt_acked_; }
+  const util::IdSet64& resume_acked() const { return resume_acked_; }
   bool resume_sent() const { return resume_sent_; }
 
   /// Mixes all protocol-relevant state (not timestamps) into `h` — the
@@ -114,7 +114,7 @@ class ManagerCore {
   /// Shared timeout arm for the resuming/rolling-back phases: re-send
   /// `make_message()` to every process not yet in `acked`, re-arm `timeout`.
   template <typename Msg>
-  void retransmit_unacked(const char* phase_label, const std::set<config::ProcessId>& acked,
+  void retransmit_unacked(const char* phase_label, const util::IdSet64& acked,
                           runtime::Time timeout, const char* timer_label);
   void begin_rollback();
   void step_failed_after_rollback();
@@ -123,6 +123,8 @@ class ManagerCore {
   std::size_t adapt_quorum() const;  ///< acks needed before resume (fault hook)
 
   LocalCommand command_for(config::ProcessId process) const;
+  int stage_of(config::ProcessId process) const;  ///< throws if unregistered
+  bool has_agent(config::ProcessId process) const;
   void send(config::ProcessId to, runtime::MessagePtr message);
   void set_phase(ManagerPhase next);
   void arm_timer(runtime::Time timeout, const char* label);
@@ -135,7 +137,11 @@ class ManagerCore {
   ManagerConfig config_;
   ManagerFault fault_ = ManagerFault::None;
 
-  std::map<config::ProcessId, int> stages_;
+  /// Agent topology, sorted by process id. Flat (not a std::map) because the
+  /// explorer copies the core at every fork: copying this is one allocation
+  /// and a memcpy instead of a node allocation per agent. Lookups are linear
+  /// — the involved set of a step is a handful of processes.
+  std::vector<std::pair<config::ProcessId, int>> stages_;
   config::Configuration current_;
 
   // --- in-flight request state ---
@@ -154,15 +160,16 @@ class ManagerCore {
   std::size_t step_index_ = 0;
   std::uint32_t step_attempt_ = 0;
 
-  // per-step bookkeeping
+  // per-step bookkeeping (bitmask sets: copied by value at every explorer
+  // fork, so a std::set node allocation per member would dominate fork cost)
   std::vector<config::ProcessId> involved_;
-  std::map<config::ProcessId, bool> drain_flag_;
+  util::IdSet64 drain_set_;  ///< involved processes that drain before blocking
   int min_stage_ = 0;
   int current_stage_ = 0;
-  std::set<config::ProcessId> reset_acked_;
-  std::set<config::ProcessId> adapt_acked_;
-  std::set<config::ProcessId> resume_acked_;
-  std::set<config::ProcessId> rollback_acked_;
+  util::IdSet64 reset_acked_;
+  util::IdSet64 adapt_acked_;
+  util::IdSet64 resume_acked_;
+  util::IdSet64 rollback_acked_;
   bool resume_sent_ = false;
   int retries_left_ = 0;
 

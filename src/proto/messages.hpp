@@ -43,8 +43,24 @@ struct StepRef {
   std::string describe() const;
 };
 
+/// Closed enumeration of the protocol message types. Receivers on hot paths
+/// (the cores' dispatch, the explorer's per-state fingerprint) switch on this
+/// tag instead of walking a dynamic_cast chain; dynamic_cast is still used
+/// once at the runtime::Message -> ProtoMessage boundary, where non-protocol
+/// traffic is possible.
+enum class MsgKind : std::uint8_t {
+  Reset,
+  ResetDone,
+  AdaptDone,
+  Resume,
+  ResumeDone,
+  Rollback,
+  RollbackDone,
+};
+
 struct ProtoMessage : runtime::Message {
   StepRef step;
+  virtual MsgKind kind() const = 0;
 };
 
 /// manager -> agent: reach your safe state, then perform `command`.
@@ -53,37 +69,44 @@ struct ResetMsg final : ProtoMessage {
   bool drain = false;             ///< also satisfy the global safe condition
   bool sole_participant = false;  ///< Fig. 1: may resume without waiting
   std::string type_name() const override { return "reset"; }
+  MsgKind kind() const override { return MsgKind::Reset; }
 };
 
 /// agent -> manager: safe state reached, process blocked.
 struct ResetDoneMsg final : ProtoMessage {
   std::string type_name() const override { return "reset done"; }
+  MsgKind kind() const override { return MsgKind::ResetDone; }
 };
 
 /// agent -> manager: local in-action complete.
 struct AdaptDoneMsg final : ProtoMessage {
   std::string type_name() const override { return "adapt done"; }
+  MsgKind kind() const override { return MsgKind::AdaptDone; }
 };
 
 /// manager -> agent: all in-actions complete; resume full operation.
 struct ResumeMsg final : ProtoMessage {
   std::string type_name() const override { return "resume"; }
+  MsgKind kind() const override { return MsgKind::Resume; }
 };
 
 /// agent -> manager: full operation resumed.
 struct ResumeDoneMsg final : ProtoMessage {
   runtime::Time blocked_for = 0;  ///< how long the process was blocked (metrics)
   std::string type_name() const override { return "resume done"; }
+  MsgKind kind() const override { return MsgKind::ResumeDone; }
 };
 
 /// manager -> agent: abort the step; undo any in-action and resume.
 struct RollbackMsg final : ProtoMessage {
   std::string type_name() const override { return "rollback"; }
+  MsgKind kind() const override { return MsgKind::Rollback; }
 };
 
 /// agent -> manager: rollback complete, process back to pre-step state.
 struct RollbackDoneMsg final : ProtoMessage {
   std::string type_name() const override { return "rollback done"; }
+  MsgKind kind() const override { return MsgKind::RollbackDone; }
 };
 
 }  // namespace sa::proto

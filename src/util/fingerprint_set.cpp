@@ -1,0 +1,102 @@
+#include "util/fingerprint_set.hpp"
+
+namespace sa::util {
+
+namespace {
+
+constexpr std::uint64_t kZeroSentinel = 0x9e3779b97f4a7c15ULL;
+constexpr std::size_t kMinCapacity = 64;
+/// Eager pre-reservation cap: 2^22 slots = 32 MiB across all shards. A
+/// --max-states budget above this still works, the table just doubles on
+/// demand instead of being allocated up-front.
+constexpr std::size_t kMaxReserveSlots = std::size_t{1} << 22;
+
+/// Finalizing mixer (splitmix64): fingerprints are already hashes, but their
+/// low bits come from a weak xor-shift combine — spread them before masking.
+inline std::uint64_t remix(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+inline std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FingerprintSet::FingerprintSet(std::size_t expected) {
+  // Load factor <= 0.5 at the expected size keeps probe chains short.
+  std::size_t capacity = next_pow2(expected * 2);
+  if (capacity < kMinCapacity) capacity = kMinCapacity;
+  if (capacity > kMaxReserveSlots) capacity = kMaxReserveSlots;
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+}
+
+bool FingerprintSet::insert(std::uint64_t value) {
+  if (value == 0) value = kZeroSentinel;
+  if ((size_ + 1) * 4 > slots_.size() * 3) grow();  // load factor 0.75
+  std::size_t idx = static_cast<std::size_t>(remix(value)) & mask_;
+  while (true) {
+    const std::uint64_t slot = slots_[idx];
+    if (slot == value) return false;
+    if (slot == 0) {
+      slots_[idx] = value;
+      ++size_;
+      return true;
+    }
+    idx = (idx + 1) & mask_;
+  }
+}
+
+bool FingerprintSet::contains(std::uint64_t value) const {
+  if (value == 0) value = kZeroSentinel;
+  std::size_t idx = static_cast<std::size_t>(remix(value)) & mask_;
+  while (true) {
+    const std::uint64_t slot = slots_[idx];
+    if (slot == value) return true;
+    if (slot == 0) return false;
+    idx = (idx + 1) & mask_;
+  }
+}
+
+void FingerprintSet::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  mask_ = slots_.size() - 1;
+  for (const std::uint64_t value : old) {
+    if (value == 0) continue;
+    std::size_t idx = static_cast<std::size_t>(remix(value)) & mask_;
+    while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = value;
+  }
+}
+
+ShardedFingerprintSet::ShardedFingerprintSet(std::size_t expected, std::size_t shards) {
+  const std::size_t count = next_pow2(shards == 0 ? 1 : shards);
+  std::size_t log2 = 0;
+  while ((std::size_t{1} << log2) < count) ++log2;
+  shard_shift_ = 64 - log2;
+  shards_ = std::vector<Shard>(count);
+  const std::size_t per_shard = expected / count + 1;
+  for (Shard& shard : shards_) shard.set = FingerprintSet(per_shard);
+}
+
+bool ShardedFingerprintSet::insert(std::uint64_t value) {
+  // Shard index from the *remixed* top bits: the in-shard probe position uses
+  // the low bits of the same mix, so shard choice and slot stay decorrelated
+  // enough, and raw fingerprints with skewed top bits still spread evenly.
+  const std::size_t shard_idx =
+      shard_shift_ >= 64 ? 0 : static_cast<std::size_t>(remix(value) >> shard_shift_);
+  Shard& shard = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.set.insert(value)) return false;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace sa::util

@@ -1,0 +1,81 @@
+// Concurrent deduplication sets for 64-bit state fingerprints.
+//
+// The interleaving explorer inserts one fingerprint per generated state —
+// hundreds of thousands per second — and only ever asks "was this value seen
+// before?". A node-based std::unordered_set pays one allocation per insert
+// and chases a pointer per probe; these sets instead use open addressing over
+// a flat power-of-two std::uint64_t array (no per-insert allocation, one
+// cache line per probe in the common case).
+//
+//   FingerprintSet          single-threaded, used per shard
+//   ShardedFingerprintSet   N power-of-two shards, one mutex per shard, for
+//                           the parallel explorer. High bits of the mixed
+//                           fingerprint pick the shard, so a lock is only
+//                           contended when two workers insert into the same
+//                           1/Nth of the space simultaneously.
+//
+// Both sets treat the value 0 as the empty-slot sentinel: an incoming 0 is
+// remapped to a fixed non-zero constant. Fingerprints are already hashes, so
+// this adds one more (astronomically unlikely) collision to the existing
+// 64-bit birthday bound — the explorer's dedup is probabilistic either way.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sa::util {
+
+class FingerprintSet {
+ public:
+  /// Reserves capacity for `expected` values up-front (rounded up to the next
+  /// power of two over the load-factor headroom); the set still grows by
+  /// doubling if the estimate was low.
+  explicit FingerprintSet(std::size_t expected = 0);
+
+  /// True iff `value` was not present (and is now).
+  bool insert(std::uint64_t value);
+  bool contains(std::uint64_t value) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  void grow();
+
+  std::vector<std::uint64_t> slots_;  ///< power-of-two; 0 = empty
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+class ShardedFingerprintSet {
+ public:
+  /// `shards` is rounded up to a power of two (at least 1). `expected` is the
+  /// total expected value count, split evenly across shards. Capacity
+  /// pre-reservation is capped so a huge --max-states budget does not
+  /// allocate the whole budget eagerly; shards grow on demand past the cap.
+  explicit ShardedFingerprintSet(std::size_t expected, std::size_t shards);
+
+  /// True iff `value` was not present. Thread-safe.
+  bool insert(std::uint64_t value);
+
+  /// Exact once all writers are quiescent; monotonically fresh during
+  /// concurrent inserts (a relaxed atomic counter).
+  std::size_t size() const { return total_.load(std::memory_order_relaxed); }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    FingerprintSet set;
+  };
+
+  std::vector<Shard> shards_;
+  std::size_t shard_shift_ = 0;  ///< 64 - log2(shard count)
+  std::atomic<std::size_t> total_{0};
+};
+
+}  // namespace sa::util

@@ -1,0 +1,176 @@
+// Parallel search engine (src/check/engine.hpp): the verdict and the
+// dedup-invariant statistics must not depend on the worker-thread count.
+//
+// On a search that completes within its budgets every reachable state is
+// expanded exactly once no matter how frames are interleaved across workers,
+// so states_explored (edges), states_deduped, runs_completed, and the outcome
+// histogram are invariants; these tests pin them across --threads 1, 2, and 8.
+// max_depth_reached is deliberately NOT compared: which path reaches a shared
+// state first is schedule-dependent, so the depth at which the dedup cut
+// happens varies across thread counts.
+//
+// Test names contain "Parallel" so the CI ThreadSanitizer job picks them up.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "check/model.hpp"
+#include "check/scenario.hpp"
+
+namespace sa::check {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+ExploreResult run_with_threads(const Scenario& scenario, ExploreOptions options,
+                               int threads) {
+  options.threads = threads;
+  return explore_dfs(scenario, options);
+}
+
+void expect_same_invariants(const ExploreResult& reference, const ExploreResult& result,
+                            int threads) {
+  EXPECT_EQ(result.complete, reference.complete) << "threads=" << threads;
+  EXPECT_EQ(result.counterexample.has_value(), reference.counterexample.has_value())
+      << "threads=" << threads;
+  EXPECT_EQ(result.stats.states_explored, reference.stats.states_explored)
+      << "threads=" << threads;
+  EXPECT_EQ(result.stats.states_deduped, reference.stats.states_deduped)
+      << "threads=" << threads;
+  EXPECT_EQ(result.stats.runs_completed, reference.stats.runs_completed)
+      << "threads=" << threads;
+  EXPECT_EQ(result.stats.depth_capped, reference.stats.depth_capped)
+      << "threads=" << threads;
+  EXPECT_EQ(result.stats.outcomes, reference.stats.outcomes) << "threads=" << threads;
+}
+
+TEST(ParallelExplorer, TinyExhaustiveStatsInvariantAcrossThreadCounts) {
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 2'000'000;
+  const ExploreResult reference = run_with_threads(scenario, options, 1);
+  ASSERT_TRUE(reference.complete);
+  ASSERT_FALSE(reference.counterexample.has_value());
+  ASSERT_GT(reference.stats.runs_completed, 0U);
+  for (const int threads : kThreadCounts) {
+    expect_same_invariants(reference, run_with_threads(scenario, options, threads),
+                           threads);
+  }
+}
+
+TEST(ParallelExplorer, TinyWithDropBudgetStatsInvariantAcrossThreadCounts) {
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 3'000'000;
+  options.drop_budget = 1;
+  const ExploreResult reference = run_with_threads(scenario, options, 1);
+  ASSERT_TRUE(reference.complete);
+  ASSERT_FALSE(reference.counterexample.has_value());
+  for (const int threads : kThreadCounts) {
+    expect_same_invariants(reference, run_with_threads(scenario, options, threads),
+                           threads);
+  }
+}
+
+TEST(ParallelExplorer, RandomWalksBitIdenticalAcrossThreadCounts) {
+  // explore_random dispenses run indices to workers but derives each walk's
+  // RNG from (seed, run) and merges per-run deltas in run order, so the whole
+  // result — not just the invariants — must match the sequential engine.
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.drop_budget = 1;
+  options.dup_budget = 1;
+  const ExploreResult reference = explore_random(scenario, options, /*seed=*/23,
+                                                 /*runs=*/200);
+  for (const int threads : kThreadCounts) {
+    options.threads = threads;
+    const ExploreResult result = explore_random(scenario, options, /*seed=*/23,
+                                                /*runs=*/200);
+    expect_same_invariants(reference, result, threads);
+    EXPECT_EQ(result.stats.max_depth_reached, reference.stats.max_depth_reached)
+        << "threads=" << threads;
+  }
+}
+
+// --- mutations must still be caught in parallel mode -------------------------
+
+TEST(ParallelExplorer, ResumeBeforeLastAdaptDoneCaughtAtEveryThreadCount) {
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 40;
+  options.fault = proto::ManagerFault::ResumeBeforeLastAdaptDone;
+  for (const int threads : kThreadCounts) {
+    const ExploreResult result = run_with_threads(scenario, options, threads);
+    ASSERT_TRUE(result.counterexample.has_value()) << "threads=" << threads;
+    ASSERT_FALSE(result.counterexample->violations.empty()) << "threads=" << threads;
+    EXPECT_NE(result.counterexample->violations.front().find("§4.3"), std::string::npos)
+        << "threads=" << threads;
+    // Whatever schedule won the race must replay to the same violation.
+    options.threads = threads;
+    const ReplayResult replayed =
+        replay(scenario, options, result.counterexample->schedule);
+    EXPECT_TRUE(replayed.schedule_valid) << "threads=" << threads;
+    ASSERT_FALSE(replayed.violations.empty()) << "threads=" << threads;
+    EXPECT_EQ(replayed.violations.front().description,
+              result.counterexample->violations.front())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelExplorer, RollbackAfterResumeCaughtAtEveryThreadCount) {
+  Scenario scenario = make_tiny_scenario();
+  scenario.manager_config.message_retries = 0;
+  scenario.manager_config.run_to_completion_retries = 0;
+  ExploreOptions options;
+  options.max_depth = 60;
+  options.max_states = 500'000;
+  options.drop_budget = 1;
+  options.fault = proto::ManagerFault::RollbackAfterResume;
+  for (const int threads : kThreadCounts) {
+    const ExploreResult result = run_with_threads(scenario, options, threads);
+    ASSERT_TRUE(result.counterexample.has_value()) << "threads=" << threads;
+    ASSERT_FALSE(result.counterexample->violations.empty()) << "threads=" << threads;
+    EXPECT_NE(result.counterexample->violations.front().find("§4.4"), std::string::npos)
+        << "threads=" << threads;
+    options.threads = threads;
+    const ReplayResult replayed =
+        replay(scenario, options, result.counterexample->schedule);
+    EXPECT_TRUE(replayed.schedule_valid) << "threads=" << threads;
+    ASSERT_FALSE(replayed.violations.empty()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelExplorer, SequentialCounterexampleIsDeterministic) {
+  // threads == 1 uses the lock-free sequential path: two runs must produce
+  // the exact same counterexample schedule, and it must be minimal-or-equal
+  // under the engine's canonical order versus any parallel winner.
+  const Scenario scenario = make_pair_scenario();
+  ExploreOptions options;
+  options.max_depth = 40;
+  options.fault = proto::ManagerFault::ResumeBeforeLastAdaptDone;
+  const ExploreResult first = run_with_threads(scenario, options, 1);
+  const ExploreResult second = run_with_threads(scenario, options, 1);
+  ASSERT_TRUE(first.counterexample.has_value());
+  ASSERT_TRUE(second.counterexample.has_value());
+  ASSERT_EQ(first.counterexample->schedule.size(), second.counterexample->schedule.size());
+  EXPECT_EQ(first.counterexample->schedule, second.counterexample->schedule);
+  EXPECT_EQ(first.counterexample->violations, second.counterexample->violations);
+}
+
+TEST(ParallelExplorer, ZeroThreadsMeansHardwareConcurrency) {
+  // --threads 0 must run (one worker per hardware thread) and agree with the
+  // sequential invariants.
+  const Scenario scenario = make_tiny_scenario();
+  ExploreOptions options;
+  options.max_depth = 300;
+  options.max_states = 2'000'000;
+  const ExploreResult reference = run_with_threads(scenario, options, 1);
+  expect_same_invariants(reference, run_with_threads(scenario, options, 0), 0);
+}
+
+}  // namespace
+}  // namespace sa::check

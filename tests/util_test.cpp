@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "util/bitset64.hpp"
+#include "util/fingerprint_set.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/small_vector.hpp"
 #include "util/strings.hpp"
 
 namespace sa::util {
@@ -169,6 +176,164 @@ TEST(Log, SinkReceivesMessagesAtOrAboveLevel) {
 TEST(Log, LevelNames) {
   EXPECT_EQ(to_string(LogLevel::Trace), "TRACE");
   EXPECT_EQ(to_string(LogLevel::Off), "OFF");
+}
+
+// --- FingerprintSet ----------------------------------------------------------
+
+TEST(FingerprintSet, InsertReportsNovelty) {
+  FingerprintSet set;
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+}
+
+TEST(FingerprintSet, ZeroIsAStorableValue) {
+  // 0 is the internal empty-slot sentinel; the public API must still treat it
+  // as an ordinary value.
+  FingerprintSet set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 1U);
+}
+
+TEST(FingerprintSet, GrowsPastReservation) {
+  FingerprintSet set(/*expected=*/4);
+  Rng rng(99);
+  std::set<std::uint64_t> reference;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t value = rng.next_u64();
+    EXPECT_EQ(set.insert(value), reference.insert(value).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const std::uint64_t value : reference) EXPECT_TRUE(set.contains(value));
+}
+
+TEST(FingerprintSet, ReservationAvoidsEarlyGrowth) {
+  FingerprintSet set(/*expected=*/1'000);
+  const std::size_t initial = set.capacity();
+  for (std::uint64_t i = 1; i <= 1'000; ++i) set.insert(i * 0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(set.capacity(), initial);
+}
+
+TEST(ShardedFingerprintSetParallel, ConcurrentInsertsAgreeWithReference) {
+  ShardedFingerprintSet set(/*expected=*/10'000, /*shards=*/8);
+  // Every thread inserts the same value stream: exactly one insert() per
+  // value may return true no matter how the threads interleave.
+  std::vector<std::uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) values.push_back(rng.next_u64() % 10'000 + 1);
+  std::atomic<std::size_t> fresh{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&] {
+      std::size_t local = 0;
+      for (const std::uint64_t value : values) {
+        if (set.insert(value)) ++local;
+      }
+      fresh.fetch_add(local);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const std::set<std::uint64_t> reference(values.begin(), values.end());
+  EXPECT_EQ(fresh.load(), reference.size());
+  EXPECT_EQ(set.size(), reference.size());
+}
+
+TEST(ShardedFingerprintSetParallel, SingleShardStillWorks) {
+  ShardedFingerprintSet set(/*expected=*/16, /*shards=*/1);
+  EXPECT_EQ(set.shard_count(), 1U);
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(1));
+  EXPECT_EQ(set.size(), 1U);
+}
+
+TEST(ShardedFingerprintSetParallel, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedFingerprintSet set(/*expected=*/16, /*shards=*/3);
+  EXPECT_EQ(set.shard_count(), 4U);
+}
+
+// --- SmallVector -------------------------------------------------------------
+
+TEST(SmallVector, StaysInlineUpToCapacityThenSpills) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  v.push_back(4);
+  EXPECT_FALSE(v.inline_storage());
+  ASSERT_EQ(v.size(), 5U);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CopyAndMovePreserveElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("a");
+  v.push_back("b");
+  v.push_back("c");  // spilled
+
+  SmallVector<std::string, 2> copy(v);
+  ASSERT_EQ(copy.size(), 3U);
+  EXPECT_EQ(copy[2], "c");
+
+  SmallVector<std::string, 2> moved(std::move(v));
+  ASSERT_EQ(moved.size(), 3U);
+  EXPECT_EQ(moved[0], "a");
+  EXPECT_EQ(moved[2], "c");
+
+  copy = moved;
+  ASSERT_EQ(copy.size(), 3U);
+  EXPECT_EQ(copy[1], "b");
+}
+
+TEST(SmallVector, EraseShiftsTail) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  v.erase(v.begin() + 1);
+  ASSERT_EQ(v.size(), 3U);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+// --- IdSet64 -----------------------------------------------------------------
+
+TEST(IdSet64, InsertContainsAndSize) {
+  IdSet64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_TRUE(set.insert(63));
+  EXPECT_EQ(set.size(), 3U);
+  EXPECT_TRUE(set.contains(63));
+  EXPECT_FALSE(set.contains(62));
+  EXPECT_FALSE(set.contains(100));  // out of range, not UB
+}
+
+TEST(IdSet64, IteratesInAscendingOrder) {
+  IdSet64 set;
+  set.insert(9);
+  set.insert(1);
+  set.insert(40);
+  std::vector<std::uint32_t> seen;
+  for (const std::uint32_t id : set) seen.push_back(id);
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{1, 9, 40}));
+}
+
+TEST(IdSet64, EqualityIsSetEquality) {
+  IdSet64 a, b;
+  a.insert(5);
+  a.insert(6);
+  b.insert(6);
+  b.insert(5);
+  EXPECT_EQ(a, b);
+  b.insert(7);
+  EXPECT_FALSE(a == b);
 }
 
 }  // namespace

@@ -37,6 +37,7 @@ int usage(const char* argv0) {
       << "  --seed S                     base seed for random walks (default 1)\n"
       << "  --drops N                    adversary message-drop budget (default 0)\n"
       << "  --dups N                     adversary duplication budget (default 0)\n"
+      << "  --threads N                  search worker threads (default 1; 0 = all cores)\n"
       << "  --reorder                    allow cross-message reordering per channel\n"
       << "  --fault NAME                 inject a manager mutation (none |\n"
       << "                               resume-before-last-adapt-done | rollback-after-resume)\n"
@@ -119,6 +120,8 @@ int main(int argc, char** argv) {
         options.drop_budget = std::stoi(value());
       } else if (arg == "--dups") {
         options.dup_budget = std::stoi(value());
+      } else if (arg == "--threads") {
+        options.threads = std::stoi(value());
       } else if (arg == "--reorder") {
         options.reorder = true;
       } else if (arg == "--fault") {
