@@ -1,0 +1,92 @@
+// Throughput of the fault-injection campaign (src/inject/campaign.hpp): how
+// many full-stack runs per second the harness sustains, and how the worker
+// pool scales with threads. Each run builds a fresh SimRuntime + fault
+// decorators + SafeAdaptationSystem, drives the paper scenario to termination
+// under a generated fault plan, and evaluates every oracle — so runs_per_sec
+// here is the budget CI has to spend when sizing nightly seed ranges.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <cstdint>
+
+#include "inject/campaign.hpp"
+
+namespace {
+
+using namespace sa;
+
+// One complete campaign run: plan generation, stack construction, fault
+// scheduling, protocol execution, oracle evaluation. No shrinking (clean
+// stack; nothing fails).
+void BM_FuzzSingleRun(benchmark::State& state) {
+  inject::CampaignOptions options;
+  options.scenario = "paper";
+  std::uint64_t seed = 0;
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    const inject::FaultPlan plan = inject::plan_for_seed(options.scenario, seed);
+    const inject::RunResult result = inject::run_one(options.scenario, seed, plan, options);
+    violations += result.violations.size();
+    ++seed;
+  }
+  if (violations != 0) state.SkipWithError("oracle violation on a correct stack");
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzSingleRun)->Unit(benchmark::kMillisecond);
+
+// Campaign fan-out across the worker pool; range(0) is the thread count.
+// Every thread count computes the identical result set — the interesting
+// number is how runs_per_sec scales.
+void BM_FuzzCampaign(benchmark::State& state) {
+  inject::CampaignOptions options;
+  options.scenario = "paper";
+  options.seed_begin = 0;
+  options.seed_end = 64;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const inject::CampaignSummary summary = inject::run_campaign(options);
+    if (!summary.failures.empty()) {
+      state.SkipWithError("oracle violation on a correct stack");
+      break;
+    }
+    runs += summary.runs;
+  }
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    // Workers run outside the main thread, so per-second counters must use
+    // wall-clock, not main-thread CPU time.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The video scenario carries the full Fig. 3 testbed (stream traffic, codec
+// filters, per-packet integrity checks) — the heavyweight end of the scale.
+void BM_FuzzVideoRun(benchmark::State& state) {
+  inject::CampaignOptions options;
+  options.scenario = "video";
+  std::uint64_t seed = 0;
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    const inject::FaultPlan plan = inject::plan_for_seed(options.scenario, seed);
+    violations += inject::run_one(options.scenario, seed, plan, options).violations.size();
+    ++seed;
+  }
+  if (violations != 0) state.SkipWithError("oracle violation on a correct stack");
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzVideoRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sa::benchio::run_and_report(argc, argv, "fuzz_campaign");
+}

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 layers=(src/proto src/components src/video src/core src/decision src/baselines
         src/crypto src/spec src/actions src/config src/expr src/graph src/util
-        src/check)
+        src/check src/inject)
 
 status=0
 for layer in "${layers[@]}"; do

@@ -1,11 +1,11 @@
 #include "check/explorer.hpp"
 
-#include <cctype>
 #include <stdexcept>
 #include <utility>
 
 #include "check/engine.hpp"
 #include "obs/export.hpp"
+#include "util/json.hpp"
 
 namespace sa::check {
 
@@ -107,193 +107,9 @@ std::string to_json(const ScheduleFile& file) {
   return json;
 }
 
-namespace {
-
-/// Minimal JSON reader — just enough for schedule files. Throws
-/// std::runtime_error with a byte offset on malformed input.
-class JsonParser {
- public:
-  struct Value {
-    enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0;
-    std::string string;
-    std::vector<Value> array;
-    std::vector<std::pair<std::string, Value>> object;
-
-    const Value* find(const std::string& key) const {
-      for (const auto& [k, v] : object) {
-        if (k == key) return &v;
-      }
-      return nullptr;
-    }
-  };
-
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Value parse() {
-    Value v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("schedule JSON: " + what + " at offset " + std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
-    pos_ += literal.size();
-    return true;
-  }
-
-  Value parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      Value v;
-      v.type = Value::Type::String;
-      v.string = parse_string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      Value v;
-      v.type = Value::Type::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      Value v;
-      v.type = Value::Type::Bool;
-      return v;
-    }
-    if (consume_literal("null")) return Value{};
-    return parse_number();
-  }
-
-  Value parse_object() {
-    Value v;
-    v.type = Value::Type::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Value parse_array() {
-    Value v;
-    v.type = Value::Type::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u':
-          // Schedule files never emit non-ASCII; pass the sequence through.
-          out += "\\u";
-          break;
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '-' ||
-            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    Value v;
-    v.type = Value::Type::Number;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 ScheduleFile schedule_from_json(const std::string& text) {
-  using Value = JsonParser::Value;
-  const Value root = JsonParser(text).parse();
+  using Value = util::JsonValue;
+  const Value root = util::parse_json(text, "schedule JSON");
   if (root.type != Value::Type::Object) throw std::runtime_error("schedule JSON: not an object");
 
   ScheduleFile file;

@@ -5,7 +5,9 @@
 namespace sa::core {
 
 VideoTestbed::VideoTestbed(TestbedConfig config) : config_(config) {
-  system_ = std::make_unique<SafeAdaptationSystem>(config_.system);
+  system_ = config_.runtime != nullptr
+                ? std::make_unique<SafeAdaptationSystem>(*config_.runtime, config_.system)
+                : std::make_unique<SafeAdaptationSystem>(config_.system);
   configure_paper_system(*system_, config_.action_set);
 
   runtime::Clock& clock = system_->runtime().clock();

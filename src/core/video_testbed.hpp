@@ -19,6 +19,11 @@ namespace sa::core {
 
 struct TestbedConfig {
   SystemConfig system;
+  /// When set, the testbed runs over this caller-owned runtime backend (e.g.
+  /// a fault-injection decorator stack) instead of owning a SimRuntime; it
+  /// must outlive the testbed. The simulator()/network() escape hatches throw
+  /// unless the runtime bottoms out in a SimRuntime.
+  runtime::Runtime* runtime = nullptr;
   video::StreamConfig stream;
   /// Data-plane channels (server -> clients); UDP-like by default.
   runtime::ChannelConfig data_channel{runtime::ms(5), runtime::ms(2), 0.0, /*fifo=*/false};

@@ -1,0 +1,470 @@
+#include "inject/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "check/explorer.hpp"  // fault_from_string / to_string(ManagerFault)
+#include "core/paper_scenario.hpp"
+#include "core/system.hpp"
+#include "core/video_testbed.hpp"
+#include "inject/faulty_runtime.hpp"
+#include "obs/export.hpp"  // json_escape
+#include "proto/conformance.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "util/json.hpp"
+
+namespace sa::inject {
+
+namespace {
+
+/// Distinct seed streams: the plan generator and the fault decorator must not
+/// share the SimRuntime's stream, so editing a plan (shrinking) never
+/// perturbs the base execution's channel randomness.
+constexpr std::uint64_t kPlanStream = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kFaultStream = 0xbf58476d1ce4e5b9ULL;
+
+/// Always-succeeding AdaptableProcess for the protocol-only "paper" scenario;
+/// failures come from the fault decorators and agent-level fail-to-reset, so
+/// the campaign exercises the drivers, not a scripted stub.
+struct StubProcess final : proto::AdaptableProcess {
+  bool prepare(const proto::LocalCommand&) override { return true; }
+  void reach_safe_state(bool, std::function<void()> reached) override { reached(); }
+  void abort_safe_state() override {}
+  bool apply(const proto::LocalCommand&) override { return true; }
+  bool undo(const proto::LocalCommand&) override { return true; }
+  void resume() override {}
+};
+
+const std::vector<config::ProcessId>& paper_processes() {
+  static const std::vector<config::ProcessId> processes{
+      core::kServerProcess, core::kHandheldProcess, core::kLaptopProcess};
+  return processes;
+}
+
+/// Wires one plan event's open/close callbacks onto the *inner* (unskewed)
+/// clock, so fault windows fire at their literal plan times even while a
+/// TimerSkew window is stretching every protocol timer.
+void arm_event(const FaultEvent& event, runtime::Clock& clock, FaultyRuntime& frt,
+               core::SafeAdaptationSystem& system) {
+  FaultyTransport& net = frt.faulty_transport();
+  switch (event.kind) {
+    case FaultKind::Loss:
+      clock.schedule_at(event.start, [&net, p = event.probability] { net.set_extra_loss(p); });
+      clock.schedule_at(event.end, [&net] { net.set_extra_loss(0.0); });
+      break;
+    case FaultKind::Duplicate:
+      clock.schedule_at(event.start,
+                        [&net, p = event.probability] { net.set_extra_duplication(p); });
+      clock.schedule_at(event.end, [&net] { net.set_extra_duplication(0.0); });
+      break;
+    case FaultKind::TimerSkew:
+      clock.schedule_at(event.start,
+                        [&frt, f = event.factor] { frt.faulty_clock().set_skew(f); });
+      clock.schedule_at(event.end, [&frt] { frt.faulty_clock().set_skew(1.0); });
+      break;
+    case FaultKind::PartitionNode: {
+      const runtime::NodeId node = system.agent_node(event.process);
+      clock.schedule_at(event.start, [&net, node] { net.partition_node(node, true); });
+      clock.schedule_at(event.end, [&net, node] { net.partition_node(node, false); });
+      break;
+    }
+    case FaultKind::PartitionPair: {
+      const runtime::NodeId manager = system.manager_node();
+      const runtime::NodeId node = system.agent_node(event.process);
+      clock.schedule_at(event.start,
+                        [&net, manager, node] { net.partition_pair(manager, node, true); });
+      clock.schedule_at(event.end,
+                        [&net, manager, node] { net.partition_pair(manager, node, false); });
+      break;
+    }
+    case FaultKind::Crash: {
+      const runtime::NodeId node = system.agent_node(event.process);
+      clock.schedule_at(event.start, [&net, node] { net.set_crashed(node, true); });
+      clock.schedule_at(event.end, [&net, node] { net.set_crashed(node, false); });
+      break;
+    }
+    case FaultKind::FailToReset: {
+      proto::AdaptationAgent& agent = system.agent(event.process);
+      clock.schedule_at(event.start, [&agent] { agent.set_fail_to_reset(true); });
+      clock.schedule_at(event.end, [&agent] { agent.set_fail_to_reset(false); });
+      break;
+    }
+  }
+}
+
+runtime::Time plan_horizon(const FaultPlan& plan) {
+  runtime::Time horizon = 0;
+  for (const FaultEvent& event : plan.events) horizon = std::max(horizon, event.end);
+  return horizon;
+}
+
+/// Runs every post-termination oracle; each violation is prefixed with its
+/// class ("unsafe-rest:", "conformance:", ...) so shrinking can match by
+/// failure class instead of exact message text.
+void check_oracles(core::SafeAdaptationSystem& system, const FaultyRuntime& frt,
+                   const config::Configuration& source, const config::Configuration& target,
+                   const std::optional<proto::AdaptationResult>& result,
+                   std::vector<std::string>& violations) {
+  const auto& registry = system.registry();
+  const auto violate = [&violations](const std::string& what) { violations.push_back(what); };
+
+  // -- the system rests only in safe configurations ---------------------------
+  const config::Configuration resting = system.current_configuration();
+  if (!system.invariants().satisfied(resting)) {
+    violate("unsafe-rest: terminal configuration " + resting.describe(registry) +
+            " violates an invariant");
+  }
+
+  if (result.has_value()) {
+    if (!(result->final_config == resting)) {
+      violate("unsafe-rest: manager rests at " + resting.describe(registry) +
+              " but reported final configuration " + result->final_config.describe(registry));
+    }
+
+    // -- terminal outcome in the §4.4 legal set -------------------------------
+    const auto outcome = result->outcome;
+    const std::string outcome_name(proto::to_string(outcome));
+    if (outcome == proto::AdaptationOutcome::Success) {
+      if (!(result->final_config == target)) {
+        violate("illegal-outcome: success but final configuration is " +
+                result->final_config.describe(registry) + ", not the target");
+      }
+      for (const config::ProcessId process : paper_processes()) {
+        const proto::AgentState state = system.agent(process).state();
+        if (state != proto::AgentState::Running) {
+          violate("illegal-outcome: success but agent " + std::to_string(process) +
+                  " is not running");
+        }
+      }
+    } else if (outcome == proto::AdaptationOutcome::NoPathFound ||
+               outcome == proto::AdaptationOutcome::RolledBackToSource) {
+      if (!(result->final_config == source)) {
+        violate("illegal-outcome: " + outcome_name + " but final configuration is " +
+                result->final_config.describe(registry) + ", not the source");
+      }
+    }
+    // UserInterventionRequired / StalledAfterResume park at any safe
+    // configuration; the unsafe-rest oracle above already covers them.
+
+    // -- committed step log replays from source to the terminal config --------
+    const auto& table = system.action_table();
+    config::Configuration replayed = source;
+    bool replay_ok = true;
+    for (const proto::StepRecord& record : system.manager().step_log()) {
+      if (!record.committed) continue;
+      const auto id = table.find(record.action_name);
+      if (!id) {
+        violate("step-replay: committed step names unknown action " + record.action_name);
+        replay_ok = false;
+        break;
+      }
+      const actions::AdaptiveAction& action = table.action(*id);
+      if (!action.applicable_to(replayed)) {
+        violate("step-replay: committed action " + record.action_name +
+                " is not applicable to " + replayed.describe(registry));
+        replay_ok = false;
+        break;
+      }
+      replayed = action.apply(replayed);
+      if (!system.invariants().satisfied(replayed)) {
+        violate("step-replay: committed action " + record.action_name +
+                " passes through unsafe configuration " + replayed.describe(registry));
+      }
+    }
+    if (replay_ok && !(replayed == result->final_config)) {
+      violate("step-replay: committed steps replay to " + replayed.describe(registry) +
+              " but the manager reported " + result->final_config.describe(registry));
+    }
+  }
+
+  // -- delivered control trace conforms to the Fig. 1 / Fig. 2 automata -------
+  const proto::ConformanceChecker checker(system.manager_node());
+  for (const proto::ConformanceViolation& v :
+       checker.check(frt.faulty_transport().trace())) {
+    violate("conformance: " + v.description);
+  }
+
+  // -- obs metrics agree with the manager's own accounting --------------------
+  const double histogram = system.metrics().histogram_family_sum("sa_blocked_time_us");
+  const auto reported = static_cast<double>(system.manager().total_blocked_reported());
+  if (histogram != reported) {
+    violate("metrics-mismatch: sa_blocked_time_us sums to " + std::to_string(histogram) +
+            " but the manager reported " + std::to_string(reported) + "us blocked");
+  }
+}
+
+RunResult run_paper(std::uint64_t seed, const FaultPlan& plan, const CampaignOptions& options,
+                    core::PaperActionSet action_set) {
+  runtime::SimRuntime sim(seed);
+  FaultyRuntime frt(sim, seed ^ kFaultStream);
+
+  core::SystemConfig config;
+  config.seed = seed;
+  core::SafeAdaptationSystem system(frt, config);
+  core::configure_paper_system(system, action_set);
+  StubProcess server, handheld, laptop;
+  system.attach_process(core::kServerProcess, server, /*stage=*/0);
+  system.attach_process(core::kHandheldProcess, handheld, /*stage=*/1);
+  system.attach_process(core::kLaptopProcess, laptop, /*stage=*/1);
+  system.finalize();
+
+  const config::Configuration source = core::paper_source(system.registry());
+  const config::Configuration target = core::paper_target(system.registry());
+  system.set_current_configuration(source);
+  if (options.fault != proto::ManagerFault::None) system.manager().inject_fault(options.fault);
+
+  frt.faulty_transport().set_tracing(true);
+  for (const FaultEvent& event : plan.events) arm_event(event, sim.clock(), frt, system);
+
+  RunResult out;
+  std::optional<proto::AdaptationResult> result;
+  try {
+    result = system.adapt_and_wait(target, options.max_events);
+    out.outcome = proto::to_string(result->outcome);
+  } catch (const std::runtime_error& e) {
+    out.outcome = "did-not-terminate";
+    out.violations.push_back(std::string("non-termination: ") + e.what());
+  }
+  // Drain past the last fault window plus a grace period so trailing
+  // retransmissions, duplicates, and window-close callbacks all land before
+  // the oracles read the terminal state.
+  const runtime::Time horizon = plan_horizon(plan) + runtime::ms(20);
+  if (horizon > sim.clock().now()) frt.advance(horizon - sim.clock().now());
+
+  check_oracles(system, frt, source, target, result, out.violations);
+  return out;
+}
+
+RunResult run_video(std::uint64_t seed, const FaultPlan& plan, const CampaignOptions& options) {
+  runtime::SimRuntime sim(seed);
+  FaultyRuntime frt(sim, seed ^ kFaultStream);
+
+  core::TestbedConfig config;
+  config.system.seed = seed;
+  config.runtime = &frt;
+  core::VideoTestbed testbed(config);
+  core::SafeAdaptationSystem& system = testbed.system();
+
+  const config::Configuration source = testbed.source();
+  const config::Configuration target = testbed.target();
+  if (options.fault != proto::ManagerFault::None) system.manager().inject_fault(options.fault);
+
+  frt.faulty_transport().set_tracing(true);
+  for (const FaultEvent& event : plan.events) arm_event(event, sim.clock(), frt, system);
+
+  testbed.start_stream();
+  RunResult out;
+  std::optional<proto::AdaptationResult> result;
+  try {
+    result = system.adapt_and_wait(target, options.max_events);
+    out.outcome = proto::to_string(result->outcome);
+  } catch (const std::runtime_error& e) {
+    out.outcome = "did-not-terminate";
+    out.violations.push_back(std::string("non-termination: ") + e.what());
+  }
+  testbed.stop_stream();
+  const runtime::Time horizon = plan_horizon(plan) + runtime::ms(20);
+  if (horizon > sim.clock().now()) frt.advance(horizon - sim.clock().now());
+
+  check_oracles(system, frt, source, target, result, out.violations);
+
+  // -- adaptation invisible to the application --------------------------------
+  if (testbed.total_intact() == 0) {
+    // Liveness guard for the oracle itself: zero decoded packets means the
+    // stream never played and "no corruption" would be vacuous.
+    out.violations.push_back("video-corruption: no intact packets decoded; stream never played");
+  }
+  if (testbed.total_corrupted() != 0 || testbed.total_undecodable() != 0) {
+    out.violations.push_back("video-corruption: clients decoded " +
+                             std::to_string(testbed.total_corrupted()) + " corrupted and " +
+                             std::to_string(testbed.total_undecodable()) +
+                             " undecodable packets");
+  }
+  if (result.has_value() && result->outcome == proto::AdaptationOutcome::Success &&
+      !(testbed.installed_configuration() == result->final_config)) {
+    out.violations.push_back(
+        "video-corruption: installed filter chains are " +
+        testbed.installed_configuration().describe(system.registry()) +
+        " but the manager reported " + result->final_config.describe(system.registry()));
+  }
+  return out;
+}
+
+/// Failure class = the prefix before the first ':' of a violation string.
+std::set<std::string> violation_classes(const std::vector<std::string>& violations) {
+  std::set<std::string> classes;
+  for (const std::string& v : violations) classes.insert(v.substr(0, v.find(':')));
+  return classes;
+}
+
+bool intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::ranges::any_of(a, [&b](const std::string& x) { return b.contains(x); });
+}
+
+}  // namespace
+
+FaultPlan plan_for_seed(const std::string& scenario, std::uint64_t seed) {
+  util::Rng rng(seed ^ kPlanStream);
+  PlanShape shape;
+  shape.processes = paper_processes();
+  if (scenario == "video") {
+    // The testbed streams while adapting; keep extra data-plane loss gentler
+    // so runs stay inside the event budget.
+    shape.max_loss = 0.3;
+  }
+  return generate_plan(rng, shape);
+}
+
+RunResult run_one(const std::string& scenario, std::uint64_t seed, const FaultPlan& plan,
+                  const CampaignOptions& options) {
+  validate(plan);
+  if (scenario == "paper") return run_paper(seed, plan, options, core::PaperActionSet::All);
+  if (scenario == "paper-combined") {
+    // Pair/triple Table-2 actions span processes, so steps have >= 2 involved
+    // agents — the only shape where a resume-early mutation can fire.
+    return run_paper(seed, plan, options, core::PaperActionSet::CombinedOnly);
+  }
+  if (scenario == "video") return run_video(seed, plan, options);
+  throw std::invalid_argument("unknown campaign scenario: " + scenario);
+}
+
+FaultPlan shrink_plan(const std::string& scenario, std::uint64_t seed, FaultPlan plan,
+                      const CampaignOptions& options,
+                      const std::vector<std::string>& original_violations) {
+  const std::set<std::string> target_classes = violation_classes(original_violations);
+  const auto reproduces = [&](const FaultPlan& candidate) {
+    const RunResult result = run_one(scenario, seed, candidate, options);
+    return intersects(violation_classes(result.violations), target_classes);
+  };
+
+  // Pass 1: drop whole events, rescanning after every successful removal.
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      FaultPlan candidate = plan;
+      candidate.events.erase(candidate.events.begin() + static_cast<std::ptrdiff_t>(i));
+      if (reproduces(candidate)) {
+        plan = std::move(candidate);
+        removed = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: halve each surviving window until it stops reproducing.
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    while (plan.events[i].end - plan.events[i].start >= 2) {
+      FaultPlan candidate = plan;
+      FaultEvent& event = candidate.events[i];
+      event.end = event.start + (event.end - event.start) / 2;
+      if (!reproduces(candidate)) break;
+      plan = std::move(candidate);
+    }
+  }
+  return plan;
+}
+
+CampaignSummary run_campaign(const CampaignOptions& options) {
+  if (options.seed_end < options.seed_begin) {
+    throw std::invalid_argument("campaign seed range is reversed");
+  }
+  const std::uint64_t count = options.seed_end - options.seed_begin;
+  std::vector<RunReport> reports(count);
+  std::atomic<std::uint64_t> next{0};
+
+  // src/check/engine's worker-pool shape: one atomic cursor, self-contained
+  // work items, results landing in per-seed slots so the summary is
+  // bit-identical for any thread count.
+  const auto worker = [&] {
+    while (true) {
+      const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      const std::uint64_t seed = options.seed_begin + index;
+      RunReport& report = reports[index];
+      report.seed = seed;
+      report.plan = plan_for_seed(options.scenario, seed);
+      RunResult result = run_one(options.scenario, seed, report.plan, options);
+      if (!result.violations.empty() && options.shrink) {
+        report.plan =
+            shrink_plan(options.scenario, seed, report.plan, options, result.violations);
+        result = run_one(options.scenario, seed, report.plan, options);
+      }
+      report.outcome = std::move(result.outcome);
+      report.violations = std::move(result.violations);
+    }
+  };
+
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min<std::size_t>(options.threads, count));
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  CampaignSummary summary;
+  summary.runs = count;
+  for (RunReport& report : reports) {
+    ++summary.outcomes[report.outcome];
+    if (!report.violations.empty()) summary.failures.push_back(std::move(report));
+  }
+  return summary;
+}
+
+std::string to_json(const FuzzArtifact& artifact) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"scenario\": \"" << obs::json_escape(artifact.scenario) << "\",\n";
+  out << "  \"seed\": " << artifact.seed << ",\n";
+  out << "  \"fault\": \"" << check::to_string(artifact.fault) << "\",\n";
+  out << "  \"max_events\": " << artifact.max_events << ",\n";
+  out << "  \"plan\": " << to_json(artifact.plan) << ",\n";
+  out << "  \"violations\": [";
+  for (std::size_t i = 0; i < artifact.violations.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << obs::json_escape(artifact.violations[i]) << '"';
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+FuzzArtifact artifact_from_json(const std::string& text) {
+  using Value = util::JsonValue;
+  const Value root = util::parse_json(text, "fuzz artifact JSON");
+  if (root.type != Value::Type::Object) {
+    throw std::runtime_error("fuzz artifact JSON: not an object");
+  }
+  const auto require = [&root](const char* key) -> const Value& {
+    const Value* v = root.find(key);
+    if (v == nullptr) {
+      throw std::runtime_error(std::string("fuzz artifact JSON: missing \"") + key + '"');
+    }
+    return *v;
+  };
+  FuzzArtifact artifact;
+  artifact.scenario = require("scenario").string;
+  artifact.seed = static_cast<std::uint64_t>(require("seed").number);
+  if (const Value* fault = root.find("fault")) {
+    artifact.fault = check::fault_from_string(fault->string);
+  }
+  if (const Value* budget = root.find("max_events")) {
+    artifact.max_events = static_cast<std::size_t>(budget->number);
+  }
+  artifact.plan = plan_from_value(require("plan"));
+  if (const Value* violations = root.find("violations")) {
+    for (const Value& v : violations->array) artifact.violations.push_back(v.string);
+  }
+  return artifact;
+}
+
+}  // namespace sa::inject

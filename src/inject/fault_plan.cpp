@@ -1,0 +1,179 @@
+#include "inject/fault_plan.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace sa::inject {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Loss: return "loss";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::PartitionNode: return "partition-node";
+    case FaultKind::PartitionPair: return "partition-pair";
+    case FaultKind::Crash: return "crash";
+    case FaultKind::FailToReset: return "fail-to-reset";
+    case FaultKind::TimerSkew: return "timer-skew";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(std::string_view name) {
+  if (name == "loss") return FaultKind::Loss;
+  if (name == "duplicate") return FaultKind::Duplicate;
+  if (name == "partition-node") return FaultKind::PartitionNode;
+  if (name == "partition-pair") return FaultKind::PartitionPair;
+  if (name == "crash") return FaultKind::Crash;
+  if (name == "fail-to-reset") return FaultKind::FailToReset;
+  if (name == "timer-skew") return FaultKind::TimerSkew;
+  throw std::invalid_argument("unknown fault kind: " + std::string(name));
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream out;
+  out << to_string(kind) << " [" << start << ", " << end << ")";
+  switch (kind) {
+    case FaultKind::Loss:
+    case FaultKind::Duplicate:
+      out << " p=" << probability;
+      break;
+    case FaultKind::TimerSkew:
+      out << " x" << factor;
+      break;
+    default:
+      out << " process=" << process;
+      break;
+  }
+  return out.str();
+}
+
+void validate(const FaultPlan& plan) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& event = plan.events[i];
+    const auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("fault plan event " + std::to_string(i) + " (" +
+                                  std::string(to_string(event.kind)) + "): " + what);
+    };
+    if (event.start < 0) fail("window start must be >= 0");
+    if (event.end <= event.start) fail("window end must be > start");
+    if (event.kind == FaultKind::Loss || event.kind == FaultKind::Duplicate) {
+      if (std::isnan(event.probability) || event.probability < 0.0 || event.probability > 1.0) {
+        fail("probability must be in [0, 1]");
+      }
+    }
+    if (event.kind == FaultKind::TimerSkew) {
+      if (!(event.factor > 0.0) || !std::isfinite(event.factor)) {
+        fail("skew factor must be positive and finite");
+      }
+    }
+  }
+}
+
+std::string to_json(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& event = plan.events[i];
+    if (i != 0) out << ", ";
+    out << "{\"kind\": \"" << to_string(event.kind) << "\", \"start\": " << event.start
+        << ", \"end\": " << event.end;
+    switch (event.kind) {
+      case FaultKind::Loss:
+      case FaultKind::Duplicate:
+        out << ", \"probability\": " << event.probability;
+        break;
+      case FaultKind::TimerSkew:
+        out << ", \"factor\": " << event.factor;
+        break;
+      default:
+        out << ", \"process\": " << event.process;
+        break;
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+FaultPlan plan_from_value(const util::JsonValue& root) {
+  using Value = util::JsonValue;
+  if (root.type != Value::Type::Array) {
+    throw std::runtime_error("fault plan JSON: expected an array of events");
+  }
+  FaultPlan plan;
+  for (const Value& entry : root.array) {
+    if (entry.type != Value::Type::Object) {
+      throw std::runtime_error("fault plan JSON: event is not an object");
+    }
+    FaultEvent event;
+    const Value* kind = entry.find("kind");
+    if (kind == nullptr) throw std::runtime_error("fault plan JSON: event missing kind");
+    event.kind = fault_kind_from_string(kind->string);
+    const auto number = [&entry](const char* key, double fallback) {
+      const Value* v = entry.find(key);
+      return v != nullptr ? v->number : fallback;
+    };
+    event.start = static_cast<runtime::Time>(number("start", 0));
+    event.end = static_cast<runtime::Time>(number("end", 0));
+    event.process = static_cast<config::ProcessId>(number("process", 0));
+    event.probability = number("probability", 0.0);
+    event.factor = number("factor", 1.0);
+    plan.events.push_back(event);
+  }
+  validate(plan);
+  return plan;
+}
+
+FaultPlan plan_from_json(const std::string& text) {
+  return plan_from_value(util::parse_json(text, "fault plan JSON"));
+}
+
+FaultPlan generate_plan(util::Rng& rng, const PlanShape& shape) {
+  FaultPlan plan;
+  const std::size_t count = 1 + rng.next_below(std::max<std::size_t>(shape.max_events, 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultEvent event;
+    // Targeted faults only make sense with agents to aim at.
+    const std::uint64_t kinds = shape.processes.empty() ? 3 : 7;
+    switch (rng.next_below(kinds)) {
+      case 0: event.kind = FaultKind::Loss; break;
+      case 1: event.kind = FaultKind::Duplicate; break;
+      case 2: event.kind = FaultKind::TimerSkew; break;
+      case 3: event.kind = FaultKind::PartitionNode; break;
+      case 4: event.kind = FaultKind::PartitionPair; break;
+      case 5: event.kind = FaultKind::Crash; break;
+      case 6: event.kind = FaultKind::FailToReset; break;
+    }
+    const auto horizon = static_cast<std::uint64_t>(shape.horizon);
+    event.start = static_cast<runtime::Time>(rng.next_below(horizon));
+    // Short windows race the retry machinery at step boundaries; "permanent"
+    // ones outlast the whole §4.4 strategy chain and probe the terminal
+    // outcomes (rolled-back-to-source, user-intervention-required).
+    const bool permanent = rng.next_bool(shape.permanent_probability);
+    const auto span = static_cast<std::uint64_t>(permanent ? shape.max_window : shape.horizon);
+    event.end = event.start + 1 + static_cast<runtime::Time>(rng.next_below(span));
+    switch (event.kind) {
+      case FaultKind::Loss:
+        event.probability = shape.max_loss * rng.next_double();
+        break;
+      case FaultKind::Duplicate:
+        event.probability = shape.max_duplicate * rng.next_double();
+        break;
+      case FaultKind::TimerSkew:
+        // Factors in [0.25, 4): half the windows compress time, half stretch.
+        event.factor = rng.next_bool(0.5) ? 0.25 + 0.75 * rng.next_double()
+                                          : 1.0 + 3.0 * rng.next_double();
+        break;
+      default:
+        event.process = shape.processes[rng.next_below(shape.processes.size())];
+        break;
+    }
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace sa::inject

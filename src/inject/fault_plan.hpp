@@ -1,0 +1,108 @@
+// FaultPlan: a declarative, JSON-loadable timeline of fault windows the
+// campaign runner (inject/campaign.hpp) applies to a live protocol stack
+// through the FaultyTransport/FaultyClock decorators (inject/faulty_runtime.hpp).
+//
+// Each event opens at `start` and closes at `end` (half-open [start, end) in
+// virtual microseconds):
+//
+//   Loss / Duplicate   extra control-message loss / duplication probability
+//                      layered on top of whatever the underlying channels do;
+//   PartitionNode      every send to or from the target agent's node dropped
+//                      (messages already in flight still arrive — a link
+//                      failure, the paper's "long-term network failure");
+//   PartitionPair      the manager <-> agent pair cut in both directions;
+//   Crash              the agent process is gone: sends to/from it are
+//                      dropped AND in-flight deliveries die at its doorstep;
+//                      the window closing models a restart — the node is
+//                      reachable again and retransmissions revive the step;
+//   FailToReset        the agent never reaches its safe state (a process
+//                      stuck in a critical communication segment, §4.4
+//                      fail-to-reset at step k);
+//   TimerSkew          every delay scheduled while the window is open is
+//                      scaled by `factor`, racing timers against messages.
+//
+// Plans are pure data: validate() checks semantic constraints, the JSON
+// round-trip (to_json / plan_from_json) makes every reproducer replayable,
+// and generate_plan() draws a deterministic plan from a seeded Rng so a
+// campaign seed fully determines its fault timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "runtime/time.hpp"
+#include "util/rng.hpp"
+
+namespace sa::util {
+struct JsonValue;
+}  // namespace sa::util
+
+namespace sa::inject {
+
+enum class FaultKind : std::uint8_t {
+  Loss,
+  Duplicate,
+  PartitionNode,
+  PartitionPair,
+  Crash,
+  FailToReset,
+  TimerSkew,
+};
+
+const char* to_string(FaultKind kind);
+/// Throws std::invalid_argument on unknown names.
+FaultKind fault_kind_from_string(std::string_view name);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::Loss;
+  runtime::Time start = 0;  ///< window opens (virtual µs)
+  runtime::Time end = 0;    ///< window closes; must be > start
+  /// Target agent (PartitionNode / PartitionPair / Crash / FailToReset);
+  /// ignored by Loss / Duplicate / TimerSkew, which apply stack-wide.
+  config::ProcessId process = 0;
+  double probability = 0.0;  ///< Loss / Duplicate
+  double factor = 1.0;       ///< TimerSkew multiplier
+
+  bool operator==(const FaultEvent&) const = default;
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Semantic validation: windows ordered (end > start >= 0), probabilities in
+/// [0, 1] and non-NaN, skew factors positive and finite. Throws
+/// std::invalid_argument naming the offending event.
+void validate(const FaultPlan& plan);
+
+std::string to_json(const FaultPlan& plan);
+/// Parses and validates; throws std::runtime_error on malformed input,
+/// std::invalid_argument on semantic violations.
+FaultPlan plan_from_json(const std::string& text);
+/// Same, from an already-parsed JSON subtree (a plan embedded in a larger
+/// document, e.g. a fuzz artifact).
+FaultPlan plan_from_value(const util::JsonValue& value);
+
+/// Knobs for the deterministic plan generator.
+struct PlanShape {
+  std::size_t max_events = 4;                    ///< 1..max_events drawn
+  runtime::Time horizon = runtime::ms(150);      ///< windows start within this
+  /// Upper bound for the occasional "permanent" window — long enough to
+  /// outlast the §4.4 retry budget, forcing terminal non-success outcomes.
+  runtime::Time max_window = runtime::seconds(10);
+  double permanent_probability = 0.25;
+  std::vector<config::ProcessId> processes;      ///< crash/partition targets
+  double max_loss = 0.5;
+  double max_duplicate = 0.4;
+};
+
+/// Draws a random plan from `rng`. Same Rng state -> same plan, which is how
+/// a campaign seed determines its fault timeline.
+FaultPlan generate_plan(util::Rng& rng, const PlanShape& shape);
+
+}  // namespace sa::inject

@@ -1,0 +1,128 @@
+#include "inject/faulty_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sa::inject {
+
+namespace {
+
+runtime::Time skewed(runtime::Time delay, double factor) {
+  if (factor == 1.0) return delay;
+  const double scaled = std::round(static_cast<double>(delay) * factor);
+  return std::max<runtime::Time>(0, static_cast<runtime::Time>(scaled));
+}
+
+}  // namespace
+
+runtime::TimerId FaultyClock::schedule_at(runtime::Time t, std::function<void()> fn) {
+  if (skew_ == 1.0) return inner_->schedule_at(t, std::move(fn));
+  const runtime::Time delay = std::max<runtime::Time>(0, t - inner_->now());
+  return inner_->schedule_after(skewed(delay, skew_), std::move(fn));
+}
+
+runtime::TimerId FaultyClock::schedule_after(runtime::Time delay, std::function<void()> fn) {
+  return inner_->schedule_after(skewed(delay, skew_), std::move(fn));
+}
+
+runtime::NodeId FaultyTransport::add_node(std::string name, runtime::ReceiveHandler handler) {
+  const runtime::NodeId id = inner_->add_node(std::move(name));
+  if (handlers_.size() <= id) handlers_.resize(id + 1);
+  handlers_[id] = std::move(handler);
+  // Interpose on delivery so crashes can kill in-flight messages and the
+  // decorator trace sees exactly what the protocol endpoints see.
+  inner_->set_handler(id, [this, id](runtime::NodeId from, runtime::MessagePtr message) {
+    deliver(id, from, std::move(message));
+  });
+  return id;
+}
+
+void FaultyTransport::set_handler(runtime::NodeId node, runtime::ReceiveHandler handler) {
+  if (handlers_.size() <= node) handlers_.resize(node + 1);
+  handlers_[node] = std::move(handler);
+}
+
+bool FaultyTransport::send(runtime::NodeId from, runtime::NodeId to,
+                           runtime::MessagePtr message) {
+  const std::string type = message->type_name();
+  if (crashed_.contains(from) || crashed_.contains(to)) {
+    ++stats_.dropped_crash_send;
+    record(from, to, type, false, nullptr);
+    return false;
+  }
+  if (partitioned(from, to)) {
+    ++stats_.dropped_partition;
+    record(from, to, type, false, nullptr);
+    return false;
+  }
+  if (extra_loss_ > 0.0 && rng_.next_bool(extra_loss_)) {
+    ++stats_.dropped_loss;
+    record(from, to, type, false, nullptr);
+    return false;
+  }
+  const bool accepted = inner_->send(from, to, message);
+  if (accepted && extra_duplication_ > 0.0 && rng_.next_bool(extra_duplication_)) {
+    ++stats_.duplicated;
+    inner_->send(from, to, std::move(message));
+  }
+  return accepted;
+}
+
+void FaultyTransport::partition_node(runtime::NodeId node, bool partitioned) {
+  if (partitioned) {
+    partitioned_nodes_.insert(node);
+  } else {
+    partitioned_nodes_.erase(node);
+  }
+}
+
+void FaultyTransport::partition_pair(runtime::NodeId a, runtime::NodeId b, bool partitioned) {
+  const auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitioned_pairs_.insert(key);
+  } else {
+    partitioned_pairs_.erase(key);
+  }
+}
+
+void FaultyTransport::set_extra_loss(double probability) {
+  extra_loss_ = runtime::checked_probability(probability, "extra loss probability");
+}
+
+void FaultyTransport::set_extra_duplication(double probability) {
+  extra_duplication_ = runtime::checked_probability(probability, "extra duplication probability");
+}
+
+void FaultyTransport::set_crashed(runtime::NodeId node, bool crashed) {
+  if (crashed) {
+    crashed_.insert(node);
+  } else {
+    crashed_.erase(node);
+  }
+}
+
+void FaultyTransport::deliver(runtime::NodeId to, runtime::NodeId from,
+                              runtime::MessagePtr message) {
+  const std::string type = message->type_name();
+  if (crashed_.contains(to)) {
+    ++stats_.dropped_crash_delivery;
+    record(from, to, type, false, nullptr);
+    return;
+  }
+  record(from, to, type, true, message);
+  if (to < handlers_.size() && handlers_[to]) handlers_[to](from, std::move(message));
+}
+
+bool FaultyTransport::partitioned(runtime::NodeId from, runtime::NodeId to) const {
+  if (partitioned_nodes_.contains(from) || partitioned_nodes_.contains(to)) return true;
+  return partitioned_pairs_.contains(std::minmax(from, to));
+}
+
+void FaultyTransport::record(runtime::NodeId from, runtime::NodeId to, const std::string& type,
+                             bool delivered, runtime::MessagePtr message) {
+  if (!tracing_) return;
+  trace_.push_back(
+      runtime::TraceEntry{clock_->now(), from, to, type, delivered, std::move(message)});
+}
+
+}  // namespace sa::inject

@@ -1,0 +1,177 @@
+// Fault-injection decorators over the runtime interfaces.
+//
+// FaultyTransport wraps any runtime::Transport and overlays the campaign's
+// fault state on top of whatever the inner transport already does:
+//
+//   * extra loss / duplication windows draw from the decorator's own seeded
+//     Rng, so fault randomness never perturbs the inner backend's stream
+//     (the same seed produces the same base execution with faults layered on);
+//   * node / pair partitions drop messages at send time — in-flight messages
+//     still arrive, like a real link failure;
+//   * crashed nodes additionally lose their in-flight deliveries: the
+//     decorator interposes on every receive handler, so a message that the
+//     inner transport delivers to a crashed node dies at the doorstep;
+//   * its own TraceEntry log records what the protocol actually observed
+//     (deliveries that reached a handler; drops with delivered=false), which
+//     is what the conformance oracle replays.
+//
+// FaultyClock wraps any runtime::Clock and scales scheduled delays by the
+// active skew factor, racing protocol timeouts against message latencies.
+// FaultyRuntime bundles both over an inner Runtime so an unmodified
+// core::SafeAdaptationSystem (or VideoTestbed) runs the real driver stack
+// under injection — the layer the sans-I/O model checker cannot reach.
+//
+// Single-threaded by design: the campaign drives the deterministic SimRuntime.
+// The decorators add no locking, so do not put them over ThreadedRuntime.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace sa::inject {
+
+class FaultyClock final : public runtime::Clock {
+ public:
+  explicit FaultyClock(runtime::Clock& inner) : inner_(&inner) {}
+
+  runtime::Time now() const override { return inner_->now(); }
+  runtime::TimerId schedule_at(runtime::Time t, std::function<void()> fn) override;
+  runtime::TimerId schedule_after(runtime::Time delay, std::function<void()> fn) override;
+  bool cancel(runtime::TimerId id) override { return inner_->cancel(id); }
+
+  /// Skew factor applied to the delay of every schedule while != 1.0.
+  void set_skew(double factor) { skew_ = factor; }
+  double skew() const { return skew_; }
+
+  /// Escape hatch for the campaign's own bookkeeping (fault window edges):
+  /// schedules on the inner clock so plan times are never themselves skewed.
+  runtime::Clock& inner() { return *inner_; }
+
+ private:
+  runtime::Clock* inner_;
+  double skew_ = 1.0;
+};
+
+class FaultyTransport final : public runtime::Transport {
+ public:
+  /// `clock` timestamps the decorator's trace entries (usually the same
+  /// clock the inner transport schedules deliveries on).
+  FaultyTransport(runtime::Transport& inner, runtime::Clock& clock, std::uint64_t seed)
+      : inner_(&inner), clock_(&clock), rng_(seed) {}
+
+  // --- Transport interface (forwarded, with interposition) -------------------
+  runtime::NodeId add_node(std::string name, runtime::ReceiveHandler handler = nullptr) override;
+  void set_handler(runtime::NodeId node, runtime::ReceiveHandler handler) override;
+  const std::string& node_name(runtime::NodeId node) const override {
+    return inner_->node_name(node);
+  }
+  std::size_t node_count() const override { return inner_->node_count(); }
+
+  void connect(runtime::NodeId from, runtime::NodeId to,
+               runtime::ChannelConfig config = {}) override {
+    inner_->connect(from, to, config);
+  }
+  void connect_bidirectional(runtime::NodeId a, runtime::NodeId b,
+                             runtime::ChannelConfig config = {}) override {
+    inner_->connect_bidirectional(a, b, config);
+  }
+  bool has_channel(runtime::NodeId from, runtime::NodeId to) const override {
+    return inner_->has_channel(from, to);
+  }
+
+  bool send(runtime::NodeId from, runtime::NodeId to, runtime::MessagePtr message) override;
+
+  void partition_node(runtime::NodeId node, bool partitioned) override;
+  void partition_pair(runtime::NodeId a, runtime::NodeId b, bool partitioned) override;
+  void set_loss(runtime::NodeId from, runtime::NodeId to, double probability) override {
+    inner_->set_loss(from, to, probability);
+  }
+
+  runtime::ChannelStats channel_stats(runtime::NodeId from, runtime::NodeId to) const override {
+    return inner_->channel_stats(from, to);
+  }
+
+  void set_tracing(bool enabled) override { tracing_ = enabled; }
+  const std::vector<runtime::TraceEntry>& trace() const override { return trace_; }
+  void clear_trace() override { trace_.clear(); }
+
+  void set_observer(obs::TraceRecorder* recorder, obs::MetricsRegistry* metrics) override {
+    inner_->set_observer(recorder, metrics);
+  }
+
+  // --- fault windows (driven by the campaign at plan-event times) ------------
+  /// Extra loss/duplication applied before the message reaches the inner
+  /// transport; 0 disables. Validated like every other probability knob.
+  void set_extra_loss(double probability);
+  void set_extra_duplication(double probability);
+  /// Crash: node unreachable AND its in-flight deliveries are dropped.
+  /// Clearing it models a restart.
+  void set_crashed(runtime::NodeId node, bool crashed);
+  bool crashed(runtime::NodeId node) const { return crashed_.contains(node); }
+
+  struct Stats {
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_crash_send = 0;
+    std::uint64_t dropped_crash_delivery = 0;
+    std::uint64_t duplicated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void deliver(runtime::NodeId to, runtime::NodeId from, runtime::MessagePtr message);
+  bool partitioned(runtime::NodeId from, runtime::NodeId to) const;
+  void record(runtime::NodeId from, runtime::NodeId to, const std::string& type, bool delivered,
+              runtime::MessagePtr message);
+
+  runtime::Transport* inner_;
+  runtime::Clock* clock_;
+  util::Rng rng_;
+  std::vector<runtime::ReceiveHandler> handlers_;  ///< indexed by NodeId
+
+  double extra_loss_ = 0.0;
+  double extra_duplication_ = 0.0;
+  std::set<runtime::NodeId> partitioned_nodes_;
+  std::set<std::pair<runtime::NodeId, runtime::NodeId>> partitioned_pairs_;  ///< (min, max)
+  std::set<runtime::NodeId> crashed_;
+
+  bool tracing_ = false;
+  std::vector<runtime::TraceEntry> trace_;
+  Stats stats_;
+};
+
+class FaultyRuntime final : public runtime::Runtime {
+ public:
+  explicit FaultyRuntime(runtime::Runtime& inner, std::uint64_t fault_seed)
+      : inner_(&inner),
+        clock_(inner.clock()),
+        transport_(inner.transport(), inner.clock(), fault_seed),
+        name_(std::string("faulty+") + std::string(inner.backend_name())) {}
+
+  runtime::Clock& clock() override { return clock_; }
+  runtime::Executor& executor() override { return inner_->executor(); }
+  runtime::Transport& transport() override { return transport_; }
+  std::string_view backend_name() const override { return name_; }
+
+  void advance(runtime::Time duration) override { inner_->advance(duration); }
+  bool wait_until(const std::function<bool()>& done, std::size_t max_events) override {
+    return inner_->wait_until(done, max_events);
+  }
+
+  FaultyClock& faulty_clock() { return clock_; }
+  FaultyTransport& faulty_transport() { return transport_; }
+  const FaultyTransport& faulty_transport() const { return transport_; }
+
+ private:
+  runtime::Runtime* inner_;
+  FaultyClock clock_;
+  FaultyTransport transport_;
+  std::string name_;
+};
+
+}  // namespace sa::inject

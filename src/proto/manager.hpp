@@ -106,6 +106,15 @@ class AdaptationManager {
   const actions::SafeAdaptationGraph& sag() const { return *sag_; }
   const actions::PathPlanner& planner() const { return *planner_; }
 
+  /// Test-only: injects a deliberate protocol bug into the core (see
+  /// proto::ManagerFault). The fault-injection campaign's must-fail gate
+  /// mutates a live manager this way to prove its oracles catch a broken
+  /// driver stack, mirroring the model checker's mutation check.
+  void inject_fault(ManagerFault fault) {
+    std::lock_guard lock(mutex_);
+    core_.inject_fault(fault);
+  }
+
   /// Copies taken under the entity lock: runtime threads append/mutate these
   /// mid-adaptation, so references would race when polled during a threaded
   /// run (e.g. inside a wait_until predicate).

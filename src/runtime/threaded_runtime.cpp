@@ -164,6 +164,7 @@ void ThreadedTransport::connect(NodeId from, NodeId to, ChannelConfig config) {
   if (from >= endpoints_.size() || to >= endpoints_.size()) {
     throw std::out_of_range("ThreadedTransport::connect: unknown node");
   }
+  checked_channel_config(config);
   channels_[{from, to}] = ChannelState{config, {}, false, 0, 0};
 }
 
@@ -308,6 +309,7 @@ void ThreadedTransport::partition_pair(NodeId a, NodeId b, bool partitioned) {
 }
 
 void ThreadedTransport::set_loss(NodeId from, NodeId to, double probability) {
+  checked_probability(probability, "loss probability");
   std::lock_guard lock(mutex_);
   channels_.at({from, to}).config.loss_probability = probability;
 }

@@ -8,8 +8,10 @@
 // FIFO mailboxes).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,41 @@ struct ChannelConfig {
   /// next one starts, so sustained overload builds queueing delay.
   std::uint64_t bytes_per_second = 0;
 };
+
+/// Validates a probability-valued fault knob (loss / duplication) before it
+/// reaches a channel. NaN and values outside [0, 1] throw
+/// std::invalid_argument; 0.0 and 1.0 are accepted. Every transport backend
+/// funnels its knobs through this so the sim and threaded transports agree on
+/// boundary behavior, and a fuzz campaign cannot silently install a plan
+/// whose "30% loss" was actually NaN (NaN compares false everywhere, so a
+/// NaN probability would quietly disable the fault).
+inline double checked_probability(double p, const char* what) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) + " must be a probability in [0, 1], got " +
+                                std::to_string(p));
+  }
+  return p;
+}
+
+/// Validates a duration-valued channel knob (latency / jitter): negative
+/// values throw std::invalid_argument.
+inline Time checked_duration(Time t, const char* what) {
+  if (t < 0) {
+    throw std::invalid_argument(std::string(what) + " must be non-negative, got " +
+                                std::to_string(t));
+  }
+  return t;
+}
+
+/// Validates every stochastic field of a channel config in one place;
+/// backends call this from connect()/link().
+inline const ChannelConfig& checked_channel_config(const ChannelConfig& config) {
+  checked_duration(config.latency, "channel latency");
+  checked_duration(config.jitter, "channel jitter");
+  checked_probability(config.loss_probability, "channel loss_probability");
+  checked_probability(config.duplicate_probability, "channel duplicate_probability");
+  return config;
+}
 
 struct ChannelStats {
   std::uint64_t sent = 0;

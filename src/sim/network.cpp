@@ -74,6 +74,7 @@ Channel& Network::link(NodeId from, NodeId to, ChannelConfig config) {
   if (from >= names_.size() || to >= names_.size()) {
     throw std::out_of_range("Network::link: unknown node");
   }
+  runtime::checked_channel_config(config);
   auto& slot = channels_[{from, to}];
   slot = std::make_unique<Channel>(*sim_, rng_, from, to, config);
   return *slot;

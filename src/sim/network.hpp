@@ -48,7 +48,9 @@ class Channel {
   void set_partitioned(bool partitioned) { partitioned_ = partitioned; }
   bool partitioned() const { return partitioned_; }
 
-  void set_loss_probability(double p) { config_.loss_probability = p; }
+  void set_loss_probability(double p) {
+    config_.loss_probability = runtime::checked_probability(p, "loss probability");
+  }
 
   /// Queues `message` for delivery to `deliver` subject to loss/partition;
   /// returns true if the message was accepted (i.e. not dropped).

@@ -144,6 +144,76 @@ TEST_F(Fixture, FlappingRuleIsDisabledAfterFailures) {
   EXPECT_TRUE(engine->rule_enabled("doomed"));
 }
 
+// --- cooldown / quiet-period edge cases --------------------------------------
+
+TEST_F(Fixture, CooldownStartsAtCompletionNotAtTrigger) {
+  make_engine(EngineConfig{sim::ms(100), sim::seconds(1), 3});
+  engine->add_rule(threat_rule());
+  engine->add_rule(Rule{"relax",
+                        [](const Metrics& m) {
+                          const auto it = m.find("threat");
+                          return it == m.end() || it->second < 0.1;
+                        },
+                        plain, 0});
+  engine->start();
+
+  metrics["threat"] = 1.0;
+  run_for(sim::seconds(1));
+  ASSERT_EQ(engine->stats().triggers, 1U);
+  ASSERT_TRUE(engine->log()[0].outcome.has_value());
+
+  metrics["threat"] = 0.0;
+  run_for(sim::seconds(3));
+  ASSERT_EQ(engine->stats().triggers, 2U);
+  // The quiet period is armed when the request COMPLETES, which is strictly
+  // after the trigger — so consecutive triggers are always more than one full
+  // cooldown apart even though the engine ticks every 100ms.
+  EXPECT_GE(engine->log()[1].time - engine->log()[0].time, sim::seconds(1));
+}
+
+TEST_F(Fixture, ZeroCooldownNeverSuppresses) {
+  // cooldown = 0 makes quiet_until_ equal the completion instant; because the
+  // quiet-period check is strict (<), a tick landing exactly there proceeds,
+  // so a zero cooldown must never suppress anything.
+  make_engine(EngineConfig{sim::ms(100), 0, 3});
+  engine->add_rule(threat_rule());
+  engine->add_rule(Rule{"relax",
+                        [](const Metrics& m) {
+                          const auto it = m.find("threat");
+                          return it == m.end() || it->second < 0.1;
+                        },
+                        plain, 0});
+  engine->start();
+
+  metrics["threat"] = 1.0;
+  run_for(sim::seconds(1));
+  ASSERT_EQ(system.current_configuration(), armored);
+  metrics["threat"] = 0.0;
+  run_for(sim::ms(500));
+  EXPECT_EQ(system.current_configuration(), plain);
+  EXPECT_EQ(engine->stats().triggers, 2U);
+  EXPECT_EQ(engine->stats().suppressed_cooldown, 0U);
+}
+
+TEST_F(Fixture, FailedRequestsAlsoArmTheCooldown) {
+  // A rule whose target is unreachable fails with NoPathFound every time; the
+  // quiet period must pace those retries exactly like successes, or a broken
+  // rule would hammer the manager every tick until it gets disabled.
+  make_engine(EngineConfig{sim::ms(100), sim::seconds(1), 10});
+  engine->add_rule(Rule{"doomed", [](const Metrics&) { return true; }, broken, 0});
+  engine->start();
+  run_for(sim::seconds(5));
+
+  const auto& log = engine->log();
+  ASSERT_GE(log.size(), 2U);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GE(log[i].time - log[i - 1].time, sim::seconds(1))
+        << "triggers " << i - 1 << " and " << i << " closer than the cooldown";
+  }
+  EXPECT_GT(engine->stats().suppressed_cooldown, 0U);
+  EXPECT_TRUE(engine->rule_enabled("doomed"));  // under the failure limit here
+}
+
 TEST_F(Fixture, StopHaltsEvaluation) {
   make_engine();
   engine->add_rule(threat_rule());

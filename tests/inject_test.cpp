@@ -1,0 +1,220 @@
+// Unit tests for the fault-injection building blocks: FaultPlan (validation,
+// JSON round-trip, deterministic generation) and the FaultyTransport /
+// FaultyClock decorators' semantics — partition drops at send while in-flight
+// messages survive, crash additionally kills in-flight deliveries, extra
+// loss/duplication layer on top of the inner transport, and timer skew scales
+// scheduled delays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "inject/fault_plan.hpp"
+#include "inject/faulty_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sa::inject {
+namespace {
+
+// --- FaultPlan ---------------------------------------------------------------
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::Loss, 0, runtime::ms(10), 0, 0.3, 1.0});
+  plan.events.push_back({FaultKind::Duplicate, runtime::ms(5), runtime::ms(20), 0, 0.8, 1.0});
+  plan.events.push_back({FaultKind::PartitionNode, 100, 200, 1, 0.0, 1.0});
+  plan.events.push_back({FaultKind::PartitionPair, 100, 200, 2, 0.0, 1.0});
+  plan.events.push_back({FaultKind::Crash, 0, runtime::seconds(1), 0, 0.0, 1.0});
+  plan.events.push_back({FaultKind::FailToReset, 50, 60, 1, 0.0, 1.0});
+  plan.events.push_back({FaultKind::TimerSkew, 0, runtime::ms(100), 0, 0.0, 2.5});
+  return plan;
+}
+
+TEST(FaultPlanTest, KindNamesRoundTrip) {
+  for (const FaultKind kind :
+       {FaultKind::Loss, FaultKind::Duplicate, FaultKind::PartitionNode,
+        FaultKind::PartitionPair, FaultKind::Crash, FaultKind::FailToReset,
+        FaultKind::TimerSkew}) {
+    EXPECT_EQ(fault_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(fault_kind_from_string("meteor-strike"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, JsonRoundTripPreservesEveryKind) {
+  const FaultPlan plan = sample_plan();
+  const FaultPlan back = plan_from_json(to_json(plan));
+  EXPECT_EQ(back, plan);
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedWindows) {
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::Loss, 10, 10, 0, 0.5, 1.0});  // empty window
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+  plan.events[0] = {FaultKind::Loss, -1, 10, 0, 0.5, 1.0};  // negative start
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+  plan.events[0] = {FaultKind::Loss, 0, 10, 0, std::nan(""), 1.0};
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+  plan.events[0] = {FaultKind::Duplicate, 0, 10, 0, 1.5, 1.0};
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+  plan.events[0] = {FaultKind::TimerSkew, 0, 10, 0, 0.0, 0.0};  // zero factor
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+  plan.events[0] = {FaultKind::TimerSkew, 0, 10, 0, 0.0, -2.0};
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, FromJsonRejectsGarbage) {
+  EXPECT_THROW(plan_from_json("{\"not\": \"an array\"}"), std::runtime_error);
+  EXPECT_THROW(plan_from_json("[42]"), std::runtime_error);
+  EXPECT_THROW(plan_from_json("[{\"start\": 0, \"end\": 5}]"), std::runtime_error);
+  EXPECT_THROW(plan_from_json("[{\"kind\": \"loss\", \"start\": 5, \"end\": 2}]"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, GeneratorIsDeterministicInTheSeed) {
+  PlanShape shape;
+  shape.processes = {0, 1, 2};
+  util::Rng a(1234);
+  util::Rng b(1234);
+  util::Rng c(1235);
+  const FaultPlan first = generate_plan(a, shape);
+  EXPECT_EQ(first, generate_plan(b, shape));
+  // A neighbouring seed should (for this seed pair) give a different plan.
+  EXPECT_NE(first, generate_plan(c, shape));
+  EXPECT_NO_THROW(validate(first));
+  EXPECT_GE(first.events.size(), 1u);
+  EXPECT_LE(first.events.size(), shape.max_events);
+}
+
+TEST(FaultPlanTest, GeneratedPlansAreAlwaysValid) {
+  PlanShape shape;
+  shape.processes = {0, 1, 2};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    EXPECT_NO_THROW(validate(generate_plan(rng, shape))) << "seed " << seed;
+  }
+}
+
+// --- decorator semantics -----------------------------------------------------
+
+struct TestMessage final : runtime::Message {
+  std::string type_name() const override { return "test"; }
+};
+
+runtime::MessagePtr msg() { return std::make_shared<TestMessage>(); }
+
+struct DecoratorFixture : ::testing::Test {
+  runtime::SimRuntime sim{1};
+  FaultyRuntime frt{sim, 2};
+  FaultyTransport& net = frt.faulty_transport();
+  runtime::NodeId a = 0, b = 0;
+  int delivered_to_b = 0;
+
+  void SetUp() override {
+    a = net.add_node("a");
+    b = net.add_node("b", [this](runtime::NodeId, runtime::MessagePtr) { ++delivered_to_b; });
+    net.connect_bidirectional(a, b);  // default latency 1ms
+  }
+
+  void run() { frt.advance(runtime::ms(10)); }
+};
+
+TEST_F(DecoratorFixture, CleanSendDelivers) {
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 1);
+}
+
+TEST_F(DecoratorFixture, PartitionDropsAtSendButInFlightArrives) {
+  EXPECT_TRUE(net.send(a, b, msg()));  // in flight when the partition opens
+  net.partition_node(b, true);
+  EXPECT_FALSE(net.send(a, b, msg()));  // dropped at send
+  run();
+  EXPECT_EQ(delivered_to_b, 1) << "in-flight message must survive a link partition";
+  EXPECT_EQ(net.stats().dropped_partition, 1u);
+
+  net.partition_node(b, false);
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 2);
+}
+
+TEST_F(DecoratorFixture, PartitionPairCutsBothDirections) {
+  net.partition_pair(a, b, true);
+  EXPECT_FALSE(net.send(a, b, msg()));
+  EXPECT_FALSE(net.send(b, a, msg()));
+  EXPECT_EQ(net.stats().dropped_partition, 2u);
+  net.partition_pair(b, a, false);  // order-insensitive (normalized pair)
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 1);
+}
+
+TEST_F(DecoratorFixture, CrashDropsInFlightDeliveries) {
+  EXPECT_TRUE(net.send(a, b, msg()));  // in flight when the node crashes
+  net.set_crashed(b, true);
+  run();
+  EXPECT_EQ(delivered_to_b, 0) << "a crashed node must not receive in-flight messages";
+  EXPECT_EQ(net.stats().dropped_crash_delivery, 1u);
+
+  EXPECT_FALSE(net.send(a, b, msg()));  // unreachable while down
+  EXPECT_EQ(net.stats().dropped_crash_send, 1u);
+
+  net.set_crashed(b, false);  // restart: reachable again
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 1);
+}
+
+TEST_F(DecoratorFixture, ExtraLossAndDuplicationWindows) {
+  net.set_extra_loss(1.0);
+  EXPECT_FALSE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 0);
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+
+  net.set_extra_loss(0.0);
+  net.set_extra_duplication(1.0);
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  EXPECT_EQ(delivered_to_b, 2) << "p=1 duplication must deliver a trailing copy";
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST_F(DecoratorFixture, DecoratorTraceRecordsWhatTheProtocolObserved) {
+  net.set_tracing(true);
+  EXPECT_TRUE(net.send(a, b, msg()));
+  net.set_crashed(b, true);
+  run();
+  net.set_crashed(b, false);
+  EXPECT_TRUE(net.send(a, b, msg()));
+  run();
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_FALSE(net.trace()[0].delivered);  // died at the crashed doorstep
+  EXPECT_TRUE(net.trace()[1].delivered);
+  net.clear_trace();
+  EXPECT_TRUE(net.trace().empty());
+}
+
+TEST_F(DecoratorFixture, TimerSkewScalesScheduledDelays) {
+  int fired = 0;
+  frt.faulty_clock().set_skew(2.0);
+  frt.clock().schedule_after(runtime::ms(10), [&fired] { ++fired; });
+  frt.faulty_clock().set_skew(1.0);
+  frt.advance(runtime::ms(15));
+  EXPECT_EQ(fired, 0) << "a 10ms delay under 2x skew must not fire at 15ms";
+  frt.advance(runtime::ms(10));
+  EXPECT_EQ(fired, 1);
+
+  // The campaign's own bookkeeping goes through the unskewed inner clock.
+  int inner_fired = 0;
+  frt.faulty_clock().set_skew(4.0);
+  frt.faulty_clock().inner().schedule_after(runtime::ms(10), [&inner_fired] { ++inner_fired; });
+  frt.advance(runtime::ms(12));
+  EXPECT_EQ(inner_fired, 1) << "plan window edges must never be skewed";
+}
+
+}  // namespace
+}  // namespace sa::inject

@@ -1,0 +1,214 @@
+// sa_fuzz: deterministic fault-injection campaign over the real protocol
+// stack.
+//
+// Each seed deterministically expands to a fault plan (loss/duplication
+// windows, partitions, agent crashes, fail-to-reset, timer skew), which is
+// applied through the FaultyTransport/FaultyClock decorators to the paper's
+// §5 scenario running on a fresh SimRuntime. After every run the oracles
+// check that the system rests only in safe configurations, the terminal
+// outcome is in the §4.4 legal set, the delivered control trace conforms to
+// the Figure 1/2 automata, metrics agree with the manager's accounting, and
+// (video scenario) no client ever decoded a corrupted packet. Failures are
+// greedily shrunk to a minimal plan and written as replayable JSON artifacts.
+//
+//   sa_fuzz --seeds 0..256 --threads 8                  # campaign
+//   sa_fuzz --scenario video --seeds 0..64              # full Fig. 3 testbed
+//   sa_fuzz --fault resume-early --seeds 0..32          # must-fail gate
+//   sa_fuzz --seed 17 --plan plan.json                  # one explicit run
+//   sa_fuzz --replay artifact.json                      # byte-deterministic
+//
+// Results are bit-identical for any --threads value: every run is a pure
+// function of (scenario, seed, plan).
+//
+// Exit codes: 0 no violation, 1 violation found, 2 usage/setup/divergence.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "inject/campaign.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --scenario NAME          paper | paper-combined | video (default paper;\n"
+      << "                           paper-combined uses the pair/triple Table-2\n"
+      << "                           actions, whose steps involve several agents)\n"
+      << "  --seeds A..B             campaign seed range, B exclusive (default 0..16)\n"
+      << "  --seed S                 run a single seed (with its generated plan,\n"
+      << "                           or the plan given by --plan)\n"
+      << "  --plan FILE              explicit fault plan JSON (requires --seed)\n"
+      << "  --threads N              campaign workers (default 1; results are\n"
+      << "                           identical for any value)\n"
+      << "  --max-events N           per-run simulator event budget (default 2000000)\n"
+      << "  --fault NAME             inject a manager mutation (none |\n"
+      << "                           resume-before-last-adapt-done | rollback-after-resume)\n"
+      << "  --no-shrink              keep failing plans as generated\n"
+      << "  --artifact-dir DIR       write one replayable JSON artifact per failure\n"
+      << "  --replay FILE            re-run an artifact and verify it reproduces\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void print_failure(const sa::inject::RunReport& report) {
+  std::cout << "FAIL seed " << report.seed << " (outcome " << report.outcome << ")\n";
+  for (const sa::inject::FaultEvent& event : report.plan.events) {
+    std::cout << "  plan: " << event.describe() << "\n";
+  }
+  for (const std::string& violation : report.violations) {
+    std::cout << "  " << violation << "\n";
+  }
+}
+
+void write_artifact(const std::string& dir, const sa::inject::CampaignOptions& options,
+                    const sa::inject::RunReport& report) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/seed-" + std::to_string(report.seed) + ".json";
+  sa::inject::FuzzArtifact artifact;
+  artifact.scenario = options.scenario;
+  artifact.seed = report.seed;
+  artifact.fault = options.fault;
+  artifact.max_events = options.max_events;
+  artifact.plan = report.plan;
+  artifact.violations = report.violations;
+  std::ofstream out(path);
+  out << sa::inject::to_json(artifact);
+  std::cout << "  artifact written to " << path << "\n";
+}
+
+int run_replay(const std::string& path) {
+  const sa::inject::FuzzArtifact artifact =
+      sa::inject::artifact_from_json(read_file(path));
+  sa::inject::CampaignOptions options;
+  options.scenario = artifact.scenario;
+  options.fault = artifact.fault;
+  options.max_events = artifact.max_events;
+  const sa::inject::RunResult result =
+      sa::inject::run_one(artifact.scenario, artifact.seed, artifact.plan, options);
+  std::cout << "replayed scenario '" << artifact.scenario << "' seed " << artifact.seed
+            << ": outcome " << result.outcome << "\n";
+  for (const std::string& violation : result.violations) {
+    std::cout << "  " << violation << "\n";
+  }
+  if (result.violations != artifact.violations) {
+    std::cerr << "sa_fuzz: replay DIVERGED from the artifact (stale file or "
+                 "non-deterministic build?)\n";
+    return 2;
+  }
+  std::cout << "replay reproduced the artifact byte-for-byte\n";
+  return result.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sa::inject::CampaignOptions options;
+  std::optional<std::uint64_t> single_seed;
+  std::optional<std::string> plan_path;
+  std::optional<std::string> artifact_dir;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--scenario") {
+        options.scenario = value();
+      } else if (arg == "--seeds") {
+        const std::string range = value();
+        const std::size_t sep = range.find("..");
+        if (sep == std::string::npos) {
+          throw std::invalid_argument("--seeds expects A..B, got " + range);
+        }
+        options.seed_begin = std::stoull(range.substr(0, sep));
+        options.seed_end = std::stoull(range.substr(sep + 2));
+      } else if (arg == "--seed") {
+        single_seed = std::stoull(value());
+      } else if (arg == "--plan") {
+        plan_path = value();
+      } else if (arg == "--threads") {
+        options.threads = std::stoull(value());
+      } else if (arg == "--max-events") {
+        options.max_events = std::stoull(value());
+      } else if (arg == "--fault") {
+        options.fault = sa::check::fault_from_string(value());
+      } else if (arg == "--no-shrink") {
+        options.shrink = false;
+      } else if (arg == "--artifact-dir") {
+        artifact_dir = value();
+      } else if (arg == "--replay") {
+        return run_replay(value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::cerr << "sa_fuzz: unknown option " << arg << "\n";
+        return usage(argv[0]);
+      }
+    }
+    if (plan_path && !single_seed) {
+      throw std::invalid_argument("--plan requires --seed");
+    }
+
+    if (single_seed) {
+      // Single run: the seed's generated plan unless one was given explicitly.
+      sa::inject::RunReport report;
+      report.seed = *single_seed;
+      report.plan = plan_path
+                        ? sa::inject::plan_from_json(read_file(*plan_path))
+                        : sa::inject::plan_for_seed(options.scenario, *single_seed);
+      sa::inject::RunResult result =
+          sa::inject::run_one(options.scenario, report.seed, report.plan, options);
+      if (!result.violations.empty() && options.shrink) {
+        report.plan = sa::inject::shrink_plan(options.scenario, report.seed, report.plan,
+                                              options, result.violations);
+        result = sa::inject::run_one(options.scenario, report.seed, report.plan, options);
+      }
+      report.outcome = result.outcome;
+      report.violations = result.violations;
+      std::cout << "scenario: " << options.scenario << "  seed: " << report.seed
+                << "  fault: " << sa::check::to_string(options.fault) << "\n";
+      if (report.violations.empty()) {
+        std::cout << "outcome " << report.outcome << ": no violation\n";
+        return 0;
+      }
+      print_failure(report);
+      if (artifact_dir) write_artifact(*artifact_dir, options, report);
+      return 1;
+    }
+
+    const sa::inject::CampaignSummary summary = sa::inject::run_campaign(options);
+    std::cout << "scenario: " << options.scenario << "  seeds: [" << options.seed_begin
+              << ", " << options.seed_end << ")  fault: "
+              << sa::check::to_string(options.fault) << "\n"
+              << "runs:     " << summary.runs << "\n"
+              << "failures: " << summary.failures.size() << "\n";
+    for (const auto& [outcome, count] : summary.outcomes) {
+      std::cout << "outcome " << outcome << ": " << count << "\n";
+    }
+    for (const sa::inject::RunReport& report : summary.failures) {
+      print_failure(report);
+      if (artifact_dir) write_artifact(*artifact_dir, options, report);
+    }
+    return summary.failures.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "sa_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}
