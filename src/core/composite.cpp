@@ -135,8 +135,11 @@ void CompositeAdaptationSystem::finalize() {
 
     const runtime::NodeId manager_node =
         runtime_->transport().add_node("manager-s" + std::to_string(shards_.size()));
+    shard->manager_node = manager_node;
     shard->manager = std::make_unique<proto::AdaptationManager>(
         *runtime_, manager_node, *shard->invariants, *shard->actions, config_.manager);
+    shard->manager->set_observability(&tracer_, &metrics_);
+    tracer_.set_node_track(manager_node, obs::kManagerTrack);
 
     // Agents: one per process hosting a member of this shard.
     for (const PendingProcess& pending : pending_processes_) {
@@ -152,6 +155,8 @@ void CompositeAdaptationSystem::finalize() {
       shard->agents.push_back(std::make_unique<proto::AdaptationAgent>(
           runtime_->clock(), runtime_->transport(), agent_node, manager_node, *pending.target,
           config_.agent));
+      shard->agents.back()->set_observability(&tracer_, &metrics_,
+                                              static_cast<std::int64_t>(pending.process));
       shard->manager->register_agent(pending.process, agent_node, pending.stage);
       shard->processes.push_back(pending.process);
     }
@@ -177,8 +182,86 @@ void CompositeAdaptationSystem::finalize() {
     shards_[i]->lane = lane_index.emplace(root, lane_index.size()).first->second;
   }
   lane_count_ = lane_index.size();
+
+  build_tree();
   SA_INFO("composite") << shards_.size() << " collaborative set(s) in " << lane_count_
-                       << " concurrency lane(s)";
+                       << " concurrency lane(s) under " << coordinators_.size()
+                       << " coordinator(s), " << levels_ << " level(s)";
+}
+
+void CompositeAdaptationSystem::build_tree() {
+  const std::size_t lanes_per_leaf = std::max<std::size_t>(1, config_.topology.lanes_per_leaf);
+  const std::size_t fanout = std::clamp<std::size_t>(config_.topology.fanout, 2, 64);
+  const std::size_t leaf_count =
+      lane_count_ == 0 ? 1 : (lane_count_ + lanes_per_leaf - 1) / lanes_per_leaf;
+
+  levels_ = 1;
+  for (std::size_t m = leaf_count; m > 1; m = (m + fanout - 1) / fanout) ++levels_;
+
+  struct Built {
+    std::size_t index = 0;                  ///< into coordinators_
+    std::vector<std::uint32_t> covered;     ///< global shard ids, ascending
+  };
+
+  const auto make_coordinator = [&](std::size_t depth, std::size_t position) {
+    proto::CoordinatorConfig cc;
+    cc.epoch_window = depth == 0 ? config_.topology.epoch_window : runtime::Time{0};
+    const std::size_t height = (levels_ - 1) - depth;  // 0 at the leaves
+    cc.commit_timeout =
+        config_.topology.commit_timeout * static_cast<runtime::Time>(height + 1);
+    const runtime::NodeId node = runtime_->transport().add_node(
+        "coord-d" + std::to_string(depth) + "-" + std::to_string(position));
+    coordinators_.push_back(std::make_unique<proto::AdaptationCoordinator>(
+        *runtime_, node, cc, static_cast<int>(depth)));
+    const std::int64_t track = -static_cast<std::int64_t>(100 + coordinators_.size());
+    tracer_.set_track_name(track, runtime_->transport().node_name(node));
+    tracer_.set_node_track(node, track);
+    coordinators_.back()->set_observability(&tracer_, &metrics_, track);
+    return coordinators_.size() - 1;
+  };
+
+  // Leaves: group lanes by lane / lanes_per_leaf; a leaf executes its lanes'
+  // shards directly (serial per lane, concurrent across lanes).
+  std::vector<Built> level;
+  for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+    Built built;
+    built.index = make_coordinator(levels_ - 1, leaf);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->lane / lanes_per_leaf != leaf) continue;
+      coordinators_[built.index]->add_local_shard(static_cast<std::uint32_t>(s),
+                                                  static_cast<std::uint32_t>(shards_[s]->lane),
+                                                  *shards_[s]->manager);
+      built.covered.push_back(static_cast<std::uint32_t>(s));
+    }
+    level.push_back(std::move(built));
+  }
+
+  // Interior levels, bottom-up: every `fanout` nodes share a parent.
+  std::size_t depth = levels_ - 1;
+  while (level.size() > 1) {
+    --depth;
+    std::vector<Built> next;
+    for (std::size_t begin = 0; begin < level.size(); begin += fanout) {
+      Built parent;
+      parent.index = make_coordinator(depth, next.size());
+      proto::AdaptationCoordinator& coordinator = *coordinators_[parent.index];
+      const std::size_t end = std::min(begin + fanout, level.size());
+      for (std::size_t c = begin; c < end; ++c) {
+        proto::AdaptationCoordinator& child = *coordinators_[level[c].index];
+        runtime_->transport().connect_bidirectional(coordinator.node(), child.node(),
+                                                    config_.control_channel);
+        coordinator.add_child(child.node(), level[c].covered);
+        child.set_parent(coordinator.node());
+        coordinator_links_.emplace_back(coordinator.node(), child.node());
+        parent.covered.insert(parent.covered.end(), level[c].covered.begin(),
+                              level[c].covered.end());
+      }
+      std::sort(parent.covered.begin(), parent.covered.end());
+      next.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  root_ = level.front().index;
 }
 
 const std::vector<config::ComponentId>& CompositeAdaptationSystem::shard_members(
@@ -188,6 +271,13 @@ const std::vector<config::ComponentId>& CompositeAdaptationSystem::shard_members
 
 proto::AdaptationManager& CompositeAdaptationSystem::shard_manager(std::size_t index) {
   return *shards_.at(index)->manager;
+}
+
+std::vector<runtime::NodeId> CompositeAdaptationSystem::manager_nodes() const {
+  std::vector<runtime::NodeId> nodes;
+  nodes.reserve(shards_.size());
+  for (const auto& shard : shards_) nodes.push_back(shard->manager_node);
+  return nodes;
 }
 
 config::Configuration CompositeAdaptationSystem::to_local(
@@ -211,7 +301,7 @@ config::Configuration CompositeAdaptationSystem::to_global(
 }
 
 void CompositeAdaptationSystem::set_current_configuration(config::Configuration global) {
-  if (shards_.empty()) throw std::logic_error("system not finalized");
+  if (!finalized()) throw std::logic_error("system not finalized");
   for (const auto& shard : shards_) {
     shard->manager->set_current_configuration(to_local(*shard, global));
   }
@@ -225,74 +315,53 @@ config::Configuration CompositeAdaptationSystem::current_configuration() const {
   return global;
 }
 
+std::vector<proto::ShardTarget> CompositeAdaptationSystem::shard_targets(
+    const config::Configuration& global_target) const {
+  // Sub-requests per shard whose slice of the target differs from its state.
+  std::vector<proto::ShardTarget> targets;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto local_target = to_local(*shards_[s], global_target);
+    if (local_target == shards_[s]->manager->current_configuration()) continue;
+    targets.push_back(proto::ShardTarget{static_cast<std::uint32_t>(s), local_target});
+  }
+  return targets;
+}
+
 void CompositeAdaptationSystem::request_adaptation(config::Configuration global_target,
                                                    CompletionHandler handler) {
-  if (shards_.empty()) throw std::logic_error("system not finalized");
-  if (request_in_flight_) {
+  if (!finalized()) throw std::logic_error("system not finalized");
+  if (request_in_flight_.exchange(true)) {
     throw std::logic_error("composite adaptation request while another is in flight");
   }
-  request_in_flight_ = true;
+  submit_adaptation(std::move(global_target),
+                    [this, handler = std::move(handler)](const CompositeResult& result) {
+                      request_in_flight_ = false;
+                      if (handler) handler(result);
+                    });
+}
 
-  // Sub-requests per shard whose slice of the target differs from its state.
-  struct LaneWork {
-    std::vector<Shard*> shards;
-  };
-  std::map<std::size_t, LaneWork> lanes;
-  for (const auto& shard : shards_) {
-    const auto local_target = to_local(*shard, global_target);
-    if (local_target == shard->manager->current_configuration()) continue;
-    lanes[shard->lane].shards.push_back(shard.get());
-  }
-
-  auto state = std::make_shared<CompositeResult>();
-  state->started = runtime_->clock().now();
-  auto outstanding = std::make_shared<std::size_t>(lanes.size());
-  auto finish_if_done = [this, state, outstanding, handler = std::move(handler)]() {
-    if (*outstanding != 0) return;
-    state->success = std::all_of(
-        state->shard_results.begin(), state->shard_results.end(),
-        [](const proto::AdaptationResult& r) {
-          return r.outcome == proto::AdaptationOutcome::Success;
-        });
-    state->final_config = current_configuration();
-    state->finished = runtime_->clock().now();
-    request_in_flight_ = false;
-    if (handler) handler(*state);
-  };
-
-  if (lanes.empty()) {
-    // Nothing to do anywhere: report immediate success.
-    runtime_->executor().post([finish_if_done]() mutable { finish_if_done(); });
-    return;
-  }
-
-  // Each lane runs its shards sequentially; lanes run concurrently. The
-  // stepping function holds only a weak reference to itself — the strong
-  // reference lives in the manager's in-flight completion handler — so the
-  // closure is reclaimed exactly when the lane finishes.
-  for (auto& [lane_id, work] : lanes) {
-    auto queue = std::make_shared<std::vector<Shard*>>(std::move(work.shards));
-    auto index = std::make_shared<std::size_t>(0);
-    auto run_next = std::make_shared<std::function<void()>>();
-    *run_next = [this, queue, index, state, outstanding, finish_if_done,
-                 weak_self = std::weak_ptr<std::function<void()>>(run_next), global_target]() {
-      if (*index >= queue->size()) {
-        --*outstanding;
-        finish_if_done();
-        return;
-      }
-      auto self = weak_self.lock();
-      if (!self) return;
-      Shard* shard = (*queue)[(*index)++];
-      shard->manager->request_adaptation(
-          to_local(*shard, global_target),
-          [state, self](const proto::AdaptationResult& result) {
-            state->shard_results.push_back(result);
-            (*self)();
-          });
-    };
-    (*run_next)();
-  }
+std::uint64_t CompositeAdaptationSystem::submit_adaptation(config::Configuration global_target,
+                                                           CompletionHandler handler) {
+  if (!finalized()) throw std::logic_error("system not finalized");
+  return root_coordinator().submit(
+      shard_targets(global_target),
+      [this, handler = std::move(handler)](
+          const proto::AdaptationCoordinator::TicketResult& ticket) {
+        CompositeResult result;
+        result.started = ticket.started;
+        result.finished = ticket.finished;
+        result.epoch = ticket.epoch;
+        result.success = true;
+        for (const proto::ShardOutcome& outcome : ticket.outcomes) {
+          result.orphaned += outcome.reported ? 0 : 1;
+          result.success =
+              result.success && outcome.result.outcome == proto::AdaptationOutcome::Success;
+          result.shard_results.push_back(outcome.result);
+        }
+        result.outcomes = ticket.outcomes;
+        result.final_config = current_configuration();
+        if (handler) handler(result);
+      });
 }
 
 CompositeResult CompositeAdaptationSystem::adapt_and_wait(config::Configuration global_target,

@@ -1,0 +1,104 @@
+// Fleet-scale adaptation campaigns over the hierarchical composite system.
+//
+// A fleet is `clusters` independent two-component (X/Y) clusters — the same
+// unit workload the §7 scalability experiment uses — partitioned into
+// REGIONS. Configuration is a 64-bit word, so one composite system carries at
+// most 32 such clusters; larger fleets shard into regions automatically, each
+// region a fresh deterministic SimRuntime hosting one
+// CompositeAdaptationSystem whose coordinator tree (region -> shard ->
+// collaborative set) group-commits the region's mass adaptation in epochs.
+//
+// Regions are pure functions of (seed, region index, spec): run_fleet fans
+// them over a worker pool and writes results into per-region slots, so the
+// report — including every digest — is bit-identical for any `threads`
+// value. That is the property the CI fleet-smoke job diffs.
+//
+// run_threaded_campaign is the non-simulated counterpart: many composite
+// systems share one ThreadedRuntime while ~a thousand short-lived submitter
+// threads race submit_adaptation against the root coordinators, exercising
+// the epoch pipeline under real preemption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/time.hpp"
+
+namespace sa::core {
+
+struct FleetSpec {
+  std::size_t clusters = 64;  ///< total X/Y clusters; 2 agents each
+  /// Clusters per region; clamped to [1, 32] (64-bit Configuration).
+  std::size_t clusters_per_region = 32;
+  std::size_t lanes_per_leaf = 4;  ///< coordinator tree shape, per region
+  std::size_t fanout = 4;
+  runtime::Time epoch_window = runtime::us(500);
+  std::uint64_t seed = 42;
+  std::size_t threads = 1;  ///< workers over regions; never changes results
+  std::size_t max_events = 5'000'000;  ///< per-region simulator budget
+};
+
+struct RegionReport {
+  std::size_t region = 0;
+  bool success = false;
+  std::size_t clusters = 0;
+  std::size_t shards = 0;
+  std::size_t lanes = 0;
+  std::size_t coordinators = 0;
+  std::size_t depth = 0;        ///< coordinator tree levels
+  std::uint64_t epochs = 0;     ///< root epochs completed
+  std::uint64_t orphaned = 0;   ///< shards lost to commit timeouts (expect 0)
+  /// Mean §4.3 blocked time per process (sa_blocked_time_us / processes) —
+  /// the flatness signal: it must not grow with fleet size.
+  double blocked_us_per_process = 0.0;
+  runtime::Time virtual_time = 0;  ///< request start -> finish, virtual us
+  std::uint64_t digest = 0;        ///< outcome fingerprint, deterministic
+};
+
+struct FleetReport {
+  bool success = false;
+  std::size_t clusters = 0;
+  std::size_t coordinators = 0;  ///< summed over regions
+  std::size_t depth = 0;         ///< deepest region tree
+  std::uint64_t epochs = 0;      ///< summed over regions
+  std::uint64_t orphaned = 0;
+  double blocked_us_per_process = 0.0;  ///< cluster-weighted mean
+  runtime::Time virtual_time = 0;       ///< slowest region (regions overlap)
+  std::uint64_t digest = 0;             ///< region digests mixed in order
+  std::vector<RegionReport> regions;
+};
+
+/// Runs the mass X -> Y adaptation over every region and aggregates.
+FleetReport run_fleet(const FleetSpec& spec);
+
+/// Deterministic multi-line rendering; identical text for any spec.threads.
+std::string describe(const FleetReport& report);
+
+struct ThreadedCampaignSpec {
+  std::size_t regions = 8;              ///< composite systems on the runtime
+  std::size_t clusters_per_region = 8;  ///< clamped to [1, 32]
+  /// Submitter threads per region; total threads = regions * this. Every
+  /// submitter races the same all-Y target into its region's root, so
+  /// same-epoch submissions coalesce and later ones ride no-op epochs.
+  std::size_t submitters_per_region = 4;
+  std::size_t runtime_workers = 4;  ///< ThreadedRuntime executor pool
+  std::uint64_t seed = 42;
+  runtime::Time wait_cap = runtime::seconds(120);  ///< real-time budget
+};
+
+struct ThreadedCampaignReport {
+  bool success = false;
+  std::size_t threads = 0;    ///< submitter threads launched
+  std::size_t clusters = 0;
+  std::uint64_t tickets = 0;  ///< completed root tickets
+  std::uint64_t epochs = 0;   ///< root epochs, summed over regions
+  std::vector<std::string> failures;  ///< oracle violations, empty on success
+};
+
+/// Launches the submitter storm on a ThreadedRuntime and checks the oracles:
+/// every ticket terminates successfully with no orphans, and every region
+/// rests at the all-Y target.
+ThreadedCampaignReport run_threaded_campaign(const ThreadedCampaignSpec& spec);
+
+}  // namespace sa::core

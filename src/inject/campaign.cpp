@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "check/explorer.hpp"  // fault_from_string / to_string(ManagerFault)
+#include "core/composite.hpp"
 #include "core/paper_scenario.hpp"
 #include "core/system.hpp"
 #include "core/video_testbed.hpp"
@@ -296,6 +297,178 @@ RunResult run_video(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
   return out;
 }
 
+/// The "fleet" scenario: an 8-cluster composite under a 3-level manager tree
+/// (lanes_per_leaf = 2, fanout = 2 -> 4 leaves, 2 interior nodes, 1 root) on
+/// the fault decorators. FaultEvent.process is REINTERPRETED as an index into
+/// coordinator_links() (mod link count): PartitionPair cuts that parent<->child
+/// link, PartitionNode / Crash / FailToReset take out the link's child
+/// coordinator node. Coordinators do not retransmit commits, so a cut link
+/// orphans its subtree's shards at the commit timeout — the §4.4 contract the
+/// oracles then verify per shard: orphaned shards must have rolled back
+/// cleanly (or committed locally, with only the report lost), never rest
+/// half-adapted, and never block a disjoint shard's commit.
+RunResult run_fleet(std::uint64_t seed, const FaultPlan& plan, const CampaignOptions& options) {
+  runtime::SimRuntime sim(seed);
+  FaultyRuntime frt(sim, seed ^ kFaultStream);
+
+  constexpr std::size_t kClusters = 8;
+  core::CompositeConfig config;
+  config.seed = seed;
+  config.topology.lanes_per_leaf = 2;
+  config.topology.fanout = 2;
+  // Short enough that a permanent partition orphans within the event budget;
+  // long enough that a healthy subtree always reports first.
+  config.topology.commit_timeout = runtime::seconds(2);
+  core::CompositeAdaptationSystem system(frt, config);
+
+  std::vector<std::unique_ptr<StubProcess>> processes;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    const std::string s = std::to_string(c);
+    system.registry().add("X" + s, static_cast<config::ProcessId>(c));
+    system.registry().add("Y" + s, static_cast<config::ProcessId>(c));
+  }
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    const std::string s = std::to_string(c);
+    system.add_invariant("one" + s, "one(X" + s + ", Y" + s + ")");
+    system.add_action("swap" + s, {"X" + s}, {"Y" + s}, 10);
+    system.add_action("back" + s, {"Y" + s}, {"X" + s}, 10);
+    processes.push_back(std::make_unique<StubProcess>());
+    system.attach_process(static_cast<config::ProcessId>(c), *processes.back(), 0);
+  }
+  system.finalize();
+
+  config::Configuration source, target;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    source = source.with(static_cast<config::ComponentId>(2 * c));
+    target = target.with(static_cast<config::ComponentId>(2 * c + 1));
+  }
+  system.set_current_configuration(source);
+  if (options.fault != proto::ManagerFault::None) {
+    for (std::size_t s = 0; s < system.shard_count(); ++s) {
+      system.shard_manager(s).inject_fault(options.fault);
+    }
+  }
+
+  frt.faulty_transport().set_tracing(true);
+  FaultyTransport& net = frt.faulty_transport();
+  const auto& links = system.coordinator_links();
+  for (const FaultEvent& event : plan.events) {
+    const auto [parent, child] = links[event.process % links.size()];
+    switch (event.kind) {
+      case FaultKind::Loss:
+        sim.clock().schedule_at(event.start,
+                                [&net, p = event.probability] { net.set_extra_loss(p); });
+        sim.clock().schedule_at(event.end, [&net] { net.set_extra_loss(0.0); });
+        break;
+      case FaultKind::Duplicate:
+        sim.clock().schedule_at(event.start,
+                                [&net, p = event.probability] { net.set_extra_duplication(p); });
+        sim.clock().schedule_at(event.end, [&net] { net.set_extra_duplication(0.0); });
+        break;
+      case FaultKind::TimerSkew:
+        sim.clock().schedule_at(event.start,
+                                [&frt, f = event.factor] { frt.faulty_clock().set_skew(f); });
+        sim.clock().schedule_at(event.end, [&frt] { frt.faulty_clock().set_skew(1.0); });
+        break;
+      case FaultKind::PartitionPair:
+        sim.clock().schedule_at(event.start, [&net, parent, child] {
+          net.partition_pair(parent, child, true);
+        });
+        sim.clock().schedule_at(event.end, [&net, parent, child] {
+          net.partition_pair(parent, child, false);
+        });
+        break;
+      case FaultKind::PartitionNode:
+      case FaultKind::FailToReset:
+        sim.clock().schedule_at(event.start,
+                                [&net, child] { net.partition_node(child, true); });
+        sim.clock().schedule_at(event.end,
+                                [&net, child] { net.partition_node(child, false); });
+        break;
+      case FaultKind::Crash:
+        sim.clock().schedule_at(event.start, [&net, child] { net.set_crashed(child, true); });
+        sim.clock().schedule_at(event.end, [&net, child] { net.set_crashed(child, false); });
+        break;
+    }
+  }
+
+  RunResult out;
+  std::optional<core::CompositeResult> result;
+  try {
+    result = system.adapt_and_wait(target, options.max_events);
+    out.outcome = result->success ? "success"
+                                  : (result->orphaned != 0 ? "orphaned" : "partial-failure");
+  } catch (const std::runtime_error& e) {
+    out.outcome = "did-not-terminate";
+    out.violations.push_back(std::string("non-termination: ") + e.what());
+  }
+  const runtime::Time horizon = plan_horizon(plan) + runtime::ms(20);
+  if (horizon > sim.clock().now()) frt.advance(horizon - sim.clock().now());
+
+  const auto violate = [&out](const std::string& what) { out.violations.push_back(what); };
+
+  // -- every cluster rests safely: exactly one of {X_i, Y_i} ------------------
+  const config::Configuration resting = system.current_configuration();
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    const bool x = resting.contains(static_cast<config::ComponentId>(2 * c));
+    const bool y = resting.contains(static_cast<config::ComponentId>(2 * c + 1));
+    if (x == y) {
+      violate("unsafe-rest: cluster " + std::to_string(c) + " rests with X=" +
+              std::to_string(x) + " Y=" + std::to_string(y) +
+              " (must hold exactly one)");
+    }
+  }
+
+  // -- reported shard fates match where the cluster actually rests ------------
+  // Orphans are exempt: their subtree may have finished after the report was
+  // lost, so only the unsafe-rest oracle constrains them.
+  if (result.has_value()) {
+    for (const proto::ShardOutcome& outcome : result->outcomes) {
+      if (!outcome.reported) continue;
+      const auto c = static_cast<std::size_t>(outcome.shard);
+      const bool at_target = resting.contains(static_cast<config::ComponentId>(2 * c + 1));
+      if (outcome.result.outcome == proto::AdaptationOutcome::Success && !at_target) {
+        violate("illegal-outcome: shard " + std::to_string(c) +
+                " reported success but rests at its source");
+      }
+      if ((outcome.result.outcome == proto::AdaptationOutcome::RolledBackToSource ||
+           outcome.result.outcome == proto::AdaptationOutcome::NoPathFound) &&
+          at_target) {
+        violate("illegal-outcome: shard " + std::to_string(c) + " reported " +
+                std::string(proto::to_string(outcome.result.outcome)) +
+                " but rests at its target");
+      }
+    }
+  }
+
+  // -- the epoch pipeline drained: no coordinator is wedged mid-commit --------
+  for (std::size_t i = 0; i < system.coordinator_count(); ++i) {
+    if (!system.coordinator(i).idle()) {
+      violate("non-termination: coordinator " + std::to_string(i) +
+              " is not idle after the drain (phase " +
+              std::string(proto::to_string(system.coordinator(i).phase())) + ")");
+    }
+  }
+
+  // -- delivered trace is a run of the automata AND the epoch rules -----------
+  const proto::ConformanceChecker checker(system.manager_nodes());
+  for (const proto::ConformanceViolation& v : checker.check(net.trace())) {
+    violate("conformance: " + v.description);
+  }
+
+  // -- obs metrics agree with the managers' own accounting --------------------
+  double reported_blocked = 0;
+  for (std::size_t s = 0; s < system.shard_count(); ++s) {
+    reported_blocked += static_cast<double>(system.shard_manager(s).total_blocked_reported());
+  }
+  const double histogram = system.metrics().histogram_family_sum("sa_blocked_time_us");
+  if (histogram != reported_blocked) {
+    violate("metrics-mismatch: sa_blocked_time_us sums to " + std::to_string(histogram) +
+            " but the managers reported " + std::to_string(reported_blocked) + "us blocked");
+  }
+  return out;
+}
+
 /// Failure class = the prefix before the first ':' of a violation string.
 std::set<std::string> violation_classes(const std::vector<std::string>& violations) {
   std::set<std::string> classes;
@@ -318,6 +491,14 @@ FaultPlan plan_for_seed(const std::string& scenario, std::uint64_t seed) {
     // so runs stay inside the event budget.
     shape.max_loss = 0.3;
   }
+  if (scenario == "fleet") {
+    // Targets index the 6 coordinator links of the 8-cluster tree (4 leaves,
+    // 2 interior, 1 root), not agent processes. The epoch pipeline drains in
+    // ~20ms of virtual time, so windows must open inside that span to hit a
+    // commit in flight (the default 150ms horizon would mostly miss).
+    shape.processes = {0, 1, 2, 3, 4, 5};
+    shape.horizon = runtime::ms(15);
+  }
   return generate_plan(rng, shape);
 }
 
@@ -331,6 +512,7 @@ RunResult run_one(const std::string& scenario, std::uint64_t seed, const FaultPl
     return run_paper(seed, plan, options, core::PaperActionSet::CombinedOnly);
   }
   if (scenario == "video") return run_video(seed, plan, options);
+  if (scenario == "fleet") return run_fleet(seed, plan, options);
   throw std::invalid_argument("unknown campaign scenario: " + scenario);
 }
 

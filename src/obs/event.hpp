@@ -50,6 +50,12 @@ enum class EventKind : std::uint8_t {
   TimerArmed,      ///< value = timeout in µs, name = purpose
   TimerFired,      ///< the timeout elapsed and the callback ran
   TimerCancelled,  ///< disarmed before firing
+
+  // --- manager tree (coordinators) ------------------------------------------
+  CoordinatorPhase,  ///< epoch pipeline transition (detail = from, name = to)
+  EpochOpened,       ///< a coordinator began batching (value = epoch number)
+  EpochSealed,       ///< batch frozen (value = shard count, detail = coalesced)
+  EpochCompleted,    ///< every subtree reported (value = µs commit latency)
 };
 
 std::string_view to_string(EventKind kind);

@@ -19,6 +19,10 @@ std::string_view to_string(EventKind kind) {
     case EventKind::TimerArmed: return "timer_armed";
     case EventKind::TimerFired: return "timer_fired";
     case EventKind::TimerCancelled: return "timer_cancelled";
+    case EventKind::CoordinatorPhase: return "coordinator_phase";
+    case EventKind::EpochOpened: return "epoch_opened";
+    case EventKind::EpochSealed: return "epoch_sealed";
+    case EventKind::EpochCompleted: return "epoch_completed";
   }
   return "?";
 }

@@ -1,6 +1,8 @@
 #include "proto/conformance.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "proto/messages.hpp"
 
@@ -37,12 +39,37 @@ struct StepState {
   std::map<runtime::NodeId, AgentStepState> agents;
 };
 
+/// Order-insensitive digest of a commit's payload: shard ids + target bits.
+/// Two deliveries of the SAME sealed epoch hash equal (retransmission); a
+/// reused epoch number carrying different work does not.
+std::uint64_t digest_targets(const std::vector<ShardTarget>& targets) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const ShardTarget& target : targets) {
+    std::uint64_t v = (static_cast<std::uint64_t>(target.shard) << 32) ^ target.target.bits();
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    h ^= v;  // xor: slice order on the wire is irrelevant
+  }
+  return h;
+}
+
+/// Per directed coordinator link: every committed epoch and its payload.
+struct LinkState {
+  std::map<std::uint64_t, std::uint64_t> committed;  // epoch -> payload digest
+  std::uint64_t max_epoch = 0;
+};
+
 }  // namespace
+
+bool ConformanceChecker::is_manager(runtime::NodeId node) const {
+  return std::find(managers_.begin(), managers_.end(), node) != managers_.end();
+}
 
 std::vector<ConformanceViolation> ConformanceChecker::check(
     const std::vector<runtime::TraceEntry>& trace) const {
   std::vector<ConformanceViolation> violations;
   std::map<StepKey, StepState> steps;
+  std::map<std::pair<runtime::NodeId, runtime::NodeId>, LinkState> links;
 
   const auto violate = [&violations](runtime::Time time, const std::string& what) {
     violations.push_back(ConformanceViolation{time, what});
@@ -50,12 +77,53 @@ std::vector<ConformanceViolation> ConformanceChecker::check(
 
   for (const runtime::TraceEntry& entry : trace) {
     if (!entry.delivered || !entry.message) continue;
+
+    // Coordinator vocabulary first: CoordMessage is a sibling hierarchy of
+    // ProtoMessage, keyed by epoch instead of step coordinates.
+    if (const auto* coord = dynamic_cast<const CoordMessage*>(entry.message.get())) {
+      if (const auto* commit = dynamic_cast<const EpochCommitMsg*>(coord)) {
+        LinkState& link = links[{entry.from, entry.to}];
+        const std::uint64_t digest = digest_targets(commit->targets);
+        const auto seen = link.committed.find(commit->epoch);
+        if (seen != link.committed.end()) {
+          if (seen->second != digest) {
+            violate(entry.time, "link " + std::to_string(entry.from) + "->" +
+                                    std::to_string(entry.to) + ": epoch " +
+                                    std::to_string(commit->epoch) +
+                                    " committed twice with different targets "
+                                    "(out-of-epoch commit)");
+          }
+          // Identical payload: a legitimate retransmission.
+        } else {
+          if (commit->epoch < link.max_epoch) {
+            violate(entry.time, "link " + std::to_string(entry.from) + "->" +
+                                    std::to_string(entry.to) + ": epoch " +
+                                    std::to_string(commit->epoch) +
+                                    " committed after epoch " +
+                                    std::to_string(link.max_epoch) +
+                                    " (epoch numbers must not regress)");
+          }
+          link.committed.emplace(commit->epoch, digest);
+          link.max_epoch = std::max(link.max_epoch, commit->epoch);
+        }
+      } else if (const auto* done = dynamic_cast<const EpochDoneMsg*>(coord)) {
+        // The reverse link must have committed this epoch.
+        const auto reverse = links.find({entry.to, entry.from});
+        if (reverse == links.end() || !reverse->second.committed.contains(done->epoch)) {
+          violate(entry.time, "link " + std::to_string(entry.from) + "->" +
+                                  std::to_string(entry.to) + ": epoch done for epoch " +
+                                  std::to_string(done->epoch) + " that was never committed");
+        }
+      }
+      continue;
+    }
+
     const auto* proto = dynamic_cast<const ProtoMessage*>(entry.message.get());
     if (!proto) continue;  // application traffic
     const StepKey key = key_of(proto->step);
     StepState& step = steps[key];
 
-    if (entry.from == manager_) {
+    if (is_manager(entry.from)) {
       AgentStepState& agent = step.agents[entry.to];
       if (dynamic_cast<const ResetMsg*>(proto) != nullptr) {
         agent.reset_received = true;
@@ -83,7 +151,7 @@ std::vector<ConformanceViolation> ConformanceChecker::check(
       continue;
     }
 
-    if (entry.to == manager_) {
+    if (is_manager(entry.to)) {
       AgentStepState& agent = step.agents[entry.from];
       const bool is_reset_done = dynamic_cast<const ResetDoneMsg*>(proto) != nullptr;
       const bool is_adapt_done = dynamic_cast<const AdaptDoneMsg*>(proto) != nullptr;

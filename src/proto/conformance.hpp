@@ -12,6 +12,16 @@
 //   * duplicate deliveries are permitted everywhere (loss handling re-sends),
 //     but out-of-order *first* occurrences are violations.
 //
+// The manager-tree vocabulary (EpochCommitMsg / EpochDoneMsg) is checked per
+// directed coordinator link, independent of the manager set:
+//
+//   * epoch numbers on a commit link never regress (out-of-epoch commit);
+//   * one epoch is never committed twice with DIFFERENT targets — re-sends
+//     of an identical commit are legitimate loss handling, a changed payload
+//     under a reused epoch number is a broken group commit;
+//   * an epoch done only reports an epoch that was committed on the reverse
+//     link (phantom completions).
+//
 // Tests run adaptations under loss/duplication/partition injection and assert
 // an empty violation list — turning the paper's safety argument into a
 // machine-checked property of every execution the suite produces.
@@ -35,13 +45,20 @@ class ConformanceChecker {
  public:
   /// `manager_node` identifies the manager; every other endpoint appearing in
   /// the trace is treated as an agent.
-  explicit ConformanceChecker(runtime::NodeId manager_node) : manager_(manager_node) {}
+  explicit ConformanceChecker(runtime::NodeId manager_node) : managers_{manager_node} {}
+  /// Manager-tree form: every node in `manager_nodes` is a manager endpoint
+  /// (one per collaborative set). Coordinator links are recognized by their
+  /// message vocabulary and checked regardless of this set.
+  explicit ConformanceChecker(std::vector<runtime::NodeId> manager_nodes)
+      : managers_(std::move(manager_nodes)) {}
 
   /// Replays `trace` (delivered entries only) and returns all violations.
   std::vector<ConformanceViolation> check(const std::vector<runtime::TraceEntry>& trace) const;
 
  private:
-  runtime::NodeId manager_;
+  bool is_manager(runtime::NodeId node) const;
+
+  std::vector<runtime::NodeId> managers_;
 };
 
 }  // namespace sa::proto

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "config/configuration.hpp"
 #include "proto/core/states.hpp"
@@ -26,18 +27,9 @@
 
 namespace sa::proto {
 
-/// Everything the manager can learn about one finished adaptation request.
-struct AdaptationResult {
-  AdaptationOutcome outcome = AdaptationOutcome::Success;
-  config::Configuration final_config;
-  std::size_t steps_committed = 0;
-  std::size_t step_failures = 0;    ///< rollbacks of individual steps
-  std::size_t plans_tried = 1;
-  std::size_t message_retries = 0;  ///< retransmission rounds
-  runtime::Time started = 0;
-  runtime::Time finished = 0;
-  std::string detail;
-};
+// AdaptationResult lives in proto/messages.hpp (coordinator messages carry
+// per-shard results up the manager tree); this header re-exports it through
+// that include for the cores' pre-existing spelling.
 
 /// The manager owns two logical timer slots: the protocol timer (reset /
 /// resume / rollback timeout, one at a time) and the inter-stage delay.
@@ -46,6 +38,11 @@ enum class ManagerTimer : std::uint8_t { Protocol, StageDelay };
 /// The agent owns a single pending-action slot (pre-action, in-action,
 /// resume, or rollback-undo — never more than one at a time).
 enum class AgentTimer : std::uint8_t { Pending };
+
+/// The coordinator owns two logical timer slots: the epoch window (closes the
+/// accumulating batch) and the commit timeout (orphans unreported shards so a
+/// partitioned subtree cannot wedge the epoch pipeline).
+enum class CoordinatorTimer : std::uint8_t { Epoch, Commit };
 
 /// Local completions an agent driver reports back to its core after
 /// executing a ProcessOp (reset complete / in-action complete / ...).
@@ -83,6 +80,32 @@ struct AgentInput {
   std::variant<MessageDelivered, TimerFired, AgentLocalEvent> event;
 };
 
+struct CoordinatorInput {
+  /// At the root this is an application submission; below the root it is a
+  /// parent's EpochCommitMsg, whose epoch number becomes the ticket. Distinct
+  /// tickets batching into the same epoch are the group commit.
+  struct SubmitRequest {
+    std::uint64_t ticket = 0;
+    std::vector<ShardTarget> targets;
+  };
+  struct ChildDone {  ///< EpochDoneMsg delivered from child index `child`
+    std::size_t child = 0;
+    std::uint64_t epoch = 0;
+    std::vector<ShardOutcome> outcomes;
+  };
+  struct ShardFinished {  ///< a local lane finished executing one shard
+    std::uint64_t epoch = 0;
+    std::uint32_t shard = 0;
+    AdaptationResult result;
+  };
+  struct TimerFired {
+    CoordinatorTimer timer = CoordinatorTimer::Epoch;
+  };
+
+  runtime::Time now = 0;
+  std::variant<SubmitRequest, ChildDone, ShardFinished, TimerFired> event;
+};
+
 enum class OutputKind : std::uint8_t {
   // --- transport / timer effects (both cores) -------------------------------
   Send,         ///< manager: message -> `process`; agent: message -> manager
@@ -114,6 +137,14 @@ enum class OutputKind : std::uint8_t {
 
   // --- agent notes ----------------------------------------------------------
   DuplicateMessage,  ///< retransmitted manager message absorbed (label = type)
+
+  // --- epoch-batched group commit (coordinator core) ------------------------
+  SendParent,      ///< coordinator: message -> its parent coordinator
+  ExecuteShard,    ///< drive local shard `shard` to `config` (tagged `epoch`)
+  EpochOpened,     ///< a batch began accumulating (`epoch` = number to seal)
+  EpochSealed,     ///< batch frozen (value = shard count, extra = coalesced)
+  EpochCompleted,  ///< every child/lane reported (extra = orphan count)
+  TicketDone,      ///< one submission's `shard_outcomes` ready (root only)
 };
 
 /// One side effect requested by a core, in emission order. A single flat
@@ -141,7 +172,16 @@ struct Output {
   AgentState state_from = AgentState::Running;      ///< Transition (agent)
   AgentState state_to = AgentState::Running;
   runtime::Time blocked = 0;      ///< BlockedObserved µs
-  AdaptationResult result;        ///< Outcome payload
+  AdaptationResult result;        ///< Outcome payload / ExecuteShard completion
+
+  // --- coordinator-only fields ----------------------------------------------
+  CoordinatorTimer ctimer = CoordinatorTimer::Epoch;  ///< Arm/DisarmTimer slot
+  CoordinatorPhase cphase_from = CoordinatorPhase::Idle;  ///< Transition
+  CoordinatorPhase cphase_to = CoordinatorPhase::Idle;
+  std::uint64_t epoch = 0;   ///< epoch the output belongs to
+  std::uint32_t shard = 0;   ///< ExecuteShard subject
+  std::uint64_t ticket = 0;  ///< TicketDone subject
+  std::vector<ShardOutcome> shard_outcomes;  ///< EpochCompleted / TicketDone
 };
 
 }  // namespace sa::proto

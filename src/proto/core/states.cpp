@@ -26,6 +26,15 @@ std::string_view to_string(AgentState state) {
   return "?";
 }
 
+std::string_view to_string(CoordinatorPhase phase) {
+  switch (phase) {
+    case CoordinatorPhase::Idle: return "idle";
+    case CoordinatorPhase::Batching: return "batching";
+    case CoordinatorPhase::Committing: return "committing";
+  }
+  return "?";
+}
+
 std::string_view to_string(AdaptationOutcome outcome) {
   switch (outcome) {
     case AdaptationOutcome::Success: return "success";

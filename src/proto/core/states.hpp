@@ -30,6 +30,18 @@ enum class AgentState { Running, Resetting, Safe, Adapted, Resuming };
 
 std::string_view to_string(AgentState state);
 
+/// The coordinator's epoch pipeline over one manager-tree node (§7 scaled to
+/// a fleet): requests batch and coalesce during an epoch window, seal into
+/// one group commit, and the next epoch opens only once every child subtree
+/// and local lane reported (or the commit timeout orphaned the stragglers).
+enum class CoordinatorPhase {
+  Idle,        ///< no batch open, no commit in flight
+  Batching,    ///< requests accumulate until the epoch window closes
+  Committing,  ///< sealed epoch executing below (the next batch may accumulate)
+};
+
+std::string_view to_string(CoordinatorPhase phase);
+
 /// Terminal fates of one adaptation request (§4.4 strategy chain).
 enum class AdaptationOutcome {
   Success,                   ///< target configuration reached

@@ -11,10 +11,27 @@
 #include <string>
 #include <vector>
 
+#include "config/configuration.hpp"
+#include "proto/core/states.hpp"
 #include "runtime/message.hpp"
 #include "runtime/time.hpp"
 
 namespace sa::proto {
+
+/// Everything the manager can learn about one finished adaptation request.
+/// Lives here (not io.hpp) because coordinator messages carry per-shard
+/// results up the manager tree.
+struct AdaptationResult {
+  AdaptationOutcome outcome = AdaptationOutcome::Success;
+  config::Configuration final_config;
+  std::size_t steps_committed = 0;
+  std::size_t step_failures = 0;    ///< rollbacks of individual steps
+  std::size_t plans_tried = 1;
+  std::size_t message_retries = 0;  ///< retransmission rounds
+  runtime::Time started = 0;
+  runtime::Time finished = 0;
+  std::string detail;
+};
 
 /// The local in-action one agent must execute: which components (filters) to
 /// remove from and add to its process's chain. Derived by the manager from
@@ -107,6 +124,52 @@ struct RollbackMsg final : ProtoMessage {
 struct RollbackDoneMsg final : ProtoMessage {
   std::string type_name() const override { return "rollback done"; }
   MsgKind kind() const override { return MsgKind::RollbackDone; }
+};
+
+// --- hierarchical coordination vocabulary (manager tree, §7 at fleet scale) --
+
+/// One shard's slice of a group commit: drive shard `shard` to `target`.
+/// Targets are expressed in the shard's LOCAL component ids; the root
+/// coordinator translates global configurations exactly once.
+struct ShardTarget {
+  std::uint32_t shard = 0;
+  config::Configuration target;
+  bool operator==(const ShardTarget&) const = default;
+};
+
+/// One shard's fate inside a completed epoch. `reported == false` marks an
+/// orphan: the commit timeout elapsed before the subtree responsible for the
+/// shard reported, so its coordinator synthesized the outcome.
+struct ShardOutcome {
+  std::uint32_t shard = 0;
+  bool reported = true;
+  AdaptationResult result;
+};
+
+enum class CoordMsgKind : std::uint8_t { EpochCommit, EpochDone };
+
+/// Parent <-> child coordinator traffic. A separate hierarchy from
+/// ProtoMessage: coordinator links are keyed by epoch, not step coordinates.
+struct CoordMessage : runtime::Message {
+  std::uint64_t epoch = 0;  ///< the committing parent's epoch number
+  virtual CoordMsgKind kind() const = 0;
+};
+
+/// parent -> child: execute this slice of sealed epoch `epoch`. A child
+/// treats each distinct epoch as one submission ticket; re-deliveries of an
+/// already-seen epoch are absorbed as duplicates.
+struct EpochCommitMsg final : CoordMessage {
+  std::vector<ShardTarget> targets;
+  std::string type_name() const override { return "epoch commit"; }
+  CoordMsgKind kind() const override { return CoordMsgKind::EpochCommit; }
+};
+
+/// child -> parent: every shard of `epoch`'s slice terminated (or was
+/// orphaned by a deeper timeout), with per-shard §4.4 results.
+struct EpochDoneMsg final : CoordMessage {
+  std::vector<ShardOutcome> outcomes;
+  std::string type_name() const override { return "epoch done"; }
+  CoordMsgKind kind() const override { return CoordMsgKind::EpochDone; }
 };
 
 }  // namespace sa::proto

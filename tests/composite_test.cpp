@@ -4,6 +4,7 @@
 
 #include "core/composite.hpp"
 #include "core/paper_scenario.hpp"
+#include "proto/conformance.hpp"
 #include "sim/network.hpp"
 
 namespace sa::core {
@@ -226,6 +227,125 @@ TEST(Composite, LifecycleGuards) {
   EXPECT_THROW(system.request_adaptation(b, nullptr), std::logic_error);
   system.simulator().run(100'000);
   EXPECT_EQ(system.current_configuration(), b);
+}
+
+TEST(Composite, ZeroSetsFinalizesAndCompletesRequests) {
+  // No components at all: the tree degenerates to a lone root over zero
+  // lanes, and a request completes through an empty epoch.
+  CompositeAdaptationSystem system;
+  system.finalize();
+  EXPECT_EQ(system.shard_count(), 0U);
+  EXPECT_EQ(system.lane_count(), 0U);
+  EXPECT_EQ(system.coordinator_count(), 1U);
+  EXPECT_EQ(system.tree_depth(), 1U);
+  system.set_current_configuration({});
+  const auto result = system.adapt_and_wait({});
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.shard_results.empty());
+  EXPECT_EQ(result.orphaned, 0U);
+}
+
+TEST(Composite, SingleSetCollapsesToLoneRootCoordinator) {
+  // One collaborative set: no interior levels, no coordinator links — the
+  // root IS the leaf and drives the single lane directly.
+  ClusterFixture fixture(1);
+  EXPECT_EQ(fixture.system.coordinator_count(), 1U);
+  EXPECT_EQ(fixture.system.tree_depth(), 1U);
+  EXPECT_TRUE(fixture.system.coordinator_links().empty());
+  EXPECT_EQ(&fixture.system.root_coordinator(), &fixture.system.coordinator(0));
+  fixture.system.set_current_configuration(fixture.all_x());
+  const auto result = fixture.system.adapt_and_wait(fixture.all_y());
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.epoch, 1U);
+}
+
+TEST(Composite, TopologyShapesTheCoordinatorTree) {
+  CompositeConfig config;
+  config.topology.lanes_per_leaf = 1;  // one leaf per lane
+  config.topology.fanout = 2;
+  ClusterFixture fixture(4, config);
+  // 4 lanes -> 4 leaves -> 2 interior -> 1 root.
+  EXPECT_EQ(fixture.system.coordinator_count(), 7U);
+  EXPECT_EQ(fixture.system.tree_depth(), 3U);
+  EXPECT_EQ(fixture.system.coordinator_links().size(), 6U);
+  fixture.system.set_current_configuration(fixture.all_x());
+  const auto result = fixture.system.adapt_and_wait(fixture.all_y());
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.shard_results.size(), 4U);
+  EXPECT_EQ(fixture.system.current_configuration(), fixture.all_y());
+}
+
+TEST(Composite, SameSeedRunsAreBitIdentical) {
+  // Lane serialization and epoch batching are deterministic: two systems
+  // built identically over the same seed produce the same timeline, epoch,
+  // and per-shard outcomes.
+  const auto run = [] {
+    CompositeConfig config;
+    config.seed = 7;
+    config.topology.lanes_per_leaf = 2;
+    config.topology.fanout = 2;
+    ClusterFixture fixture(6, config);
+    fixture.system.set_current_configuration(fixture.all_x());
+    return fixture.system.adapt_and_wait(fixture.all_y());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.started, b.started);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.final_config, b.final_config);
+  ASSERT_EQ(a.shard_results.size(), b.shard_results.size());
+  for (std::size_t i = 0; i < a.shard_results.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].shard, b.outcomes[i].shard);
+    EXPECT_EQ(a.shard_results[i].outcome, b.shard_results[i].outcome);
+    EXPECT_EQ(a.shard_results[i].started, b.shard_results[i].started);
+    EXPECT_EQ(a.shard_results[i].finished, b.shard_results[i].finished);
+  }
+}
+
+TEST(Composite, TreeTraceConformsOverCoordinatorAndManagerVocabularies) {
+  CompositeConfig config;
+  config.topology.lanes_per_leaf = 1;
+  config.topology.fanout = 2;
+  ClusterFixture fixture(4, config);
+  fixture.system.network().set_tracing(true);
+  fixture.system.set_current_configuration(fixture.all_x());
+  const auto result = fixture.system.adapt_and_wait(fixture.all_y());
+  EXPECT_TRUE(result.success);
+  const proto::ConformanceChecker checker(fixture.system.manager_nodes());
+  const auto violations = checker.check(fixture.system.network().trace());
+  for (const auto& v : violations) ADD_FAILURE() << v.time << ": " << v.description;
+}
+
+TEST(Composite, OutOfEpochCommitIsCaughtByTheConformanceGate) {
+  // The seeded coordinator bug: from the second epoch on the root announces a
+  // stale epoch number. Children absorb the "duplicate", their shards orphan
+  // at the commit timeout, and the delivered trace shows one epoch committed
+  // twice with different targets — which the checker must flag.
+  CompositeConfig config;
+  config.topology.lanes_per_leaf = 1;
+  config.topology.fanout = 2;
+  config.topology.commit_timeout = sim::ms(100);  // keep the orphan path quick
+  ClusterFixture fixture(2, config);
+  fixture.system.network().set_tracing(true);
+  fixture.system.root_coordinator().inject_fault(proto::CoordinatorFault::CommitOutOfEpoch);
+  fixture.system.set_current_configuration(fixture.all_x());
+
+  const auto first = fixture.system.adapt_and_wait(fixture.all_y());
+  EXPECT_TRUE(first.success);  // epoch 1 is announced honestly
+  const auto second = fixture.system.adapt_and_wait(fixture.all_x());
+  EXPECT_FALSE(second.success);  // children dedup the stale commit
+  EXPECT_EQ(second.orphaned, second.outcomes.size());
+
+  const proto::ConformanceChecker checker(fixture.system.manager_nodes());
+  const auto violations = checker.check(fixture.system.network().trace());
+  ASSERT_FALSE(violations.empty()) << "seeded out-of-epoch commit was not caught";
+  bool flagged = false;
+  for (const auto& violation : violations) {
+    flagged = flagged ||
+              violation.description.find("out-of-epoch commit") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged) << "violations did not name the out-of-epoch commit";
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// The fleet campaign library: region sharding, aggregation, cross-thread
+// determinism of the report, and the ThreadedRuntime group-commit storm.
+#include "core/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::core {
+namespace {
+
+TEST(Fleet, ShardsClustersIntoRegions) {
+  FleetSpec spec;
+  spec.clusters = 40;  // 32 + 8 under the 64-bit Configuration cap
+  const FleetReport report = run_fleet(spec);
+  EXPECT_TRUE(report.success);
+  ASSERT_EQ(report.regions.size(), 2U);
+  EXPECT_EQ(report.regions[0].clusters, 32U);
+  EXPECT_EQ(report.regions[1].clusters, 8U);
+  EXPECT_EQ(report.regions[0].shards, 32U);
+  EXPECT_EQ(report.epochs, 2U);  // one root epoch per region
+  EXPECT_EQ(report.orphaned, 0U);
+  EXPECT_GT(report.blocked_us_per_process, 0.0);
+  EXPECT_GT(report.virtual_time, 0);
+  // Each region's digest differs (different seeds, different clusters).
+  EXPECT_NE(report.regions[0].digest, report.regions[1].digest);
+}
+
+TEST(Fleet, TreeShapeFollowsTheSpec) {
+  FleetSpec spec;
+  spec.clusters = 32;
+  spec.lanes_per_leaf = 4;
+  spec.fanout = 4;
+  const FleetReport report = run_fleet(spec);
+  ASSERT_EQ(report.regions.size(), 1U);
+  // 32 lanes -> 8 leaves -> 2 interior -> 1 root.
+  EXPECT_EQ(report.regions[0].lanes, 32U);
+  EXPECT_EQ(report.regions[0].coordinators, 11U);
+  EXPECT_EQ(report.depth, 3U);
+}
+
+TEST(Fleet, ReportIsIdenticalForAnyThreadCount) {
+  FleetSpec spec;
+  spec.clusters = 100;
+  spec.threads = 1;
+  const FleetReport serial = run_fleet(spec);
+  spec.threads = 4;
+  const FleetReport parallel = run_fleet(spec);
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(describe(serial), describe(parallel));
+  ASSERT_EQ(serial.regions.size(), parallel.regions.size());
+  for (std::size_t r = 0; r < serial.regions.size(); ++r) {
+    EXPECT_EQ(serial.regions[r].digest, parallel.regions[r].digest);
+    EXPECT_EQ(serial.regions[r].virtual_time, parallel.regions[r].virtual_time);
+  }
+}
+
+TEST(Fleet, BlockedTimePerProcessStaysFlatWithScale) {
+  FleetSpec small;
+  small.clusters = 8;
+  FleetSpec large;
+  large.clusters = 256;
+  large.threads = 4;
+  const FleetReport a = run_fleet(small);
+  const FleetReport b = run_fleet(large);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  // The §7 claim at fleet scale: per-process blocked time is independent of
+  // fleet size (regions and lanes adapt concurrently). Allow 10%.
+  EXPECT_NEAR(b.blocked_us_per_process, a.blocked_us_per_process,
+              0.10 * a.blocked_us_per_process);
+}
+
+TEST(Fleet, ZeroClustersYieldsEmptySuccess) {
+  FleetSpec spec;
+  spec.clusters = 0;
+  const FleetReport report = run_fleet(spec);
+  EXPECT_TRUE(report.success);
+  EXPECT_TRUE(report.regions.empty());
+  EXPECT_EQ(report.epochs, 0U);
+}
+
+TEST(Fleet, ThreadedStormCompletesEveryTicket) {
+  ThreadedCampaignSpec spec;
+  spec.regions = 4;
+  spec.clusters_per_region = 4;
+  spec.submitters_per_region = 4;  // 16 submitter threads
+  spec.runtime_workers = 2;
+  const ThreadedCampaignReport report = run_threaded_campaign(spec);
+  for (const std::string& failure : report.failures) ADD_FAILURE() << failure;
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.threads, 16U);
+  EXPECT_EQ(report.tickets, 16U);
+  EXPECT_GE(report.epochs, 4U);  // at least one epoch per region
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -50,6 +50,25 @@ TEST(FuzzCampaign, ResultsAreIdenticalForAnyThreadCount) {
   }
 }
 
+TEST(FuzzCampaign, FleetScenarioSurvivesCoordinatorLinkFaults) {
+  // The fleet scenario aims faults at coordinator tree links instead of
+  // agents: partitions orphan subtrees, which must terminate as clean
+  // per-shard rollbacks ("orphaned"), never wedge or break a disjoint shard.
+  CampaignOptions options;
+  options.scenario = "fleet";
+  options.seed_begin = 0;
+  options.seed_end = 6;
+  const CampaignSummary summary = run_campaign(options);
+  EXPECT_EQ(summary.runs, 6u);
+  EXPECT_TRUE(summary.failures.empty())
+      << "fleet oracle violation: " << summary.failures[0].violations[0];
+
+  // And the campaign is thread-count independent, like every scenario.
+  options.threads = 3;
+  const CampaignSummary parallel = run_campaign(options);
+  EXPECT_EQ(summary.outcomes, parallel.outcomes);
+}
+
 TEST(FuzzCampaign, MutatedManagerIsCaughtAndShrunkArtifactReplays) {
   // The resume-early mutation only bites when a step involves >= 2 agents,
   // hence the combined-action scenario (mirrors the model checker's pair gate).

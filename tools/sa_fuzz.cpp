@@ -38,9 +38,12 @@ namespace {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --scenario NAME          paper | paper-combined | video (default paper;\n"
-      << "                           paper-combined uses the pair/triple Table-2\n"
-      << "                           actions, whose steps involve several agents)\n"
+      << "  --scenario NAME          paper | paper-combined | video | fleet\n"
+      << "                           (default paper; paper-combined uses the\n"
+      << "                           pair/triple Table-2 actions, whose steps\n"
+      << "                           involve several agents; fleet runs the\n"
+      << "                           8-cluster manager tree and aims faults at\n"
+      << "                           coordinator links instead of agents)\n"
       << "  --seeds A..B             campaign seed range, B exclusive (default 0..16)\n"
       << "  --seed S                 run a single seed (with its generated plan,\n"
       << "                           or the plan given by --plan)\n"

@@ -15,12 +15,20 @@
 //   --trace-format F  jsonl (default; line-delimited events) or chrome
 //                     (trace_event JSON for chrome://tracing / Perfetto)
 //   --metrics-out F   write protocol metrics in Prometheus text format
+//
+// Fleet mode runs the hierarchical mass-adaptation campaign instead of a
+// scenario file, printing one deterministic report line per region — the
+// same text for any --threads value, which the CI fleet-smoke job diffs:
+//
+//   sa_run --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]
+//          [--fanout N] [--epoch-window USEC] [--seed S]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
+#include "core/fleet.hpp"
 #include "core/scenario_file.hpp"
 #include "core/system.hpp"
 #include "obs/export.hpp"
@@ -40,8 +48,10 @@ struct StubProcess : sa::proto::AdaptableProcess {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--loss P] [--dup P] [--fail-process ID]\n"
-               "       [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]\n",
-               argv0);
+               "       [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]\n"
+               "       %s --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]\n"
+               "       [--fanout N] [--epoch-window USEC] [--seed S]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -57,6 +67,8 @@ int main(int argc, char** argv) {
   using namespace sa;
 
   const char* path = nullptr;
+  bool fleet = false;
+  core::FleetSpec fleet_spec;
   double loss = 0.0;
   double dup = 0.0;
   std::optional<config::ProcessId> fail_process;
@@ -92,11 +104,48 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed == 0) return bad_flag("--clusters", value, "a positive count");
+      fleet_spec.clusters = static_cast<std::size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed == 0) return bad_flag("--threads", value, "a positive count");
+      fleet_spec.threads = static_cast<std::size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--lanes-per-leaf") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed == 0) return bad_flag("--lanes-per-leaf", value, "a positive count");
+      fleet_spec.lanes_per_leaf = static_cast<std::size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--fanout") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed < 2) return bad_flag("--fanout", value, "a fanout >= 2");
+      fleet_spec.fanout = static_cast<std::size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--epoch-window") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed) return bad_flag("--epoch-window", value, "a window in microseconds");
+      fleet_spec.epoch_window = runtime::us(static_cast<std::int64_t>(*parsed));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed) return bad_flag("--seed", value, "an unsigned seed");
+      fleet_spec.seed = *parsed;
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
       path = argv[i];
     }
+  }
+  if (fleet) {
+    const core::FleetReport report = core::run_fleet(fleet_spec);
+    std::fputs(core::describe(report).c_str(), stdout);
+    return report.success ? 0 : 1;
   }
   if (!path) return usage(argv[0]);
 
