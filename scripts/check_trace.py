@@ -1,18 +1,35 @@
 #!/usr/bin/env python3
 """Validate a JSONL protocol trace produced by `sa_run --trace-out`.
 
-Stdlib-only; CI runs it against the paper scenario's trace. Checks:
+Stdlib-only; CI runs it against the paper scenario's trace and against the
+fleet tree's region-tagged trace. All per-stream checks are scoped by the
+optional `region` field (fleet traces concatenate one stream per region;
+single-system traces have no region and form one stream):
 
-  * every line is a JSON object with integer `seq`, `t`, and a known `kind`
-  * `seq` is dense from 0 in file order
-  * timestamps are non-negative and non-decreasing (the simulator's virtual
-    clock never runs backwards; the recorder appends in execution order)
+  * meta lines (`"meta":"track_name"`) carry an integer `track` and a name,
+    and precede every event of their stream
+  * every event line is a JSON object with integer `seq`, `t`, and a known
+    `kind`; `seq` is dense from 0 per stream
+  * timestamps are non-negative and non-decreasing per stream (the
+    simulator's virtual clock never runs backwards; the recorder merges by
+    time)
   * message-level events carry distinct `from`/`to` endpoints and a `name`
   * timer events carry a label in `name`
   * `manager_phase` events chain (each `detail` equals the previous `name`)
     and only use transitions of the Fig. 2 manager automaton
   * `agent_state` events chain per track and only use transitions of the
     Fig. 1 process automaton
+    (region streams interleave many clusters onto the same tracks, so for
+    them only transition *legality* is checked, not the per-track chain)
+  * `coordinator_phase` events carry a name and a coordinator track
+  * epoch events carry an epoch number and never interleave per track:
+    each coordinator goes opened -> sealed -> completed before opening the
+    next epoch
+  * `ticket_submitted`/`ticket_done` carry the ticket's span id
+  * `flow_link` events carry distinct `span`/`parent` ids
+  * `blocked_window` events carry a non-negative duration in `value`
+  * every `parent` span referenced by an event resolves to some event's
+    `span` within the same stream (causal edges never dangle)
 
 Usage: check_trace.py TRACE.jsonl
 """
@@ -25,9 +42,12 @@ KINDS = {
     "step_rolled_back", "adaptation_finished", "manager_phase", "agent_state",
     "message_sent", "message_delivered", "message_dropped", "message_duplicated",
     "timer_armed", "timer_fired", "timer_cancelled",
+    "coordinator_phase", "epoch_opened", "epoch_sealed", "epoch_completed",
+    "ticket_submitted", "ticket_done", "flow_link", "blocked_window",
 }
 MESSAGE_KINDS = {"message_sent", "message_delivered", "message_dropped", "message_duplicated"}
 TIMER_KINDS = {"timer_armed", "timer_fired", "timer_cancelled"}
+EPOCH_KINDS = {"epoch_opened", "epoch_sealed", "epoch_completed"}
 
 # Fig. 2: the adaptation manager's phases.
 MANAGER_TRANSITIONS = {
@@ -55,15 +75,165 @@ def fail(line_no, message):
     sys.exit(1)
 
 
+class Stream:
+    """Per-region validation state (one instance for region-less traces)."""
+
+    def __init__(self, scoped):
+        # Region streams interleave every cluster of the region onto the same
+        # manager/agent tracks, so per-track chains are only checkable on
+        # single-system traces.
+        self.chain_checks = not scoped
+        self.next_seq = 0
+        self.last_t = 0
+        self.manager_phase = "running"
+        self.agent_state = {}   # track -> state
+        self.epoch_open = {}    # track -> (epoch, phase)
+        self.spans = set()
+        self.parents = []       # (line_no, parent span id)
+        self.saw_event = False
+
+
+def check_meta(line_no, event, stream):
+    if event["meta"] != "track_name":
+        fail(line_no, f"unknown meta kind {event['meta']!r}")
+    if not isinstance(event.get("track"), int):
+        fail(line_no, f"meta line with bad track {event.get('track')!r}")
+    if not event.get("name"):
+        fail(line_no, "track_name meta line without a name")
+    if stream.saw_event:
+        fail(line_no, "track_name meta line after the stream's events began")
+
+
+def check_event(line_no, event, stream):
+    stream.saw_event = True
+    seq, t, kind = event.get("seq"), event.get("t"), event.get("kind")
+    if seq != stream.next_seq:
+        fail(line_no, f"seq {seq} is not dense (expected {stream.next_seq})")
+    stream.next_seq += 1
+    if not isinstance(t, int) or t < 0:
+        fail(line_no, f"bad timestamp {t!r}")
+    if t < stream.last_t:
+        fail(line_no, f"timestamp went backwards ({t} < {stream.last_t})")
+    stream.last_t = t
+    if kind not in KINDS:
+        fail(line_no, f"unknown kind {kind!r}")
+
+    span, parent = event.get("span", 0), event.get("parent", 0)
+    if span:
+        stream.spans.add(span)
+    if parent:
+        stream.parents.append((line_no, parent))
+
+    if kind in MESSAGE_KINDS:
+        src, dst = event.get("from"), event.get("to")
+        if not isinstance(src, int) or not isinstance(dst, int):
+            fail(line_no, "message event without integer from/to")
+        if src == dst:
+            fail(line_no, f"message event with from == to == {src}")
+        if not event.get("name"):
+            fail(line_no, "message event without a message type name")
+
+    if kind in TIMER_KINDS and not event.get("name"):
+        fail(line_no, "timer event without a label")
+
+    if kind == "manager_phase":
+        prev, new = event.get("detail"), event.get("name")
+        if stream.chain_checks and prev != stream.manager_phase:
+            fail(line_no, f"manager phase chain broken: trace says "
+                          f"{prev!r} -> {new!r} but current phase is "
+                          f"{stream.manager_phase!r}")
+        if new not in MANAGER_TRANSITIONS.get(prev, ()):
+            fail(line_no, f"illegal Fig. 2 transition {prev!r} -> {new!r}")
+        if stream.chain_checks:
+            stream.manager_phase = new
+
+    if kind == "agent_state":
+        track = event.get("track")
+        if not isinstance(track, int) or track < 0:
+            fail(line_no, f"agent_state event with bad track {track!r}")
+        prev, new = event.get("detail"), event.get("name")
+        current = stream.agent_state.get(track, "running")
+        if stream.chain_checks and prev != current:
+            fail(line_no, f"agent {track} state chain broken: trace says "
+                          f"{prev!r} -> {new!r} but current state is {current!r}")
+        if new not in AGENT_TRANSITIONS.get(prev, ()):
+            fail(line_no, f"illegal Fig. 1 transition {prev!r} -> {new!r}")
+        if stream.chain_checks:
+            stream.agent_state[track] = new
+
+    if kind == "coordinator_phase":
+        if not isinstance(event.get("track"), int):
+            fail(line_no, "coordinator_phase event without a track")
+        if not event.get("name"):
+            fail(line_no, "coordinator_phase event without a phase name")
+
+    if kind in EPOCH_KINDS:
+        track, epoch = event.get("track"), event.get("epoch")
+        if not isinstance(track, int):
+            fail(line_no, f"{kind} event without a track")
+        if not isinstance(epoch, int) or epoch < 1:
+            fail(line_no, f"{kind} event with bad epoch {epoch!r}")
+        open_state = stream.epoch_open.get(track)
+        if kind == "epoch_opened":
+            if open_state is not None:
+                fail(line_no, f"epoch {epoch} opened on track {track} while "
+                              f"epoch {open_state[0]} is still {open_state[1]} "
+                              f"(epochs must not interleave per track)")
+            stream.epoch_open[track] = (epoch, "opened")
+        elif kind == "epoch_sealed":
+            if open_state != (epoch, "opened"):
+                fail(line_no, f"epoch {epoch} sealed on track {track} but its "
+                              f"state is {open_state!r} (expected opened)")
+            stream.epoch_open[track] = (epoch, "sealed")
+        else:  # epoch_completed
+            if open_state != (epoch, "sealed"):
+                fail(line_no, f"epoch {epoch} completed on track {track} but "
+                              f"its state is {open_state!r} (expected sealed)")
+            del stream.epoch_open[track]
+
+    if kind in ("ticket_submitted", "ticket_done") and not span:
+        fail(line_no, f"{kind} event without the ticket's span id")
+
+    if kind == "flow_link":
+        if not span or not parent:
+            fail(line_no, "flow_link event without span/parent ids")
+        if span == parent:
+            fail(line_no, f"flow_link event linking span {span} to itself")
+
+    if kind == "blocked_window":
+        value = event.get("value")
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(line_no, f"blocked_window event with bad duration {value!r}")
+
+
+def finish_stream(label, stream):
+    for line_no, parent in stream.parents:
+        if parent not in stream.spans:
+            fail(line_no, f"dangling causal edge: parent span {parent} never "
+                          f"appears as any event's span{label}")
+    errors = []
+    if stream.manager_phase != "running":
+        errors.append(f"ends with manager phase {stream.manager_phase!r}, "
+                      f"expected 'running'")
+    for track, state in sorted(stream.agent_state.items()):
+        if state != "running":
+            errors.append(f"ends with agent {track} in state {state!r}, "
+                          f"expected 'running'")
+    for track, (epoch, phase) in sorted(stream.epoch_open.items()):
+        errors.append(f"ends with epoch {epoch} on track {track} still {phase}")
+    for error in errors:
+        print(f"check_trace: trace{label} {error}", file=sys.stderr)
+    return not errors
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
 
-    manager_phase = "running"
-    agent_state = {}  # track -> state
-    last_t = 0
+    streams = {}  # region (None for single-system traces) -> Stream
     counts = {}
+    events = 0
 
     with open(sys.argv[1], encoding="utf-8") as trace:
         line_no = 0
@@ -74,69 +244,31 @@ def main():
                 fail(line_no, f"invalid JSON: {error}")
             if not isinstance(event, dict):
                 fail(line_no, "event is not a JSON object")
-
-            seq, t, kind = event.get("seq"), event.get("t"), event.get("kind")
-            if seq != line_no - 1:
-                fail(line_no, f"seq {seq} is not dense (expected {line_no - 1})")
-            if not isinstance(t, int) or t < 0:
-                fail(line_no, f"bad timestamp {t!r}")
-            if t < last_t:
-                fail(line_no, f"timestamp went backwards ({t} < {last_t})")
-            last_t = t
-            if kind not in KINDS:
-                fail(line_no, f"unknown kind {kind!r}")
+            region = event.get("region")
+            if region is not None and not isinstance(region, int):
+                fail(line_no, f"bad region {region!r}")
+            stream = streams.setdefault(region, Stream(scoped=region is not None))
+            if "meta" in event:
+                check_meta(line_no, event, stream)
+                continue
+            events += 1
+            kind = event.get("kind")
             counts[kind] = counts.get(kind, 0) + 1
+            check_event(line_no, event, stream)
 
-            if kind in MESSAGE_KINDS:
-                src, dst = event.get("from"), event.get("to")
-                if not isinstance(src, int) or not isinstance(dst, int):
-                    fail(line_no, "message event without integer from/to")
-                if src == dst:
-                    fail(line_no, f"message event with from == to == {src}")
-                if not event.get("name"):
-                    fail(line_no, "message event without a message type name")
-
-            if kind in TIMER_KINDS and not event.get("name"):
-                fail(line_no, "timer event without a label")
-
-            if kind == "manager_phase":
-                prev, new = event.get("detail"), event.get("name")
-                if prev != manager_phase:
-                    fail(line_no, f"manager phase chain broken: trace says "
-                                  f"{prev!r} -> {new!r} but current phase is "
-                                  f"{manager_phase!r}")
-                if new not in MANAGER_TRANSITIONS.get(prev, ()):
-                    fail(line_no, f"illegal Fig. 2 transition {prev!r} -> {new!r}")
-                manager_phase = new
-
-            if kind == "agent_state":
-                track = event.get("track")
-                if not isinstance(track, int) or track < 0:
-                    fail(line_no, f"agent_state event with bad track {track!r}")
-                prev, new = event.get("detail"), event.get("name")
-                current = agent_state.get(track, "running")
-                if prev != current:
-                    fail(line_no, f"agent {track} state chain broken: trace says "
-                                  f"{prev!r} -> {new!r} but current state is {current!r}")
-                if new not in AGENT_TRANSITIONS.get(prev, ()):
-                    fail(line_no, f"illegal Fig. 1 transition {prev!r} -> {new!r}")
-                agent_state[track] = new
-
-    if line_no == 0:
+    if events == 0:
         print("check_trace: empty trace", file=sys.stderr)
         return 1
-    if manager_phase != "running":
-        print(f"check_trace: trace ends with manager phase {manager_phase!r}, "
-              f"expected 'running'", file=sys.stderr)
+    ok = True
+    for region, stream in sorted(streams.items(), key=lambda kv: (kv[0] is not None, kv[0])):
+        label = "" if region is None else f" (region {region})"
+        ok = finish_stream(label, stream) and ok
+    if not ok:
         return 1
-    for track, state in sorted(agent_state.items()):
-        if state != "running":
-            print(f"check_trace: trace ends with agent {track} in state {state!r}, "
-                  f"expected 'running'", file=sys.stderr)
-            return 1
 
     summary = ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
-    print(f"check_trace: OK — {line_no} events ({summary})")
+    scope = f"{len(streams)} region(s), " if None not in streams else ""
+    print(f"check_trace: OK — {scope}{events} events ({summary})")
     return 0
 
 

@@ -140,6 +140,9 @@ void CompositeAdaptationSystem::finalize() {
         *runtime_, manager_node, *shard->invariants, *shard->actions, config_.manager);
     shard->manager->set_observability(&tracer_, &metrics_);
     tracer_.set_node_track(manager_node, obs::kManagerTrack);
+    // All shard managers share the manager track; their events stay
+    // distinguishable through per-request spans.
+    tracer_.set_track_name(obs::kManagerTrack, "managers");
 
     // Agents: one per process hosting a member of this shard.
     for (const PendingProcess& pending : pending_processes_) {
@@ -157,6 +160,8 @@ void CompositeAdaptationSystem::finalize() {
           config_.agent));
       shard->agents.back()->set_observability(&tracer_, &metrics_,
                                               static_cast<std::int64_t>(pending.process));
+      tracer_.set_track_name(static_cast<std::int64_t>(pending.process),
+                             "process-" + std::to_string(pending.process));
       shard->manager->register_agent(pending.process, agent_node, pending.stage);
       shard->processes.push_back(pending.process);
     }

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/composite.hpp"
+#include "obs/export.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "runtime/threaded_runtime.hpp"
 
@@ -91,6 +92,12 @@ RegionReport run_region(const FleetSpec& spec, std::size_t region, std::size_t f
 
   runtime::SimRuntime rt(mix(spec.seed, region));
   CompositeAdaptationSystem system(rt, region_config(spec, region));
+  if (spec.trace) {
+    system.tracer().set_capacity(spec.trace_capacity);
+    system.tracer().set_detail(spec.trace_full ? obs::TraceDetail::Full
+                                               : obs::TraceDetail::Causal);
+    system.tracer().set_enabled(true);
+  }
   std::vector<std::unique_ptr<FleetProcess>> processes;
   const RegionEndpoints endpoints = build_region(system, first, count, processes);
 
@@ -123,6 +130,19 @@ RegionReport run_region(const FleetSpec& spec, std::size_t region, std::size_t f
                              (outcome.reported ? 1 : 0));
   }
   report.digest = digest;
+
+  if (spec.trace) {
+    report.trace_events = system.tracer().size();
+    report.trace_dropped = system.tracer().dropped();
+    if (spec.trace_export) {
+      // A region runs entirely on one worker thread over SimRuntime, so the
+      // recorder's merged order is append order in virtual time and this
+      // serialization is a pure function of (seed, region, spec).
+      std::ostringstream trace;
+      obs::write_jsonl(system.tracer(), trace, region);
+      report.trace_jsonl = trace.str();
+    }
+  }
   return report;
 }
 
@@ -175,6 +195,8 @@ FleetReport run_fleet(const FleetSpec& spec) {
     report.virtual_time = std::max(report.virtual_time, region.virtual_time);
     blocked_weighted += region.blocked_us_per_process * static_cast<double>(region.clusters);
     report.digest = mix(report.digest, region.digest);
+    report.trace_events += region.trace_events;
+    report.trace_dropped += region.trace_dropped;
   }
   report.blocked_us_per_process =
       spec.clusters == 0 ? 0.0 : blocked_weighted / static_cast<double>(spec.clusters);

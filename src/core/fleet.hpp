@@ -37,6 +37,25 @@ struct FleetSpec {
   std::uint64_t seed = 42;
   std::size_t threads = 1;  ///< workers over regions; never changes results
   std::size_t max_events = 5'000'000;  ///< per-region simulator budget
+  /// Record causal traces: each region serializes its recorder into
+  /// RegionReport::trace_jsonl (region-tagged lines), so concatenating the
+  /// regions in order yields one fleet trace that is bit-identical for any
+  /// `threads` value.
+  bool trace = false;
+  /// Serialize the recorder into RegionReport::trace_jsonl after the run.
+  /// Off leaves the recorder armed but skips the export, which is how the
+  /// fleet bench isolates the recording cost from the (on-demand) export.
+  bool trace_export = true;
+  /// Record every event kind instead of the causal subset. The default
+  /// (Causal detail) is the always-on configuration the ≤5% overhead gate
+  /// covers: tickets, epochs, flow links, request spans, blocked windows —
+  /// everything the critical-path analysis consumes, ~15% of the full
+  /// volume. Full adds phases, steps, and timers for post-mortem debugging.
+  bool trace_full = false;
+  /// Per-thread flight-recorder ring capacity while tracing (slots). A
+  /// region holds at most 32 clusters, which records a few hundred causal
+  /// events (a few thousand at full detail) regardless of fleet size.
+  std::size_t trace_capacity = 1 << 10;
 };
 
 struct RegionReport {
@@ -54,6 +73,10 @@ struct RegionReport {
   double blocked_us_per_process = 0.0;
   runtime::Time virtual_time = 0;  ///< request start -> finish, virtual us
   std::uint64_t digest = 0;        ///< outcome fingerprint, deterministic
+  // Populated only when FleetSpec::trace is set.
+  std::string trace_jsonl;          ///< region-tagged causal trace lines
+  std::uint64_t trace_events = 0;   ///< events captured by the recorder
+  std::uint64_t trace_dropped = 0;  ///< ring overwrites + torn slots
 };
 
 struct FleetReport {
@@ -66,6 +89,8 @@ struct FleetReport {
   double blocked_us_per_process = 0.0;  ///< cluster-weighted mean
   runtime::Time virtual_time = 0;       ///< slowest region (regions overlap)
   std::uint64_t digest = 0;             ///< region digests mixed in order
+  std::uint64_t trace_events = 0;       ///< summed over regions (trace runs)
+  std::uint64_t trace_dropped = 0;
   std::vector<RegionReport> regions;
 };
 

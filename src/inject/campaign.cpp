@@ -48,6 +48,26 @@ const std::vector<config::ProcessId>& paper_processes() {
   return processes;
 }
 
+/// Every campaign run keeps the flight recorder armed at full detail over a
+/// small drop-oldest ring: when an oracle fires, the most recent protocol
+/// events are already in memory and run_* serializes them into
+/// RunResult::trace_tail for the artifact dump. Clean runs pay ~a ring of
+/// slots and never serialize.
+constexpr std::size_t kRecorderSlots = 512;
+constexpr std::size_t kTailEvents = 256;
+
+void arm_recorder(obs::TraceRecorder& tracer) {
+  tracer.set_capacity(kRecorderSlots);
+  tracer.set_enabled(true);
+}
+
+void capture_tail(const obs::TraceRecorder& tracer, RunResult& out) {
+  if (out.violations.empty()) return;
+  std::ostringstream tail;
+  obs::write_jsonl(tracer.tail(kTailEvents), tail);
+  out.trace_tail = tail.str();
+}
+
 /// Wires one plan event's open/close callbacks onto the *inner* (unskewed)
 /// clock, so fault windows fire at their literal plan times even while a
 /// TimerSkew window is stretching every protocol timer.
@@ -208,6 +228,7 @@ RunResult run_paper(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
   core::SystemConfig config;
   config.seed = seed;
   core::SafeAdaptationSystem system(frt, config);
+  arm_recorder(system.tracer());
   core::configure_paper_system(system, action_set);
   StubProcess server, handheld, laptop;
   system.attach_process(core::kServerProcess, server, /*stage=*/0);
@@ -239,6 +260,7 @@ RunResult run_paper(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
   if (horizon > sim.clock().now()) frt.advance(horizon - sim.clock().now());
 
   check_oracles(system, frt, source, target, result, out.violations);
+  capture_tail(system.tracer(), out);
   return out;
 }
 
@@ -251,6 +273,7 @@ RunResult run_video(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
   config.runtime = &frt;
   core::VideoTestbed testbed(config);
   core::SafeAdaptationSystem& system = testbed.system();
+  arm_recorder(system.tracer());
 
   const config::Configuration source = testbed.source();
   const config::Configuration target = testbed.target();
@@ -294,6 +317,7 @@ RunResult run_video(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
         testbed.installed_configuration().describe(system.registry()) +
         " but the manager reported " + result->final_config.describe(system.registry()));
   }
+  capture_tail(system.tracer(), out);
   return out;
 }
 
@@ -320,6 +344,7 @@ RunResult run_fleet(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
   // long enough that a healthy subtree always reports first.
   config.topology.commit_timeout = runtime::seconds(2);
   core::CompositeAdaptationSystem system(frt, config);
+  arm_recorder(system.tracer());
 
   std::vector<std::unique_ptr<StubProcess>> processes;
   for (std::size_t c = 0; c < kClusters; ++c) {
@@ -466,6 +491,7 @@ RunResult run_fleet(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
     violate("metrics-mismatch: sa_blocked_time_us sums to " + std::to_string(histogram) +
             " but the managers reported " + std::to_string(reported_blocked) + "us blocked");
   }
+  capture_tail(system.tracer(), out);
   return out;
 }
 
@@ -580,6 +606,7 @@ CampaignSummary run_campaign(const CampaignOptions& options) {
       }
       report.outcome = std::move(result.outcome);
       report.violations = std::move(result.violations);
+      report.trace_tail = std::move(result.trace_tail);
     }
   };
 

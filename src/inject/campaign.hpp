@@ -60,14 +60,20 @@ struct CampaignOptions {
 struct RunResult {
   std::string outcome;
   std::vector<std::string> violations;
+  /// Flight-recorder tail (JSONL, most recent events first to last) captured
+  /// when a violation fired — the post-mortem window sa_fuzz dumps next to
+  /// the artifact. Deterministic: same run, same tail. Empty on clean runs.
+  std::string trace_tail;
 };
 
-/// Report for one campaign seed; `plan` is the shrunk plan when shrinking ran.
+/// Report for one campaign seed; `plan` is the shrunk plan when shrinking ran
+/// (`trace_tail` then belongs to the shrunk reproducer's run).
 struct RunReport {
   std::uint64_t seed = 0;
   FaultPlan plan;
   std::string outcome;
   std::vector<std::string> violations;
+  std::string trace_tail;
 };
 
 struct CampaignSummary {

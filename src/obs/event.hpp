@@ -56,6 +56,12 @@ enum class EventKind : std::uint8_t {
   EpochOpened,       ///< a coordinator began batching (value = epoch number)
   EpochSealed,       ///< batch frozen (value = shard count, detail = coalesced)
   EpochCompleted,    ///< every subtree reported (value = µs commit latency)
+
+  // --- causal tracing (tickets, flows, blocked windows) ----------------------
+  TicketSubmitted,  ///< a ticket entered a coordinator's batch (span = ticket)
+  TicketDone,       ///< the root coordinator resolved a ticket (value = µs)
+  FlowLink,         ///< causal edge: span was caused by parent_span
+  BlockedWindow,    ///< a process finished a blocked window (value = µs)
 };
 
 std::string_view to_string(EventKind kind);
@@ -84,6 +90,12 @@ struct Event {
   std::string detail;  ///< free-form (plan actions, outcome detail, ...)
   double value = 0;    ///< µs duration, cost, plan length, ...
   bool has_value = false;
+  // Causal context: span identifies the unit of work this event belongs to
+  // (an epoch, a ticket, an adaptation request), parent_span the unit that
+  // caused it, epoch the coordinator epoch counter. Zero means "unset".
+  std::uint64_t span = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t epoch = 0;
 };
 
 }  // namespace sa::obs

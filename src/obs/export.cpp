@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <ostream>
+#include <set>
 #include <vector>
 
 namespace sa::obs {
@@ -49,21 +50,51 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
-void write_jsonl(const TraceRecorder& recorder, std::ostream& out) {
-  for (const Event& e : recorder.events()) {
-    out << "{\"seq\":" << e.seq << ",\"t\":" << e.time << ",\"kind\":\"" << to_string(e.kind)
-        << '"';
-    if (e.track != kNoTrack) out << ",\"track\":" << e.track;
-    if (is_message_event(e.kind)) out << ",\"from\":" << e.from << ",\"to\":" << e.to;
-    if (e.coords.request != 0) {
-      out << ",\"request\":" << e.coords.request << ",\"plan\":" << e.coords.plan
-          << ",\"step\":" << e.coords.step << ",\"attempt\":" << e.coords.attempt;
-    }
-    if (!e.name.empty()) out << ",\"name\":\"" << json_escape(e.name) << '"';
-    if (!e.detail.empty()) out << ",\"detail\":\"" << json_escape(e.detail) << '"';
-    if (e.has_value) out << ",\"value\":" << format_number(e.value);
-    out << "}\n";
+namespace {
+
+void write_event_line(const Event& e, std::ostream& out, const std::string& prefix) {
+  out << '{' << prefix << "\"seq\":" << e.seq << ",\"t\":" << e.time << ",\"kind\":\""
+      << to_string(e.kind) << '"';
+  if (e.track != kNoTrack) out << ",\"track\":" << e.track;
+  if (is_message_event(e.kind)) out << ",\"from\":" << e.from << ",\"to\":" << e.to;
+  if (e.coords.request != 0) {
+    out << ",\"request\":" << e.coords.request << ",\"plan\":" << e.coords.plan
+        << ",\"step\":" << e.coords.step << ",\"attempt\":" << e.coords.attempt;
   }
+  if (e.span != 0) out << ",\"span\":" << e.span;
+  if (e.parent_span != 0) out << ",\"parent\":" << e.parent_span;
+  if (e.epoch != 0) out << ",\"epoch\":" << e.epoch;
+  if (!e.name.empty()) out << ",\"name\":\"" << json_escape(e.name) << '"';
+  if (!e.detail.empty()) out << ",\"detail\":\"" << json_escape(e.detail) << '"';
+  if (e.has_value) out << ",\"value\":" << format_number(e.value);
+  out << "}\n";
+}
+
+/// Shared body of the two recorder-backed write_jsonl overloads; `prefix` is
+/// either empty or a rendered `"region":<n>,` fragment prepended to every line.
+void write_jsonl_impl(const TraceRecorder& recorder, std::ostream& out,
+                      const std::string& prefix) {
+  // Track names lead the stream as meta lines so an analysis pass can label
+  // tree nodes without access to the recorder.
+  for (const auto& [track, name] : recorder.track_names()) {
+    out << '{' << prefix << "\"meta\":\"track_name\",\"track\":" << track << ",\"name\":\""
+        << json_escape(name) << "\"}\n";
+  }
+  for (const Event& e : recorder.events()) write_event_line(e, out, prefix);
+}
+
+}  // namespace
+
+void write_jsonl(const TraceRecorder& recorder, std::ostream& out) {
+  write_jsonl_impl(recorder, out, "");
+}
+
+void write_jsonl(const TraceRecorder& recorder, std::ostream& out, std::uint64_t region) {
+  write_jsonl_impl(recorder, out, "\"region\":" + std::to_string(region) + ",");
+}
+
+void write_jsonl(const std::vector<Event>& events, std::ostream& out) {
+  for (const Event& e : events) write_event_line(e, out, "");
 }
 
 namespace {
@@ -196,6 +227,32 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out) {
       default:
         break;
     }
+  }
+
+  // Causal flow arrows: every event that names both its own span and its
+  // parent gets an arrow from the parent span's first event. The child span
+  // id doubles as the flow id (each child has exactly one parent), so
+  // Perfetto renders one arrow per tree edge.
+  std::map<std::uint64_t, const Event*> span_origin;
+  for (const Event& e : events) {
+    if (e.span != 0) span_origin.emplace(e.span, &e);  // first occurrence wins
+  }
+  std::set<std::pair<std::uint64_t, std::uint64_t>> linked;
+  const auto tid_str = [](const Event& ev) {
+    return std::to_string(tid_of(ev.track == kNoTrack ? kManagerTrack : ev.track));
+  };
+  for (const Event& e : events) {
+    if (e.span == 0 || e.parent_span == 0) continue;
+    const auto origin = span_origin.find(e.parent_span);
+    if (origin == span_origin.end()) continue;
+    if (!linked.insert({e.parent_span, e.span}).second) continue;
+    const Event& p = *origin->second;
+    w.emit("{\"ph\":\"s\",\"cat\":\"causal\",\"name\":\"causal\",\"id\":" +
+           std::to_string(e.span) + ",\"pid\":0,\"tid\":" + tid_str(p) +
+           ",\"ts\":" + std::to_string(p.time) + "}");
+    w.emit("{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"causal\",\"name\":\"causal\",\"id\":" +
+           std::to_string(e.span) + ",\"pid\":0,\"tid\":" + tid_str(e) +
+           ",\"ts\":" + std::to_string(e.time) + "}");
   }
 
   out << "\n]}\n";

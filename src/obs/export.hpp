@@ -21,6 +21,13 @@
 namespace sa::obs {
 
 void write_jsonl(const TraceRecorder& recorder, std::ostream& out);
+/// Fleet variant: every line (meta and event) leads with `"region":<region>`,
+/// so per-region traces can be concatenated into one file and validated /
+/// analysed per region.
+void write_jsonl(const TraceRecorder& recorder, std::ostream& out, std::uint64_t region);
+/// Serializes an already-merged event list (e.g. TraceRecorder::tail(n) for
+/// post-mortem dumps) with the same per-event schema, no meta lines.
+void write_jsonl(const std::vector<Event>& events, std::ostream& out);
 void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out);
 void write_prometheus(const MetricsRegistry& metrics, std::ostream& out);
 

@@ -9,31 +9,34 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("histogram bounds must be ascending");
   }
-  counts_.assign(bounds_.size() + 1, 0);
+  counts_.reset(new std::atomic<std::uint64_t>[bounds_.size() + 1]);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
 }
 
 void Histogram::observe(double v) {
-  std::lock_guard lock(mutex_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  sum_ += v;
-  ++count_;
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard lock(mutex_);
-  return HistogramSnapshot{bounds_, counts_, sum_, count_};
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.count = count_.load(std::memory_order_relaxed);
+  return out;
 }
 
-double Histogram::sum() const {
-  std::lock_guard lock(mutex_);
-  return sum_;
-}
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
-std::uint64_t Histogram::count() const {
-  std::lock_guard lock(mutex_);
-  return count_;
-}
+std::uint64_t Histogram::count() const { return count_.load(std::memory_order_relaxed); }
 
 std::vector<double> default_time_buckets_us() {
   return {100,    250,    500,     1'000,   2'500,     5'000,    10'000,

@@ -58,17 +58,18 @@ class Histogram {
   /// catches everything above the last bound.
   explicit Histogram(std::vector<double> bounds);
 
+  /// Lock-free: a relaxed add on the bucket and count, a CAS loop on the
+  /// sum. Concurrent observers never serialize on a mutex.
   void observe(double v);
   HistogramSnapshot snapshot() const;
   double sum() const;
   std::uint64_t count() const;
 
  private:
-  std::vector<double> bounds_;
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> counts_;
-  double sum_ = 0;
-  std::uint64_t count_ = 0;
+  std::vector<double> bounds_;                          ///< immutable after construction
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds_.size() + 1
+  std::atomic<double> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
 };
 
 /// Bucket bounds (µs) covering the protocol's time scales: sub-millisecond

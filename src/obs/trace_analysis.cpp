@@ -1,0 +1,482 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sa::obs {
+
+namespace {
+
+/// Inverse of to_string(EventKind); the kinds table is small enough that a
+/// linear probe over the enum is simpler than a map.
+std::optional<EventKind> kind_from_string(std::string_view text) {
+  for (int k = 0; k <= static_cast<int>(EventKind::BlockedWindow); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (to_string(kind) == text) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        // Exporter only emits \u00XX for control bytes.
+        if (i + 4 < text.size()) {
+          out += static_cast<char>(std::strtol(std::string(text.substr(i + 1, 4)).c_str(),
+                                               nullptr, 16));
+          i += 4;
+        }
+        break;
+      default: out += text[i];
+    }
+  }
+  return out;
+}
+
+/// Scans one flat exporter object ({"key":value,...}; values are numbers or
+/// strings, never nested). Number tokens stay raw text so 64-bit span ids
+/// can be re-parsed exactly (a double round-trip drops bits above 2^53).
+/// Returns false on malformed input.
+bool scan_pairs(std::string_view line,
+                std::vector<std::pair<std::string, std::string>>& string_fields,
+                std::vector<std::pair<std::string, std::string>>& number_fields) {
+  std::size_t i = line.find('{');
+  if (i == std::string_view::npos) return false;
+  ++i;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ',' || line[i] == ' ')) ++i;
+    if (i < line.size() && line[i] == '}') return true;
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    const std::size_t key_end = line.find('"', i);  // keys are never escaped
+    if (key_end == std::string_view::npos) return false;
+    const std::string key(line.substr(i, key_end - i));
+    i = key_end + 1;
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      std::size_t end = i;
+      while (end < line.size() && !(line[end] == '"' && line[end - 1] != '\\')) ++end;
+      if (end >= line.size()) return false;
+      string_fields.emplace_back(key, unescape(line.substr(i, end - i)));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+      number_fields.emplace_back(key, std::string(line.substr(i, end - i)));
+      i = end;
+    }
+  }
+  return false;  // no closing brace
+}
+
+}  // namespace
+
+std::optional<TraceLine> parse_trace_line(std::string_view line) {
+  if (line.find_first_not_of(" \t\r\n") == std::string_view::npos) return std::nullopt;
+  std::vector<std::pair<std::string, std::string>> strings;
+  std::vector<std::pair<std::string, std::string>> numbers;
+  if (!scan_pairs(line, strings, numbers)) return std::nullopt;
+
+  TraceLine out;
+  const auto str = [&](std::string_view key) -> const std::string* {
+    for (const auto& [k, v] : strings) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  const auto raw = [&](std::string_view key) -> const std::string* {
+    for (const auto& [k, v] : numbers) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  const auto u64 = [&](std::string_view key) -> std::uint64_t {
+    const std::string* token = raw(key);
+    return token == nullptr ? 0 : std::strtoull(token->c_str(), nullptr, 10);
+  };
+  const auto i64 = [&](std::string_view key, std::int64_t fallback) -> std::int64_t {
+    const std::string* token = raw(key);
+    return token == nullptr ? fallback : std::strtoll(token->c_str(), nullptr, 10);
+  };
+  out.region = u64("region");
+
+  if (const std::string* meta = str("meta")) {
+    if (*meta != "track_name") return std::nullopt;
+    out.meta = true;
+    out.meta_track = i64("track", 0);
+    if (const std::string* name = str("name")) out.meta_name = *name;
+    return out;
+  }
+
+  const std::string* kind = str("kind");
+  if (kind == nullptr) return std::nullopt;
+  const std::optional<EventKind> parsed = kind_from_string(*kind);
+  if (!parsed) return std::nullopt;
+  Event& e = out.event;
+  e.kind = *parsed;
+  e.seq = u64("seq");
+  e.time = static_cast<runtime::Time>(i64("t", 0));
+  e.track = i64("track", kNoTrack);
+  e.from = static_cast<runtime::NodeId>(u64("from"));
+  e.to = static_cast<runtime::NodeId>(u64("to"));
+  e.coords.request = u64("request");
+  e.coords.plan = static_cast<std::uint32_t>(u64("plan"));
+  e.coords.step = static_cast<std::uint32_t>(u64("step"));
+  e.coords.attempt = static_cast<std::uint32_t>(u64("attempt"));
+  e.span = u64("span");
+  e.parent_span = u64("parent");
+  e.epoch = u64("epoch");
+  if (const std::string* name = str("name")) e.name = *name;
+  if (const std::string* detail = str("detail")) e.detail = *detail;
+  if (const std::string* value = raw("value")) {
+    e.value = std::strtod(value->c_str(), nullptr);
+    e.has_value = true;
+  }
+  return out;
+}
+
+namespace {
+
+enum class SpanCategory : std::uint8_t { Epoch, Ticket, Request };
+
+struct SpanInfo {
+  SpanCategory category = SpanCategory::Epoch;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;  ///< causal parent span (0 = none / root)
+  std::uint64_t epoch = 0;   ///< epoch number (Epoch spans)
+  std::int64_t track = kNoTrack;
+  runtime::Time begin = 0;
+  runtime::Time end = 0;
+  bool has_begin = false;
+  bool has_end = false;
+  bool parent_is_epoch = false;  ///< set after linking
+};
+
+struct RegionModel {
+  std::map<std::uint64_t, SpanInfo> spans;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> children;  ///< parent -> children
+  std::map<std::int64_t, std::string> track_names;
+  std::vector<const Event*> blocked;  ///< BlockedWindow events
+};
+
+SpanInfo& span_slot(RegionModel& model, std::uint64_t span, SpanCategory category) {
+  SpanInfo& info = model.spans[span];
+  info.span = span;
+  info.category = category;
+  return info;
+}
+
+LatencyStats stats_of(std::vector<runtime::Time> values) {
+  LatencyStats stats;
+  stats.count = values.size();
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end());
+  const auto pick = [&](double q) {
+    const std::size_t index =
+        static_cast<std::size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(index, values.size() - 1)];
+  };
+  stats.p50 = pick(0.50);
+  stats.p99 = pick(0.99);
+  stats.max = values.back();
+  return stats;
+}
+
+std::string label_of(const RegionModel& model, const SpanInfo& info) {
+  const auto it = model.track_names.find(info.track);
+  if (it != model.track_names.end()) return it->second;
+  if (info.track == kNoTrack) return "?";
+  return "track" + std::to_string(info.track);
+}
+
+}  // namespace
+
+TraceAnalysis analyze(const std::vector<TraceLine>& lines) {
+  TraceAnalysis analysis;
+
+  std::map<std::uint64_t, RegionModel> regions;
+  for (const TraceLine& line : lines) {
+    RegionModel& model = regions[line.region];
+    if (line.meta) {
+      model.track_names[line.meta_track] = line.meta_name;
+      continue;
+    }
+    ++analysis.events;
+    const Event& e = line.event;
+    switch (e.kind) {
+      case EventKind::EpochSealed: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Epoch);
+        info.begin = e.time;
+        info.has_begin = true;
+        info.epoch = e.epoch;
+        info.track = e.track;
+        break;
+      }
+      case EventKind::EpochCompleted: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Epoch);
+        info.end = e.time;
+        info.has_end = true;
+        info.epoch = e.epoch;
+        if (info.track == kNoTrack) info.track = e.track;
+        break;
+      }
+      case EventKind::FlowLink:
+        if (e.span != 0 && e.parent_span != 0) {
+          span_slot(model, e.span, SpanCategory::Epoch).parent = e.parent_span;
+        }
+        break;
+      case EventKind::TicketSubmitted: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Ticket);
+        info.begin = e.time;
+        info.has_begin = true;
+        info.track = e.track;
+        break;
+      }
+      case EventKind::TicketDone: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Ticket);
+        info.end = e.time;
+        info.has_end = true;
+        if (info.track == kNoTrack) info.track = e.track;
+        break;
+      }
+      case EventKind::AdaptationRequested: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Request);
+        info.begin = e.time;
+        info.has_begin = true;
+        info.track = e.track;
+        if (e.parent_span != 0) info.parent = e.parent_span;
+        break;
+      }
+      case EventKind::AdaptationFinished: {
+        SpanInfo& info = span_slot(model, e.span, SpanCategory::Request);
+        info.end = e.time;
+        info.has_end = true;
+        if (info.track == kNoTrack) info.track = e.track;
+        if (e.parent_span != 0 && info.parent == 0) info.parent = e.parent_span;
+        break;
+      }
+      case EventKind::BlockedWindow:
+        model.blocked.push_back(&e);
+        break;
+      default:
+        break;
+    }
+  }
+  analysis.regions = regions.size();
+
+  std::vector<runtime::Time> root_latencies;
+  std::vector<runtime::Time> epoch_latencies;
+  std::vector<runtime::Time> request_latencies;
+  std::vector<runtime::Time> ticket_latencies;
+
+  for (auto& [region, model] : regions) {
+    // Link children and classify parents. A root epoch's causal parent is a
+    // ticket span (or missing); an interior epoch's parent is another epoch.
+    for (auto& [span, info] : model.spans) {
+      if (info.parent == 0) continue;
+      const auto parent = model.spans.find(info.parent);
+      info.parent_is_epoch =
+          parent != model.spans.end() && parent->second.category == SpanCategory::Epoch;
+      if (info.parent_is_epoch) model.children[info.parent].push_back(span);
+    }
+
+    // Span levels: BFS down from each root epoch. Requests with no causal
+    // parent (single-system traces) stay at level 0.
+    std::map<std::uint64_t, std::size_t> level;
+    for (const auto& [span, info] : model.spans) {
+      if (info.category != SpanCategory::Epoch || info.parent_is_epoch) continue;
+      // Root epoch: walk its subtree.
+      std::vector<std::pair<std::uint64_t, std::size_t>> frontier{{span, 0}};
+      while (!frontier.empty()) {
+        const auto [node, depth] = frontier.back();
+        frontier.pop_back();
+        level[node] = depth;
+        const auto kids = model.children.find(node);
+        if (kids == model.children.end()) continue;
+        for (const std::uint64_t child : kids->second) {
+          frontier.emplace_back(child, depth + 1);
+        }
+      }
+    }
+
+    for (const auto& [span, info] : model.spans) {
+      if (!info.has_begin || !info.has_end) continue;
+      const runtime::Time latency = info.end - info.begin;
+      switch (info.category) {
+        case SpanCategory::Epoch: epoch_latencies.push_back(latency); break;
+        case SpanCategory::Request: request_latencies.push_back(latency); break;
+        case SpanCategory::Ticket: ticket_latencies.push_back(latency); break;
+      }
+    }
+
+    for (const Event* e : model.blocked) {
+      const auto it = level.find(e->span);
+      const std::size_t l = it != level.end() ? it->second : 0;
+      analysis.blocked_us_by_level[l] += e->value;
+      analysis.blocked_us_total += e->value;
+    }
+
+    // Critical path per root epoch: repeatedly descend into the child whose
+    // completion is latest (ties break toward the smaller span id for
+    // determinism). Contributions telescope against the root's seal time.
+    for (const auto& [span, info] : model.spans) {
+      if (info.category != SpanCategory::Epoch || info.parent_is_epoch) continue;
+      if (!info.has_begin || !info.has_end) continue;
+
+      EpochCriticalPath path;
+      path.region = region;
+      path.epoch = info.epoch;
+      path.span = span;
+      path.sealed = info.begin;
+      path.completed = info.end;
+      path.latency = info.end - info.begin;
+      root_latencies.push_back(path.latency);
+
+      const SpanInfo* node = &info;
+      std::size_t depth = 0;
+      while (true) {
+        CriticalPathNode entry;
+        entry.span = node->span;
+        entry.label = label_of(model, *node);
+        entry.level = depth;
+        entry.begin = node->begin;
+        entry.end = node->end;
+
+        const SpanInfo* critical = nullptr;
+        const auto kids = model.children.find(node->span);
+        if (kids != model.children.end()) {
+          for (const std::uint64_t child_span : kids->second) {
+            const auto child = model.spans.find(child_span);
+            if (child == model.spans.end() || !child->second.has_end) continue;
+            if (critical == nullptr || child->second.end > critical->end ||
+                (child->second.end == critical->end && child->second.span < critical->span)) {
+              critical = &child->second;
+            }
+          }
+        }
+        if (critical == nullptr) {
+          entry.contribution = node->end - path.sealed;  // deepest closes the sum
+          path.path.push_back(std::move(entry));
+          break;
+        }
+        entry.contribution = node->end - critical->end;
+        path.path.push_back(std::move(entry));
+        node = critical;
+        ++depth;
+      }
+      analysis.epochs.push_back(std::move(path));
+    }
+  }
+
+  std::sort(analysis.epochs.begin(), analysis.epochs.end(),
+            [](const EpochCriticalPath& a, const EpochCriticalPath& b) {
+              if (a.region != b.region) return a.region < b.region;
+              if (a.sealed != b.sealed) return a.sealed < b.sealed;
+              return a.span < b.span;
+            });
+
+  analysis.latencies["root_epoch"] = stats_of(std::move(root_latencies));
+  analysis.latencies["epoch"] = stats_of(std::move(epoch_latencies));
+  analysis.latencies["request"] = stats_of(std::move(request_latencies));
+  analysis.latencies["ticket"] = stats_of(std::move(ticket_latencies));
+  return analysis;
+}
+
+namespace {
+
+std::string json_string(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_blocked(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const TraceAnalysis& analysis) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"regions\": " << analysis.regions << ",\n";
+  out << "  \"events\": " << analysis.events << ",\n";
+
+  out << "  \"latency_us\": {";
+  bool first = true;
+  for (const auto& [category, stats] : analysis.latencies) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    " << json_string(category) << ": {\"count\": " << stats.count
+        << ", \"p50\": " << stats.p50 << ", \"p99\": " << stats.p99
+        << ", \"max\": " << stats.max << "}";
+  }
+  out << "\n  },\n";
+
+  out << "  \"blocked_us_total\": " << format_blocked(analysis.blocked_us_total) << ",\n";
+  out << "  \"blocked_us_by_level\": {";
+  first = true;
+  for (const auto& [level, blocked] : analysis.blocked_us_by_level) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    \"" << level << "\": " << format_blocked(blocked);
+  }
+  out << (analysis.blocked_us_by_level.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"root_epochs\": [";
+  first = true;
+  for (const EpochCriticalPath& epoch : analysis.epochs) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"region\": " << epoch.region << ", \"epoch\": " << epoch.epoch
+        << ", \"span\": " << epoch.span << ", \"sealed\": " << epoch.sealed
+        << ", \"completed\": " << epoch.completed << ", \"latency_us\": " << epoch.latency
+        << ", \"critical_path\": [";
+    bool first_node = true;
+    for (const CriticalPathNode& node : epoch.path) {
+      out << (first_node ? "\n" : ",\n");
+      first_node = false;
+      out << "      {\"span\": " << node.span << ", \"label\": " << json_string(node.label)
+          << ", \"level\": " << node.level << ", \"begin\": " << node.begin
+          << ", \"end\": " << node.end << ", \"contribution_us\": " << node.contribution
+          << "}";
+    }
+    out << (epoch.path.empty() ? "]}" : "\n    ]}");
+  }
+  out << (analysis.epochs.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace sa::obs

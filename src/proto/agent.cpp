@@ -26,6 +26,8 @@ AdaptationAgent::AdaptationAgent(runtime::Clock& clock, runtime::Transport& tran
   });
 }
 
+AdaptationAgent::~AdaptationAgent() { transport_->set_handler(node_, nullptr); }
+
 void AdaptationAgent::set_observability(obs::TraceRecorder* recorder,
                                         obs::MetricsRegistry* metrics, std::int64_t track) {
   std::lock_guard lock(mutex_);
@@ -35,6 +37,10 @@ void AdaptationAgent::set_observability(obs::TraceRecorder* recorder,
 }
 
 bool AdaptationAgent::tracing_enabled() const { return recorder_->enabled(); }
+
+bool AdaptationAgent::recorder_wants(obs::EventKind kind) const {
+  return recorder_->wants(kind);
+}
 
 void AdaptationAgent::trace_event(obs::Event event) {
   event.time = clock_->now();
@@ -82,12 +88,18 @@ void AdaptationAgent::apply(const std::vector<Output>& outputs) {
         apply_disarm_timer(out);
         break;
       case OutputKind::Transition:
-        if (tracing()) {
+        if (tracing(obs::EventKind::AgentState)) {
           obs::Event e;
           e.kind = obs::EventKind::AgentState;
           e.name = std::string(to_string(out.state_to));
           e.detail = std::string(to_string(out.state_from));
           e.coords = coords_of(out.ref);
+          if (out.ref.request_id != 0) {
+            // Both ends derive the request span from the manager's node id,
+            // so agent transitions link into the same causal tree without
+            // widening the wire messages.
+            e.parent_span = span_of(manager_, SpanKind::Request, out.ref.request_id);
+          }
           trace_event(std::move(e));
         }
         break;
@@ -141,7 +153,7 @@ void AdaptationAgent::apply(const std::vector<Output>& outputs) {
 }
 
 void AdaptationAgent::apply_arm_timer(const Output& out) {
-  if (tracing()) {
+  if (tracing(obs::EventKind::TimerArmed)) {
     obs::Event e;
     e.kind = obs::EventKind::TimerArmed;
     e.coords = coords_of(out.ref);
@@ -161,7 +173,7 @@ void AdaptationAgent::apply_arm_timer(const Output& out) {
     std::lock_guard lock(mutex_);
     if (gen != pending_gen_) return;  // cancelled or superseded after dequeue
     pending_event_ = 0;
-    if (tracing()) {
+    if (tracing(obs::EventKind::TimerFired)) {
       obs::Event e;
       e.kind = obs::EventKind::TimerFired;
       if (core_.current_step()) e.coords = coords_of(*core_.current_step());
@@ -176,7 +188,7 @@ void AdaptationAgent::apply_disarm_timer(const Output& out) {
   if (pending_event_ != 0) {
     clock_->cancel(pending_event_);
     pending_event_ = 0;
-    if (tracing()) {
+    if (tracing(obs::EventKind::TimerCancelled)) {
       obs::Event e;
       e.kind = obs::EventKind::TimerCancelled;
       e.coords = coords_of(out.ref);

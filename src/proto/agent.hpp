@@ -43,6 +43,10 @@ class AdaptationAgent {
   AdaptationAgent(runtime::Clock& clock, runtime::Transport& transport, runtime::NodeId node,
                   runtime::NodeId manager_node, AdaptableProcess& process,
                   AgentConfig config = {});
+  /// Detaches the receive handler before members die; on the threaded
+  /// backend this blocks until any in-flight delivery to this node returns,
+  /// so a late retransmission cannot land in a half-destroyed agent.
+  ~AdaptationAgent();
 
   /// Copies taken under the entity lock: runtime threads mutate this state,
   /// so polling during a threaded run must not read it unlocked.
@@ -80,7 +84,11 @@ class AdaptationAgent {
 
   // --- observability (no-ops until set_observability is called) --------------
   bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
+  bool tracing(obs::EventKind kind) const {
+    return recorder_ != nullptr && recorder_wants(kind);
+  }
   bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
+  bool recorder_wants(obs::EventKind kind) const;  ///< recorder_->wants(), out of line
   /// Stamps this agent's track and the current clock time, then records.
   void trace_event(obs::Event event);
 

@@ -17,12 +17,16 @@ AdaptationCoordinator::AdaptationCoordinator(runtime::Runtime& rt, runtime::Node
       node_(node),
       depth_(depth),
       core_(config) {
+  core_.set_span_seed(node_);
   transport_->set_handler(node_, [this](runtime::NodeId from, runtime::MessagePtr message) {
     on_message(from, std::move(message));
   });
 }
 
-AdaptationCoordinator::~AdaptationCoordinator() = default;
+// Detach before members die; on the threaded backend this waits out any
+// in-flight delivery so a late message cannot land in a half-destroyed
+// coordinator.
+AdaptationCoordinator::~AdaptationCoordinator() { transport_->set_handler(node_, nullptr); }
 
 void AdaptationCoordinator::set_parent(runtime::NodeId parent_node) {
   std::lock_guard lock(mutex_);
@@ -53,8 +57,19 @@ std::uint64_t AdaptationCoordinator::submit(std::vector<ShardTarget> targets,
   if (has_parent_) throw std::logic_error("submit() is root-only; interior nodes take commits");
   const std::uint64_t ticket = next_ticket_++;
   pending_tickets_[ticket] = PendingTicket{std::move(handler), clock_->now()};
-  dispatch(CoordinatorInput{clock_->now(),
-                            CoordinatorInput::SubmitRequest{ticket, std::move(targets)}});
+  // The ticket span roots this submission's causal tree: the epoch it seals
+  // into links back to it, and TicketDone closes it.
+  const std::uint64_t ticket_span = span_of(node_, SpanKind::Ticket, ticket);
+  if (tracing(obs::EventKind::TicketSubmitted)) {
+    obs::Event e;
+    e.kind = obs::EventKind::TicketSubmitted;
+    e.span = ticket_span;
+    e.value = static_cast<double>(targets.size());
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
+  dispatch(CoordinatorInput{
+      clock_->now(), CoordinatorInput::SubmitRequest{ticket, std::move(targets), ticket_span}});
   return ticket;
 }
 
@@ -68,6 +83,10 @@ void AdaptationCoordinator::set_observability(obs::TraceRecorder* recorder,
 
 bool AdaptationCoordinator::tracing() const {
   return recorder_ != nullptr && recorder_->enabled();
+}
+
+bool AdaptationCoordinator::tracing(obs::EventKind kind) const {
+  return recorder_ != nullptr && recorder_->wants(kind);
 }
 
 void AdaptationCoordinator::trace_event(obs::Event event) {
@@ -87,8 +106,9 @@ void AdaptationCoordinator::on_message(runtime::NodeId from, runtime::MessagePtr
   }
   if (has_parent_ && from == parent_node_ && coord->kind() == CoordMsgKind::EpochCommit) {
     const auto& commit = static_cast<const EpochCommitMsg&>(*coord);
-    dispatch(CoordinatorInput{clock_->now(),
-                              CoordinatorInput::SubmitRequest{commit.epoch, commit.targets}});
+    dispatch(CoordinatorInput{
+        clock_->now(),
+        CoordinatorInput::SubmitRequest{commit.epoch, commit.targets, commit.ctx.parent_span}});
     return;
   }
   const auto child = child_of_.find(from);
@@ -121,7 +141,7 @@ void AdaptationCoordinator::apply(const std::vector<Output>& outputs) {
         apply_disarm_timer(out);
         break;
       case OutputKind::Transition:
-        if (tracing()) {
+        if (tracing(obs::EventKind::CoordinatorPhase)) {
           obs::Event e;
           e.kind = obs::EventKind::CoordinatorPhase;
           e.name = std::string(to_string(out.cphase_to));
@@ -133,19 +153,33 @@ void AdaptationCoordinator::apply(const std::vector<Output>& outputs) {
         apply_execute_shard(out);
         break;
       case OutputKind::EpochOpened:
-        if (tracing()) {
+        if (tracing(obs::EventKind::EpochOpened)) {
           obs::Event e;
           e.kind = obs::EventKind::EpochOpened;
+          e.span = out.span;
+          e.epoch = out.epoch;
           e.value = static_cast<double>(out.epoch);
           e.has_value = true;
           trace_event(std::move(e));
         }
         break;
+      case OutputKind::FlowLink:
+        if (tracing(obs::EventKind::FlowLink)) {
+          obs::Event e;
+          e.kind = obs::EventKind::FlowLink;
+          e.span = out.span;
+          e.parent_span = out.parent_span;
+          e.epoch = out.epoch;
+          trace_event(std::move(e));
+        }
+        break;
       case OutputKind::EpochSealed:
         epoch_sealed_at_ = clock_->now();
-        if (tracing()) {
+        if (tracing(obs::EventKind::EpochSealed)) {
           obs::Event e;
           e.kind = obs::EventKind::EpochSealed;
+          e.span = out.span;
+          e.epoch = out.epoch;
           e.value = out.value;   // shard count
           e.has_value = true;
           e.detail = "coalesced " + std::to_string(static_cast<std::size_t>(out.extra));
@@ -165,9 +199,11 @@ void AdaptationCoordinator::apply(const std::vector<Output>& outputs) {
         }
         break;
       case OutputKind::EpochCompleted:
-        if (tracing()) {
+        if (tracing(obs::EventKind::EpochCompleted)) {
           obs::Event e;
           e.kind = obs::EventKind::EpochCompleted;
+          e.span = out.span;
+          e.epoch = out.epoch;
           e.value = static_cast<double>(clock_->now() - epoch_sealed_at_);
           e.has_value = true;
           if (out.extra > 0) {
@@ -212,7 +248,7 @@ void AdaptationCoordinator::apply(const std::vector<Output>& outputs) {
 }
 
 void AdaptationCoordinator::apply_arm_timer(const Output& out) {
-  if (tracing()) {
+  if (tracing(obs::EventKind::TimerArmed)) {
     obs::Event e;
     e.kind = obs::EventKind::TimerArmed;
     e.name = out.label;
@@ -233,7 +269,7 @@ void AdaptationCoordinator::apply_arm_timer(const Output& out) {
     std::uint64_t& current = slot == CoordinatorTimer::Epoch ? epoch_gen_ : commit_gen_;
     if (gen != current) return;  // superseded or disarmed after dequeue
     (slot == CoordinatorTimer::Epoch ? epoch_timer_ : commit_timer_) = 0;
-    if (tracing()) {
+    if (tracing(obs::EventKind::TimerFired)) {
       obs::Event e;
       e.kind = obs::EventKind::TimerFired;
       e.name = label;
@@ -248,7 +284,7 @@ void AdaptationCoordinator::apply_disarm_timer(const Output& out) {
   if (id != 0) {
     clock_->cancel(id);
     id = 0;
-    if (tracing()) {
+    if (tracing(obs::EventKind::TimerCancelled)) {
       obs::Event e;
       e.kind = obs::EventKind::TimerCancelled;
       e.name = out.label;
@@ -271,14 +307,18 @@ void AdaptationCoordinator::apply_execute_shard(const Output& out) {
   // Both hops go through the executor so the coordinator lock and the
   // manager lock are never held together (no lock-order cycle when a manager
   // completion races a coordinator timer on the threaded backend).
-  executor_->post([this, manager, shard, epoch, target] {
-    manager->enqueue_adaptation(target, [this, shard, epoch](const AdaptationResult& result) {
-      executor_->post([this, shard, epoch, result] {
-        std::lock_guard lock(mutex_);
-        dispatch(CoordinatorInput{clock_->now(),
-                                  CoordinatorInput::ShardFinished{epoch, shard, result}});
-      });
-    });
+  const std::uint64_t cause = out.parent_span;
+  executor_->post([this, manager, shard, epoch, target, cause] {
+    manager->enqueue_adaptation(
+        target,
+        [this, shard, epoch](const AdaptationResult& result) {
+          executor_->post([this, shard, epoch, result] {
+            std::lock_guard lock(mutex_);
+            dispatch(CoordinatorInput{clock_->now(),
+                                      CoordinatorInput::ShardFinished{epoch, shard, result}});
+          });
+        },
+        cause);
   });
 }
 
@@ -296,6 +336,16 @@ void AdaptationCoordinator::apply_ticket_done(const Output& out) {
   result.finished = clock_->now();
   TicketHandler handler = std::move(it->second.handler);
   pending_tickets_.erase(it);
+  if (tracing(obs::EventKind::TicketDone)) {
+    obs::Event e;
+    e.kind = obs::EventKind::TicketDone;
+    e.span = out.span;
+    e.parent_span = out.parent_span;
+    e.epoch = out.epoch;
+    e.value = static_cast<double>(result.finished - result.started);
+    e.has_value = true;
+    trace_event(std::move(e));
+  }
   SA_INFO("coordinator") << "ticket " << result.ticket << " done in epoch " << result.epoch
                          << " (" << result.outcomes.size() << " shard(s))";
   if (handler) handler(result);

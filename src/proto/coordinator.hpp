@@ -99,6 +99,7 @@ class AdaptationCoordinator {
   void apply_ticket_done(const Output& out);
 
   bool tracing() const;
+  bool tracing(obs::EventKind kind) const;  ///< also applies the detail filter
   void trace_event(obs::Event event);
   std::string depth_label() const;
 

@@ -37,6 +37,10 @@ std::uint64_t CoordinatorCore::wire_epoch() const {
   return epoch_;
 }
 
+std::uint64_t CoordinatorCore::epoch_span(std::uint64_t epoch) const {
+  return span_of(span_seed_, SpanKind::Epoch, epoch);
+}
+
 void CoordinatorCore::note_duplicate(const char* label, std::string detail,
                                      std::vector<Output>& out) {
   Output note;
@@ -62,6 +66,7 @@ void CoordinatorCore::open_epoch(std::vector<Output>& out) {
   Output opened;
   opened.kind = OutputKind::EpochOpened;
   opened.epoch = epoch_ + 1;
+  opened.span = epoch_span(epoch_ + 1);
   out.push_back(std::move(opened));
   Output arm;
   arm.kind = OutputKind::ArmTimer;
@@ -106,6 +111,7 @@ void CoordinatorCore::on_submit(const CoordinatorInput::SubmitRequest& submit,
 
   Ticket ticket;
   ticket.id = submit.ticket;
+  ticket.parent_span = submit.parent_span;
   for (const ShardTarget& target : submit.targets) ticket.shards.push_back(target.shard);
   std::sort(ticket.shards.begin(), ticket.shards.end());
   ticket.shards.erase(std::unique(ticket.shards.begin(), ticket.shards.end()),
@@ -142,6 +148,7 @@ void CoordinatorCore::seal(runtime::Time now, std::vector<Output>& out) {
   Output sealed;
   sealed.kind = OutputKind::EpochSealed;
   sealed.epoch = epoch_;
+  sealed.span = epoch_span(epoch_);
   sealed.value = static_cast<double>(targets.size());
   sealed.has_value = true;
   sealed.extra = static_cast<double>(coalesced_);
@@ -149,11 +156,24 @@ void CoordinatorCore::seal(runtime::Time now, std::vector<Output>& out) {
   coalesced_ = 0;
   transition(CoordinatorPhase::Committing, out);
 
+  // Causal edges: this epoch's span descends from every ticket batched into
+  // it — root ticket spans at the root, the parent's epoch span below it.
+  for (const Ticket& ticket : commit_.tickets) {
+    if (ticket.parent_span == 0) continue;
+    Output link;
+    link.kind = OutputKind::FlowLink;
+    link.epoch = epoch_;
+    link.span = epoch_span(epoch_);
+    link.parent_span = ticket.parent_span;
+    out.push_back(std::move(link));
+  }
+
   // Partition the batch: each child gets the slice its subtree covers, each
   // local lane gets its queue. Disjoint children and lanes run concurrently.
   for (std::size_t child = 0; child < children_.size(); ++child) {
     auto message = std::make_shared<EpochCommitMsg>();
     message->epoch = commit_.wire;
+    message->ctx = CausalContext{commit_.wire, commit_.wire, epoch_span(epoch_)};
     std::vector<std::uint32_t> slice;
     for (const ShardTarget& target : targets) {
       if (std::binary_search(children_[child].begin(), children_[child].end(),
@@ -183,6 +203,7 @@ void CoordinatorCore::seal(runtime::Time now, std::vector<Output>& out) {
     exec.epoch = epoch_;
     exec.shard = run.queue.front().shard;
     exec.config = run.queue.front().target;
+    exec.parent_span = epoch_span(epoch_);
     out.push_back(std::move(exec));
   }
   // Anything routed to neither a child nor a local lane cannot execute:
@@ -258,6 +279,7 @@ void CoordinatorCore::on_shard_finished(const CoordinatorInput::ShardFinished& f
       exec.epoch = epoch_;
       exec.shard = run.queue[run.next].shard;
       exec.config = run.queue[run.next].target;
+      exec.parent_span = epoch_span(epoch_);
       out.push_back(std::move(exec));
     }
     maybe_complete(now, out, /*timed_out=*/false);
@@ -315,6 +337,7 @@ void CoordinatorCore::maybe_complete(runtime::Time now, std::vector<Output>& out
   Output completed;
   completed.kind = OutputKind::EpochCompleted;
   completed.epoch = epoch_;
+  completed.span = epoch_span(epoch_);
   completed.value = static_cast<double>(outcomes.size());
   completed.has_value = true;
   completed.extra = static_cast<double>(orphans);
@@ -333,6 +356,7 @@ void CoordinatorCore::maybe_complete(runtime::Time now, std::vector<Output>& out
     if (has_parent_) {
       auto message = std::make_shared<EpochDoneMsg>();
       message->epoch = ticket.id;  // the parent's epoch number
+      message->ctx = CausalContext{ticket.id, epoch_, epoch_span(epoch_)};
       message->outcomes = std::move(slice);
       Output send;
       send.kind = OutputKind::SendParent;
@@ -344,6 +368,8 @@ void CoordinatorCore::maybe_complete(runtime::Time now, std::vector<Output>& out
       done.kind = OutputKind::TicketDone;
       done.ticket = ticket.id;
       done.epoch = epoch_;
+      done.span = ticket.parent_span;  // the root ticket's own span
+      done.parent_span = epoch_span(epoch_);
       done.shard_outcomes = std::move(slice);
       out.push_back(std::move(done));
     }

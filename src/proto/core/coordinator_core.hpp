@@ -67,6 +67,9 @@ class CoordinatorCore {
   void add_local_shard(std::uint32_t shard, std::uint32_t lane);
   void set_has_parent(bool has_parent) { has_parent_ = has_parent; }
   bool has_parent() const { return has_parent_; }
+  /// Seed for this coordinator's derived epoch span ids (the driver passes
+  /// its NodeId). Epoch N's span is span_of(seed, SpanKind::Epoch, N).
+  void set_span_seed(std::uint64_t seed) { span_seed_ = seed; }
 
   CoordinatorPhase phase() const { return phase_; }
   bool idle() const { return phase_ == CoordinatorPhase::Idle; }
@@ -90,6 +93,8 @@ class CoordinatorCore {
   struct Ticket {
     std::uint64_t id = 0;
     std::vector<std::uint32_t> shards;  ///< sorted shard ids it asked for
+    std::uint64_t parent_span = 0;      ///< causing span (root ticket span or
+                                        ///< the parent's epoch span)
   };
   /// The sealed epoch in flight.
   struct Commit {
@@ -115,11 +120,13 @@ class CoordinatorCore {
   void open_epoch(std::vector<Output>& out);
   void transition(CoordinatorPhase to, std::vector<Output>& out);
   std::uint64_t wire_epoch() const;
+  std::uint64_t epoch_span(std::uint64_t epoch) const;
   void note_duplicate(const char* label, std::string detail, std::vector<Output>& out);
 
   CoordinatorConfig config_;
   CoordinatorFault fault_ = CoordinatorFault::None;
   bool has_parent_ = false;
+  std::uint64_t span_seed_ = 0;
 
   std::vector<std::vector<std::uint32_t>> children_;  ///< child -> covered shards
   std::map<std::uint32_t, std::uint32_t> local_lane_;  ///< local shard -> lane

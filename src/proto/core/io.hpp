@@ -57,6 +57,7 @@ enum class AgentLocalEvent : std::uint8_t {
 struct ManagerInput {
   struct AdaptCommand {
     config::Configuration target;
+    std::uint64_t cause_span = 0;  ///< span that caused this request (tracing)
   };
   struct MessageDelivered {
     config::ProcessId from = 0;
@@ -87,6 +88,8 @@ struct CoordinatorInput {
   struct SubmitRequest {
     std::uint64_t ticket = 0;
     std::vector<ShardTarget> targets;
+    std::uint64_t parent_span = 0;  ///< causing span: root ticket span, or the
+                                    ///< committing parent's epoch span
   };
   struct ChildDone {  ///< EpochDoneMsg delivered from child index `child`
     std::size_t child = 0;
@@ -145,6 +148,7 @@ enum class OutputKind : std::uint8_t {
   EpochSealed,     ///< batch frozen (value = shard count, extra = coalesced)
   EpochCompleted,  ///< every child/lane reported (extra = orphan count)
   TicketDone,      ///< one submission's `shard_outcomes` ready (root only)
+  FlowLink,        ///< causal edge for tracing: `span` caused by `parent_span`
 };
 
 /// One side effect requested by a core, in emission order. A single flat
@@ -182,6 +186,10 @@ struct Output {
   std::uint32_t shard = 0;   ///< ExecuteShard subject
   std::uint64_t ticket = 0;  ///< TicketDone subject
   std::vector<ShardOutcome> shard_outcomes;  ///< EpochCompleted / TicketDone
+
+  // --- causal tracing ---------------------------------------------------------
+  std::uint64_t span = 0;         ///< span this output belongs to
+  std::uint64_t parent_span = 0;  ///< span that caused it (FlowLink / requests)
 };
 
 }  // namespace sa::proto

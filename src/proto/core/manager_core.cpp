@@ -64,6 +64,7 @@ std::vector<Output> ManagerCore::step(const ManagerInput& input) {
   now_ = input.now;
   if (const auto* cmd = std::get_if<ManagerInput::AdaptCommand>(&input.event)) {
     if (busy()) throw std::logic_error("adaptation request while another is in flight");
+    cause_span_ = cmd->cause_span;
     handle_request(cmd->target);
   } else if (const auto* msg = std::get_if<ManagerInput::MessageDelivered>(&input.event)) {
     handle_message(msg->from, msg->message);
@@ -146,6 +147,7 @@ void ManagerCore::handle_request(const config::Configuration& target) {
 
   Output& out = emit(OutputKind::AdaptationRequested);
   out.name = "adaptation";
+  out.parent_span = cause_span_;
   out.detail =
       current_.describe(table_->registry()) + " -> " + target.describe(table_->registry());
 
@@ -529,6 +531,7 @@ void ManagerCore::finish(AdaptationOutcome outcome, std::string detail) {
   result_.detail = std::move(detail);
   Output& out = emit(OutputKind::Outcome);
   out.name = std::string(to_string(outcome));
+  out.parent_span = cause_span_;
   out.detail = result_.detail;
   out.config = result_.final_config;
   out.result = result_;

@@ -148,6 +148,7 @@ class ManagerCore {
   ManagerPhase phase_ = ManagerPhase::Running;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t request_id_ = 0;
+  std::uint64_t cause_span_ = 0;  ///< tracing only; echoed on request outputs
   config::Configuration source_;
   config::Configuration target_;
   AdaptationResult result_;

@@ -35,7 +35,9 @@ AdaptationManager::AdaptationManager(runtime::Runtime& rt, runtime::NodeId node,
   });
 }
 
-AdaptationManager::~AdaptationManager() = default;
+// Detach before members die; on the threaded backend this waits out any
+// in-flight delivery so a late ack cannot land in a half-destroyed manager.
+AdaptationManager::~AdaptationManager() { transport_->set_handler(node_, nullptr); }
 
 void AdaptationManager::set_observability(obs::TraceRecorder* recorder,
                                           obs::MetricsRegistry* metrics) {
@@ -45,6 +47,10 @@ void AdaptationManager::set_observability(obs::TraceRecorder* recorder,
 }
 
 bool AdaptationManager::tracing_enabled() const { return recorder_->enabled(); }
+
+bool AdaptationManager::recorder_wants(obs::EventKind kind) const {
+  return recorder_->wants(kind);
+}
 
 void AdaptationManager::trace_event(obs::Event event) {
   event.time = clock_->now();
@@ -78,21 +84,23 @@ std::optional<config::ProcessId> AdaptationManager::process_of_node(runtime::Nod
 }
 
 void AdaptationManager::request_adaptation(config::Configuration target,
-                                           CompletionHandler handler) {
+                                           CompletionHandler handler,
+                                           std::uint64_t cause_span) {
   std::lock_guard lock(mutex_);
   if (core_.busy()) throw std::logic_error("adaptation request while another is in flight");
   handler_ = std::move(handler);
-  dispatch(ManagerInput::AdaptCommand{std::move(target)});
+  dispatch(ManagerInput::AdaptCommand{std::move(target), cause_span});
 }
 
 void AdaptationManager::enqueue_adaptation(config::Configuration target,
-                                           CompletionHandler handler) {
+                                           CompletionHandler handler,
+                                           std::uint64_t cause_span) {
   std::lock_guard lock(mutex_);
   if (!core_.busy() && pending_requests_.empty()) {
-    request_adaptation(std::move(target), std::move(handler));
+    request_adaptation(std::move(target), std::move(handler), cause_span);
     return;
   }
-  pending_requests_.push_back(PendingRequest{std::move(target), std::move(handler)});
+  pending_requests_.push_back(PendingRequest{std::move(target), std::move(handler), cause_span});
 }
 
 void AdaptationManager::on_message(runtime::NodeId from, runtime::MessagePtr message) {
@@ -140,7 +148,7 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
         apply_disarm_timer(out);
         break;
       case OutputKind::Transition:
-        if (tracing()) {
+        if (tracing(obs::EventKind::ManagerPhase)) {
           obs::Event e;
           e.kind = obs::EventKind::ManagerPhase;
           e.name = std::string(to_string(out.phase_to));
@@ -155,7 +163,7 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
         record.action_name = out.name;
         record.started = clock_->now();
         step_log_.push_back(record);
-        if (tracing()) {
+        if (tracing(obs::EventKind::StepStarted)) {
           obs::Event e;
           e.kind = obs::EventKind::StepStarted;
           e.coords = coords_of(out.ref);
@@ -173,7 +181,7 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
       case OutputKind::StepCommitted: {
         step_log_.back().committed = true;
         step_log_.back().finished = clock_->now();
-        if (tracing()) {
+        if (tracing(obs::EventKind::StepCommitted)) {
           obs::Event e;
           e.kind = obs::EventKind::StepCommitted;
           e.coords = coords_of(out.ref);
@@ -203,7 +211,7 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
       case OutputKind::StepRolledBack:
         step_log_.back().rolled_back = true;
         step_log_.back().finished = clock_->now();
-        if (tracing()) {
+        if (tracing(obs::EventKind::StepRolledBack)) {
           obs::Event e;
           e.kind = obs::EventKind::StepRolledBack;
           e.coords = coords_of(out.ref);
@@ -221,17 +229,19 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
         apply_outcome(out);
         break;
       case OutputKind::AdaptationRequested:
-        if (tracing()) {
+        if (tracing(obs::EventKind::AdaptationRequested)) {
           obs::Event e;
           e.kind = obs::EventKind::AdaptationRequested;
           e.coords.request = out.request_id;
           e.name = out.name;
           e.detail = out.detail;
+          e.span = span_of(node_, SpanKind::Request, out.request_id);
+          e.parent_span = out.parent_span;
           trace_event(std::move(e));
         }
         break;
       case OutputKind::PlanComputed:
-        if (tracing()) {
+        if (tracing(obs::EventKind::PlanComputed)) {
           obs::Event e;
           e.kind = obs::EventKind::PlanComputed;
           e.coords = coords_of(out.ref);
@@ -274,6 +284,19 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
         break;
       case OutputKind::BlockedObserved:
         observe_blocked(out.process, out.blocked);
+        if (tracing(obs::EventKind::BlockedWindow)) {
+          // The blocked window belongs to the agent's track; its parent is
+          // the owning adaptation request's span, so critical-path analysis
+          // can attribute per-process disruption to the tree node above it.
+          obs::Event e;
+          e.kind = obs::EventKind::BlockedWindow;
+          e.track = static_cast<std::int64_t>(out.process);
+          e.coords = coords_of(out.ref);
+          e.span = span_of(node_, SpanKind::Request, out.request_id);
+          e.value = static_cast<double>(out.blocked);
+          e.has_value = true;
+          trace_event(std::move(e));
+        }
         break;
       default:
         break;  // agent-only kinds never appear in manager output
@@ -282,7 +305,7 @@ void AdaptationManager::apply(const std::vector<Output>& outputs) {
 }
 
 void AdaptationManager::apply_arm_timer(const Output& out) {
-  if (tracing()) {
+  if (tracing(obs::EventKind::TimerArmed)) {
     obs::Event e;
     e.kind = obs::EventKind::TimerArmed;
     e.coords = coords_of(out.ref);
@@ -303,7 +326,7 @@ void AdaptationManager::apply_arm_timer(const Output& out) {
       std::lock_guard lock(mutex_);
       if (gen != timer_gen_) return;  // superseded or disarmed after dequeue
       timer_ = 0;
-      if (tracing()) {
+      if (tracing(obs::EventKind::TimerFired)) {
         obs::Event e;
         e.kind = obs::EventKind::TimerFired;
         e.coords = coords_of(core_.current_ref());
@@ -318,7 +341,7 @@ void AdaptationManager::apply_arm_timer(const Output& out) {
       std::lock_guard lock(mutex_);
       if (gen != stage_delay_gen_) return;  // disarmed after dequeue
       stage_delay_event_ = 0;
-      if (tracing()) {
+      if (tracing(obs::EventKind::TimerFired)) {
         obs::Event e;
         e.kind = obs::EventKind::TimerFired;
         e.coords = coords_of(core_.current_ref());
@@ -335,7 +358,7 @@ void AdaptationManager::apply_disarm_timer(const Output& out) {
   if (id != 0) {
     clock_->cancel(id);
     id = 0;
-    if (tracing()) {
+    if (tracing(obs::EventKind::TimerCancelled)) {
       obs::Event e;
       e.kind = obs::EventKind::TimerCancelled;
       e.coords = coords_of(out.ref);
@@ -353,12 +376,14 @@ void AdaptationManager::apply_disarm_timer(const Output& out) {
 
 void AdaptationManager::apply_outcome(const Output& out) {
   const AdaptationResult& result = out.result;
-  if (tracing()) {
+  if (tracing(obs::EventKind::AdaptationFinished)) {
     obs::Event e;
     e.kind = obs::EventKind::AdaptationFinished;
     e.coords.request = out.request_id;
     e.name = out.name;
     e.detail = result.detail;
+    e.span = span_of(node_, SpanKind::Request, out.request_id);
+    e.parent_span = out.parent_span;
     e.value = static_cast<double>(result.finished - result.started);
     e.has_value = true;
     trace_event(std::move(e));
@@ -388,7 +413,7 @@ void AdaptationManager::apply_outcome(const Output& out) {
       if (core_.busy() || pending_requests_.empty()) return;
       PendingRequest next = std::move(pending_requests_.front());
       pending_requests_.pop_front();
-      request_adaptation(std::move(next.target), std::move(next.handler));
+      request_adaptation(std::move(next.target), std::move(next.handler), next.cause_span);
     });
   }
 }

@@ -81,13 +81,16 @@ class AdaptationManager {
 
   /// Requests adaptation to `target`. One request at a time; throws
   /// std::logic_error if one is already in flight. The handler fires (from
-  /// simulator context) when the request terminates.
-  void request_adaptation(config::Configuration target, CompletionHandler handler);
+  /// simulator context) when the request terminates. `cause_span` optionally
+  /// links the request into a causal trace (e.g. its coordinator epoch span).
+  void request_adaptation(config::Configuration target, CompletionHandler handler,
+                          std::uint64_t cause_span = 0);
 
   /// Like request_adaptation, but a request arriving while another is in
   /// flight waits its turn instead of throwing. Queued requests run in FIFO
   /// order, each planned from the configuration the previous one left behind.
-  void enqueue_adaptation(config::Configuration target, CompletionHandler handler);
+  void enqueue_adaptation(config::Configuration target, CompletionHandler handler,
+                          std::uint64_t cause_span = 0);
 
   std::size_t queued_requests() const {
     std::lock_guard lock(mutex_);
@@ -147,7 +150,11 @@ class AdaptationManager {
 
   // --- observability (no-ops until set_observability is called) --------------
   bool tracing() const { return recorder_ != nullptr && tracing_enabled(); }
+  bool tracing(obs::EventKind kind) const {
+    return recorder_ != nullptr && recorder_wants(kind);
+  }
   bool tracing_enabled() const;  ///< recorder_->enabled(), out of line
+  bool recorder_wants(obs::EventKind kind) const;  ///< recorder_->wants(), out of line
   /// Stamps the manager track and the current clock time, then records.
   void trace_event(obs::Event event);
   /// Accrues a process's reported blocked time into the total and the
@@ -186,6 +193,7 @@ class AdaptationManager {
   struct PendingRequest {
     config::Configuration target;
     CompletionHandler handler;
+    std::uint64_t cause_span = 0;
   };
   std::deque<PendingRequest> pending_requests_;
 

@@ -126,6 +126,37 @@ struct RollbackDoneMsg final : ProtoMessage {
   MsgKind kind() const override { return MsgKind::RollbackDone; }
 };
 
+// --- causal tracing ----------------------------------------------------------
+
+/// Namespaces for derived span ids: one id scheme covers root tickets,
+/// per-coordinator epochs, and per-manager adaptation requests.
+enum class SpanKind : std::uint8_t { Ticket = 1, Epoch = 2, Request = 3 };
+
+/// Derives a stable, collision-resistant span id from (seed, kind, n) —
+/// a splitmix64-style finalizer over the three inputs, forced nonzero so 0
+/// can mean "no span". Both ends of a protocol edge can compute the same id
+/// independently (e.g. an agent derives its manager's request span from the
+/// manager's node id and the request id), so no id ever rides a hot message.
+constexpr std::uint64_t span_of(std::uint64_t seed, SpanKind kind, std::uint64_t n) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1);
+  x ^= n + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x | 1;
+}
+
+/// Compact causal context carried on coordinator messages: enough for the
+/// receiver to link the work the message causes back to the sender's span
+/// tree without any lookup.
+struct CausalContext {
+  std::uint64_t ticket = 0;       ///< the ticket (child epoch) this commit names
+  std::uint64_t epoch = 0;        ///< the sender's epoch number
+  std::uint64_t parent_span = 0;  ///< span of the work that caused this message
+  bool operator==(const CausalContext&) const = default;
+};
+
 // --- hierarchical coordination vocabulary (manager tree, §7 at fleet scale) --
 
 /// One shard's slice of a group commit: drive shard `shard` to `target`.
@@ -152,6 +183,7 @@ enum class CoordMsgKind : std::uint8_t { EpochCommit, EpochDone };
 /// ProtoMessage: coordinator links are keyed by epoch, not step coordinates.
 struct CoordMessage : runtime::Message {
   std::uint64_t epoch = 0;  ///< the committing parent's epoch number
+  CausalContext ctx;        ///< causal span context (tracing only)
   virtual CoordMsgKind kind() const = 0;
 };
 

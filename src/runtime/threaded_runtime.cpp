@@ -145,8 +145,14 @@ NodeId ThreadedTransport::add_node(std::string name, ReceiveHandler handler) {
 }
 
 void ThreadedTransport::set_handler(NodeId node, ReceiveHandler handler) {
-  std::lock_guard lock(mutex_);
-  endpoints_.at(node)->handler = std::move(handler);
+  std::unique_lock lock(mutex_);
+  Endpoint& endpoint = *endpoints_.at(node);
+  endpoint.handler = std::move(handler);
+  // Detach must not return while a worker is mid-handler: the caller is
+  // typically a destructor about to free the object the handler captured.
+  if (!endpoint.handler) {
+    handler_cv_.wait(lock, [&] { return !endpoint.in_handler; });
+  }
 }
 
 const std::string& ThreadedTransport::node_name(NodeId node) const {
@@ -269,27 +275,32 @@ void ThreadedTransport::enqueue_delivery(NodeId to, NodeId from, MessagePtr mess
 }
 
 void ThreadedTransport::drain_mailbox(NodeId node) {
-  while (true) {
-    Delivery delivery;
-    ReceiveHandler handler;
-    {
-      std::lock_guard lock(mutex_);
-      Endpoint& endpoint = *endpoints_.at(node);
-      if (endpoint.mailbox.empty()) {
-        endpoint.draining = false;
-        return;
-      }
-      delivery = std::move(endpoint.mailbox.front());
-      endpoint.mailbox.pop_front();
-      handler = endpoint.handler;
-      if (tracing_.load(std::memory_order_relaxed)) {
-        trace_.push_back(TraceEntry{clock_->now(), delivery.from, node,
-                                    delivery.message->type_name(), true, delivery.message});
-      }
-      observer_.on_delivered(clock_->now(), delivery.from, node, delivery.message->type_name());
+  std::unique_lock lock(mutex_);
+  // The Endpoint object is stable across unlocks (endpoints_ holds owning
+  // pointers and nodes are never removed), even if the vector grows.
+  Endpoint& endpoint = *endpoints_.at(node);
+  while (!endpoint.mailbox.empty()) {
+    Delivery delivery = std::move(endpoint.mailbox.front());
+    endpoint.mailbox.pop_front();
+    ReceiveHandler handler = endpoint.handler;
+    if (tracing_.load(std::memory_order_relaxed)) {
+      trace_.push_back(TraceEntry{clock_->now(), delivery.from, node,
+                                  delivery.message->type_name(), true, delivery.message});
     }
-    if (handler) handler(delivery.from, std::move(delivery.message));
+    observer_.on_delivered(clock_->now(), delivery.from, node, delivery.message->type_name());
+    if (handler) {
+      // Run the handler unlocked (it re-enters the transport to send), but
+      // flag the window so a concurrent detach waits instead of letting its
+      // caller free the handler's captures mid-call.
+      endpoint.in_handler = true;
+      lock.unlock();
+      handler(delivery.from, std::move(delivery.message));
+      lock.lock();
+      endpoint.in_handler = false;
+      handler_cv_.notify_all();
+    }
   }
+  endpoint.draining = false;
 }
 
 void ThreadedTransport::partition_node(NodeId node, bool partitioned) {

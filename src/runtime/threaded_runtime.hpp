@@ -128,6 +128,9 @@ class ThreadedTransport final : public Transport {
     ReceiveHandler handler;
     std::deque<Delivery> mailbox;
     bool draining = false;
+    /// True while a worker runs this endpoint's handler outside mutex_;
+    /// set_handler(node, nullptr) waits on it (see Transport::set_handler).
+    bool in_handler = false;
   };
 
   void enqueue_delivery(NodeId to, NodeId from, MessagePtr message);
@@ -136,6 +139,7 @@ class ThreadedTransport final : public Transport {
   Clock* clock_;
   Executor* executor_;
   mutable std::mutex mutex_;
+  std::condition_variable handler_cv_;  ///< signalled when in_handler clears
   util::Rng rng_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;

@@ -106,6 +106,11 @@ class Transport {
   /// Registers an endpoint; `name` appears in traces. Handler may be bound
   /// later via set_handler (endpoints are often created before their owners).
   virtual NodeId add_node(std::string name, ReceiveHandler handler = nullptr) = 0;
+  /// Rebinds (or, with nullptr, detaches) the endpoint's receive handler.
+  /// Detaching is a synchronization point: it must not return while a
+  /// delivery is mid-handler on another thread, so a driver destructor that
+  /// detaches first can safely free the object the handler captured.
+  /// Detaching from inside the endpoint's own handler is undefined.
   virtual void set_handler(NodeId node, ReceiveHandler handler) = 0;
   virtual const std::string& node_name(NodeId node) const = 0;
   virtual std::size_t node_count() const = 0;

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -332,6 +334,179 @@ TEST(ThreadedObservability, BlockedHistogramAndTraceOnThreadedBackend) {
   EXPECT_DOUBLE_EQ(histogram_total, static_cast<double>(manager_total));
   EXPECT_GT(histogram_total, 0.0);
   EXPECT_GT(events, 50u);
+}
+
+// --- Flight recorder (seqlock rings, wrap, tail, detail filter) --------------
+
+Event make_event(EventKind kind, runtime::Time time, std::string name) {
+  Event e;
+  e.kind = kind;
+  e.time = time;
+  e.track = kManagerTrack;
+  e.name = std::move(name);
+  return e;
+}
+
+TEST(TraceRecorder, RingWrapDropsOldestAndCounts) {
+  TraceRecorder recorder;
+  recorder.set_capacity(8);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    recorder.record(make_event(EventKind::StepStarted, i, "e" + std::to_string(i)));
+  }
+  EXPECT_EQ(recorder.size(), 8u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  const std::vector<Event> events = recorder.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Drop-oldest: what survives is exactly the most recent window.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, static_cast<runtime::Time>(12 + i));
+    EXPECT_EQ(events[i].seq, i) << "merge assigns a dense seq";
+  }
+}
+
+TEST(TraceRecorder, TailReturnsMostRecentMergedEvents) {
+  TraceRecorder recorder;
+  recorder.set_capacity(64);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(make_event(EventKind::StepCommitted, i, "e" + std::to_string(i)));
+  }
+  const std::vector<Event> tail = recorder.tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].name, "e7");
+  EXPECT_EQ(tail[2].name, "e9");
+  // Asking for more than exists returns everything, oldest first.
+  EXPECT_EQ(recorder.tail(100).size(), 10u);
+  EXPECT_EQ(recorder.tail(100).front().name, "e0");
+}
+
+TEST(TraceRecorder, DetailFilterKeepsOnlyCausalKinds) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_detail(TraceDetail::Causal);
+  EXPECT_TRUE(recorder.wants(EventKind::TicketSubmitted));
+  EXPECT_TRUE(recorder.wants(EventKind::EpochCompleted));
+  EXPECT_TRUE(recorder.wants(EventKind::BlockedWindow));
+  EXPECT_FALSE(recorder.wants(EventKind::TimerArmed));
+  EXPECT_FALSE(recorder.wants(EventKind::MessageSent));
+  EXPECT_FALSE(recorder.wants(EventKind::ManagerPhase));
+  // record() itself is the backstop for sites that only check enabled().
+  recorder.record(make_event(EventKind::TimerArmed, 1, "filtered"));
+  recorder.record(make_event(EventKind::TicketDone, 2, "kept"));
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.events()[0].name, "kept");
+  // Back to Full: everything records again, and a disabled recorder wants
+  // nothing regardless of the mask.
+  recorder.set_detail(TraceDetail::Full);
+  recorder.record(make_event(EventKind::TimerArmed, 3, "full"));
+  EXPECT_EQ(recorder.size(), 2u);
+  recorder.set_enabled(false);
+  EXPECT_FALSE(recorder.wants(EventKind::TicketDone));
+}
+
+TEST(TraceRecorder, TruncatesOverlongStringsDeterministically) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  Event e = make_event(EventKind::StepStarted, 0, std::string(300, 'n'));
+  e.detail = std::string(300, 'd');
+  recorder.record(e);
+  recorder.record(e);
+  const std::vector<Event> events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name.size(), detail::kNameCap);
+  EXPECT_EQ(events[0].detail.size(), detail::kDetailCap);
+  EXPECT_EQ(events[0].name, events[1].name);
+  EXPECT_EQ(events[0].detail, events[1].detail);
+}
+
+// Named "Threaded..." so the CI TSan job (-R 'Threaded|RuntimeEquivalence')
+// races many producer rings against concurrent readers.
+TEST(ThreadedFlightRecorder, ManyProducersMergeDeterministically) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  TraceRecorder recorder;
+  recorder.set_capacity(1 << 9);  // 512 >= kPerThread: nothing wraps
+  recorder.set_enabled(true);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Distinct times, so the merged order is a pure function of the
+        // event set, independent of ring registration order.
+        recorder.record(make_event(EventKind::TicketDone, t * 1000 + i,
+                                   "t" + std::to_string(t) + "." + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  EXPECT_EQ(recorder.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<Event> first = recorder.events();
+  const std::vector<Event> second = recorder.events();
+  ASSERT_EQ(first.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].seq, i);
+    EXPECT_EQ(first[i].name, second[i].name);
+    if (i) EXPECT_LE(first[i - 1].time, first[i].time) << "merged by time";
+  }
+  const std::vector<Event> tail = recorder.tail(5);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.back().name, first.back().name);
+}
+
+TEST(ThreadedFlightRecorder, ReadersNeverBlockWrappingProducers) {
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 5000;
+  TraceRecorder recorder;
+  recorder.set_capacity(32);  // tiny: every producer wraps constantly
+  recorder.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Concurrent reads must see only whole slots — torn slots are skipped
+    // and counted, never surfaced as garbage events.
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const Event& e : recorder.tail(16)) {
+        EXPECT_EQ(e.kind, EventKind::BlockedWindow);
+        EXPECT_EQ(e.name, "w");
+      }
+      (void)recorder.size();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.record(make_event(EventKind::BlockedWindow, t * 100000 + i, "w"));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_LE(recorder.size(), static_cast<std::size_t>(kThreads) * 32);
+  EXPECT_GE(recorder.dropped() + recorder.size(), total);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceExport, TailJsonlOverloadEmitsEventSchemaWithoutMeta) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  Event e = make_event(EventKind::TicketDone, 7, "ticket");
+  e.span = 42;
+  e.value = 3.5;
+  e.has_value = true;
+  recorder.record(e);
+  std::ostringstream out;
+  write_jsonl(recorder.tail(8), out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("\"meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"ticket_done\""), std::string::npos);
+  EXPECT_NE(text.find("\"span\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":3.5"), std::string::npos);
 }
 
 }  // namespace

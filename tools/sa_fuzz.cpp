@@ -91,6 +91,15 @@ void write_artifact(const std::string& dir, const sa::inject::CampaignOptions& o
   std::ofstream out(path);
   out << sa::inject::to_json(artifact);
   std::cout << "  artifact written to " << path << "\n";
+  if (!report.trace_tail.empty()) {
+    // Post-mortem flight-recorder window from the (shrunk) failing run —
+    // deterministic, so it always matches what --replay would observe.
+    const std::string tail_path =
+        dir + "/seed-" + std::to_string(report.seed) + ".trace.jsonl";
+    std::ofstream tail(tail_path);
+    tail << report.trace_tail;
+    std::cout << "  flight-recorder tail written to " << tail_path << "\n";
+  }
 }
 
 int run_replay(const std::string& path) {
@@ -185,6 +194,7 @@ int main(int argc, char** argv) {
       }
       report.outcome = result.outcome;
       report.violations = result.violations;
+      report.trace_tail = std::move(result.trace_tail);
       std::cout << "scenario: " << options.scenario << "  seed: " << report.seed
                 << "  fault: " << sa::check::to_string(options.fault) << "\n";
       if (report.violations.empty()) {

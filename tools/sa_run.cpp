@@ -21,7 +21,11 @@
 // same text for any --threads value, which the CI fleet-smoke job diffs:
 //
 //   sa_run --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]
-//          [--fanout N] [--epoch-window USEC] [--seed S]
+//          [--fanout N] [--epoch-window USEC] [--seed S] [--trace-out FILE]
+//          [--trace-full]
+//
+// With --trace-out, fleet mode records every region's causal trace (jsonl
+// only) and concatenates them region-tagged into FILE — input for sa_trace.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,7 +54,8 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--loss P] [--dup P] [--fail-process ID]\n"
                "       [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]\n"
                "       %s --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]\n"
-               "       [--fanout N] [--epoch-window USEC] [--seed S]\n",
+               "       [--fanout N] [--epoch-window USEC] [--seed S] [--trace-out FILE]\n"
+               "       [--trace-full]\n",
                argv0, argv0);
   return 2;
 }
@@ -102,6 +107,10 @@ int main(int argc, char** argv) {
       if (trace_format != "jsonl" && trace_format != "chrome") {
         return bad_flag("--trace-format", trace_format.c_str(), "jsonl or chrome");
       }
+    } else if (std::strcmp(argv[i], "--trace-full") == 0) {
+      fleet_spec.trace_full = true;
+      // Full detail records every kind; give the rings timer/phase headroom.
+      fleet_spec.trace_capacity = 1 << 12;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fleet") == 0) {
@@ -143,8 +152,29 @@ int main(int argc, char** argv) {
     }
   }
   if (fleet) {
+    if (trace_out != nullptr) {
+      if (trace_format != "jsonl") {
+        std::fprintf(stderr, "sa_run: fleet traces support --trace-format jsonl only\n");
+        return 2;
+      }
+      fleet_spec.trace = true;
+    }
     const core::FleetReport report = core::run_fleet(fleet_spec);
     std::fputs(core::describe(report).c_str(), stdout);
+    if (trace_out != nullptr) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out);
+        return 1;
+      }
+      // Regions concatenate in index order, so the fleet trace is one file
+      // that is bit-identical for any --threads value.
+      for (const core::RegionReport& region : report.regions) out << region.trace_jsonl;
+      std::printf("trace: %llu events (%llu dropped) -> %s (jsonl, %zu regions)\n",
+                  static_cast<unsigned long long>(report.trace_events),
+                  static_cast<unsigned long long>(report.trace_dropped), trace_out,
+                  report.regions.size());
+    }
     return report.success ? 0 : 1;
   }
   if (!path) return usage(argv[0]);

@@ -1,0 +1,110 @@
+// sa_trace — causal trace analysis for safe-adaptation JSONL traces.
+//
+// Ingests a trace produced by `sa_run --trace-out` (single system) or
+// `sa_run --fleet --trace-out` (region-tagged fleet trace) and emits a JSON
+// report: per-root-epoch critical paths attributed by tree node, blocked-time
+// breakdown by hierarchy level, and p50/p99 span latencies.
+//
+//   sa_trace trace.jsonl                 analysis JSON on stdout
+//   sa_trace --check trace.jsonl         also verify the telescoping
+//                                        invariant: every root epoch's
+//                                        critical-path contributions sum
+//                                        exactly to its seal -> complete
+//                                        latency; exit 1 on violation
+//   cat trace.jsonl | sa_trace -         read from stdin
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sa_trace [--check] <trace.jsonl | ->\n"
+               "  --check   verify critical-path contributions sum to each root\n"
+               "            epoch's latency (exit 1 on violation)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage();
+      return 0;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (std::strcmp(path, "-") != 0) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "sa_trace: cannot open %s\n", path);
+      return 2;
+    }
+    in = &file;
+  }
+
+  std::vector<sa::obs::TraceLine> lines;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (auto parsed = sa::obs::parse_trace_line(line)) {
+      lines.push_back(std::move(*parsed));
+    } else if (!line.empty()) {
+      ++skipped;
+    }
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "sa_trace: no trace lines in %s\n", path);
+    return 2;
+  }
+  if (skipped != 0) {
+    std::fprintf(stderr, "sa_trace: skipped %zu unparseable line(s)\n", skipped);
+  }
+
+  const sa::obs::TraceAnalysis analysis = sa::obs::analyze(lines);
+  std::cout << sa::obs::to_json(analysis);
+
+  if (check) {
+    std::size_t violations = 0;
+    for (const auto& epoch : analysis.epochs) {
+      sa::runtime::Time sum = 0;
+      for (const auto& node : epoch.path) sum += node.contribution;
+      if (sum != epoch.latency) {
+        ++violations;
+        std::fprintf(stderr,
+                     "sa_trace: region %llu epoch %llu: critical path sums to %lld us "
+                     "but root latency is %lld us\n",
+                     static_cast<unsigned long long>(epoch.region),
+                     static_cast<unsigned long long>(epoch.epoch),
+                     static_cast<long long>(sum), static_cast<long long>(epoch.latency));
+      }
+    }
+    if (analysis.epochs.empty()) {
+      std::fprintf(stderr, "sa_trace: --check found no root epochs in the trace\n");
+      return 1;
+    }
+    if (violations != 0) return 1;
+    std::fprintf(stderr, "sa_trace: %zu root epoch(s) verified: critical paths sum to root latency\n",
+                 analysis.epochs.size());
+  }
+  return 0;
+}
