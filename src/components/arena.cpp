@@ -1,0 +1,86 @@
+#include "components/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sa::components {
+
+Packet PacketRef::to_packet() const {
+  Packet packet;
+  packet.stream_id = header_->stream_id;
+  packet.sequence = header_->sequence;
+  packet.plaintext_checksum = header_->plaintext_checksum;
+  packet.payload.assign(header_->data, header_->data + header_->size);
+  packet.encoding_stack = header_->tags;
+  return packet;
+}
+
+PacketArena::PacketArena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 4096)) {}
+
+std::uint8_t* PacketArena::alloc(std::size_t bytes) {
+  stats_.bytes_allocated += bytes;
+  while (active_chunk_ < chunks_.size()) {
+    Chunk& chunk = chunks_[active_chunk_];
+    if (chunk.capacity - chunk.used >= bytes) {
+      std::uint8_t* out = chunk.bytes.get() + chunk.used;
+      chunk.used += bytes;
+      return out;
+    }
+    ++active_chunk_;
+  }
+  // Oversized payloads get a dedicated chunk; regular ones a standard chunk.
+  const std::size_t capacity = std::max(bytes, chunk_bytes_);
+  Chunk chunk;
+  chunk.bytes = std::make_unique<std::uint8_t[]>(capacity);
+  chunk.capacity = capacity;
+  chunk.used = bytes;
+  ++stats_.chunk_allocs;
+  chunks_.push_back(std::move(chunk));
+  active_chunk_ = chunks_.size() - 1;
+  return chunks_.back().bytes.get();
+}
+
+PacketRef PacketArena::make_header(std::uint64_t stream_id, std::uint64_t sequence) {
+  PacketHeader& header = headers_.emplace_back();
+  header.stream_id = stream_id;
+  header.sequence = sequence;
+  ++stats_.packets;
+  return PacketRef(&header);
+}
+
+PacketRef PacketArena::make_blank(std::uint64_t stream_id, std::uint64_t sequence,
+                                  std::size_t bytes) {
+  PacketRef ref = make_header(stream_id, sequence);
+  ref.rebind(alloc(bytes), static_cast<std::uint32_t>(bytes));
+  return ref;
+}
+
+PacketRef PacketArena::make(std::uint64_t stream_id, std::uint64_t sequence,
+                            std::span<const std::uint8_t> payload) {
+  PacketRef ref = make_blank(stream_id, sequence, payload.size());
+  if (!payload.empty()) std::memcpy(ref.data(), payload.data(), payload.size());
+  stats_.payload_copies += payload.size();
+  ref.set_plaintext_checksum(payload_checksum(ref.data(), ref.size()));
+  return ref;
+}
+
+PacketRef PacketArena::adopt(const Packet& packet) {
+  PacketRef ref = make_blank(packet.stream_id, packet.sequence, packet.payload.size());
+  if (!packet.payload.empty()) {
+    std::memcpy(ref.data(), packet.payload.data(), packet.payload.size());
+  }
+  stats_.payload_copies += packet.payload.size();
+  ref.set_plaintext_checksum(packet.plaintext_checksum);
+  ref.tags() = packet.encoding_stack;
+  return ref;
+}
+
+void PacketArena::reset() {
+  headers_.clear();
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_chunk_ = 0;
+  ++stats_.resets;
+}
+
+}  // namespace sa::components

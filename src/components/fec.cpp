@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
 
 #include "util/log.hpp"
 
@@ -12,15 +13,26 @@ namespace {
 constexpr std::string_view kDataPrefix = "fec:";
 constexpr std::string_view kParityPrefix = "fec-parity:";
 
-void xor_into(Payload& accumulator, const Payload& payload) {
+void xor_into(Payload& accumulator, std::span<const std::uint8_t> payload) {
   if (accumulator.size() < payload.size()) accumulator.resize(payload.size(), 0);
   for (std::size_t i = 0; i < payload.size(); ++i) accumulator[i] ^= payload[i];
 }
 
-std::string data_tag(std::uint64_t group) { return std::string(kDataPrefix) + std::to_string(group); }
+/// Formats "fec:<group>" into `buf` (allocation-free for the batched path).
+std::string_view format_data_tag(char (&buf)[48], std::uint64_t group) {
+  std::memcpy(buf, kDataPrefix.data(), kDataPrefix.size());
+  const auto r = std::to_chars(buf + kDataPrefix.size(), buf + sizeof(buf), group);
+  return {buf, static_cast<std::size_t>(r.ptr - buf)};
+}
 
-std::string parity_tag(std::uint64_t group, std::size_t k) {
-  return std::string(kParityPrefix) + std::to_string(group) + ":" + std::to_string(k);
+/// Formats "fec-parity:<group>:<k>" into `buf`.
+std::string_view format_parity_tag(char (&buf)[48], std::uint64_t group, std::size_t k) {
+  std::memcpy(buf, kParityPrefix.data(), kParityPrefix.size());
+  char* p = buf + kParityPrefix.size();
+  p = std::to_chars(p, buf + sizeof(buf), group).ptr;
+  *p++ = ':';
+  p = std::to_chars(p, buf + sizeof(buf), k).ptr;
+  return {buf, static_cast<std::size_t>(p - buf)};
 }
 
 std::optional<std::uint64_t> parse_u64(std::string_view text) {
@@ -31,15 +43,15 @@ std::optional<std::uint64_t> parse_u64(std::string_view text) {
 }
 
 /// "fec:<group>" -> group id.
-std::optional<std::uint64_t> parse_data_tag(const std::string& tag) {
-  if (tag.rfind(kDataPrefix, 0) != 0) return std::nullopt;
-  return parse_u64(std::string_view(tag).substr(kDataPrefix.size()));
+std::optional<std::uint64_t> parse_data_tag(std::string_view tag) {
+  if (!tag.starts_with(kDataPrefix)) return std::nullopt;
+  return parse_u64(tag.substr(kDataPrefix.size()));
 }
 
 /// "fec-parity:<group>:<k>" -> (group, k).
-std::optional<std::pair<std::uint64_t, std::size_t>> parse_parity_tag(const std::string& tag) {
-  if (tag.rfind(kParityPrefix, 0) != 0) return std::nullopt;
-  const std::string_view rest = std::string_view(tag).substr(kParityPrefix.size());
+std::optional<std::pair<std::uint64_t, std::size_t>> parse_parity_tag(std::string_view tag) {
+  if (!tag.starts_with(kParityPrefix)) return std::nullopt;
+  const std::string_view rest = tag.substr(kParityPrefix.size());
   const std::size_t colon = rest.find(':');
   if (colon == std::string_view::npos) return std::nullopt;
   const auto group = parse_u64(rest.substr(0, colon));
@@ -64,17 +76,25 @@ std::optional<Packet> XorFecEncoderFilter::process(Packet packet) {
   return std::move(out.front());
 }
 
-std::vector<Packet> XorFecEncoderFilter::process_all(Packet packet) {
-  accumulator_.seq_xor ^= packet.sequence;
-  accumulator_.checksum_xor ^= packet.plaintext_checksum;
-  accumulator_.length_xor ^= static_cast<std::uint32_t>(packet.payload.size());
-  xor_into(accumulator_.payload_xor, packet.payload);
-  if (accumulator_.count == 0) accumulator_.common_stack = packet.encoding_stack;
+void XorFecEncoderFilter::accumulate(std::uint64_t sequence, std::uint64_t checksum,
+                                     std::span<const std::uint8_t> payload,
+                                     const TagStack& stack) {
+  accumulator_.seq_xor ^= sequence;
+  accumulator_.checksum_xor ^= checksum;
+  accumulator_.length_xor ^= static_cast<std::uint32_t>(payload.size());
+  xor_into(accumulator_.payload_xor, payload);
+  if (accumulator_.count == 0) accumulator_.common_stack = stack;
   ++accumulator_.count;
+}
+
+std::vector<Packet> XorFecEncoderFilter::process_all(Packet packet) {
+  accumulate(packet.sequence, packet.plaintext_checksum, packet.payload,
+             packet.encoding_stack);
   note_processed();
 
+  char tag_buf[48];
   Packet data = std::move(packet);
-  data.encoding_stack.push_back(data_tag(next_group_));
+  data.encoding_stack.push_back(format_data_tag(tag_buf, next_group_));
 
   std::vector<Packet> out;
   const std::uint64_t last_sequence = data.sequence;
@@ -97,7 +117,7 @@ std::vector<Packet> XorFecEncoderFilter::process_all(Packet packet) {
     parity.payload.insert(parity.payload.end(), accumulator_.payload_xor.begin(),
                           accumulator_.payload_xor.end());
     parity.encoding_stack = accumulator_.common_stack;
-    parity.encoding_stack.push_back(parity_tag(next_group_, group_size_));
+    parity.encoding_stack.push_back(format_parity_tag(tag_buf, next_group_, group_size_));
     out.push_back(std::move(parity));
 
     ++parity_emitted_;
@@ -105,6 +125,40 @@ std::vector<Packet> XorFecEncoderFilter::process_all(Packet packet) {
     accumulator_ = Accumulator{};
   }
   return out;
+}
+
+void XorFecEncoderFilter::process_span(std::span<PacketRef> batch, PacketSink& sink) {
+  char tag_buf[48];
+  for (PacketRef& ref : batch) {
+    accumulate(ref.sequence(), ref.plaintext_checksum(), ref.payload(), ref.tags());
+    note_processed();
+    ref.tags().push_back(format_data_tag(tag_buf, next_group_));
+    sink.emit(ref);  // data packet forwarded zero-copy
+
+    if (accumulator_.count == group_size_) {
+      // Build the parity packet directly in the arena, same layout as above.
+      PacketRef parity = sink.arena().make_blank(ref.stream_id(), ref.sequence(),
+                                                 12 + accumulator_.payload_xor.size());
+      std::uint8_t* p = parity.data();
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        *p++ = static_cast<std::uint8_t>(accumulator_.seq_xor >> shift);
+      }
+      for (int shift = 24; shift >= 0; shift -= 8) {
+        *p++ = static_cast<std::uint8_t>(accumulator_.length_xor >> shift);
+      }
+      if (!accumulator_.payload_xor.empty()) {
+        std::memcpy(p, accumulator_.payload_xor.data(), accumulator_.payload_xor.size());
+      }
+      parity.set_plaintext_checksum(accumulator_.checksum_xor);
+      parity.tags() = accumulator_.common_stack;
+      parity.tags().push_back(format_parity_tag(tag_buf, next_group_, group_size_));
+      sink.emit(parity);
+
+      ++parity_emitted_;
+      ++next_group_;
+      accumulator_ = Accumulator{};
+    }
+  }
 }
 
 StateSnapshot XorFecEncoderFilter::refract() const {
@@ -125,12 +179,33 @@ std::optional<Packet> XorFecDecoderFilter::process(Packet packet) {
   return std::move(out.front());
 }
 
-void XorFecDecoderFilter::absorb_data(GroupState& group, const Packet& packet) {
+void XorFecDecoderFilter::absorb_data(GroupState& group, std::uint64_t sequence,
+                                      std::uint64_t checksum,
+                                      std::span<const std::uint8_t> payload) {
   ++group.received;
-  group.seq_xor ^= packet.sequence;
-  group.checksum_xor ^= packet.plaintext_checksum;
-  group.length_xor ^= static_cast<std::uint32_t>(packet.payload.size());
-  xor_into(group.payload_xor, packet.payload);
+  group.seq_xor ^= sequence;
+  group.checksum_xor ^= checksum;
+  group.length_xor ^= static_cast<std::uint32_t>(payload.size());
+  xor_into(group.payload_xor, payload);
+}
+
+void XorFecDecoderFilter::absorb_parity(GroupState& group, std::size_t k,
+                                        std::uint64_t checksum,
+                                        std::span<const std::uint8_t> payload,
+                                        TagStack residue) {
+  group.expected = k;
+  group.parity_seen = true;
+  group.parity_checksum_xor = checksum;
+  group.parity_seq_xor = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    group.parity_seq_xor = (group.parity_seq_xor << 8) | payload[i];
+  }
+  group.parity_length_xor = 0;
+  for (std::size_t i = 8; i < 12; ++i) {
+    group.parity_length_xor = (group.parity_length_xor << 8) | payload[i];
+  }
+  group.parity_payload_xor.assign(payload.begin() + 12, payload.end());
+  group.parity_stack = residue;
 }
 
 std::optional<Packet> XorFecDecoderFilter::try_reconstruct(std::uint64_t group_id,
@@ -172,7 +247,7 @@ std::vector<Packet> XorFecDecoderFilter::process_all(Packet packet) {
   if (const auto data = parse_data_tag(packet.encoding_stack.back())) {
     packet.encoding_stack.pop_back();
     GroupState& group = groups_[*data];
-    absorb_data(group, packet);
+    absorb_data(group, packet.sequence, packet.plaintext_checksum, packet.payload);
     note_processed();
     // stream_id rides along for reconstruction.
     const std::uint64_t stream = packet.stream_id;
@@ -192,20 +267,9 @@ std::vector<Packet> XorFecDecoderFilter::process_all(Packet packet) {
       return out;
     }
     GroupState& group = groups_[group_id];
-    group.expected = k;
-    group.parity_seen = true;
-    group.parity_checksum_xor = packet.plaintext_checksum;
-    group.parity_seq_xor = 0;
-    for (std::size_t i = 0; i < 8; ++i) {
-      group.parity_seq_xor = (group.parity_seq_xor << 8) | packet.payload[i];
-    }
-    group.parity_length_xor = 0;
-    for (std::size_t i = 8; i < 12; ++i) {
-      group.parity_length_xor = (group.parity_length_xor << 8) | packet.payload[i];
-    }
-    group.parity_payload_xor.assign(packet.payload.begin() + 12, packet.payload.end());
-    group.parity_stack = packet.encoding_stack;
-    group.parity_stack.pop_back();
+    TagStack residue = packet.encoding_stack;
+    residue.pop_back();
+    absorb_parity(group, k, packet.plaintext_checksum, packet.payload, residue);
     note_processed();
     const std::uint64_t stream = packet.stream_id;
     if (auto rebuilt = try_reconstruct(group_id, group)) {
@@ -219,6 +283,52 @@ std::vector<Packet> XorFecDecoderFilter::process_all(Packet packet) {
   note_bypassed();
   out.push_back(std::move(packet));
   return out;
+}
+
+void XorFecDecoderFilter::process_span(std::span<PacketRef> batch, PacketSink& sink) {
+  for (PacketRef& ref : batch) {
+    if (ref.tags().empty()) {
+      note_bypassed();
+      sink.emit(ref);
+      continue;
+    }
+
+    if (const auto data = parse_data_tag(ref.tags().back())) {
+      ref.tags().pop_back();
+      GroupState& group = groups_[*data];
+      absorb_data(group, ref.sequence(), ref.plaintext_checksum(), ref.payload());
+      note_processed();
+      sink.emit(ref);  // data packet forwarded zero-copy
+      if (auto rebuilt = try_reconstruct(*data, group)) {
+        rebuilt->stream_id = ref.stream_id();
+        sink.emit(sink.arena().adopt(*rebuilt));
+      }
+      prune();
+      continue;
+    }
+
+    if (const auto parity = parse_parity_tag(ref.tags().back())) {
+      const auto [group_id, k] = *parity;
+      if (ref.size() < 12) {
+        note_dropped();
+        continue;
+      }
+      GroupState& group = groups_[group_id];
+      TagStack residue = ref.tags();
+      residue.pop_back();
+      absorb_parity(group, k, ref.plaintext_checksum(), ref.payload(), residue);
+      note_processed();
+      if (auto rebuilt = try_reconstruct(group_id, group)) {
+        rebuilt->stream_id = ref.stream_id();
+        sink.emit(sink.arena().adopt(*rebuilt));
+      }
+      prune();
+      continue;  // parity itself is always absorbed
+    }
+
+    note_bypassed();
+    sink.emit(ref);
+  }
 }
 
 bool XorFecDecoderFilter::adopt_state(Component& predecessor) {

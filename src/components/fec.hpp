@@ -36,18 +36,26 @@ class XorFecEncoderFilter final : public Filter {
   std::optional<Packet> process(Packet packet) override;  ///< single-out view
   std::vector<Packet> process_all(Packet packet) override;
 
+  /// Batched path: data packets are tagged in place and forwarded zero-copy;
+  /// parity packets are built directly in the sink's arena, interleaved in
+  /// the same positions as the per-packet path (…dk, parity, dk+1…).
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override;
+
   std::size_t group_size() const { return group_size_; }
   std::uint64_t parity_emitted() const { return parity_emitted_; }
 
   StateSnapshot refract() const override;
 
  private:
+  void accumulate(std::uint64_t sequence, std::uint64_t checksum,
+                  std::span<const std::uint8_t> payload, const TagStack& stack);
+
   struct Accumulator {
     std::uint64_t seq_xor = 0;
     std::uint64_t checksum_xor = 0;
     std::uint32_t length_xor = 0;
     Payload payload_xor;
-    std::vector<std::string> common_stack;  // stack shared by the group
+    TagStack common_stack;  // stack shared by the group
     std::size_t count = 0;
   };
 
@@ -65,6 +73,11 @@ class XorFecDecoderFilter final : public Filter {
 
   std::optional<Packet> process(Packet packet) override;  ///< single-out view
   std::vector<Packet> process_all(Packet packet) override;
+
+  /// Batched path: data packets pop their tag in place and forward zero-copy;
+  /// parity packets are absorbed; reconstructed packets are emitted into the
+  /// sink's arena right where the per-packet path would emit them.
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override;
 
   std::uint64_t recovered() const { return recovered_; }
 
@@ -87,10 +100,13 @@ class XorFecDecoderFilter final : public Filter {
     std::uint64_t parity_checksum_xor = 0;
     std::uint32_t parity_length_xor = 0;
     Payload parity_payload_xor;
-    std::vector<std::string> parity_stack;
+    TagStack parity_stack;
   };
 
-  void absorb_data(GroupState& group, const Packet& packet);
+  void absorb_data(GroupState& group, std::uint64_t sequence, std::uint64_t checksum,
+                   std::span<const std::uint8_t> payload);
+  void absorb_parity(GroupState& group, std::size_t k, std::uint64_t checksum,
+                     std::span<const std::uint8_t> payload, TagStack residue);
   std::optional<Packet> try_reconstruct(std::uint64_t group_id, GroupState& group);
   void prune();
 

@@ -2,12 +2,24 @@
 // (paper §2, §5).  Encoders, decoders, compressors, FEC, etc. all share this
 // invocation interface; the crypto library provides the DES codec filters the
 // paper's case study uses.
+//
+// Invocation comes in two shapes:
+//   * the batched span interface process_span(batch, sink) — the data-plane
+//     hot path. Filters receive a whole batch of arena-backed PacketRef views
+//     and emit outputs (zero, one, or many per input) to the sink. The bypass
+//     rule forwards the SAME ref — no payload bytes are touched or copied.
+//   * the per-packet interface process()/process_all() — the legacy shape the
+//     clock-scheduled FilterChain path and the tests use. The default
+//     process_span() is a compatibility shim over process_all(), so a filter
+//     only implementing process() still works in batches (at per-packet cost).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "components/arena.hpp"
 #include "components/component.hpp"
 #include "components/packet.hpp"
 #include "runtime/time.hpp"
@@ -30,15 +42,32 @@ class Filter : public Component {
   /// (bypass); they record which via note_processed()/note_bypassed().
   virtual std::optional<Packet> process(Packet packet) = 0;
 
-  /// General invocation used by FilterChain: one input packet may yield zero
-  /// (absorbed), one (transformed/bypassed), or several (e.g. an FEC encoder
-  /// emitting a parity packet alongside the data) outputs. The default
-  /// adapts process(); only multi-output filters override it.
+  /// General per-packet invocation used by the clock-scheduled FilterChain
+  /// path: one input packet may yield zero (absorbed), one (transformed /
+  /// bypassed), or several (e.g. an FEC encoder emitting a parity packet
+  /// alongside the data) outputs. The default adapts process() move-only —
+  /// the packet is moved in and the result moved out; the bypass path never
+  /// copies the payload buffer. Only multi-output filters override it.
   virtual std::vector<Packet> process_all(Packet packet) {
     std::vector<Packet> out;
-    if (auto result = process(std::move(packet))) out.push_back(std::move(*result));
+    if (auto result = process(std::move(packet))) {
+      out.reserve(1);
+      out.push_back(std::move(*result));
+    }
     return out;
   }
+
+  /// Batched invocation interface — the data-plane hot path. Transforms every
+  /// packet in `batch`, emitting outputs to `sink` in order (outputs of
+  /// batch[i] before outputs of batch[i+1]). Payloads live in the sink's
+  /// arena; transformed payloads are allocated there, and bypassed packets
+  /// MUST forward the input ref unchanged (zero-copy bypass).
+  ///
+  /// The default is a compatibility shim over process_all(): it materializes
+  /// each ref as an owning Packet and copies results back into the arena, so
+  /// single-packet filters work in batches unmodified. Hot filters override
+  /// it with in-arena implementations.
+  virtual void process_span(std::span<PacketRef> batch, PacketSink& sink);
 
   /// Virtual time one packet spends inside this filter.
   runtime::Time processing_time() const { return processing_time_; }
@@ -70,6 +99,13 @@ class PassThroughFilter final : public Filter {
     note_processed();
     return packet;
   }
+
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override {
+    for (PacketRef& ref : batch) {
+      note_processed();
+      sink.emit(ref);
+    }
+  }
 };
 
 /// Tags packets with a label (a stand-in for compression/FEC encoders when a
@@ -83,6 +119,14 @@ class TagFilter final : public Filter {
     packet.encoding_stack.push_back(tag_);
     note_processed();
     return packet;
+  }
+
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override {
+    for (PacketRef& ref : batch) {
+      ref.tags().push_back(tag_);
+      note_processed();
+      sink.emit(ref);
+    }
   }
 
   StateSnapshot refract() const override {
@@ -109,6 +153,18 @@ class UntagFilter final : public Filter {
       note_bypassed();
     }
     return packet;
+  }
+
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override {
+    for (PacketRef& ref : batch) {
+      if (!ref.tags().empty() && ref.tags().back() == tag_) {
+        ref.tags().pop_back();
+        note_processed();
+      } else {
+        note_bypassed();
+      }
+      sink.emit(ref);
+    }
   }
 
  private:

@@ -56,6 +56,46 @@ void FilterChain::submit(Packet packet) {
   maybe_start_next();
 }
 
+std::size_t FilterChain::process_batch(std::span<PacketRef> batch, PacketSink& sink) {
+  if (blocked_) {
+    throw std::logic_error("process_batch on blocked chain " + name() +
+                           " (pump must park at batch boundaries)");
+  }
+  busy_ = true;
+  ++stats_.batches;
+  stats_.submitted += batch.size();
+
+  // One virtual-time accounting pass per batch — the per-packet path charges
+  // this same sum once per packet.
+  runtime::Time duration = per_packet_overhead_;
+  for (const FilterPtr& filter : filters_) duration += filter->processing_time();
+  stats_.batch_virtual_time += duration;
+
+  batch_scratch_in_.assign(batch.begin(), batch.end());
+  for (const FilterPtr& filter : filters_) {
+    batch_scratch_out_.clear();
+    VectorSink stage(sink.arena(), batch_scratch_out_);
+    filter->process_span(batch_scratch_in_, stage);
+    if (batch_scratch_out_.size() < batch_scratch_in_.size()) {
+      stats_.dropped_by_filters += batch_scratch_in_.size() - batch_scratch_out_.size();
+    }
+    batch_scratch_in_.swap(batch_scratch_out_);
+    if (batch_scratch_in_.empty()) break;
+  }
+
+  const std::size_t emitted = batch_scratch_in_.size();
+  stats_.delivered += emitted;
+  for (PacketRef& ref : batch_scratch_in_) sink.emit(ref);
+
+  busy_ = false;
+  // §5.2 at batch granularity: a request that arrived mid-batch takes effect
+  // now that the critical segment (the batch) is complete.
+  if (resetting_ && (quiescence_mode_ == QuiescenceMode::Packet || queue_.empty())) {
+    block_and_notify();
+  }
+  return emitted;
+}
+
 void FilterChain::request_quiescence(QuiescenceHandler on_quiescent, QuiescenceMode mode) {
   if (resetting_) throw std::logic_error("quiescence request already pending on " + name());
   resetting_ = true;

@@ -1,13 +1,44 @@
 #include "components/packet.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace sa::components {
 
-std::uint64_t payload_checksum(const Payload& payload) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t byte : payload) {
-    hash ^= byte;
-    hash *= 0x100000001b3ULL;
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv_round(std::uint64_t hash, std::uint64_t byte) {
+  return (hash ^ byte) * kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t payload_checksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = kFnvOffset;
+  const std::uint8_t* p = data;
+  const std::uint8_t* const end = data + size;
+  if constexpr (std::endian::native == std::endian::little) {
+    // One 8-byte load per word; the eight FNV-1a rounds then run on register
+    // bytes instead of eight separate memory reads. Digests are bit-identical
+    // to the byte-wise loop below (FNV-1a is inherently sequential, so the
+    // rounds themselves cannot be reordered — only the loads are batched).
+    for (; end - p >= 8; p += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, p, 8);
+      hash = fnv_round(hash, word & 0xFF);
+      hash = fnv_round(hash, (word >> 8) & 0xFF);
+      hash = fnv_round(hash, (word >> 16) & 0xFF);
+      hash = fnv_round(hash, (word >> 24) & 0xFF);
+      hash = fnv_round(hash, (word >> 32) & 0xFF);
+      hash = fnv_round(hash, (word >> 40) & 0xFF);
+      hash = fnv_round(hash, (word >> 48) & 0xFF);
+      hash = fnv_round(hash, word >> 56);
+    }
   }
+  for (; p != end; ++p) hash = fnv_round(hash, *p);  // tail (and big-endian fallback)
   return hash;
 }
 

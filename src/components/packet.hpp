@@ -9,10 +9,19 @@
 // A receiver that decodes a packet and finds checksum mismatch has observed
 // exactly the corruption an unsafe adaptation causes (e.g. 128-bit data hit
 // by a 64-bit decoder mid-swap).
+//
+// The encoding stack is a fixed inline stack of small tags (TagStack), not a
+// std::vector<std::string>: pushing or popping a codec tag on the data path
+// must never touch the heap. Real stacks are at most a few tags deep
+// ([rle?][fec:<g>][des64]); the capacity bounds below are generous and
+// overflow throws rather than silently truncating a header.
 #pragma once
 
 #include <cstdint>
+#include <ostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sa::components {
@@ -20,13 +29,92 @@ namespace sa::components {
 using Payload = std::vector<std::uint8_t>;
 
 /// FNV-1a over the payload bytes; cheap and adequate for corruption checks.
-std::uint64_t payload_checksum(const Payload& payload);
+/// Processes aligned 8-byte words (one load per word, rounds unrolled in
+/// registers) with a byte tail loop; digests are identical to the byte-wise
+/// definition for every input.
+std::uint64_t payload_checksum(const std::uint8_t* data, std::size_t size);
+
+inline std::uint64_t payload_checksum(const Payload& payload) {
+  return payload_checksum(payload.data(), payload.size());
+}
+
+/// Fixed-capacity inline stack of codec tags. Vector-like surface (push_back/
+/// pop_back/back/size) so filter code reads as before, but storage is a flat
+/// char array inside the packet header: no allocation, trivially copyable.
+class TagStack {
+ public:
+  static constexpr std::size_t kMaxTags = 8;
+  static constexpr std::size_t kMaxTagLength = 47;
+
+  TagStack() = default;
+
+  bool empty() const { return depth_ == 0; }
+  std::size_t size() const { return depth_; }
+
+  std::string_view operator[](std::size_t i) const {
+    return std::string_view(data_[i], len_[i]);
+  }
+  std::string_view back() const { return (*this)[depth_ - 1]; }
+
+  void push_back(std::string_view tag) {
+    if (depth_ == kMaxTags) throw std::length_error("TagStack: encoding stack overflow");
+    if (tag.size() > kMaxTagLength) {
+      throw std::length_error("TagStack: tag too long: " + std::string(tag));
+    }
+    len_[depth_] = static_cast<std::uint8_t>(tag.size());
+    tag.copy(data_[depth_], tag.size());
+    ++depth_;
+  }
+  void emplace_back(std::string_view tag) { push_back(tag); }
+
+  void pop_back() { --depth_; }
+  void clear() { depth_ = 0; }
+
+  std::vector<std::string> to_vector() const {
+    std::vector<std::string> out;
+    out.reserve(depth_);
+    for (std::size_t i = 0; i < depth_; ++i) out.emplace_back((*this)[i]);
+    return out;
+  }
+
+  friend bool operator==(const TagStack& a, const TagStack& b) {
+    if (a.depth_ != b.depth_) return false;
+    for (std::size_t i = 0; i < a.depth_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const TagStack& a, const std::vector<std::string>& b) {
+    if (a.depth_ != b.size()) return false;
+    for (std::size_t i = 0; i < a.depth_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const std::vector<std::string>& a, const TagStack& b) {
+    return b == a;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const TagStack& stack) {
+    os << '[';
+    for (std::size_t i = 0; i < stack.depth_; ++i) {
+      if (i) os << ',';
+      os << stack[i];
+    }
+    return os << ']';
+  }
+
+ private:
+  std::uint8_t depth_ = 0;
+  std::uint8_t len_[kMaxTags] = {};
+  char data_[kMaxTags][kMaxTagLength] = {};
+};
 
 struct Packet {
   std::uint64_t stream_id = 0;
   std::uint64_t sequence = 0;
   Payload payload;
-  std::vector<std::string> encoding_stack;
+  TagStack encoding_stack;
   std::uint64_t plaintext_checksum = 0;
 
   /// Builds a packet and stamps plaintext_checksum from `payload`.

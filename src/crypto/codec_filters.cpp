@@ -21,6 +21,29 @@ std::optional<components::Packet> DesEncoderFilter::process(components::Packet p
   return packet;
 }
 
+void DesEncoderFilter::process_span(std::span<components::PacketRef> batch,
+                                    components::PacketSink& sink) {
+  const std::string_view tag = scheme_tag(scheme_);
+  for (components::PacketRef& ref : batch) {
+    // Pad + encrypt straight into a fresh arena buffer; the old plaintext
+    // bytes are left behind in the arena (reclaimed at the next reset).
+    if (scheme_ == Scheme::Des64) {
+      const std::size_t out_size = Des64Cipher::padded_size(ref.size());
+      std::uint8_t* out = sink.arena().alloc(out_size);
+      des64_.encrypt_into(ref.payload(), out);
+      ref.rebind(out, static_cast<std::uint32_t>(out_size));
+    } else {
+      const std::size_t out_size = Des128Cipher::padded_size(ref.size());
+      std::uint8_t* out = sink.arena().alloc(out_size);
+      des128_.encrypt_into(ref.payload(), out);
+      ref.rebind(out, static_cast<std::uint32_t>(out_size));
+    }
+    ref.tags().push_back(tag);
+    note_processed();
+    sink.emit(ref);
+  }
+}
+
 components::StateSnapshot DesEncoderFilter::refract() const {
   auto snapshot = Filter::refract();
   snapshot["scheme"] = std::string(scheme_tag(scheme_));
@@ -41,7 +64,7 @@ std::optional<components::Packet> DesDecoderFilter::process(components::Packet p
     note_bypassed();
     return packet;
   }
-  const std::string& tag = packet.encoding_stack.back();
+  const std::string_view tag = packet.encoding_stack.back();
   if (tag == kTagDes64 && accept64_) {
     packet.payload = des64_.decrypt(packet.payload);
   } else if (tag == kTagDes128 && accept128_) {
@@ -53,6 +76,35 @@ std::optional<components::Packet> DesDecoderFilter::process(components::Packet p
   packet.encoding_stack.pop_back();
   note_processed();
   return packet;
+}
+
+void DesDecoderFilter::process_span(std::span<components::PacketRef> batch,
+                                    components::PacketSink& sink) {
+  for (components::PacketRef& ref : batch) {
+    if (!ref.tags().empty()) {
+      const std::string_view tag = ref.tags().back();
+      // Ciphertext is block-aligned by construction; decrypt in place and
+      // truncate past the stripped padding — zero allocation, zero copy.
+      if (tag == kTagDes64 && accept64_ && ref.size() % 8 == 0) {
+        const std::size_t stripped = des64_.decrypt_inplace(ref.data(), ref.size());
+        ref.truncate(static_cast<std::uint32_t>(stripped));
+        ref.tags().pop_back();
+        note_processed();
+        sink.emit(ref);
+        continue;
+      }
+      if (tag == kTagDes128 && accept128_ && ref.size() % 8 == 0) {
+        const std::size_t stripped = des128_.decrypt_inplace(ref.data(), ref.size());
+        ref.truncate(static_cast<std::uint32_t>(stripped));
+        ref.tags().pop_back();
+        note_processed();
+        sink.emit(ref);
+        continue;
+      }
+    }
+    note_bypassed();
+    sink.emit(ref);
+  }
 }
 
 components::StateSnapshot DesDecoderFilter::refract() const {

@@ -45,6 +45,12 @@ class DesEncoderFilter final : public components::Filter {
 
   Scheme scheme() const { return scheme_; }
   std::optional<components::Packet> process(components::Packet packet) override;
+
+  /// Batched path: pads + encrypts each payload into a fresh arena buffer
+  /// (one pass, no intermediate vector) and rebinds the ref to it.
+  void process_span(std::span<components::PacketRef> batch,
+                    components::PacketSink& sink) override;
+
   components::StateSnapshot refract() const override;
 
  private:
@@ -65,6 +71,12 @@ class DesDecoderFilter final : public components::Filter {
   bool accepts64() const { return accept64_; }
   bool accepts128() const { return accept128_; }
   std::optional<components::Packet> process(components::Packet packet) override;
+
+  /// Batched path: decrypts each accepted payload IN PLACE in the arena and
+  /// truncates the ref past the stripped padding; bypasses zero-copy.
+  void process_span(std::span<components::PacketRef> batch,
+                    components::PacketSink& sink) override;
+
   components::StateSnapshot refract() const override;
 
  private:

@@ -7,12 +7,25 @@
 // decoder holding the wrong keys produces garbage that downstream checksum
 // verification catches — exactly the corruption unsafe adaptation causes.
 //
+// Two implementations coexist:
+//   * the table-driven fast path (the default): combined SP-boxes (S-box
+//     substitution and P-permutation folded into eight 64-entry uint32
+//     tables), the E-expansion done with one shift trick instead of a 48-bit
+//     permutation, and IP/FP as per-byte table lookups. Tables are built once
+//     per process and shared by every stream. Batched entry points
+//     (des_*_blocks, encrypt_into / decrypt_inplace) amortize call overhead
+//     across a span of packets and avoid intermediate buffers.
+//   * the bit-by-bit reference (`*_reference`): the original straight-from-
+//     the-standard permutation walk, kept as ground truth for equivalence
+//     tests and as the honest "seed path" in throughput comparisons.
+//
 // This is a simulation codec, not hardened crypto (ECB mode, no timing
 // defenses); DES itself is long obsolete for security purposes.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sa::crypto {
@@ -25,6 +38,13 @@ struct DesKeySchedule {
 /// Expands a 64-bit key (parity bits ignored per PC-1) into round keys.
 DesKeySchedule des_key_schedule(std::uint64_t key);
 
+/// Process-wide schedule cache: N streams encrypting under the same key share
+/// one schedule instead of each expanding it. The returned reference is
+/// stable for the process lifetime. Thread-safe.
+const DesKeySchedule& shared_key_schedule(std::uint64_t key);
+
+// --- table-driven fast path (the default) -------------------------------------
+
 std::uint64_t des_encrypt_block(std::uint64_t block, const DesKeySchedule& schedule);
 std::uint64_t des_decrypt_block(std::uint64_t block, const DesKeySchedule& schedule);
 
@@ -33,6 +53,25 @@ std::uint64_t des_ede_encrypt_block(std::uint64_t block, const DesKeySchedule& k
                                     const DesKeySchedule& k2);
 std::uint64_t des_ede_decrypt_block(std::uint64_t block, const DesKeySchedule& k1,
                                     const DesKeySchedule& k2);
+
+/// Batched block APIs: transform `count` blocks in place. One table fetch and
+/// one call for the whole span — the per-span cost the batched data plane pays
+/// per packet batch, not per block.
+void des_encrypt_blocks(std::uint64_t* blocks, std::size_t count, const DesKeySchedule& schedule);
+void des_decrypt_blocks(std::uint64_t* blocks, std::size_t count, const DesKeySchedule& schedule);
+void des_ede_encrypt_blocks(std::uint64_t* blocks, std::size_t count, const DesKeySchedule& k1,
+                            const DesKeySchedule& k2);
+void des_ede_decrypt_blocks(std::uint64_t* blocks, std::size_t count, const DesKeySchedule& k1,
+                            const DesKeySchedule& k2);
+
+// --- bit-by-bit reference (seed implementation, kept as ground truth) ---------
+
+std::uint64_t des_encrypt_block_reference(std::uint64_t block, const DesKeySchedule& schedule);
+std::uint64_t des_decrypt_block_reference(std::uint64_t block, const DesKeySchedule& schedule);
+std::uint64_t des_ede_encrypt_block_reference(std::uint64_t block, const DesKeySchedule& k1,
+                                              const DesKeySchedule& k2);
+std::uint64_t des_ede_decrypt_block_reference(std::uint64_t block, const DesKeySchedule& k1,
+                                              const DesKeySchedule& k2);
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -48,6 +87,18 @@ class Des64Cipher {
   /// the corruption survives to the integrity check instead of throwing.
   Bytes decrypt(const Bytes& ciphertext) const;
 
+  /// Ciphertext size for an `n`-byte plaintext (PKCS#7 always pads).
+  static std::size_t padded_size(std::size_t n) { return n + 8 - n % 8; }
+
+  /// Zero-intermediate encrypt: pads `src` into `dst` (which must hold
+  /// padded_size(src.size()) bytes) and encrypts the blocks in place there.
+  void encrypt_into(std::span<const std::uint8_t> src, std::uint8_t* dst) const;
+
+  /// In-place decrypt of `n` bytes (n % 8 == 0; throws otherwise). Returns
+  /// the payload size after PKCS#7 strip — `n` unchanged when the padding is
+  /// invalid, same garbage-tolerant contract as decrypt().
+  std::size_t decrypt_inplace(std::uint8_t* data, std::size_t n) const;
+
  private:
   DesKeySchedule schedule_;
 };
@@ -60,6 +111,10 @@ class Des128Cipher {
 
   Bytes encrypt(const Bytes& plaintext) const;
   Bytes decrypt(const Bytes& ciphertext) const;
+
+  static std::size_t padded_size(std::size_t n) { return n + 8 - n % 8; }
+  void encrypt_into(std::span<const std::uint8_t> src, std::uint8_t* dst) const;
+  std::size_t decrypt_inplace(std::uint8_t* data, std::size_t n) const;
 
  private:
   DesKeySchedule k1_;

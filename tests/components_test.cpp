@@ -37,6 +37,42 @@ TEST(Packet, ChecksumDiffersForDifferentPayloads) {
   EXPECT_NE(payload_checksum({}), payload_checksum({0}));
 }
 
+// Known FNV-1a 64-bit digests: pins the word-batched implementation to the
+// byte-wise definition (old and new code must agree on every input).
+TEST(Packet, ChecksumMatchesKnownFnv1aDigests) {
+  EXPECT_EQ(payload_checksum({}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(payload_checksum({'a'}), 0xaf63dc4c8601ec8cULL);
+  const std::string foobar = "foobar";
+  EXPECT_EQ(payload_checksum(reinterpret_cast<const std::uint8_t*>(foobar.data()),
+                             foobar.size()),
+            0x85944171f73967e8ULL);
+  // Inputs longer than one 8-byte word exercise the batched loop + tail.
+  Payload sixteen(16);
+  for (std::size_t i = 0; i < sixteen.size(); ++i) sixteen[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(payload_checksum(sixteen), 0x7c84dc9477851775ULL);
+  const std::string hello = "hello, world!";  // 13 bytes: one word + 5-byte tail
+  EXPECT_EQ(payload_checksum(reinterpret_cast<const std::uint8_t*>(hello.data()),
+                             hello.size()),
+            0xe60e63e648826894ULL);
+}
+
+// The word loop must agree with the byte-wise definition at every length
+// around the 8-byte boundaries (off-by-one in the tail would corrupt every
+// checksum comparison in the system).
+TEST(Packet, ChecksumWordBatchingAgreesWithByteLoopAtAllLengths) {
+  Payload data(67);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    std::uint64_t expected = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+      expected = (expected ^ data[i]) * 0x100000001b3ULL;
+    }
+    EXPECT_EQ(payload_checksum(data.data(), len), expected) << "length " << len;
+  }
+}
+
 // --- simple filters -----------------------------------------------------------
 
 TEST(Filters, PassThroughCountsProcessed) {

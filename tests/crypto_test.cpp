@@ -137,5 +137,112 @@ TEST(CipherProperty, Deterministic) {
   EXPECT_EQ(cipher.encrypt(plaintext), cipher.encrypt(plaintext));
 }
 
+// --- table-driven fast path vs bit-by-bit reference ---------------------------
+
+TEST(DesTables, FastPathMatchesReferenceOnRandomBlocksAndKeys) {
+  util::Rng rng(0xDE5);
+  for (int i = 0; i < 200; ++i) {
+    const auto schedule = des_key_schedule(rng.next_u64());
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des_encrypt_block(block, schedule),
+              des_encrypt_block_reference(block, schedule));
+    EXPECT_EQ(des_decrypt_block(block, schedule),
+              des_decrypt_block_reference(block, schedule));
+  }
+}
+
+TEST(DesTables, EdeFastPathMatchesReference) {
+  util::Rng rng(0x3DE5);
+  for (int i = 0; i < 100; ++i) {
+    const auto k1 = des_key_schedule(rng.next_u64());
+    const auto k2 = des_key_schedule(rng.next_u64());
+    const std::uint64_t block = rng.next_u64();
+    EXPECT_EQ(des_ede_encrypt_block(block, k1, k2),
+              des_ede_encrypt_block_reference(block, k1, k2));
+    EXPECT_EQ(des_ede_decrypt_block(block, k1, k2),
+              des_ede_decrypt_block_reference(block, k1, k2));
+  }
+}
+
+TEST(DesTables, BatchedBlocksMatchScalar) {
+  util::Rng rng(0xBA7C);
+  const auto k1 = des_key_schedule(rng.next_u64());
+  const auto k2 = des_key_schedule(rng.next_u64());
+  std::vector<std::uint64_t> blocks(97);
+  for (auto& b : blocks) b = rng.next_u64();
+
+  auto single = blocks;
+  for (auto& b : single) b = des_encrypt_block(b, k1);
+  auto batched = blocks;
+  des_encrypt_blocks(batched.data(), batched.size(), k1);
+  EXPECT_EQ(batched, single);
+  des_decrypt_blocks(batched.data(), batched.size(), k1);
+  EXPECT_EQ(batched, blocks);
+
+  auto ede_single = blocks;
+  for (auto& b : ede_single) b = des_ede_encrypt_block(b, k1, k2);
+  auto ede_batched = blocks;
+  des_ede_encrypt_blocks(ede_batched.data(), ede_batched.size(), k1, k2);
+  EXPECT_EQ(ede_batched, ede_single);
+  des_ede_decrypt_blocks(ede_batched.data(), ede_batched.size(), k1, k2);
+  EXPECT_EQ(ede_batched, blocks);
+}
+
+TEST(DesTables, SharedKeyScheduleMatchesDirectExpansion) {
+  const auto& shared = shared_key_schedule(0x133457799BBCDFF1ULL);
+  const auto direct = des_key_schedule(0x133457799BBCDFF1ULL);
+  EXPECT_EQ(shared.subkeys, direct.subkeys);
+  // Same key → same cached instance.
+  EXPECT_EQ(&shared, &shared_key_schedule(0x133457799BBCDFF1ULL));
+}
+
+// --- in-place byte APIs (the batched data plane's entry points) ---------------
+
+TEST(CipherInplace, EncryptIntoMatchesEncrypt) {
+  const Des64Cipher des64(0x133457799BBCDFF1ULL);
+  const Des128Cipher des128(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  util::Rng rng(99);
+  for (std::size_t len : {0U, 1U, 7U, 8U, 9U, 255U, 256U}) {
+    Bytes plaintext(len);
+    for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+
+    Bytes out64(Des64Cipher::padded_size(len));
+    des64.encrypt_into(plaintext, out64.data());
+    EXPECT_EQ(out64, des64.encrypt(plaintext)) << "len " << len;
+
+    Bytes out128(Des128Cipher::padded_size(len));
+    des128.encrypt_into(plaintext, out128.data());
+    EXPECT_EQ(out128, des128.encrypt(plaintext)) << "len " << len;
+  }
+}
+
+TEST(CipherInplace, DecryptInplaceMatchesDecryptAndStripsPadding) {
+  const Des64Cipher cipher(0x133457799BBCDFF1ULL);
+  util::Rng rng(7);
+  Bytes plaintext(61);
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes wire = cipher.encrypt(plaintext);
+  const std::size_t stripped = cipher.decrypt_inplace(wire.data(), wire.size());
+  EXPECT_EQ(stripped, plaintext.size());
+  wire.resize(stripped);
+  EXPECT_EQ(wire, plaintext);
+}
+
+TEST(CipherInplace, WrongKeyLeavesGarbageUnstripped) {
+  const Des64Cipher right(1), wrong(2);
+  Bytes plaintext(40, 0x5A);
+  Bytes wire = right.encrypt(plaintext);
+  const Bytes reference = wrong.decrypt(wire);
+  const std::size_t stripped = wrong.decrypt_inplace(wire.data(), wire.size());
+  wire.resize(stripped);
+  EXPECT_EQ(wire, reference);  // same garbage-tolerant contract as decrypt()
+}
+
+TEST(CipherInplace, DecryptInplaceRejectsUnalignedInput) {
+  const Des64Cipher cipher(1);
+  Bytes bad{1, 2, 3};
+  EXPECT_THROW(cipher.decrypt_inplace(bad.data(), bad.size()), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sa::crypto

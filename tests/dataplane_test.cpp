@@ -1,0 +1,503 @@
+// Tests for the zero-copy batched data plane: PacketArena / PacketRef
+// semantics, the span-based filter invocation interface (zero-copy bypass,
+// FEC multi-output, DES in-arena transforms), FilterChain::process_batch
+// equivalence with the per-packet path, and the multi-stream threaded pump
+// including its §5.2 per-chain quiescence handshake under load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "components/arena.hpp"
+#include "components/fec.hpp"
+#include "components/filter.hpp"
+#include "components/filter_chain.hpp"
+#include "crypto/codec_filters.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "video/pump.hpp"
+
+namespace sa::components {
+namespace {
+
+Payload random_payload(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Payload payload(n);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return payload;
+}
+
+// --- TagStack ----------------------------------------------------------------
+
+TEST(TagStack, PushPopAndVectorInterop) {
+  TagStack stack;
+  EXPECT_TRUE(stack.empty());
+  stack.push_back("des64");
+  stack.push_back("fec:12");
+  EXPECT_EQ(stack.size(), 2U);
+  EXPECT_EQ(stack.back(), "fec:12");
+  EXPECT_EQ(stack, (std::vector<std::string>{"des64", "fec:12"}));
+  EXPECT_EQ(stack.to_vector(), (std::vector<std::string>{"des64", "fec:12"}));
+  stack.pop_back();
+  EXPECT_EQ(stack, (std::vector<std::string>{"des64"}));
+}
+
+TEST(TagStack, OverflowThrowsInsteadOfTruncating) {
+  TagStack stack;
+  for (std::size_t i = 0; i < TagStack::kMaxTags; ++i) stack.push_back("t");
+  EXPECT_THROW(stack.push_back("one-too-many"), std::length_error);
+  EXPECT_EQ(stack.size(), TagStack::kMaxTags);  // unchanged by the failed push
+  std::string oversized(TagStack::kMaxTagLength + 1, 'x');
+  stack.pop_back();
+  EXPECT_THROW(stack.push_back(oversized), std::length_error);
+  stack.push_back(std::string(TagStack::kMaxTagLength, 'x'));  // max length fits
+  EXPECT_EQ(stack.back().size(), TagStack::kMaxTagLength);
+}
+
+// --- PacketArena / PacketRef --------------------------------------------------
+
+TEST(Arena, MakeStampsChecksumAndRoundTripsToPacket) {
+  PacketArena arena;
+  const Payload payload = random_payload(100, 1);
+  PacketRef ref = arena.make(7, 42, payload);
+  EXPECT_EQ(ref.stream_id(), 7U);
+  EXPECT_EQ(ref.sequence(), 42U);
+  EXPECT_TRUE(ref.intact());
+
+  const Packet packet = ref.to_packet();
+  EXPECT_TRUE(packet.intact());
+  EXPECT_EQ(packet.payload, payload);
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutReallocating) {
+  PacketArena arena(4096);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) arena.make_blank(1, i, 256);
+    EXPECT_EQ(arena.live_packets(), 8U);
+    arena.reset();
+    EXPECT_EQ(arena.live_packets(), 0U);
+  }
+  // All rounds fit one chunk: exactly one heap chunk allocation ever.
+  EXPECT_EQ(arena.stats().chunk_allocs, 1U);
+  EXPECT_EQ(arena.stats().resets, 10U);
+}
+
+TEST(Arena, OversizedPayloadGetsDedicatedChunk) {
+  PacketArena arena(4096);
+  PacketRef big = arena.make_blank(1, 0, 1 << 20);
+  EXPECT_EQ(big.size(), 1U << 20);
+  EXPECT_GE(arena.stats().chunk_allocs, 1U);
+}
+
+TEST(Arena, AddressesStableAcrossManyHeaders) {
+  PacketArena arena(1024);
+  std::vector<PacketRef> refs;
+  for (int i = 0; i < 1000; ++i) refs.push_back(arena.make(1, i, random_payload(64, i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(refs[i].sequence(), static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(refs[i].intact());
+  }
+}
+
+// --- zero-copy span invocation (satellite: move-only bypass) ------------------
+
+TEST(SpanFilters, BypassForwardsSameBufferZeroCopies) {
+  PacketArena arena;
+  std::vector<PacketRef> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(arena.make_blank(1, i, 64));
+  const std::uint64_t copies_before = arena.stats().payload_copies;
+  const std::uint8_t* data0 = batch[0].data();
+
+  UntagFilter untag("u", "absent-tag");
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+  untag.process_span(batch, sink);
+
+  ASSERT_EQ(out.size(), 4U);
+  EXPECT_EQ(out[0].data(), data0);  // the SAME buffer — pointer identity
+  EXPECT_EQ(out[0].header(), batch[0].header());
+  EXPECT_EQ(arena.stats().payload_copies, copies_before);  // zero payload copies
+  EXPECT_EQ(untag.stats().bypassed, 4U);
+}
+
+TEST(SpanFilters, DefaultProcessAllAdaptorIsMoveOnly) {
+  // The legacy bypass path must not copy the payload either: the owning
+  // buffer pointer survives the whole process_all round trip.
+  PassThroughFilter filter("p");
+  Packet packet = Packet::make(1, 0, random_payload(512, 3));
+  const std::uint8_t* buffer = packet.payload.data();
+  std::vector<Packet> out = filter.process_all(std::move(packet));
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].payload.data(), buffer);  // moved, never copied
+}
+
+TEST(SpanFilters, TagFilterMutatesInPlace) {
+  PacketArena arena;
+  std::vector<PacketRef> batch{arena.make_blank(1, 0, 32)};
+  TagFilter tag("t", "x");
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+  tag.process_span(batch, sink);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].tags(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(out[0].header(), batch[0].header());
+}
+
+// --- FEC under the span API (satellite 3) ------------------------------------
+
+TEST(FecSpan, EncoderInterleavesParityAndKeepsOrder) {
+  PacketArena arena;
+  const std::size_t group = 3;
+  XorFecEncoderFilter enc("fec-e", group);
+
+  std::vector<PacketRef> batch;
+  for (int i = 0; i < 7; ++i) batch.push_back(arena.make(1, i, random_payload(50, i)));
+
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+  enc.process_span(batch, sink);
+
+  // 7 data packets, groups of 3 → parity after inputs 2 and 5: d0 d1 d2 P d3
+  // d4 d5 P d6. Order exactly as the per-packet path produces it.
+  ASSERT_EQ(out.size(), 9U);
+  const std::vector<std::uint64_t> expected_seqs{0, 1, 2, 2, 3, 4, 5, 5, 6};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].sequence(), expected_seqs[i]) << "position " << i;
+  }
+  EXPECT_TRUE(out[3].tags().back().starts_with("fec-parity:0:"));
+  EXPECT_TRUE(out[7].tags().back().starts_with("fec-parity:1:"));
+  EXPECT_TRUE(out[0].tags().back().starts_with("fec:0"));
+  EXPECT_TRUE(out[8].tags().back().starts_with("fec:2"));
+
+  // Stats exact: 7 processed (data), nothing bypassed or dropped.
+  EXPECT_EQ(enc.stats().processed, 7U);
+  EXPECT_EQ(enc.stats().bypassed, 0U);
+  EXPECT_EQ(enc.stats().dropped, 0U);
+  EXPECT_EQ(enc.parity_emitted(), 2U);
+}
+
+TEST(FecSpan, DecoderReconstructsDroppedPacketFromSpan) {
+  PacketArena arena;
+  const std::size_t group = 4;
+  XorFecEncoderFilter enc("fec-e", group);
+  XorFecDecoderFilter dec("fec-d");
+
+  std::vector<PacketRef> batch;
+  std::vector<Payload> originals;
+  for (int i = 0; i < 4; ++i) {
+    originals.push_back(random_payload(64, 100 + i));
+    batch.push_back(arena.make(1, i, originals.back()));
+  }
+  std::vector<PacketRef> encoded;
+  VectorSink enc_sink(arena, encoded);
+  enc.process_span(batch, enc_sink);
+  ASSERT_EQ(encoded.size(), 5U);  // 4 data + 1 parity
+
+  // Drop data packet #1 on the "wire".
+  std::vector<PacketRef> wire;
+  for (PacketRef& ref : encoded) {
+    if (!(ref.tags().back().starts_with("fec:") && ref.sequence() == 1)) wire.push_back(ref);
+  }
+  ASSERT_EQ(wire.size(), 4U);
+
+  std::vector<PacketRef> delivered;
+  VectorSink dec_sink(arena, delivered);
+  dec.process_span(wire, dec_sink);
+
+  // 3 surviving data packets + the reconstructed one (emitted at the parity
+  // position, i.e. last).
+  ASSERT_EQ(delivered.size(), 4U);
+  EXPECT_EQ(dec.recovered(), 1U);
+  std::vector<std::uint64_t> seqs;
+  for (const PacketRef& ref : delivered) {
+    EXPECT_TRUE(ref.intact());
+    seqs.push_back(ref.sequence());
+  }
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 2, 3, 1}));
+  const PacketRef& rebuilt = delivered.back();
+  EXPECT_EQ(rebuilt.payload().size(), originals[1].size());
+  EXPECT_TRUE(std::equal(originals[1].begin(), originals[1].end(), rebuilt.data()));
+
+  // Stats exact: decoder processed 3 data + 1 parity; nothing bypassed/dropped.
+  EXPECT_EQ(dec.stats().processed, 4U);
+  EXPECT_EQ(dec.stats().bypassed, 0U);
+  EXPECT_EQ(dec.stats().dropped, 0U);
+}
+
+TEST(FecSpan, MatchesPerPacketPathOutputExactly) {
+  // The span path and the process_all path must produce identical packet
+  // streams for the same inputs.
+  const std::size_t group = 3;
+  XorFecEncoderFilter span_enc("a", group);
+  XorFecEncoderFilter legacy_enc("b", group);
+
+  PacketArena arena;
+  std::vector<PacketRef> batch;
+  std::vector<Packet> legacy_out;
+  for (int i = 0; i < 9; ++i) {
+    const Payload payload = random_payload(40, 500 + i);
+    batch.push_back(arena.make(3, i, payload));
+    for (Packet& p : legacy_enc.process_all(Packet::make(3, i, payload))) {
+      legacy_out.push_back(std::move(p));
+    }
+  }
+  std::vector<PacketRef> span_out;
+  VectorSink sink(arena, span_out);
+  span_enc.process_span(batch, sink);
+
+  ASSERT_EQ(span_out.size(), legacy_out.size());
+  for (std::size_t i = 0; i < span_out.size(); ++i) {
+    const Packet from_span = span_out[i].to_packet();
+    EXPECT_EQ(from_span.sequence, legacy_out[i].sequence) << i;
+    EXPECT_EQ(from_span.payload, legacy_out[i].payload) << i;
+    EXPECT_EQ(from_span.encoding_stack, legacy_out[i].encoding_stack) << i;
+    EXPECT_EQ(from_span.plaintext_checksum, legacy_out[i].plaintext_checksum) << i;
+  }
+}
+
+// --- DES codecs in the arena --------------------------------------------------
+
+TEST(DesSpan, EncodeDecodeRoundTripInArenaZeroCopies) {
+  PacketArena arena;
+  crypto::DesEncoderFilter enc("E1", crypto::Scheme::Des64);
+  crypto::DesDecoderFilter dec("D1", true, false);
+
+  std::vector<PacketRef> batch;
+  std::vector<Payload> originals;
+  for (int i = 0; i < 16; ++i) {
+    originals.push_back(random_payload(100 + i, i));
+    batch.push_back(arena.make(1, i, originals.back()));
+  }
+  const std::uint64_t copies_before = arena.stats().payload_copies;
+
+  std::vector<PacketRef> encoded;
+  VectorSink enc_sink(arena, encoded);
+  enc.process_span(batch, enc_sink);
+  ASSERT_EQ(encoded.size(), 16U);
+  for (const PacketRef& ref : encoded) {
+    EXPECT_EQ(ref.tags(), (std::vector<std::string>{"des64"}));
+    EXPECT_EQ(ref.size() % 8, 0U);
+  }
+
+  std::vector<PacketRef> decoded;
+  VectorSink dec_sink(arena, decoded);
+  dec.process_span(encoded, dec_sink);
+  ASSERT_EQ(decoded.size(), 16U);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(decoded[i].intact()) << i;
+    EXPECT_EQ(decoded[i].payload().size(), originals[i].size());
+    EXPECT_TRUE(std::equal(originals[i].begin(), originals[i].end(), decoded[i].data()));
+  }
+  // Encrypt writes into fresh arena buffers and decrypt works in place:
+  // no payload bytes were copied INTO the arena after setup.
+  EXPECT_EQ(arena.stats().payload_copies, copies_before);
+}
+
+TEST(DesSpan, Ede128RoundTripAndMismatchedDecoderBypasses) {
+  PacketArena arena;
+  crypto::DesEncoderFilter enc("E2", crypto::Scheme::Des128);
+  crypto::DesDecoderFilter wrong("D1", true, false);   // 64-only decoder
+  crypto::DesDecoderFilter right("D2", true, true);    // compatible decoder
+
+  std::vector<PacketRef> batch{arena.make(1, 0, random_payload(64, 9))};
+  std::vector<PacketRef> encoded;
+  VectorSink enc_sink(arena, encoded);
+  enc.process_span(batch, enc_sink);
+
+  std::vector<PacketRef> bypassed;
+  VectorSink wrong_sink(arena, bypassed);
+  wrong.process_span(encoded, wrong_sink);
+  ASSERT_EQ(bypassed.size(), 1U);
+  EXPECT_EQ(bypassed[0].tags(), (std::vector<std::string>{"des128"}));
+  EXPECT_EQ(wrong.stats().bypassed, 1U);
+
+  std::vector<PacketRef> decoded;
+  VectorSink right_sink(arena, decoded);
+  right.process_span(bypassed, right_sink);
+  ASSERT_EQ(decoded.size(), 1U);
+  EXPECT_TRUE(decoded[0].intact());
+}
+
+// --- FilterChain::process_batch -----------------------------------------------
+
+TEST(ChainBatch, MovesSpansThroughWholeChainWithBatchAccounting) {
+  sim::Simulator simulator;
+  FilterChain chain(simulator, "chain");
+  chain.append_filter(std::make_shared<TagFilter>("t", "x"));
+  chain.append_filter(std::make_shared<UntagFilter>("u", "x"));
+
+  PacketArena arena;
+  std::vector<PacketRef> batch;
+  for (int i = 0; i < 32; ++i) batch.push_back(arena.make(1, i, random_payload(64, i)));
+
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+  EXPECT_EQ(chain.process_batch(batch, sink), 32U);
+
+  ASSERT_EQ(out.size(), 32U);
+  for (const PacketRef& ref : out) EXPECT_TRUE(ref.intact());
+  EXPECT_EQ(chain.stats().submitted, 32U);
+  EXPECT_EQ(chain.stats().delivered, 32U);
+  EXPECT_EQ(chain.stats().batches, 1U);
+  // One accounting pass per batch: 20us overhead + 20us + 20us filters.
+  EXPECT_EQ(chain.stats().batch_virtual_time, runtime::us(60));
+}
+
+TEST(ChainBatch, QuiescenceBlocksAtBatchBoundaryNotMidSpan) {
+  sim::Simulator simulator;
+  FilterChain chain(simulator, "chain");
+  chain.append_filter(std::make_shared<PassThroughFilter>("p"));
+
+  PacketArena arena;
+  std::vector<PacketRef> batch{arena.make(1, 0, random_payload(16, 0))};
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+
+  // Idle chain: request fires immediately and the chain blocks.
+  bool quiescent = false;
+  chain.request_quiescence([&] { quiescent = true; });
+  EXPECT_TRUE(quiescent);
+  EXPECT_TRUE(chain.blocked());
+  // Batch submission while blocked is a protocol violation.
+  EXPECT_THROW(chain.process_batch(batch, sink), std::logic_error);
+  chain.resume();
+  EXPECT_EQ(chain.process_batch(batch, sink), 1U);
+}
+
+TEST(ChainBatch, MatchesLegacyPerPacketDeliveryWithFecAndDes) {
+  // Same filters, same inputs: the batched chain and the clock-scheduled
+  // chain must deliver identical packet streams.
+  sim::Simulator simulator;
+  FilterChain legacy(simulator, "legacy");
+  legacy.append_filter(std::make_shared<XorFecEncoderFilter>("fec-e", 4));
+  legacy.append_filter(std::make_shared<crypto::DesEncoderFilter>("E1", crypto::Scheme::Des64));
+  legacy.append_filter(std::make_shared<crypto::DesDecoderFilter>("D1", true, false));
+  legacy.append_filter(std::make_shared<XorFecDecoderFilter>("fec-d"));
+
+  std::vector<Packet> legacy_out;
+  legacy.set_output([&](Packet p) { legacy_out.push_back(std::move(p)); });
+  std::vector<Payload> payloads;
+  for (int i = 0; i < 12; ++i) payloads.push_back(random_payload(80, 700 + i));
+  for (int i = 0; i < 12; ++i) legacy.submit(Packet::make(1, i, payloads[i]));
+  simulator.run();
+
+  FilterChain batched(simulator, "batched");
+  batched.append_filter(std::make_shared<XorFecEncoderFilter>("fec-e", 4));
+  batched.append_filter(std::make_shared<crypto::DesEncoderFilter>("E1", crypto::Scheme::Des64));
+  batched.append_filter(std::make_shared<crypto::DesDecoderFilter>("D1", true, false));
+  batched.append_filter(std::make_shared<XorFecDecoderFilter>("fec-d"));
+
+  PacketArena arena;
+  std::vector<PacketRef> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(arena.make(1, i, payloads[i]));
+  std::vector<PacketRef> out;
+  VectorSink sink(arena, out);
+  batched.process_batch(batch, sink);
+
+  ASSERT_EQ(out.size(), legacy_out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Packet p = out[i].to_packet();
+    EXPECT_EQ(p.sequence, legacy_out[i].sequence) << i;
+    EXPECT_EQ(p.payload, legacy_out[i].payload) << i;
+    EXPECT_EQ(p.encoding_stack, legacy_out[i].encoding_stack) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sa::components
+
+// --- threaded pump ------------------------------------------------------------
+
+namespace sa::video {
+namespace {
+
+TEST(ThreadedPump, SingleStreamAllPacketsIntact) {
+  PumpConfig config;
+  config.streams = 1;
+  config.batch_size = 32;
+  config.packets_per_stream = 4096;
+  config.payload_bytes = 200;
+  DataPlanePump pump(config);
+  pump.start();
+  pump.run_to_completion();
+
+  const LaneReport report = pump.lane_report(0);
+  EXPECT_EQ(report.generated, 4096U);
+  EXPECT_EQ(report.delivered, 4096U);
+  EXPECT_EQ(report.intact, 4096U);
+  EXPECT_EQ(report.corrupted, 0U);
+  EXPECT_EQ(report.undecodable, 0U);
+  EXPECT_GT(report.pps, 0.0);
+  EXPECT_GT(report.p99_delay_us, 0.0);
+}
+
+TEST(ThreadedPump, MultiStreamAggregates) {
+  PumpConfig config;
+  config.streams = 4;
+  config.batch_size = 64;
+  config.packets_per_stream = 2048;
+  DataPlanePump pump(config);
+  pump.start();
+  pump.run_to_completion();
+
+  const LaneReport total = pump.total_report();
+  EXPECT_EQ(total.generated, 4U * 2048U);
+  EXPECT_EQ(total.intact, 4U * 2048U);
+  EXPECT_EQ(total.corrupted, 0U);
+}
+
+TEST(ThreadedPump, AdaptLaneSwapsCodecUnderLoadWithoutCorruption) {
+  PumpConfig config;
+  config.streams = 2;
+  config.batch_size = 32;
+  config.packets_per_stream = 60'000;
+  config.payload_bytes = 128;
+  DataPlanePump pump(config);
+  pump.start();
+
+  // While the pump is running, harden lane 0 from DES-64 to DES-128 via the
+  // §5.2 handshake: decoder widened first, then the encoder switched — the
+  // same safe order the paper's case study uses.
+  pump.adapt_lane(0, [](components::FilterChain& encode, components::FilterChain& decode) {
+    EXPECT_TRUE(encode.blocked());
+    EXPECT_TRUE(decode.blocked());
+    decode.replace_filter("D1", crypto::make_decoder("D2", true, true));
+    encode.replace_filter("E1", crypto::make_encoder_e2());
+  });
+
+  pump.run_to_completion();
+
+  const LaneReport lane0 = pump.lane_report(0);
+  EXPECT_EQ(lane0.corrupted, 0U);
+  EXPECT_EQ(lane0.undecodable, 0U);
+  EXPECT_EQ(lane0.intact, lane0.delivered);
+  EXPECT_EQ(lane0.blocked_windows, 1U);
+  EXPECT_GT(lane0.blocked_us, 0.0);
+  // Lane 1 was never adapted.
+  EXPECT_EQ(pump.lane_report(1).blocked_windows, 0U);
+  EXPECT_EQ(pump.lane_report(1).corrupted, 0U);
+}
+
+TEST(ThreadedPump, FecChainBuilderSurvivesLoad) {
+  PumpConfig config;
+  config.streams = 1;
+  config.batch_size = 24;
+  config.packets_per_stream = 2400;
+  DataPlanePump pump(config);
+  pump.start([](std::size_t, runtime::Clock&, components::FilterChain& encode,
+                components::FilterChain& decode) {
+    encode.append_filter(std::make_shared<components::XorFecEncoderFilter>("fec-e", 8));
+    encode.append_filter(crypto::make_encoder_e1());
+    decode.append_filter(crypto::make_decoder("D1", true, false));
+    decode.append_filter(std::make_shared<components::XorFecDecoderFilter>("fec-d"));
+  });
+  pump.run_to_completion();
+
+  const LaneReport report = pump.lane_report(0);
+  // Parity packets are absorbed by the decoder; every data packet arrives intact.
+  EXPECT_EQ(report.intact, 2400U);
+  EXPECT_EQ(report.corrupted, 0U);
+  EXPECT_EQ(report.undecodable, 0U);
+}
+
+}  // namespace
+}  // namespace sa::video

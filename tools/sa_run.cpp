@@ -26,6 +26,14 @@
 //
 // With --trace-out, fleet mode records every region's causal trace (jsonl
 // only) and concatenates them region-tagged into FILE — input for sa_trace.
+//
+// Dataplane mode exercises the zero-copy batched data plane at real-time
+// wall-clock speed: N producer/pump thread pairs stream arena packets through
+// DES encode/decode chains while lane 0 is adapted DES-64 -> DES-128 through
+// the §5.2 quiescence handshake mid-run. Exit status is 0 only if every
+// delivered packet survived intact:
+//
+//   sa_run --dataplane [--streams N] [--packets N] [--seed S]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,8 +43,10 @@
 #include "core/fleet.hpp"
 #include "core/scenario_file.hpp"
 #include "core/system.hpp"
+#include "crypto/codec_filters.hpp"
 #include "obs/export.hpp"
 #include "util/strings.hpp"
+#include "video/pump.hpp"
 
 namespace {
 
@@ -55,8 +65,9 @@ int usage(const char* argv0) {
                "       [--trace-out FILE [--trace-format jsonl|chrome]] [--metrics-out FILE]\n"
                "       %s --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]\n"
                "       [--fanout N] [--epoch-window USEC] [--seed S] [--trace-out FILE]\n"
-               "       [--trace-full]\n",
-               argv0, argv0);
+               "       [--trace-full]\n"
+               "       %s --dataplane [--streams N] [--packets N] [--seed S]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -73,6 +84,10 @@ int main(int argc, char** argv) {
 
   const char* path = nullptr;
   bool fleet = false;
+  bool dataplane = false;
+  video::PumpConfig pump_config;
+  pump_config.streams = 2;
+  pump_config.packets_per_stream = 100'000;
   core::FleetSpec fleet_spec;
   double loss = 0.0;
   double dup = 0.0;
@@ -115,6 +130,20 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fleet") == 0) {
       fleet = true;
+    } else if (std::strcmp(argv[i], "--dataplane") == 0) {
+      dataplane = true;
+    } else if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed == 0) return bad_flag("--streams", value, "a positive count");
+      pump_config.streams = static_cast<std::size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto parsed = util::parse_u64(value);
+      if (!parsed || *parsed == 0) {
+        return bad_flag("--packets", value, "a positive per-stream packet count");
+      }
+      pump_config.packets_per_stream = *parsed;
     } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
       const char* value = argv[++i];
       const auto parsed = util::parse_u64(value);
@@ -145,11 +174,47 @@ int main(int argc, char** argv) {
       const auto parsed = util::parse_u64(value);
       if (!parsed) return bad_flag("--seed", value, "an unsigned seed");
       fleet_spec.seed = *parsed;
+      pump_config.seed = *parsed;
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
       path = argv[i];
     }
+  }
+  if (dataplane) {
+    std::printf("dataplane: %zu stream(s) x %llu packets, DES-64 -> DES-128 on lane 0 mid-run\n",
+                pump_config.streams,
+                static_cast<unsigned long long>(pump_config.packets_per_stream));
+    video::DataPlanePump pump(pump_config);
+    pump.start();
+    pump.adapt_lane(0, [](components::FilterChain& encode, components::FilterChain& decode) {
+      // Paper order: widen the decoder before switching the encoder.
+      decode.replace_filter("D1", crypto::make_decoder("D2", true, true));
+      encode.replace_filter("E1", crypto::make_encoder_e2());
+    });
+    pump.run_to_completion();
+    std::printf("%-6s %-10s %-10s %-10s %-12s %-10s %-12s %-12s %s\n", "lane", "delivered",
+                "intact", "corrupted", "undecodable", "pps", "p99(us)", "blocked(us)",
+                "windows");
+    for (std::size_t lane = 0; lane < pump.streams(); ++lane) {
+      const video::LaneReport r = pump.lane_report(lane);
+      std::printf("%-6zu %-10llu %-10llu %-10llu %-12llu %-10.0f %-12.1f %-12.1f %llu\n", lane,
+                  static_cast<unsigned long long>(r.delivered),
+                  static_cast<unsigned long long>(r.intact),
+                  static_cast<unsigned long long>(r.corrupted),
+                  static_cast<unsigned long long>(r.undecodable), r.pps, r.p99_delay_us,
+                  r.blocked_us, static_cast<unsigned long long>(r.blocked_windows));
+    }
+    const video::LaneReport total = pump.total_report();
+    std::printf("total: %llu delivered, %llu intact, %llu corrupted, %.0f packets/s aggregate\n",
+                static_cast<unsigned long long>(total.delivered),
+                static_cast<unsigned long long>(total.intact),
+                static_cast<unsigned long long>(total.corrupted), total.pps);
+    const bool clean = total.corrupted == 0 && total.undecodable == 0 &&
+                       total.intact == total.delivered &&
+                       total.delivered == pump_config.streams * pump_config.packets_per_stream;
+    std::printf("outcome: %s\n", clean ? "clean (every packet intact)" : "DISRUPTED");
+    return clean ? 0 : 1;
   }
   if (fleet) {
     if (trace_out != nullptr) {
