@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,6 +19,7 @@
 
 #include "util/fingerprint_set.hpp"
 #include "util/rng.hpp"
+#include "util/small_vector.hpp"
 
 namespace sa::check {
 
@@ -64,20 +66,81 @@ bool schedule_less(const std::vector<Choice>& a, const std::vector<Choice>& b) {
   return false;
 }
 
+/// DPOR sleep set: choices whose subtrees were (or will be) explored from an
+/// earlier sibling and commute with everything executed since. Entries keep
+/// their full footprint because independence tests against later choices and
+/// the orbit-stable dedup hash both need it. Sleeping entries are always still
+/// enabled: independence preserves enabledness, so a quiescent state always
+/// has an empty sleep set and leaf accounting is unaffected by DPOR.
+using SleepSet = util::SmallVector<ChoiceFootprint, 4>;
+
 struct Frame {
   Model model;
   PathPtr path;
   int depth = 0;
+  SleepSet sleep;
 };
+
+/// Orbit-stable hash of one sleeping choice: kind, channel direction, message
+/// content / timer slot class, and the *role* fingerprint of the touched
+/// agent — deliberately not the process id and not the seq, so two states
+/// that canonicalize together under symmetry reduction also hash their sleep
+/// sets together, keeping results thread-count independent.
+std::uint64_t sleep_entry_hash(const ChoiceFootprint& fp) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(fp.kind));
+  mix(fp.channel_to_manager ? 1 : 0);
+  mix(fp.content);
+  mix(fp.role);
+  return h;
+}
+
+/// Commutative (order-independent) hash of a whole sleep set.
+std::uint64_t sleep_hash(const SleepSet& sleep) {
+  std::uint64_t sum = 0;
+  for (const ChoiceFootprint& fp : sleep) sum += sleep_entry_hash(fp);
+  return sum;
+}
 
 struct WorkerStats {
   std::size_t states_explored = 0;
   std::size_t states_deduped = 0;
   std::size_t runs_completed = 0;
   std::size_t depth_capped = 0;
+  std::size_t sleep_pruned = 0;
   int max_depth_reached = 0;
   std::array<std::size_t, kOutcomeSlots> outcomes{};
 };
+
+/// Per-worker scratch buffers for expand_children, reused across frames so
+/// the hot loop does not allocate.
+struct Scratch {
+  std::vector<Choice> choices;
+  std::vector<Choice> awake;
+  std::vector<ChoiceFootprint> footprints;
+};
+
+/// Orbit-stable ordering for DPOR sibling-sleep construction. The "earlier
+/// siblings go to sleep in later children" rule depends on choice order, and
+/// Model::choices() enumerates in-flight messages in global creation order —
+/// which canonical_fingerprint() deliberately erases. Two representatives of
+/// the same canonical state must build the same abstract (child, sleep) pairs
+/// regardless of which one won the dedup race, so the awake list is
+/// stable-sorted by this seq-free, pid-free key first. Ties are either
+/// same-channel messages (stable sort keeps their FIFO order, which equal
+/// canonical fingerprints also agree on) or fully symmetric twins (either
+/// order yields orbit-equivalent children).
+bool footprint_order_less(const ChoiceFootprint& a, const ChoiceFootprint& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.role != b.role) return a.role < b.role;
+  if (a.channel_to_manager != b.channel_to_manager) {
+    return a.channel_to_manager < b.channel_to_manager;
+  }
+  return a.content < b.content;
+}
 
 struct WorkerQueue {
   std::mutex mu;
@@ -88,12 +151,16 @@ class FrontierEngine {
  public:
   FrontierEngine(const ExploreOptions& options, int threads)
       : options_(&options),
+        depth_limit_(options.max_depth > 0 ? options.max_depth
+                                           : std::numeric_limits<int>::max()),
         visited_(options.max_states,
                  threads == 1 ? 1 : static_cast<std::size_t>(threads) * 2),
         queues_(static_cast<std::size_t>(threads)),
         stats_(static_cast<std::size_t>(threads)) {}
 
-  util::ShardedFingerprintSet& visited() { return visited_; }
+  /// Marks the root visited. Returns the root's dedup key insert result
+  /// (always true on a fresh engine).
+  bool insert_root(const Model& model) { return visited_.insert(dedup_key(model, {})); }
 
   /// Seeds the deques from `root` and runs the pool to completion.
   void run(Frame&& root, int threads) {
@@ -116,6 +183,7 @@ class FrontierEngine {
       result.stats.states_deduped += ws.states_deduped;
       result.stats.runs_completed += ws.runs_completed;
       result.stats.depth_capped += ws.depth_capped;
+      result.stats.sleep_pruned += ws.sleep_pruned;
       result.stats.max_depth_reached =
           std::max(result.stats.max_depth_reached, ws.max_depth_reached);
       for (std::size_t i = 0; i < kOutcomeSlots; ++i) {
@@ -140,10 +208,10 @@ class FrontierEngine {
   /// are constructed in place inside `out` (a deduped child is popped right
   /// back off) and the final child steals the parent's model: expanding a
   /// node with k children costs k-1 model copies and no extra moves.
-  void expand_children(Frame&& frame, WorkerStats& ws, std::vector<Choice>& scratch,
+  void expand_children(Frame&& frame, WorkerStats& ws, Scratch& scratch,
                        std::vector<Frame>& out) {
-    frame.model.choices(scratch);
-    if (scratch.empty()) {
+    frame.model.choices(scratch.choices);
+    if (scratch.choices.empty()) {
       frame.model.finalize();
       if (!frame.model.violations().empty()) {
         record_violation(frame.path, nullptr, frame.model.violations());
@@ -155,21 +223,73 @@ class FrontierEngine {
       }
       return;
     }
-    if (frame.depth >= options_->max_depth) {
+    // DPOR: a sleeping choice's subtree is explored (modulo reorderings of
+    // independent choices) from an earlier sibling — skip it here.
+    const bool dpor = options_->dpor;
+    std::vector<Choice>* awake = &scratch.choices;
+    if (dpor && !frame.sleep.empty()) {
+      scratch.awake.clear();
+      for (const Choice& c : scratch.choices) {
+        bool sleeping = false;
+        for (const ChoiceFootprint& s : frame.sleep) {
+          if (s.choice == c) {
+            sleeping = true;
+            break;
+          }
+        }
+        if (!sleeping) scratch.awake.push_back(c);
+      }
+      if (scratch.awake.empty()) {
+        // Every enabled choice is asleep. This is neither quiescence nor a
+        // depth cap — just a fully redundant interleaving; the search stays
+        // complete.
+        ++ws.sleep_pruned;
+        return;
+      }
+      awake = &scratch.awake;
+    }
+    if (frame.depth >= depth_limit_) {
       ++ws.depth_capped;
       capped_.store(true, std::memory_order_relaxed);
       return;
     }
+    if (dpor) {
+      scratch.footprints.clear();
+      for (const Choice& c : *awake) {
+        scratch.footprints.push_back(frame.model.choice_footprint(c));
+      }
+      std::stable_sort(scratch.footprints.begin(), scratch.footprints.end(),
+                       footprint_order_less);
+    }
     const int child_depth = frame.depth + 1;
-    for (std::size_t i = scratch.size(); i > 0; --i) {
+    for (std::size_t i = awake->size(); i > 0; --i) {
       if (stop_.load(std::memory_order_relaxed)) return;
-      const Choice choice = scratch[i - 1];
+      // Footprints are the source of truth for DPOR: they carry their choice
+      // and were re-ordered by the orbit-stable sort above.
+      const Choice choice = dpor ? scratch.footprints[i - 1].choice : (*awake)[i - 1];
+      // Child sleep set, built before `choice` is applied (footprints refer
+      // to the parent state): inherited entries that commute with `choice`,
+      // plus every earlier awake sibling that commutes with `choice` — the
+      // sibling's subtree covers the reordered schedule.
+      SleepSet child_sleep;
+      if (dpor) {
+        const ChoiceFootprint& fp = scratch.footprints[i - 1];
+        for (const ChoiceFootprint& s : frame.sleep) {
+          if (!choices_dependent(s, fp)) child_sleep.push_back(s);
+        }
+        for (std::size_t j = 0; j + 1 < i; ++j) {
+          if (!choices_dependent(scratch.footprints[j], fp)) {
+            child_sleep.push_back(scratch.footprints[j]);
+          }
+        }
+      }
       if (i == 1) {
         out.emplace_back(std::move(frame.model), frame.path, child_depth);
       } else {
         out.emplace_back(frame.model, frame.path, child_depth);
       }
       Frame& child = out.back();
+      child.sleep = std::move(child_sleep);
       child.model.apply(choice);
       ++ws.states_explored;
       ws.max_depth_reached = std::max(ws.max_depth_reached, child_depth);
@@ -178,7 +298,7 @@ class FrontierEngine {
         out.pop_back();
         return;
       }
-      if (!visited_.insert(child.model.fingerprint())) {
+      if (!visited_.insert(dedup_key(child.model, child.sleep))) {
         ++ws.states_deduped;
         out.pop_back();
         continue;
@@ -193,11 +313,26 @@ class FrontierEngine {
     }
   }
 
+  /// Visited-set key. With symmetry reduction the state hash is the orbit
+  /// representative's; with DPOR the sleep set's commutative hash is mixed in
+  /// — revisiting a state with a *different* sleep set must re-explore it
+  /// (sleep sets + state caching is otherwise unsound: the first visit may
+  /// have skipped transitions the second visit still needs).
+  std::uint64_t dedup_key(const Model& model, const SleepSet& sleep) const {
+    std::uint64_t key =
+        options_->symmetry ? model.canonical_fingerprint() : model.fingerprint();
+    if (options_->dpor) {
+      const std::uint64_t s = sleep_hash(sleep);
+      key ^= s + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
+    }
+    return key;
+  }
+
   /// Single-threaded fast path: a plain vector as the DFS stack, no locks, no
   /// atomics on the hot path, frames expanded in depth-first preorder.
   void run_sequential(Frame&& root) {
     WorkerStats& ws = stats_[0];
-    std::vector<Choice> scratch;
+    Scratch scratch;
     std::vector<Frame> stack;
     stack.reserve(256);
     stack.push_back(std::move(root));
@@ -214,7 +349,7 @@ class FrontierEngine {
     const std::size_t target = static_cast<std::size_t>(threads) * 8;
     std::deque<Frame> frontier;
     frontier.push_back(std::move(root));
-    std::vector<Choice> scratch;
+    Scratch scratch;
     std::vector<Frame> buffer;
     while (!frontier.empty() && frontier.size() < target &&
            !stop_.load(std::memory_order_relaxed)) {
@@ -263,7 +398,7 @@ class FrontierEngine {
   void worker_loop(int worker) {
     WorkerStats& ws = stats_[static_cast<std::size_t>(worker)];
     WorkerQueue& own = queues_[static_cast<std::size_t>(worker)];
-    std::vector<Choice> scratch;
+    Scratch scratch;
     std::vector<Frame> buffer;
     while (!stop_.load(std::memory_order_relaxed) &&
            pending_.load(std::memory_order_acquire) != 0) {
@@ -315,6 +450,7 @@ class FrontierEngine {
   }
 
   const ExploreOptions* options_;
+  const int depth_limit_;  ///< max_depth, or INT_MAX when <= 0 (unbounded)
   util::ShardedFingerprintSet visited_;
   std::vector<WorkerQueue> queues_;
   std::vector<WorkerStats> stats_;
@@ -336,14 +472,14 @@ ExploreResult frontier_search(const Scenario& scenario, const ExploreOptions& op
   Model root = make_model(scenario, options);
   root.set_record_transitions(false);
   FrontierEngine engine(options, threads);
-  engine.visited().insert(root.fingerprint());
+  engine.insert_root(root);
   if (!root.violations().empty()) {
     Counterexample ce;
     for (const Violation& v : root.violations()) ce.violations.push_back(v.description);
     result.counterexample = std::move(ce);
     return result;
   }
-  engine.run(Frame{std::move(root), nullptr, 0}, threads);
+  engine.run(Frame{std::move(root), nullptr, 0, {}}, threads);
   engine.merge_into(result);
   return result;
 }

@@ -23,10 +23,31 @@
 // nondeterministic, but on a search that completes without hitting a budget
 // every unique state is still expanded exactly once, so the verdict and the
 // dedup-invariant totals (states_explored, states_deduped, runs_completed,
-// outcomes) are identical for any thread count; max_depth_reached and the
-// totals of budget-capped searches are not guaranteed. When violations are
-// found concurrently the canonically least schedule (shortest, then
-// lexicographic) among them is returned.
+// sleep_pruned, outcomes) are identical for any thread count;
+// max_depth_reached and the totals of budget-capped searches are not
+// guaranteed. When violations are found concurrently the canonically least
+// schedule (shortest, then lexicographic) among them is returned.
+//
+// Reductions (ExploreOptions::dpor / ::symmetry, frontier search only;
+// random walks ignore both):
+//
+//   * DPOR sleep sets — each Frame carries the choices whose subtrees an
+//     earlier sibling already covers up to reordering of independent choices
+//     (independence per check/model.hpp choices_dependent). Sleeping choices
+//     are skipped; a frame whose every enabled choice sleeps counts as
+//     sleep_pruned, not as quiescent or capped. The visited key mixes in a
+//     commutative hash of the sleep set: re-reaching a state under a
+//     different sleep set re-explores it, which is what keeps sleep sets
+//     sound in combination with state caching.
+//   * Symmetry — the visited key becomes Model::canonical_fingerprint(),
+//     one hash per orbit of same-role agent permutations. Thread-count
+//     independence survives because orbit-equivalent states generate
+//     orbit-equivalent children and the sleep hash is keyed by agent role,
+//     never by process id — whichever representative wins the dedup race,
+//     the closure of visited keys and all per-key counts are the same.
+//
+// Counterexamples are unaffected by either reduction: schedules are concrete
+// (kind, seq) lists recorded from the actual path, never canonicalized.
 #pragma once
 
 #include <cstdint>

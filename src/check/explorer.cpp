@@ -82,6 +82,8 @@ std::string to_json(const ScheduleFile& file) {
   json += std::string(", \"reorder\": ") + (file.options.reorder ? "true" : "false");
   json += std::string(", \"fault\": \"") + to_string(file.options.fault) + "\"";
   json += ", \"threads\": " + std::to_string(file.options.threads);
+  json += std::string(", \"dpor\": ") + (file.options.dpor ? "true" : "false");
+  json += std::string(", \"symmetry\": ") + (file.options.symmetry ? "true" : "false");
   json += ", \"fail_to_reset\": [";
   for (std::size_t i = 0; i < file.options.fail_to_reset.size(); ++i) {
     if (i != 0) json += ", ";
@@ -127,6 +129,10 @@ ScheduleFile schedule_from_json(const std::string& text) {
     file.options.dup_budget = number("dup_budget", file.options.dup_budget);
     file.options.threads = number("threads", file.options.threads);
     if (const Value* reorder = options->find("reorder")) file.options.reorder = reorder->boolean;
+    if (const Value* dpor = options->find("dpor")) file.options.dpor = dpor->boolean;
+    if (const Value* symmetry = options->find("symmetry")) {
+      file.options.symmetry = symmetry->boolean;
+    }
     if (const Value* fault = options->find("fault")) {
       file.options.fault = fault_from_string(fault->string);
     }

@@ -29,7 +29,10 @@
 namespace sa::check {
 
 struct ExploreOptions {
-  int max_depth = 80;              ///< choices per run (DFS recursion bound)
+  /// Choices per run (DFS recursion bound); <= 0 means unbounded — safe only
+  /// with the reductions or a state cap, since reorder/dup schedules branch
+  /// wide.
+  int max_depth = 80;
   std::size_t max_states = 200'000;  ///< distinct fingerprints before giving up
   int drop_budget = 0;
   int dup_budget = 0;
@@ -42,6 +45,20 @@ struct ExploreOptions {
   /// search that completes within its budgets the verdict and the
   /// dedup-invariant stats are identical for every thread count.
   int threads = 1;
+  /// Dynamic partial-order reduction (DFS only): per-frame sleep sets prune
+  /// schedules that only permute independent choices (see
+  /// check/model.hpp choices_dependent). Sound for all of P1-P5: every
+  /// Mazurkiewicz trace keeps at least one representative, and quiescent
+  /// leaves are never sleep-pruned, so the outcome counts of a complete
+  /// search are unchanged. Off by default to keep existing traces
+  /// byte-identical.
+  bool dpor = false;
+  /// Symmetry reduction (DFS only): deduplicate on
+  /// Model::canonical_fingerprint() instead of Model::fingerprint(), folding
+  /// states that differ only by a permutation of same-role agents or by the
+  /// creation-order interleaving of in-flight messages on distinct channels.
+  /// Counterexample schedules stay concrete (replay never canonicalizes).
+  bool symmetry = false;
 };
 
 struct ExploreStats {
@@ -49,6 +66,7 @@ struct ExploreStats {
   std::size_t states_deduped = 0;   ///< branches cut by fingerprint match
   std::size_t runs_completed = 0;   ///< quiescent leaves reached
   std::size_t depth_capped = 0;     ///< branches cut by max_depth
+  std::size_t sleep_pruned = 0;     ///< branches cut by DPOR sleep sets
   int max_depth_reached = 0;
   std::map<std::string, std::size_t> outcomes;  ///< outcome name -> leaf count
 };

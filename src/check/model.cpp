@@ -54,6 +54,25 @@ std::uint64_t message_fingerprint(const runtime::MessagePtr& message) {
 
 }  // namespace
 
+bool choices_dependent(const ChoiceFootprint& a, const ChoiceFootprint& b) {
+  if (a.choice.seq == b.choice.seq) return true;  // same message / same timer
+  if (a.entity != ChoiceFootprint::kEntityNone && a.entity == b.entity) return true;
+  // Drops share the drop budget, duplicates the dup budget: executing one can
+  // disable the other, so their order is never free.
+  if (a.kind == Choice::Kind::Drop && b.kind == Choice::Kind::Drop) return true;
+  if (a.kind == Choice::Kind::Duplicate && b.kind == Choice::Kind::Duplicate) return true;
+  // A duplicate appends a copy to the tail of its channel. So does the
+  // channel's producer core when it steps — swapping them reorders the FIFO.
+  const auto dup_races_producer = [](const ChoiceFootprint& dup, const ChoiceFootprint& other) {
+    if (dup.kind != Choice::Kind::Duplicate) return false;
+    const std::uint8_t producer =
+        dup.channel_to_manager ? dup.channel_agent : ChoiceFootprint::kEntityManager;
+    return other.entity == producer;
+  };
+  if (dup_races_producer(a, b) || dup_races_producer(b, a)) return true;
+  return false;
+}
+
 const char* to_string(Choice::Kind kind) {
   switch (kind) {
     case Choice::Kind::Deliver: return "deliver";
@@ -77,7 +96,18 @@ Model::Model(const Scenario& scenario, Limits limits, proto::ManagerFault fault)
       throw std::invalid_argument("Model: process ids must be < 64 (bitmask bookkeeping)");
     }
     manager_.register_agent(process, stage);
-    agents_.emplace_back(process, AgentEntity(scenario.agent_config));
+    AgentEntity entity(scenario.agent_config);
+    entity.stage = stage;
+    entity.role_fp = 0x100000001b3ULL;
+    mix(entity.role_fp, static_cast<std::uint64_t>(stage));
+    // Hosted components are part of the role: agents are interchangeable only
+    // if the manager would send them identical reset commands, and commands
+    // are derived from the component names on each process.
+    for (config::ComponentId id = 0; id < scenario.registry->size(); ++id) {
+      const config::ComponentInfo& info = scenario.registry->info(id);
+      if (info.process == process) mix_string(entity.role_fp, info.name);
+    }
+    agents_.emplace_back(process, std::move(entity));
   }
 }
 
@@ -93,7 +123,9 @@ const Model::AgentEntity& Model::agent_at(config::ProcessId process) const {
 }
 
 void Model::set_fail_to_reset(config::ProcessId process, bool fail) {
-  agent_at(process).core.set_fail_to_reset(fail);
+  AgentEntity& entity = agent_at(process);
+  entity.core.set_fail_to_reset(fail);
+  entity.fail_to_reset = fail;  // AgentCore::fingerprint skips config flags
 }
 
 void Model::start() {
@@ -448,6 +480,94 @@ std::uint64_t Model::fingerprint() const {
   // is a function of the manager core's own per-step state (involved set,
   // acks, resume flag), and completed steps can never influence future sends.
   return h;
+}
+
+std::uint64_t Model::canonical_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  manager_.fingerprint_shared(h);
+  mix(h, mgr_protocol_.armed);
+  mix(h, mgr_stage_.armed);
+  util::SmallVector<std::uint64_t, 8> subs;
+  for (const auto& [process, entity] : agents_) {
+    std::uint64_t sub = 0x9ae16a3b2f90404fULL;
+    mix(sub, entity.role_fp);
+    mix(sub, entity.fail_to_reset);
+    entity.core.fingerprint(sub);
+    mix(sub, entity.blocked);
+    mix(sub, entity.timer.armed);
+    // The agent's slice of the manager's per-process bookkeeping travels with
+    // the agent, not with the manager: a permutation of agents permutes these
+    // bits the same way it permutes core states, so the sorted representative
+    // stays consistent.
+    mix(sub, manager_.process_fingerprint(process));
+    // Both directed channels of this agent, in FIFO order. Hashing channels
+    // here (instead of the global creation-order walk fingerprint() does)
+    // also erases the interleaving of sends on *distinct* channels — already
+    // unobservable, since delivery order across channels is unconstrained.
+    std::uint64_t to_agent = 0xcbf29ce484222325ULL;
+    std::uint64_t to_manager = 0xcbf29ce484222325ULL;
+    for (const InFlight& m : in_flight_) {
+      if (m.agent != process) continue;
+      mix(m.to_manager ? to_manager : to_agent, m.msg_fp);
+    }
+    mix(sub, to_agent);
+    mix(sub, to_manager);
+    subs.push_back(sub);
+  }
+  std::sort(subs.begin(), subs.end());
+  for (const std::uint64_t sub : subs) mix(h, sub);
+  mix(h, static_cast<std::uint64_t>(drops_left_));
+  mix(h, static_cast<std::uint64_t>(dups_left_));
+  mix(h, outcome_.has_value());
+  return h;
+}
+
+ChoiceFootprint Model::choice_footprint(const Choice& choice) const {
+  ChoiceFootprint fp;
+  fp.choice = choice;
+  fp.kind = choice.kind;
+  if (choice.kind == Choice::Kind::Fire) {
+    // Timer slot classes: 0 = manager protocol, 1 = manager stage delay,
+    // 2 = agent retransmission timer (role distinguishes which kind of agent).
+    if (mgr_protocol_.armed && mgr_protocol_.seq == choice.seq) {
+      fp.entity = ChoiceFootprint::kEntityManager;
+      fp.content = 0;
+      fp.role = ChoiceFootprint::kManagerRole;
+      return fp;
+    }
+    if (mgr_stage_.armed && mgr_stage_.seq == choice.seq) {
+      fp.entity = ChoiceFootprint::kEntityManager;
+      fp.content = 1;
+      fp.role = ChoiceFootprint::kManagerRole;
+      return fp;
+    }
+    for (const auto& [process, entity] : agents_) {
+      if (entity.timer.armed && entity.timer.seq == choice.seq) {
+        fp.entity = static_cast<std::uint8_t>(process);
+        fp.content = 2;
+        fp.role = entity.role_fp;
+        return fp;
+      }
+    }
+    throw std::out_of_range("choice_footprint: no armed timer with seq " +
+                            std::to_string(choice.seq));
+  }
+  const auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+                               [&choice](const InFlight& m) { return m.seq == choice.seq; });
+  if (it == in_flight_.end()) {
+    throw std::out_of_range("choice_footprint: no in-flight message with seq " +
+                            std::to_string(choice.seq));
+  }
+  fp.channel_agent = static_cast<std::uint8_t>(it->agent);
+  fp.channel_to_manager = it->to_manager;
+  fp.content = it->msg_fp;
+  fp.role = agent_at(it->agent).role_fp;
+  if (choice.kind == Choice::Kind::Deliver) {
+    fp.entity = it->to_manager ? ChoiceFootprint::kEntityManager
+                               : static_cast<std::uint8_t>(it->agent);
+  }
+  // Drop / Duplicate step no core: entity stays kEntityNone.
+  return fp;
 }
 
 }  // namespace sa::check

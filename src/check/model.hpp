@@ -56,6 +56,43 @@ struct Choice {
 
 const char* to_string(Choice::Kind kind);
 
+/// Static footprint of one enabled choice: which core it steps and which
+/// directed manager<->agent channel it touches. This is the independence
+/// oracle the engine's DPOR sleep sets are computed from — two choices are
+/// dependent iff they step the same core, target the same message/timer, or
+/// would append to the same FIFO channel in a different order (see
+/// choices_dependent). Footprints are stable for the lifetime of the choice:
+/// an in-flight message never changes channel or receiver, an armed timer
+/// never changes owner, so a footprint computed when a choice goes to sleep
+/// stays valid in every descendant state.
+struct ChoiceFootprint {
+  static constexpr std::uint8_t kEntityNone = 0xff;     ///< pure network op
+  static constexpr std::uint8_t kEntityManager = 0xfe;  ///< the manager core
+  /// Role fingerprint used for orbit-stable sleep-set hashing when symmetry
+  /// reduction is active (the manager has no orbit; agents use their static
+  /// role fingerprint so interchangeable agents hash identically).
+  static constexpr std::uint64_t kManagerRole = 0x9ddfea08eb382d69ULL;
+
+  Choice choice;
+  Choice::Kind kind = Choice::Kind::Deliver;
+  std::uint8_t entity = kEntityNone;         ///< core stepped by the choice
+  std::uint8_t channel_agent = kEntityNone;  ///< agent endpoint of the channel
+  bool channel_to_manager = false;           ///< channel direction
+  std::uint64_t content = 0;  ///< structural message fp / timer slot class
+  std::uint64_t role = 0;     ///< role fp of the entity / channel agent
+};
+
+/// Conservative independence relation over co-enabled choices. Dependent iff:
+/// same seq (same message or timer), same core stepped (receiver for
+/// deliveries, owner for timer fires — a core's inputs must stay totally
+/// ordered), both drops or both duplicates (shared adversary budget), or a
+/// duplicate racing the producer of its channel (both append to the same
+/// FIFO tail, so their order is observable). Everything else commutes:
+/// deliveries on distinct channels, timer fires on distinct processes, and
+/// appends racing the consumption of an earlier message on the same channel
+/// (tail vs head of the queue). Symmetric.
+bool choices_dependent(const ChoiceFootprint& a, const ChoiceFootprint& b);
+
 struct Violation {
   std::string description;
 };
@@ -133,6 +170,21 @@ class Model {
   /// depends on them, so states differing only in time are equivalent.
   std::uint64_t fingerprint() const;
 
+  /// Symmetry-reduced variant of fingerprint(): hashes a canonical orbit
+  /// representative instead of the concrete state. Each agent contributes one
+  /// self-contained sub-fingerprint (static role + core state + blocked flag
+  /// + timer + its slice of the manager's per-process ack sets + both of its
+  /// directed channels' message sequences in FIFO order); the sub-fingerprints
+  /// are sorted before mixing, so states that differ only by a permutation of
+  /// same-role agents — or by the creation-order interleaving of messages on
+  /// distinct channels — hash identically. Used for deduplication only; never
+  /// for replay (counterexample schedules stay concrete).
+  std::uint64_t canonical_fingerprint() const;
+
+  /// Footprint of one currently enabled choice, for the DPOR independence
+  /// relation. Throws std::out_of_range on a stale seq.
+  ChoiceFootprint choice_footprint(const Choice& choice) const;
+
  private:
   struct InFlight {
     bool to_manager = false;          ///< direction; `agent` is the other endpoint
@@ -156,6 +208,13 @@ class Model {
     proto::AgentCore core;
     TimerSlot timer;
     bool blocked = false;  ///< virtual process state (P4)
+    int stage = 0;         ///< reset stage (static role data)
+    /// Hash of the agent's static role: reset stage plus the names of the
+    /// components hosted on its process. Two agents are interchangeable for
+    /// symmetry reduction only if their roles match; also keys the orbit-
+    /// stable sleep-set hash (see engine.cpp).
+    std::uint64_t role_fp = 0;
+    bool fail_to_reset = false;  ///< mirrors AgentCore fault injection
     explicit AgentEntity(proto::AgentConfig config) : core(config) {}
   };
 

@@ -34,6 +34,11 @@ class RleCompressFilter final : public Filter {
     return packet;
   }
 
+  /// Native batched path: encodes straight into arena storage (worst case
+  /// 2x the input for alternating bytes) and rebinds — no owning Payload
+  /// vector, no per-packet Packet materialization.
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override;
+
   /// Observed compression ratio (output/input); > 1 means expansion.
   double ratio() const {
     return bytes_in_ == 0 ? 1.0
@@ -72,6 +77,12 @@ class RleDecompressFilter final : public Filter {
     note_processed();
     return packet;
   }
+
+  /// Native batched path: validates and sizes the output in one scan of the
+  /// (count, byte) pairs, decodes into arena storage, rebinds. Bypass
+  /// forwards the same ref untouched; malformed payloads are dropped (not
+  /// emitted), exactly like the per-packet path.
+  void process_span(std::span<PacketRef> batch, PacketSink& sink) override;
 };
 
 }  // namespace sa::components

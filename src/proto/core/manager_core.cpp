@@ -570,4 +570,57 @@ void ManagerCore::fingerprint(std::uint64_t& h) const {
   mix(h, static_cast<std::uint64_t>(stage_delay_stage_));
 }
 
+void ManagerCore::fingerprint_shared(std::uint64_t& h) const {
+  mix(h, static_cast<std::uint64_t>(phase_));
+  mix(h, request_id_);
+  mix(h, current_.bits());
+  mix(h, source_.bits());
+  mix(h, target_.bits());
+  mix(h, returning_to_source_ ? 1 : 0);
+  mix(h, alternatives_tried_);
+  mix(h, plan_number_);
+  mix(h, plan_counter_);
+  mix(h, step_index_);
+  mix(h, step_attempt_);
+  for (const actions::PlanStep& s : plan_.steps) {
+    mix(h, s.action);
+    mix(h, s.to.bits());
+  }
+  // Per-process membership (involved/drain/acked sets) is deliberately left
+  // out — it is folded into each agent's orbit sub-fingerprint via
+  // process_fingerprint(), so states that differ only by a permutation of
+  // interchangeable agents hash identically. Cardinalities stay here: they
+  // are permutation-invariant and cheap insurance against orbit collisions.
+  mix(h, involved_.size());
+  mix(h, drain_set_.size());
+  mix(h, static_cast<std::uint64_t>(current_stage_));
+  mix(h, static_cast<std::uint64_t>(min_stage_));
+  mix(h, reset_acked_.size());
+  mix(h, adapt_acked_.size());
+  mix(h, resume_acked_.size());
+  mix(h, rollback_acked_.size());
+  mix(h, resume_sent_ ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(retries_left_));
+  mix(h, protocol_timer_armed_ ? 1 : 0);
+  if (protocol_timer_armed_) mix_str(h, protocol_timer_label_);
+  mix(h, stage_delay_armed_ ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(stage_delay_stage_));
+}
+
+std::uint64_t ManagerCore::process_fingerprint(config::ProcessId process) const {
+  std::uint64_t bits = 0;
+  for (const config::ProcessId p : involved_) {
+    if (p == process) {
+      bits |= 1U;
+      break;
+    }
+  }
+  if (drain_set_.contains(process)) bits |= 1U << 1;
+  if (reset_acked_.contains(process)) bits |= 1U << 2;
+  if (adapt_acked_.contains(process)) bits |= 1U << 3;
+  if (resume_acked_.contains(process)) bits |= 1U << 4;
+  if (rollback_acked_.contains(process)) bits |= 1U << 5;
+  return bits;
+}
+
 }  // namespace sa::proto

@@ -91,6 +91,16 @@ class ManagerCore {
   /// explorer's hashed-state deduplication key.
   void fingerprint(std::uint64_t& h) const;
 
+  /// Symmetry-aware split of fingerprint(): fingerprint_shared() mixes every
+  /// field NOT keyed by a process id (per-process set memberships contribute
+  /// only their cardinalities), and process_fingerprint() packs the
+  /// membership bits of one process (involved / drain / reset-acked /
+  /// adapt-acked / resume-acked / rollback-acked). The explorer folds the
+  /// latter into per-agent orbit sub-fingerprints so states differing only by
+  /// a permutation of interchangeable agents canonicalize identically.
+  void fingerprint_shared(std::uint64_t& h) const;
+  std::uint64_t process_fingerprint(config::ProcessId process) const;
+
   /// Test-only: injects a deliberate protocol bug (see ManagerFault).
   void inject_fault(ManagerFault fault) { fault_ = fault; }
 

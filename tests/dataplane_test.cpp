@@ -11,6 +11,7 @@
 #include "components/fec.hpp"
 #include "components/filter.hpp"
 #include "components/filter_chain.hpp"
+#include "components/rle.hpp"
 #include "crypto/codec_filters.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -315,6 +316,142 @@ TEST(DesSpan, Ede128RoundTripAndMismatchedDecoderBypasses) {
   right.process_span(bypassed, right_sink);
   ASSERT_EQ(decoded.size(), 1U);
   EXPECT_TRUE(decoded[0].intact());
+}
+
+// --- RLE codecs in the arena --------------------------------------------------
+
+Payload run_structured_payload(std::size_t runs, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Payload payload;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto byte = static_cast<std::uint8_t>(rng.next_u64());
+    const std::size_t len = 1 + rng.next_u64() % 300;  // some runs exceed 255
+    payload.insert(payload.end(), len, byte);
+  }
+  return payload;
+}
+
+TEST(RleSpan, CompressMatchesPerPacketPathExactly) {
+  RleCompressFilter span_enc("a");
+  RleCompressFilter legacy_enc("b");
+
+  PacketArena arena;
+  std::vector<PacketRef> batch;
+  std::vector<Packet> legacy_out;
+  for (int i = 0; i < 8; ++i) {
+    // Mix compressible (run-structured) and expanding (random) payloads.
+    const Payload payload =
+        i % 2 == 0 ? run_structured_payload(6, 40 + i) : random_payload(120, 40 + i);
+    batch.push_back(arena.make(5, i, payload));
+    legacy_out.push_back(*legacy_enc.process(Packet::make(5, i, payload)));
+  }
+  std::vector<PacketRef> span_out;
+  VectorSink sink(arena, span_out);
+  span_enc.process_span(batch, sink);
+
+  ASSERT_EQ(span_out.size(), legacy_out.size());
+  for (std::size_t i = 0; i < span_out.size(); ++i) {
+    const Packet from_span = span_out[i].to_packet();
+    EXPECT_EQ(from_span.sequence, legacy_out[i].sequence) << i;
+    EXPECT_EQ(from_span.payload, legacy_out[i].payload) << i;
+    EXPECT_EQ(from_span.encoding_stack, legacy_out[i].encoding_stack) << i;
+  }
+  EXPECT_EQ(span_enc.stats().processed, legacy_enc.stats().processed);
+  EXPECT_DOUBLE_EQ(span_enc.ratio(), legacy_enc.ratio());
+}
+
+TEST(RleSpan, DecompressMatchesPerPacketPathIncludingBypassAndDrop) {
+  RleCompressFilter enc("e");
+  RleDecompressFilter span_dec("a");
+  RleDecompressFilter legacy_dec("b");
+
+  PacketArena arena;
+  std::vector<PacketRef> wire;
+  std::vector<Packet> legacy_in;
+
+  // Two well-formed encoded packets.
+  for (int i = 0; i < 2; ++i) {
+    const Payload payload = run_structured_payload(4, 90 + i);
+    wire.push_back(arena.make(7, i, payload));
+    legacy_in.push_back(Packet::make(7, i, payload));
+  }
+  std::vector<PacketRef> encoded;
+  VectorSink enc_sink(arena, encoded);
+  enc.process_span(wire, enc_sink);
+  for (Packet& p : legacy_in) p = *enc.process(std::move(p));
+
+  // One untagged packet (bypass) and two malformed tagged ones (drop):
+  // odd length, and a zero run count.
+  encoded.push_back(arena.make(7, 2, random_payload(33, 92)));
+  legacy_in.push_back(Packet::make(7, 2, encoded.back().to_packet().payload));
+
+  const Payload odd{1, 7, 9};
+  encoded.push_back(arena.make(7, 3, odd));
+  encoded.back().tags().push_back(kTagRle);
+  legacy_in.push_back(Packet::make(7, 3, odd));
+  legacy_in.back().encoding_stack.emplace_back(kTagRle);
+
+  const Payload zero_count{0, 42};
+  encoded.push_back(arena.make(7, 4, zero_count));
+  encoded.back().tags().push_back(kTagRle);
+  legacy_in.push_back(Packet::make(7, 4, zero_count));
+  legacy_in.back().encoding_stack.emplace_back(kTagRle);
+
+  std::vector<PacketRef> span_out;
+  VectorSink dec_sink(arena, span_out);
+  span_dec.process_span(encoded, dec_sink);
+
+  std::vector<Packet> legacy_out;
+  for (Packet& p : legacy_in) {
+    if (auto result = legacy_dec.process(std::move(p))) legacy_out.push_back(std::move(*result));
+  }
+
+  ASSERT_EQ(span_out.size(), legacy_out.size());
+  for (std::size_t i = 0; i < span_out.size(); ++i) {
+    const Packet from_span = span_out[i].to_packet();
+    EXPECT_EQ(from_span.sequence, legacy_out[i].sequence) << i;
+    EXPECT_EQ(from_span.payload, legacy_out[i].payload) << i;
+    EXPECT_EQ(from_span.encoding_stack, legacy_out[i].encoding_stack) << i;
+    EXPECT_TRUE(span_out[i].intact()) << i;
+  }
+  EXPECT_EQ(span_dec.stats().processed, legacy_dec.stats().processed);
+  EXPECT_EQ(span_dec.stats().bypassed, legacy_dec.stats().bypassed);
+  EXPECT_EQ(span_dec.stats().dropped, legacy_dec.stats().dropped);
+  EXPECT_EQ(span_dec.stats().dropped, 2U);
+}
+
+TEST(RleSpan, BypassForwardsSameBufferAndRoundTripRecoversInput) {
+  PacketArena arena;
+  RleCompressFilter enc("E");
+  RleDecompressFilter dec("D");
+
+  const Payload original = run_structured_payload(10, 77);
+  std::vector<PacketRef> batch{arena.make(9, 0, original)};
+
+  std::vector<PacketRef> encoded;
+  VectorSink enc_sink(arena, encoded);
+  enc.process_span(batch, enc_sink);
+  ASSERT_EQ(encoded.size(), 1U);
+  EXPECT_EQ(encoded[0].tags(), (std::vector<std::string>{"rle"}));
+
+  std::vector<PacketRef> decoded;
+  VectorSink dec_sink(arena, decoded);
+  dec.process_span(encoded, dec_sink);
+  ASSERT_EQ(decoded.size(), 1U);
+  EXPECT_TRUE(decoded[0].tags().empty());
+  EXPECT_TRUE(decoded[0].intact());
+  ASSERT_EQ(decoded[0].size(), original.size());
+  EXPECT_TRUE(std::equal(original.begin(), original.end(), decoded[0].data()));
+
+  // Untagged input bypasses with the exact same buffer — zero copies.
+  std::vector<PacketRef> plain{arena.make(9, 1, original)};
+  const std::uint8_t* before = plain[0].data();
+  std::vector<PacketRef> forwarded;
+  VectorSink fwd_sink(arena, forwarded);
+  dec.process_span(plain, fwd_sink);
+  ASSERT_EQ(forwarded.size(), 1U);
+  EXPECT_EQ(forwarded[0].data(), before);
+  EXPECT_EQ(dec.stats().bypassed, 1U);
 }
 
 // --- FilterChain::process_batch -----------------------------------------------

@@ -7,6 +7,7 @@
 // a replayable counterexample schedule as JSON.
 //
 //   sa_check --scenario tiny --mode dfs --depth 200          # exhaustive
+//   sa_check --scenario pair --dpor --symmetry --depth 0     # reduced, unbounded
 //   sa_check --scenario paper --depth 24 --drops 1           # bounded
 //   sa_check --scenario pair --fault resume-early --json-out ce.json
 //   sa_check --replay ce.json                                # reproduce
@@ -35,7 +36,7 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [options]\n"
       << "  --scenario tiny|pair|paper   protocol instance to check (default tiny)\n"
       << "  --mode dfs|random            search strategy (default dfs)\n"
-      << "  --depth N                    max choices per run (default 80)\n"
+      << "  --depth N                    max choices per run (default 80; 0 = unbounded)\n"
       << "  --max-states N               DFS state budget (default 200000)\n"
       << "  --runs N                     random walks (default 200, random mode)\n"
       << "  --seed S                     base seed for random walks (default 1)\n"
@@ -43,6 +44,9 @@ int usage(const char* argv0) {
       << "  --dups N                     adversary duplication budget (default 0)\n"
       << "  --threads N                  search worker threads (default 1; 0 = all cores)\n"
       << "  --reorder                    allow cross-message reordering per channel\n"
+      << "  --dpor / --no-dpor           partial-order reduction via sleep sets (default off)\n"
+      << "  --symmetry / --no-symmetry   dedup on the agent-orbit canonical fingerprint\n"
+      << "                               (default off; replay always stays concrete)\n"
       << "  --fault NAME                 inject a manager mutation (none |\n"
       << "                               resume-before-last-adapt-done | rollback-after-resume)\n"
       << "  --fail-process P             agent on P never reaches its safe state\n"
@@ -57,6 +61,7 @@ void print_stats(const sa::check::ExploreResult& result) {
             << "states deduped:    " << stats.states_deduped << "\n"
             << "runs completed:    " << stats.runs_completed << "\n"
             << "depth-capped runs: " << stats.depth_capped << "\n"
+            << "sleep-pruned:      " << stats.sleep_pruned << "\n"
             << "max depth reached: " << stats.max_depth_reached << "\n"
             << "exhaustive:        " << (result.complete ? "yes" : "no (bounded)") << "\n";
   for (const auto& [outcome, count] : stats.outcomes) {
@@ -168,6 +173,14 @@ int main(int argc, char** argv) {
         options.threads = std::stoi(value());
       } else if (arg == "--reorder") {
         options.reorder = true;
+      } else if (arg == "--dpor") {
+        options.dpor = true;
+      } else if (arg == "--no-dpor") {
+        options.dpor = false;
+      } else if (arg == "--symmetry") {
+        options.symmetry = true;
+      } else if (arg == "--no-symmetry") {
+        options.symmetry = false;
       } else if (arg == "--fault") {
         options.fault = sa::check::fault_from_string(value());
       } else if (arg == "--fail-process") {
