@@ -208,13 +208,18 @@ void XorFecDecoderFilter::absorb_parity(GroupState& group, std::size_t k,
   group.parity_stack = residue;
 }
 
-std::optional<Packet> XorFecDecoderFilter::try_reconstruct(std::uint64_t group_id,
-                                                           GroupState& group) {
-  if (!group.parity_seen || group.expected == 0) return std::nullopt;
+bool XorFecDecoderFilter::reconstruction_due(std::uint64_t group_id, GroupState& group) {
+  if (!group.parity_seen || group.expected == 0) return false;
   if (group.received + 1 != group.expected) {
     if (group.received >= group.expected) groups_.erase(group_id);  // complete, nothing to do
-    return std::nullopt;
+    return false;
   }
+  return true;
+}
+
+std::optional<Packet> XorFecDecoderFilter::try_reconstruct(std::uint64_t group_id,
+                                                           GroupState& group) {
+  if (!reconstruction_due(group_id, group)) return std::nullopt;
   // Exactly one data packet missing: XOR of parity fields with the received
   // packets' fields yields the lost packet verbatim.
   Packet rebuilt;
@@ -231,6 +236,38 @@ std::optional<Packet> XorFecDecoderFilter::try_reconstruct(std::uint64_t group_i
   payload.resize(length);
   rebuilt.payload = std::move(payload);
   rebuilt.encoding_stack = group.parity_stack;  // the group's common residue
+  ++recovered_;
+  groups_.erase(group_id);
+  return rebuilt;
+}
+
+PacketRef XorFecDecoderFilter::try_reconstruct_into(std::uint64_t group_id,
+                                                    GroupState& group,
+                                                    std::uint64_t stream_id,
+                                                    PacketArena& arena) {
+  if (!reconstruction_due(group_id, group)) return {};
+  const std::uint32_t length = group.parity_length_xor ^ group.length_xor;
+  const std::size_t known =
+      std::max(group.parity_payload_xor.size(), group.payload_xor.size());
+  if (length > known) {
+    SA_WARN("fec") << name() << ": inconsistent parity for group " << group_id;
+    groups_.erase(group_id);
+    return {};
+  }
+  // XOR the missing packet straight into a fresh arena buffer: the accumulated
+  // vectors may be shorter than `length` (XOR padding), so missing positions
+  // contribute zero.
+  PacketRef rebuilt =
+      arena.make_blank(stream_id, group.parity_seq_xor ^ group.seq_xor, length);
+  std::uint8_t* out = rebuilt.data();
+  for (std::uint32_t i = 0; i < length; ++i) {
+    const std::uint8_t parity =
+        i < group.parity_payload_xor.size() ? group.parity_payload_xor[i] : 0;
+    const std::uint8_t data = i < group.payload_xor.size() ? group.payload_xor[i] : 0;
+    out[i] = parity ^ data;
+  }
+  rebuilt.set_plaintext_checksum(group.parity_checksum_xor ^ group.checksum_xor);
+  rebuilt.tags() = group.parity_stack;  // the group's common residue
   ++recovered_;
   groups_.erase(group_id);
   return rebuilt;
@@ -299,10 +336,9 @@ void XorFecDecoderFilter::process_span(std::span<PacketRef> batch, PacketSink& s
       absorb_data(group, ref.sequence(), ref.plaintext_checksum(), ref.payload());
       note_processed();
       sink.emit(ref);  // data packet forwarded zero-copy
-      if (auto rebuilt = try_reconstruct(*data, group)) {
-        rebuilt->stream_id = ref.stream_id();
-        sink.emit(sink.arena().adopt(*rebuilt));
-      }
+      const PacketRef rebuilt =
+          try_reconstruct_into(*data, group, ref.stream_id(), sink.arena());
+      if (rebuilt.valid()) sink.emit(rebuilt);
       prune();
       continue;
     }
@@ -318,10 +354,9 @@ void XorFecDecoderFilter::process_span(std::span<PacketRef> batch, PacketSink& s
       residue.pop_back();
       absorb_parity(group, k, ref.plaintext_checksum(), ref.payload(), residue);
       note_processed();
-      if (auto rebuilt = try_reconstruct(group_id, group)) {
-        rebuilt->stream_id = ref.stream_id();
-        sink.emit(sink.arena().adopt(*rebuilt));
-      }
+      const PacketRef rebuilt =
+          try_reconstruct_into(group_id, group, ref.stream_id(), sink.arena());
+      if (rebuilt.valid()) sink.emit(rebuilt);
       prune();
       continue;  // parity itself is always absorbed
     }

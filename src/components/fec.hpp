@@ -75,8 +75,9 @@ class XorFecDecoderFilter final : public Filter {
   std::vector<Packet> process_all(Packet packet) override;
 
   /// Batched path: data packets pop their tag in place and forward zero-copy;
-  /// parity packets are absorbed; reconstructed packets are emitted into the
-  /// sink's arena right where the per-packet path would emit them.
+  /// parity packets are absorbed; reconstructed packets are built DIRECTLY in
+  /// the sink's arena (no owning-Packet intermediary, no adopt() copy) and
+  /// emitted right where the per-packet path would emit them.
   void process_span(std::span<PacketRef> batch, PacketSink& sink) override;
 
   std::uint64_t recovered() const { return recovered_; }
@@ -107,7 +108,14 @@ class XorFecDecoderFilter final : public Filter {
                    std::span<const std::uint8_t> payload);
   void absorb_parity(GroupState& group, std::size_t k, std::uint64_t checksum,
                      std::span<const std::uint8_t> payload, TagStack residue);
+  /// True when the group has its parity and is missing exactly one data
+  /// packet; erases groups that completed with nothing to repair.
+  bool reconstruction_due(std::uint64_t group_id, GroupState& group);
   std::optional<Packet> try_reconstruct(std::uint64_t group_id, GroupState& group);
+  /// Batched-path variant: XORs the missing packet straight into a fresh
+  /// arena buffer. Returns an invalid ref when no reconstruction is due.
+  PacketRef try_reconstruct_into(std::uint64_t group_id, GroupState& group,
+                                 std::uint64_t stream_id, PacketArena& arena);
   void prune();
 
   std::map<std::uint64_t, GroupState> groups_;

@@ -12,6 +12,7 @@
 #include "check/explorer.hpp"  // fault_from_string / to_string(ManagerFault)
 #include "core/composite.hpp"
 #include "core/paper_scenario.hpp"
+#include "core/supervisor.hpp"
 #include "core/system.hpp"
 #include "core/video_testbed.hpp"
 #include "inject/faulty_runtime.hpp"
@@ -261,6 +262,117 @@ RunResult run_paper(std::uint64_t seed, const FaultPlan& plan, const CampaignOpt
 
   check_oracles(system, frt, source, target, result, out.violations);
   capture_tail(system.tracer(), out);
+  return out;
+}
+
+/// Socket backend: the same seed -> plan -> run -> oracles contract, but the
+/// run is core::run_distributed_paper — real OS processes over loopback
+/// sockets. Crash windows become the supervisor's kill -9 / re-exec; every
+/// other window is armed in-transport by the nodes themselves. The oracles
+/// mirror check_oracles over the supervisor's report and merged wall-clock
+/// trace; metrics-mismatch does not apply (there is no cross-process obs
+/// registry to compare against), and infra failures surface as the
+/// "supervisor:" violation class.
+RunResult run_socket_paper(std::uint64_t seed, const FaultPlan& plan,
+                           const CampaignOptions& options) {
+  core::DistributedOptions dopt;
+  dopt.seed = seed;
+  dopt.sa_node = options.sa_node;
+  if (options.fault != proto::ManagerFault::None) {
+    dopt.manager_fault = check::to_string(options.fault);
+  }
+  FaultPlan node_plan;
+  for (const FaultEvent& event : plan.events) {
+    if (event.kind == FaultKind::Crash) {
+      dopt.crashes.push_back(core::CrashWindow{
+          event.start, event.end,
+          core::distributed_paper_nodes()[static_cast<std::size_t>(event.process) + 1]});
+    } else {
+      node_plan.events.push_back(event);
+    }
+  }
+  if (!node_plan.events.empty()) dopt.plan_json = to_json(node_plan);
+  dopt.max_wait = runtime::seconds(30);
+
+  const core::DistributedReport report = core::run_distributed_paper(dopt);
+
+  RunResult out;
+  out.outcome = report.outcome.empty() ? "did-not-terminate" : report.outcome;
+  const auto violate = [&out](const std::string& what) { out.violations.push_back(what); };
+  for (const std::string& error : report.infra_errors) violate(error);
+
+  const core::PaperScenario scenario = core::make_paper_scenario();
+  const auto& registry = *scenario.registry;
+  const config::Configuration source = scenario.source;
+  const config::Configuration target = scenario.target;
+
+  if (report.outcome.empty()) {
+    violate("non-termination: the distributed manager never reported an outcome");
+  } else {
+    const config::Configuration resting(report.final_config_bits);
+
+    // -- the system rests only in safe configurations -------------------------
+    if (!scenario.invariants->satisfied(resting)) {
+      violate("unsafe-rest: terminal configuration " + resting.describe(registry) +
+              " violates an invariant");
+    }
+
+    // -- terminal outcome in the §4.4 legal set -------------------------------
+    if (report.outcome == "did-not-terminate") {
+      violate("non-termination: the adaptation did not terminate within the real-time cap");
+    } else if (report.outcome == proto::to_string(proto::AdaptationOutcome::Success)) {
+      if (!(resting == target)) {
+        violate("illegal-outcome: success but final configuration is " +
+                resting.describe(registry) + ", not the target");
+      }
+      for (const auto& [name, state] : report.agent_states) {
+        if (state != "running") {
+          violate("illegal-outcome: success but agent " + name + " is " + state);
+        }
+      }
+    } else if (report.outcome == proto::to_string(proto::AdaptationOutcome::NoPathFound) ||
+               report.outcome ==
+                   proto::to_string(proto::AdaptationOutcome::RolledBackToSource)) {
+      if (!(resting == source)) {
+        violate("illegal-outcome: " + report.outcome + " but final configuration is " +
+                resting.describe(registry) + ", not the source");
+      }
+    }
+
+    // -- committed step log replays from source to the terminal config --------
+    config::Configuration replayed = source;
+    bool replay_ok = true;
+    for (const std::string& name : report.committed_actions) {
+      const auto id = scenario.actions->find(name);
+      if (!id) {
+        violate("step-replay: committed step names unknown action " + name);
+        replay_ok = false;
+        break;
+      }
+      const actions::AdaptiveAction& action = scenario.actions->action(*id);
+      if (!action.applicable_to(replayed)) {
+        violate("step-replay: committed action " + name + " is not applicable to " +
+                replayed.describe(registry));
+        replay_ok = false;
+        break;
+      }
+      replayed = action.apply(replayed);
+      if (!scenario.invariants->satisfied(replayed)) {
+        violate("step-replay: committed action " + name +
+                " passes through unsafe configuration " + replayed.describe(registry));
+      }
+    }
+    if (replay_ok && !(replayed == resting)) {
+      violate("step-replay: committed steps replay to " + replayed.describe(registry) +
+              " but the manager reported " + resting.describe(registry));
+    }
+  }
+
+  // -- merged cross-process trace conforms to the Fig. 1 / Fig. 2 automata ----
+  const proto::ConformanceChecker checker(runtime::NodeId{0});
+  for (const proto::ConformanceViolation& v : checker.check(report.merged_trace)) {
+    violate("conformance: " + v.description);
+  }
   return out;
 }
 
@@ -528,9 +640,31 @@ FaultPlan plan_for_seed(const std::string& scenario, std::uint64_t seed) {
   return generate_plan(rng, shape);
 }
 
+FaultPlan socket_plan_for_seed(std::uint64_t seed) {
+  util::Rng rng(seed ^ kPlanStream);
+  PlanShape shape;
+  shape.processes = paper_processes();
+  // Wall-clock windows on real processes: the horizon covers the manager's
+  // settle delay plus the adaptation itself, and "permanent" windows cap at
+  // 2s — enough to outlast a phase's retransmission budget without turning a
+  // CI campaign into minutes of sleeping.
+  shape.horizon = runtime::ms(300);
+  shape.max_window = runtime::seconds(2);
+  return generate_plan(rng, shape);
+}
+
 RunResult run_one(const std::string& scenario, std::uint64_t seed, const FaultPlan& plan,
                   const CampaignOptions& options) {
   validate(plan);
+  if (options.backend == "socket") {
+    if (scenario != "paper") {
+      throw std::invalid_argument("socket backend supports the paper scenario only");
+    }
+    return run_socket_paper(seed, plan, options);
+  }
+  if (options.backend != "sim") {
+    throw std::invalid_argument("unknown campaign backend: " + options.backend);
+  }
   if (scenario == "paper") return run_paper(seed, plan, options, core::PaperActionSet::All);
   if (scenario == "paper-combined") {
     // Pair/triple Table-2 actions span processes, so steps have >= 2 involved
@@ -597,9 +731,12 @@ CampaignSummary run_campaign(const CampaignOptions& options) {
       const std::uint64_t seed = options.seed_begin + index;
       RunReport& report = reports[index];
       report.seed = seed;
-      report.plan = plan_for_seed(options.scenario, seed);
+      report.plan = options.backend == "socket" ? socket_plan_for_seed(seed)
+                                                : plan_for_seed(options.scenario, seed);
       RunResult result = run_one(options.scenario, seed, report.plan, options);
-      if (!result.violations.empty() && options.shrink) {
+      // Socket runs are real-time and not byte-deterministic, so a shrink
+      // search would chase a moving target; keep the generated plan.
+      if (!result.violations.empty() && options.shrink && options.backend != "socket") {
         report.plan =
             shrink_plan(options.scenario, seed, report.plan, options, result.violations);
         result = run_one(options.scenario, seed, report.plan, options);
@@ -634,6 +771,7 @@ std::string to_json(const FuzzArtifact& artifact) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"scenario\": \"" << obs::json_escape(artifact.scenario) << "\",\n";
+  out << "  \"backend\": \"" << obs::json_escape(artifact.backend) << "\",\n";
   out << "  \"seed\": " << artifact.seed << ",\n";
   out << "  \"fault\": \"" << check::to_string(artifact.fault) << "\",\n";
   out << "  \"max_events\": " << artifact.max_events << ",\n";
@@ -662,6 +800,7 @@ FuzzArtifact artifact_from_json(const std::string& text) {
   };
   FuzzArtifact artifact;
   artifact.scenario = require("scenario").string;
+  if (const Value* backend = root.find("backend")) artifact.backend = backend->string;
   artifact.seed = static_cast<std::uint64_t>(require("seed").number);
   if (const Value* fault = root.find("fault")) {
     artifact.fault = check::fault_from_string(fault->string);

@@ -45,6 +45,18 @@ namespace sa::inject {
 
 struct CampaignOptions {
   std::string scenario = "paper";  ///< "paper" (stub processes) | "video" (Fig. 3 testbed)
+  /// "sim" runs the scenario in-process on SimRuntime behind the fault
+  /// decorators; "socket" (scenario "paper" only) runs it as real OS
+  /// processes over SocketTransport via core::run_distributed_paper — Crash
+  /// events become real kill -9 + re-exec, partitions become in-transport
+  /// drops, and the oracles run over the supervisor's merged report. Socket
+  /// runs are real-time and not byte-deterministic, so shrinking is skipped
+  /// and the metrics-mismatch oracle (which needs the in-process obs
+  /// registry) does not apply.
+  std::string backend = "sim";
+  /// Socket backend: path to the sa_node binary (empty = discover next to
+  /// the calling executable / $SA_NODE).
+  std::string sa_node;
   std::uint64_t seed_begin = 0;
   std::uint64_t seed_end = 16;  ///< exclusive
   std::size_t threads = 1;
@@ -86,6 +98,12 @@ struct CampaignSummary {
 /// plan; independent of the Rng streams used inside the run itself).
 FaultPlan plan_for_seed(const std::string& scenario, std::uint64_t seed);
 
+/// Socket-backend variant: same deterministic seed -> plan expansion, but
+/// every window is wall-clock time on real processes, so horizons stay short
+/// and "permanent" windows cap at a couple of seconds — long enough to beat
+/// the retry budget, short enough for a CI campaign.
+FaultPlan socket_plan_for_seed(std::uint64_t seed);
+
 /// Builds the scenario on a fresh SimRuntime(seed) behind the fault
 /// decorators, applies `plan`, drives the adaptation to termination, and runs
 /// every oracle. Pure: depends only on the arguments.
@@ -108,6 +126,7 @@ CampaignSummary run_campaign(const CampaignOptions& options);
 /// --replay needs plus the violations it must reproduce byte-for-byte.
 struct FuzzArtifact {
   std::string scenario;
+  std::string backend = "sim";  ///< "sim" | "socket"
   std::uint64_t seed = 0;
   proto::ManagerFault fault = proto::ManagerFault::None;
   std::size_t max_events = 2'000'000;

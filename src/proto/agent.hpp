@@ -65,6 +65,18 @@ class AdaptationAgent {
     core_.set_fail_to_reset(fail);
   }
 
+  /// §4.4 crash-recovery journal support (distributed backend): the step the
+  /// agent last resumed to completion, and the restore used by a re-exec'd
+  /// agent to seed its idempotent re-ack bookkeeping from disk.
+  std::optional<StepRef> last_completed() const {
+    std::lock_guard lock(mutex_);
+    return core_.last_completed();
+  }
+  void restore_recovery(std::optional<StepRef> last_completed, runtime::Time total_blocked) {
+    std::lock_guard lock(mutex_);
+    core_.restore_recovery(std::move(last_completed), total_blocked);
+  }
+
   /// Wires the observability layer in: Fig. 1 state transitions and the
   /// agent's pre/in/resume action timers flow into `recorder` (when enabled),
   /// duplicate-message counters into `metrics`. `track` identifies this

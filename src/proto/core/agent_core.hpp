@@ -47,6 +47,20 @@ class AgentCore {
 
   void set_fail_to_reset(bool fail) { config_.fail_to_reset = fail; }
 
+  /// The step most recently resumed to completion — the key of the
+  /// idempotent re-ack bookkeeping, exposed so a distributed agent can
+  /// journal it (§4.4 crash recovery).
+  const std::optional<StepRef>& last_completed() const { return last_completed_; }
+
+  /// §4.4 crash recovery: a re-exec'd agent restores the journaled
+  /// re-ack key and blocked-time tally before processing any input, so a
+  /// retransmitted Resume for an already-completed step is re-acked instead
+  /// of re-executed. Only meaningful on a freshly constructed (Running) core.
+  void restore_recovery(std::optional<StepRef> last_completed, runtime::Time total_blocked) {
+    last_completed_ = std::move(last_completed);
+    stats_.total_blocked = total_blocked;
+  }
+
   /// Consumes one input and returns the ordered side effects it caused.
   /// Every Send is addressed to the manager; every Process* operation to the
   /// agent's own AdaptableProcess.

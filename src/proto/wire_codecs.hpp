@@ -1,0 +1,12 @@
+// Wire codecs for the protocol vocabulary: the seven Figure 1/2 control
+// messages (ResetMsg .. RollbackDoneMsg) and the two coordinator-tree
+// messages (EpochCommitMsg / EpochDoneMsg). Registering is idempotent;
+// every process that hosts a SocketTransport endpoint calls this once at
+// startup so frames decode identically on both ends.
+#pragma once
+
+namespace sa::proto {
+
+void register_wire_codecs();
+
+}  // namespace sa::proto

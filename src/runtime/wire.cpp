@@ -1,0 +1,228 @@
+#include "runtime/wire.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace sa::runtime {
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void WireWriter::bytes(const std::uint8_t* data, std::size_t size) {
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+void WireReader::need(std::size_t n) {
+  if (size_ - pos_ < n) throw WireError("wire: truncated input");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  if (len > remaining()) throw WireError("wire: string length exceeds input");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void WireReader::bytes(std::uint8_t* out, std::size_t size) {
+  need(size);
+  std::copy(data_ + pos_, data_ + pos_ + size, out);
+  pos_ += size;
+}
+
+std::size_t WireReader::vec_len(std::size_t min_element_bytes, const char* what) {
+  const std::uint32_t count = u32();
+  if (min_element_bytes != 0 && count > remaining() / min_element_bytes) {
+    throw WireError(std::string("wire: ") + what + " count exceeds input");
+  }
+  return count;
+}
+
+void WireReader::expect_done(const char* what) {
+  if (pos_ != size_) throw WireError(std::string("wire: trailing bytes after ") + what);
+}
+
+namespace {
+
+struct Codec {
+  std::uint16_t id = 0;
+  std::string type_name;
+  WireEncodeFn encode;
+  WireDecodeFn decode;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::uint16_t, Codec> by_id;
+  std::map<std::string, std::uint16_t> by_name;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_wire_codec(std::uint16_t id, std::string type_name, WireEncodeFn encode,
+                         WireDecodeFn decode) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  if (const auto it = reg.by_id.find(id); it != reg.by_id.end()) {
+    if (it->second.type_name == type_name) return;  // idempotent re-registration
+    throw std::logic_error("wire codec id " + std::to_string(id) + " already bound to \"" +
+                           it->second.type_name + "\", cannot rebind to \"" + type_name + '"');
+  }
+  if (reg.by_name.contains(type_name)) {
+    throw std::logic_error("wire codec for \"" + type_name + "\" already registered");
+  }
+  reg.by_name.emplace(type_name, id);
+  reg.by_id.emplace(id, Codec{id, std::move(type_name), std::move(encode), std::move(decode)});
+}
+
+bool wire_codec_registered(std::uint16_t id) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  return reg.by_id.contains(id);
+}
+
+std::vector<std::uint8_t> encode_frame(NodeId from, NodeId to, std::uint64_t incarnation,
+                                       std::uint64_t seq, const Message& message) {
+  Registry& reg = registry();
+  const Codec* codec = nullptr;
+  {
+    std::lock_guard lock(reg.mutex);
+    const auto name_it = reg.by_name.find(message.type_name());
+    if (name_it == reg.by_name.end()) {
+      throw std::logic_error("no wire codec registered for message type \"" +
+                             message.type_name() + '"');
+    }
+    codec = &reg.by_id.at(name_it->second);
+  }
+  // Codec pointers are stable: registrations are permanent and never erased.
+  WireWriter payload;
+  codec->encode(message, payload);
+
+  WireWriter frame;
+  frame.u32(kWireMagic);
+  frame.u8(kWireVersion);
+  frame.u16(codec->id);
+  frame.u32(from);
+  frame.u32(to);
+  frame.u64(incarnation);
+  frame.u64(seq);
+  frame.u32(static_cast<std::uint32_t>(payload.data().size()));
+  frame.bytes(payload.data().data(), payload.data().size());
+  return frame.take();
+}
+
+WireFrame decode_frame(const std::uint8_t* data, std::size_t size) {
+  WireReader reader(data, size);
+  if (reader.u32() != kWireMagic) throw WireError("wire: bad frame magic");
+  if (reader.u8() != kWireVersion) throw WireError("wire: unsupported frame version");
+  WireFrame frame;
+  frame.codec_id = reader.u16();
+  frame.from = reader.u32();
+  frame.to = reader.u32();
+  frame.incarnation = reader.u64();
+  frame.seq = reader.u64();
+  const std::uint32_t payload_len = reader.u32();
+  if (payload_len != reader.remaining()) {
+    throw WireError("wire: payload length disagrees with frame size");
+  }
+
+  WireDecodeFn decode;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.by_id.find(frame.codec_id);
+    if (it == reg.by_id.end()) {
+      throw WireError("wire: unknown codec id " + std::to_string(frame.codec_id));
+    }
+    decode = it->second.decode;
+  }
+  WireReader payload(data + (size - payload_len), payload_len);
+  frame.message = decode(payload);
+  payload.expect_done("message payload");
+  if (!frame.message) throw WireError("wire: codec returned null message");
+  return frame;
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t size) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw WireError("wire: odd-length hex string");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw WireError("wire: invalid hex character");
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(nibble(hex[i]) << 4 | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace sa::runtime

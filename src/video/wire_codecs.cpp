@@ -1,0 +1,56 @@
+#include "video/wire_codecs.hpp"
+
+#include <memory>
+
+#include "components/packet.hpp"
+#include "runtime/wire.hpp"
+#include "video/server.hpp"
+
+namespace sa::video {
+
+namespace {
+
+constexpr std::uint16_t kIdVideoPacket = 16;
+
+}  // namespace
+
+void register_wire_codecs() {
+  runtime::register_wire_codec(
+      kIdVideoPacket, "video-packet",
+      [](const runtime::Message& m, runtime::WireWriter& w) {
+        const components::Packet& p = static_cast<const PacketMsg&>(m).packet;
+        w.u64(p.stream_id);
+        w.u64(p.sequence);
+        w.u64(p.plaintext_checksum);
+        w.u8(static_cast<std::uint8_t>(p.encoding_stack.size()));
+        for (std::size_t i = 0; i < p.encoding_stack.size(); ++i) {
+          w.str(p.encoding_stack[i]);
+        }
+        w.u32(static_cast<std::uint32_t>(p.payload.size()));
+        w.bytes(p.payload.data(), p.payload.size());
+      },
+      [](runtime::WireReader& r) -> runtime::MessagePtr {
+        auto msg = std::make_shared<PacketMsg>();
+        components::Packet& p = msg->packet;
+        p.stream_id = r.u64();
+        p.sequence = r.u64();
+        p.plaintext_checksum = r.u64();
+        const std::uint8_t depth = r.u8();
+        if (depth > components::TagStack::kMaxTags) {
+          throw runtime::WireError("wire: encoding stack too deep");
+        }
+        for (std::uint8_t i = 0; i < depth; ++i) {
+          const std::string tag = r.str();
+          if (tag.size() > components::TagStack::kMaxTagLength) {
+            throw runtime::WireError("wire: encoding tag too long");
+          }
+          p.encoding_stack.push_back(tag);
+        }
+        const std::size_t size = r.vec_len(/*min_element_bytes=*/1, "packet payload");
+        p.payload.resize(size);
+        r.bytes(p.payload.data(), size);
+        return msg;
+      });
+}
+
+}  // namespace sa::video

@@ -1,0 +1,11 @@
+// Wire codec for the data-plane PacketMsg (video stream packets), so a
+// distributed deployment can push real stream traffic through a
+// SocketTransport. Large payloads exceed the UDP datagram budget and ride
+// the transport's TCP fallback transparently. Idempotent.
+#pragma once
+
+namespace sa::video {
+
+void register_wire_codecs();
+
+}  // namespace sa::video

@@ -44,6 +44,11 @@ int usage(const char* argv0) {
       << "                           involve several agents; fleet runs the\n"
       << "                           8-cluster manager tree and aims faults at\n"
       << "                           coordinator links instead of agents)\n"
+      << "  --backend NAME           sim (default) | socket (paper scenario as real\n"
+      << "                           sa_node processes over loopback; Crash windows\n"
+      << "                           become kill -9 + re-exec, shrinking is skipped)\n"
+      << "  --sa-node PATH           socket backend: sa_node binary (default: next\n"
+      << "                           to this executable, or $SA_NODE)\n"
       << "  --seeds A..B             campaign seed range, B exclusive (default 0..16)\n"
       << "  --seed S                 run a single seed (with its generated plan,\n"
       << "                           or the plan given by --plan)\n"
@@ -83,6 +88,7 @@ void write_artifact(const std::string& dir, const sa::inject::CampaignOptions& o
   const std::string path = dir + "/seed-" + std::to_string(report.seed) + ".json";
   sa::inject::FuzzArtifact artifact;
   artifact.scenario = options.scenario;
+  artifact.backend = options.backend;
   artifact.seed = report.seed;
   artifact.fault = options.fault;
   artifact.max_events = options.max_events;
@@ -107,14 +113,24 @@ int run_replay(const std::string& path) {
       sa::inject::artifact_from_json(read_file(path));
   sa::inject::CampaignOptions options;
   options.scenario = artifact.scenario;
+  options.backend = artifact.backend;
   options.fault = artifact.fault;
   options.max_events = artifact.max_events;
   const sa::inject::RunResult result =
       sa::inject::run_one(artifact.scenario, artifact.seed, artifact.plan, options);
-  std::cout << "replayed scenario '" << artifact.scenario << "' seed " << artifact.seed
-            << ": outcome " << result.outcome << "\n";
+  std::cout << "replayed scenario '" << artifact.scenario << "' (" << artifact.backend
+            << " backend) seed " << artifact.seed << ": outcome " << result.outcome << "\n";
   for (const std::string& violation : result.violations) {
     std::cout << "  " << violation << "\n";
+  }
+  if (artifact.backend == "socket") {
+    // Real processes + real time: the same plan reproduces the failure CLASS,
+    // not byte-identical violation text, so the divergence gate is advisory.
+    std::cout << (result.violations.empty()
+                      ? "replay produced no violation (socket runs are not "
+                        "byte-deterministic)\n"
+                      : "replay reproduced a violation\n");
+    return result.violations.empty() ? 0 : 1;
   }
   if (result.violations != artifact.violations) {
     std::cerr << "sa_fuzz: replay DIVERGED from the artifact (stale file or "
@@ -142,6 +158,13 @@ int main(int argc, char** argv) {
       };
       if (arg == "--scenario") {
         options.scenario = value();
+      } else if (arg == "--backend") {
+        options.backend = value();
+        if (options.backend != "sim" && options.backend != "socket") {
+          throw std::invalid_argument("--backend expects sim or socket");
+        }
+      } else if (arg == "--sa-node") {
+        options.sa_node = value();
       } else if (arg == "--seeds") {
         const std::string range = value();
         const std::size_t sep = range.find("..");
@@ -182,12 +205,13 @@ int main(int argc, char** argv) {
       // Single run: the seed's generated plan unless one was given explicitly.
       sa::inject::RunReport report;
       report.seed = *single_seed;
-      report.plan = plan_path
-                        ? sa::inject::plan_from_json(read_file(*plan_path))
+      report.plan = plan_path ? sa::inject::plan_from_json(read_file(*plan_path))
+                    : options.backend == "socket"
+                        ? sa::inject::socket_plan_for_seed(*single_seed)
                         : sa::inject::plan_for_seed(options.scenario, *single_seed);
       sa::inject::RunResult result =
           sa::inject::run_one(options.scenario, report.seed, report.plan, options);
-      if (!result.violations.empty() && options.shrink) {
+      if (!result.violations.empty() && options.shrink && options.backend != "socket") {
         report.plan = sa::inject::shrink_plan(options.scenario, report.seed, report.plan,
                                               options, result.violations);
         result = sa::inject::run_one(options.scenario, report.seed, report.plan, options);

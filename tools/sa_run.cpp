@@ -34,6 +34,13 @@
 // delivered packet survived intact:
 //
 //   sa_run --dataplane [--streams N] [--packets N] [--seed S]
+//
+// Distributed mode reproduces the paper's multi-host testbed shape: the
+// manager and the three §5 agents run as separate sa_node OS processes over
+// loopback sockets (see core/supervisor.hpp), and the tool prints the
+// manager's terminal outcome plus the committed action sequence:
+//
+//   sa_run --distributed [--seed S] [--sa-node PATH] [--keep-workdir]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +49,7 @@
 
 #include "core/fleet.hpp"
 #include "core/scenario_file.hpp"
+#include "core/supervisor.hpp"
 #include "core/system.hpp"
 #include "crypto/codec_filters.hpp"
 #include "obs/export.hpp"
@@ -66,8 +74,9 @@ int usage(const char* argv0) {
                "       %s --fleet [--clusters N] [--threads N] [--lanes-per-leaf N]\n"
                "       [--fanout N] [--epoch-window USEC] [--seed S] [--trace-out FILE]\n"
                "       [--trace-full]\n"
-               "       %s --dataplane [--streams N] [--packets N] [--seed S]\n",
-               argv0, argv0, argv0);
+               "       %s --dataplane [--streams N] [--packets N] [--seed S]\n"
+               "       %s --distributed [--seed S] [--sa-node PATH] [--keep-workdir]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   bool fleet = false;
   bool dataplane = false;
+  bool distributed = false;
+  core::DistributedOptions dist_options;
   video::PumpConfig pump_config;
   pump_config.streams = 2;
   pump_config.packets_per_stream = 100'000;
@@ -132,6 +143,12 @@ int main(int argc, char** argv) {
       fleet = true;
     } else if (std::strcmp(argv[i], "--dataplane") == 0) {
       dataplane = true;
+    } else if (std::strcmp(argv[i], "--distributed") == 0) {
+      distributed = true;
+    } else if (std::strcmp(argv[i], "--sa-node") == 0 && i + 1 < argc) {
+      dist_options.sa_node = argv[++i];
+    } else if (std::strcmp(argv[i], "--keep-workdir") == 0) {
+      dist_options.keep_workdir = true;
     } else if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
       const char* value = argv[++i];
       const auto parsed = util::parse_u64(value);
@@ -175,11 +192,36 @@ int main(int argc, char** argv) {
       if (!parsed) return bad_flag("--seed", value, "an unsigned seed");
       fleet_spec.seed = *parsed;
       pump_config.seed = *parsed;
+      dist_options.seed = *parsed;
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
       path = argv[i];
     }
+  }
+  if (distributed) {
+    std::printf("distributed: 1 manager + 3 agents as sa_node processes over loopback\n");
+    const core::DistributedReport report = core::run_distributed_paper(dist_options);
+    for (const std::string& error : report.infra_errors) {
+      std::fprintf(stderr, "sa_run: %s\n", error.c_str());
+    }
+    std::string actions;
+    for (const std::string& action : report.committed_actions) {
+      actions += (actions.empty() ? "" : ", ") + action;
+    }
+    std::printf("outcome: %s\nactions: %s\nfinal config bits: %llu\n",
+                report.outcome.empty() ? "(none)" : report.outcome.c_str(), actions.c_str(),
+                static_cast<unsigned long long>(report.final_config_bits));
+    for (const auto& [name, state] : report.agent_states) {
+      std::printf("agent %s: %s (%llu recoveries)\n", name.c_str(), state.c_str(),
+                  static_cast<unsigned long long>(report.agent_recoveries.count(name)
+                                                      ? report.agent_recoveries.at(name)
+                                                      : 0));
+    }
+    std::printf("trace: %zu merged entries; wall %.0f ms\n", report.merged_trace.size(),
+                report.wall_ms);
+    if (!report.workdir.empty()) std::printf("workdir: %s\n", report.workdir.c_str());
+    return report.infra_ok && report.outcome == "success" ? 0 : 1;
   }
   if (dataplane) {
     std::printf("dataplane: %zu stream(s) x %llu packets, DES-64 -> DES-128 on lane 0 mid-run\n",
